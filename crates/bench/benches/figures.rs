@@ -1,0 +1,85 @@
+//! One Criterion bench per paper table/figure: each measures the time to
+//! regenerate that artifact end-to-end at small scale (simulation +
+//! aggregation + rendering). `bench_figXX` names follow DESIGN.md §5.
+
+use asf_harness::experiments;
+use asf_harness::matrix::Matrix;
+use asf_workloads::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn small_matrix() -> Matrix {
+    Matrix::paper_grid(Scale::Small, 0xbe4c)
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper-tables");
+    g.bench_function("bench_table1_states", |b| {
+        b.iter(|| black_box(experiments::table1().render()))
+    });
+    g.bench_function("bench_table2_machine", |b| {
+        b.iter(|| black_box(experiments::table2().render()))
+    });
+    g.bench_function("bench_table3_benchmarks", |b| {
+        b.iter(|| black_box(experiments::table3().render()))
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    // The matrix is the expensive part shared by Figures 1–5 and 8–10;
+    // build it once and bench the per-figure aggregation, then bench the
+    // full matrix computation itself.
+    let m = small_matrix();
+    let mut g = c.benchmark_group("paper-figures");
+    g.bench_function("bench_fig01_false_rate", |b| {
+        b.iter(|| black_box(experiments::fig1(&m).render()))
+    });
+    g.bench_function("bench_fig02_breakdown", |b| {
+        b.iter(|| black_box(experiments::fig2(&m).render()))
+    });
+    g.bench_function("bench_fig03_timeline", |b| {
+        b.iter(|| black_box(experiments::fig3(&m).render()))
+    });
+    g.bench_function("bench_fig04_space", |b| {
+        b.iter(|| black_box(experiments::fig4(&m).render()))
+    });
+    g.bench_function("bench_fig05_offsets", |b| {
+        b.iter(|| black_box(experiments::fig5(&m).render()))
+    });
+    g.bench_function("bench_fig08_sweep", |b| {
+        b.iter(|| black_box(experiments::fig8(&m).render()))
+    });
+    g.bench_function("bench_fig09_overall", |b| {
+        b.iter(|| black_box(experiments::fig9(&m).render()))
+    });
+    g.bench_function("bench_fig10_speedup", |b| {
+        b.iter(|| black_box(experiments::fig10(&m).render()))
+    });
+    g.bench_function("bench_headline", |b| {
+        b.iter(|| black_box(experiments::headline(&m).render()))
+    });
+    g.bench_function("bench_overhead_model", |b| {
+        b.iter(|| black_box(experiments::overhead_table().render()))
+    });
+    g.finish();
+
+    // Figures 6 and 7 run their own scripted simulations each time.
+    let mut g = c.benchmark_group("paper-scripted");
+    g.sample_size(20);
+    g.bench_function("bench_fig06_dirty_hazard", |b| {
+        b.iter(|| black_box(experiments::fig6().render()))
+    });
+    g.bench_function("bench_fig07_piggyback", |b| {
+        b.iter(|| black_box(experiments::fig7().render()))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("matrix");
+    g.sample_size(10);
+    g.bench_function("bench_paper_grid_small", |b| b.iter(|| black_box(small_matrix().len())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

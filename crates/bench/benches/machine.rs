@@ -1,0 +1,89 @@
+//! Whole-machine benchmarks: simulator throughput per benchmark/detector
+//! and the design-choice ablations called out in DESIGN.md — the dirty
+//! mechanism on/off (cost of soundness) and the retained-metadata table.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_workloads::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    for name in ["ssca2", "vacation", "kmeans", "intruder"] {
+        for det in [DetectorKind::Baseline, DetectorKind::SubBlock(4)] {
+            g.bench_function(format!("{name}/{det}"), |b| {
+                let w = asf_workloads::by_name(name, Scale::Small).unwrap();
+                b.iter(|| {
+                    let out = Machine::run(w.as_ref(), SimConfig::paper_seeded(det, 1));
+                    black_box(out.stats.cycles)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    // Cost of the dirty mechanism: same workload, sub-block 4, dirty on/off.
+    // (Off is unsound in general — this measures simulator + protocol cost,
+    // mirroring the paper's §IV-E overhead discussion.)
+    for enable_dirty in [true, false] {
+        g.bench_function(format!("dirty_{}", if enable_dirty { "on" } else { "off" }), |b| {
+            let w = asf_workloads::by_name("vacation", Scale::Small).unwrap();
+            b.iter(|| {
+                let mut cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(4), 2);
+                cfg.enable_dirty = enable_dirty;
+                let out = Machine::run(w.as_ref(), cfg);
+                black_box(out.stats.cycles)
+            })
+        });
+    }
+    // Related-work mode: DPTM-style WAR speculation vs eager detection.
+    for war in [false, true] {
+        g.bench_function(format!("war_speculation_{}", if war { "on" } else { "off" }), |b| {
+            let w = asf_workloads::by_name("apriori", Scale::Small).unwrap();
+            b.iter(|| {
+                let mut cfg = SimConfig::paper_seeded(DetectorKind::Baseline, 4);
+                cfg.war_speculation = war;
+                let out = Machine::run(w.as_ref(), cfg);
+                black_box(out.stats.cycles)
+            })
+        });
+    }
+    // Resolution policy ablation.
+    for policy in [
+        asf_machine::machine::ResolutionPolicy::RequesterWins,
+        asf_machine::machine::ResolutionPolicy::VictimWins,
+    ] {
+        g.bench_function(format!("resolution_{policy:?}"), |b| {
+            let w = asf_workloads::by_name("vacation", Scale::Small).unwrap();
+            b.iter(|| {
+                let mut cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(4), 5);
+                cfg.resolution = policy;
+                let out = Machine::run(w.as_ref(), cfg);
+                black_box(out.stats.cycles)
+            })
+        });
+    }
+    // Backoff policy ablation: paper-standard exponential vs near-zero base.
+    for (label, base, cap) in [("backoff_paper", 64u64, 10u32), ("backoff_tiny", 4, 2)] {
+        g.bench_function(label, |b| {
+            let w = asf_workloads::by_name("intruder", Scale::Small).unwrap();
+            b.iter(|| {
+                let mut cfg = SimConfig::paper_seeded(DetectorKind::Baseline, 3);
+                cfg.backoff_base = base;
+                cfg.backoff_cap_exp = cap;
+                let out = Machine::run(w.as_ref(), cfg);
+                black_box(out.stats.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_workloads, bench_ablations);
+criterion_main!(benches);

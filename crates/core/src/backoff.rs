@@ -1,0 +1,118 @@
+//! Software exponential backoff (paper §V-A).
+//!
+//! "In order to avoid live locks, we also introduced a simple exponential
+//! backoff manager in the software library, which exponentially increases
+//! the backoff time according to transaction retry times." This module is
+//! that manager: backoff after the *k*-th consecutive abort is a uniformly
+//! random number of cycles in `[0, base · 2^min(k−1, cap_exp))`.
+
+use asf_mem::rng::SimRng;
+
+/// Exponential backoff manager; one per hardware thread.
+#[derive(Clone, Debug)]
+pub struct ExponentialBackoff {
+    /// Base backoff window in cycles.
+    pub base: u64,
+    /// Maximum exponent — the window saturates at `base << cap_exp`.
+    pub cap_exp: u32,
+    retries: u32,
+}
+
+impl ExponentialBackoff {
+    /// Default parameters used throughout the evaluation: a 64-cycle base
+    /// window doubling up to 2^10 (≈ 65k cycles), a common choice for
+    /// best-effort HTM retry loops.
+    pub fn standard() -> ExponentialBackoff {
+        ExponentialBackoff::new(64, 10)
+    }
+
+    /// Create a manager with the given base window and exponent cap.
+    pub fn new(base: u64, cap_exp: u32) -> ExponentialBackoff {
+        assert!(base > 0, "backoff base must be positive");
+        ExponentialBackoff { base, cap_exp, retries: 0 }
+    }
+
+    /// Number of consecutive aborts so far.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// Record an abort and draw the backoff delay (in cycles) before the
+    /// next attempt.
+    pub fn on_abort(&mut self, rng: &mut SimRng) -> u64 {
+        self.retries = self.retries.saturating_add(1);
+        let exp = (self.retries - 1).min(self.cap_exp);
+        let window = self.base << exp;
+        rng.below(window.max(1))
+    }
+
+    /// Record a successful commit: the retry counter resets.
+    pub fn on_commit(&mut self) {
+        self.retries = 0;
+    }
+
+    /// Current window size in cycles (for inspection/tests).
+    pub fn window(&self) -> u64 {
+        let exp = self.retries.min(self.cap_exp);
+        self.base << exp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_doubles_until_cap() {
+        let mut b = ExponentialBackoff::new(16, 3);
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(b.window(), 16);
+        for expect in [16u64, 32, 64, 128, 128, 128] {
+            let d = b.on_abort(&mut rng);
+            assert!(d < expect, "delay {d} outside window {expect}");
+        }
+        assert_eq!(b.window(), 16 << 3);
+    }
+
+    #[test]
+    fn commit_resets() {
+        let mut b = ExponentialBackoff::new(16, 4);
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..5 {
+            b.on_abort(&mut rng);
+        }
+        assert_eq!(b.retries(), 5);
+        b.on_commit();
+        assert_eq!(b.retries(), 0);
+        assert_eq!(b.window(), 16);
+    }
+
+    #[test]
+    fn delays_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut b = ExponentialBackoff::standard();
+            let mut rng = SimRng::seed_from_u64(seed);
+            (0..8).map(|_| b.on_abort(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn backoff_grows_on_average() {
+        // With many samples, the mean delay after 8 retries should exceed
+        // the mean after 1 (the livelock-avoidance property).
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut early = 0u64;
+        let mut late = 0u64;
+        for _ in 0..200 {
+            let mut b = ExponentialBackoff::standard();
+            early += b.on_abort(&mut rng);
+            for _ in 0..6 {
+                b.on_abort(&mut rng);
+            }
+            late += b.on_abort(&mut rng);
+        }
+        assert!(late > early * 4, "late {late} should dwarf early {early}");
+    }
+}

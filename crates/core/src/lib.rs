@@ -1,0 +1,49 @@
+//! # asf-core — speculative sub-blocking state for ASF-style HTM
+//!
+//! This crate implements the contribution of *"Reducing False Transactional
+//! Conflicts With Speculative Sub-blocking State"* (Nai & Lee, IPDPSW 2013):
+//! conflict detection for an ASF-like hardware transactional memory at the
+//! granularity of cache-line **sub-blocks**, with the coherence protocol left
+//! untouched.
+//!
+//! ## Model
+//!
+//! Every L1 line touched by a transaction carries a [`spec::SpecState`]: the
+//! byte-exact speculative read mask, write mask, and *dirty* mask (sub-blocks
+//! known to have been speculatively written by another core). The three
+//! systems evaluated in the paper are all derived views of this state,
+//! selected by [`detector::DetectorKind`]:
+//!
+//! * `Baseline` — AMD ASF as specified: one SR and one SW bit per line,
+//!   i.e. sub-blocking with a single sub-block;
+//! * `SubBlock(n)` — the paper's technique: `SPEC`/`WR` bits per sub-block
+//!   (Table I), including the dirty-state mechanism, piggy-back bits on data
+//!   responses, retention of speculative metadata in lines invalidated by
+//!   false WAR conflicts, and the deliberate coarse handling of WAW;
+//! * `Perfect` — the paper's ideal system with zero false conflicts:
+//!   byte-granularity oracle detection.
+//!
+//! Because coarsening is monotone (see `asf_mem::mask`), any conflict flagged
+//! by `Perfect` is flagged by every `SubBlock(n)`, and any flagged by
+//! `SubBlock(n)` is flagged by `Baseline` — the structural fact behind the
+//! paper's Figure 8.
+//!
+//! The crate also provides the software [`backoff::ExponentialBackoff`]
+//! manager the authors put in their TM library (§V-A) and the hardware
+//! [`overhead`] model of §IV-E.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod detector;
+pub mod overhead;
+pub mod signature;
+pub mod spec;
+pub mod subblock;
+
+pub use backoff::ExponentialBackoff;
+pub use detector::{ConflictType, DetectorKind, ProbeKind, ProbeOutcome};
+pub use signature::Signature;
+pub use spec::SpecState;
+pub use subblock::SubBlockState;

@@ -1,0 +1,97 @@
+//! Hardware overhead model (paper §IV-E).
+//!
+//! For `N` sub-blocks the design stores `2N` state bits per cache line; the
+//! baseline ASF already stores 2 (SR, SW), so the *extra* cost is `2(N−1)`
+//! bits per line. For the paper's 64 KB L1 with 64-byte lines and `N = 4`:
+//! 1024 lines × 6 bits = 6144 bits = 0.75 KB = **1.17%** of the L1 data
+//! capacity — the headline implementability argument.
+
+use crate::detector::DetectorKind;
+use asf_mem::geometry::CacheGeometry;
+
+/// Computed hardware overhead of a detector on a given L1 geometry.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Overhead {
+    /// State bits per cache line for this detector.
+    pub bits_per_line: u32,
+    /// Extra bits per line relative to baseline ASF (2 bits).
+    pub extra_bits_per_line: u32,
+    /// Total extra storage in bytes across the L1.
+    pub extra_bytes: usize,
+    /// Extra storage as a fraction of L1 data capacity (0.0117 ⇒ 1.17%).
+    pub fraction_of_l1: f64,
+}
+
+/// Baseline ASF state bits per line (SR + SW).
+pub const BASELINE_BITS_PER_LINE: u32 = 2;
+
+/// Compute the overhead of `kind` on an L1 with geometry `l1`.
+///
+/// `Perfect` is an oracle, not a hardware design; its "overhead" is reported
+/// as byte-granularity sub-blocking (2 bits per byte) for reference.
+pub fn overhead(kind: DetectorKind, l1: CacheGeometry) -> Overhead {
+    let n = kind.sub_blocks() as u32;
+    let bits_per_line = 2 * n;
+    let extra_bits_per_line = bits_per_line.saturating_sub(BASELINE_BITS_PER_LINE);
+    let lines = l1.lines();
+    let extra_bits_total = extra_bits_per_line as usize * lines;
+    let extra_bytes = extra_bits_total / 8;
+    Overhead {
+        bits_per_line,
+        extra_bits_per_line,
+        extra_bytes,
+        fraction_of_l1: extra_bits_total as f64 / 8.0 / l1.size_bytes as f64,
+    }
+}
+
+/// Piggy-back payload per data response: one bit per sub-block (paper:
+/// "for a typical configuration of four sub-blocks, the extra number of
+/// status bits is four").
+pub fn piggyback_bits(kind: DetectorKind) -> u32 {
+    kind.sub_blocks() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_l1() -> CacheGeometry {
+        CacheGeometry::new(64 * 1024, 2)
+    }
+
+    #[test]
+    fn paper_numbers_for_four_subblocks() {
+        let o = overhead(DetectorKind::SubBlock(4), paper_l1());
+        assert_eq!(o.bits_per_line, 8);
+        assert_eq!(o.extra_bits_per_line, 6);
+        // 1024 lines × 6 bits = 6144 bits = 768 bytes = 0.75 KB.
+        assert_eq!(o.extra_bytes, 768);
+        // 768 / 65536 = 1.171875 %.
+        assert!((o.fraction_of_l1 - 0.0117).abs() < 2e-4);
+    }
+
+    #[test]
+    fn baseline_has_zero_extra() {
+        let o = overhead(DetectorKind::Baseline, paper_l1());
+        assert_eq!(o.bits_per_line, 2);
+        assert_eq!(o.extra_bits_per_line, 0);
+        assert_eq!(o.extra_bytes, 0);
+        assert_eq!(o.fraction_of_l1, 0.0);
+    }
+
+    #[test]
+    fn overhead_scales_linearly_in_subblocks() {
+        let o8 = overhead(DetectorKind::SubBlock(8), paper_l1());
+        let o16 = overhead(DetectorKind::SubBlock(16), paper_l1());
+        assert_eq!(o8.extra_bits_per_line, 14);
+        assert_eq!(o16.extra_bits_per_line, 30);
+        assert!(o16.extra_bytes > 2 * o8.extra_bytes);
+    }
+
+    #[test]
+    fn piggyback_matches_subblock_count() {
+        assert_eq!(piggyback_bits(DetectorKind::SubBlock(4)), 4);
+        assert_eq!(piggyback_bits(DetectorKind::SubBlock(16)), 16);
+        assert_eq!(piggyback_bits(DetectorKind::Baseline), 1);
+    }
+}

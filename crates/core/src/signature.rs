@@ -1,0 +1,211 @@
+//! Signature-based conflict detection (LogTM-SE / Bulk style, paper §II).
+//!
+//! LogTM-class systems summarise a transaction's read and write sets in
+//! per-core **Bloom-filter signatures** over line addresses and test
+//! incoming probes against them. Compared to ASF's per-line bits this
+//! decouples conflict state from the cache (no capacity aborts from
+//! associativity), but it introduces a different source of false
+//! conflicts: **hash aliasing** — unrelated addresses that map onto the
+//! same filter bits — on top of the line granularity it shares with
+//! baseline ASF. The `signatures` experiment quantifies that trade-off
+//! against speculative sub-blocking.
+//!
+//! The filter is a standard partitioned Bloom filter: `k` hash functions,
+//! each owning `bits/k` bits, as in the LogTM-SE hardware proposal.
+
+use asf_mem::addr::LineAddr;
+
+/// A Bloom-filter address signature.
+#[derive(Clone, Debug)]
+pub struct Signature {
+    bits: Vec<u64>,
+    num_bits: usize,
+    hashes: u32,
+    inserted: u64,
+}
+
+#[inline]
+fn mix(line: LineAddr, salt: u64) -> u64 {
+    // SplitMix-style finalizer over (line, salt) — cheap and well spread.
+    let mut z = line.0 ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Signature {
+    /// Create an empty signature of `num_bits` bits with `hashes`
+    /// partitioned hash functions.
+    ///
+    /// # Panics
+    /// If `num_bits` is not a positive multiple of `hashes`, or `hashes`
+    /// is zero.
+    pub fn new(num_bits: usize, hashes: u32) -> Signature {
+        assert!(hashes >= 1, "need at least one hash function");
+        assert!(
+            num_bits >= hashes as usize && num_bits.is_multiple_of(hashes as usize),
+            "bits ({num_bits}) must be a positive multiple of hashes ({hashes})"
+        );
+        Signature {
+            bits: vec![0; num_bits.div_ceil(64)],
+            num_bits,
+            hashes,
+            inserted: 0,
+        }
+    }
+
+    /// Hardware-typical configuration: 1024 bits, 4 hash functions.
+    pub fn logtm_se() -> Signature {
+        Signature::new(1024, 4)
+    }
+
+    fn positions(&self, line: LineAddr) -> impl Iterator<Item = usize> + '_ {
+        let part = self.num_bits / self.hashes as usize;
+        (0..self.hashes).map(move |h| {
+            let idx = (mix(line, h as u64 + 1) % part as u64) as usize;
+            h as usize * part + idx
+        })
+    }
+
+    /// Insert a line address.
+    pub fn insert(&mut self, line: LineAddr) {
+        for pos in self.positions(line).collect::<Vec<_>>() {
+            self.bits[pos / 64] |= 1 << (pos % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Membership test: false ⇒ definitely absent; true ⇒ present *or* an
+    /// alias (the signature's false-conflict source).
+    pub fn maybe_contains(&self, line: LineAddr) -> bool {
+        self.positions(line)
+            .all(|pos| self.bits[pos / 64] & (1 << (pos % 64)) != 0)
+    }
+
+    /// Clear all bits (commit/abort gang-clear — single-cycle in hardware).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+    }
+
+    /// Number of insert operations since the last clear (with repeats).
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Fraction of filter bits set — the density that drives the
+    /// false-positive rate (≈ density^k for a partitioned filter).
+    pub fn density(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        set as f64 / self.num_bits as f64
+    }
+
+    /// Capacity in bits.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asf_mem::addr::Addr;
+
+    fn line(n: u64) -> LineAddr {
+        Addr(n * 64).line()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut s = Signature::new(256, 4);
+        for n in 0..40 {
+            s.insert(line(n * 7 + 3));
+        }
+        for n in 0..40 {
+            assert!(s.maybe_contains(line(n * 7 + 3)));
+        }
+    }
+
+    #[test]
+    fn empty_signature_contains_nothing() {
+        let s = Signature::logtm_se();
+        for n in 0..100 {
+            assert!(!s.maybe_contains(line(n)));
+        }
+        assert_eq!(s.density(), 0.0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = Signature::new(128, 2);
+        s.insert(line(1));
+        assert!(s.maybe_contains(line(1)));
+        assert!(s.inserted() == 1);
+        s.clear();
+        assert!(!s.maybe_contains(line(1)));
+        assert_eq!(s.density(), 0.0);
+    }
+
+    #[test]
+    fn aliasing_rate_tracks_size() {
+        // Insert 64 lines, then probe 2000 lines NOT inserted: the small
+        // filter aliases far more than the large one.
+        let alias_rate = |bits: usize| {
+            let mut s = Signature::new(bits, 4);
+            for n in 0..64 {
+                s.insert(line(n));
+            }
+            let hits = (1000..3000).filter(|&n| s.maybe_contains(line(n))).count();
+            hits as f64 / 2000.0
+        };
+        let small = alias_rate(256);
+        let large = alias_rate(4096);
+        assert!(small > large, "small {small} vs large {large}");
+        assert!(small > 0.05, "256-bit filter with 64 lines must alias: {small}");
+        assert!(large < 0.05, "4096-bit filter must rarely alias: {large}");
+    }
+
+    #[test]
+    fn density_grows_with_inserts() {
+        let mut s = Signature::new(512, 4);
+        let mut last = 0.0;
+        for n in 0..32 {
+            s.insert(line(n * 13));
+            let d = s.density();
+            assert!(d >= last);
+            last = d;
+        }
+        assert!(last > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of hashes")]
+    fn rejects_unbalanced_partitions() {
+        let _ = Signature::new(100, 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use asf_mem::addr::Addr;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The defining Bloom property: every inserted element tests
+        /// positive (no false negatives), under any configuration.
+        #[test]
+        fn inserted_lines_always_test_positive(
+            lines in prop::collection::vec(0u64..100_000, 1..200),
+            cfg in prop::sample::select(vec![(256usize, 4u32), (1024, 4), (512, 2), (64, 1)]),
+        ) {
+            let mut s = Signature::new(cfg.0, cfg.1);
+            for &n in &lines {
+                s.insert(Addr(n * 64).line());
+            }
+            for &n in &lines {
+                prop_assert!(s.maybe_contains(Addr(n * 64).line()));
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-line speculative state.
+//!
+//! The state is kept **byte-exact** regardless of the active detector: the
+//! read/write masks are the ground truth from which (a) the detector derives
+//! its coarse view at check time and (b) the statistics layer classifies
+//! every detected conflict as *true* or *false*. The dirty mask is stored in
+//! expanded form (whole sub-blocks), mirroring what the hardware's per-sub-
+//! block `SPEC=0,WR=1` encoding can represent.
+
+use asf_mem::mask::AccessMask;
+
+/// Speculative metadata attached to one cache line on behalf of the local
+/// running transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SpecState {
+    /// Bytes speculatively read by the local transaction.
+    pub read_mask: AccessMask,
+    /// Bytes speculatively written by the local transaction.
+    pub write_mask: AccessMask,
+    /// Bytes belonging to sub-blocks that a *remote* transaction has
+    /// speculatively written without a true conflict (paper §IV-C). Data
+    /// under these bytes is unreliable: a local access hitting them must be
+    /// treated as an L1 miss.
+    pub dirty_mask: AccessMask,
+}
+
+impl SpecState {
+    /// Fresh, empty state.
+    pub const EMPTY: SpecState = SpecState {
+        read_mask: AccessMask::EMPTY,
+        write_mask: AccessMask::EMPTY,
+        dirty_mask: AccessMask::EMPTY,
+    };
+
+    /// Has the local transaction touched this line speculatively?
+    #[inline]
+    pub fn is_speculative(&self) -> bool {
+        self.read_mask.any() || self.write_mask.any()
+    }
+
+    /// Is there nothing recorded at all (speculative or dirty)?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        !self.is_speculative() && self.dirty_mask.is_empty()
+    }
+
+    /// Record a speculative read of `mask`.
+    ///
+    /// Reading clears any dirty marking on the covered bytes *only* via
+    /// [`SpecState::clear_dirty`] — the machine first services the forced
+    /// miss, then calls `clear_dirty` + `mark_read` (paper §IV-D-1: "the
+    /// requesting core clears the dirty state of this sub-block by setting
+    /// the SPEC bit to 1 and the WR bit to 0").
+    #[inline]
+    pub fn mark_read(&mut self, mask: AccessMask) {
+        debug_assert!(
+            !mask.overlaps(self.dirty_mask),
+            "reading dirty bytes without refetch; machine must clear dirty first"
+        );
+        self.read_mask |= mask;
+    }
+
+    /// Record a speculative write of `mask`. Writing one's own dirty bytes
+    /// overwrites them, so the dirty marking is dropped for those bytes.
+    #[inline]
+    pub fn mark_write(&mut self, mask: AccessMask) {
+        self.write_mask |= mask;
+        self.dirty_mask = self.dirty_mask & !mask;
+    }
+
+    /// Mark `mask` (already expanded to sub-block boundaries by the caller)
+    /// as dirty, per piggy-back bits in a data response. Bytes the local
+    /// transaction has itself written stay trustworthy (they are served from
+    /// the local write buffer), so they are excluded.
+    #[inline]
+    pub fn mark_dirty(&mut self, mask: AccessMask) {
+        self.dirty_mask |= mask & !self.write_mask;
+    }
+
+    /// Clear dirty marking for `mask` after the machine refetched the data.
+    #[inline]
+    pub fn clear_dirty(&mut self, mask: AccessMask) {
+        self.dirty_mask = self.dirty_mask & !mask;
+    }
+
+    /// Does a local access of `mask` hit dirty (unreliable) bytes?
+    #[inline]
+    pub fn hits_dirty(&self, mask: AccessMask) -> bool {
+        mask.overlaps(self.dirty_mask)
+    }
+
+    /// Merge another record of the same line (used when a line invalidated
+    /// with retained metadata is refetched and the side-table entry is folded
+    /// back into the live line).
+    #[inline]
+    pub fn merge(&mut self, other: &SpecState) {
+        self.read_mask |= other.read_mask;
+        self.write_mask |= other.write_mask;
+        self.dirty_mask |= other.dirty_mask & !self.write_mask;
+    }
+
+    /// Gang-clear the *speculative* bits at commit or abort (paper
+    /// §IV-D-3), preserving the dirty mask.
+    ///
+    /// This asymmetry is exactly why Table I encodes Dirty as `SPEC=0,
+    /// WR=1`: the commit/abort gang-clear resets sub-blocks with `SPEC=1`,
+    /// so dirty markings — which describe the *data* (remotely written,
+    /// unreliable), not the finished transaction — survive into the next
+    /// transaction and are only cleared by the refetch a dirty hit forces.
+    /// Dropping them at commit would let the very next transaction read a
+    /// stale line without a coherence probe (a Figure 6 hazard).
+    #[inline]
+    pub fn gang_clear(&mut self) {
+        self.read_mask = AccessMask::EMPTY;
+        self.write_mask = AccessMask::EMPTY;
+    }
+
+    /// Clear everything including dirty marks (used when the line itself
+    /// is discarded).
+    #[inline]
+    pub fn clear_all(&mut self) {
+        *self = SpecState::EMPTY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(off: usize, len: usize) -> AccessMask {
+        AccessMask::from_range(off, len)
+    }
+
+    #[test]
+    fn empty_state() {
+        let s = SpecState::EMPTY;
+        assert!(s.is_empty());
+        assert!(!s.is_speculative());
+    }
+
+    #[test]
+    fn mark_read_write_accumulate() {
+        let mut s = SpecState::EMPTY;
+        s.mark_read(m(0, 4));
+        s.mark_read(m(8, 4));
+        s.mark_write(m(16, 8));
+        assert_eq!(s.read_mask, m(0, 4) | m(8, 4));
+        assert_eq!(s.write_mask, m(16, 8));
+        assert!(s.is_speculative());
+    }
+
+    #[test]
+    fn write_clears_own_dirty_bytes() {
+        let mut s = SpecState::EMPTY;
+        s.mark_dirty(m(0, 16));
+        s.mark_write(m(0, 8));
+        assert_eq!(s.dirty_mask, m(8, 8));
+        assert_eq!(s.write_mask, m(0, 8));
+    }
+
+    #[test]
+    fn dirty_never_covers_own_writes() {
+        let mut s = SpecState::EMPTY;
+        s.mark_write(m(0, 8));
+        s.mark_dirty(m(0, 16));
+        assert_eq!(s.dirty_mask, m(8, 8));
+    }
+
+    #[test]
+    fn hits_dirty_detects_overlap() {
+        let mut s = SpecState::EMPTY;
+        s.mark_dirty(m(16, 16));
+        assert!(s.hits_dirty(m(20, 4)));
+        assert!(!s.hits_dirty(m(0, 16)));
+        assert!(!s.hits_dirty(m(32, 8)));
+    }
+
+    #[test]
+    fn clear_dirty_then_read() {
+        let mut s = SpecState::EMPTY;
+        s.mark_dirty(m(16, 16));
+        s.clear_dirty(m(16, 16));
+        assert!(!s.hits_dirty(m(16, 4)));
+        s.mark_read(m(16, 4));
+        assert_eq!(s.read_mask, m(16, 4));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "dirty")]
+    fn reading_dirty_bytes_panics_in_debug() {
+        let mut s = SpecState::EMPTY;
+        s.mark_dirty(m(0, 16));
+        s.mark_read(m(4, 4));
+    }
+
+    #[test]
+    fn merge_folds_retained_state() {
+        let mut live = SpecState::EMPTY;
+        live.mark_write(m(0, 8));
+        let mut retained = SpecState::EMPTY;
+        retained.mark_read(m(8, 8));
+        retained.mark_dirty(m(0, 16)); // overlaps live write → filtered
+        live.merge(&retained);
+        assert_eq!(live.read_mask, m(8, 8));
+        assert_eq!(live.write_mask, m(0, 8));
+        assert_eq!(live.dirty_mask, m(8, 8));
+    }
+
+    #[test]
+    fn gang_clear_preserves_dirty() {
+        let mut s = SpecState::EMPTY;
+        s.mark_read(m(0, 8));
+        s.mark_write(m(8, 8));
+        s.mark_dirty(m(32, 16));
+        s.gang_clear();
+        assert!(!s.is_speculative(), "speculative bits cleared");
+        assert_eq!(s.dirty_mask, m(32, 16), "dirty marks survive commit");
+        assert!(s.hits_dirty(m(40, 4)));
+        s.clear_all();
+        assert!(s.is_empty());
+    }
+}

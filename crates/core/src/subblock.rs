@@ -1,0 +1,188 @@
+//! Table I — the per-sub-block state encoding.
+//!
+//! The hardware stores two bits per sub-block:
+//!
+//! | SPEC | WR | State |
+//! |------|----|-------------------------|
+//! | 0    | 0  | Non-speculative         |
+//! | 0    | 1  | Dirty                   |
+//! | 1    | 0  | Speculative Read (S-RD) |
+//! | 1    | 1  | Speculative Write (S-WR)|
+//!
+//! The simulator keeps byte-exact masks (see [`crate::spec::SpecState`]) and
+//! derives this encoding on demand; [`SubBlockState::of_line`] is that
+//! derivation. It is used by diagnostics, the Figure 6/7 walkthroughs and the
+//! tests that pin the implementation to the paper's table.
+
+use crate::spec::SpecState;
+use asf_mem::addr::LINE_SIZE;
+use asf_mem::mask::AccessMask;
+use core::fmt;
+
+/// State of one sub-block (Table I).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SubBlockState {
+    /// SPEC=0, WR=0 — never speculatively accessed.
+    #[default]
+    NonSpeculative,
+    /// SPEC=0, WR=1 — remotely speculatively written; local data unreliable.
+    Dirty,
+    /// SPEC=1, WR=0 — speculatively read by the local transaction.
+    SpeculativeRead,
+    /// SPEC=1, WR=1 — speculatively written by the local transaction.
+    SpeculativeWrite,
+}
+
+impl SubBlockState {
+    /// The `(SPEC, WR)` bit pair of this state.
+    #[inline]
+    pub fn bits(self) -> (bool, bool) {
+        match self {
+            SubBlockState::NonSpeculative => (false, false),
+            SubBlockState::Dirty => (false, true),
+            SubBlockState::SpeculativeRead => (true, false),
+            SubBlockState::SpeculativeWrite => (true, true),
+        }
+    }
+
+    /// Decode a `(SPEC, WR)` bit pair.
+    #[inline]
+    pub fn from_bits(spec: bool, wr: bool) -> SubBlockState {
+        match (spec, wr) {
+            (false, false) => SubBlockState::NonSpeculative,
+            (false, true) => SubBlockState::Dirty,
+            (true, false) => SubBlockState::SpeculativeRead,
+            (true, true) => SubBlockState::SpeculativeWrite,
+        }
+    }
+
+    /// Derive the per-sub-block states of a line from its byte-exact
+    /// speculative record, at `sub_blocks` granularity.
+    ///
+    /// Precedence within a sub-block mirrors the hardware: a speculative
+    /// write dominates (S-WR), then a speculative read (S-RD), then a dirty
+    /// marking, else non-speculative. (A sub-block both read and remotely
+    /// dirtied cannot occur: the machine refetches before reading dirty
+    /// bytes, clearing the marking.)
+    pub fn of_line(state: &SpecState, sub_blocks: usize) -> Vec<SubBlockState> {
+        let w = state.write_mask.to_subblock_bits(sub_blocks);
+        let r = state.read_mask.to_subblock_bits(sub_blocks);
+        let d = state.dirty_mask.to_subblock_bits(sub_blocks);
+        (0..sub_blocks)
+            .map(|i| {
+                let bit = 1u64 << i;
+                if w & bit != 0 {
+                    SubBlockState::SpeculativeWrite
+                } else if r & bit != 0 {
+                    SubBlockState::SpeculativeRead
+                } else if d & bit != 0 {
+                    SubBlockState::Dirty
+                } else {
+                    SubBlockState::NonSpeculative
+                }
+            })
+            .collect()
+    }
+
+    /// Render a line's sub-block states compactly, e.g. `[W R . D]`.
+    pub fn render_line(state: &SpecState, sub_blocks: usize) -> String {
+        let mut out = String::with_capacity(2 * sub_blocks + 2);
+        out.push('[');
+        for (i, s) in SubBlockState::of_line(state, sub_blocks).iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push(match s {
+                SubBlockState::NonSpeculative => '.',
+                SubBlockState::Dirty => 'D',
+                SubBlockState::SpeculativeRead => 'R',
+                SubBlockState::SpeculativeWrite => 'W',
+            });
+        }
+        out.push(']');
+        out
+    }
+
+    /// Byte mask covered by one sub-block at the given granularity.
+    pub fn mask_of(index: usize, sub_blocks: usize) -> AccessMask {
+        assert!(index < sub_blocks);
+        let bytes = LINE_SIZE / sub_blocks;
+        AccessMask::from_range(index * bytes, bytes)
+    }
+}
+
+impl fmt::Display for SubBlockState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SubBlockState::NonSpeculative => "Non-speculative",
+            SubBlockState::Dirty => "Dirty",
+            SubBlockState::SpeculativeRead => "S-RD",
+            SubBlockState::SpeculativeWrite => "S-WR",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_encoding_is_exhaustive() {
+        // Pin the exact Table I truth table.
+        assert_eq!(SubBlockState::from_bits(false, false), SubBlockState::NonSpeculative);
+        assert_eq!(SubBlockState::from_bits(false, true), SubBlockState::Dirty);
+        assert_eq!(SubBlockState::from_bits(true, false), SubBlockState::SpeculativeRead);
+        assert_eq!(SubBlockState::from_bits(true, true), SubBlockState::SpeculativeWrite);
+        for s in [
+            SubBlockState::NonSpeculative,
+            SubBlockState::Dirty,
+            SubBlockState::SpeculativeRead,
+            SubBlockState::SpeculativeWrite,
+        ] {
+            let (spec, wr) = s.bits();
+            assert_eq!(SubBlockState::from_bits(spec, wr), s);
+        }
+    }
+
+    #[test]
+    fn of_line_derives_states() {
+        let mut st = SpecState::EMPTY;
+        st.mark_write(AccessMask::from_range(0, 8)); // sub-block 0 of 4
+        st.mark_read(AccessMask::from_range(16, 4)); // sub-block 1
+        st.mark_dirty(AccessMask::from_range(48, 16)); // sub-block 3
+        let v = SubBlockState::of_line(&st, 4);
+        assert_eq!(
+            v,
+            vec![
+                SubBlockState::SpeculativeWrite,
+                SubBlockState::SpeculativeRead,
+                SubBlockState::NonSpeculative,
+                SubBlockState::Dirty,
+            ]
+        );
+        assert_eq!(SubBlockState::render_line(&st, 4), "[W R . D]");
+    }
+
+    #[test]
+    fn write_dominates_read_in_same_subblock() {
+        let mut st = SpecState::EMPTY;
+        st.mark_read(AccessMask::from_range(0, 4));
+        st.mark_write(AccessMask::from_range(4, 4));
+        let v = SubBlockState::of_line(&st, 4);
+        assert_eq!(v[0], SubBlockState::SpeculativeWrite);
+    }
+
+    #[test]
+    fn mask_of_partitions_the_line() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let mut acc = AccessMask::EMPTY;
+            for i in 0..n {
+                let m = SubBlockState::mask_of(i, n);
+                assert!(!acc.overlaps(m), "sub-blocks overlap");
+                acc |= m;
+            }
+            assert_eq!(acc, AccessMask::FULL);
+        }
+    }
+}

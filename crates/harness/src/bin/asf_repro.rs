@@ -1,0 +1,206 @@
+//! `asf-repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! asf-repro [EXPERIMENT ...] [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR]
+//!
+//! EXPERIMENT: all | ext | table1 | table2 | table3 | fig1 .. fig10
+//!           | overhead | headline | diag | scaling | backoff | policy | charts | excluded | related | signatures | variance | adaptive | fabric | summary | profile:<bench> | trace:<bench>
+//! ```
+//!
+//! Experiments needing simulation runs share one (benchmark × detector)
+//! matrix, aggregated over three seeds; `--seed` changes the seed family,
+//! `--scale` the input size. `--csv DIR` additionally writes each table as
+//! `DIR/<name>.csv`.
+
+use asf_harness::experiments;
+use asf_harness::matrix::Matrix;
+use asf_stats::table::Table;
+use asf_workloads::Scale;
+
+const USAGE: &str = "usage: asf-repro [all|ext|table1|table2|table3|fig1..fig10|overhead|headline|diag|scaling|backoff|policy]* \
+                     [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Standard;
+    let mut seed: u64 = 0x5eed_2013;
+    let mut csv_dir: Option<String> = None;
+    let mut json_dir: Option<String> = None;
+    let mut cmds: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("small") => Scale::Small,
+                    Some("standard") => Scale::Standard,
+                    Some("large") => Scale::Large,
+                    other => {
+                        eprintln!("unknown scale {other:?}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs a u64\n{USAGE}");
+                        std::process::exit(2);
+                    });
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--csv needs a directory\n{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--json needs a directory\n{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            cmd => cmds.push(cmd.to_string()),
+        }
+        i += 1;
+    }
+    if cmds.is_empty() {
+        cmds.push("all".to_string());
+    }
+
+    // Only build the matrix if some requested experiment needs it.
+    let needs_matrix = cmds.iter().any(|c| {
+        matches!(
+            c.as_str(),
+            "all" | "fig1" | "fig2" | "fig3" | "fig4" | "fig5" | "fig8" | "fig9" | "fig10"
+                | "headline" | "diag" | "charts" | "summary"
+        )
+    });
+    let matrix = needs_matrix.then(|| {
+        eprintln!("computing run matrix (scale {scale:?}, seed {seed:#x}) …");
+        Matrix::paper_grid(scale, seed)
+    });
+    let m = matrix.as_ref();
+
+    let emit = |name: &str, table: Table| {
+        print!("{}", table.render());
+        println!();
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{name}.csv");
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+        if let Some(dir) = &json_dir {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = format!("{dir}/{name}.json");
+            std::fs::write(&path, table.to_json()).expect("write json");
+            eprintln!("wrote {path}");
+        }
+    };
+
+    for cmd in &cmds {
+        match cmd.as_str() {
+            "all" => {
+                for (name, table) in experiments::all_experiments(m.expect("matrix")) {
+                    emit(name, table);
+                }
+            }
+            "ext" => {
+                // Every extension experiment beyond the paper's artifacts.
+                emit("scaling", experiments::scaling(scale, seed));
+                emit("backoff", experiments::backoff_sweep(scale, seed));
+                emit("policy", experiments::policy_ablation(scale, seed));
+                emit("related", experiments::related_work(scale, seed));
+                emit("signatures", experiments::signatures(scale, seed));
+                emit("excluded", experiments::excluded(scale, seed));
+                emit("excluded_bayes", experiments::excluded_bayes(scale, seed));
+                emit("adaptive", experiments::adaptive(scale, seed));
+                emit("fabric", experiments::fabric(scale, seed));
+                emit("variance", experiments::variance(scale, seed, 5));
+            }
+            "table1" => emit("table1", experiments::table1()),
+            "table2" => emit("table2", experiments::table2()),
+            "table3" => emit("table3", experiments::table3()),
+            "fig1" => emit("fig1", experiments::fig1(m.expect("matrix"))),
+            "fig2" => emit("fig2", experiments::fig2(m.expect("matrix"))),
+            "fig3" => emit("fig3", experiments::fig3(m.expect("matrix"))),
+            "fig4" => emit("fig4", experiments::fig4(m.expect("matrix"))),
+            "fig5" => emit("fig5", experiments::fig5(m.expect("matrix"))),
+            "fig6" => emit("fig6", experiments::fig6()),
+            "fig7" => emit("fig7", experiments::fig7()),
+            "fig8" => emit("fig8", experiments::fig8(m.expect("matrix"))),
+            "fig9" => emit("fig9", experiments::fig9(m.expect("matrix"))),
+            "fig10" => emit("fig10", experiments::fig10(m.expect("matrix"))),
+            "overhead" => emit("overhead", experiments::overhead_table()),
+            "scaling" => emit("scaling", experiments::scaling(scale, seed)),
+            "backoff" => emit("backoff", experiments::backoff_sweep(scale, seed)),
+            "policy" => emit("policy", experiments::policy_ablation(scale, seed)),
+            "excluded" => {
+                emit("excluded", experiments::excluded(scale, seed));
+                emit("excluded_bayes", experiments::excluded_bayes(scale, seed));
+            }
+            "related" => emit("related", experiments::related_work(scale, seed)),
+            "signatures" => emit("signatures", experiments::signatures(scale, seed)),
+            "variance" => emit("variance", experiments::variance(scale, seed, 5)),
+            "adaptive" => emit("adaptive", experiments::adaptive(scale, seed)),
+            "fabric" => emit("fabric", experiments::fabric(scale, seed)),
+            cmd if cmd.starts_with("trace:") => {
+                // Run one benchmark with tracing and write a Chrome-tracing
+                // JSON next to the CSVs (or ./trace_<bench>.json).
+                let bench = cmd.trim_start_matches("trace:");
+                let w = asf_workloads::by_name(bench, scale).unwrap_or_else(|| {
+                    eprintln!("unknown benchmark {bench}");
+                    std::process::exit(2);
+                });
+                let cfg = asf_machine::machine::SimConfig::paper_seeded(
+                    asf_core::detector::DetectorKind::SubBlock(4),
+                    seed,
+                );
+                let mut machine = asf_machine::machine::Machine::new(w.as_ref(), cfg);
+                machine.enable_trace(200_000);
+                let out = machine.run_to_completion();
+                let trace = out.trace.expect("tracing enabled");
+                let dir = csv_dir.clone().unwrap_or_else(|| ".".to_string());
+                std::fs::create_dir_all(&dir).expect("create dir");
+                let path = format!("{dir}/trace_{bench}.json");
+                std::fs::write(&path, trace.to_chrome_json()).expect("write trace");
+                println!(
+                    "wrote {path} ({} events, {} dropped) — open in chrome://tracing or Perfetto",
+                    trace.len(),
+                    trace.dropped()
+                );
+            }
+            cmd if cmd.starts_with("profile:") => {
+                let bench = cmd.trim_start_matches("profile:");
+                emit(
+                    &format!("profile_{bench}"),
+                    experiments::profile(bench, scale, seed),
+                );
+            }
+            "charts" => {
+                let mm = m.expect("matrix");
+                println!("{}", experiments::fig1_chart(mm).render(48));
+                println!("{}", experiments::fig8_chart(mm).render(48));
+                println!("{}", experiments::fig10_chart(mm).render(48));
+            }
+            "headline" => emit("headline", experiments::headline(m.expect("matrix"))),
+            "summary" => emit("summary", experiments::summary(m.expect("matrix"))),
+            "diag" => emit("diag", experiments::diag(m.expect("matrix"))),
+            other => {
+                eprintln!("unknown experiment {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

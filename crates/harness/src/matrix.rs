@@ -1,0 +1,173 @@
+//! The (benchmark × detector) grid of simulation runs.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_stats::run::RunStats;
+use asf_workloads::Scale;
+use std::collections::HashMap;
+
+/// Identifies one run in the matrix.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RunKey {
+    /// Benchmark name (Table III).
+    pub bench: String,
+    /// Detector label (`baseline`, `sb4`, `perfect`, …).
+    pub detector: String,
+}
+
+impl RunKey {
+    /// Build a key.
+    pub fn new(bench: &str, detector: DetectorKind) -> RunKey {
+        RunKey { bench: bench.to_string(), detector: detector.label() }
+    }
+}
+
+/// A computed grid of runs plus the configuration that produced it.
+pub struct Matrix {
+    /// Input scale.
+    pub scale: Scale,
+    /// Master seeds (each run aggregates all of them).
+    pub seeds: Vec<u64>,
+    runs: HashMap<RunKey, RunStats>,
+}
+
+/// Run one benchmark under one detector, with the paper's machine.
+pub fn run_one(bench: &str, detector: DetectorKind, scale: Scale, seed: u64) -> RunStats {
+    let workload =
+        asf_workloads::by_name(bench, scale).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
+    let cfg = SimConfig::paper_seeded(detector, seed);
+    Machine::run(workload.as_ref(), cfg).stats
+}
+
+impl Matrix {
+    /// Compute the grid for the given benchmarks × detectors, in parallel
+    /// (a bounded worker pool over scoped threads). Each cell aggregates
+    /// one run per seed — the multi-run averaging that tames the
+    /// simulation variance the paper itself observes on labyrinth.
+    pub fn compute(
+        benches: &[&str],
+        detectors: &[DetectorKind],
+        scale: Scale,
+        seeds: &[u64],
+    ) -> Matrix {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let mut jobs: Vec<(RunKey, DetectorKind, String, u64)> = Vec::new();
+        for &b in benches {
+            for &d in detectors {
+                for &s in seeds {
+                    jobs.push((RunKey::new(b, d), d, b.to_string(), s));
+                }
+            }
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(jobs.len().max(1));
+        let jobs_ref = &jobs;
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let next_ref = &next;
+        let mut results: Vec<(RunKey, RunStats)> = Vec::with_capacity(jobs.len());
+        let collected = std::sync::Mutex::new(&mut results);
+        let collected_ref = &collected;
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= jobs_ref.len() {
+                        break;
+                    }
+                    let (key, det, bench, seed) = &jobs_ref[i];
+                    let stats = run_one(bench, *det, scale, *seed);
+                    collected_ref.lock().unwrap().push((key.clone(), stats));
+                });
+            }
+        });
+        let mut runs: HashMap<RunKey, RunStats> = HashMap::new();
+        for (key, stats) in results {
+            runs.entry(key)
+                .and_modify(|agg| agg.merge(&stats))
+                .or_insert(stats);
+        }
+        Matrix { scale, seeds: seeds.to_vec(), runs }
+    }
+
+    /// The standard grid behind Figures 1, 2, 8, 9, 10: all ten benchmarks
+    /// under baseline, sb2/4/8/16 and perfect, aggregated over three seeds
+    /// derived from `seed`.
+    pub fn paper_grid(scale: Scale, seed: u64) -> Matrix {
+        let names: Vec<String> = asf_workloads::all(scale)
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect();
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let seeds = [seed, seed.wrapping_add(1), seed.wrapping_add(2)];
+        Matrix::compute(&refs, &DetectorKind::paper_set(), scale, &seeds)
+    }
+
+    /// Look up one run.
+    pub fn get(&self, bench: &str, detector: DetectorKind) -> &RunStats {
+        self.runs
+            .get(&RunKey::new(bench, detector))
+            .unwrap_or_else(|| panic!("run ({bench}, {detector}) not in matrix"))
+    }
+
+    /// Does the matrix hold this run?
+    pub fn contains(&self, bench: &str, detector: DetectorKind) -> bool {
+        self.runs.contains_key(&RunKey::new(bench, detector))
+    }
+
+    /// Benchmarks present, in Table III order.
+    pub fn benches(&self) -> Vec<String> {
+        let order: Vec<String> = asf_workloads::all(Scale::Small)
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect();
+        order
+            .into_iter()
+            .filter(|b| self.runs.keys().any(|k| &k.bench == b))
+            .collect()
+    }
+
+    /// Number of runs held.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when no runs are held.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_matrix_computes_and_indexes() {
+        let m = Matrix::compute(
+            &["ssca2", "intruder"],
+            &[DetectorKind::Baseline, DetectorKind::SubBlock(4)],
+            Scale::Small,
+            &[7, 8],
+        );
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.benches(), vec!["intruder", "ssca2"]);
+        let s = m.get("ssca2", DetectorKind::Baseline);
+        assert!(s.tx_committed > 0);
+        assert!(m.contains("intruder", DetectorKind::SubBlock(4)));
+        assert!(!m.contains("intruder", DetectorKind::Perfect));
+    }
+
+    #[test]
+    fn matrix_is_deterministic() {
+        let a = Matrix::compute(&["ssca2"], &[DetectorKind::Baseline], Scale::Small, &[3]);
+        let b = Matrix::compute(&["ssca2"], &[DetectorKind::Baseline], Scale::Small, &[3]);
+        let (sa, sb) = (
+            a.get("ssca2", DetectorKind::Baseline),
+            b.get("ssca2", DetectorKind::Baseline),
+        );
+        assert_eq!(sa.cycles, sb.cycles);
+        assert_eq!(sa.conflicts, sb.conflicts);
+    }
+}

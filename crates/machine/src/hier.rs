@@ -1,0 +1,192 @@
+//! Per-core private cache hierarchy: L1 with speculative metadata, plus
+//! timing-only L2/L3 tag arrays, plus the retained-metadata side table.
+
+use asf_core::spec::SpecState;
+use asf_mem::addr::LineAddr;
+use asf_mem::cache::CacheArray;
+use asf_mem::config::MachineConfig;
+use asf_mem::latency::AccessLevel;
+use asf_mem::moesi::MoesiState;
+use std::collections::HashMap;
+
+/// L1 per-line metadata: coherence state + speculative record.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LineMeta {
+    /// MOESI coherence state.
+    pub moesi: MoesiState,
+    /// Speculative access record of the local running transaction (empty
+    /// when the core is not in a transaction).
+    pub spec: SpecState,
+}
+
+/// One core's private hierarchy.
+#[derive(Debug)]
+pub struct CoreCaches {
+    /// L1 data cache with speculative metadata.
+    pub l1: CacheArray<LineMeta>,
+    /// Timing-only L2 tag array.
+    pub l2: CacheArray<()>,
+    /// Timing-only L3 tag array.
+    pub l3: CacheArray<()>,
+    /// Speculative metadata of lines invalidated by non-conflicting remote
+    /// writes (false WAR survivals): the paper keeps it "inside the
+    /// invalidated cache line"; we keep it beside the cache. Checked by
+    /// every incoming probe and folded back on refetch.
+    pub retained: HashMap<LineAddr, SpecState>,
+    /// Lines currently carrying speculative state (live or retained) —
+    /// cleared in O(set size) at commit/abort instead of scanning the L1.
+    pub spec_lines: Vec<LineAddr>,
+}
+
+impl CoreCaches {
+    /// Build an empty hierarchy per the machine configuration.
+    pub fn new(cfg: &MachineConfig) -> CoreCaches {
+        CoreCaches {
+            l1: CacheArray::new(cfg.l1),
+            l2: CacheArray::new(cfg.l2),
+            l3: CacheArray::new(cfg.l3),
+            retained: HashMap::new(),
+            spec_lines: Vec::new(),
+        }
+    }
+
+    /// Record that `line` now carries speculative state.
+    pub fn note_spec_line(&mut self, line: LineAddr) {
+        if !self.spec_lines.contains(&line) {
+            self.spec_lines.push(line);
+        }
+    }
+
+    /// Where would a fill for `line` be satisfied locally (L2/L3), if at
+    /// all? (L1 was already checked and missed; remote supply is decided by
+    /// the fabric.)
+    pub fn local_fill_level(&self, line: LineAddr) -> Option<AccessLevel> {
+        if self.l2.contains(line) {
+            Some(AccessLevel::L2)
+        } else if self.l3.contains(line) {
+            Some(AccessLevel::L3)
+        } else {
+            None
+        }
+    }
+
+    /// Install `line` into L2 and L3 on a fill from below (timing model
+    /// only; evictions there are silent).
+    pub fn fill_outer(&mut self, line: LineAddr) {
+        let _ = self.l2.insert(line, (), |_| false);
+        let _ = self.l3.insert(line, (), |_| false);
+    }
+
+    /// Invalidate every level's copy of `line` (remote write probe).
+    pub fn invalidate_all_levels(&mut self, line: LineAddr) -> Option<LineMeta> {
+        let m = self.l1.remove(line);
+        self.l2.remove(line);
+        self.l3.remove(line);
+        m
+    }
+
+    /// Clear all speculative state (commit or abort).
+    ///
+    /// `invalidate_written` — on abort, lines the transaction speculatively
+    /// wrote are discarded from the L1 (their hardware data would be the
+    /// speculative values); on commit they stay (now-committed data).
+    pub fn clear_spec(&mut self, invalidate_written: bool) {
+        let lines = std::mem::take(&mut self.spec_lines);
+        for line in lines {
+            if let Some(meta) = self.l1.peek_mut(line) {
+                let wrote = meta.spec.write_mask.any();
+                meta.spec.gang_clear();
+                if invalidate_written && wrote {
+                    self.l1.remove(line);
+                    self.l2.remove(line);
+                    self.l3.remove(line);
+                }
+            }
+        }
+        self.retained.clear();
+    }
+
+    /// Total speculative lines currently tracked (live + retained).
+    pub fn spec_footprint(&self) -> usize {
+        self.spec_lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asf_mem::addr::Addr;
+    use asf_mem::mask::AccessMask;
+
+    fn line(n: u64) -> LineAddr {
+        Addr(n * 64).line()
+    }
+
+    fn caches() -> CoreCaches {
+        CoreCaches::new(&MachineConfig::tiny_l1(1))
+    }
+
+    #[test]
+    fn fill_levels() {
+        let mut c = caches();
+        assert_eq!(c.local_fill_level(line(1)), None);
+        c.fill_outer(line(1));
+        assert_eq!(c.local_fill_level(line(1)), Some(AccessLevel::L2));
+        c.l2.remove(line(1));
+        assert_eq!(c.local_fill_level(line(1)), Some(AccessLevel::L3));
+    }
+
+    #[test]
+    fn invalidate_all_levels_removes_everywhere() {
+        let mut c = caches();
+        c.fill_outer(line(2));
+        c.l1.insert(line(2), LineMeta::default(), |_| false).unwrap();
+        let m = c.invalidate_all_levels(line(2));
+        assert!(m.is_some());
+        assert!(!c.l1.contains(line(2)));
+        assert!(!c.l2.contains(line(2)));
+        assert!(!c.l3.contains(line(2)));
+    }
+
+    #[test]
+    fn clear_spec_on_commit_keeps_written_lines() {
+        let mut c = caches();
+        let mut meta = LineMeta::default();
+        meta.spec.mark_write(AccessMask::from_range(0, 8));
+        meta.moesi = MoesiState::Modified;
+        c.l1.insert(line(3), meta, |_| false).unwrap();
+        c.note_spec_line(line(3));
+        c.clear_spec(false); // commit
+        let m = c.l1.peek(line(3)).unwrap();
+        assert!(m.spec.is_empty());
+        assert!(c.l1.contains(line(3)));
+        assert_eq!(c.spec_footprint(), 0);
+    }
+
+    #[test]
+    fn clear_spec_on_abort_drops_written_lines() {
+        let mut c = caches();
+        let mut wmeta = LineMeta::default();
+        wmeta.spec.mark_write(AccessMask::from_range(0, 8));
+        c.l1.insert(line(3), wmeta, |_| false).unwrap();
+        c.note_spec_line(line(3));
+        let mut rmeta = LineMeta::default();
+        rmeta.spec.mark_read(AccessMask::from_range(0, 8));
+        c.l1.insert(line(5), rmeta, |_| false).unwrap();
+        c.note_spec_line(line(5));
+        c.retained.insert(line(7), SpecState::EMPTY);
+        c.clear_spec(true); // abort
+        assert!(!c.l1.contains(line(3)), "spec-written line invalidated");
+        assert!(c.l1.contains(line(5)), "spec-read line survives");
+        assert!(c.l1.peek(line(5)).unwrap().spec.is_empty());
+        assert!(c.retained.is_empty());
+    }
+
+    #[test]
+    fn note_spec_line_dedups() {
+        let mut c = caches();
+        c.note_spec_line(line(1));
+        c.note_spec_line(line(1));
+        assert_eq!(c.spec_footprint(), 1);
+    }
+}

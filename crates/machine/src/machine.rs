@@ -1,0 +1,1270 @@
+//! The simulator engine: scheduler, coherence fabric, HTM execution.
+
+use crate::hier::{CoreCaches, LineMeta};
+use crate::trace::{RingTrace, TraceEvent};
+use crate::txprog::{ThreadProgram, TxAttempt, TxOp, WorkItem, Workload};
+use crate::value::{GlobalMemory, WriteSet};
+use asf_core::backoff::ExponentialBackoff;
+use asf_core::detector::{DetectorKind, ProbeKind, ProbeOutcome};
+use asf_core::signature::Signature;
+use asf_core::spec::SpecState;
+use asf_mem::addr::{Access, Addr, CoreId, LineAddr};
+use asf_mem::config::MachineConfig;
+use asf_mem::latency::AccessLevel;
+use asf_mem::mask::AccessMask;
+use asf_mem::moesi::{CoherenceKind, MoesiState};
+use asf_mem::rng::SimRng;
+use asf_stats::run::{AbortCause, RunStats};
+
+/// Which transaction survives a detected conflict.
+///
+/// ASF (and the paper) use requester-wins: the core whose probe detects the
+/// conflict proceeds and the probed transaction aborts. Victim-wins is the
+/// opposite ablation — the requester aborts its own transaction and retries
+/// — exposing how much of the results depend on the resolution policy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ResolutionPolicy {
+    /// The probing core wins; the probed transaction aborts (ASF).
+    RequesterWins,
+    /// The probed transaction survives; the requester aborts (ablation).
+    VictimWins,
+}
+
+/// Adaptive sub-blocking (future-work extension): lines start at *line*
+/// granularity (2 state bits) and are promoted to `fine` sub-blocks only
+/// after `promote_after` false conflicts hit them — a predictor-table
+/// design that spends the paper's §IV-E state bits only where false
+/// sharing actually occurs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AdaptiveConfig {
+    /// False conflicts on a line before it is promoted.
+    pub promote_after: u32,
+    /// Sub-block count used for promoted lines (power of two in 2..=64).
+    pub fine: usize,
+}
+
+impl AdaptiveConfig {
+    /// The configuration used by the `adaptive` experiment: promote after
+    /// two false conflicts, track promoted lines at 8 sub-blocks.
+    pub fn standard() -> AdaptiveConfig {
+        AdaptiveConfig { promote_after: 2, fine: 8 }
+    }
+}
+
+/// How coherence probes find their targets.
+///
+/// Opteron-era AMD systems broadcast probes over HyperTransport; later
+/// parts added a probe filter ("HT Assist") that tracks which caches may
+/// hold a line and probes only those. The filter is conservative (stale
+/// entries from silent evictions are only cleaned by invalidations), so
+/// every outcome is identical to broadcast — only
+/// [`asf_stats::run::RunStats::probe_targets`] shrinks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FabricKind {
+    /// Probe every other core (the paper's setting).
+    Broadcast,
+    /// Probe only cores the directory says may hold the line (or retain
+    /// speculative metadata for it).
+    ProbeFilter,
+}
+
+/// Signature-based conflict detection (LogTM-SE style, paper §II): each
+/// core summarises its read and write sets in Bloom filters over line
+/// addresses. Footprints become unbounded (no capacity aborts), but hash
+/// aliasing adds a new source of false conflicts, and detection is
+/// line-granular (no sub-blocking).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SignatureConfig {
+    /// Filter size in bits (per set, per core).
+    pub bits: usize,
+    /// Number of partitioned hash functions.
+    pub hashes: u32,
+}
+
+impl SignatureConfig {
+    /// The LogTM-SE hardware-typical configuration (1024 bits, 4 hashes).
+    pub fn logtm_se() -> SignatureConfig {
+        SignatureConfig { bits: 1024, hashes: 4 }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Physical machine (cores, caches, latencies).
+    pub machine: MachineConfig,
+    /// Conflict-detection system under test.
+    pub detector: DetectorKind,
+    /// Base window of the software exponential backoff, in cycles.
+    pub backoff_base: u64,
+    /// Exponent cap of the backoff window.
+    pub backoff_cap_exp: u32,
+    /// Consecutive aborts after which a transaction falls back to the
+    /// global software lock.
+    pub max_retries: u32,
+    /// Model the dirty-state mechanism (§IV-C). Disabling it is an ablation
+    /// that reproduces the Figure 6 atomicity hazards, visible as
+    /// `isolation_violations` in the run statistics.
+    pub enable_dirty: bool,
+    /// Conflict-resolution policy (ASF: requester wins).
+    pub resolution: ResolutionPolicy,
+    /// Probe-target selection (broadcast vs probe filter); outcomes are
+    /// identical, probe traffic differs.
+    pub fabric: FabricKind,
+    /// Signature-based (LogTM-SE style) conflict detection instead of the
+    /// per-line/per-sub-block state machines. When set, `detector` is only
+    /// used for the oracle's false/true classification granularity and
+    /// conflicts come from Bloom-filter membership; speculative lines are
+    /// not pinned (no capacity aborts).
+    pub signatures: Option<SignatureConfig>,
+    /// Coherence protocol family: MOESI (the paper) or MESI (ablation —
+    /// dirty lines write back instead of staying Owned, shifting some data
+    /// supplies from remote caches to the local hierarchy).
+    pub coherence: CoherenceKind,
+    /// Adaptive sub-blocking: when set, `detector` gives the *cold* (default
+    /// line-granularity is `DetectorKind::Baseline`) granularity and lines
+    /// with repeated false conflicts are promoted to `adaptive.fine`
+    /// sub-blocks. Dirty/piggy-back machinery follows the per-line
+    /// granularity automatically (all state is byte-exact).
+    pub adaptive: Option<AdaptiveConfig>,
+    /// DPTM-style WAR speculation (the related-work mode of paper §II):
+    /// invalidating probes that would only WAR-conflict do *not* abort the
+    /// victim; instead the victim validates its read values at commit and
+    /// aborts on mismatch. Handles WAR false conflicts only — RAW and WAW
+    /// behave as in the baseline — and imposes lazy detection, exactly the
+    /// shortcomings the paper describes. Requires requester-wins.
+    pub war_speculation: bool,
+    /// Uniform per-access latency jitter in cycles (0 = the paper's fixed
+    /// Table II latencies). Drawn from the core's deterministic RNG, so
+    /// runs remain reproducible; useful for checking that results are not
+    /// artifacts of perfectly regular timing.
+    pub latency_jitter: u64,
+    /// Master seed; every core derives an independent stream.
+    pub seed: u64,
+    /// Watchdog: panic if the scheduler exceeds this many steps (guards the
+    /// test suite against livelock regressions).
+    pub max_steps: u64,
+}
+
+impl SimConfig {
+    /// Paper-standard configuration for a given detector.
+    pub fn paper(detector: DetectorKind) -> SimConfig {
+        SimConfig {
+            machine: MachineConfig::opteron_8core(),
+            detector,
+            backoff_base: 64,
+            backoff_cap_exp: 10,
+            max_retries: 64,
+            enable_dirty: true,
+            resolution: ResolutionPolicy::RequesterWins,
+            fabric: FabricKind::Broadcast,
+            coherence: CoherenceKind::Moesi,
+            signatures: None,
+            adaptive: None,
+            war_speculation: false,
+            latency_jitter: 0,
+            seed: 0x05ee_da5f_2013,
+            max_steps: 2_000_000_000,
+        }
+    }
+
+    /// Same, with an explicit seed.
+    pub fn paper_seeded(detector: DetectorKind, seed: u64) -> SimConfig {
+        SimConfig { seed, ..SimConfig::paper(detector) }
+    }
+}
+
+/// What a finished run returns.
+#[derive(Debug)]
+pub struct SimOutput {
+    /// All measurements.
+    pub stats: RunStats,
+    /// Final committed memory (tests verify serializability against it).
+    pub memory: GlobalMemory,
+    /// The event log, when tracing was enabled before the run.
+    pub trace: Option<RingTrace>,
+    /// Adaptive mode: lines promoted to fine-grained tracking (0 otherwise).
+    pub promoted_lines: usize,
+}
+
+/// Control state of one core.
+#[derive(Debug)]
+enum CoreState {
+    /// Ready to fetch the next work item.
+    Idle,
+    /// Busy with local compute until the given cycle.
+    Compute { until: u64 },
+    /// Executing a transaction attempt.
+    InTx { attempt: TxAttempt, pc: usize },
+    /// Waiting out backoff before retrying `attempt`.
+    Backoff { until: u64, attempt: TxAttempt },
+    /// Spinning on the global fallback lock.
+    AwaitLock { attempt: TxAttempt },
+    /// Holding the fallback lock, executing `attempt` non-transactionally.
+    Fallback { attempt: TxAttempt, pc: usize },
+    /// Executing a non-transactional op sequence.
+    Plain { ops: Vec<TxOp>, pc: usize },
+    /// Program exhausted.
+    Done,
+}
+
+struct Core {
+    clock: u64,
+    caches: CoreCaches,
+    program: Box<dyn ThreadProgram>,
+    state: CoreState,
+    pending: Option<WorkItem>,
+    writeset: WriteSet,
+    backoff: ExponentialBackoff,
+    rng: SimRng,
+    /// Set (with its cause) when a remote probe or self-detected condition
+    /// aborted the running attempt; consumed at the core's next step.
+    abort_pending: Option<AbortCause>,
+    consec_aborts: u32,
+    /// Signature mode: Bloom summaries of the running attempt's sets.
+    read_sig: Option<Signature>,
+    write_sig: Option<Signature>,
+    /// DPTM mode: byte values observed by this attempt's reads.
+    read_log: std::collections::HashMap<u64, u8>,
+    /// DPTM mode: a WAR probe was speculated through; commit must validate.
+    needs_validation: bool,
+}
+
+impl Core {
+    fn in_running_tx(&self) -> bool {
+        matches!(self.state, CoreState::InTx { .. }) && self.abort_pending.is_none()
+    }
+}
+
+/// Result of broadcasting one probe.
+#[derive(Debug, Default, Clone, Copy)]
+struct ProbeSummary {
+    others_had_copy: bool,
+    owner_supplied: bool,
+    piggyback: AccessMask,
+}
+
+/// The simulator.
+pub struct Machine {
+    cfg: SimConfig,
+    cores: Vec<Core>,
+    memory: GlobalMemory,
+    stats: RunStats,
+    fallback_owner: Option<usize>,
+    steps: u64,
+    trace: Option<RingTrace>,
+    /// Adaptive mode: per-line false-conflict heat (the predictor table).
+    line_heat: std::collections::HashMap<LineAddr, u32>,
+    /// Probe-filter directory: cores that may hold each line (bitmask).
+    directory: std::collections::HashMap<LineAddr, u64>,
+    /// Scratch buffer for probe-target lists (avoids per-probe allocation
+    /// on the simulator's hottest path).
+    scratch_targets: Vec<usize>,
+}
+
+impl Machine {
+    /// Build a machine running `workload` on every core.
+    pub fn new(workload: &dyn Workload, cfg: SimConfig) -> Machine {
+        cfg.detector.validate().expect("invalid detector configuration");
+        assert!(
+            !(cfg.war_speculation && cfg.resolution == ResolutionPolicy::VictimWins),
+            "WAR speculation requires requester-wins resolution"
+        );
+        assert!(
+            cfg.fabric == FabricKind::Broadcast || cfg.machine.cores <= 64,
+            "the probe-filter directory supports at most 64 cores"
+        );
+        assert!(
+            !(cfg.signatures.is_some() && (cfg.adaptive.is_some() || cfg.war_speculation)),
+            "signature detection does not compose with adaptive or WAR-speculation modes"
+        );
+        assert!(
+            !(cfg.signatures.is_some() && cfg.resolution == ResolutionPolicy::VictimWins),
+            "signature detection is implemented for requester-wins only"
+        );
+        if let Some(a) = cfg.adaptive {
+            DetectorKind::SubBlock(a.fine)
+                .validate()
+                .expect("invalid adaptive fine granularity");
+            assert!(a.promote_after >= 1, "promotion threshold must be positive");
+        }
+        let n = cfg.machine.cores;
+        let cores = (0..n)
+            .map(|tid| Core {
+                clock: 0,
+                caches: CoreCaches::new(&cfg.machine),
+                program: workload.spawn(tid, n, cfg.seed),
+                state: CoreState::Idle,
+                pending: None,
+                writeset: WriteSet::default(),
+                backoff: ExponentialBackoff::new(cfg.backoff_base, cfg.backoff_cap_exp),
+                rng: SimRng::derive(cfg.seed, tid as u64 + 1),
+                abort_pending: None,
+                consec_aborts: 0,
+                read_sig: cfg.signatures.map(|sc| Signature::new(sc.bits, sc.hashes)),
+                write_sig: cfg.signatures.map(|sc| Signature::new(sc.bits, sc.hashes)),
+                read_log: std::collections::HashMap::new(),
+                needs_validation: false,
+            })
+            .collect();
+        Machine {
+            cfg,
+            cores,
+            memory: GlobalMemory::new(),
+            stats: RunStats::default(),
+            fallback_owner: None,
+            steps: 0,
+            trace: None,
+            line_heat: std::collections::HashMap::new(),
+            directory: std::collections::HashMap::new(),
+            scratch_targets: Vec::new(),
+        }
+    }
+
+    /// Probe-filter: note that `who` may now cache `line`.
+    #[inline]
+    fn dir_add(&mut self, line: LineAddr, who: usize) {
+        if self.cfg.fabric == FabricKind::ProbeFilter {
+            *self.directory.entry(line).or_insert(0) |= 1 << who;
+        }
+    }
+
+    /// Cores a probe for `line` from `who` must visit, written into the
+    /// reusable scratch buffer (the caller takes it and must put it back).
+    fn probe_targets(&mut self, who: usize, line: LineAddr) -> Vec<usize> {
+        let mut out = std::mem::take(&mut self.scratch_targets);
+        out.clear();
+        match self.cfg.fabric {
+            FabricKind::Broadcast => {
+                out.extend((0..self.cores.len()).filter(|&v| v != who));
+            }
+            FabricKind::ProbeFilter => {
+                let bits = self.directory.get(&line).copied().unwrap_or(0);
+                out.extend(
+                    (0..self.cores.len()).filter(|&v| v != who && bits & (1 << v) != 0),
+                );
+            }
+        }
+        out
+    }
+
+    /// Return the scratch buffer after a probe loop.
+    #[inline]
+    fn put_back_targets(&mut self, buf: Vec<usize>) {
+        self.scratch_targets = buf;
+    }
+
+    /// The detector effective for `line` (adaptive mode promotes hot lines).
+    #[inline]
+    fn effective_detector(&self, line: LineAddr) -> DetectorKind {
+        match self.cfg.adaptive {
+            None => self.cfg.detector,
+            Some(a) => {
+                if self.line_heat.get(&line).copied().unwrap_or(0) >= a.promote_after {
+                    DetectorKind::SubBlock(a.fine)
+                } else {
+                    self.cfg.detector
+                }
+            }
+        }
+    }
+
+    /// Adaptive mode: account a false conflict against `line`.
+    #[inline]
+    fn heat_line(&mut self, line: LineAddr) {
+        if self.cfg.adaptive.is_some() {
+            *self.line_heat.entry(line).or_insert(0) += 1;
+        }
+    }
+
+    /// Lines promoted to fine granularity so far (adaptive mode; the
+    /// "state bits actually spent" metric of the adaptive experiment).
+    pub fn promoted_lines(&self) -> usize {
+        match self.cfg.adaptive {
+            None => 0,
+            Some(a) => self
+                .line_heat
+                .values()
+                .filter(|&&h| h >= a.promote_after)
+                .count(),
+        }
+    }
+
+    /// Enable event tracing with a ring buffer of `cap` events. Call before
+    /// running; the log is returned in [`SimOutput::trace`].
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some(RingTrace::new(cap));
+    }
+
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(ev);
+        }
+    }
+
+    /// Convenience: build and run to completion.
+    pub fn run(workload: &dyn Workload, cfg: SimConfig) -> SimOutput {
+        let mut m = Machine::new(workload, cfg);
+        m.run_to_completion()
+    }
+
+    /// Drive the scheduler until every program finishes.
+    pub fn run_to_completion(&mut self) -> SimOutput {
+        while self.step() {
+            self.steps += 1;
+            assert!(
+                self.steps < self.cfg.max_steps,
+                "simulation watchdog tripped after {} steps (livelock?)",
+                self.steps
+            );
+        }
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.cycles = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
+        let promoted_lines = self.promoted_lines();
+        SimOutput {
+            stats,
+            memory: std::mem::take(&mut self.memory),
+            trace: self.trace.take(),
+            promoted_lines,
+        }
+    }
+
+    /// Execute one scheduler step; false when all cores are done.
+    fn step(&mut self) -> bool {
+        let who = match self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !matches!(c.state, CoreState::Done))
+            .min_by_key(|(i, c)| (c.clock, *i))
+        {
+            Some((i, _)) => i,
+            None => return false,
+        };
+        self.step_core(who);
+        true
+    }
+
+    fn step_core(&mut self, who: usize) {
+        // A pending abort always takes priority: the attempt is already
+        // dead (its speculative state was torn down at probe time).
+        if let Some(cause) = self.cores[who].abort_pending.take() {
+            if let CoreState::InTx { attempt, .. } =
+                std::mem::replace(&mut self.cores[who].state, CoreState::Idle)
+            {
+                self.after_abort(who, cause, attempt);
+            }
+            return;
+        }
+
+        match std::mem::replace(&mut self.cores[who].state, CoreState::Idle) {
+            CoreState::Idle => self.dispatch_next_item(who),
+            CoreState::Compute { until } => {
+                self.cores[who].clock = self.cores[who].clock.max(until);
+                self.cores[who].state = CoreState::Idle;
+            }
+            CoreState::InTx { attempt, pc } => self.step_tx(who, attempt, pc),
+            CoreState::Backoff { until, attempt } => {
+                self.cores[who].clock = self.cores[who].clock.max(until);
+                self.stats.on_attempt();
+                let (cycle, retry) = (self.cores[who].clock, self.cores[who].consec_aborts);
+                self.emit(TraceEvent::TxBegin { core: who, cycle, retry });
+                self.cores[who].state = CoreState::InTx { attempt, pc: 0 };
+            }
+            CoreState::AwaitLock { attempt } => {
+                if self.fallback_owner.is_none() {
+                    self.acquire_fallback(who);
+                    self.cores[who].state = CoreState::Fallback { attempt, pc: 0 };
+                } else {
+                    // Spin; re-check in a little while.
+                    self.cores[who].clock += 64;
+                    self.cores[who].state = CoreState::AwaitLock { attempt };
+                }
+            }
+            CoreState::Fallback { attempt, pc } => self.step_fallback(who, attempt, pc),
+            CoreState::Plain { ops, pc } => self.step_plain(who, ops, pc),
+            CoreState::Done => unreachable!("done cores are never scheduled"),
+        }
+    }
+
+    fn dispatch_next_item(&mut self, who: usize) {
+        let item = match self.cores[who].pending.take() {
+            Some(it) => Some(it),
+            None => self.cores[who].program.next_item(),
+        };
+        match item {
+            None => self.cores[who].state = CoreState::Done,
+            Some(WorkItem::Compute { cycles }) => {
+                self.cores[who].state =
+                    CoreState::Compute { until: self.cores[who].clock + cycles };
+            }
+            Some(WorkItem::Plain(ops)) => {
+                self.cores[who].state = CoreState::Plain { ops, pc: 0 };
+            }
+            Some(WorkItem::Tx(attempt)) => {
+                // Transactions subscribe to the fallback lock: they cannot
+                // start while it is held.
+                if self.fallback_owner.is_some() {
+                    self.cores[who].clock += 64;
+                    self.cores[who].pending = Some(WorkItem::Tx(attempt));
+                    return;
+                }
+                let now = self.cores[who].clock;
+                self.stats.on_tx_start(now);
+                self.stats.on_attempt();
+                self.emit(TraceEvent::TxBegin { core: who, cycle: now, retry: 0 });
+                self.cores[who].state = CoreState::InTx { attempt, pc: 0 };
+            }
+        }
+    }
+
+    fn step_tx(&mut self, who: usize, attempt: TxAttempt, pc: usize) {
+        if pc >= attempt.ops.len() {
+            self.commit(who, attempt);
+            return;
+        }
+        let op = attempt.ops[pc];
+        match self.exec_op(who, op, true) {
+            Ok(()) => {
+                // The op itself may have triggered a self-abort via a remote
+                // probe racing us? No — sequential engine; but capacity/user
+                // aborts surface through Err. Continue.
+                self.cores[who].state = CoreState::InTx { attempt, pc: pc + 1 };
+            }
+            Err(cause) => {
+                // Self-detected abort: tear down speculative state now.
+                self.teardown_tx(who);
+                self.after_abort(who, cause, attempt);
+            }
+        }
+    }
+
+    fn step_fallback(&mut self, who: usize, attempt: TxAttempt, pc: usize) {
+        if pc >= attempt.ops.len() {
+            self.fallback_owner = None;
+            let cycle = self.cores[who].clock;
+            self.emit(TraceEvent::FallbackRelease { core: who, cycle });
+            self.stats.on_commit();
+            self.stats.fallback_commits += 1;
+            self.stats.on_final_retries(self.cores[who].consec_aborts);
+            self.cores[who].consec_aborts = 0;
+            self.cores[who].backoff.on_commit();
+            self.cores[who].state = CoreState::Idle;
+            return;
+        }
+        let op = attempt.ops[pc];
+        // Non-transactional execution: UserAbort is a no-op here (the
+        // fallback path of a user-abortable region simply runs it).
+        let op = match op {
+            TxOp::UserAbort { .. } => TxOp::Compute { cycles: 1 },
+            other => other,
+        };
+        self.exec_op(who, op, false).expect("non-tx ops cannot abort");
+        self.cores[who].state = CoreState::Fallback { attempt, pc: pc + 1 };
+    }
+
+    fn step_plain(&mut self, who: usize, ops: Vec<TxOp>, pc: usize) {
+        if pc >= ops.len() {
+            self.cores[who].state = CoreState::Idle;
+            return;
+        }
+        let op = match ops[pc] {
+            TxOp::UserAbort { .. } => TxOp::Compute { cycles: 1 },
+            other => other,
+        };
+        self.exec_op(who, op, false).expect("non-tx ops cannot abort");
+        self.cores[who].state = CoreState::Plain { ops, pc: pc + 1 };
+    }
+
+    fn acquire_fallback(&mut self, who: usize) {
+        let cycle = self.cores[who].clock;
+        self.emit(TraceEvent::FallbackAcquire { core: who, cycle });
+        self.fallback_owner = Some(who);
+        // Writing the lock word aborts every subscribed (running) txn.
+        for v in 0..self.cores.len() {
+            if v != who && self.cores[v].in_running_tx() {
+                self.abort_victim(v, AbortCause::LockFallback);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / abort machinery
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self, who: usize, attempt: TxAttempt) {
+        // DPTM mode: validate speculated reads before committing.
+        if self.cfg.war_speculation && self.cores[who].needs_validation {
+            let stale = {
+                let core = &self.cores[who];
+                core.read_log.iter().any(|(&addr, &logged)| {
+                    !core.writeset.overlaps(Addr(addr), 1)
+                        && (self.memory.read_u64(Addr(addr), 1) & 0xff) as u8 != logged
+                })
+            };
+            if stale {
+                self.teardown_tx(who);
+                self.after_abort(who, AbortCause::Validation, attempt);
+                return;
+            }
+        }
+        let cycle = self.cores[who].clock;
+        self.emit(TraceEvent::TxCommit { core: who, cycle });
+        let core = &mut self.cores[who];
+        core.writeset.publish(&mut self.memory);
+        core.caches.clear_spec(false);
+        if let Some(sig) = core.read_sig.as_mut() {
+            sig.clear();
+        }
+        if let Some(sig) = core.write_sig.as_mut() {
+            sig.clear();
+        }
+        core.read_log.clear();
+        core.needs_validation = false;
+        core.backoff.on_commit();
+        self.stats.on_commit();
+        self.stats.on_final_retries(core.consec_aborts);
+        core.consec_aborts = 0;
+        core.state = CoreState::Idle;
+        // Commit is a local gang-clear; charge a small fixed cost.
+        core.clock += 3;
+    }
+
+    /// Tear down the speculative state of `who`'s running attempt (used for
+    /// both remote-probe aborts and self-detected aborts).
+    fn teardown_tx(&mut self, who: usize) {
+        let core = &mut self.cores[who];
+        core.writeset.discard();
+        core.caches.clear_spec(true);
+        if let Some(sig) = core.read_sig.as_mut() {
+            sig.clear();
+        }
+        if let Some(sig) = core.write_sig.as_mut() {
+            sig.clear();
+        }
+        core.read_log.clear();
+        core.needs_validation = false;
+    }
+
+    /// Abort a remote victim at probe time.
+    fn abort_victim(&mut self, victim: usize, cause: AbortCause) {
+        self.teardown_tx(victim);
+        self.cores[victim].abort_pending = Some(cause);
+    }
+
+    /// Book-keeping after an abort: backoff or fall back to the lock.
+    fn after_abort(&mut self, who: usize, cause: AbortCause, attempt: TxAttempt) {
+        self.stats.on_abort(cause);
+        let cycle = self.cores[who].clock;
+        self.emit(TraceEvent::TxAbort { core: who, cycle, cause });
+        let core = &mut self.cores[who];
+        core.consec_aborts += 1;
+        if core.consec_aborts > self.cfg.max_retries {
+            core.state = CoreState::AwaitLock { attempt };
+            return;
+        }
+        let delay = core.backoff.on_abort(&mut core.rng);
+        self.stats.backoff_cycles += delay;
+        core.state = CoreState::Backoff { until: core.clock + delay, attempt };
+    }
+
+    // ------------------------------------------------------------------
+    // Memory operations
+    // ------------------------------------------------------------------
+
+    /// Execute one op for `who`. `transactional` selects speculative
+    /// bookkeeping. Returns `Err(cause)` for self-detected aborts.
+    fn exec_op(&mut self, who: usize, op: TxOp, transactional: bool) -> Result<(), AbortCause> {
+        match op {
+            TxOp::Compute { cycles } => {
+                self.cores[who].clock += cycles;
+                Ok(())
+            }
+            TxOp::WaitUntil { cycle } => {
+                let c = &mut self.cores[who];
+                c.clock = c.clock.max(cycle);
+                Ok(())
+            }
+            TxOp::UserAbort { num, den } => {
+                debug_assert!(transactional, "UserAbort outside tx is filtered by callers");
+                if self.cores[who].rng.chance(num as u64, den as u64) {
+                    Err(AbortCause::User)
+                } else {
+                    Ok(())
+                }
+            }
+            TxOp::Read { addr, size } => {
+                self.access(who, Access::read(addr, size), transactional)?;
+                if transactional {
+                    self.isolation_check(who, addr, size);
+                    self.log_read(who, addr, size);
+                }
+                Ok(())
+            }
+            TxOp::Write { addr, size, value } => {
+                self.access(who, Access::write(addr, size), transactional)?;
+                if transactional {
+                    self.cores[who].writeset.write_u64(addr, size, value);
+                } else {
+                    self.memory.write_u64(addr, size, value);
+                }
+                Ok(())
+            }
+            TxOp::Update { addr, size, delta } => {
+                self.access(who, Access::read(addr, size), transactional)?;
+                if transactional {
+                    self.isolation_check(who, addr, size);
+                    self.log_read(who, addr, size);
+                }
+                self.access(who, Access::write(addr, size), transactional)?;
+                if transactional {
+                    let v = self.cores[who].writeset.read_u64(&self.memory, addr, size);
+                    self.cores[who]
+                        .writeset
+                        .write_u64(addr, size, v.wrapping_add(delta));
+                } else {
+                    let v = self.memory.read_u64(addr, size);
+                    self.memory.write_u64(addr, size, v.wrapping_add(delta));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// DPTM mode: log the byte values a transactional read observed (own
+    /// write-set bytes take precedence, as the hardware forwards them).
+    fn log_read(&mut self, who: usize, addr: Addr, size: u32) {
+        if !self.cfg.war_speculation {
+            return;
+        }
+        for i in 0..size as u64 {
+            let a = Addr(addr.0 + i);
+            let byte = if self.cores[who].writeset.overlaps(a, 1) {
+                (self.cores[who].writeset.read_u64(&self.memory, a, 1) & 0xff) as u8
+            } else {
+                (self.memory.read_u64(a, 1) & 0xff) as u8
+            };
+            self.cores[who].read_log.insert(a.0, byte);
+        }
+    }
+
+    /// The isolation oracle: a transactional read overlapping a live remote
+    /// write set means a conflict went undetected (Figure 6 hazard).
+    ///
+    /// Under DPTM-style WAR speculation the invariant is intentionally
+    /// relaxed (reads may overlap remote writes and validate later), so the
+    /// oracle is disabled in that mode.
+    fn isolation_check(&mut self, who: usize, addr: Addr, size: u32) {
+        if self.cfg.war_speculation {
+            return;
+        }
+        for v in 0..self.cores.len() {
+            if v != who
+                && self.cores[v].in_running_tx()
+                && self.cores[v].writeset.overlaps(addr, size)
+            {
+                self.stats.isolation_violations += 1;
+            }
+        }
+    }
+
+    /// Perform a (possibly multi-line) access, charging latency and doing
+    /// all coherence + HTM work per line fragment.
+    fn access(&mut self, who: usize, acc: Access, transactional: bool) -> Result<(), AbortCause> {
+        let frags: Vec<(LineAddr, usize, usize)> = acc.line_fragments().collect();
+        for (line, off, len) in frags {
+            let mask = AccessMask::from_range(off, len);
+            let latency = self.access_line(who, line, mask, acc.is_write, transactional)?;
+            let jitter = if self.cfg.latency_jitter > 0 {
+                self.cores[who].rng.below(self.cfg.latency_jitter + 1)
+            } else {
+                0
+            };
+            self.cores[who].clock += latency + jitter;
+            if transactional {
+                self.stats.on_access(off, len);
+            }
+        }
+        Ok(())
+    }
+
+    /// One line-fragment access. Returns the charged latency.
+    fn access_line(
+        &mut self,
+        who: usize,
+        line: LineAddr,
+        mask: AccessMask,
+        is_write: bool,
+        transactional: bool,
+    ) -> Result<u64, AbortCause> {
+        let lat = self.cfg.machine.latency;
+        let probe_kind = ProbeKind::for_access(is_write);
+
+        // Classify the local L1 state.
+        let (present, readable, writable, dirty_hit) = {
+            let core = &self.cores[who];
+            match core.caches.l1.peek(line) {
+                Some(meta) => (
+                    true,
+                    meta.moesi.readable(),
+                    meta.moesi.writable(),
+                    transactional
+                        && self.cfg.enable_dirty
+                        && meta.spec.hits_dirty(mask),
+                ),
+                None => (false, false, false, false),
+            }
+        };
+
+        // Fast path: plain L1 hit with sufficient permission and no dirty
+        // bytes under a transactional access.
+        let plain_hit = present && !dirty_hit && if is_write { writable } else { readable };
+        if plain_hit {
+            self.stats.l1_hits += 1;
+            let core = &mut self.cores[who];
+            let meta = core.caches.l1.get(line).expect("present line");
+            if is_write {
+                meta.moesi = meta.moesi.after_local_write();
+            }
+            if transactional {
+                self.mark_spec(who, line, mask, is_write);
+            }
+            return Ok(lat.l1);
+        }
+
+        // Everything else broadcasts a probe.
+        self.stats.l1_misses += 1;
+        if dirty_hit {
+            self.stats.dirty_refetches += 1;
+            let cycle = self.cores[who].clock;
+            self.emit(TraceEvent::DirtyRefetch { core: who, cycle, line });
+        }
+
+        // Victim-wins ablation: if the probe would conflict, the requester
+        // aborts itself instead (the probe is NACKed before mutating any
+        // remote state).
+        if transactional && self.cfg.resolution == ResolutionPolicy::VictimWins {
+            if let Some(cause) = self.victim_wins_check(who, line, mask, probe_kind) {
+                return Err(cause);
+            }
+        }
+
+        let summary = self.probe_others(who, line, mask, probe_kind);
+
+        // Upgrade: line present & readable, we needed write permission.
+        let upgrade = present && readable && is_write && !dirty_hit;
+
+        // Pick the data source / latency.
+        let level = if upgrade {
+            // Permission-only transaction; data already local.
+            AccessLevel::RemoteCache
+        } else if summary.owner_supplied {
+            AccessLevel::RemoteCache
+        } else {
+            self.cores[who]
+                .caches
+                .local_fill_level(line)
+                .unwrap_or(AccessLevel::Memory)
+        };
+
+        // Install / update the line.
+        if present {
+            // Upgrade or dirty refetch: line stays resident.
+            let enable_dirty = self.cfg.enable_dirty;
+            let core = &mut self.cores[who];
+            let meta = core.caches.l1.get(line).expect("present line");
+            meta.moesi = MoesiState::install_for(is_write, summary.others_had_copy);
+            if transactional && enable_dirty {
+                meta.spec.mark_dirty(summary.piggyback);
+            }
+            if dirty_hit {
+                meta.spec.clear_dirty(mask);
+            }
+            if transactional && enable_dirty && summary.piggyback.any() {
+                self.emit(TraceEvent::DirtyMark { core: who, line, mask: summary.piggyback });
+            }
+        } else {
+            // Miss: fill from `level` and insert.
+            self.cores[who].caches.fill_outer(line);
+            let mut spec = self.cores[who]
+                .caches
+                .retained
+                .remove(&line)
+                .unwrap_or(SpecState::EMPTY);
+            if transactional && self.cfg.enable_dirty {
+                spec.mark_dirty(summary.piggyback);
+            }
+            // The probe just fetched coherent data for the accessed bytes:
+            // any retained dirty marking they carried is now stale (a live
+            // conflicting writer would have been aborted by this probe).
+            spec.clear_dirty(mask);
+            let meta = LineMeta {
+                moesi: MoesiState::install_for(is_write, summary.others_had_copy),
+                spec,
+            };
+            // LogTM-style signatures decouple conflict state from the cache:
+            // speculative lines need not be pinned and eviction is legal.
+            let sig_mode = self.cfg.signatures.is_some();
+            let inserted = self.cores[who].caches.l1.insert(line, meta, |m: &LineMeta| {
+                !sig_mode && m.spec.is_speculative()
+            });
+            match inserted {
+                Ok(Some(evicted)) => {
+                    // Keep the oracle's byte-exact record for evicted
+                    // speculative lines (signatures still detect them).
+                    if sig_mode && evicted.meta.spec.is_speculative() {
+                        self.cores[who]
+                            .caches
+                            .retained
+                            .entry(evicted.line)
+                            .or_insert(SpecState::EMPTY)
+                            .merge(&evicted.meta.spec);
+                        self.cores[who].caches.note_spec_line(evicted.line);
+                    }
+                }
+                Ok(None) => {}
+                Err(_full) => {
+                    // Every way pinned by speculative lines: capacity abort.
+                    debug_assert!(transactional, "non-tx access hit a fully pinned set");
+                    return Err(AbortCause::Capacity);
+                }
+            }
+            if transactional && self.cfg.enable_dirty && summary.piggyback.any() {
+                self.emit(TraceEvent::DirtyMark { core: who, line, mask: summary.piggyback });
+            }
+        }
+
+        if transactional {
+            self.mark_spec(who, line, mask, is_write);
+        }
+        self.dir_add(line, who);
+        Ok(lat.for_level(level))
+    }
+
+    /// Record speculative access bits on a resident line.
+    fn mark_spec(&mut self, who: usize, line: LineAddr, mask: AccessMask, is_write: bool) {
+        let core = &mut self.cores[who];
+        let meta = core
+            .caches
+            .l1
+            .peek_mut(line)
+            .expect("spec marking requires a resident line");
+        if is_write {
+            meta.spec.mark_write(mask);
+            if let Some(sig) = core.write_sig.as_mut() {
+                sig.insert(line);
+            }
+        } else {
+            meta.spec.mark_read(mask);
+            if let Some(sig) = core.read_sig.as_mut() {
+                sig.insert(line);
+            }
+        }
+        core.caches.note_spec_line(line);
+    }
+
+    /// Victim-wins pre-scan: would this probe conflict with any remote
+    /// transaction? If so, record the conflict and return the cause the
+    /// *requester* must abort with; no remote state is touched.
+    fn victim_wins_check(
+        &mut self,
+        who: usize,
+        line: LineAddr,
+        mask: AccessMask,
+        kind: ProbeKind,
+    ) -> Option<AbortCause> {
+        let now = self.cores[who].clock;
+        let detector = self.effective_detector(line);
+        let targets = self.probe_targets(who, line);
+        for &v in &targets {
+            if !self.cores[v].in_running_tx() {
+                continue;
+            }
+            let live = self.cores[v]
+                .caches
+                .l1
+                .peek(line)
+                .map(|m| m.spec)
+                .unwrap_or(SpecState::EMPTY);
+            let mut merged = live;
+            if let Some(ret) = self.cores[v].caches.retained.get(&line) {
+                merged.merge(ret);
+            }
+            if !merged.is_speculative() {
+                continue;
+            }
+            if let ProbeOutcome::Conflict { kind: ck, is_true } =
+                detector.check_probe(&merged, kind, mask)
+            {
+                self.stats.on_conflict(ck, is_true, now, line);
+                if !is_true {
+                    self.heat_line(line);
+                }
+                self.emit(TraceEvent::Conflict {
+                    requester: who,
+                    victim: v,
+                    line,
+                    kind: ck,
+                    is_true,
+                });
+                self.put_back_targets(targets);
+                return Some(AbortCause::Conflict { kind: ck, is_true });
+            }
+        }
+        self.put_back_targets(targets);
+        None
+    }
+
+    /// Broadcast a probe for `line`/`mask` from `who` to all other cores:
+    /// conflict-check live and retained speculative state, update remote
+    /// MOESI, collect piggy-back bits and data-source information.
+    fn probe_others(
+        &mut self,
+        who: usize,
+        line: LineAddr,
+        mask: AccessMask,
+        kind: ProbeKind,
+    ) -> ProbeSummary {
+        self.stats.probes += 1;
+        let now = self.cores[who].clock;
+        self.emit(TraceEvent::Probe {
+            core: who,
+            cycle: now,
+            line,
+            mask,
+            invalidating: kind.invalidates(),
+        });
+        let detector = self.effective_detector(line);
+        let mut summary = ProbeSummary::default();
+        let targets = self.probe_targets(who, line);
+        self.stats.probe_targets += targets.len() as u64;
+        let mut retained_mask: u64 = 0;
+
+        for &v in &targets {
+
+            // --- Conflict detection against live + retained state --------
+            if self.cores[v].in_running_tx() {
+                let live = self.cores[v]
+                    .caches
+                    .l1
+                    .peek(line)
+                    .map(|m| m.spec)
+                    .unwrap_or(SpecState::EMPTY);
+                let mut merged = live;
+                if let Some(ret) = self.cores[v].caches.retained.get(&line) {
+                    merged.merge(ret);
+                }
+                if self.cfg.signatures.is_some() {
+                    // LogTM-SE style: membership tests against the victim's
+                    // Bloom signatures; aliases conflict too.
+                    let write_hit = self.cores[v]
+                        .write_sig
+                        .as_ref()
+                        .is_some_and(|sig| sig.maybe_contains(line));
+                    let read_hit = self.cores[v]
+                        .read_sig
+                        .as_ref()
+                        .is_some_and(|sig| sig.maybe_contains(line));
+                    let fired = match kind {
+                        ProbeKind::NonInvalidating => write_hit,
+                        ProbeKind::Invalidating => write_hit || read_hit,
+                    };
+                    if fired {
+                        use asf_core::detector::ConflictType as Ct;
+                        let true_w = mask.overlaps(merged.write_mask);
+                        let true_r = mask.overlaps(merged.read_mask);
+                        let (ck, is_true) = match kind {
+                            ProbeKind::NonInvalidating => (Ct::ReadAfterWrite, true_w),
+                            ProbeKind::Invalidating => {
+                                if true_w {
+                                    (Ct::WriteAfterWrite, true)
+                                } else if true_r {
+                                    (Ct::WriteAfterRead, true)
+                                } else if write_hit {
+                                    (Ct::WriteAfterWrite, false)
+                                } else {
+                                    (Ct::WriteAfterRead, false)
+                                }
+                            }
+                        };
+                        if !merged.is_speculative() {
+                            // The victim never touched this line: pure
+                            // hash aliasing.
+                            self.stats.sig_alias_conflicts += 1;
+                        }
+                        self.stats.on_conflict(ck, is_true, now, line);
+                        if !is_true {
+                            self.heat_line(line);
+                        }
+                        self.emit(TraceEvent::Conflict {
+                            requester: who,
+                            victim: v,
+                            line,
+                            kind: ck,
+                            is_true,
+                        });
+                        self.abort_victim(v, AbortCause::Conflict { kind: ck, is_true });
+                    }
+                } else if merged.is_speculative() {
+                    match detector.check_probe(&merged, kind, mask) {
+                        ProbeOutcome::Conflict { kind: ck, is_true }
+                            if self.cfg.war_speculation
+                                && ck == asf_core::detector::ConflictType::WriteAfterRead =>
+                        {
+                            // DPTM-style coherence decoupling: the reader
+                            // speculates through the invalidation and will
+                            // validate its values at commit.
+                            self.stats.war_speculations += 1;
+                            let _ = is_true;
+                            self.cores[v].needs_validation = true;
+                        }
+                        ProbeOutcome::Conflict { kind: ck, is_true } => {
+                            self.stats.on_conflict(ck, is_true, now, line);
+                            if !is_true {
+                                self.heat_line(line);
+                            }
+                            self.emit(TraceEvent::Conflict {
+                                requester: who,
+                                victim: v,
+                                line,
+                                kind: ck,
+                                is_true,
+                            });
+                            self.abort_victim(
+                                v,
+                                AbortCause::Conflict { kind: ck, is_true },
+                            );
+                        }
+                        ProbeOutcome::NoConflict { piggyback } => {
+                            summary.piggyback |= piggyback;
+                        }
+                    }
+                }
+            }
+
+            // --- Coherence state updates ---------------------------------
+            let survived_spec = self.cores[v].in_running_tx();
+            if let Some(meta) = self.cores[v].caches.l1.peek_mut(line) {
+                summary.others_had_copy = true;
+                if meta.moesi.owns_data() {
+                    summary.owner_supplied = true;
+                }
+                match kind {
+                    ProbeKind::NonInvalidating => {
+                        meta.moesi = meta.moesi.after_remote_read_with(self.cfg.coherence);
+                    }
+                    ProbeKind::Invalidating => {
+                        let taken = self.cores[v]
+                            .caches
+                            .invalidate_all_levels(line)
+                            .expect("line was resident");
+                        // A surviving transaction keeps its speculative
+                        // metadata for later conflict checks (§IV-D-2).
+                        if survived_spec && taken.spec.is_speculative() {
+                            self.cores[v]
+                                .caches
+                                .retained
+                                .entry(line)
+                                .or_insert(SpecState::EMPTY)
+                                .merge(&taken.spec);
+                            self.cores[v].caches.note_spec_line(line);
+                            retained_mask |= 1 << v;
+                        }
+                    }
+                }
+            } else {
+                // L2/L3-only copies.
+                if self.cores[v].caches.l2.contains(line)
+                    || self.cores[v].caches.l3.contains(line)
+                {
+                    summary.others_had_copy = true;
+                    if kind.invalidates() {
+                        self.cores[v].caches.l2.remove(line);
+                        self.cores[v].caches.l3.remove(line);
+                    }
+                }
+            }
+        }
+        self.put_back_targets(targets);
+        // Directory maintenance (probe filter): after an invalidation only
+        // the requester and the retained-metadata holders can matter; a
+        // read probe adds the requester as a sharer. Cores that held only
+        // retained metadata (no live line) keep mattering, so fold the
+        // existing holders of retained state back in.
+        if self.cfg.fabric == FabricKind::ProbeFilter {
+            match kind {
+                ProbeKind::Invalidating => {
+                    let mut mask = (1u64 << who) | retained_mask;
+                    for (v, core) in self.cores.iter().enumerate() {
+                        if v != who && core.caches.retained.contains_key(&line) {
+                            mask |= 1 << v;
+                        }
+                    }
+                    self.directory.insert(line, mask);
+                }
+                ProbeKind::NonInvalidating => {
+                    *self.directory.entry(line).or_insert(0) |= 1 << who;
+                }
+            }
+        }
+        summary
+    }
+
+    /// Current cycle of a core (test hook).
+    pub fn core_clock(&self, core: CoreId) -> u64 {
+        self.cores[core.0].clock
+    }
+
+    /// Coherence invariant checker (test/debug hook): for every line
+    /// resident anywhere, at most one core holds it in a writable state
+    /// (M/E), and if any core holds it M or O, no core holds it E. Returns
+    /// a description of the first violation found.
+    pub fn check_coherence_invariants(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut owners: HashMap<LineAddr, Vec<(usize, MoesiState)>> = HashMap::new();
+        for (cid, core) in self.cores.iter().enumerate() {
+            for (line, meta) in core.caches.l1.iter() {
+                owners.entry(line).or_default().push((cid, meta.moesi));
+            }
+        }
+        for (line, holders) in owners {
+            let writable = holders.iter().filter(|(_, s)| s.writable()).count();
+            if writable > 1 {
+                return Err(format!(
+                    "line {:#x}: {} writable copies ({holders:?})",
+                    line.base().0,
+                    writable
+                ));
+            }
+            let dirtyish = holders
+                .iter()
+                .any(|(_, s)| matches!(s, MoesiState::Modified | MoesiState::Owned));
+            let exclusive = holders.iter().any(|(_, s)| matches!(s, MoesiState::Exclusive));
+            if writable == 1 && holders.len() > 1 {
+                // A writable copy must be the only copy.
+                return Err(format!(
+                    "line {:#x}: writable copy coexists with sharers ({holders:?})",
+                    line.base().0
+                ));
+            }
+            if dirtyish && exclusive {
+                return Err(format!(
+                    "line {:#x}: M/O and E copies coexist ({holders:?})",
+                    line.base().0
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Step the machine `n` times (test hook for invariant checking).
+    pub fn step_n(&mut self, n: usize) -> bool {
+        for _ in 0..n {
+            if !self.step() {
+                return false;
+            }
+        }
+        true
+    }
+}

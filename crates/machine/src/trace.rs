@@ -1,0 +1,419 @@
+//! Execution tracing: a bounded event log of the protocol-level actions a
+//! run performs, for debugging, teaching and the walkthrough examples.
+//!
+//! Tracing is off by default (zero cost beyond an `Option` check on event
+//! sites); enable it with [`crate::machine::Machine::enable_trace`] before
+//! running. The log is a ring buffer — when full, the oldest events drop —
+//! so tracing long runs keeps the tail.
+
+use asf_core::detector::ConflictType;
+use asf_mem::addr::LineAddr;
+use asf_mem::mask::AccessMask;
+use asf_stats::run::AbortCause;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One protocol-level event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// A transaction attempt began (first attempt or retry).
+    TxBegin {
+        /// Executing core.
+        core: usize,
+        /// Core-local cycle.
+        cycle: u64,
+        /// Retry depth (0 = first attempt).
+        retry: u32,
+    },
+    /// A transaction committed.
+    TxCommit {
+        /// Executing core.
+        core: usize,
+        /// Core-local cycle.
+        cycle: u64,
+    },
+    /// A transaction attempt aborted.
+    TxAbort {
+        /// Victim core.
+        core: usize,
+        /// Victim-local cycle at discovery.
+        cycle: u64,
+        /// Why it aborted.
+        cause: AbortCause,
+    },
+    /// A coherence probe was broadcast.
+    Probe {
+        /// Requester core.
+        core: usize,
+        /// Requester cycle.
+        cycle: u64,
+        /// Probed line.
+        line: LineAddr,
+        /// Byte mask of the access.
+        mask: AccessMask,
+        /// Invalidating (write) or not (read).
+        invalidating: bool,
+    },
+    /// A probe hit a remote transaction's speculative state.
+    Conflict {
+        /// Requesting core (wins).
+        requester: usize,
+        /// Victim core (aborts under requester-wins).
+        victim: usize,
+        /// Conflicting line.
+        line: LineAddr,
+        /// WAR / RAW / WAW.
+        kind: ConflictType,
+        /// Oracle verdict (false ⇒ false conflict).
+        is_true: bool,
+    },
+    /// A data response carried piggy-back bits; the requester marked the
+    /// covered sub-blocks dirty.
+    DirtyMark {
+        /// Requester core.
+        core: usize,
+        /// Line whose sub-blocks were marked.
+        line: LineAddr,
+        /// Expanded dirty byte mask.
+        mask: AccessMask,
+    },
+    /// A local hit on dirty bytes was treated as a miss (refetch).
+    DirtyRefetch {
+        /// Core forced to refetch.
+        core: usize,
+        /// Its cycle.
+        cycle: u64,
+        /// The line.
+        line: LineAddr,
+    },
+    /// A core acquired the software fallback lock.
+    FallbackAcquire {
+        /// The lock owner.
+        core: usize,
+        /// Its cycle.
+        cycle: u64,
+    },
+    /// The fallback lock was released (the attempt completed).
+    FallbackRelease {
+        /// The former owner.
+        core: usize,
+        /// Its cycle.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::TxBegin { core, cycle, retry } => {
+                write!(f, "[{cycle:>8}] core{core} tx-begin (retry {retry})")
+            }
+            TraceEvent::TxCommit { core, cycle } => {
+                write!(f, "[{cycle:>8}] core{core} tx-commit")
+            }
+            TraceEvent::TxAbort { core, cycle, cause } => {
+                write!(f, "[{cycle:>8}] core{core} tx-abort ({cause:?})")
+            }
+            TraceEvent::Probe { core, cycle, line, mask, invalidating } => {
+                write!(
+                    f,
+                    "[{cycle:>8}] core{core} probe {} line {:#x} mask {:#018x}",
+                    if invalidating { "INV" } else { "rd " },
+                    line.base().0,
+                    mask.0
+                )
+            }
+            TraceEvent::Conflict { requester, victim, line, kind, is_true } => {
+                write!(
+                    f,
+                    "[        ] core{requester} -> core{victim} {kind} {} conflict on line {:#x}",
+                    if is_true { "TRUE" } else { "FALSE" },
+                    line.base().0
+                )
+            }
+            TraceEvent::DirtyMark { core, line, mask } => {
+                write!(
+                    f,
+                    "[        ] core{core} marks dirty line {:#x} mask {:#018x}",
+                    line.base().0,
+                    mask.0
+                )
+            }
+            TraceEvent::DirtyRefetch { core, cycle, line } => {
+                write!(
+                    f,
+                    "[{cycle:>8}] core{core} dirty-refetch line {:#x}",
+                    line.base().0
+                )
+            }
+            TraceEvent::FallbackAcquire { core, cycle } => {
+                write!(f, "[{cycle:>8}] core{core} acquires fallback lock")
+            }
+            TraceEvent::FallbackRelease { core, cycle } => {
+                write!(f, "[{cycle:>8}] core{core} releases fallback lock")
+            }
+        }
+    }
+}
+
+/// A bounded, drop-oldest event log.
+#[derive(Debug, Default)]
+pub struct RingTrace {
+    cap: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingTrace {
+    /// Create a trace holding at most `cap` events.
+    pub fn new(cap: usize) -> RingTrace {
+        assert!(cap > 0, "trace capacity must be positive");
+        RingTrace { cap, events: VecDeque::with_capacity(cap.min(4096)), dropped: 0 }
+    }
+
+    /// Append an event, dropping the oldest when full.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Events currently held (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the whole log, one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("… {} earlier events dropped …\n", self.dropped));
+        }
+        for ev in &self.events {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asf_mem::addr::Addr;
+
+    fn line() -> LineAddr {
+        Addr(0x1000).line()
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut t = RingTrace::new(2);
+        t.record(TraceEvent::TxBegin { core: 0, cycle: 1, retry: 0 });
+        t.record(TraceEvent::TxCommit { core: 0, cycle: 2 });
+        t.record(TraceEvent::TxBegin { core: 1, cycle: 3, retry: 0 });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let first = *t.events().next().unwrap();
+        assert_eq!(first, TraceEvent::TxCommit { core: 0, cycle: 2 });
+    }
+
+    #[test]
+    fn render_includes_drop_notice() {
+        let mut t = RingTrace::new(1);
+        t.record(TraceEvent::TxCommit { core: 0, cycle: 1 });
+        t.record(TraceEvent::TxCommit { core: 1, cycle: 2 });
+        let s = t.render();
+        assert!(s.contains("1 earlier events dropped"));
+        assert!(s.contains("core1 tx-commit"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let evs = [
+            TraceEvent::TxBegin { core: 3, cycle: 17, retry: 2 },
+            TraceEvent::Probe {
+                core: 1,
+                cycle: 5,
+                line: line(),
+                mask: AccessMask::from_range(0, 8),
+                invalidating: true,
+            },
+            TraceEvent::Conflict {
+                requester: 0,
+                victim: 1,
+                line: line(),
+                kind: ConflictType::WriteAfterRead,
+                is_true: false,
+            },
+            TraceEvent::DirtyRefetch { core: 2, cycle: 9, line: line() },
+        ];
+        let strs: Vec<String> = evs.iter().map(|e| e.to_string()).collect();
+        assert!(strs[0].contains("core3 tx-begin (retry 2)"));
+        assert!(strs[1].contains("probe INV"));
+        assert!(strs[2].contains("WAR FALSE conflict"));
+        assert!(strs[3].contains("dirty-refetch"));
+    }
+
+    #[test]
+    fn count_filters() {
+        let mut t = RingTrace::new(8);
+        for c in 0..3 {
+            t.record(TraceEvent::TxCommit { core: c, cycle: c as u64 });
+        }
+        t.record(TraceEvent::TxBegin { core: 0, cycle: 9, retry: 0 });
+        assert_eq!(t.count(|e| matches!(e, TraceEvent::TxCommit { .. })), 3);
+    }
+}
+
+impl RingTrace {
+    /// Export as Chrome tracing JSON (load via `chrome://tracing` or
+    /// Perfetto): transactions become duration events per core, probes and
+    /// conflicts instant events. Cycles are mapped to microseconds 1:1.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[\n");
+        let mut first = true;
+        let mut open_tx: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        let push = |s: String, first: &mut bool, out: &mut String| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            out.push_str(&s);
+        };
+        for ev in self.events() {
+            match *ev {
+                TraceEvent::TxBegin { core, cycle, retry } => {
+                    open_tx.insert(core, cycle);
+                    push(
+                        format!(
+                            r#"  {{"name":"tx-begin","ph":"i","ts":{cycle},"pid":1,"tid":{core},"s":"t","args":{{"retry":{retry}}}}}"#
+                        ),
+                        &mut first,
+                        &mut out,
+                    );
+                }
+                TraceEvent::TxCommit { core, cycle } | TraceEvent::TxAbort { core, cycle, .. } => {
+                    let start = open_tx.remove(&core).unwrap_or(cycle);
+                    let name = if matches!(ev, TraceEvent::TxCommit { .. }) {
+                        "transaction"
+                    } else {
+                        "transaction-aborted"
+                    };
+                    let dur = cycle.saturating_sub(start).max(1);
+                    push(
+                        format!(
+                            r#"  {{"name":"{name}","ph":"X","ts":{start},"dur":{dur},"pid":1,"tid":{core}}}"#
+                        ),
+                        &mut first,
+                        &mut out,
+                    );
+                }
+                TraceEvent::Probe { core, cycle, line, invalidating, .. } => {
+                    push(
+                        format!(
+                            r#"  {{"name":"probe-{}","ph":"i","ts":{cycle},"pid":1,"tid":{core},"s":"t","args":{{"line":"{:#x}"}}}}"#,
+                            if invalidating { "inv" } else { "rd" },
+                            line.base().0
+                        ),
+                        &mut first,
+                        &mut out,
+                    );
+                }
+                TraceEvent::Conflict { requester, victim, line, kind, is_true } => {
+                    push(
+                        format!(
+                            r#"  {{"name":"conflict-{kind}","ph":"i","ts":0,"pid":1,"tid":{victim},"s":"p","args":{{"requester":{requester},"line":"{:#x}","true":{is_true}}}}}"#,
+                            line.base().0
+                        ),
+                        &mut first,
+                        &mut out,
+                    );
+                }
+                TraceEvent::DirtyRefetch { core, cycle, line } => {
+                    push(
+                        format!(
+                            r#"  {{"name":"dirty-refetch","ph":"i","ts":{cycle},"pid":1,"tid":{core},"s":"t","args":{{"line":"{:#x}"}}}}"#,
+                            line.base().0
+                        ),
+                        &mut first,
+                        &mut out,
+                    );
+                }
+                TraceEvent::DirtyMark { .. }
+                | TraceEvent::FallbackAcquire { .. }
+                | TraceEvent::FallbackRelease { .. } => {}
+            }
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod chrome_tests {
+    use super::*;
+    use asf_mem::addr::Addr;
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let mut t = RingTrace::new(16);
+        t.record(TraceEvent::TxBegin { core: 0, cycle: 10, retry: 0 });
+        t.record(TraceEvent::Probe {
+            core: 0,
+            cycle: 12,
+            line: Addr(0x40).line(),
+            mask: asf_mem::mask::AccessMask::from_range(0, 8),
+            invalidating: false,
+        });
+        t.record(TraceEvent::TxCommit { core: 0, cycle: 50 });
+        let json = t.to_chrome_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains(r#""name":"transaction""#));
+        assert!(json.contains(r#""dur":40"#));
+        assert!(json.contains(r#""name":"probe-rd""#));
+        // Rough JSON sanity: balanced braces per line.
+        for line in json.lines().filter(|l| l.contains('{')) {
+            let open = line.matches('{').count();
+            let close = line.matches('}').count();
+            assert_eq!(open, close, "unbalanced: {line}");
+        }
+    }
+
+    #[test]
+    fn abort_closes_the_duration_event() {
+        let mut t = RingTrace::new(8);
+        t.record(TraceEvent::TxBegin { core: 2, cycle: 5, retry: 1 });
+        t.record(TraceEvent::TxAbort {
+            core: 2,
+            cycle: 25,
+            cause: asf_stats::run::AbortCause::Capacity,
+        });
+        let json = t.to_chrome_json();
+        assert!(json.contains(r#""name":"transaction-aborted""#));
+        assert!(json.contains(r#""dur":20"#));
+    }
+}

@@ -1,0 +1,317 @@
+//! Workload API: how benchmark kernels drive the simulator.
+//!
+//! A [`Workload`] spawns one [`ThreadProgram`] per core. A thread program is
+//! an iterator of [`WorkItem`]s: transactions ([`TxAttempt`], a list of
+//! [`TxOp`]s), non-transactional access sequences, or pure compute delays.
+//! On abort the machine replays the same attempt after backoff — the usual
+//! HTM retry model; data-dependent values are expressed with
+//! [`TxOp::Update`] so replays recompute against current memory.
+
+use asf_mem::addr::Addr;
+
+/// One operation inside a transaction (or a non-transactional sequence).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxOp {
+    /// Read `size` bytes at `addr` (size may span lines).
+    Read {
+        /// First byte.
+        addr: Addr,
+        /// Bytes read.
+        size: u32,
+    },
+    /// Write an immediate `value` of `size` bytes (≤ 8) at `addr`.
+    Write {
+        /// First byte.
+        addr: Addr,
+        /// Bytes written (1..=8).
+        size: u32,
+        /// Little-endian immediate.
+        value: u64,
+    },
+    /// Read-modify-write: load `size` bytes (≤ 8), add `delta`, store back.
+    /// Replays recompute from current memory, so committed updates are
+    /// exactly the increments that committed — the serializability oracle
+    /// used by the test suite.
+    Update {
+        /// First byte.
+        addr: Addr,
+        /// Bytes (1..=8).
+        size: u32,
+        /// Value added.
+        delta: u64,
+    },
+    /// Local computation for `cycles` cycles.
+    Compute {
+        /// Duration in cycles.
+        cycles: u64,
+    },
+    /// Abort the transaction with probability `num`/`den` (evaluated with
+    /// the core's RNG at execution time, so a retry may pass). Models
+    /// labyrinth's user-level aborts.
+    UserAbort {
+        /// Numerator of the abort probability.
+        num: u32,
+        /// Denominator of the abort probability.
+        den: u32,
+    },
+    /// Advance the local clock to at least `cycle` — scripted-interleaving
+    /// support for protocol tests (Figures 6 and 7); workloads do not use
+    /// it.
+    WaitUntil {
+        /// Absolute cycle to wait for.
+        cycle: u64,
+    },
+}
+
+/// A transaction attempt: the ops executed under speculation.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TxAttempt {
+    /// Operations, executed in order.
+    pub ops: Vec<TxOp>,
+}
+
+impl TxAttempt {
+    /// Build an attempt from ops.
+    pub fn new(ops: Vec<TxOp>) -> TxAttempt {
+        TxAttempt { ops }
+    }
+}
+
+/// One unit of work a thread hands to the machine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WorkItem {
+    /// A transaction (retried until it commits or falls back to the lock).
+    Tx(TxAttempt),
+    /// Ordinary non-transactional accesses (coherent, can abort remote
+    /// transactions, never aborts itself).
+    Plain(Vec<TxOp>),
+    /// Pure local compute.
+    Compute {
+        /// Duration in cycles.
+        cycles: u64,
+    },
+}
+
+/// A per-core instruction stream.
+pub trait ThreadProgram {
+    /// Next unit of work, or `None` when the thread is finished. Called
+    /// only after the previous item fully completed (transactions: after
+    /// commit or lock-fallback completion).
+    fn next_item(&mut self) -> Option<WorkItem>;
+}
+
+/// A benchmark: names itself and spawns one program per core.
+pub trait Workload {
+    /// Benchmark name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// One-line description (Table III).
+    fn description(&self) -> &'static str {
+        ""
+    }
+
+    /// Natural data-structure word size in bytes (Figure 5 bucketing):
+    /// 4 for kmeans, 8 for most others.
+    fn word_size(&self) -> usize {
+        8
+    }
+
+    /// Spawn the program for thread `tid` of `threads`, seeded
+    /// deterministically.
+    fn spawn(&self, tid: usize, threads: usize, seed: u64) -> Box<dyn ThreadProgram>;
+}
+
+/// A canned program that yields a fixed list of items — scripted tests and
+/// simple workloads.
+#[derive(Debug, Default)]
+pub struct ScriptedProgram {
+    items: std::vec::IntoIter<WorkItem>,
+}
+
+impl ScriptedProgram {
+    /// Wrap a fixed item list.
+    pub fn new(items: Vec<WorkItem>) -> ScriptedProgram {
+        ScriptedProgram { items: items.into_iter() }
+    }
+}
+
+impl ThreadProgram for ScriptedProgram {
+    fn next_item(&mut self) -> Option<WorkItem> {
+        self.items.next()
+    }
+}
+
+/// A workload defined by explicit per-thread scripts (protocol tests).
+pub struct ScriptedWorkload {
+    /// Scripts, one per thread; threads beyond the list idle immediately.
+    pub scripts: Vec<Vec<WorkItem>>,
+    /// Name reported to the stats layer.
+    pub name: &'static str,
+}
+
+impl Workload for ScriptedWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn spawn(&self, tid: usize, _threads: usize, _seed: u64) -> Box<dyn ThreadProgram> {
+        Box::new(ScriptedProgram::new(
+            self.scripts.get(tid).cloned().unwrap_or_default(),
+        ))
+    }
+}
+
+/// A workload whose per-thread programs are built by a closure — the
+/// lightest way to define ad-hoc workloads in tests and examples.
+pub struct FnWorkload<F> {
+    /// Reported name.
+    pub name: &'static str,
+    /// `(tid, threads, seed) -> program` factory.
+    pub spawn_fn: F,
+}
+
+impl<F> Workload for FnWorkload<F>
+where
+    F: Fn(usize, usize, u64) -> Box<dyn ThreadProgram>,
+{
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn spawn(&self, tid: usize, threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        (self.spawn_fn)(tid, threads, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_program_yields_in_order() {
+        let mut p = ScriptedProgram::new(vec![
+            WorkItem::Compute { cycles: 5 },
+            WorkItem::Tx(TxAttempt::new(vec![TxOp::Read { addr: Addr(0), size: 8 }])),
+        ]);
+        assert!(matches!(p.next_item(), Some(WorkItem::Compute { cycles: 5 })));
+        assert!(matches!(p.next_item(), Some(WorkItem::Tx(_))));
+        assert!(p.next_item().is_none());
+        assert!(p.next_item().is_none());
+    }
+
+    #[test]
+    fn scripted_workload_pads_missing_threads() {
+        let w = ScriptedWorkload {
+            scripts: vec![vec![WorkItem::Compute { cycles: 1 }]],
+            name: "t",
+        };
+        let mut t0 = w.spawn(0, 2, 0);
+        let mut t1 = w.spawn(1, 2, 0);
+        assert!(t0.next_item().is_some());
+        assert!(t1.next_item().is_none());
+        assert_eq!(w.name(), "t");
+        assert_eq!(w.word_size(), 8);
+    }
+}
+
+/// Ergonomic transaction construction — the equivalent of the paper's
+/// software library that wraps the ASF instructions ("we chose to rely on
+/// normal gcc compiler and put all TM-related ASF instructions in the
+/// library"): build a transaction with method calls instead of assembling
+/// `TxOp` vectors by hand.
+///
+/// ```
+/// use asf_machine::txprog::TxBuilder;
+/// use asf_mem::addr::Addr;
+///
+/// let attempt = TxBuilder::new()
+///     .read(Addr(0x100), 8)
+///     .update(Addr(0x100), 8, 1)
+///     .compute(40)
+///     .finish();
+/// assert_eq!(attempt.ops.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct TxBuilder {
+    ops: Vec<TxOp>,
+}
+
+impl TxBuilder {
+    /// Start an empty transaction.
+    pub fn new() -> TxBuilder {
+        TxBuilder::default()
+    }
+
+    /// Speculative load of `size` bytes.
+    #[must_use]
+    pub fn read(mut self, addr: Addr, size: u32) -> Self {
+        self.ops.push(TxOp::Read { addr, size });
+        self
+    }
+
+    /// Speculative store of an immediate value (≤ 8 bytes).
+    #[must_use]
+    pub fn write(mut self, addr: Addr, size: u32, value: u64) -> Self {
+        self.ops.push(TxOp::Write { addr, size, value });
+        self
+    }
+
+    /// Speculative read-modify-write (`+= delta`, ≤ 8 bytes).
+    #[must_use]
+    pub fn update(mut self, addr: Addr, size: u32, delta: u64) -> Self {
+        self.ops.push(TxOp::Update { addr, size, delta });
+        self
+    }
+
+    /// In-transaction computation.
+    #[must_use]
+    pub fn compute(mut self, cycles: u64) -> Self {
+        self.ops.push(TxOp::Compute { cycles });
+        self
+    }
+
+    /// Probabilistic user abort (like labyrinth's re-route).
+    #[must_use]
+    pub fn user_abort(mut self, num: u32, den: u32) -> Self {
+        self.ops.push(TxOp::UserAbort { num, den });
+        self
+    }
+
+    /// Finish into an attempt.
+    pub fn finish(self) -> TxAttempt {
+        TxAttempt::new(self.ops)
+    }
+
+    /// Finish into a work item.
+    pub fn into_item(self) -> WorkItem {
+        WorkItem::Tx(self.finish())
+    }
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_ops_in_order() {
+        let att = TxBuilder::new()
+            .read(Addr(0), 8)
+            .write(Addr(8), 4, 7)
+            .update(Addr(16), 8, 1)
+            .compute(5)
+            .user_abort(1, 10)
+            .finish();
+        assert_eq!(att.ops.len(), 5);
+        assert!(matches!(att.ops[0], TxOp::Read { .. }));
+        assert!(matches!(att.ops[1], TxOp::Write { value: 7, .. }));
+        assert!(matches!(att.ops[2], TxOp::Update { delta: 1, .. }));
+        assert!(matches!(att.ops[3], TxOp::Compute { cycles: 5 }));
+        assert!(matches!(att.ops[4], TxOp::UserAbort { num: 1, den: 10 }));
+    }
+
+    #[test]
+    fn into_item_wraps_tx() {
+        let item = TxBuilder::new().compute(1).into_item();
+        assert!(matches!(item, WorkItem::Tx(_)));
+    }
+}

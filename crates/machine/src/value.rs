@@ -1,0 +1,195 @@
+//! Committed value memory and speculative write sets (lazy versioning).
+//!
+//! The global memory holds **committed** bytes only. Each core buffers its
+//! transaction's stores in a [`WriteSet`]; commit publishes them, abort
+//! drops them. Because the simulator routes every read through
+//! write-set-then-global, uncommitted data is never visible across cores —
+//! matching ASF's lazy-versioning visibility rule (and documented in
+//! DESIGN.md as the one deliberate simplification versus data-in-L1).
+
+use asf_mem::addr::{Addr, LineAddr, LINE_SIZE};
+use std::collections::HashMap;
+
+/// Sparse committed byte memory, line-granular allocation, zero-initialised.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalMemory {
+    lines: HashMap<LineAddr, Box<[u8; LINE_SIZE]>>,
+}
+
+impl GlobalMemory {
+    /// Fresh zeroed memory.
+    pub fn new() -> GlobalMemory {
+        GlobalMemory::default()
+    }
+
+    /// Read up to 8 little-endian bytes at `addr` (may straddle lines).
+    pub fn read_u64(&self, addr: Addr, size: u32) -> u64 {
+        assert!((1..=8).contains(&size), "valued reads are 1..=8 bytes");
+        let mut out = 0u64;
+        for i in 0..size as u64 {
+            let a = addr.offset_by(i);
+            let byte = self
+                .lines
+                .get(&a.line())
+                .map(|l| l[a.offset()])
+                .unwrap_or(0);
+            out |= (byte as u64) << (8 * i);
+        }
+        out
+    }
+
+    /// Write up to 8 little-endian bytes at `addr`.
+    pub fn write_u64(&mut self, addr: Addr, size: u32, value: u64) {
+        assert!((1..=8).contains(&size), "valued writes are 1..=8 bytes");
+        for i in 0..size as u64 {
+            let a = addr.offset_by(i);
+            let line = self
+                .lines
+                .entry(a.line())
+                .or_insert_with(|| Box::new([0; LINE_SIZE]));
+            line[a.offset()] = (value >> (8 * i)) as u8;
+        }
+    }
+
+    /// Write one byte.
+    pub fn write_byte(&mut self, addr: Addr, byte: u8) {
+        let line = self
+            .lines
+            .entry(addr.line())
+            .or_insert_with(|| Box::new([0; LINE_SIZE]));
+        line[addr.offset()] = byte;
+    }
+
+    /// Number of allocated (ever-written) lines.
+    pub fn allocated_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+/// A transaction's buffered stores: byte-granular, last-write-wins.
+#[derive(Clone, Debug, Default)]
+pub struct WriteSet {
+    bytes: HashMap<u64, u8>,
+}
+
+impl WriteSet {
+    /// Is the write set empty?
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Number of buffered bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Buffer a write of up to 8 little-endian bytes.
+    pub fn write_u64(&mut self, addr: Addr, size: u32, value: u64) {
+        assert!((1..=8).contains(&size));
+        for i in 0..size as u64 {
+            self.bytes.insert(addr.0 + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Read up to 8 little-endian bytes, taking buffered bytes where present
+    /// and falling back to `global` elsewhere (store-to-load forwarding).
+    pub fn read_u64(&self, global: &GlobalMemory, addr: Addr, size: u32) -> u64 {
+        assert!((1..=8).contains(&size));
+        let mut out = 0u64;
+        for i in 0..size as u64 {
+            let a = addr.offset_by(i);
+            let byte = self.bytes.get(&a.0).copied().unwrap_or_else(|| {
+                (global.read_u64(a, 1) & 0xff) as u8
+            });
+            out |= (byte as u64) << (8 * i);
+        }
+        out
+    }
+
+    /// Does the buffered set overlap `[addr, addr+size)`?
+    pub fn overlaps(&self, addr: Addr, size: u32) -> bool {
+        (0..size as u64).any(|i| self.bytes.contains_key(&(addr.0 + i)))
+    }
+
+    /// Publish all buffered bytes into `global` and clear (commit).
+    pub fn publish(&mut self, global: &mut GlobalMemory) {
+        for (&a, &b) in &self.bytes {
+            global.write_byte(Addr(a), b);
+        }
+        self.bytes.clear();
+    }
+
+    /// Drop all buffered bytes (abort).
+    pub fn discard(&mut self) {
+        self.bytes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let g = GlobalMemory::new();
+        assert_eq!(g.read_u64(Addr(0x1234), 8), 0);
+        assert_eq!(g.allocated_lines(), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut g = GlobalMemory::new();
+        g.write_u64(Addr(0x100), 8, 0xdead_beef_cafe_f00d);
+        assert_eq!(g.read_u64(Addr(0x100), 8), 0xdead_beef_cafe_f00d);
+        assert_eq!(g.read_u64(Addr(0x100), 4), 0xcafe_f00d);
+        assert_eq!(g.read_u64(Addr(0x104), 4), 0xdead_beef);
+    }
+
+    #[test]
+    fn straddling_line_boundary() {
+        let mut g = GlobalMemory::new();
+        g.write_u64(Addr(0x3c), 8, 0x1122_3344_5566_7788); // bytes 60..68
+        assert_eq!(g.read_u64(Addr(0x3c), 8), 0x1122_3344_5566_7788);
+        assert_eq!(g.allocated_lines(), 2);
+    }
+
+    #[test]
+    fn writeset_forwarding() {
+        let mut g = GlobalMemory::new();
+        g.write_u64(Addr(0x40), 8, 0xaaaa_aaaa_aaaa_aaaa);
+        let mut ws = WriteSet::default();
+        // Buffer only the low 4 bytes.
+        ws.write_u64(Addr(0x40), 4, 0x5555_5555);
+        // Read 8 bytes: low half from write set, high half from global.
+        assert_eq!(ws.read_u64(&g, Addr(0x40), 8), 0xaaaa_aaaa_5555_5555);
+        // Global unchanged until publish.
+        assert_eq!(g.read_u64(Addr(0x40), 8), 0xaaaa_aaaa_aaaa_aaaa);
+        ws.publish(&mut g);
+        assert_eq!(g.read_u64(Addr(0x40), 8), 0xaaaa_aaaa_5555_5555);
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn writeset_discard() {
+        let mut g = GlobalMemory::new();
+        let mut ws = WriteSet::default();
+        ws.write_u64(Addr(8), 8, 42);
+        assert!(ws.overlaps(Addr(8), 1));
+        assert!(ws.overlaps(Addr(15), 4));
+        assert!(!ws.overlaps(Addr(16), 8));
+        ws.discard();
+        assert!(ws.is_empty());
+        ws.publish(&mut g);
+        assert_eq!(g.read_u64(Addr(8), 8), 0);
+    }
+
+    #[test]
+    fn last_write_wins() {
+        let g = GlobalMemory::new();
+        let mut ws = WriteSet::default();
+        ws.write_u64(Addr(0), 8, 1);
+        ws.write_u64(Addr(0), 8, 2);
+        assert_eq!(ws.read_u64(&g, Addr(0), 8), 2);
+        assert_eq!(ws.len(), 8);
+    }
+}

@@ -1,0 +1,114 @@
+//! Adaptive sub-blocking (future-work extension): cold lines pay 2 bits,
+//! lines with repeated false conflicts get promoted to fine tracking.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{AdaptiveConfig, Machine, SimConfig};
+use asf_machine::txprog::{ScriptedWorkload, TxAttempt, TxOp, WorkItem};
+use asf_mem::addr::Addr;
+use asf_mem::config::MachineConfig;
+
+fn tx(ops: Vec<TxOp>) -> WorkItem {
+    WorkItem::Tx(TxAttempt::new(ops))
+}
+
+/// A repeating reader/writer false-sharing pair on one line: reader reads
+/// bytes 0..8, writer writes bytes 32..40, over and over.
+fn repeated_false_sharing(rounds: usize) -> ScriptedWorkload {
+    let reader = tx(vec![
+        TxOp::Read { addr: Addr(0x1000), size: 8 },
+        TxOp::Compute { cycles: 400 },
+    ]);
+    let writer = tx(vec![
+        TxOp::Compute { cycles: 150 },
+        TxOp::Write { addr: Addr(0x1020), size: 8, value: 1 },
+        TxOp::Compute { cycles: 250 },
+    ]);
+    ScriptedWorkload {
+        name: "repeat-fs",
+        scripts: vec![vec![reader; rounds], vec![writer; rounds]],
+    }
+}
+
+fn adaptive_cfg() -> SimConfig {
+    let mut c = SimConfig::paper(DetectorKind::Baseline);
+    c.machine = MachineConfig::opteron_with_cores(2);
+    c.adaptive = Some(AdaptiveConfig { promote_after: 2, fine: 8 });
+    c
+}
+
+#[test]
+fn hot_line_gets_promoted_and_false_conflicts_stop() {
+    let out = Machine::run(&repeated_false_sharing(30), adaptive_cfg());
+    // The first couple of rounds conflict at line granularity; after
+    // promotion the disjoint accesses coexist.
+    assert!(out.promoted_lines >= 1, "the hot line must be promoted");
+    let false_total = out.stats.conflicts.false_total();
+    assert!(
+        (1..=8).contains(&false_total),
+        "expected a few pre-promotion false conflicts, got {false_total}"
+    );
+    assert_eq!(out.stats.isolation_violations, 0);
+}
+
+#[test]
+fn cold_lines_stay_cheap() {
+    // A single round (even with a couple of retry-induced repeats) stays
+    // below a conservative promotion threshold.
+    let mut c = adaptive_cfg();
+    c.adaptive = Some(AdaptiveConfig { promote_after: 8, fine: 8 });
+    let out = Machine::run(&repeated_false_sharing(1), c);
+    assert_eq!(out.promoted_lines, 0);
+    assert!(out.stats.conflicts.false_total() < 8);
+}
+
+#[test]
+fn adaptive_matches_fine_grained_reduction_on_hot_workloads() {
+    // On a sustained false-sharing workload, adaptive lands near sb8 while
+    // baseline keeps aborting.
+    let rounds = 40;
+    let base = Machine::run(&repeated_false_sharing(rounds), {
+        let mut c = adaptive_cfg();
+        c.adaptive = None;
+        c
+    });
+    let sb8 = Machine::run(&repeated_false_sharing(rounds), {
+        let mut c = adaptive_cfg();
+        c.adaptive = None;
+        c.detector = DetectorKind::SubBlock(8);
+        c
+    });
+    let adaptive = Machine::run(&repeated_false_sharing(rounds), adaptive_cfg());
+    assert!(base.stats.conflicts.false_total() > 10, "baseline keeps conflicting");
+    assert_eq!(sb8.stats.conflicts.false_total(), 0);
+    assert!(
+        adaptive.stats.conflicts.false_total() <= 8,
+        "adaptive must approach sb8 after warmup: {}",
+        adaptive.stats.conflicts.false_total()
+    );
+}
+
+#[test]
+fn adaptive_preserves_serializability() {
+    let item = tx(vec![
+        TxOp::Update { addr: Addr(0x2000), size: 8, delta: 1 },
+        TxOp::Compute { cycles: 50 },
+    ]);
+    let w = ScriptedWorkload {
+        name: "counter",
+        scripts: (0..4).map(|_| vec![item.clone(); 20]).collect(),
+    };
+    let mut c = SimConfig::paper(DetectorKind::Baseline);
+    c.machine = MachineConfig::opteron_with_cores(4);
+    c.adaptive = Some(AdaptiveConfig::standard());
+    let out = Machine::run(&w, c);
+    assert_eq!(out.memory.read_u64(Addr(0x2000), 8), 80);
+    assert_eq!(out.stats.isolation_violations, 0);
+}
+
+#[test]
+#[should_panic(expected = "invalid adaptive fine granularity")]
+fn invalid_fine_granularity_is_rejected() {
+    let mut c = SimConfig::paper(DetectorKind::Baseline);
+    c.adaptive = Some(AdaptiveConfig { promote_after: 1, fine: 3 });
+    let _ = Machine::new(&repeated_false_sharing(1), c);
+}

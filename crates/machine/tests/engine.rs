@@ -1,0 +1,640 @@
+//! Behavioural tests of the simulator engine: commit/abort semantics,
+//! false-sharing outcomes per detector, the Figure 6 dirty-state scenarios,
+//! capacity aborts and the fallback lock, and serializability.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_machine::txprog::{ScriptedWorkload, TxAttempt, TxOp, WorkItem};
+use asf_mem::addr::Addr;
+use asf_mem::config::MachineConfig;
+
+fn cfg(detector: DetectorKind, cores: usize) -> SimConfig {
+    let mut c = SimConfig::paper(detector);
+    c.machine = MachineConfig::opteron_with_cores(cores);
+    c
+}
+
+fn tx(ops: Vec<TxOp>) -> WorkItem {
+    WorkItem::Tx(TxAttempt::new(ops))
+}
+
+#[test]
+fn single_core_commit_publishes_values() {
+    let w = ScriptedWorkload {
+        name: "single",
+        scripts: vec![vec![tx(vec![
+            TxOp::Write { addr: Addr(0x100), size: 8, value: 42 },
+            TxOp::Update { addr: Addr(0x100), size: 8, delta: 8 },
+            TxOp::Write { addr: Addr(0x200), size: 4, value: 7 },
+        ])]],
+    };
+    let out = Machine::run(&w, cfg(DetectorKind::Baseline, 1));
+    assert_eq!(out.memory.read_u64(Addr(0x100), 8), 50);
+    assert_eq!(out.memory.read_u64(Addr(0x200), 4), 7);
+    assert_eq!(out.stats.tx_started, 1);
+    assert_eq!(out.stats.tx_committed, 1);
+    assert_eq!(out.stats.tx_aborted, 0);
+    assert_eq!(out.stats.conflicts.total(), 0);
+    assert!(out.stats.cycles > 0);
+}
+
+#[test]
+fn uncommitted_writes_stay_invisible() {
+    // A transaction that only ever aborts (user abort, then the machine
+    // gives up via fallback... here we let it commit on a later retry) —
+    // simpler: check that memory after a *user-aborted* attempt retried to
+    // success holds exactly one application of the ops.
+    let w = ScriptedWorkload {
+        name: "retry-once",
+        scripts: vec![vec![tx(vec![
+            TxOp::Update { addr: Addr(0x40), size: 8, delta: 1 },
+            // 50% chance per attempt; deterministic seed makes this stable,
+            // and replays re-read memory so the committed delta is exactly 1.
+            TxOp::UserAbort { num: 1, den: 2 },
+        ])]],
+    };
+    let out = Machine::run(&w, cfg(DetectorKind::Baseline, 1));
+    assert_eq!(out.memory.read_u64(Addr(0x40), 8), 1, "exactly one committed increment");
+    assert_eq!(out.stats.tx_committed, 1);
+    assert_eq!(out.stats.tx_attempts, out.stats.tx_aborted + 1);
+}
+
+/// Reader/writer false sharing: core 0 speculatively reads bytes 0..8, core
+/// 1 writes bytes 32..40 of the same line — the false-sharing archetype the
+/// sub-blocking technique resolves. (Write/write false sharing is *not*
+/// resolved by design: the WAW-any rule, paper §IV-D-2.)
+fn false_sharing_workload() -> ScriptedWorkload {
+    ScriptedWorkload {
+        name: "false-share",
+        scripts: vec![
+            vec![tx(vec![
+                TxOp::Read { addr: Addr(0x1000), size: 8 }, // bytes 0..8
+                TxOp::Compute { cycles: 800 },
+            ])],
+            vec![tx(vec![
+                TxOp::WaitUntil { cycle: 300 },
+                TxOp::Write { addr: Addr(0x1020), size: 8, value: 2 }, // bytes 32..40
+                TxOp::Compute { cycles: 800 },
+            ])],
+        ],
+    }
+}
+
+#[test]
+fn baseline_aborts_on_false_sharing() {
+    let out = Machine::run(&false_sharing_workload(), cfg(DetectorKind::Baseline, 2));
+    assert!(out.stats.conflicts.false_total() >= 1, "{:?}", out.stats.conflicts);
+    assert_eq!(out.stats.conflicts.true_total(), 0);
+    assert!(out.stats.tx_aborted >= 1);
+    // Both eventually commit with their values.
+    assert_eq!(out.stats.tx_committed, 2);
+    assert_eq!(out.memory.read_u64(Addr(0x1020), 8), 2);
+}
+
+#[test]
+fn subblock4_eliminates_cross_subblock_false_sharing() {
+    for k in [DetectorKind::SubBlock(4), DetectorKind::SubBlock(8), DetectorKind::Perfect] {
+        let out = Machine::run(&false_sharing_workload(), cfg(k, 2));
+        assert_eq!(out.stats.conflicts.total(), 0, "{k} flagged a conflict");
+        assert_eq!(out.stats.tx_aborted, 0, "{k} aborted");
+        assert_eq!(out.stats.tx_committed, 2);
+        assert_eq!(out.memory.read_u64(Addr(0x1020), 8), 2);
+    }
+}
+
+#[test]
+fn write_write_false_sharing_aborts_at_every_hardware_granularity() {
+    // The WAW-any rule: an invalidating probe on a line with any speculative
+    // write aborts the victim even across sub-blocks (data-loss avoidance).
+    let w = ScriptedWorkload {
+        name: "waw-any",
+        scripts: vec![
+            vec![tx(vec![
+                TxOp::Write { addr: Addr(0x1800), size: 8, value: 1 },
+                TxOp::Compute { cycles: 800 },
+            ])],
+            vec![tx(vec![
+                TxOp::WaitUntil { cycle: 300 },
+                TxOp::Write { addr: Addr(0x1820), size: 8, value: 2 },
+                TxOp::Compute { cycles: 800 },
+            ])],
+        ],
+    };
+    for k in [DetectorKind::Baseline, DetectorKind::SubBlock(4), DetectorKind::SubBlock(16)] {
+        let out = Machine::run(&w, cfg(k, 2));
+        assert!(out.stats.conflicts.false_total() >= 1, "{k} must keep WAW-any");
+    }
+    // The perfect oracle has no such constraint.
+    let out = Machine::run(&w, cfg(DetectorKind::Perfect, 2));
+    assert_eq!(out.stats.conflicts.total(), 0);
+}
+
+#[test]
+fn subblock_still_conflicts_within_subblock() {
+    // Reader at bytes 0..8 vs writer at bytes 8..16 share a 16-byte
+    // sub-block: residual false conflict at sb4.
+    let w = ScriptedWorkload {
+        name: "within-sb",
+        scripts: vec![
+            vec![tx(vec![
+                TxOp::Read { addr: Addr(0x1000), size: 8 },
+                TxOp::Compute { cycles: 800 },
+            ])],
+            vec![tx(vec![
+                TxOp::WaitUntil { cycle: 300 },
+                TxOp::Write { addr: Addr(0x1008), size: 8, value: 2 },
+                TxOp::Compute { cycles: 800 },
+            ])],
+        ],
+    };
+    let out = Machine::run(&w, cfg(DetectorKind::SubBlock(4), 2));
+    assert!(out.stats.conflicts.false_total() >= 1);
+    // ...but 8-byte sub-blocks resolve it.
+    let out8 = Machine::run(&w, cfg(DetectorKind::SubBlock(8), 2));
+    assert_eq!(out8.stats.conflicts.total(), 0);
+}
+
+#[test]
+fn true_conflicts_detected_by_every_detector() {
+    // Both cores update the same 8 bytes.
+    let w = ScriptedWorkload {
+        name: "true-conflict",
+        scripts: vec![
+            vec![tx(vec![
+                TxOp::Update { addr: Addr(0x2000), size: 8, delta: 1 },
+                TxOp::Compute { cycles: 500 },
+            ])],
+            vec![tx(vec![
+                TxOp::WaitUntil { cycle: 200 },
+                TxOp::Update { addr: Addr(0x2000), size: 8, delta: 1 },
+                TxOp::Compute { cycles: 500 },
+            ])],
+        ],
+    };
+    for k in [
+        DetectorKind::Baseline,
+        DetectorKind::SubBlock(4),
+        DetectorKind::SubBlock(16),
+        DetectorKind::Perfect,
+    ] {
+        let out = Machine::run(&w, cfg(k, 2));
+        assert!(out.stats.conflicts.true_total() >= 1, "{k}: {:?}", out.stats.conflicts);
+        assert_eq!(out.memory.read_u64(Addr(0x2000), 8), 2, "{k} lost an update");
+        assert_eq!(out.stats.isolation_violations, 0, "{k}");
+    }
+}
+
+/// The Figure 6(a) scenario: T0 speculatively writes sub-block 0; T1 reads
+/// sub-block 1 (no conflict, gets piggy-backed dirty bits), then reads the
+/// bytes T0 wrote. The dirty mechanism must force a refetch that aborts T0.
+fn figure6a_workload() -> ScriptedWorkload {
+    ScriptedWorkload {
+        name: "fig6a",
+        scripts: vec![
+            vec![tx(vec![
+                TxOp::Write { addr: Addr(0x3000), size: 8, value: 0xAA }, // sb 0
+                TxOp::WaitUntil { cycle: 5_000 },
+            ])],
+            vec![tx(vec![
+                TxOp::WaitUntil { cycle: 1_000 },
+                TxOp::Read { addr: Addr(0x3010), size: 8 }, // sb 1: survives
+                TxOp::WaitUntil { cycle: 2_000 },
+                TxOp::Read { addr: Addr(0x3000), size: 8 }, // T0's bytes
+            ])],
+        ],
+    }
+}
+
+#[test]
+fn dirty_state_catches_figure6a_conflict() {
+    let mut c = cfg(DetectorKind::SubBlock(4), 2);
+    c.enable_dirty = true;
+    let out = Machine::run(&figure6a_workload(), c);
+    assert_eq!(out.stats.isolation_violations, 0);
+    assert!(out.stats.dirty_refetches >= 1, "dirty refetch must trigger");
+    assert!(out.stats.conflicts.true_total() >= 1, "true RAW must be detected");
+    assert_eq!(out.stats.tx_committed, 2);
+}
+
+#[test]
+fn disabling_dirty_reproduces_figure6a_hazard() {
+    let mut c = cfg(DetectorKind::SubBlock(4), 2);
+    c.enable_dirty = false;
+    let out = Machine::run(&figure6a_workload(), c);
+    assert!(
+        out.stats.isolation_violations >= 1,
+        "without dirty state the RAW conflict goes undetected"
+    );
+    assert_eq!(out.stats.dirty_refetches, 0);
+}
+
+/// Figure 6(b): T0 aborts (user abort) after T1 marked its sub-blocks
+/// dirty; T1's later read must refetch and proceed with committed data.
+#[test]
+fn figure6b_abort_then_dirty_read_recovers() {
+    let w = ScriptedWorkload {
+        name: "fig6b",
+        scripts: vec![
+            vec![tx(vec![
+                TxOp::Write { addr: Addr(0x4000), size: 8, value: 0xBB },
+                TxOp::WaitUntil { cycle: 1_500 },
+                TxOp::UserAbort { num: 1, den: 1 }, // always abort first time…
+                // on retry the RNG draws again; num/den=1 ⇒ aborts forever,
+                // so the machine eventually takes the fallback path.
+            ])],
+            vec![tx(vec![
+                TxOp::WaitUntil { cycle: 500 },
+                TxOp::Read { addr: Addr(0x4010), size: 8 }, // dirty-marks sb0
+                TxOp::WaitUntil { cycle: 3_000 },
+                TxOp::Read { addr: Addr(0x4000), size: 8 }, // after T0 aborted
+            ])],
+        ],
+    };
+    let mut c = cfg(DetectorKind::SubBlock(4), 2);
+    c.max_retries = 2;
+    let out = Machine::run(&w, c);
+    assert_eq!(out.stats.isolation_violations, 0);
+    // T0's aborted value becomes visible only via its fallback execution;
+    // T1 committed reading consistent data throughout.
+    assert_eq!(out.stats.tx_committed, 2);
+    assert!(out.stats.aborts_by_cause[3] >= 1, "user aborts recorded");
+}
+
+#[test]
+fn capacity_abort_and_fallback_progress() {
+    // Tiny L1: 4 sets × 2 ways. Three speculative lines in set 0 cannot be
+    // pinned simultaneously → deterministic capacity abort → fallback lock.
+    let w = ScriptedWorkload {
+        name: "capacity",
+        scripts: vec![vec![tx(vec![
+            TxOp::Write { addr: Addr(0), size: 8, value: 1 },
+            TxOp::Write { addr: Addr(4 * 64), size: 8, value: 2 },
+            TxOp::Write { addr: Addr(8 * 64), size: 8, value: 3 },
+        ])]],
+    };
+    let mut c = SimConfig::paper(DetectorKind::Baseline);
+    c.machine = MachineConfig::tiny_l1(1);
+    c.max_retries = 2;
+    let out = Machine::run(&w, c);
+    assert!(out.stats.aborts_by_cause[2] >= 1, "capacity aborts recorded");
+    assert_eq!(out.stats.fallback_commits, 1);
+    assert_eq!(out.stats.tx_committed, 1);
+    // The fallback executed the writes.
+    assert_eq!(out.memory.read_u64(Addr(0), 8), 1);
+    assert_eq!(out.memory.read_u64(Addr(4 * 64), 8), 2);
+    assert_eq!(out.memory.read_u64(Addr(8 * 64), 8), 3);
+}
+
+#[test]
+fn serializability_of_shared_counter() {
+    // 4 cores × 25 increments of one shared counter: the committed value
+    // must be exactly 100 under every detector (no lost updates).
+    let mk = |n_tx: usize| {
+        let item = tx(vec![
+            TxOp::Update { addr: Addr(0x8000), size: 8, delta: 1 },
+            TxOp::Compute { cycles: 60 },
+        ]);
+        vec![item; n_tx]
+    };
+    for k in [
+        DetectorKind::Baseline,
+        DetectorKind::SubBlock(2),
+        DetectorKind::SubBlock(4),
+        DetectorKind::SubBlock(16),
+        DetectorKind::Perfect,
+    ] {
+        let w = ScriptedWorkload {
+            name: "counter",
+            scripts: (0..4).map(|_| mk(25)).collect(),
+        };
+        let out = Machine::run(&w, cfg(k, 4));
+        assert_eq!(out.memory.read_u64(Addr(0x8000), 8), 100, "{k} lost updates");
+        assert_eq!(out.stats.isolation_violations, 0, "{k}");
+        assert_eq!(out.stats.tx_committed + out.stats.fallback_commits
+                   - out.stats.fallback_commits, out.stats.tx_committed);
+        assert_eq!(out.stats.tx_committed, 100, "{k}");
+    }
+}
+
+#[test]
+fn per_core_slots_on_shared_lines_never_lose_updates() {
+    // Each core owns an 8-byte slot of the same two lines — heavy false
+    // sharing, zero true sharing. All updates must survive.
+    let cores = 4;
+    let mk = |tid: usize| {
+        let a = Addr(0x9000 + (tid as u64) * 8);
+        let b = Addr(0x9040 + (tid as u64) * 8);
+        let item = tx(vec![
+            TxOp::Update { addr: a, size: 8, delta: 1 },
+            TxOp::Update { addr: b, size: 8, delta: 2 },
+            TxOp::Compute { cycles: 40 },
+        ]);
+        vec![item; 20]
+    };
+    for k in [DetectorKind::Baseline, DetectorKind::SubBlock(4), DetectorKind::Perfect] {
+        let w = ScriptedWorkload {
+            name: "slots",
+            scripts: (0..cores).map(mk).collect(),
+        };
+        let out = Machine::run(&w, cfg(k, cores));
+        for tid in 0..cores {
+            assert_eq!(
+                out.memory.read_u64(Addr(0x9000 + (tid as u64) * 8), 8),
+                20,
+                "{k} core {tid} slot A"
+            );
+            assert_eq!(
+                out.memory.read_u64(Addr(0x9040 + (tid as u64) * 8), 8),
+                40,
+                "{k} core {tid} slot B"
+            );
+        }
+        assert_eq!(out.stats.isolation_violations, 0);
+        // Baseline must suffer false conflicts here; perfect must not.
+        match k {
+            DetectorKind::Baseline => {
+                assert!(out.stats.conflicts.false_total() > 0, "baseline saw no false conflicts")
+            }
+            DetectorKind::Perfect => assert_eq!(out.stats.conflicts.false_total(), 0),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn detector_granularity_orders_false_conflicts() {
+    // Single writer + three readers on disjoint 8-byte slots of one line:
+    // coarser detectors can only see more (or equal) false conflicts; 8-byte
+    // sub-blocks resolve everything (all sharing is read-vs-write here).
+    let cores = 4;
+    let mk = |tid: usize| {
+        let a = Addr(0xa000 + (tid as u64) * 8);
+        let item = if tid == 0 {
+            tx(vec![
+                TxOp::Update { addr: a, size: 8, delta: 1 },
+                TxOp::Compute { cycles: 30 },
+            ])
+        } else {
+            tx(vec![
+                TxOp::Read { addr: a, size: 8 },
+                TxOp::Compute { cycles: 30 },
+            ])
+        };
+        vec![item; 15]
+    };
+    let run = |k: DetectorKind| {
+        let w = ScriptedWorkload { name: "order", scripts: (0..cores).map(mk).collect() };
+        Machine::run(&w, cfg(k, cores)).stats.conflicts.false_total()
+    };
+    let base = run(DetectorKind::Baseline);
+    let sb4 = run(DetectorKind::SubBlock(4));
+    let sb8 = run(DetectorKind::SubBlock(8));
+    let perfect = run(DetectorKind::Perfect);
+    assert!(base >= sb4, "baseline {base} < sb4 {sb4}");
+    assert!(sb4 >= sb8, "sb4 {sb4} < sb8 {sb8}");
+    assert_eq!(perfect, 0);
+    assert!(base > 0, "workload generated no contention");
+    assert_eq!(sb8, 0, "8-byte slots at 8-byte granularity must not conflict");
+}
+
+#[test]
+fn plain_nontx_access_aborts_remote_transactions() {
+    let w = ScriptedWorkload {
+        name: "nontx-abort",
+        scripts: vec![
+            vec![tx(vec![
+                TxOp::Read { addr: Addr(0xb000), size: 8 },
+                TxOp::WaitUntil { cycle: 2_000 },
+            ])],
+            vec![WorkItem::Plain(vec![
+                TxOp::WaitUntil { cycle: 500 },
+                TxOp::Write { addr: Addr(0xb000), size: 8, value: 9 },
+            ])],
+        ],
+    };
+    let out = Machine::run(&w, cfg(DetectorKind::Baseline, 2));
+    assert!(out.stats.conflicts.true_total() >= 1);
+    assert_eq!(out.memory.read_u64(Addr(0xb000), 8), 9);
+    assert_eq!(out.stats.tx_committed, 1); // the txn retried and committed
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let mk = || ScriptedWorkload {
+        name: "det",
+        scripts: (0..4)
+            .map(|_| {
+                vec![
+                    tx(vec![
+                        TxOp::Update { addr: Addr(0xc000), size: 8, delta: 1 },
+                        TxOp::Compute { cycles: 50 },
+                    ]);
+                    10
+                ]
+            })
+            .collect(),
+    };
+    let a = Machine::run(&mk(), cfg(DetectorKind::SubBlock(4), 4));
+    let b = Machine::run(&mk(), cfg(DetectorKind::SubBlock(4), 4));
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.conflicts, b.stats.conflicts);
+    assert_eq!(a.stats.tx_attempts, b.stats.tx_attempts);
+}
+
+#[test]
+fn latency_levels_are_charged() {
+    // A second read of the same line must be an L1 hit and cheap.
+    let w = ScriptedWorkload {
+        name: "latency",
+        scripts: vec![vec![
+            WorkItem::Plain(vec![TxOp::Read { addr: Addr(0xd000), size: 8 }]),
+            WorkItem::Plain(vec![TxOp::Read { addr: Addr(0xd000), size: 8 }]),
+        ]],
+    };
+    let out = Machine::run(&w, cfg(DetectorKind::Baseline, 1));
+    assert_eq!(out.stats.l1_misses, 1);
+    assert_eq!(out.stats.l1_hits, 1);
+    // 210 (memory) + 3 (hit).
+    assert_eq!(out.stats.cycles, 213);
+}
+
+#[test]
+fn coherence_invariants_hold_throughout_contended_runs() {
+    // Step the machine manually and check the MOESI single-writer invariant
+    // at every scheduler step of a heavily false-sharing run.
+    let cores = 4;
+    let mk = |tid: usize| {
+        let a = Addr(0xe000 + (tid as u64) * 8);
+        let item = tx(vec![
+            TxOp::Update { addr: a, size: 8, delta: 1 },
+            TxOp::Read { addr: Addr(0xe000 + (((tid + 1) % cores) as u64) * 8), size: 8 },
+            TxOp::Compute { cycles: 40 },
+        ]);
+        vec![item; 12]
+    };
+    for k in [DetectorKind::Baseline, DetectorKind::SubBlock(4), DetectorKind::Perfect] {
+        let w = ScriptedWorkload { name: "inv", scripts: (0..cores).map(mk).collect() };
+        let mut m = Machine::new(&w, cfg(k, cores));
+        let mut steps = 0u64;
+        while m.step_n(1) {
+            steps += 1;
+            if steps.is_multiple_of(7) {
+                m.check_coherence_invariants()
+                    .unwrap_or_else(|e| panic!("{k} step {steps}: {e}"));
+            }
+            assert!(steps < 2_000_000, "runaway");
+        }
+        m.check_coherence_invariants().unwrap();
+    }
+}
+
+#[test]
+fn latency_jitter_keeps_invariants_and_determinism() {
+    let mk = || {
+        let item = tx(vec![
+            TxOp::Update { addr: Addr(0xf000), size: 8, delta: 1 },
+            TxOp::Read { addr: Addr(0xf008), size: 8 },
+            TxOp::Compute { cycles: 30 },
+        ]);
+        ScriptedWorkload { name: "jitter", scripts: (0..4).map(|_| vec![item.clone(); 15]).collect() }
+    };
+    let mut c = cfg(DetectorKind::SubBlock(4), 4);
+    c.latency_jitter = 25;
+    let a = Machine::run(&mk(), c);
+    let b = Machine::run(&mk(), c);
+    // Still deterministic per seed…
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    // …still serializable…
+    assert_eq!(a.memory.read_u64(Addr(0xf000), 8), 60);
+    assert_eq!(a.stats.isolation_violations, 0);
+    // …and actually different from the unjittered timing.
+    let mut c0 = cfg(DetectorKind::SubBlock(4), 4);
+    c0.latency_jitter = 0;
+    let plain = Machine::run(&mk(), c0);
+    assert_ne!(plain.stats.cycles, a.stats.cycles);
+}
+
+#[test]
+fn retained_metadata_still_detects_conflicts_after_false_war_invalidation() {
+    // §IV-D-2: "all the speculative information will still stay inside the
+    // invalidated cache line… conflict check will be done for both valid
+    // and invalidated cache lines."
+    //
+    // T0 reads sub-block 0. T1's write to sub-block 2 invalidates T0's line
+    // *without* a conflict (false WAR survival at sb4). T2 then writes the
+    // very bytes T0 read — T0's line is invalid, so only the retained
+    // metadata can catch this true WAR. It must.
+    let w = ScriptedWorkload {
+        name: "retained",
+        scripts: vec![
+            vec![tx(vec![
+                TxOp::Read { addr: Addr(0x4000), size: 8 }, // sub-block 0
+                TxOp::WaitUntil { cycle: 6_000 },
+            ])],
+            vec![tx(vec![
+                TxOp::WaitUntil { cycle: 1_000 },
+                TxOp::Write { addr: Addr(0x4020), size: 8, value: 1 }, // sub-block 2
+            ])],
+            vec![tx(vec![
+                TxOp::WaitUntil { cycle: 3_000 },
+                TxOp::Write { addr: Addr(0x4000), size: 8, value: 2 }, // T0's bytes
+            ])],
+        ],
+    };
+    let out = Machine::run(&w, cfg(DetectorKind::SubBlock(4), 3));
+    // Exactly one conflict: T2's true WAR against T0's retained read.
+    assert_eq!(out.stats.conflicts.total(), 1, "{:?}", out.stats.conflicts);
+    assert_eq!(out.stats.conflicts.true_total(), 1);
+    assert_eq!(out.stats.isolation_violations, 0);
+    assert_eq!(out.stats.tx_committed, 3);
+}
+
+#[test]
+fn probe_filter_keeps_probing_retained_only_holders() {
+    // Same scenario under the probe filter: after T1's invalidation, T0
+    // holds only retained metadata (no line anywhere in its hierarchy);
+    // the directory must still route T2's probe to T0.
+    use asf_machine::machine::FabricKind;
+    let w = ScriptedWorkload {
+        name: "retained-filter",
+        scripts: vec![
+            vec![tx(vec![
+                TxOp::Read { addr: Addr(0x4100), size: 8 },
+                TxOp::WaitUntil { cycle: 6_000 },
+            ])],
+            vec![tx(vec![
+                TxOp::WaitUntil { cycle: 1_000 },
+                TxOp::Write { addr: Addr(0x4120), size: 8, value: 1 },
+            ])],
+            vec![tx(vec![
+                TxOp::WaitUntil { cycle: 3_000 },
+                TxOp::Write { addr: Addr(0x4100), size: 8, value: 2 },
+            ])],
+        ],
+    };
+    let mut c = cfg(DetectorKind::SubBlock(4), 3);
+    c.fabric = FabricKind::ProbeFilter;
+    let out = Machine::run(&w, c);
+    assert_eq!(out.stats.conflicts.true_total(), 1, "{:?}", out.stats.conflicts);
+    assert_eq!(out.stats.isolation_violations, 0);
+}
+
+#[test]
+fn fallback_lock_blocks_new_transactions_until_release() {
+    // While a core holds the software fallback lock, other cores' pending
+    // transactions must not start (lock subscription). Observable through
+    // the trace: every TxBegin after the FallbackAcquire belongs to the
+    // owner until its release — here the victim's only commit lands after
+    // the long fallback sequence finishes.
+    let w = ScriptedWorkload {
+        name: "lock-block",
+        scripts: vec![
+            // Core 0: aborts forever (user abort), falls back after 1 retry,
+            // and the fallback executes a long op sequence.
+            vec![tx(vec![
+                TxOp::Write { addr: Addr(0x6000), size: 8, value: 1 },
+                TxOp::Compute { cycles: 2_000 },
+                TxOp::UserAbort { num: 1, den: 1 },
+            ])],
+            // Core 1: wants to start a short txn while the lock is held.
+            vec![
+                WorkItem::Compute { cycles: 4_500 },
+                tx(vec![TxOp::Update { addr: Addr(0x7000), size: 8, delta: 1 }]),
+            ],
+        ],
+    };
+    let mut c = cfg(DetectorKind::Baseline, 2);
+    c.max_retries = 1;
+    let mut m = Machine::new(&w, c);
+    m.enable_trace(10_000);
+    let out = m.run_to_completion();
+    let trace = out.trace.unwrap();
+    use asf_machine::trace::TraceEvent as Ev;
+    let acquire = trace.events().find_map(|e| match *e {
+        Ev::FallbackAcquire { core: 0, cycle } => Some(cycle),
+        _ => None,
+    });
+    let release = trace.events().find_map(|e| match *e {
+        Ev::FallbackRelease { core: 0, cycle } => Some(cycle),
+        _ => None,
+    });
+    let (acquire, release) = (
+        acquire.expect("core 0 must take the fallback lock"),
+        release.expect("core 0 must release the lock"),
+    );
+    assert!(release > acquire);
+    // Core 1's transaction must not begin inside the held window.
+    for ev in trace.events() {
+        if let Ev::TxBegin { core: 1, cycle, .. } = *ev {
+            assert!(
+                cycle < acquire || cycle >= release,
+                "core 1 began a txn at {cycle} inside the lock window {acquire}..{release}"
+            );
+        }
+    }
+    // Both effects landed exactly once regardless of ordering details.
+    assert_eq!(out.memory.read_u64(Addr(0x6000), 8), 1);
+    assert_eq!(out.memory.read_u64(Addr(0x7000), 8), 1);
+    assert_eq!(out.stats.isolation_violations, 0);
+    assert_eq!(out.stats.fallback_commits, 1);
+}

@@ -1,0 +1,184 @@
+//! Address and identifier primitives.
+//!
+//! The simulator works on a flat 64-bit physical byte address space. A
+//! [`LineAddr`] is an address with the intra-line offset stripped; all
+//! coherence traffic and speculative bookkeeping are keyed by line address,
+//! while byte-exact access information is carried separately as an
+//! [`crate::mask::AccessMask`].
+
+use core::fmt;
+
+/// Number of bytes in a cache line throughout the reproduction.
+///
+/// The paper (Table II) uses 64-byte lines; masks are `u64` bitmaps, one bit
+/// per byte, so the line size is fixed at 64.
+pub const LINE_SIZE: usize = 64;
+
+/// log2 of [`LINE_SIZE`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// A byte address in the simulated physical address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+/// A cache-line address: a byte address with the low [`LINE_SHIFT`] bits
+/// cleared, stored shifted right so consecutive lines are consecutive values.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl Addr {
+    /// The line this byte belongs to.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Offset of this byte within its line, in `0..LINE_SIZE`.
+    #[inline]
+    pub fn offset(self) -> usize {
+        (self.0 & (LINE_SIZE as u64 - 1)) as usize
+    }
+
+    /// Address advanced by `delta` bytes.
+    #[inline]
+    pub fn offset_by(self, delta: u64) -> Addr {
+        Addr(self.0 + delta)
+    }
+}
+
+impl LineAddr {
+    /// Byte address of the first byte of the line.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// The "cache line index" used for spatial histograms (Figure 4 of the
+    /// paper): simply the line number.
+    #[inline]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line({:#x})", self.0 << LINE_SHIFT)
+    }
+}
+
+/// Identifier of a simulated core (and of the hardware thread pinned to it).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A (byte-exact) memory access: address, size in bytes, and kind.
+///
+/// `size` may span line boundaries; the machine splits such accesses into
+/// per-line pieces before they reach the cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Access {
+    /// First byte touched.
+    pub addr: Addr,
+    /// Number of bytes touched (must be at least 1).
+    pub size: u32,
+    /// Whether the access writes.
+    pub is_write: bool,
+}
+
+impl Access {
+    /// A read of `size` bytes at `addr`.
+    pub fn read(addr: Addr, size: u32) -> Self {
+        Access { addr, size, is_write: false }
+    }
+
+    /// A write of `size` bytes at `addr`.
+    pub fn write(addr: Addr, size: u32) -> Self {
+        Access { addr, size, is_write: true }
+    }
+
+    /// Iterate over the per-line fragments of this access as
+    /// `(line, start_offset, len)` triples.
+    pub fn line_fragments(&self) -> impl Iterator<Item = (LineAddr, usize, usize)> + '_ {
+        let mut remaining = self.size as usize;
+        let mut cursor = self.addr;
+        core::iter::from_fn(move || {
+            if remaining == 0 {
+                return None;
+            }
+            let line = cursor.line();
+            let off = cursor.offset();
+            let span = (LINE_SIZE - off).min(remaining);
+            remaining -= span;
+            cursor = cursor.offset_by(span as u64);
+            Some((line, off, span))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_offset_roundtrip() {
+        let a = Addr(0x12345);
+        assert_eq!(a.line().base().0, 0x12340);
+        assert_eq!(a.offset(), 0x5);
+        assert_eq!(a.line().index(), 0x12345 >> 6);
+    }
+
+    #[test]
+    fn line_base_is_aligned() {
+        for raw in [0u64, 1, 63, 64, 65, 127, 1 << 40] {
+            let base = Addr(raw).line().base();
+            assert_eq!(base.0 % LINE_SIZE as u64, 0);
+            assert!(base.0 <= raw && raw < base.0 + LINE_SIZE as u64);
+        }
+    }
+
+    #[test]
+    fn single_line_fragment() {
+        let acc = Access::read(Addr(0x100), 8);
+        let frags: Vec<_> = acc.line_fragments().collect();
+        assert_eq!(frags, vec![(Addr(0x100).line(), 0, 8)]);
+    }
+
+    #[test]
+    fn straddling_fragments() {
+        // 12-byte write starting 4 bytes before a line boundary.
+        let acc = Access::write(Addr(0x13c), 12);
+        let frags: Vec<_> = acc.line_fragments().collect();
+        assert_eq!(
+            frags,
+            vec![
+                (Addr(0x13c).line(), 60, 4),
+                (Addr(0x140).line(), 0, 8),
+            ]
+        );
+    }
+
+    #[test]
+    fn fragment_spans_cover_whole_access() {
+        let acc = Access::read(Addr(0x3f), 200);
+        let total: usize = acc.line_fragments().map(|(_, _, n)| n).sum();
+        assert_eq!(total, 200);
+        // Fragments are contiguous.
+        let mut expect = Addr(0x3f);
+        for (line, off, n) in acc.line_fragments() {
+            assert_eq!(line.base().offset_by(off as u64), expect);
+            expect = expect.offset_by(n as u64);
+        }
+    }
+}

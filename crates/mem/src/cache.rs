@@ -1,0 +1,326 @@
+//! Generic set-associative tag array with true-LRU replacement.
+//!
+//! The array stores one metadata value of type `M` per resident line. The
+//! HTM layers above decide what `M` is (MOESI state + speculative bits for
+//! L1; plain MOESI for L2/L3). Victim selection can *pin* lines — ASF pins
+//! speculatively-accessed lines in L1, and an insertion that would have to
+//! evict a pinned line fails, which the machine turns into a capacity abort.
+
+use crate::addr::LineAddr;
+use crate::geometry::CacheGeometry;
+
+/// One resident line.
+#[derive(Clone, Debug)]
+struct Way<M> {
+    tag: u64,
+    meta: M,
+    /// Monotone last-touch stamp; the smallest stamp in a set is the LRU way.
+    lru: u64,
+}
+
+/// Result of a lookup.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LookupResult {
+    /// Line is resident.
+    Hit,
+    /// Line is not resident.
+    Miss,
+}
+
+/// Information about a line evicted to make room for an insertion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvictionInfo<M> {
+    /// Address of the evicted line.
+    pub line: LineAddr,
+    /// Its metadata at eviction time.
+    pub meta: M,
+}
+
+/// Error returned when every way of the target set is pinned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SetFull;
+
+/// A set-associative cache tag array with per-line metadata `M`.
+#[derive(Clone, Debug)]
+pub struct CacheArray<M> {
+    geom: CacheGeometry,
+    sets: Vec<Vec<Option<Way<M>>>>,
+    clock: u64,
+}
+
+impl<M> CacheArray<M> {
+    /// Create an empty array with the given geometry.
+    pub fn new(geom: CacheGeometry) -> Self {
+        let mut sets = Vec::with_capacity(geom.sets());
+        for _ in 0..geom.sets() {
+            let mut ways = Vec::with_capacity(geom.ways);
+            ways.resize_with(geom.ways, || None);
+            sets.push(ways);
+        }
+        CacheArray { geom, sets, clock: 0 }
+    }
+
+    /// The geometry this array was built with.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn slot(&self, line: LineAddr) -> (usize, u64) {
+        (self.geom.set_of(line), self.geom.tag_of(line))
+    }
+
+    /// Is the line resident?
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Borrow the metadata of a resident line without touching LRU state.
+    pub fn peek(&self, line: LineAddr) -> Option<&M> {
+        let (set, tag) = self.slot(line);
+        self.sets[set]
+            .iter()
+            .flatten()
+            .find(|w| w.tag == tag)
+            .map(|w| &w.meta)
+    }
+
+    /// Mutably borrow the metadata of a resident line without touching LRU.
+    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut M> {
+        let (set, tag) = self.slot(line);
+        self.sets[set]
+            .iter_mut()
+            .flatten()
+            .find(|w| w.tag == tag)
+            .map(|w| &mut w.meta)
+    }
+
+    /// Borrow the metadata of a resident line and mark it most-recently-used.
+    pub fn get(&mut self, line: LineAddr) -> Option<&mut M> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, tag) = self.slot(line);
+        self.sets[set]
+            .iter_mut()
+            .flatten()
+            .find(|w| w.tag == tag)
+            .map(|w| {
+                w.lru = clock;
+                &mut w.meta
+            })
+    }
+
+    /// Insert `line` with metadata `meta`, evicting the LRU non-pinned way if
+    /// the set is full. `is_pinned` marks metadata that must not be evicted.
+    ///
+    /// Returns the evicted line (if any). Fails with [`SetFull`] when the
+    /// set has no free way and every resident way is pinned — the caller
+    /// (the HTM machine) converts this into a capacity abort.
+    ///
+    /// If the line is already resident its metadata is replaced in place and
+    /// no eviction occurs.
+    pub fn insert(
+        &mut self,
+        line: LineAddr,
+        meta: M,
+        is_pinned: impl Fn(&M) -> bool,
+    ) -> Result<Option<EvictionInfo<M>>, SetFull> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, tag) = self.slot(line);
+        let ways = &mut self.sets[set];
+
+        // Replace in place on re-insertion.
+        if let Some(w) = ways.iter_mut().flatten().find(|w| w.tag == tag) {
+            w.meta = meta;
+            w.lru = clock;
+            return Ok(None);
+        }
+
+        // Free way?
+        if let Some(slot) = ways.iter_mut().find(|w| w.is_none()) {
+            *slot = Some(Way { tag, meta, lru: clock });
+            return Ok(None);
+        }
+
+        // Evict LRU among non-pinned ways.
+        let victim_idx = ways
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| {
+                let w = w.as_ref().expect("set scanned as full");
+                if is_pinned(&w.meta) {
+                    None
+                } else {
+                    Some((i, w.lru))
+                }
+            })
+            .min_by_key(|&(_, lru)| lru)
+            .map(|(i, _)| i)
+            .ok_or(SetFull)?;
+
+        let sets_bits = self.geom.sets().trailing_zeros();
+        let old = ways[victim_idx]
+            .replace(Way { tag, meta, lru: clock })
+            .expect("victim way was occupied");
+        Ok(Some(EvictionInfo {
+            line: LineAddr((old.tag << sets_bits) | set as u64),
+            meta: old.meta,
+        }))
+    }
+
+    /// Remove a line, returning its metadata.
+    pub fn remove(&mut self, line: LineAddr) -> Option<M> {
+        let (set, tag) = self.slot(line);
+        for w in self.sets[set].iter_mut() {
+            if matches!(w, Some(way) if way.tag == tag) {
+                return w.take().map(|way| way.meta);
+            }
+        }
+        None
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.iter().flatten().count()).sum()
+    }
+
+    /// True when no line is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over `(line, &meta)` for every resident line.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &M)> {
+        let sets_bits = self.geom.sets().trailing_zeros();
+        self.sets.iter().enumerate().flat_map(move |(set, ways)| {
+            ways.iter().flatten().map(move |w| {
+                (LineAddr((w.tag << sets_bits) | set as u64), &w.meta)
+            })
+        })
+    }
+
+    /// Iterate mutably over `(line, &mut meta)` for every resident line.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut M)> {
+        let sets_bits = self.geom.sets().trailing_zeros();
+        self.sets.iter_mut().enumerate().flat_map(move |(set, ways)| {
+            ways.iter_mut().flatten().map(move |w| {
+                (LineAddr((w.tag << sets_bits) | set as u64), &mut w.meta)
+            })
+        })
+    }
+
+    /// Drop every line for which `pred` returns true, invoking `on_drop` on
+    /// each removed `(line, meta)`.
+    pub fn retain(&mut self, mut pred: impl FnMut(LineAddr, &mut M) -> bool) {
+        let sets_bits = self.geom.sets().trailing_zeros();
+        for (set, ways) in self.sets.iter_mut().enumerate() {
+            for w in ways.iter_mut() {
+                if let Some(way) = w {
+                    let line = LineAddr((way.tag << sets_bits) | set as u64);
+                    if !pred(line, &mut way.meta) {
+                        *w = None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    fn tiny() -> CacheArray<u32> {
+        // 2 sets x 2 ways.
+        CacheArray::new(CacheGeometry::new(2 * 2 * 64, 2))
+    }
+
+    fn line(n: u64) -> LineAddr {
+        Addr(n * 64).line()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = tiny();
+        assert!(c.insert(line(0), 10, |_| false).unwrap().is_none());
+        assert_eq!(c.peek(line(0)), Some(&10));
+        assert_eq!(c.peek(line(2)), None); // same set, different tag
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut c = tiny();
+        c.insert(line(0), 1, |_| false).unwrap();
+        assert!(c.insert(line(0), 2, |_| false).unwrap().is_none());
+        assert_eq!(c.peek(line(0)), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (even line numbers, 2 sets).
+        c.insert(line(0), 0, |_| false).unwrap();
+        c.insert(line(2), 2, |_| false).unwrap();
+        // Touch line 0 so line 2 becomes LRU.
+        c.get(line(0));
+        let ev = c.insert(line(4), 4, |_| false).unwrap().unwrap();
+        assert_eq!(ev.line, line(2));
+        assert_eq!(ev.meta, 2);
+        assert!(c.contains(line(0)) && c.contains(line(4)));
+    }
+
+    #[test]
+    fn pinned_lines_are_skipped() {
+        let mut c = tiny();
+        c.insert(line(0), 100, |_| false).unwrap(); // pinned (>=100)
+        c.insert(line(2), 1, |_| false).unwrap();
+        let ev = c.insert(line(4), 2, |m| *m >= 100).unwrap().unwrap();
+        assert_eq!(ev.line, line(2)); // LRU would be line 0 but it is pinned
+        assert!(c.contains(line(0)));
+    }
+
+    #[test]
+    fn set_full_when_all_pinned() {
+        let mut c = tiny();
+        c.insert(line(0), 100, |_| false).unwrap();
+        c.insert(line(2), 100, |_| false).unwrap();
+        assert_eq!(c.insert(line(4), 1, |m| *m >= 100), Err(SetFull));
+        // The set is untouched.
+        assert!(c.contains(line(0)) && c.contains(line(2)));
+    }
+
+    #[test]
+    fn remove_returns_meta() {
+        let mut c = tiny();
+        c.insert(line(1), 7, |_| false).unwrap();
+        assert_eq!(c.remove(line(1)), Some(7));
+        assert_eq!(c.remove(line(1)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn iter_reconstructs_line_addresses() {
+        let mut c = tiny();
+        for n in [0u64, 1, 2, 3] {
+            c.insert(line(n), n as u32, |_| false).unwrap();
+        }
+        let mut got: Vec<_> = c.iter().map(|(l, &m)| (l, m)).collect();
+        got.sort();
+        let want: Vec<_> = (0..4).map(|n| (line(n), n as u32)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn retain_drops_matching() {
+        let mut c = tiny();
+        for n in 0..4 {
+            c.insert(line(n), n as u32, |_| false).unwrap();
+        }
+        c.retain(|_, m| *m % 2 == 0);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(line(0)) && c.contains(line(2)));
+    }
+}

@@ -1,0 +1,79 @@
+//! Machine configuration (the physical half of Table II).
+
+use crate::geometry::CacheGeometry;
+use crate::latency::LatencyModel;
+
+/// Physical configuration of the simulated multicore machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MachineConfig {
+    /// Number of cores (each runs one workload thread).
+    pub cores: usize,
+    /// Private L1 data cache geometry.
+    pub l1: CacheGeometry,
+    /// Private L2 geometry.
+    pub l2: CacheGeometry,
+    /// Private L3 geometry.
+    pub l3: CacheGeometry,
+    /// Load-to-use latencies.
+    pub latency: LatencyModel,
+}
+
+impl MachineConfig {
+    /// The paper's Table II machine: 8 Opteron-like cores, 64 KB 2-way L1
+    /// (64-B lines), 512 KB 16-way private L2, 2 MB 16-way private L3.
+    pub fn opteron_8core() -> MachineConfig {
+        MachineConfig {
+            cores: 8,
+            l1: CacheGeometry::new(64 * 1024, 2),
+            l2: CacheGeometry::new(512 * 1024, 16),
+            l3: CacheGeometry::new(2 * 1024 * 1024, 16),
+            latency: LatencyModel::opteron(),
+        }
+    }
+
+    /// Same caches, different core count (used by scripted tests and
+    /// sensitivity sweeps).
+    pub fn opteron_with_cores(cores: usize) -> MachineConfig {
+        assert!(cores >= 1, "need at least one core");
+        MachineConfig { cores, ..MachineConfig::opteron_8core() }
+    }
+
+    /// A deliberately tiny machine (4-set L1) used by capacity-abort tests.
+    pub fn tiny_l1(cores: usize) -> MachineConfig {
+        MachineConfig {
+            cores,
+            l1: CacheGeometry::new(4 * 2 * 64, 2), // 4 sets, 2 ways
+            l2: CacheGeometry::new(64 * 16 * 64, 16),
+            l3: CacheGeometry::new(128 * 16 * 64, 16),
+            latency: LatencyModel::opteron(),
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::opteron_8core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_shape() {
+        let m = MachineConfig::opteron_8core();
+        assert_eq!(m.cores, 8);
+        assert_eq!(m.l1.sets(), 512);
+        assert_eq!(m.l1.ways, 2);
+        assert_eq!(m.l2.size_bytes, 512 * 1024);
+        assert_eq!(m.l3.size_bytes, 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn tiny_l1_is_tiny() {
+        let m = MachineConfig::tiny_l1(2);
+        assert_eq!(m.l1.sets(), 4);
+        assert_eq!(m.l1.lines(), 8);
+    }
+}

@@ -1,0 +1,82 @@
+//! Table II latency model.
+//!
+//! The paper simulates a "generic AMD Opteron" configuration; conflict
+//! behaviour is driven by interleaving, so only load-to-use latencies are
+//! modelled: L1 3 cycles, L2 15, L3 50, memory 210. Cache-to-cache transfers
+//! from a remote L1 are charged the remote-transfer latency (same class as
+//! L3 — an on-package hop), a standard cycle-approximate choice.
+
+/// Where an access was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessLevel {
+    /// Local L1 hit.
+    L1,
+    /// Local (private) L2 hit.
+    L2,
+    /// Local (private) L3 hit.
+    L3,
+    /// Supplied by another core's cache.
+    RemoteCache,
+    /// Main memory.
+    Memory,
+}
+
+/// Load-to-use latencies in core cycles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LatencyModel {
+    /// L1 data-cache hit.
+    pub l1: u64,
+    /// Private L2 hit.
+    pub l2: u64,
+    /// Private L3 hit.
+    pub l3: u64,
+    /// Cache-to-cache transfer from a remote core.
+    pub remote: u64,
+    /// Main memory access.
+    pub memory: u64,
+}
+
+impl LatencyModel {
+    /// The paper's Table II values.
+    pub const fn opteron() -> LatencyModel {
+        LatencyModel { l1: 3, l2: 15, l3: 50, remote: 50, memory: 210 }
+    }
+
+    /// Latency for an access satisfied at `level`.
+    #[inline]
+    pub fn for_level(&self, level: AccessLevel) -> u64 {
+        match level {
+            AccessLevel::L1 => self.l1,
+            AccessLevel::L2 => self.l2,
+            AccessLevel::L3 => self.l3,
+            AccessLevel::RemoteCache => self.remote,
+            AccessLevel::Memory => self.memory,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::opteron()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_values() {
+        let m = LatencyModel::opteron();
+        assert_eq!(m.for_level(AccessLevel::L1), 3);
+        assert_eq!(m.for_level(AccessLevel::L2), 15);
+        assert_eq!(m.for_level(AccessLevel::L3), 50);
+        assert_eq!(m.for_level(AccessLevel::Memory), 210);
+    }
+
+    #[test]
+    fn latencies_increase_with_distance() {
+        let m = LatencyModel::default();
+        assert!(m.l1 < m.l2 && m.l2 < m.l3 && m.l3 <= m.remote && m.remote < m.memory);
+    }
+}

@@ -1,0 +1,347 @@
+//! Intra-line byte masks — the ground truth for conflict granularity.
+//!
+//! Every speculative access inside a transaction records exactly which bytes
+//! of which line it touched, as a 64-bit bitmap (bit *i* = byte *i* of the
+//! 64-byte line). All three conflict-detection granularities studied by the
+//! paper are *views* of this single representation:
+//!
+//! * the **baseline ASF** detector collapses a mask to "any bit set"
+//!   (line granularity);
+//! * the **sub-blocking** detector coarsens a mask to `N` sub-blocks with
+//!   [`AccessMask::coarsen`];
+//! * the **perfect** system uses the mask bit-for-bit (byte granularity).
+//!
+//! Keeping one representation with explicit coarsening makes the key
+//! property of the paper checkable by construction: a conflict flagged at a
+//! finer granularity is always flagged at a coarser one (see the proptest
+//! `coarsen_is_monotone`).
+
+use crate::addr::LINE_SIZE;
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitOrAssign, Not};
+
+/// A set of byte offsets within one cache line (bit *i* ⇔ byte *i*).
+///
+/// ```
+/// use asf_mem::mask::AccessMask;
+///
+/// let write = AccessMask::from_range(0, 4);  // bytes 0..4
+/// let read = AccessMask::from_range(4, 4);   // bytes 4..8
+/// assert!(!write.overlaps(read));            // no true conflict…
+/// assert!(write.coarsen(8).overlaps(read.coarsen(8))); // …but 8-byte blocks collide
+/// assert!(!write.coarsen(16).overlaps(read.coarsen(16))); // 4-byte blocks don't
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AccessMask(pub u64);
+
+impl AccessMask {
+    /// The empty mask.
+    pub const EMPTY: AccessMask = AccessMask(0);
+
+    /// Mask covering the whole line.
+    pub const FULL: AccessMask = AccessMask(u64::MAX);
+
+    /// Mask for `len` bytes starting at intra-line offset `offset`.
+    ///
+    /// # Panics
+    /// If the range does not fit in the line or `len == 0`.
+    #[inline]
+    pub fn from_range(offset: usize, len: usize) -> AccessMask {
+        assert!(len >= 1, "empty access");
+        assert!(
+            offset + len <= LINE_SIZE,
+            "range {offset}+{len} exceeds line size {LINE_SIZE}"
+        );
+        if len == LINE_SIZE {
+            AccessMask::FULL
+        } else {
+            AccessMask(((1u64 << len) - 1) << offset)
+        }
+    }
+
+    /// True if no byte is covered.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if any byte is covered.
+    #[inline]
+    pub fn any(self) -> bool {
+        self.0 != 0
+    }
+
+    /// True if this mask shares at least one byte with `other`.
+    #[inline]
+    pub fn overlaps(self, other: AccessMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Number of bytes covered.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Coarsen to `sub_blocks` equal sub-blocks: every sub-block containing
+    /// at least one covered byte becomes fully covered.
+    ///
+    /// `sub_blocks` must be a power of two in `1..=64`. `coarsen(64)` is the
+    /// identity; `coarsen(1)` yields [`AccessMask::FULL`] for any non-empty
+    /// mask (line granularity).
+    #[inline]
+    pub fn coarsen(self, sub_blocks: usize) -> AccessMask {
+        let sb_mask = self.to_subblock_bits(sub_blocks);
+        AccessMask::from_subblock_bits(sb_mask, sub_blocks)
+    }
+
+    /// Collapse to a bitmap with one bit per sub-block (bit *i* set iff any
+    /// byte of sub-block *i* is covered). This models the hardware `SPEC`/`WR`
+    /// bit vectors, which have exactly `sub_blocks` entries.
+    #[inline]
+    pub fn to_subblock_bits(self, sub_blocks: usize) -> u64 {
+        assert!(
+            sub_blocks.is_power_of_two() && (1..=LINE_SIZE).contains(&sub_blocks),
+            "sub-block count must be a power of two in 1..=64, got {sub_blocks}"
+        );
+        if sub_blocks == LINE_SIZE {
+            return self.0;
+        }
+        let bytes_per_sb = LINE_SIZE / sub_blocks;
+        // Bytes of one sub-block; bytes_per_sb == 64 only when sub_blocks == 1.
+        let chunk = if bytes_per_sb == LINE_SIZE {
+            u64::MAX
+        } else {
+            (1u64 << bytes_per_sb) - 1
+        };
+        let mut out = 0u64;
+        for sb in 0..sub_blocks {
+            if self.0 & (chunk << (sb * bytes_per_sb)) != 0 {
+                out |= 1 << sb;
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`AccessMask::to_subblock_bits`]: expand a per-sub-block
+    /// bitmap back to a byte mask in which flagged sub-blocks are fully
+    /// covered.
+    #[inline]
+    pub fn from_subblock_bits(bits: u64, sub_blocks: usize) -> AccessMask {
+        assert!(
+            sub_blocks.is_power_of_two() && (1..=LINE_SIZE).contains(&sub_blocks),
+            "sub-block count must be a power of two in 1..=64, got {sub_blocks}"
+        );
+        if sub_blocks == LINE_SIZE {
+            return AccessMask(bits);
+        }
+        let bytes_per_sb = LINE_SIZE / sub_blocks;
+        let chunk = if bytes_per_sb == LINE_SIZE {
+            u64::MAX
+        } else {
+            (1u64 << bytes_per_sb) - 1
+        };
+        let mut out = 0u64;
+        for sb in 0..sub_blocks {
+            if bits & (1 << sb) != 0 {
+                out |= chunk << (sb * bytes_per_sb);
+            }
+        }
+        AccessMask(out)
+    }
+
+    /// Iterate over covered byte offsets, ascending.
+    pub fn iter_offsets(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        core::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+}
+
+impl BitOr for AccessMask {
+    type Output = AccessMask;
+    #[inline]
+    fn bitor(self, rhs: AccessMask) -> AccessMask {
+        AccessMask(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for AccessMask {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: AccessMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for AccessMask {
+    type Output = AccessMask;
+    #[inline]
+    fn bitand(self, rhs: AccessMask) -> AccessMask {
+        AccessMask(self.0 & rhs.0)
+    }
+}
+
+impl Not for AccessMask {
+    type Output = AccessMask;
+    #[inline]
+    fn not(self) -> AccessMask {
+        AccessMask(!self.0)
+    }
+}
+
+impl fmt::Debug for AccessMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AccessMask({:#018x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_range_basic() {
+        assert_eq!(AccessMask::from_range(0, 1).0, 0x1);
+        assert_eq!(AccessMask::from_range(0, 8).0, 0xff);
+        assert_eq!(AccessMask::from_range(8, 8).0, 0xff00);
+        assert_eq!(AccessMask::from_range(63, 1).0, 1 << 63);
+        assert_eq!(AccessMask::from_range(0, 64), AccessMask::FULL);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds line size")]
+    fn from_range_overflow_panics() {
+        let _ = AccessMask::from_range(60, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty access")]
+    fn from_range_empty_panics() {
+        let _ = AccessMask::from_range(0, 0);
+    }
+
+    #[test]
+    fn overlap_rules() {
+        let a = AccessMask::from_range(0, 8);
+        let b = AccessMask::from_range(8, 8);
+        let c = AccessMask::from_range(4, 8);
+        assert!(!a.overlaps(b));
+        assert!(a.overlaps(c));
+        assert!(b.overlaps(c));
+        assert!(!a.overlaps(AccessMask::EMPTY));
+    }
+
+    #[test]
+    fn coarsen_line_granularity() {
+        let a = AccessMask::from_range(17, 2);
+        assert_eq!(a.coarsen(1), AccessMask::FULL);
+        assert_eq!(AccessMask::EMPTY.coarsen(1), AccessMask::EMPTY);
+    }
+
+    #[test]
+    fn coarsen_identity_at_byte_granularity() {
+        let a = AccessMask::from_range(13, 11);
+        assert_eq!(a.coarsen(64), a);
+    }
+
+    #[test]
+    fn coarsen_four_subblocks() {
+        // Bytes 0..8 live entirely in sub-block 0 of 4 (bytes 0..16).
+        let a = AccessMask::from_range(0, 8);
+        assert_eq!(a.coarsen(4), AccessMask::from_range(0, 16));
+        // A 2-byte access at offset 15 straddles sub-blocks 0 and 1.
+        let b = AccessMask::from_range(15, 2);
+        assert_eq!(b.coarsen(4), AccessMask::from_range(0, 32));
+    }
+
+    #[test]
+    fn subblock_bits_roundtrip() {
+        let a = AccessMask::from_range(20, 20); // bytes 20..40 span sub-blocks 1..=2 of 4
+        assert_eq!(a.to_subblock_bits(4), 0b0110);
+        assert_eq!(
+            AccessMask::from_subblock_bits(0b0110, 4),
+            AccessMask::from_range(16, 32)
+        );
+    }
+
+    #[test]
+    fn disjoint_at_fine_grain_conflict_at_coarse_grain() {
+        // The false-sharing archetype: bytes 0..4 vs bytes 4..8 of one line.
+        let w = AccessMask::from_range(0, 4);
+        let r = AccessMask::from_range(4, 4);
+        assert!(!w.overlaps(r)); // no true conflict
+        assert!(w.coarsen(8).overlaps(r.coarsen(8))); // 8-byte sub-blocks: false conflict
+        assert!(w.coarsen(1).overlaps(r.coarsen(1))); // line granularity: false conflict
+        assert!(!w.coarsen(16).overlaps(r.coarsen(16))); // 4-byte sub-blocks: resolved
+    }
+
+    #[test]
+    fn iter_offsets_matches_bits() {
+        let m = AccessMask(0b1010_0001);
+        let offs: Vec<_> = m.iter_offsets().collect();
+        assert_eq!(offs, vec![0, 5, 7]);
+        assert_eq!(m.count(), 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_mask() -> impl Strategy<Value = AccessMask> {
+        any::<u64>().prop_map(AccessMask)
+    }
+
+    fn arb_subblocks() -> impl Strategy<Value = usize> {
+        prop::sample::select(vec![1usize, 2, 4, 8, 16, 32, 64])
+    }
+
+    proptest! {
+        /// Coarsening never removes coverage.
+        #[test]
+        fn coarsen_is_superset(m in arb_mask(), n in arb_subblocks()) {
+            let c = m.coarsen(n);
+            prop_assert_eq!(c.0 & m.0, m.0);
+        }
+
+        /// If two masks overlap at a fine granularity they overlap at every
+        /// coarser one (the monotonicity that makes false conflicts a strict
+        /// superset phenomenon).
+        #[test]
+        fn coarsen_is_monotone(a in arb_mask(), b in arb_mask(),
+                               fine in arb_subblocks(), coarse in arb_subblocks()) {
+            prop_assume!(coarse <= fine);
+            if a.coarsen(fine).overlaps(b.coarsen(fine)) {
+                prop_assert!(a.coarsen(coarse).overlaps(b.coarsen(coarse)));
+            }
+        }
+
+        /// Coarsening is idempotent.
+        #[test]
+        fn coarsen_idempotent(m in arb_mask(), n in arb_subblocks()) {
+            prop_assert_eq!(m.coarsen(n).coarsen(n), m.coarsen(n));
+        }
+
+        /// to/from sub-block bits round-trips through the coarsened mask.
+        #[test]
+        fn subblock_bits_roundtrip(m in arb_mask(), n in arb_subblocks()) {
+            let bits = m.to_subblock_bits(n);
+            prop_assert_eq!(AccessMask::from_subblock_bits(bits, n), m.coarsen(n));
+        }
+
+        /// Range masks cover exactly `len` bytes.
+        #[test]
+        fn range_mask_count(off in 0usize..64, len in 1usize..=64) {
+            prop_assume!(off + len <= 64);
+            prop_assert_eq!(AccessMask::from_range(off, len).count() as usize, len);
+        }
+    }
+}

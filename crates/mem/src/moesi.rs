@@ -1,0 +1,207 @@
+//! MOESI coherence states and transition rules.
+//!
+//! ASF deliberately leaves the coherence protocol untouched; the sub-blocking
+//! technique rides on the same probe messages. The simulator therefore needs
+//! an ordinary MOESI implementation: the transition functions here are pure
+//! (state in → state out) and are driven by the snooping fabric in
+//! `asf-machine`.
+//!
+//! Probe vocabulary (matching the paper's terminology):
+//! * a **non-invalidating probe** is sent by a reader that misses — remote
+//!   copies survive but an exclusive/modified owner degrades to Owned;
+//! * an **invalidating probe** is sent by a writer (miss or upgrade) — all
+//!   remote copies are invalidated.
+
+use core::fmt;
+
+/// Which coherence protocol family the fabric runs.
+///
+/// ASF uses MOESI (AMD); the MESI variant drops the Owned state — a dirty
+/// line observed by a remote reader writes back and becomes Shared instead
+/// of staying the designated owner. Conflict detection is untouched; only
+/// who supplies data (and hence some latencies) changes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CoherenceKind {
+    /// AMD-style MOESI (the paper's machine).
+    #[default]
+    Moesi,
+    /// Classic four-state MESI (ablation).
+    Mesi,
+}
+
+/// MOESI state of one cache line copy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum MoesiState {
+    /// Modified: sole dirty copy.
+    Modified,
+    /// Owned: dirty copy that other sharers may also hold (read-only).
+    Owned,
+    /// Exclusive: sole clean copy.
+    Exclusive,
+    /// Shared: clean copy, other sharers may exist.
+    Shared,
+    /// Invalid: not present (used transiently; invalid lines are normally
+    /// simply absent from the tag array).
+    #[default]
+    Invalid,
+}
+
+impl MoesiState {
+    /// Can the local core read without a coherence transaction?
+    #[inline]
+    pub fn readable(self) -> bool {
+        !matches!(self, MoesiState::Invalid)
+    }
+
+    /// Can the local core write without a coherence transaction?
+    #[inline]
+    pub fn writable(self) -> bool {
+        matches!(self, MoesiState::Modified | MoesiState::Exclusive)
+    }
+
+    /// Does this copy hold dirty data it must supply to requesters?
+    #[inline]
+    pub fn owns_data(self) -> bool {
+        matches!(
+            self,
+            MoesiState::Modified | MoesiState::Owned | MoesiState::Exclusive
+        )
+    }
+
+    /// State after the local core *writes* this copy (assumes permission has
+    /// been obtained; writing a Shared/Owned/Invalid copy first requires an
+    /// invalidating probe).
+    #[inline]
+    pub fn after_local_write(self) -> MoesiState {
+        MoesiState::Modified
+    }
+
+    /// State after receiving a remote **non-invalidating** probe (a remote
+    /// read miss).
+    ///
+    /// M/E degrade because another sharer now exists; M keeps data ownership
+    /// by moving to Owned, E gives up exclusivity and becomes Shared (clean
+    /// data also lives in memory), O and S are unchanged.
+    #[inline]
+    pub fn after_remote_read(self) -> MoesiState {
+        self.after_remote_read_with(CoherenceKind::Moesi)
+    }
+
+    /// [`MoesiState::after_remote_read`] parameterised by protocol family:
+    /// under MESI a Modified line writes back and becomes Shared (no Owned
+    /// state exists).
+    #[inline]
+    pub fn after_remote_read_with(self, kind: CoherenceKind) -> MoesiState {
+        match (self, kind) {
+            (MoesiState::Modified | MoesiState::Owned, CoherenceKind::Moesi) => MoesiState::Owned,
+            (MoesiState::Modified | MoesiState::Owned, CoherenceKind::Mesi) => MoesiState::Shared,
+            (MoesiState::Exclusive | MoesiState::Shared, _) => MoesiState::Shared,
+            (MoesiState::Invalid, _) => MoesiState::Invalid,
+        }
+    }
+
+    /// State after receiving a remote **invalidating** probe (a remote write
+    /// miss or upgrade): always Invalid.
+    #[inline]
+    pub fn after_remote_write(self) -> MoesiState {
+        MoesiState::Invalid
+    }
+
+    /// State in which a requester installs a line it just fetched.
+    ///
+    /// * For a write the requester always installs Modified.
+    /// * For a read it installs Exclusive when no other core held the line,
+    ///   Shared otherwise.
+    #[inline]
+    pub fn install_for(is_write: bool, others_had_copy: bool) -> MoesiState {
+        if is_write {
+            MoesiState::Modified
+        } else if others_had_copy {
+            MoesiState::Shared
+        } else {
+            MoesiState::Exclusive
+        }
+    }
+}
+
+impl fmt::Display for MoesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            MoesiState::Modified => 'M',
+            MoesiState::Owned => 'O',
+            MoesiState::Exclusive => 'E',
+            MoesiState::Shared => 'S',
+            MoesiState::Invalid => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::MoesiState::*;
+
+    #[test]
+    fn permissions() {
+        assert!(Modified.writable() && Modified.readable());
+        assert!(Exclusive.writable() && Exclusive.readable());
+        assert!(!Owned.writable() && Owned.readable());
+        assert!(!Shared.writable() && Shared.readable());
+        assert!(!Invalid.writable() && !Invalid.readable());
+    }
+
+    #[test]
+    fn ownership() {
+        assert!(Modified.owns_data());
+        assert!(Owned.owns_data());
+        assert!(Exclusive.owns_data());
+        assert!(!Shared.owns_data());
+        assert!(!Invalid.owns_data());
+    }
+
+    #[test]
+    fn remote_read_transitions() {
+        assert_eq!(Modified.after_remote_read(), Owned);
+        assert_eq!(Owned.after_remote_read(), Owned);
+        assert_eq!(Exclusive.after_remote_read(), Shared);
+        assert_eq!(Shared.after_remote_read(), Shared);
+        assert_eq!(Invalid.after_remote_read(), Invalid);
+    }
+
+    #[test]
+    fn mesi_drops_the_owned_state() {
+        use super::CoherenceKind::Mesi;
+        assert_eq!(Modified.after_remote_read_with(Mesi), Shared);
+        assert_eq!(Owned.after_remote_read_with(Mesi), Shared);
+        assert_eq!(Exclusive.after_remote_read_with(Mesi), Shared);
+        // No state owns dirty data after a MESI remote read.
+        assert!(!Modified.after_remote_read_with(Mesi).owns_data());
+    }
+
+    #[test]
+    fn remote_write_invalidates_everything() {
+        for s in [Modified, Owned, Exclusive, Shared, Invalid] {
+            assert_eq!(s.after_remote_write(), Invalid);
+        }
+    }
+
+    #[test]
+    fn install_states() {
+        use super::MoesiState;
+        assert_eq!(MoesiState::install_for(true, true), Modified);
+        assert_eq!(MoesiState::install_for(true, false), Modified);
+        assert_eq!(MoesiState::install_for(false, true), Shared);
+        assert_eq!(MoesiState::install_for(false, false), Exclusive);
+    }
+
+    /// After any remote probe, at most one core can be left in a
+    /// data-owning dirty state — spot-check the pairwise invariant used by
+    /// the fabric.
+    #[test]
+    fn no_two_writers() {
+        // If A is Modified and B requests a write, A must end Invalid.
+        assert_eq!(Modified.after_remote_write(), Invalid);
+        // If A is Modified and B requests a read, A ends Owned (read-only).
+        assert!(!Modified.after_remote_read().writable());
+    }
+}

@@ -1,0 +1,149 @@
+//! Model-based property test: `CacheArray` against a trivially correct
+//! reference implementation (a per-set vector with explicit LRU ordering).
+
+use asf_mem::addr::{Addr, LineAddr};
+use asf_mem::cache::CacheArray;
+use asf_mem::geometry::CacheGeometry;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference model: per set, a most-recently-used-last list of
+/// `(line, meta, pinned)`.
+#[derive(Debug, Clone)]
+struct Model {
+    sets: HashMap<usize, Vec<(LineAddr, u32)>>,
+    ways: usize,
+    geom: CacheGeometry,
+}
+
+impl Model {
+    fn new(geom: CacheGeometry) -> Model {
+        Model { sets: HashMap::new(), ways: geom.ways, geom }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        self.geom.set_of(line)
+    }
+
+    fn get(&mut self, line: LineAddr) -> Option<u32> {
+        let set = self.set_of(line);
+        let v = self.sets.entry(set).or_default();
+        if let Some(pos) = v.iter().position(|&(l, _)| l == line) {
+            let entry = v.remove(pos);
+            let meta = entry.1;
+            v.push(entry); // MRU at the back
+            Some(meta)
+        } else {
+            None
+        }
+    }
+
+    fn peek(&self, line: LineAddr) -> Option<u32> {
+        self.sets
+            .get(&self.set_of(line))
+            .and_then(|v| v.iter().find(|&&(l, _)| l == line))
+            .map(|&(_, m)| m)
+    }
+
+    /// Insert with "meta >= PIN is pinned" semantics; returns evicted line
+    /// or Err(()) when all ways pinned.
+    fn insert(&mut self, line: LineAddr, meta: u32, pin: u32) -> Result<Option<LineAddr>, ()> {
+        let set = self.set_of(line);
+        let ways = self.ways;
+        let v = self.sets.entry(set).or_default();
+        if let Some(pos) = v.iter().position(|&(l, _)| l == line) {
+            v.remove(pos);
+            v.push((line, meta));
+            return Ok(None);
+        }
+        if v.len() < ways {
+            v.push((line, meta));
+            return Ok(None);
+        }
+        // Evict the LRU (front-most) non-pinned entry.
+        let victim_pos = v.iter().position(|&(_, m)| m < pin).ok_or(())?;
+        let (victim, _) = v.remove(victim_pos);
+        v.push((line, meta));
+        Ok(Some(victim))
+    }
+
+    fn remove(&mut self, line: LineAddr) -> Option<u32> {
+        let set = self.set_of(line);
+        let v = self.sets.entry(set).or_default();
+        let pos = v.iter().position(|&(l, _)| l == line)?;
+        Some(v.remove(pos).1)
+    }
+
+    fn len(&self) -> usize {
+        self.sets.values().map(|v| v.len()).sum()
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Get(u8),
+    Peek(u8),
+    Insert(u8, u32),
+    Remove(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Get),
+        any::<u8>().prop_map(Op::Peek),
+        (any::<u8>(), 0u32..200).prop_map(|(l, m)| Op::Insert(l, m)),
+        any::<u8>().prop_map(Op::Remove),
+    ]
+}
+
+/// Metas >= PIN are pinned (cannot be evicted).
+const PIN: u32 = 150;
+
+fn line(n: u8) -> LineAddr {
+    Addr(n as u64 * 64).line()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cache_array_matches_reference_model(ops in prop::collection::vec(arb_op(), 1..200)) {
+        // 4 sets × 2 ways keeps sets crowded.
+        let geom = CacheGeometry::new(4 * 2 * 64, 2);
+        let mut real: CacheArray<u32> = CacheArray::new(geom);
+        let mut model = Model::new(geom);
+        for op in ops {
+            match op {
+                Op::Get(l) => {
+                    let a = real.get(line(l)).map(|m| *m);
+                    let b = model.get(line(l));
+                    prop_assert_eq!(a, b, "get({})", l);
+                }
+                Op::Peek(l) => {
+                    prop_assert_eq!(real.peek(line(l)).copied(), model.peek(line(l)));
+                }
+                Op::Insert(l, m) => {
+                    let a = real.insert(line(l), m, |&meta| meta >= PIN);
+                    let b = model.insert(line(l), m, PIN);
+                    match (a, b) {
+                        (Ok(None), Ok(None)) => {}
+                        (Ok(Some(ev)), Ok(Some(evm))) => {
+                            prop_assert_eq!(ev.line, evm, "evicted line");
+                        }
+                        (Err(_), Err(())) => {}
+                        (a, b) => prop_assert!(false, "divergence: {:?} vs {:?}", a, b),
+                    }
+                }
+                Op::Remove(l) => {
+                    prop_assert_eq!(real.remove(line(l)), model.remove(line(l)));
+                }
+            }
+            prop_assert_eq!(real.len(), model.len());
+        }
+        // Final contents agree.
+        for n in 0u16..=255 {
+            let l = line(n as u8);
+            prop_assert_eq!(real.peek(l).copied(), model.peek(l));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Terminal bar charts — the paper's figures are bar charts, so the
+//! harness can render its regenerated tables the same way.
+
+use std::fmt::Write as _;
+
+/// A horizontal bar chart: labelled values rendered with unicode blocks.
+#[derive(Clone, Debug, Default)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    bars: Vec<(String, f64)>,
+    /// Upper bound of the axis; `None` auto-scales to the max value.
+    pub max: Option<f64>,
+    /// Suffix printed after each value (e.g. `"%"`).
+    pub unit: &'static str,
+}
+
+impl BarChart {
+    /// Create an empty chart.
+    pub fn new(title: impl Into<String>, unit: &'static str) -> BarChart {
+        BarChart { title: title.into(), bars: Vec::new(), max: None, unit }
+    }
+
+    /// Append one labelled bar.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// True when no bars have been added.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+
+    /// Render with bars of up to `width` cells. Negative values render as a
+    /// left-pointing bar marked with `◄`.
+    pub fn render(&self, width: usize) -> String {
+        const BLOCKS: [char; 8] = ['▏', '▎', '▍', '▌', '▋', '▊', '▉', '█'];
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let max = self
+            .max
+            .unwrap_or_else(|| self.bars.iter().map(|&(_, v)| v.abs()).fold(0.0, f64::max))
+            .max(1e-9);
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "── {} ──", self.title);
+        }
+        for (label, value) in &self.bars {
+            let frac = (value.abs() / max).min(1.0);
+            let cells = frac * width as f64;
+            let full = cells.floor() as usize;
+            let rem = ((cells - full as f64) * 8.0).floor() as usize;
+            let mut bar = "█".repeat(full);
+            if rem > 0 && full < width {
+                bar.push(BLOCKS[rem.saturating_sub(1)]);
+            }
+            let sign = if *value < 0.0 { "◄" } else { "" };
+            let _ = writeln!(
+                out,
+                "{label:>label_w$} |{sign}{bar:<width$} {value:.1}{unit}",
+                unit = self.unit,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scaled_bars() {
+        let mut c = BarChart::new("demo", "%");
+        c.bar("a", 100.0).bar("b", 50.0).bar("zz", 0.0);
+        let s = c.render(10);
+        assert!(s.contains("── demo ──"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // 'a' is full width, 'b' half.
+        assert!(lines[1].contains("██████████"));
+        assert!(lines[2].contains("█████"));
+        assert!(!lines[2].contains("██████████"));
+        assert!(lines[3].contains("0.0%"));
+        // Labels right-aligned to the widest.
+        assert!(lines[1].starts_with(" a |"));
+        assert!(lines[3].starts_with("zz |"));
+    }
+
+    #[test]
+    fn negative_values_are_marked() {
+        let mut c = BarChart::new("", "%");
+        c.bar("down", -5.0).bar("up", 10.0);
+        let s = c.render(8);
+        assert!(s.contains("◄"));
+        assert!(s.contains("-5.0%"));
+    }
+
+    #[test]
+    fn explicit_max_clamps() {
+        let mut c = BarChart::new("", "");
+        c.max = Some(10.0);
+        c.bar("big", 100.0);
+        let s = c.render(4);
+        // Clamped to full width, no panic.
+        assert!(s.contains("████"));
+    }
+
+    #[test]
+    fn empty_chart() {
+        let c = BarChart::new("x", "");
+        assert!(c.is_empty());
+        assert_eq!(c.render(10).lines().count(), 1); // just the title
+    }
+}

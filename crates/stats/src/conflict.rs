@@ -1,0 +1,207 @@
+//! Conflict counting and classification (Figures 1, 2, 8, 9).
+
+use asf_core::detector::ConflictType;
+use core::fmt;
+
+/// Counts of detected transactional conflicts, split by oracle verdict
+/// (true/false) and by type (WAR / RAW / WAW).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ConflictStats {
+    /// True conflicts by type: [WAR, RAW, WAW].
+    pub true_by_type: [u64; 3],
+    /// False conflicts by type: [WAR, RAW, WAW].
+    pub false_by_type: [u64; 3],
+}
+
+fn idx(t: ConflictType) -> usize {
+    match t {
+        ConflictType::WriteAfterRead => 0,
+        ConflictType::ReadAfterWrite => 1,
+        ConflictType::WriteAfterWrite => 2,
+    }
+}
+
+impl ConflictStats {
+    /// Record one detected conflict.
+    pub fn record(&mut self, kind: ConflictType, is_true: bool) {
+        if is_true {
+            self.true_by_type[idx(kind)] += 1;
+        } else {
+            self.false_by_type[idx(kind)] += 1;
+        }
+    }
+
+    /// Total conflicts detected.
+    pub fn total(&self) -> u64 {
+        self.true_total() + self.false_total()
+    }
+
+    /// True conflicts detected.
+    pub fn true_total(&self) -> u64 {
+        self.true_by_type.iter().sum()
+    }
+
+    /// False conflicts detected.
+    pub fn false_total(&self) -> u64 {
+        self.false_by_type.iter().sum()
+    }
+
+    /// False conflicts of one type.
+    pub fn false_of(&self, kind: ConflictType) -> u64 {
+        self.false_by_type[idx(kind)]
+    }
+
+    /// True conflicts of one type.
+    pub fn true_of(&self, kind: ConflictType) -> u64 {
+        self.true_by_type[idx(kind)]
+    }
+
+    /// Fraction of all conflicts that are false (Figure 1); `None` when no
+    /// conflict was observed.
+    pub fn false_rate(&self) -> Option<f64> {
+        let t = self.total();
+        if t == 0 {
+            None
+        } else {
+            Some(self.false_total() as f64 / t as f64)
+        }
+    }
+
+    /// Share of each type among *false* conflicts (Figure 2), as
+    /// `[WAR, RAW, WAW]` fractions; `None` when no false conflict occurred.
+    pub fn false_type_shares(&self) -> Option<[f64; 3]> {
+        let f = self.false_total();
+        if f == 0 {
+            None
+        } else {
+            Some(self.false_by_type.map(|c| c as f64 / f as f64))
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &ConflictStats) {
+        for i in 0..3 {
+            self.true_by_type[i] += other.true_by_type[i];
+            self.false_by_type[i] += other.false_by_type[i];
+        }
+    }
+
+    /// False-conflict reduction rate of `self` (the improved system)
+    /// relative to `base` (Figure 8): `1 − false(self)/false(base)`.
+    /// `None` when the base saw no false conflicts.
+    pub fn false_reduction_vs(&self, base: &ConflictStats) -> Option<f64> {
+        let b = base.false_total();
+        if b == 0 {
+            None
+        } else {
+            Some(1.0 - self.false_total() as f64 / b as f64)
+        }
+    }
+
+    /// Overall-conflict reduction rate relative to `base` (Figure 9).
+    pub fn total_reduction_vs(&self, base: &ConflictStats) -> Option<f64> {
+        let b = base.total();
+        if b == 0 {
+            None
+        } else {
+            Some(1.0 - self.total() as f64 / b as f64)
+        }
+    }
+}
+
+impl fmt::Display for ConflictStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflicts: {} total ({} true / {} false; false WAR {} RAW {} WAW {})",
+            self.total(),
+            self.true_total(),
+            self.false_total(),
+            self.false_by_type[0],
+            self.false_by_type[1],
+            self.false_by_type[2],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ConflictType::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = ConflictStats::default();
+        s.record(WriteAfterRead, false);
+        s.record(WriteAfterRead, false);
+        s.record(ReadAfterWrite, true);
+        s.record(WriteAfterWrite, false);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.false_total(), 3);
+        assert_eq!(s.true_total(), 1);
+        assert_eq!(s.false_of(WriteAfterRead), 2);
+        assert_eq!(s.true_of(ReadAfterWrite), 1);
+    }
+
+    #[test]
+    fn false_rate() {
+        let mut s = ConflictStats::default();
+        assert_eq!(s.false_rate(), None);
+        s.record(WriteAfterRead, false);
+        s.record(ReadAfterWrite, true);
+        assert_eq!(s.false_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn type_shares_sum_to_one() {
+        let mut s = ConflictStats::default();
+        s.record(WriteAfterRead, false);
+        s.record(ReadAfterWrite, false);
+        s.record(ReadAfterWrite, false);
+        s.record(WriteAfterWrite, true); // true conflicts don't affect shares
+        let shares = s.false_type_shares().unwrap();
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((shares[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reductions() {
+        let mut base = ConflictStats::default();
+        for _ in 0..10 {
+            base.record(WriteAfterRead, false);
+        }
+        for _ in 0..5 {
+            base.record(ReadAfterWrite, true);
+        }
+        let mut improved = ConflictStats::default();
+        for _ in 0..2 {
+            improved.record(WriteAfterRead, false);
+        }
+        for _ in 0..5 {
+            improved.record(ReadAfterWrite, true);
+        }
+        assert!((improved.false_reduction_vs(&base).unwrap() - 0.8).abs() < 1e-12);
+        let total_red = improved.total_reduction_vs(&base).unwrap();
+        assert!((total_red - (1.0 - 7.0 / 15.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConflictStats::default();
+        a.record(WriteAfterRead, false);
+        let mut b = ConflictStats::default();
+        b.record(WriteAfterRead, true);
+        b.record(WriteAfterWrite, false);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.false_total(), 2);
+    }
+
+    #[test]
+    fn zero_base_reduction_is_none() {
+        let a = ConflictStats::default();
+        let b = ConflictStats::default();
+        assert_eq!(a.false_reduction_vs(&b), None);
+        assert_eq!(a.total_reduction_vs(&b), None);
+    }
+}

@@ -1,0 +1,34 @@
+//! # asf-stats — measurement layer
+//!
+//! Everything the paper measures, as reusable accumulators:
+//!
+//! * [`conflict::ConflictStats`] — total / true / false conflicts with the
+//!   WAR / RAW / WAW breakdown (Figures 1, 2, 8, 9);
+//! * [`series::TimeSeries`] — cumulative event counts over execution time
+//!   (Figure 3);
+//! * [`histogram::LineHistogram`] — false conflicts by cache-line index
+//!   (Figure 4);
+//! * [`histogram::OffsetHistogram`] — accesses by intra-line byte offset
+//!   (Figure 5);
+//! * [`run::RunStats`] — the per-run bundle the simulator fills in, plus
+//!   the transaction / abort accounting behind Figure 10;
+//! * [`table`] — plain-text and CSV rendering for the harness;
+//! * [`chart::BarChart`] — terminal bar charts mirroring the paper's figure
+//!   style.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod conflict;
+pub mod histogram;
+pub mod run;
+pub mod series;
+pub mod table;
+
+pub use chart::BarChart;
+pub use conflict::ConflictStats;
+pub use histogram::{LineHistogram, OffsetHistogram};
+pub use run::{AbortCause, RunStats};
+pub use series::TimeSeries;
+pub use table::Table;

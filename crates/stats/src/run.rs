@@ -1,0 +1,311 @@
+//! Per-run statistics bundle filled in by the simulator.
+
+use crate::conflict::ConflictStats;
+use crate::histogram::{LineHistogram, OffsetHistogram};
+use crate::series::TimeSeries;
+use asf_core::detector::ConflictType;
+use asf_mem::addr::LineAddr;
+use asf_mem::mask::AccessMask;
+
+/// Why a transaction attempt aborted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbortCause {
+    /// A remote access conflicted with this transaction's speculative state.
+    Conflict {
+        /// WAR / RAW / WAW classification.
+        kind: ConflictType,
+        /// Oracle verdict (false ⇒ a false conflict caused this abort).
+        is_true: bool,
+    },
+    /// Speculative footprint exceeded what the L1 can pin (best-effort HTM).
+    Capacity,
+    /// The program requested an abort (labyrinth's path invalidation).
+    User,
+    /// A core acquired the software fallback lock, aborting all subscribed
+    /// transactions (the standard best-effort-HTM progress guarantee).
+    LockFallback,
+    /// Commit-time value validation failed (DPTM-style WAR speculation —
+    /// the related-work mode of paper §II).
+    Validation,
+}
+
+/// Everything measured during one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Distinct transactions begun (first attempts).
+    pub tx_started: u64,
+    /// Total attempts including retries.
+    pub tx_attempts: u64,
+    /// Committed transactions.
+    pub tx_committed: u64,
+    /// Aborted attempts.
+    pub tx_aborted: u64,
+    /// Aborts by cause: [conflict-true, conflict-false, capacity, user,
+    /// lock-fallback, validation].
+    pub aborts_by_cause: [u64; 6],
+    /// Transactions completed via the software fallback lock (after
+    /// exhausting hardware retries).
+    pub fallback_commits: u64,
+    /// Transactional reads that overlapped a live remote write set without
+    /// any conflict having been raised — must be zero whenever the dirty
+    /// mechanism is enabled (the Figure 6 correctness property).
+    pub isolation_violations: u64,
+    /// Local L1 hits treated as misses because they touched dirty bytes.
+    pub dirty_refetches: u64,
+    /// WAR conflicts speculated through instead of aborted (DPTM-style
+    /// related-work mode; always 0 under the paper's eager designs).
+    pub war_speculations: u64,
+    /// Signature-mode conflicts whose victim never touched the probed line
+    /// at all — pure Bloom-filter aliasing (LogTM-SE related-work mode).
+    pub sig_alias_conflicts: u64,
+    /// Coherence probes issued (one per miss/upgrade, regardless of fabric).
+    pub probes: u64,
+    /// Remote cores actually visited by probes: `probes × (N−1)` under
+    /// broadcast snooping, less under the probe-filter fabric.
+    pub probe_targets: u64,
+    /// L1 hits (per line fragment).
+    pub l1_hits: u64,
+    /// L1 misses (per line fragment), including dirty refetches.
+    pub l1_misses: u64,
+    /// Conflict counts (every conflict detected, whether or not the victim
+    /// had already aborted this attempt for another reason).
+    pub conflicts: ConflictStats,
+    /// Cumulative started transactions over time (Figure 3, upper curve).
+    pub started_series: TimeSeries,
+    /// Cumulative false conflicts over time (Figure 3, lower curve).
+    pub false_series: TimeSeries,
+    /// False conflicts by cache-line index (Figure 4).
+    pub false_by_line: LineHistogram,
+    /// Transactional accesses by intra-line location (Figure 5).
+    pub access_offsets: OffsetHistogram,
+    /// Total execution time: max core clock at completion, in cycles.
+    pub cycles: u64,
+    /// Cycles spent in backoff across all cores.
+    pub backoff_cycles: u64,
+    /// Largest retry count observed for a single transaction.
+    pub max_retries: u32,
+    /// Retries-at-commit distribution: bucket *i* counts transactions that
+    /// committed after exactly *i* retries (last bucket: ≥ 15). Behind the
+    /// paper's "very high average retry times" observation for intruder.
+    pub retry_histogram: [u64; 16],
+}
+
+impl RunStats {
+    /// Record the first attempt of a new transaction at `cycle`.
+    pub fn on_tx_start(&mut self, cycle: u64) {
+        self.tx_started += 1;
+        self.started_series.record(cycle);
+    }
+
+    /// Record an attempt (first or retry).
+    pub fn on_attempt(&mut self) {
+        self.tx_attempts += 1;
+    }
+
+    /// Record a commit.
+    pub fn on_commit(&mut self) {
+        self.tx_committed += 1;
+    }
+
+    /// Record an abort of the current attempt.
+    pub fn on_abort(&mut self, cause: AbortCause) {
+        self.tx_aborted += 1;
+        let i = match cause {
+            AbortCause::Conflict { is_true: true, .. } => 0,
+            AbortCause::Conflict { is_true: false, .. } => 1,
+            AbortCause::Capacity => 2,
+            AbortCause::User => 3,
+            AbortCause::LockFallback => 4,
+            AbortCause::Validation => 5,
+        };
+        self.aborts_by_cause[i] += 1;
+    }
+
+    /// Record a detected conflict at `cycle` on `line`.
+    pub fn on_conflict(&mut self, kind: ConflictType, is_true: bool, cycle: u64, line: LineAddr) {
+        self.conflicts.record(kind, is_true);
+        if !is_true {
+            self.false_series.record(cycle);
+            self.false_by_line.add(line, 1);
+        }
+    }
+
+    /// Record a transactional access's intra-line location.
+    pub fn on_access(&mut self, offset: usize, len: usize) {
+        self.access_offsets.add_location(offset, len);
+        let _ = AccessMask::from_range(offset, len); // validate range in debug
+    }
+
+    /// Record retry depth when a transaction finally commits.
+    pub fn on_final_retries(&mut self, retries: u32) {
+        self.max_retries = self.max_retries.max(retries);
+        let bucket = (retries as usize).min(self.retry_histogram.len() - 1);
+        self.retry_histogram[bucket] += 1;
+    }
+
+    /// Mean retries per committed transaction.
+    pub fn mean_retries(&self) -> f64 {
+        let commits: u64 = self.retry_histogram.iter().sum();
+        if commits == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .retry_histogram
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as u64 * c)
+            .sum();
+        weighted as f64 / commits as f64
+    }
+
+    /// Aborts caused by false conflicts.
+    pub fn false_conflict_aborts(&self) -> u64 {
+        self.aborts_by_cause[1]
+    }
+
+    /// Mean attempts per started transaction (≥ 1 once anything ran).
+    pub fn mean_attempts(&self) -> f64 {
+        if self.tx_started == 0 {
+            0.0
+        } else {
+            self.tx_attempts as f64 / self.tx_started as f64
+        }
+    }
+
+    /// Abort ratio: aborted attempts / total attempts.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.tx_attempts == 0 {
+            0.0
+        } else {
+            self.tx_aborted as f64 / self.tx_attempts as f64
+        }
+    }
+
+    /// Execution-time improvement of `self` over `base` (Figure 10):
+    /// `1 − cycles(self)/cycles(base)`; positive ⇒ faster.
+    pub fn speedup_vs(&self, base: &RunStats) -> f64 {
+        if base.cycles == 0 {
+            0.0
+        } else {
+            1.0 - self.cycles as f64 / base.cycles as f64
+        }
+    }
+
+    /// Fold another run (e.g. a different seed) into this one: counters and
+    /// cycles add (ratios of sums = seed-weighted means), histograms and
+    /// series merge, `max_retries` takes the max. Used by the harness to
+    /// average the figures over several seeds, like the paper's multiple
+    /// simulation runs.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.tx_started += other.tx_started;
+        self.tx_attempts += other.tx_attempts;
+        self.tx_committed += other.tx_committed;
+        self.tx_aborted += other.tx_aborted;
+        for i in 0..self.aborts_by_cause.len() {
+            self.aborts_by_cause[i] += other.aborts_by_cause[i];
+        }
+        self.fallback_commits += other.fallback_commits;
+        self.isolation_violations += other.isolation_violations;
+        self.dirty_refetches += other.dirty_refetches;
+        self.war_speculations += other.war_speculations;
+        self.sig_alias_conflicts += other.sig_alias_conflicts;
+        self.probes += other.probes;
+        self.probe_targets += other.probe_targets;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.conflicts.merge(&other.conflicts);
+        self.started_series.merge(&other.started_series);
+        self.false_series.merge(&other.false_series);
+        self.false_by_line.merge(&other.false_by_line);
+        self.access_offsets.merge(&other.access_offsets);
+        self.cycles += other.cycles;
+        self.backoff_cycles += other.backoff_cycles;
+        self.max_retries = self.max_retries.max(other.max_retries);
+        for (a, b) in self.retry_histogram.iter_mut().zip(other.retry_histogram.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asf_mem::addr::Addr;
+
+    #[test]
+    fn accounting_flows() {
+        let mut r = RunStats::default();
+        r.on_tx_start(100);
+        r.on_attempt();
+        r.on_abort(AbortCause::Conflict {
+            kind: ConflictType::WriteAfterRead,
+            is_true: false,
+        });
+        r.on_attempt();
+        r.on_commit();
+        r.on_final_retries(1);
+        assert_eq!(r.retry_histogram[1], 1);
+        assert_eq!(r.tx_started, 1);
+        assert_eq!(r.tx_attempts, 2);
+        assert_eq!(r.tx_committed, 1);
+        assert_eq!(r.tx_aborted, 1);
+        assert_eq!(r.false_conflict_aborts(), 1);
+        assert_eq!(r.mean_attempts(), 2.0);
+        assert_eq!(r.abort_ratio(), 0.5);
+        assert_eq!(r.max_retries, 1);
+    }
+
+    #[test]
+    fn conflicts_feed_series_and_histogram() {
+        let mut r = RunStats::default();
+        let line = Addr(0x1000).line();
+        r.on_conflict(ConflictType::ReadAfterWrite, false, 500, line);
+        r.on_conflict(ConflictType::ReadAfterWrite, true, 600, line);
+        assert_eq!(r.conflicts.total(), 2);
+        assert_eq!(r.conflicts.false_total(), 1);
+        assert_eq!(r.false_series.total(), 1);
+        assert_eq!(r.false_by_line.get(line), 1);
+    }
+
+    #[test]
+    fn abort_cause_buckets() {
+        let mut r = RunStats::default();
+        r.on_abort(AbortCause::Capacity);
+        r.on_abort(AbortCause::User);
+        r.on_abort(AbortCause::Conflict { kind: ConflictType::WriteAfterWrite, is_true: true });
+        r.on_abort(AbortCause::LockFallback);
+        r.on_abort(AbortCause::Validation);
+        assert_eq!(r.aborts_by_cause, [1, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn speedup_math() {
+        let base = RunStats { cycles: 1000, ..Default::default() };
+        let fast = RunStats { cycles: 700, ..Default::default() };
+        assert!((fast.speedup_vs(&base) - 0.3).abs() < 1e-12);
+        assert_eq!(fast.speedup_vs(&RunStats::default()), 0.0);
+    }
+
+    #[test]
+    fn retry_histogram_and_mean() {
+        let mut r = RunStats::default();
+        r.on_final_retries(0);
+        r.on_final_retries(0);
+        r.on_final_retries(4);
+        r.on_final_retries(99); // clamps into the last bucket
+        assert_eq!(r.retry_histogram[0], 2);
+        assert_eq!(r.retry_histogram[4], 1);
+        assert_eq!(r.retry_histogram[15], 1);
+        assert!((r.mean_retries() - (0.0 + 0.0 + 4.0 + 15.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn access_offsets_recorded() {
+        let mut r = RunStats::default();
+        r.on_access(8, 8);
+        r.on_access(8, 8);
+        r.on_access(0, 4);
+        assert_eq!(r.access_offsets.bytes()[8], 2);
+        assert_eq!(r.access_offsets.bytes()[0], 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! Plain-text and CSV table rendering for the harness output.
+//!
+//! The harness prints every regenerated figure/table as an aligned text
+//! table (for the terminal) and can serialise the same rows as CSV (for
+//! plotting). Hand-rolled on purpose: no serde dependency, fully
+//! deterministic output.
+
+use std::fmt::Write as _;
+
+/// A simple rectangular table: a header row plus data rows of strings.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Optional title printed above the table.
+    pub title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row; must match the header arity.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Access the raw rows (used by tests and EXPERIMENTS.md generation).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180 quoting for cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String]| {
+            cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        };
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with one decimal, e.g. `46.7%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format an optional fraction, rendering `None` as `n/a`.
+pub fn pct_opt(x: Option<f64>) -> String {
+    x.map(pct).unwrap_or_else(|| "n/a".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<_> = s.lines().collect();
+        // title + header + rule + 2 rows
+        assert_eq!(lines.len(), 5);
+        // Right-aligned: the short name is padded to "long-name"'s width.
+        assert!(lines[3].starts_with("        a"), "got {:?}", lines[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(vec!["x,y".into(), "q\"u\"o".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",\"q\"\"u\"\"o\"\n");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.4671), "46.7%");
+        assert_eq!(pct_opt(None), "n/a");
+        assert_eq!(pct_opt(Some(0.5)), "50.0%");
+    }
+}
+
+impl Table {
+    /// Render as a JSON array of row objects keyed by the header names
+    /// (hand-rolled — no serde; see DESIGN.md's dependency policy).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::from("[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            for (j, (key, cell)) in self.header.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": \"{}\"", esc(key), esc(cell)));
+            }
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod json_tests {
+    use super::*;
+
+    #[test]
+    fn json_rows_are_keyed_by_header() {
+        let mut t = Table::new("x", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["b \"q\"".into(), "2\n3".into()]);
+        let j = t.to_json();
+        assert!(j.contains(r#"{"name": "a", "value": "1"}"#));
+        assert!(j.contains(r#""name": "b \"q\"""#));
+        assert!(j.contains(r#""value": "2\n3""#));
+        assert!(j.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn empty_table_is_empty_array() {
+        let t = Table::new("x", &["a"]);
+        assert_eq!(t.to_json(), "[\n]\n");
+    }
+}

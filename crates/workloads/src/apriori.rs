@@ -1,0 +1,109 @@
+//! **apriori** — association rule mining (RMS-TM).
+//!
+//! Characteristics reproduced from the paper:
+//! * one of the two highest false-conflict rates (> 90%, Figure 1):
+//!   support-counting transactions read wide, scattered sets of candidate
+//!   entries, so nearly every counter update invalidates lines other
+//!   threads are scanning without touching the same entry;
+//! * WAR-dominant false conflicts (Figure 2) — the single writer's
+//!   invalidation hits many readers' speculative read sets;
+//! * ≈ 100% false-conflict reduction at 4 sub-blocks (Figure 8): candidate
+//!   entries are 16-byte records `{support: u64, tid_hint: u64}` aligned to
+//!   sub-block boundaries.
+
+use crate::common::{tx, GenProgram, Layout, Region, Scale};
+use asf_machine::txprog::{ThreadProgram, TxOp, WorkItem, Workload};
+
+/// The apriori kernel.
+pub struct Apriori {
+    scale: Scale,
+    /// Candidate hash-tree nodes: 32-byte records, 2 per line —
+    /// `{key: u64 @0, pad, support: u64 @16, pad}`. Traversals read keys;
+    /// counting writes supports. The fields sit in *different* 16-byte
+    /// sub-blocks, so key-scan vs. support-bump on the same node is a false
+    /// conflict 4 sub-blocks fully remove.
+    candidates: Region,
+}
+
+impl Apriori {
+    const CANDIDATES: usize = 288; // 144 lines
+
+    /// Build for the given scale.
+    pub fn new(scale: Scale) -> Apriori {
+        let mut l = Layout::new();
+        let candidates = l.region(32, Self::CANDIDATES);
+        Apriori { scale, candidates }
+    }
+}
+
+impl Workload for Apriori {
+    fn name(&self) -> &'static str {
+        "apriori"
+    }
+
+    fn description(&self) -> &'static str {
+        "association rule mining"
+    }
+
+    fn spawn(&self, tid: usize, _threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        let cand = self.candidates;
+        let steps = self.scale.txns(420);
+        Box::new(GenProgram::new(seed, tid, steps, move |rng, _| {
+            // Count one basket: probe ~14 scattered candidate keys (offset
+            // 0 of each node), then increment the support counter (offset
+            // 16) of the node that matched.
+            let mut ops = Vec::with_capacity(16);
+            for _ in 0..10 {
+                let c = rng.below_usize(cand.slots);
+                ops.push(TxOp::Read { addr: cand.addr(c), size: 8 });
+            }
+            ops.push(TxOp::Compute { cycles: 60 });
+            let hit = rng.below_usize(cand.slots);
+            ops.push(TxOp::Update {
+                addr: asf_mem::addr::Addr(cand.addr(hit).0 + 16),
+                size: 8,
+                delta: 1,
+            });
+            vec![tx(ops), WorkItem::Compute { cycles: 90 }]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_and_support_fields_are_in_different_subblocks() {
+        let w = Apriori::new(Scale::Small);
+        assert_eq!(w.candidates.slot, 32);
+        for i in 0..8 {
+            let node = w.candidates.addr(i);
+            assert_eq!(node.offset() % 32, 0, "nodes are 32-byte aligned");
+            let key_sb = node.offset() / 16;
+            let support_sb = (node.offset() + 16) / 16;
+            assert_ne!(key_sb, support_sb);
+        }
+    }
+
+    #[test]
+    fn reads_dominate_writes() {
+        let w = Apriori::new(Scale::Small);
+        let mut p = w.spawn(0, 8, 11);
+        if let Some(WorkItem::Tx(att)) = p.next_item() {
+            let reads = att.ops.iter().filter(|o| matches!(o, TxOp::Read { .. })).count();
+            let writes = att.ops.iter().filter(|o| matches!(o, TxOp::Update { .. })).count();
+            assert_eq!(writes, 1);
+            assert!(reads >= 8, "wide read sets drive the WAR dominance");
+        } else {
+            panic!("expected a transaction");
+        }
+    }
+
+    #[test]
+    fn table_is_hot() {
+        // Small enough that concurrent transactions overlap lines often.
+        let w = Apriori::new(Scale::Small);
+        assert!(w.candidates.lines() <= 160);
+    }
+}

@@ -1,0 +1,256 @@
+//! Shared building blocks for the benchmark kernels.
+
+use asf_machine::txprog::{ThreadProgram, TxOp, WorkItem};
+use asf_mem::addr::Addr;
+use asf_mem::rng::SimRng;
+
+/// Input-size preset. `Standard` matches the harness's figure runs; `Small`
+/// keeps unit tests fast; `Large` is for soak/bench runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Fast preset for tests (~40 transactions per thread).
+    Small,
+    /// The configuration used to regenerate the paper's figures.
+    Standard,
+    /// Heavier runs for benchmarking the simulator itself.
+    Large,
+}
+
+impl Scale {
+    /// Scale a standard transaction count to this preset.
+    pub fn txns(self, standard: usize) -> usize {
+        match self {
+            Scale::Small => (standard / 8).max(8),
+            Scale::Standard => standard,
+            Scale::Large => standard * 4,
+        }
+    }
+}
+
+/// A contiguous region of simulated memory carved into fixed-size slots.
+///
+/// All benchmark data structures are laid out with `Region`s; the slot size
+/// encodes the benchmark's natural data granularity (4-byte kmeans cells,
+/// 8-byte table entries, 32-byte tree records, …).
+#[derive(Clone, Copy, Debug)]
+pub struct Region {
+    /// First byte of the region.
+    pub base: Addr,
+    /// Slot size in bytes.
+    pub slot: u32,
+    /// Number of slots.
+    pub slots: usize,
+}
+
+impl Region {
+    /// Define a region.
+    pub const fn new(base: u64, slot: u32, slots: usize) -> Region {
+        Region { base: Addr(base), slot, slots }
+    }
+
+    /// Address of slot `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> Addr {
+        debug_assert!(i < self.slots, "slot {i} out of {}", self.slots);
+        Addr(self.base.0 + (i as u64) * self.slot as u64)
+    }
+
+    /// Total bytes covered.
+    pub fn bytes(&self) -> u64 {
+        self.slot as u64 * self.slots as u64
+    }
+
+    /// Number of 64-byte lines covered (region bases are line-aligned in
+    /// all kernels).
+    pub fn lines(&self) -> u64 {
+        self.bytes().div_ceil(64)
+    }
+
+    /// A uniformly random slot index.
+    #[inline]
+    pub fn pick(&self, rng: &mut SimRng) -> usize {
+        rng.below_usize(self.slots)
+    }
+
+    /// A read of slot `i` (whole slot).
+    pub fn read(&self, i: usize) -> TxOp {
+        TxOp::Read { addr: self.addr(i), size: self.slot }
+    }
+
+    /// An in-place update (+delta) of slot `i`; slot must be ≤ 8 bytes.
+    pub fn update(&self, i: usize, delta: u64) -> TxOp {
+        debug_assert!(self.slot <= 8);
+        TxOp::Update { addr: self.addr(i), size: self.slot, delta }
+    }
+
+    /// A write of `value` to slot `i`; slot must be ≤ 8 bytes.
+    pub fn write(&self, i: usize, value: u64) -> TxOp {
+        debug_assert!(self.slot <= 8);
+        TxOp::Write { addr: self.addr(i), size: self.slot, value }
+    }
+}
+
+/// Base address allocator: each structure gets its own line-aligned chunk,
+/// 1 MiB apart so distinct structures never share lines.
+pub struct Layout {
+    next: u64,
+}
+
+impl Layout {
+    /// Start allocating at 16 MiB (clear of the null page by a wide margin).
+    pub fn new() -> Layout {
+        Layout { next: 16 << 20 }
+    }
+
+    /// Allocate a region of `slots` slots of `slot` bytes.
+    pub fn region(&mut self, slot: u32, slots: usize) -> Region {
+        let base = self.next;
+        let bytes = (slot as u64 * slots as u64).max(64);
+        self.next += bytes.div_ceil(1 << 20).max(1) * (1 << 20);
+        Region::new(base, slot, slots)
+    }
+
+    /// One region per thread (each its own chunk — fully private lines).
+    pub fn per_thread(&mut self, threads: usize, slot: u32, slots: usize) -> Vec<Region> {
+        (0..threads).map(|_| self.region(slot, slots)).collect()
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout::new()
+    }
+}
+
+/// A thread program driven by a generator closure: each call produces the
+/// work items of one logical step until the step budget runs out.
+pub struct GenProgram<F> {
+    rng: SimRng,
+    remaining: usize,
+    queue: std::collections::VecDeque<WorkItem>,
+    gen: F,
+}
+
+impl<F> GenProgram<F>
+where
+    F: FnMut(&mut SimRng, usize) -> Vec<WorkItem>,
+{
+    /// `gen(rng, index)` returns the work items of logical step `index`
+    /// (counted down from `steps` to 1; typically one transaction plus
+    /// optional surrounding compute).
+    pub fn new(seed: u64, tid: usize, steps: usize, gen: F) -> GenProgram<F> {
+        GenProgram {
+            rng: SimRng::derive(seed, 0x1000 + tid as u64),
+            remaining: steps,
+            queue: std::collections::VecDeque::new(),
+            gen,
+        }
+    }
+}
+
+impl<F> ThreadProgram for GenProgram<F>
+where
+    F: FnMut(&mut SimRng, usize) -> Vec<WorkItem>,
+{
+    fn next_item(&mut self) -> Option<WorkItem> {
+        loop {
+            if let Some(item) = self.queue.pop_front() {
+                return Some(item);
+            }
+            if self.remaining == 0 {
+                return None;
+            }
+            let idx = self.remaining;
+            self.remaining -= 1;
+            self.queue.extend((self.gen)(&mut self.rng, idx));
+        }
+    }
+}
+
+/// Convenience: one transaction work item.
+pub fn tx(ops: Vec<TxOp>) -> WorkItem {
+    WorkItem::Tx(asf_machine::txprog::TxAttempt::new(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_addressing() {
+        let r = Region::new(0x1000, 8, 16);
+        assert_eq!(r.addr(0), Addr(0x1000));
+        assert_eq!(r.addr(3), Addr(0x1018));
+        assert_eq!(r.bytes(), 128);
+        assert_eq!(r.lines(), 2);
+    }
+
+    #[test]
+    fn layout_separates_structures() {
+        let mut l = Layout::new();
+        let a = l.region(8, 100);
+        let b = l.region(8, 100);
+        assert!(b.base.0 >= a.base.0 + a.bytes());
+        assert_eq!(a.base.0 % 64, 0);
+        assert_eq!(b.base.0 % 64, 0);
+    }
+
+    #[test]
+    fn per_thread_regions_disjoint() {
+        let mut l = Layout::new();
+        let regions = l.per_thread(4, 8, 64);
+        for (i, a) in regions.iter().enumerate() {
+            for b in regions.iter().skip(i + 1) {
+                assert!(
+                    b.base.0 >= a.base.0 + a.bytes() || a.base.0 >= b.base.0 + b.bytes(),
+                    "thread regions overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scale_presets() {
+        assert_eq!(Scale::Standard.txns(400), 400);
+        assert_eq!(Scale::Small.txns(400), 50);
+        assert_eq!(Scale::Large.txns(400), 1600);
+        assert_eq!(Scale::Small.txns(10), 8); // floor
+    }
+
+    #[test]
+    fn gen_program_counts_down() {
+        let mut p = GenProgram::new(1, 0, 3, |_rng, idx| {
+            vec![WorkItem::Compute { cycles: idx as u64 }]
+        });
+        let mut got = Vec::new();
+        while let Some(WorkItem::Compute { cycles }) = p.next_item() {
+            got.push(cycles);
+        }
+        assert_eq!(got, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn gen_program_skips_empty_steps() {
+        let mut p = GenProgram::new(1, 0, 4, |_rng, idx| {
+            if idx % 2 == 0 {
+                vec![]
+            } else {
+                vec![WorkItem::Compute { cycles: idx as u64 }]
+            }
+        });
+        let mut got = Vec::new();
+        while let Some(WorkItem::Compute { cycles }) = p.next_item() {
+            got.push(cycles);
+        }
+        assert_eq!(got, vec![3, 1]);
+    }
+
+    #[test]
+    fn region_pick_is_in_range() {
+        let r = Region::new(0, 8, 7);
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(r.pick(&mut rng) < 7);
+        }
+    }
+}

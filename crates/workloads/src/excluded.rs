@@ -1,0 +1,308 @@
+//! The benchmarks the paper *excludes* — and why, demonstrably.
+//!
+//! The paper drops `yada` and `hmm` "because their transactions are
+//! extremely large and cannot fit into baseline ASF hardware", and `bayes`
+//! for non-deterministic termination. This module implements a yada-style
+//! kernel so the exclusion is an empirical result of this reproduction
+//! rather than an assumption: its cavity-refinement transactions touch far
+//! more cache lines than a 2-way L1 can pin, so ASF capacity-aborts them
+//! and nearly every transaction ends up on the software fallback lock
+//! (see `asf-repro excluded`).
+
+use crate::common::{tx, GenProgram, Layout, Region, Scale};
+use asf_machine::txprog::{ThreadProgram, TxOp, WorkItem, Workload};
+
+/// A yada-style Delaunay mesh-refinement kernel: each transaction
+/// privatizes a large "cavity" (many scattered mesh elements) and rewrites
+/// much of it.
+pub struct Yada {
+    scale: Scale,
+    /// Mesh elements: 8-byte entries over a large region.
+    mesh: Region,
+    /// Cavity size in *lines* — scattered, so they collide in L1 sets.
+    cavity_lines: usize,
+}
+
+impl Yada {
+    /// Build the kernel. `cavity_lines` defaults to 160 scattered lines —
+    /// with 512 L1 sets × 2 ways, the probability that three cavity lines
+    /// collide in one set (an unpinnable footprint) is ≈ 85% per attempt.
+    pub fn new(scale: Scale) -> Yada {
+        let mut l = Layout::new();
+        let mesh = l.region(8, 65_536); // 8192 lines
+        Yada { scale, mesh, cavity_lines: 160 }
+    }
+
+    /// Expected speculative footprint per transaction, in lines.
+    pub fn cavity_lines(&self) -> usize {
+        self.cavity_lines
+    }
+}
+
+impl Workload for Yada {
+    fn name(&self) -> &'static str {
+        "yada"
+    }
+
+    fn description(&self) -> &'static str {
+        "Delaunay mesh refinement (excluded: transactions exceed ASF capacity)"
+    }
+
+    fn spawn(&self, tid: usize, _threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        let mesh = self.mesh;
+        let cavity = self.cavity_lines;
+        let steps = self.scale.txns(24);
+        Box::new(GenProgram::new(seed, tid, steps, move |rng, _| {
+            // Refine one bad triangle: read a large scattered cavity, then
+            // retriangulate (write) a third of it.
+            let mut ops = Vec::with_capacity(cavity + cavity / 3 + 2);
+            let mut picked = Vec::with_capacity(cavity);
+            for _ in 0..cavity {
+                let line = rng.below_usize(mesh.slots / 8);
+                picked.push(line);
+                ops.push(mesh.read(line * 8 + rng.below_usize(8)));
+            }
+            for &line in picked.iter().step_by(3) {
+                ops.push(mesh.update(line * 8 + rng.below_usize(8), 1));
+            }
+            ops.push(TxOp::Compute { cycles: 400 });
+            vec![tx(ops), WorkItem::Compute { cycles: 600 }]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asf_core::detector::DetectorKind;
+    use asf_machine::machine::{Machine, SimConfig};
+
+    #[test]
+    fn cavities_are_large_and_scattered() {
+        let w = Yada::new(Scale::Small);
+        let mut p = w.spawn(0, 8, 1);
+        if let Some(WorkItem::Tx(att)) = p.next_item() {
+            let reads = att.ops.iter().filter(|o| matches!(o, TxOp::Read { .. })).count();
+            assert!(reads >= 150, "cavity too small: {reads}");
+        } else {
+            panic!("expected a transaction");
+        }
+    }
+
+    #[test]
+    fn yada_capacity_aborts_dominate() {
+        // The empirical justification for the paper's exclusion: most
+        // transactions cannot be pinned in the L1 and fall back to the
+        // lock after capacity aborts.
+        let w = Yada::new(Scale::Small);
+        let mut cfg = SimConfig::paper_seeded(DetectorKind::Baseline, 7);
+        cfg.max_retries = 2; // give up quickly; capacity aborts repeat
+        let out = Machine::run(&w, cfg);
+        let capacity = out.stats.aborts_by_cause[2];
+        assert!(
+            capacity > out.stats.tx_committed / 2,
+            "expected pervasive capacity aborts, got {capacity} for {} commits",
+            out.stats.tx_committed
+        );
+        assert!(
+            out.stats.fallback_commits * 3 >= out.stats.tx_committed,
+            "expected heavy fallback usage: {} of {}",
+            out.stats.fallback_commits,
+            out.stats.tx_committed
+        );
+        assert_eq!(out.stats.isolation_violations, 0);
+    }
+}
+
+/// An hmm-style kernel (profile-HMM training): each transaction streams a
+/// model slice *larger than the whole L1*, so even perfectly sequential
+/// (conflict-free in sets) footprints cannot be pinned — the other failure
+/// mode behind the paper's exclusion.
+pub struct Hmm {
+    scale: Scale,
+    /// Model parameters: 8-byte entries, streamed in large sequential runs.
+    model: Region,
+    /// Lines touched per transaction — beyond the L1's 1024-line capacity.
+    slice_lines: usize,
+}
+
+impl Hmm {
+    /// Build the kernel: 1100-line slices against a 1024-line L1.
+    pub fn new(scale: Scale) -> Hmm {
+        let mut l = Layout::new();
+        let model = l.region(8, 16_384); // 2048 lines
+        Hmm { scale, model, slice_lines: 1_100 }
+    }
+
+    /// Lines touched per transaction.
+    pub fn slice_lines(&self) -> usize {
+        self.slice_lines
+    }
+}
+
+impl Workload for Hmm {
+    fn name(&self) -> &'static str {
+        "hmm"
+    }
+
+    fn description(&self) -> &'static str {
+        "profile-HMM training (excluded: transactions exceed L1 capacity outright)"
+    }
+
+    fn spawn(&self, tid: usize, _threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        let model = self.model;
+        let slice = self.slice_lines;
+        let steps = self.scale.txns(8);
+        Box::new(GenProgram::new(seed, tid, steps, move |rng, _| {
+            // One training step: stream a huge sequential model slice
+            // (reads) and update a few accumulators along the way.
+            let total_lines = model.slots / 8;
+            let start = rng.below_usize(total_lines - slice);
+            let mut ops = Vec::with_capacity(slice / 4 + 8);
+            // One 8-byte read per 4th line keeps op counts manageable while
+            // still pinning `slice` distinct lines... every 4th line read
+            // still touches slice/4 lines; read one slot in EVERY line to
+            // exceed capacity:
+            for l in 0..slice {
+                ops.push(model.read((start + l) * 8));
+            }
+            for l in (0..slice).step_by(128) {
+                ops.push(model.update((start + l) * 8 + 4, 1));
+            }
+            ops.push(TxOp::Compute { cycles: 500 });
+            vec![tx(ops), WorkItem::Compute { cycles: 800 }]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod hmm_tests {
+    use super::*;
+    use asf_core::detector::DetectorKind;
+    use asf_machine::machine::{Machine, SimConfig};
+
+    #[test]
+    fn hmm_exceeds_l1_capacity_outright() {
+        let w = Hmm::new(Scale::Small);
+        assert!(w.slice_lines() > 1024, "slice must exceed the 1024-line L1");
+        let mut cfg = SimConfig::paper_seeded(DetectorKind::Baseline, 5);
+        cfg.max_retries = 1;
+        let out = Machine::run(&w, cfg);
+        // Every transaction needs the fallback: sequential footprints larger
+        // than the cache cannot be pinned regardless of associativity.
+        assert_eq!(
+            out.stats.fallback_commits, out.stats.tx_committed,
+            "every hmm transaction must fall back"
+        );
+        // Capacity aborts trigger the spiral; once one core holds the lock,
+        // the remaining giant transactions are mostly cut short by lock
+        // acquisitions — the whole run degenerates to serial execution.
+        assert!(out.stats.aborts_by_cause[2] >= 1, "capacity aborts start the spiral");
+        assert!(out.stats.tx_aborted >= out.stats.tx_committed);
+    }
+}
+
+/// A bayes-style kernel (Bayesian network structure learning): the search
+/// loop runs *until its score converges*, and the convergence point depends
+/// on which dependency-edge insertions win their races — so the amount of
+/// work is timing-dependent. The paper excludes bayes for exactly this
+/// "non-deterministic finishing condition"; here each seed converges after
+/// a different number of transactions, making per-run comparisons
+/// meaningless (see the `excluded_bayes` test).
+pub struct Bayes {
+    /// Adjacency/score table of the learned network: 8-byte entries.
+    edges: Region,
+    /// Convergence ceiling (safety bound; real runs stop much earlier).
+    max_steps: usize,
+}
+
+/// Thread program for [`Bayes`]: keeps proposing edge insertions until the
+/// locally observed score stops improving.
+struct BayesLearner {
+    rng: asf_mem::rng::SimRng,
+    edges: Region,
+    remaining: usize,
+    /// Consecutive proposals that didn't improve the (modelled) score.
+    stale: u32,
+}
+
+impl Bayes {
+    /// Build the kernel.
+    pub fn new(scale: Scale) -> Bayes {
+        let mut l = Layout::new();
+        let edges = l.region(8, 512);
+        Bayes { edges, max_steps: scale.txns(600) * 8 }
+    }
+}
+
+impl Workload for Bayes {
+    fn name(&self) -> &'static str {
+        "bayes"
+    }
+
+    fn description(&self) -> &'static str {
+        "Bayesian network learning (excluded: non-deterministic finishing condition)"
+    }
+
+    fn spawn(&self, tid: usize, _threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        Box::new(BayesLearner {
+            rng: asf_mem::rng::SimRng::derive(seed, 0x6a7e5 + tid as u64),
+            edges: self.edges,
+            remaining: self.max_steps,
+            stale: 0,
+        })
+    }
+}
+
+impl ThreadProgram for BayesLearner {
+    fn next_item(&mut self) -> Option<WorkItem> {
+        // Convergence: after a run of non-improving proposals, stop. The
+        // improvement draw stands in for the score delta, whose sign in the
+        // real program depends on which racing insertions committed first —
+        // the source of the benchmark's non-determinism.
+        if self.remaining == 0 || self.stale >= 6 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.rng.chance(1, 4) {
+            self.stale = 0;
+        } else {
+            self.stale += 1;
+        }
+        let e = self.edges.pick(&mut self.rng);
+        let n = (e + 7) % self.edges.slots;
+        Some(tx(vec![
+            self.edges.read(n),
+            self.edges.update(e, 1),
+            TxOp::Compute { cycles: 120 },
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod bayes_tests {
+    use super::*;
+    use asf_core::detector::DetectorKind;
+    use asf_machine::machine::{Machine, SimConfig};
+
+    #[test]
+    fn bayes_termination_is_seed_dependent() {
+        // The committed-transaction count varies wildly across seeds — the
+        // "non-deterministic finishing condition" that makes bayes useless
+        // for the paper's comparisons.
+        let w = Bayes::new(Scale::Small);
+        let counts: Vec<u64> = (0..6)
+            .map(|s| {
+                Machine::run(&w, SimConfig::paper_seeded(DetectorKind::Baseline, 100 + s))
+                    .stats
+                    .tx_committed
+            })
+            .collect();
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            max as f64 >= 1.2 * min as f64,
+            "expected ≥20% spread in committed txns, got {counts:?}"
+        );
+    }
+}

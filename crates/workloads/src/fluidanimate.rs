@@ -1,0 +1,145 @@
+//! **fluidanimate** — fluid simulation (PARSEC kernel, RMS-TM port).
+//!
+//! Characteristics reproduced from the paper:
+//! * 32-byte grid cells (two per line) updated by their owning thread after
+//!   reading neighbouring cells — a stencil pattern;
+//! * a moderate false-conflict rate: neighbour reads share lines with
+//!   other threads' cell updates (cross-cell ⇒ false, resolved by 2+
+//!   sub-blocks), while reads of the updated cell itself are true
+//!   conflicts;
+//! * sizeable non-transactional stretches (density/force computation), so
+//!   the execution-time gain is modest (Figure 10).
+
+use crate::common::{tx, GenProgram, Layout, Region, Scale};
+use asf_machine::txprog::{ThreadProgram, TxOp, WorkItem, Workload};
+
+/// The fluidanimate kernel.
+pub struct Fluidanimate {
+    scale: Scale,
+    /// Particle grid cells: 32-byte records, round-robin owned by thread.
+    cells: Region,
+}
+
+impl Fluidanimate {
+    const CELLS: usize = 256; // 128 lines
+
+    /// Build for the given scale.
+    pub fn new(scale: Scale) -> Fluidanimate {
+        let mut l = Layout::new();
+        let cells = l.region(32, Self::CELLS);
+        Fluidanimate { scale, cells }
+    }
+}
+
+impl Workload for Fluidanimate {
+    fn name(&self) -> &'static str {
+        "fluidanimate"
+    }
+
+    fn description(&self) -> &'static str {
+        "fluid simulation"
+    }
+
+    fn spawn(&self, tid: usize, threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        let cells = self.cells;
+        let steps = self.scale.txns(300);
+        Box::new(GenProgram::new(seed, tid, steps, move |rng, _| {
+            // Update one owned cell after reading its stencil neighbours.
+            // Ownership is round-robin: cell i belongs to thread i % T, so
+            // the two cells of a line usually belong to different threads.
+            let owned = {
+                let mut c = rng.below_usize(cells.slots);
+                c -= c % threads.max(1);
+                (c + tid) % cells.slots
+            };
+            let left = (owned + cells.slots - 1) % cells.slots;
+            let right = (owned + 1) % cells.slots;
+            vec![
+                tx(vec![
+                    // Left neighbour: full cell (position + velocity) —
+                    // overlaps its owner's updates, a true conflict.
+                    TxOp::Read { addr: cells.addr(left), size: 32 },
+                    // Right neighbour: full cell as well. False conflicts
+                    // come from the *other* cell of each read line (the
+                    // line partner we never touch), resolved by 2+
+                    // sub-blocks.
+                    TxOp::Read { addr: cells.addr(right), size: 32 },
+                    TxOp::Compute { cycles: 110 },
+                    // Velocity fields live in the second 16-byte half.
+                    TxOp::Update {
+                        addr: asf_mem::addr::Addr(cells.addr(owned).0 + 16),
+                        size: 8,
+                        delta: 1,
+                    },
+                    TxOp::Update {
+                        addr: asf_mem::addr::Addr(cells.addr(owned).0 + 24),
+                        size: 8,
+                        delta: 2,
+                    },
+                ]),
+                WorkItem::Compute { cycles: 520 },
+            ]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_are_32_bytes() {
+        let w = Fluidanimate::new(Scale::Small);
+        assert_eq!(w.cells.slot, 32);
+        assert_eq!(w.cells.addr(0).line(), w.cells.addr(1).line());
+        assert_ne!(w.cells.addr(1).line(), w.cells.addr(2).line());
+    }
+
+    #[test]
+    fn threads_update_only_their_cells() {
+        let w = Fluidanimate::new(Scale::Small);
+        let threads = 8;
+        for tid in [0usize, 3, 7] {
+            let mut p = w.spawn(tid, threads, 5);
+            while let Some(item) = p.next_item() {
+                if let WorkItem::Tx(att) = item {
+                    for op in &att.ops {
+                        if let TxOp::Update { addr, .. } = op {
+                            let cell = ((addr.0 - w.cells.base.0) / 32) as usize;
+                            assert_eq!(cell % threads, tid, "foreign cell updated");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_reads_are_neighbours() {
+        let w = Fluidanimate::new(Scale::Small);
+        let mut p = w.spawn(1, 8, 2);
+        if let Some(WorkItem::Tx(att)) = p.next_item() {
+            let reads: Vec<u64> = att
+                .ops
+                .iter()
+                .filter_map(|o| match o {
+                    TxOp::Read { addr, .. } => Some((addr.0 - w.cells.base.0) / 32),
+                    _ => None,
+                })
+                .collect();
+            let upd = att
+                .ops
+                .iter()
+                .find_map(|o| match o {
+                    TxOp::Update { addr, .. } => Some((addr.0 - w.cells.base.0) / 32),
+                    _ => None,
+                })
+                .unwrap();
+            let n = w.cells.slots as u64;
+            assert!(reads.contains(&((upd + n - 1) % n)));
+            assert!(reads.contains(&((upd + 1) % n)));
+        } else {
+            panic!("expected a transaction");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! **genome** — gene sequencing (STAMP).
+//!
+//! Characteristics reproduced from the paper:
+//! * phase behaviour: segment deduplication over a large hash table, then a
+//!   contracted matching phase on a much smaller table, then sequence
+//!   linking — Figure 3 shows genome's false conflicts growing in *bursts*
+//!   during particular periods while started transactions grow linearly;
+//! * RAW-dominant false conflicts (Figure 2): insert transactions read
+//!   bucket neighbourhoods whose lines carry other threads' in-flight
+//!   8-byte bucket writes;
+//! * 8-byte table entries (Figure 5).
+
+use crate::common::{tx, GenProgram, Layout, Region, Scale};
+use asf_machine::txprog::{ThreadProgram, TxOp, WorkItem, Workload};
+
+/// The genome kernel.
+pub struct Genome {
+    scale: Scale,
+    /// Phase-1 segment hash table (large: collisions rare).
+    table: Region,
+    /// Phase-2 overlap-matching table (small: the burst source).
+    match_table: Region,
+    /// Phase-3 sequence links.
+    links: Region,
+    /// Global segment counter (alone in its line): pure true contention.
+    counter: Region,
+}
+
+impl Genome {
+    /// Build for the given scale.
+    pub fn new(scale: Scale) -> Genome {
+        let mut l = Layout::new();
+        let table = l.region(8, 4096); // 512 lines
+        let match_table = l.region(8, 512); // 64 lines — hot
+        let links = l.region(8, 2048); // 256 lines
+        let counter = l.region(8, 1);
+        Genome { scale, table, match_table, links, counter }
+    }
+}
+
+impl Workload for Genome {
+    fn name(&self) -> &'static str {
+        "genome"
+    }
+
+    fn description(&self) -> &'static str {
+        "gene sequencing"
+    }
+
+    fn spawn(&self, tid: usize, threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        let table = self.table;
+        let match_table = self.match_table;
+        let links = self.links;
+        let counter = self.counter;
+        let steps = self.scale.txns(400);
+        let threads = threads.max(1);
+        Box::new(GenProgram::new(seed, tid, steps, move |rng, i| {
+            // `i` counts down from `steps` to 1: phase 1 is the first 60%,
+            // phase 2 the next 20% (the burst), phase 3 the rest.
+            let frac_done = 1.0 - (i as f64 / steps as f64);
+            // Segments are partitioned per thread (as STAMP genome does in
+            // phase 1), so inserts land on thread-owned *lines*; duplicate
+            // checks read anywhere. One writer per line keeps irreducible
+            // cross-thread WAW at zero, while reads crossing a writer's
+            // line are the RAW-dominant false conflicts (writes come first
+            // in the transaction — long speculative-write windows). A read
+            // landing on the written slot itself is a true conflict.
+            let own_slot = |rng: &mut asf_mem::rng::SimRng, slots: usize| {
+                let lines = slots / 8;
+                let own_lines = (lines / threads).max(1);
+                let line = (tid % threads) * own_lines + rng.below_usize(own_lines);
+                (line * 8 + rng.below_usize(8)) % slots
+            };
+            if frac_done < 0.6 {
+                // Phase 1: hash-table dedup insert. Large table => low rate.
+                let h = own_slot(rng, table.slots);
+                let mut ops = vec![table.update(h, 1), TxOp::Compute { cycles: 80 }];
+                for _ in 0..5 {
+                    ops.push(table.read(rng.below_usize(table.slots)));
+                }
+                // Allocating the segment id bumps a global counter — the
+                // benchmark's true-contention hotspot.
+                if rng.chance(1, 8) {
+                    ops.push(counter.update(0, 1));
+                }
+                vec![tx(ops), WorkItem::Compute { cycles: 300 }]
+            } else if frac_done < 0.8 {
+                // Phase 2: overlap matching on the small hot table -- the
+                // false-conflict burst of Figure 3.
+                let h = own_slot(rng, match_table.slots);
+                let mut ops = vec![match_table.update(h, 1), TxOp::Compute { cycles: 60 }];
+                for _ in 0..5 {
+                    ops.push(match_table.read(rng.below_usize(match_table.slots)));
+                }
+                if rng.chance(1, 8) {
+                    ops.push(counter.update(0, 1));
+                }
+                vec![tx(ops), WorkItem::Compute { cycles: 120 }]
+            } else {
+                // Phase 3: link segments into the sequence.
+                let s = own_slot(rng, links.slots);
+                let mut ops = vec![
+                    links.update(s, 1),
+                    TxOp::Compute { cycles: 70 },
+                    links.read(rng.below_usize(links.slots)),
+                    links.read(rng.below_usize(links.slots)),
+                ];
+                if rng.chance(1, 8) {
+                    ops.push(counter.update(0, 1));
+                }
+                vec![tx(ops), WorkItem::Compute { cycles: 260 }]
+            }
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_table_is_much_hotter_than_main_table() {
+        let w = Genome::new(Scale::Small);
+        assert!(w.table.lines() >= 8 * w.match_table.lines());
+    }
+
+    #[test]
+    fn phases_cover_all_steps() {
+        let w = Genome::new(Scale::Standard);
+        let mut p = w.spawn(0, 8, 1);
+        let mut txns = 0;
+        while let Some(item) = p.next_item() {
+            if matches!(item, WorkItem::Tx(_)) {
+                txns += 1;
+            }
+        }
+        assert_eq!(txns, 400);
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = Genome::new(Scale::Small);
+        let run = |seed| {
+            let mut p = w.spawn(1, 8, seed);
+            let mut n = 0u64;
+            while let Some(it) = p.next_item() {
+                n = n.wrapping_mul(31).wrapping_add(format!("{it:?}").len() as u64);
+            }
+            n
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

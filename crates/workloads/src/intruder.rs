@@ -1,0 +1,149 @@
+//! **intruder** — network intrusion detection (STAMP).
+//!
+//! Characteristics reproduced from the paper:
+//! * the *lowest* false-conflict rate of the suite (Figure 1): the hot
+//!   structure is a single work-queue head counter alone in its line, so
+//!   almost all conflicts are true;
+//! * very high average retry counts — short transactions hammering the
+//!   queue produce abort cascades, which is why the few false conflicts it
+//!   does have (packed dictionary slots) cost disproportionate time and
+//!   removing them yields a large execution-time win (Figure 10);
+//! * short transactions with little non-transactional work between them.
+
+use crate::common::{tx, GenProgram, Layout, Region, Scale};
+use asf_machine::txprog::{ThreadProgram, TxOp, WorkItem, Workload};
+
+/// The intruder kernel.
+pub struct Intruder {
+    scale: Scale,
+    /// The work-queue head counter: one 8-byte slot, alone in its line
+    /// (true contention, no false sharing).
+    queue_head: Region,
+    /// Per-thread packet staging areas (private lines). (STAMP's shared
+    /// flow-reassembly map is modelled as private staging: a shared map
+    /// with realistic insert latencies drives the queue-head retry
+    /// cascades into fallback storms that bury every paper-relevant
+    /// signal — see docs/CALIBRATION.md.)
+    fragments: Vec<Region>,
+    /// Attack-signature dictionary: packed 8-byte slots, 8 per line — the
+    /// benchmark's only source of false sharing.
+    dictionary: Region,
+}
+
+impl Intruder {
+    const DICT: usize = 64; // 8 lines
+    const THREADS: usize = 8;
+
+    /// Build for the given scale.
+    pub fn new(scale: Scale) -> Intruder {
+        let mut l = Layout::new();
+        let queue_head = l.region(8, 1);
+        let fragments = l.per_thread(Self::THREADS, 8, 64);
+        let dictionary = l.region(8, Self::DICT);
+        Intruder { scale, queue_head, fragments, dictionary }
+    }
+}
+
+impl Workload for Intruder {
+    fn name(&self) -> &'static str {
+        "intruder"
+    }
+
+    fn description(&self) -> &'static str {
+        "network intrusion detection"
+    }
+
+    fn spawn(&self, tid: usize, _threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        let queue = self.queue_head;
+        let frag = self.fragments[tid % self.fragments.len()];
+        let dict = self.dictionary;
+        let steps = self.scale.txns(520);
+        Box::new(GenProgram::new(seed, tid, steps, move |rng, i| {
+            // One in four transactions pops the shared queue (true
+            // contention on the line-isolated head counter — intruder's
+            // dominant, irreducible conflict source); the rest process a
+            // packet: private reassembly plus packed-dictionary traffic,
+            // the benchmark's only false-sharing source.
+            let ops = if i % 4 == 0 {
+                // Pop + classify in one short transaction: a false
+                // dictionary conflict here forces a retry that re-contends
+                // on the head counter, so baseline false conflicts amplify
+                // retry cascades — the effect behind intruder's outsized
+                // Figure 10 gain despite its tiny false-conflict share.
+                let mut v = vec![
+                    queue.update(0, 1),
+                    dict.read(rng.below_usize(dict.slots)),
+                    TxOp::Compute { cycles: 10 },
+                ];
+                if rng.chance(1, 3) {
+                    v.push(dict.update(rng.below_usize(dict.slots), 1));
+                }
+                v
+            } else {
+                vec![
+                    frag.read(rng.below_usize(frag.slots)),
+                    dict.read(rng.below_usize(dict.slots)),
+                    TxOp::Compute { cycles: 30 },
+                ]
+            };
+            vec![tx(ops), WorkItem::Compute { cycles: 110 }]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_head_is_line_isolated() {
+        let w = Intruder::new(Scale::Small);
+        assert_eq!(w.queue_head.slots, 1);
+        // Nothing else shares the head's line: next structure is ≥1 MiB away.
+        assert!(w.fragments[0].base.0 - w.queue_head.base.0 >= 1 << 20);
+    }
+
+    #[test]
+    fn dictionary_is_packed() {
+        let w = Intruder::new(Scale::Small);
+        assert_eq!(w.dictionary.addr(0).line(), w.dictionary.addr(7).line());
+    }
+
+    #[test]
+    fn fragment_areas_are_thread_private() {
+        let w = Intruder::new(Scale::Small);
+        for i in 0..w.fragments.len() {
+            for j in i + 1..w.fragments.len() {
+                let a = &w.fragments[i];
+                let b = &w.fragments[j];
+                assert!(
+                    a.base.0 + a.bytes() <= b.base.0 || b.base.0 + b.bytes() <= a.base.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_quarter_of_txns_pop_the_queue_head() {
+        let w = Intruder::new(Scale::Small);
+        let head = w.queue_head.addr(0);
+        let mut p = w.spawn(3, 8, 9);
+        let (mut pops, mut total) = (0u32, 0u32);
+        while let Some(item) = p.next_item() {
+            if let WorkItem::Tx(att) = item {
+                total += 1;
+                if att.ops.iter().any(
+                    |o| matches!(o, TxOp::Update { addr, .. } if *addr == head),
+                ) {
+                    pops += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        let quarter = total / 4;
+        assert!(
+            (quarter.saturating_sub(1)..=quarter + 1).contains(&pops),
+            "one-in-four pop mix: {pops} of {total}"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! **kmeans** — K-means clustering (STAMP).
+//!
+//! Characteristics reproduced from the paper:
+//! * 32-bit (4-byte) data granularity (Figure 5 shows kmeans accesses at a
+//!   4-byte stride while the other benchmarks use 8 bytes);
+//! * false conflicts concentrated on a *few hot cache lines* (Figure 4):
+//!   the centroid accumulators and the packed per-centroid count array span
+//!   only a handful of lines;
+//! * RAW-dominant false conflicts (Figure 2): accumulate writes happen
+//!   early in the transaction (long speculative-write windows), so other
+//!   threads' centroid-row reads probe lines carrying in-flight 4-byte
+//!   writes;
+//! * residual false sharing *within 8-byte sub-blocks* (Figure 8: kmeans is
+//!   the one benchmark 8 sub-blocks cannot fully fix): the packed 4-byte
+//!   member-count array puts two logically unrelated counters in every
+//!   8-byte block;
+//! * false-conflict count grows linearly over time (Figure 3).
+
+use crate::common::{tx, GenProgram, Layout, Region, Scale};
+use asf_machine::txprog::{ThreadProgram, TxOp, WorkItem, Workload};
+
+/// The kmeans kernel.
+pub struct Kmeans {
+    scale: Scale,
+    /// Centroid accumulator cells: K rows of D packed 4-byte accumulators
+    /// (32-byte rows, two centroids per line).
+    cells: Region,
+    /// Per-centroid member counts: K packed 4-byte counters (one hot line).
+    counts: Region,
+    k: usize,
+    dims: usize,
+}
+
+impl Kmeans {
+    const K: usize = 64;
+    const DIMS: usize = 8; // 32-byte rows, 2 per line
+
+    /// Build for the given scale.
+    pub fn new(scale: Scale) -> Kmeans {
+        let mut l = Layout::new();
+        let cells = l.region(4, Self::K * Self::DIMS); // 2 KiB = 32 lines
+        let counts = l.region(4, Self::K); // 256 B = 4 hot lines
+        Kmeans { scale, cells, counts, k: Self::K, dims: Self::DIMS }
+    }
+}
+
+impl Workload for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn description(&self) -> &'static str {
+        "K-means clustering"
+    }
+
+    fn word_size(&self) -> usize {
+        4
+    }
+
+    fn spawn(&self, tid: usize, _threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        let cells = self.cells;
+        let counts = self.counts;
+        let k = self.k;
+        let dims = self.dims;
+        let steps = self.scale.txns(400);
+        Box::new(GenProgram::new(seed, tid, steps, move |rng, i| {
+            // Accumulate one point into its centroid. Cluster assignment
+            // is thread-affine (each thread's data partition mostly maps
+            // to "its" centroids, 31 in 32 picks), which keeps concurrent
+            // same-line *write* pairs — the irreducible WAW-any aborts —
+            // rare, as the paper's ≈0% WAW share requires. The early
+            // writes live for the whole transaction, so the roaming
+            // half-row read and the packed 4-byte count reads of other
+            // threads probe them: RAW-dominant false conflicts resolved in
+            // stages (cross-row at 2 sub-blocks, cross-half-row at 4,
+            // cross-count-pair at 8, and only byte/4-byte granularity
+            // separates adjacent counts — the kmeans residue of Figure 8).
+            let home = tid % (k / 8).max(1);
+            let upd = if rng.chance(31, 32) {
+                home * 8 + rng.below_usize(8)
+            } else {
+                rng.below_usize(k)
+            };
+            let d0 = rng.below_usize(dims);
+            let d1 = (d0 + 3) % dims;
+            let read_k = rng.below_usize(k);
+            let half = rng.below_usize(2);
+            let mut ops = vec![
+                cells.update(upd * dims + d0, 1),
+                cells.update(upd * dims + d1, 1),
+                // Compute between the accumulates and the roaming reads:
+                // long write windows, short read windows => RAW-dominant.
+                TxOp::Compute { cycles: 25 },
+                // Roaming half-row read (4 cells, 16 B) of a random
+                // centroid: distance evaluation against other clusters.
+                TxOp::Read {
+                    addr: cells.addr(read_k * dims + 4 * half),
+                    size: 16,
+                },
+                counts.read(rng.below_usize(k)),
+                counts.read(rng.below_usize(k)),
+            ];
+            if i % 8 == 0 {
+                ops.push(counts.update(upd, 1));
+            }
+            vec![tx(ops), WorkItem::Compute { cycles: 420 }]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_structures_span_few_lines() {
+        let w = Kmeans::new(Scale::Small);
+        assert_eq!(w.cells.lines(), 32, "centroid cells stay concentrated");
+        assert_eq!(w.counts.lines(), 4, "count array spans a few hot lines");
+    }
+
+    #[test]
+    fn four_byte_granularity() {
+        let w = Kmeans::new(Scale::Small);
+        assert_eq!(w.cells.slot, 4);
+        assert_eq!(w.counts.slot, 4);
+        assert_eq!(w.word_size(), 4);
+    }
+
+    #[test]
+    fn adjacent_counts_share_an_8_byte_block() {
+        // The structural reason 8 sub-blocks cannot fully fix kmeans.
+        let w = Kmeans::new(Scale::Small);
+        let a = w.counts.addr(0);
+        let b = w.counts.addr(1);
+        assert_eq!(a.line(), b.line());
+        assert_eq!(a.offset() / 8, b.offset() / 8, "cells 0,1 share an 8-byte block");
+    }
+
+    #[test]
+    fn two_centroid_rows_share_each_line() {
+        let w = Kmeans::new(Scale::Small);
+        let row0 = w.cells.addr(0);
+        let row1 = w.cells.addr(w.dims);
+        let row2 = w.cells.addr(2 * w.dims);
+        assert_eq!(row0.line(), row1.line());
+        assert_ne!(row1.line(), row2.line());
+    }
+
+    #[test]
+    fn transactions_are_tiny_rmw_bundles() {
+        // STAMP kmeans transactions are a handful of 4-byte accumulates.
+        let w = Kmeans::new(Scale::Small);
+        let mut p = w.spawn(1, 8, 3);
+        while let Some(item) = p.next_item() {
+            if let WorkItem::Tx(att) = item {
+                assert!(att.ops.len() <= 7, "kmeans txns must stay tiny");
+                for op in &att.ops {
+                    match op {
+                        TxOp::Update { size, .. } => {
+                            assert_eq!(*size, 4, "kmeans writes at 4-byte granularity");
+                        }
+                        TxOp::Read { size, .. } => {
+                            assert!(*size == 4 || *size == 16, "count or half-row reads");
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! **labyrinth** — maze routing (STAMP).
+//!
+//! Characteristics reproduced from the paper:
+//! * very large read sets: each routing transaction privatizes a swath of
+//!   the grid (contiguous multi-line reads — sequential sets, so the
+//!   footprint fits ASF's L1 pinning);
+//! * most aborts are *user aborts* (path invalidation re-routes), and the
+//!   absolute number of coherence conflicts is tiny — "sometimes even lower
+//!   than 20" — which is why the paper flags labyrinth's Figure 9 numbers
+//!   as high-variance;
+//! * long in-transaction compute (path search) and long non-transactional
+//!   stretches, so execution-time improvements are small (Figure 10).
+
+use crate::common::{tx, GenProgram, Layout, Region, Scale};
+use asf_machine::txprog::{ThreadProgram, TxOp, WorkItem, Workload};
+
+/// The labyrinth kernel.
+pub struct Labyrinth {
+    scale: Scale,
+    /// The shared routing grid: 8-byte cells.
+    grid: Region,
+    /// The work queue of pending routes: head counter alone in its line.
+    queue: Region,
+}
+
+impl Labyrinth {
+    const CELLS: usize = 8192; // 1024 lines
+
+    /// Build for the given scale.
+    pub fn new(scale: Scale) -> Labyrinth {
+        let mut l = Layout::new();
+        let grid = l.region(8, Self::CELLS);
+        let queue = l.region(8, 1);
+        Labyrinth { scale, grid, queue }
+    }
+}
+
+impl Workload for Labyrinth {
+    fn name(&self) -> &'static str {
+        "labyrinth"
+    }
+
+    fn description(&self) -> &'static str {
+        "maze routing"
+    }
+
+    fn spawn(&self, tid: usize, _threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        let grid = self.grid;
+        let queue = self.queue;
+        let steps = self.scale.txns(48);
+        Box::new(GenProgram::new(seed, tid, steps, move |rng, _| {
+            // Route one wire: privatize a grid swath by reading cells 0 and
+            // 4 of 10–16 consecutive lines (a sparse routing frontier), so
+            // a remote path claim on any *other* cell of a read line is a
+            // false conflict — half resolvable at 4 sub-blocks (cells 3, 7)
+            // and half only at 8 (cells 1, 5, adjacent to the read cells).
+            // Claims happen early (long speculative-write windows ⇒
+            // RAW-dominant), then the path search runs (long compute), and
+            // path invalidation re-routes ≈ 1 in 8 attempts (user abort).
+            let lines = 10 + rng.below_usize(7);
+            let start_line = rng.below_usize(grid.slots / 8 - lines);
+            let mut ops = Vec::with_capacity(2 * lines + 6);
+            for l in 0..lines {
+                ops.push(grid.read((start_line + l) * 8));
+                ops.push(grid.read((start_line + l) * 8 + 4));
+            }
+            for _ in 0..3 {
+                // Claim a non-frontier cell inside the swath (1, 3, 5, 7).
+                let cell = (start_line + rng.below_usize(lines)) * 8
+                    + 2 * rng.below_usize(4)
+                    + 1;
+                ops.push(grid.update(cell, 1));
+            }
+            ops.push(TxOp::Compute { cycles: 1_500 });
+            ops.push(TxOp::UserAbort { num: 1, den: 8 });
+            let mut items = Vec::with_capacity(3);
+            if rng.chance(1, 2) {
+                // Grab the next route request from the work queue — a
+                // minimal transaction with pure true contention.
+                items.push(tx(vec![queue.update(0, 1)]));
+            }
+            items.push(tx(ops));
+            items.push(WorkItem::Compute { cycles: 2_500 });
+            items
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swath_reads_even_cells_writes_odd_cells() {
+        let w = Labyrinth::new(Scale::Small);
+        let mut p = w.spawn(0, 8, 2);
+        let mut saw_tx = false;
+        while let Some(item) = p.next_item() {
+            if let WorkItem::Tx(att) = item {
+                if att.ops.len() <= 2 {
+                    continue; // the queue-pop transaction
+                }
+                saw_tx = true;
+                let mut reads = 0;
+                let mut lo = u64::MAX;
+                let mut hi = 0u64;
+                for op in &att.ops {
+                    match op {
+                        TxOp::Read { addr, size } => {
+                            reads += 1;
+                            assert_eq!(*size, 8);
+                            let cell = (addr.0 - w.grid.base.0) / 8;
+                            assert!(cell.is_multiple_of(8) || cell % 8 == 4, "frontier cells 0/4");
+                            lo = lo.min(addr.0);
+                            hi = hi.max(addr.0);
+                        }
+                        TxOp::Update { addr, .. } => {
+                            let cell = (addr.0 - w.grid.base.0) / 8;
+                            assert_eq!(cell % 2, 1, "writes claim odd cells only");
+                            assert!(addr.0 >= lo && addr.0 <= hi + 64, "path inside swath");
+                        }
+                        _ => {}
+                    }
+                }
+                assert!((10 * 2..=16 * 2).contains(&reads), "{reads} frontier reads");
+            }
+        }
+        assert!(saw_tx);
+    }
+
+    #[test]
+    fn has_user_aborts() {
+        let w = Labyrinth::new(Scale::Small);
+        let mut p = w.spawn(1, 8, 4);
+        let mut saw = false;
+        while let Some(item) = p.next_item() {
+            if let WorkItem::Tx(att) = item {
+                saw |= att
+                    .ops
+                    .iter()
+                    .any(|o| matches!(o, TxOp::UserAbort { .. }));
+            }
+        }
+        assert!(saw);
+    }
+}

@@ -1,0 +1,133 @@
+//! # asf-workloads — STAMP / RMS-TM-style transactional kernels
+//!
+//! The paper evaluates ten benchmarks (Table III) ported to ASF. The
+//! originals are C programs; what drives every result in the paper is their
+//! *memory behaviour inside transactions* — sharing pattern, data-structure
+//! granularity, transaction length, contention level. Each module here
+//! re-implements one benchmark as a synthetic kernel that reproduces those
+//! documented characteristics against the simulator's workload API (see
+//! DESIGN.md §2 for the substitution argument):
+//!
+//! | kernel | models | key traits encoded |
+//! |---|---|---|
+//! | [`intruder`] | network intrusion detection | short queue+dictionary txns, high *true* contention, lowest false rate, high retries |
+//! | [`kmeans`] | K-means clustering | 4-byte centroid/count cells, few hot lines, RAW-dominant, residual false sharing at 8-byte sub-blocks |
+//! | [`labyrinth`] | maze routing | large privatized read sets, user-level aborts, very few coherence conflicts |
+//! | [`ssca2`] | graph kernels | tiny txns on adjacent 8-byte slots, > 90% false rate |
+//! | [`vacation`] | travel reservation | 32-byte tree records, WAR-dominant, ≈ 100% reduction at 4 sub-blocks |
+//! | [`genome`] | gene sequencing | two phases with false-conflict bursts, RAW-heavy |
+//! | [`scalparc`] | decision-tree classification | 16-byte attribute records, ≈ 100% reduction at 4 sub-blocks |
+//! | [`apriori`] | association rule mining | wide reads + single counter update, > 90% false, WAR-dominant |
+//! | [`fluidanimate`] | fluid simulation | 32-byte grid cells, neighbour reads, moderate false rate |
+//! | [`utilitymine`] | association rule mining | packed 8-byte-stride counters, low reduction at 4 sub-blocks, resolved at 8 |
+//!
+//! All kernels are deterministic functions of `(seed, tid)`.
+//!
+//! [`excluded`] additionally implements a yada-style kernel to demonstrate
+//! *why* the paper excludes it (transactions exceed ASF's L1 capacity); it
+//! is not part of [`all`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod common;
+pub mod excluded;
+pub mod fluidanimate;
+pub mod genome;
+pub mod intruder;
+pub mod kmeans;
+pub mod labyrinth;
+pub mod scalparc;
+pub mod ssca2;
+pub mod utilitymine;
+pub mod vacation;
+
+use asf_machine::txprog::Workload;
+pub use common::Scale;
+
+/// All ten benchmarks in the paper's presentation order (Table III).
+pub fn all(scale: Scale) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(intruder::Intruder::new(scale)),
+        Box::new(kmeans::Kmeans::new(scale)),
+        Box::new(labyrinth::Labyrinth::new(scale)),
+        Box::new(ssca2::Ssca2::new(scale)),
+        Box::new(vacation::Vacation::new(scale)),
+        Box::new(genome::Genome::new(scale)),
+        Box::new(scalparc::ScalParc::new(scale)),
+        Box::new(apriori::Apriori::new(scale)),
+        Box::new(fluidanimate::Fluidanimate::new(scale)),
+        Box::new(utilitymine::UtilityMine::new(scale)),
+    ]
+}
+
+/// Look a benchmark up by its Table III name.
+pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
+    all(scale).into_iter().find(|w| w.name() == name)
+}
+
+/// The four benchmarks the paper uses for Figures 3–5.
+pub fn representative_four(scale: Scale) -> Vec<Box<dyn Workload>> {
+    ["vacation", "genome", "kmeans", "intruder"]
+        .iter()
+        .map(|n| by_name(n, scale).expect("known benchmark"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_ten_benchmarks() {
+        let names: Vec<_> = all(Scale::Small).iter().map(|w| w.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "intruder",
+                "kmeans",
+                "labyrinth",
+                "ssca2",
+                "vacation",
+                "genome",
+                "scalparc",
+                "apriori",
+                "fluidanimate",
+                "utilitymine",
+            ]
+        );
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for w in all(Scale::Small) {
+            assert!(by_name(w.name(), Scale::Small).is_some());
+        }
+        assert!(by_name("nonesuch", Scale::Small).is_none());
+    }
+
+    #[test]
+    fn representative_four_matches_paper() {
+        let names: Vec<_> = representative_four(Scale::Small)
+            .iter()
+            .map(|w| w.name())
+            .collect();
+        assert_eq!(names, vec!["vacation", "genome", "kmeans", "intruder"]);
+    }
+
+    #[test]
+    fn descriptions_are_present() {
+        for w in all(Scale::Small) {
+            assert!(!w.description().is_empty(), "{} missing description", w.name());
+        }
+    }
+
+    #[test]
+    fn word_sizes_match_figure5() {
+        assert_eq!(by_name("kmeans", Scale::Small).unwrap().word_size(), 4);
+        assert_eq!(by_name("vacation", Scale::Small).unwrap().word_size(), 8);
+        assert_eq!(by_name("genome", Scale::Small).unwrap().word_size(), 8);
+        assert_eq!(by_name("intruder", Scale::Small).unwrap().word_size(), 8);
+    }
+}

@@ -1,0 +1,118 @@
+//! **scalparc** — decision-tree classification (RMS-TM).
+//!
+//! Characteristics reproduced from the paper:
+//! * attribute-list records of 16 bytes (four per 64-byte line): split
+//!   transactions scan record ranges and update one record's class counter;
+//! * a high false-conflict rate at line granularity, with ≈ 100% reduction
+//!   at 4 sub-blocks (Figure 8) — records coincide exactly with 16-byte
+//!   sub-blocks, so every cross-record conflict disappears;
+//! * 8-byte field accesses within the records.
+
+use crate::common::{tx, GenProgram, Layout, Region, Scale};
+use asf_machine::txprog::{ThreadProgram, TxOp, WorkItem, Workload};
+
+/// The scalparc kernel.
+pub struct ScalParc {
+    scale: Scale,
+    /// Attribute list: 16-byte records `{value: u64, class_count: u64}`.
+    attrs: Region,
+}
+
+impl ScalParc {
+    const RECORDS: usize = 512; // 128 lines
+
+    /// Build for the given scale.
+    pub fn new(scale: Scale) -> ScalParc {
+        let mut l = Layout::new();
+        let attrs = l.region(16, Self::RECORDS);
+        ScalParc { scale, attrs }
+    }
+}
+
+impl Workload for ScalParc {
+    fn name(&self) -> &'static str {
+        "scalparc"
+    }
+
+    fn description(&self) -> &'static str {
+        "decision tree classification"
+    }
+
+    fn spawn(&self, tid: usize, _threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        let attrs = self.attrs;
+        let steps = self.scale.txns(380);
+        Box::new(GenProgram::new(seed, tid, steps, move |rng, _| {
+            // Evaluate one candidate split: read a run of whole 16-byte
+            // records, then bump the `class_count` field (offset 8, 8 B)
+            // of one record elsewhere in the list. Cross-record conflicts
+            // are false and vanish at 16-byte sub-blocks; a scan covering
+            // the updated record itself is a true conflict.
+            let run = 5 + rng.below_usize(4);
+            let start = rng.below_usize(attrs.slots - run);
+            let mut ops = Vec::with_capacity(run + 2);
+            for r in 0..run {
+                ops.push(TxOp::Read { addr: attrs.addr(start + r), size: 16 });
+            }
+            ops.push(TxOp::Compute { cycles: 90 });
+            let upd = rng.below_usize(attrs.slots);
+            ops.push(TxOp::Update {
+                addr: asf_mem::addr::Addr(attrs.addr(upd).0 + 8),
+                size: 8,
+                delta: 1,
+            });
+            vec![tx(ops), WorkItem::Compute { cycles: 420 }]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_coincide_with_16_byte_subblocks() {
+        let w = ScalParc::new(Scale::Small);
+        assert_eq!(w.attrs.slot, 16);
+        for i in 0..16 {
+            assert_eq!(w.attrs.addr(i).offset() % 16, 0);
+        }
+    }
+
+    #[test]
+    fn update_field_stays_inside_its_record() {
+        let w = ScalParc::new(Scale::Small);
+        let mut p = w.spawn(2, 8, 6);
+        while let Some(item) = p.next_item() {
+            if let WorkItem::Tx(att) = item {
+                for op in &att.ops {
+                    if let TxOp::Update { addr, size, .. } = op {
+                        let rec_off = (addr.0 - w.attrs.base.0) % 16;
+                        assert_eq!(rec_off, 8, "class_count field at offset 8");
+                        assert_eq!(*size, 8);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scans_are_contiguous_runs() {
+        let w = ScalParc::new(Scale::Small);
+        let mut p = w.spawn(0, 8, 1);
+        if let Some(WorkItem::Tx(att)) = p.next_item() {
+            let reads: Vec<u64> = att
+                .ops
+                .iter()
+                .filter_map(|o| match o {
+                    TxOp::Read { addr, .. } => Some(addr.0),
+                    _ => None,
+                })
+                .collect();
+            for pair in reads.windows(2) {
+                assert_eq!(pair[1] - pair[0], 16, "records read in a run");
+            }
+        } else {
+            panic!("expected a transaction first");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! **ssca2** — graph computing kernels (STAMP).
+//!
+//! Characteristics reproduced from the paper:
+//! * very many *tiny* transactions touching adjacent 8-byte array slots;
+//! * the highest false-conflict rate of the suite (> 90%, Figure 1):
+//!   per-thread graph partitions mean a line's eight slots belong to one
+//!   writer, while readers roam all partitions — nearly every conflict is
+//!   cross-slot false sharing;
+//! * writes are partition-private, so cross-thread write/write (WAW)
+//!   collisions are essentially absent (Figure 2).
+
+use crate::common::{tx, GenProgram, Layout, Region, Scale};
+use asf_machine::txprog::{ThreadProgram, TxOp, WorkItem, Workload};
+
+/// The ssca2 kernel.
+pub struct Ssca2 {
+    scale: Scale,
+    /// Adjacency/weight array: 8-byte slots, 8 per line, partitioned by
+    /// thread (thread t owns slots `[t*part, (t+1)*part)`).
+    arr: Region,
+    part: usize,
+    threads_hint: usize,
+}
+
+impl Ssca2 {
+    /// Partition size (slots per thread): 8 lines of 8 slots.
+    const PART: usize = 64;
+
+    /// Build for the given scale (laid out for up to 8 threads).
+    pub fn new(scale: Scale) -> Ssca2 {
+        let threads_hint = 8;
+        let mut l = Layout::new();
+        let arr = l.region(8, Self::PART * threads_hint);
+        Ssca2 { scale, arr, part: Self::PART, threads_hint }
+    }
+}
+
+impl Workload for Ssca2 {
+    fn name(&self) -> &'static str {
+        "ssca2"
+    }
+
+    fn description(&self) -> &'static str {
+        "graph kernels"
+    }
+
+    fn spawn(&self, tid: usize, threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        let arr = self.arr;
+        let part = self.part;
+        let total = part * threads.min(self.threads_hint);
+        let own_base = (tid % self.threads_hint) * part;
+        let steps = self.scale.txns(480);
+        Box::new(GenProgram::new(seed, tid, steps, move |rng, _| {
+            // A tiny graph-update transaction: bump one weight in the own
+            // partition, read the two endpoint slots of a random cross edge.
+            let w = own_base + rng.below_usize(part);
+            let e = rng.below_usize(total);
+            let e2 = (e + 1) % total;
+            vec![
+                tx(vec![
+                    arr.update(w, 1),
+                    arr.read(e),
+                    arr.read(e2),
+                    TxOp::Compute { cycles: 20 },
+                ]),
+                WorkItem::Compute { cycles: 60 },
+            ]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_do_not_overlap() {
+        let w = Ssca2::new(Scale::Small);
+        // Thread 0 and thread 1 own disjoint slot ranges, hence lines.
+        let base0 = 0;
+        let base1 = w.part;
+        let last0 = w.arr.addr(base0 + w.part - 1);
+        let first1 = w.arr.addr(base1);
+        assert!(last0.line() < first1.line() || last0.line() == first1.line());
+        // Partition is a whole number of lines (64 slots × 8 B = 8 lines).
+        assert_eq!((w.part * 8) % 64, 0);
+    }
+
+    #[test]
+    fn programs_are_deterministic() {
+        let w = Ssca2::new(Scale::Small);
+        let collect = |seed| {
+            let mut p = w.spawn(2, 8, seed);
+            let mut v = Vec::new();
+            while let Some(it) = p.next_item() {
+                v.push(format!("{it:?}"));
+            }
+            v
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn transactions_are_tiny() {
+        let w = Ssca2::new(Scale::Small);
+        let mut p = w.spawn(0, 8, 1);
+        while let Some(item) = p.next_item() {
+            if let WorkItem::Tx(att) = item {
+                assert!(att.ops.len() <= 5, "ssca2 txns must stay tiny");
+            }
+        }
+    }
+}

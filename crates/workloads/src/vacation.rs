@@ -1,0 +1,203 @@
+//! **vacation** — client/server travel reservation system (STAMP).
+//!
+//! Characteristics reproduced from the paper:
+//! * medium transactions traversing tree-structured tables: ~10 record
+//!   reads followed by one or two field updates;
+//! * 32-byte records (two per 64-byte line) at 8-byte field granularity —
+//!   cross-record false sharing is fully separated by 16-byte sub-blocks,
+//!   which is why vacation reaches ≈ 100% false-conflict reduction at
+//!   4 sub-blocks (Figure 8);
+//! * WAR-dominant false conflicts (Figure 2): reservation updates
+//!   invalidate lines other clients are traversing;
+//! * a skewed popularity distribution keeps contention (and retries) high
+//!   enough that eliminating false conflicts buys a large execution-time
+//!   win (Figure 10).
+
+use crate::common::{tx, GenProgram, Layout, Region, Scale};
+use asf_machine::txprog::{ThreadProgram, TxOp, WorkItem, Workload};
+
+/// The vacation kernel.
+pub struct Vacation {
+    scale: Scale,
+    /// Reservation records: 32 bytes each (car/room/flight entries with
+    /// id, total, used, price fields of 8 bytes).
+    records: Region,
+    hot_records: usize,
+}
+
+impl Vacation {
+    const RECORDS: usize = 384; // 192 lines
+
+    /// Build for the given scale.
+    pub fn new(scale: Scale) -> Vacation {
+        let mut l = Layout::new();
+        let records = l.region(32, Self::RECORDS);
+        Vacation { scale, records, hot_records: Self::RECORDS / 24 }
+    }
+
+    fn pick_record(&self) -> impl Fn(&mut asf_mem::rng::SimRng) -> usize {
+        let n = self.records.slots;
+        let hot = self.hot_records;
+        move |rng| {
+            if rng.chance(3, 5) {
+                rng.below_usize(hot) // 60% of traffic on ~4% of records
+            } else {
+                rng.below_usize(n)
+            }
+        }
+    }
+}
+
+impl Workload for Vacation {
+    fn name(&self) -> &'static str {
+        "vacation"
+    }
+
+    fn description(&self) -> &'static str {
+        "client/server travel reservation system"
+    }
+
+    fn spawn(&self, tid: usize, _threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        let records = self.records;
+        let pick = self.pick_record();
+        let steps = self.scale.txns(360);
+        Box::new(GenProgram::new(seed, tid, steps, move |rng, _| {
+            // STAMP vacation issues three request types: ~90% reservations,
+            // ~5% customer deletions, ~5% manager table updates.
+            let kind = rng.below(20);
+            let mut ops = Vec::with_capacity(14);
+            if kind < 18 {
+                // Reservation: traverse the table reading record *headers*
+                // (id/total fields, first 16 bytes) uniformly, then book a
+                // popular record — full availability read, compute, then
+                // bump `used`@16 and sometimes `price`@24. Headers and
+                // booked fields live in different 16-byte sub-blocks, so a
+                // traversal crossing a just-booked record is a false
+                // conflict the sub-blocking technique removes; two bookings
+                // of one record remain a true conflict.
+                let path_len = 5 + rng.below_usize(3);
+                for _ in 0..path_len {
+                    let r = rng.below_usize(records.slots);
+                    ops.push(TxOp::Read { addr: records.addr(r), size: 16 });
+                }
+                let book = pick(rng);
+                let base = records.addr(book);
+                ops.push(TxOp::Read { addr: base, size: 32 });
+                ops.push(TxOp::Compute { cycles: 150 });
+                ops.push(TxOp::Update { addr: asf_mem::addr::Addr(base.0 + 16), size: 8, delta: 1 });
+                if rng.chance(1, 3) {
+                    ops.push(TxOp::Update { addr: asf_mem::addr::Addr(base.0 + 24), size: 8, delta: 3 });
+                }
+            } else if kind == 18 {
+                // Delete customer: read the customer's bookings and release
+                // two reservations (negative `used` updates on popular
+                // records — the same field the bookings fight over).
+                for _ in 0..2 {
+                    let r = pick(rng);
+                    let base = records.addr(r);
+                    ops.push(TxOp::Read { addr: base, size: 32 });
+                    ops.push(TxOp::Update {
+                        addr: asf_mem::addr::Addr(base.0 + 16),
+                        size: 8,
+                        delta: 1u64.wrapping_neg(),
+                    });
+                }
+                ops.push(TxOp::Compute { cycles: 100 });
+            } else {
+                // Manager update: rewrite a record's header field (`total`
+                // @8 — inside the header sub-block traversals read), a true
+                // conflict with any concurrent traversal of that record and
+                // a false one with traversals of its line partner.
+                let r = rng.below_usize(records.slots);
+                let base = records.addr(r);
+                ops.push(TxOp::Read { addr: base, size: 16 });
+                ops.push(TxOp::Compute { cycles: 80 });
+                ops.push(TxOp::Update { addr: asf_mem::addr::Addr(base.0 + 8), size: 8, delta: 2 });
+            }
+            vec![tx(ops), WorkItem::Compute { cycles: 120 }]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_32_bytes_two_per_line() {
+        let w = Vacation::new(Scale::Small);
+        assert_eq!(w.records.slot, 32);
+        let a = w.records.addr(0);
+        let b = w.records.addr(1);
+        let c = w.records.addr(2);
+        assert_eq!(a.line(), b.line());
+        assert_ne!(b.line(), c.line());
+    }
+
+    #[test]
+    fn records_align_to_16_byte_subblocks() {
+        // The structural reason 4 sub-blocks fully separate records.
+        let w = Vacation::new(Scale::Small);
+        for i in 0..8 {
+            assert_eq!(w.records.addr(i).offset() % 16, 0);
+        }
+    }
+
+    #[test]
+    fn request_mix_has_three_shapes() {
+        let w = Vacation::new(Scale::Small);
+        let mut p = w.spawn(0, 8, 5);
+        let (mut reservations, mut deletes, mut manages) = (0u32, 0u32, 0u32);
+        while let Some(item) = p.next_item() {
+            if let WorkItem::Tx(att) = item {
+                let reads =
+                    att.ops.iter().filter(|o| matches!(o, TxOp::Read { .. })).count();
+                let updates =
+                    att.ops.iter().filter(|o| matches!(o, TxOp::Update { .. })).count();
+                match (reads, updates) {
+                    (r, u) if r >= 6 && (1..=2).contains(&u) => reservations += 1,
+                    (2, 2) => deletes += 1,
+                    (1, 1) => manages += 1,
+                    other => panic!("unexpected txn shape {other:?}"),
+                }
+            }
+        }
+        assert!(reservations > 0, "reservations dominate");
+        // Across many txns all three request types appear (use more steps
+        // by spawning several threads' worth).
+        for tid in 1..8 {
+            let mut p = w.spawn(tid, 8, 5);
+            while let Some(item) = p.next_item() {
+                if let WorkItem::Tx(att) = item {
+                    let reads =
+                        att.ops.iter().filter(|o| matches!(o, TxOp::Read { .. })).count();
+                    let updates =
+                        att.ops.iter().filter(|o| matches!(o, TxOp::Update { .. })).count();
+                    match (reads, updates) {
+                        (r, u) if r >= 6 && (1..=2).contains(&u) => reservations += 1,
+                        (2, 2) => deletes += 1,
+                        (1, 1) => manages += 1,
+                        other => panic!("unexpected txn shape {other:?}"),
+                    }
+                }
+            }
+        }
+        assert!(deletes > 0, "delete-customer requests appear");
+        assert!(manages > 0, "manager updates appear");
+        // ~90% of requests are reservations (18 of 20 draws).
+        assert!(
+            reservations > 5 * (deletes + manages),
+            "reservations must dominate the mix: {reservations} vs {deletes}+{manages}"
+        );
+    }
+
+    #[test]
+    fn hot_set_is_skewed() {
+        let w = Vacation::new(Scale::Small);
+        let pick = w.pick_record();
+        let mut rng = asf_mem::rng::SimRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| pick(&mut rng) < w.hot_records).count();
+        // ~50% + 1/8 of the other 50% ≈ 56%.
+        assert!(hits > 4_500, "hot records get at least half the traffic, got {hits}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Writing your own workload: implement [`Workload`]/[`ThreadProgram`] (or
+//! use the `GenProgram` helper from `asf-workloads`) and run it on the
+//! simulator. Here: a bank-transfer kernel with a serializability check —
+//! the sum of all account balances must be conserved by every transfer.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_machine::txprog::{ThreadProgram, TxAttempt, TxOp, WorkItem, Workload};
+use asf_mem::addr::Addr;
+use asf_mem::rng::SimRng;
+
+/// 64 accounts of 8 bytes, packed 8 per cache line — adjacent accounts
+/// falsely share lines, so baseline ASF aborts transfers that touch
+/// different accounts of the same line.
+const ACCOUNTS: u64 = 64;
+const BASE: u64 = 0x10_0000;
+const TRANSFERS_PER_TELLER: usize = 200;
+const TELLERS: usize = 8;
+
+fn account(i: u64) -> Addr {
+    Addr(BASE + i * 8)
+}
+
+struct Bank;
+
+struct Teller {
+    rng: SimRng,
+    remaining: usize,
+}
+
+impl Workload for Bank {
+    fn name(&self) -> &'static str {
+        "bank"
+    }
+
+    fn description(&self) -> &'static str {
+        "atomic transfers between packed accounts"
+    }
+
+    fn spawn(&self, tid: usize, _threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        Box::new(Teller {
+            rng: SimRng::derive(seed, tid as u64),
+            remaining: TRANSFERS_PER_TELLER,
+        })
+    }
+}
+
+impl ThreadProgram for Teller {
+    fn next_item(&mut self) -> Option<WorkItem> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let from = self.rng.below(ACCOUNTS);
+        let to = (from + 1 + self.rng.below(ACCOUNTS - 1)) % ACCOUNTS;
+        let amount = 1 + self.rng.below(9);
+        Some(WorkItem::Tx(TxAttempt::new(vec![
+            // Debit and credit: two 8-byte read-modify-writes. Replays
+            // recompute against current memory, so committed transfers
+            // conserve the total balance exactly.
+            TxOp::Update { addr: account(from), size: 8, delta: amount.wrapping_neg() },
+            TxOp::Update { addr: account(to), size: 8, delta: amount },
+            TxOp::Compute { cycles: 40 },
+        ])))
+    }
+}
+
+fn main() {
+    for detector in [DetectorKind::Baseline, DetectorKind::SubBlock(8), DetectorKind::Perfect] {
+        let out = Machine::run(&Bank, SimConfig::paper(detector));
+        // Every transfer conserves the sum, so the final total must be 0
+        // (balances are i64 stored as wrapping u64).
+        let total: i64 = (0..ACCOUNTS)
+            .map(|i| out.memory.read_u64(account(i), 8) as i64)
+            .sum();
+        println!(
+            "{:>10}: total balance {total:>3} | {} transfers committed | {} aborts \
+             ({} false conflicts) | {} cycles",
+            detector.label(),
+            out.stats.tx_committed,
+            out.stats.tx_aborted,
+            out.stats.conflicts.false_total(),
+            out.stats.cycles,
+        );
+        assert_eq!(total, 0, "money was created or destroyed!");
+        assert_eq!(out.stats.tx_committed as usize, TELLERS * TRANSFERS_PER_TELLER);
+        assert_eq!(out.stats.isolation_violations, 0);
+    }
+    println!(
+        "\nall detectors preserved atomicity. Note the teaching point: transfers are\n\
+         write/write sharing, which sub-blocking deliberately does NOT filter (the\n\
+         WAW-any rule — an invalidation would lose buffered speculative data), so\n\
+         only the perfect oracle removes these false conflicts. Read-heavy kernels\n\
+         (see the paper suite) are where sub-blocking shines."
+    );
+}

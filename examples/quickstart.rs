@@ -1,0 +1,60 @@
+//! Quickstart: build a machine, run a workload under two conflict
+//! detectors, and compare what the sub-blocking technique buys.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_workloads::Scale;
+
+fn main() {
+    // Pick a benchmark from the paper's Table III suite.
+    let workload = asf_workloads::by_name("vacation", Scale::Standard)
+        .expect("vacation is part of the suite");
+
+    println!("running `{}` on the paper's 8-core Opteron model…\n", workload.name());
+
+    // Baseline AMD ASF: conflict detection at cache-line granularity.
+    let base = Machine::run(&*workload, SimConfig::paper(DetectorKind::Baseline));
+
+    // The paper's technique: speculative sub-blocking state, 4 sub-blocks.
+    let sb4 = Machine::run(&*workload, SimConfig::paper(DetectorKind::SubBlock(4)));
+
+    // The ideal system with zero false conflicts.
+    let perfect = Machine::run(&*workload, SimConfig::paper(DetectorKind::Perfect));
+
+    for (name, out) in [("baseline", &base), ("sub-block(4)", &sb4), ("perfect", &perfect)] {
+        let s = &out.stats;
+        println!(
+            "{name:>13}: {:>9} cycles | {:>5} commits | {:>5} aborts | {:>5} conflicts \
+             ({:>4} false, {:.1}%)",
+            s.cycles,
+            s.tx_committed,
+            s.tx_aborted,
+            s.conflicts.total(),
+            s.conflicts.false_total(),
+            s.conflicts.false_rate().unwrap_or(0.0) * 100.0,
+        );
+    }
+
+    let f_red = sb4.stats.conflicts.false_reduction_vs(&base.stats.conflicts);
+    println!(
+        "\nsub-block(4) removed {} of baseline's false conflicts and ran {:.1}% faster \
+         (perfect bound: {:.1}%).",
+        f_red.map(|r| format!("{:.1}%", r * 100.0)).unwrap_or_else(|| "n/a".into()),
+        sb4.stats.speedup_vs(&base.stats) * 100.0,
+        perfect.stats.speedup_vs(&base.stats) * 100.0,
+    );
+    println!(
+        "hardware cost: {} extra bits per 64-byte cache line ({} bytes ≈ {:.2}% of the L1).",
+        asf_core::overhead::overhead(DetectorKind::SubBlock(4), base_l1()).extra_bits_per_line,
+        asf_core::overhead::overhead(DetectorKind::SubBlock(4), base_l1()).extra_bytes,
+        asf_core::overhead::overhead(DetectorKind::SubBlock(4), base_l1()).fraction_of_l1 * 100.0,
+    );
+}
+
+fn base_l1() -> asf_mem::geometry::CacheGeometry {
+    asf_mem::config::MachineConfig::opteron_8core().l1
+}

@@ -1,0 +1,88 @@
+//! The four conflict-detection architectures side by side on one workload:
+//! baseline ASF, the paper's sub-blocking, DPTM-style WAR speculation, and
+//! LogTM-SE-style Bloom signatures — each attacking a different
+//! false-conflict source.
+//!
+//! ```text
+//! cargo run --release --example related_work
+//! ```
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig, SignatureConfig};
+use asf_workloads::Scale;
+
+fn main() {
+    let bench = "vacation";
+    let w = asf_workloads::by_name(bench, Scale::Standard).unwrap();
+
+    let base = Machine::run(&*w, SimConfig::paper(DetectorKind::Baseline));
+    let sb4 = Machine::run(&*w, SimConfig::paper(DetectorKind::SubBlock(4)));
+    let dptm = {
+        let mut c = SimConfig::paper(DetectorKind::Baseline);
+        c.war_speculation = true;
+        Machine::run(&*w, c)
+    };
+    let sig = {
+        let mut c = SimConfig::paper(DetectorKind::Baseline);
+        c.signatures = Some(SignatureConfig::logtm_se());
+        Machine::run(&*w, c)
+    };
+
+    println!("`{bench}` under four conflict-detection architectures:\n");
+    println!(
+        "{:>24} | {:>8} {:>7} {:>7} {:>10} {:>10}",
+        "architecture", "cycles", "aborts", "false", "time gain", "mechanism"
+    );
+    let gain = |out: &asf_machine::machine::SimOutput| {
+        format!("{:+.1}%", out.stats.speedup_vs(&base.stats) * 100.0)
+    };
+    println!(
+        "{:>24} | {:>8} {:>7} {:>7} {:>10} {:>10}",
+        "ASF baseline (paper §IV-A)",
+        base.stats.cycles,
+        base.stats.tx_aborted,
+        base.stats.conflicts.false_total(),
+        "—",
+        "line bits"
+    );
+    println!(
+        "{:>24} | {:>8} {:>7} {:>7} {:>10} {:>10}",
+        "sub-block(4) (the paper)",
+        sb4.stats.cycles,
+        sb4.stats.tx_aborted,
+        sb4.stats.conflicts.false_total(),
+        gain(&sb4),
+        "sub-blocks"
+    );
+    println!(
+        "{:>24} | {:>8} {:>7} {:>7} {:>10} {:>10}",
+        "DPTM-style (§II)",
+        dptm.stats.cycles,
+        dptm.stats.tx_aborted,
+        dptm.stats.conflicts.false_total(),
+        gain(&dptm),
+        "validation"
+    );
+    println!(
+        "{:>24} | {:>8} {:>7} {:>7} {:>10} {:>10}",
+        "LogTM-SE sigs (§II)",
+        sig.stats.cycles,
+        sig.stats.tx_aborted,
+        sig.stats.conflicts.false_total(),
+        gain(&sig),
+        "Bloom bits"
+    );
+    println!(
+        "\nDPTM removed {} WAR conflicts by speculation (at {} validation aborts);\n\
+         signatures kept the baseline's line granularity ({} alias conflicts);\n\
+         sub-blocking removed {:.0}% of the false conflicts outright.",
+        dptm.stats.war_speculations,
+        dptm.stats.aborts_by_cause[5],
+        sig.stats.sig_alias_conflicts,
+        sb4.stats
+            .conflicts
+            .false_reduction_vs(&base.stats.conflicts)
+            .unwrap_or(0.0)
+            * 100.0,
+    );
+}

@@ -1,0 +1,49 @@
+//! # asf-repro — workspace façade
+//!
+//! Umbrella crate re-exporting the public API of the reproduction of
+//! *"Reducing False Transactional Conflicts With Speculative Sub-blocking
+//! State"* (Nai & Lee, IPDPSW 2013). Depend on this crate to get everything;
+//! the examples in `examples/` and the integration tests in `tests/` are the
+//! best starting points.
+//!
+//! Layering (bottom → top):
+//!
+//! 1. [`mem`] — memory-hierarchy substrate (addresses, masks, caches, MOESI,
+//!    latencies, deterministic RNG);
+//! 2. [`core`] — the paper's contribution: speculative per-sub-block state
+//!    and the three conflict-detection granularities;
+//! 3. [`stats`] — conflict classification and measurement;
+//! 4. [`machine`] — the event-driven multicore HTM simulator;
+//! 5. [`workloads`] — STAMP/RMS-TM-style transactional kernels;
+//! 6. [`harness`] — experiment definitions regenerating each paper figure.
+
+pub use asf_core as core;
+pub use asf_harness as harness;
+pub use asf_machine as machine;
+pub use asf_mem as mem;
+pub use asf_stats as stats;
+pub use asf_workloads as workloads;
+
+/// One-line import for the common case:
+///
+/// ```
+/// use asf_subblock::prelude::*;
+///
+/// let w = asf_subblock::workloads::by_name("ssca2", Scale::Small).unwrap();
+/// let out = Machine::run(&*w, SimConfig::paper(DetectorKind::SubBlock(4)));
+/// assert_eq!(out.stats.isolation_violations, 0);
+/// ```
+pub mod prelude {
+    pub use asf_core::detector::{ConflictType, DetectorKind, ProbeKind};
+    pub use asf_machine::machine::{
+        AdaptiveConfig, FabricKind, Machine, ResolutionPolicy, SimConfig, SignatureConfig,
+        SimOutput,
+    };
+    pub use asf_machine::txprog::{
+        ScriptedWorkload, ThreadProgram, TxAttempt, TxBuilder, TxOp, WorkItem, Workload,
+    };
+    pub use asf_mem::addr::Addr;
+    pub use asf_mem::config::MachineConfig;
+    pub use asf_stats::run::RunStats;
+    pub use asf_workloads::Scale;
+}

@@ -1,0 +1,144 @@
+//! Cross-detector structure: the granularity hierarchy observed on whole
+//! runs, and the equivalences that pin the implementation to the paper's
+//! design.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_machine::txprog::{ScriptedWorkload, TxAttempt, TxOp, WorkItem};
+use asf_mem::addr::Addr;
+use asf_mem::config::MachineConfig;
+use asf_workloads::Scale;
+
+fn tx(ops: Vec<TxOp>) -> WorkItem {
+    WorkItem::Tx(TxAttempt::new(ops))
+}
+
+/// A deterministic reader/writer pattern with *no timing feedback*: one
+/// writer touches its slot once, readers read disjoint slots once, at
+/// scripted times. With a single conflict window, detector comparisons are
+/// exact, not statistical.
+fn one_shot(write_off: u64, read_off: u64) -> ScriptedWorkload {
+    ScriptedWorkload {
+        name: "one-shot",
+        scripts: vec![
+            vec![tx(vec![
+                TxOp::Write { addr: Addr(0x9000 + write_off), size: 8, value: 1 },
+                TxOp::WaitUntil { cycle: 3_000 },
+            ])],
+            vec![tx(vec![
+                TxOp::WaitUntil { cycle: 1_000 },
+                TxOp::Read { addr: Addr(0x9000 + read_off), size: 8 },
+            ])],
+        ],
+    }
+}
+
+fn conflicts(w: &ScriptedWorkload, d: DetectorKind) -> u64 {
+    let mut cfg = SimConfig::paper(d);
+    cfg.machine = MachineConfig::opteron_with_cores(2);
+    Machine::run(w, cfg).stats.conflicts.total()
+}
+
+#[test]
+fn detection_threshold_follows_distance() {
+    // Reader at byte 56, writer at byte 0: different 8/16/32-byte blocks.
+    let far = one_shot(0, 56);
+    assert_eq!(conflicts(&far, DetectorKind::Baseline), 1);
+    assert_eq!(conflicts(&far, DetectorKind::SubBlock(2)), 0);
+    assert_eq!(conflicts(&far, DetectorKind::Perfect), 0);
+
+    // Reader at byte 24: same 32-byte half as the writer, different 16-byte
+    // sub-block.
+    let mid = one_shot(0, 24);
+    assert_eq!(conflicts(&mid, DetectorKind::Baseline), 1);
+    assert_eq!(conflicts(&mid, DetectorKind::SubBlock(2)), 1);
+    assert_eq!(conflicts(&mid, DetectorKind::SubBlock(4)), 0);
+
+    // Reader at byte 8: same 16-byte sub-block, different 8-byte block.
+    let near = one_shot(0, 8);
+    assert_eq!(conflicts(&near, DetectorKind::SubBlock(4)), 1);
+    assert_eq!(conflicts(&near, DetectorKind::SubBlock(8)), 0);
+
+    // Reader at byte 0: true conflict at every granularity.
+    let hit = one_shot(0, 0);
+    for d in DetectorKind::paper_set() {
+        assert_eq!(conflicts(&hit, d), 1, "{d}");
+    }
+}
+
+#[test]
+fn false_conflicts_vanish_only_when_true_remain() {
+    let near = one_shot(0, 8);
+    let mut cfg = SimConfig::paper(DetectorKind::SubBlock(4));
+    cfg.machine = MachineConfig::opteron_with_cores(2);
+    let out = Machine::run(&near, cfg);
+    assert_eq!(out.stats.conflicts.false_total(), 1);
+    assert_eq!(out.stats.conflicts.true_total(), 0);
+}
+
+#[test]
+fn suite_false_conflicts_shrink_with_granularity_on_average() {
+    // Run-level dynamics are chaotic per benchmark, but the suite-average
+    // ordering baseline ≥ sb4 ≥ sb16-ish must hold (Figure 8's monotone
+    // average row).
+    let mut base_sum = 0u64;
+    let mut sb4_sum = 0u64;
+    let mut sb16_sum = 0u64;
+    for w in asf_workloads::all(Scale::Small) {
+        base_sum += Machine::run(w.as_ref(), SimConfig::paper_seeded(DetectorKind::Baseline, 21))
+            .stats
+            .conflicts
+            .false_total();
+        sb4_sum += Machine::run(
+            w.as_ref(),
+            SimConfig::paper_seeded(DetectorKind::SubBlock(4), 21),
+        )
+        .stats
+        .conflicts
+        .false_total();
+        sb16_sum += Machine::run(
+            w.as_ref(),
+            SimConfig::paper_seeded(DetectorKind::SubBlock(16), 21),
+        )
+        .stats
+        .conflicts
+        .false_total();
+    }
+    assert!(base_sum > sb4_sum, "baseline {base_sum} <= sb4 {sb4_sum}");
+    assert!(sb4_sum > sb16_sum, "sb4 {sb4_sum} <= sb16 {sb16_sum}");
+}
+
+#[test]
+fn subblock64_equals_perfect_when_no_concurrent_writes() {
+    // With a single writer, the WAW-any rule never fires, so byte-granular
+    // sub-blocking and the perfect oracle see identical conflicts.
+    for (w_off, r_off) in [(0u64, 8u64), (0, 0), (16, 48)] {
+        let w = one_shot(w_off, r_off);
+        assert_eq!(
+            conflicts(&w, DetectorKind::SubBlock(64)),
+            conflicts(&w, DetectorKind::Perfect),
+            "offsets {w_off}/{r_off}"
+        );
+    }
+}
+
+#[test]
+fn waw_any_rule_is_the_only_subblock64_perfect_divergence() {
+    // Two writers on disjoint halves: sub-block(64) aborts (hardware data
+    // loss), perfect does not.
+    let w = ScriptedWorkload {
+        name: "waw-div",
+        scripts: vec![
+            vec![tx(vec![
+                TxOp::Write { addr: Addr(0xa000), size: 8, value: 1 },
+                TxOp::WaitUntil { cycle: 3_000 },
+            ])],
+            vec![tx(vec![
+                TxOp::WaitUntil { cycle: 1_000 },
+                TxOp::Write { addr: Addr(0xa020), size: 8, value: 2 },
+            ])],
+        ],
+    };
+    assert_eq!(conflicts(&w, DetectorKind::SubBlock(64)), 1);
+    assert_eq!(conflicts(&w, DetectorKind::Perfect), 0);
+}

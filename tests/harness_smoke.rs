@@ -1,0 +1,75 @@
+//! End-to-end smoke of the experiment pipeline at small scale: every table
+//! and figure generator produces a well-formed table.
+
+use asf_core::detector::DetectorKind;
+use asf_harness::experiments;
+use asf_harness::matrix::Matrix;
+use asf_workloads::Scale;
+
+fn small_matrix() -> Matrix {
+    Matrix::paper_grid(Scale::Small, 0xfeed)
+}
+
+#[test]
+fn all_experiments_render() {
+    let m = small_matrix();
+    let all = experiments::all_experiments(&m);
+    assert_eq!(all.len(), 15, "three tables, ten figures, overhead, headline");
+    for (name, table) in &all {
+        let text = table.render();
+        assert!(!text.is_empty(), "{name} rendered empty");
+        assert!(!table.is_empty() || *name == "fig3", "{name} has no rows");
+        let csv = table.to_csv();
+        assert!(csv.lines().count() >= 2, "{name} csv too short");
+    }
+}
+
+#[test]
+fn fig1_covers_all_benchmarks_plus_average() {
+    let m = small_matrix();
+    let t = experiments::fig1(&m);
+    assert_eq!(t.len(), 11);
+    assert_eq!(t.rows().last().unwrap()[0], "average");
+}
+
+#[test]
+fn fig8_reductions_are_rates() {
+    let m = small_matrix();
+    let t = experiments::fig8(&m);
+    for row in t.rows() {
+        for cell in &row[1..] {
+            if cell != "n/a" {
+                let v: f64 = cell.trim_end_matches('%').parse().unwrap();
+                assert!((-100.0..=100.0).contains(&v), "{cell}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fig10_has_sb4_and_perfect_columns() {
+    let m = small_matrix();
+    let t = experiments::fig10(&m);
+    assert_eq!(t.header(), &["benchmark", "sb4", "perfect"]);
+    assert_eq!(t.len(), 11);
+}
+
+#[test]
+fn matrix_lookup_is_complete_for_the_paper_set() {
+    let m = small_matrix();
+    for b in m.benches() {
+        for d in DetectorKind::paper_set() {
+            assert!(m.contains(&b, d), "missing ({b}, {d})");
+        }
+    }
+    assert_eq!(m.len(), 60);
+}
+
+#[test]
+fn headline_row_shape() {
+    let m = small_matrix();
+    let t = experiments::headline(&m);
+    assert_eq!(t.len(), 2);
+    assert_eq!(t.rows()[0][1], "56.4%");
+    assert_eq!(t.rows()[1][1], "31.3%");
+}

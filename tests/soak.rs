@@ -1,0 +1,30 @@
+//! Soak tests at `Scale::Large` — ignored by default (`cargo test --
+//! --ignored` runs them): the full suite at 4× standard input size must
+//! stay sound, deterministic, and watchdog-free.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_workloads::Scale;
+
+#[test]
+#[ignore = "slow: Scale::Large across the suite (~1 min in release)"]
+fn large_scale_suite_is_sound() {
+    for w in asf_workloads::all(Scale::Large) {
+        for d in [DetectorKind::Baseline, DetectorKind::SubBlock(4), DetectorKind::Perfect] {
+            let out = Machine::run(w.as_ref(), SimConfig::paper_seeded(d, 77));
+            assert_eq!(out.stats.isolation_violations, 0, "{} {d}", w.name());
+            assert_eq!(out.stats.tx_started, out.stats.tx_committed, "{} {d}", w.name());
+            assert!(out.stats.cycles > 0);
+        }
+    }
+}
+
+#[test]
+#[ignore = "slow: determinism at Scale::Large"]
+fn large_scale_runs_are_deterministic() {
+    let w = asf_workloads::by_name("apriori", Scale::Large).unwrap();
+    let a = Machine::run(w.as_ref(), SimConfig::paper_seeded(DetectorKind::SubBlock(4), 5));
+    let b = Machine::run(w.as_ref(), SimConfig::paper_seeded(DetectorKind::SubBlock(4), 5));
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.conflicts, b.stats.conflicts);
+}

@@ -1,0 +1,31 @@
+//! Suite-level check of the DPTM-style related-work mode: it helps the
+//! WAR-dominated benchmarks and leaves committed work identical.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_workloads::Scale;
+
+#[test]
+fn dptm_reduces_war_dominated_suite_conflicts() {
+    // vacation is WAR-dominant: DPTM mode must cut its abort count well
+    // below eager baseline, while kmeans (write-window/RAW-driven) benefits
+    // far less — the quantitative form of the paper's argument.
+    let run = |bench: &str, mode: bool| {
+        let w = asf_workloads::by_name(bench, Scale::Small).unwrap();
+        let mut c = SimConfig::paper_seeded(DetectorKind::Baseline, 17);
+        c.war_speculation = mode;
+        Machine::run(w.as_ref(), c).stats
+    };
+    let vac_eager = run("vacation", false);
+    let vac_dptm = run("vacation", true);
+    assert!(
+        (vac_dptm.tx_aborted as f64) < 0.6 * vac_eager.tx_aborted as f64,
+        "vacation aborts: eager {} vs dptm {}",
+        vac_eager.tx_aborted,
+        vac_dptm.tx_aborted
+    );
+    assert!(vac_dptm.war_speculations > 0);
+    // Committed work identical regardless of mode.
+    assert_eq!(vac_eager.tx_committed, vac_dptm.tx_committed);
+}
+
