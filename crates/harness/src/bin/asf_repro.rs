@@ -4,7 +4,7 @@
 //! asf-repro [EXPERIMENT ...] [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR]
 //!
 //! EXPERIMENT: all | ext | table1 | table2 | table3 | fig1 .. fig10
-//!           | overhead | headline | diag | scaling | backoff | policy | charts | excluded | related | signatures | variance | adaptive | fabric | summary | profile:<bench> | trace:<bench>
+//!           | overhead | headline | diag | scaling | backoff | policy | charts | excluded | related | signatures | variance | adaptive | fabric | summary | perf | profile:<bench> | trace:<bench>
 //! ```
 //!
 //! Experiments needing simulation runs share one (benchmark × detector)
@@ -17,7 +17,8 @@ use asf_harness::matrix::Matrix;
 use asf_stats::table::Table;
 use asf_workloads::Scale;
 
-const USAGE: &str = "usage: asf-repro [all|ext|table1|table2|table3|fig1..fig10|overhead|headline|diag|scaling|backoff|policy]* \
+const USAGE: &str = "usage: asf-repro [all|ext|table1|table2|table3|fig1..fig10|overhead|headline|diag|scaling|backoff|policy\
+                     |charts|excluded|related|signatures|variance|adaptive|fabric|summary|perf|profile:<bench>|trace:<bench>]* \
                      [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR]";
 
 fn main() {
@@ -155,6 +156,16 @@ fn main() {
             "variance" => emit("variance", experiments::variance(scale, seed, 5)),
             "adaptive" => emit("adaptive", experiments::adaptive(scale, seed)),
             "fabric" => emit("fabric", experiments::fabric(scale, seed)),
+            "perf" => {
+                // Throughput smoke grid; also writes the machine-readable
+                // report to BENCH_perf.json in the current directory (the
+                // repo root when run from CI), independent of --json.
+                eprintln!("timing perf smoke grid (scale {scale:?}, seed {seed:#x}) …");
+                let report = asf_harness::perf::measure(scale, seed);
+                emit("perf", report.table());
+                std::fs::write("BENCH_perf.json", report.to_json()).expect("write BENCH_perf.json");
+                eprintln!("wrote BENCH_perf.json");
+            }
             cmd if cmd.starts_with("trace:") => {
                 // Run one benchmark with tracing and write a Chrome-tracing
                 // JSON next to the CSVs (or ./trace_<bench>.json).

@@ -15,5 +15,6 @@
 
 pub mod experiments;
 pub mod matrix;
+pub mod perf;
 
 pub use matrix::{Matrix, RunKey};

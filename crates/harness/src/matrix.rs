@@ -2,9 +2,9 @@
 
 use asf_core::detector::DetectorKind;
 use asf_machine::machine::{Machine, SimConfig};
+use asf_mem::fxhash::FxHashMap;
 use asf_stats::run::RunStats;
 use asf_workloads::Scale;
-use std::collections::HashMap;
 
 /// Identifies one run in the matrix.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -28,7 +28,7 @@ pub struct Matrix {
     pub scale: Scale,
     /// Master seeds (each run aggregates all of them).
     pub seeds: Vec<u64>,
-    runs: HashMap<RunKey, RunStats>,
+    runs: FxHashMap<RunKey, RunStats>,
 }
 
 /// Run one benchmark under one detector, with the paper's machine.
@@ -66,9 +66,13 @@ impl Matrix {
         let jobs_ref = &jobs;
         let next = std::sync::atomic::AtomicUsize::new(0);
         let next_ref = &next;
-        let mut results: Vec<(RunKey, RunStats)> = Vec::with_capacity(jobs.len());
-        let collected = std::sync::Mutex::new(&mut results);
-        let collected_ref = &collected;
+        // Each job writes its pre-assigned slot, so aggregation below runs
+        // in job order no matter which worker finishes first — the merged
+        // stats (notably series/histogram contents) are identical across
+        // runs and across worker counts.
+        let slots: Vec<std::sync::Mutex<Option<RunStats>>> =
+            (0..jobs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+        let slots_ref = &slots;
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(move || loop {
@@ -76,15 +80,16 @@ impl Matrix {
                     if i >= jobs_ref.len() {
                         break;
                     }
-                    let (key, det, bench, seed) = &jobs_ref[i];
+                    let (_, det, bench, seed) = &jobs_ref[i];
                     let stats = run_one(bench, *det, scale, *seed);
-                    collected_ref.lock().unwrap().push((key.clone(), stats));
+                    *slots_ref[i].lock().unwrap() = Some(stats);
                 });
             }
         });
-        let mut runs: HashMap<RunKey, RunStats> = HashMap::new();
-        for (key, stats) in results {
-            runs.entry(key)
+        let mut runs: FxHashMap<RunKey, RunStats> = FxHashMap::default();
+        for ((key, ..), slot) in jobs.iter().zip(slots) {
+            let stats = slot.into_inner().unwrap().expect("every job ran");
+            runs.entry(key.clone())
                 .and_modify(|agg| agg.merge(&stats))
                 .or_insert(stats);
         }
@@ -169,5 +174,34 @@ mod tests {
         );
         assert_eq!(sa.cycles, sb.cycles);
         assert_eq!(sa.conflicts, sb.conflicts);
+    }
+
+    #[test]
+    fn multi_seed_merge_is_worker_order_independent() {
+        // Three seeds race through the worker pool in arbitrary completion
+        // order; pre-assigned result slots must make the aggregate — down
+        // to merged time-series content — identical across computes.
+        let grid = |seeds: &[u64]| {
+            Matrix::compute(
+                &["ssca2", "intruder"],
+                &[DetectorKind::Baseline, DetectorKind::SubBlock(4)],
+                Scale::Small,
+                seeds,
+            )
+        };
+        let (a, b) = (grid(&[3, 4, 5]), grid(&[3, 4, 5]));
+        for bench in ["ssca2", "intruder"] {
+            for det in [DetectorKind::Baseline, DetectorKind::SubBlock(4)] {
+                let (sa, sb) = (a.get(bench, det), b.get(bench, det));
+                assert_eq!(sa.cycles, sb.cycles);
+                assert_eq!(sa.conflicts, sb.conflicts);
+                assert_eq!(
+                    sa.started_series.cumulative(sa.cycles, 32),
+                    sb.started_series.cumulative(sb.cycles, 32),
+                    "{bench}/{det:?}: merged series drifted between computes"
+                );
+                assert_eq!(sa.false_by_line.sorted(), sb.false_by_line.sorted());
+            }
+        }
     }
 }

@@ -1,0 +1,213 @@
+//! `asf-repro perf` — simulator throughput measurement.
+//!
+//! Runs a fixed (benchmark × detector) smoke grid single-threaded and
+//! reports, per benchmark, wall time and simulated accesses per second
+//! (an access = one cache-line fragment of one memory operation — the unit
+//! of work of `Machine::access_line`, the simulator's hot path). The grid
+//! is deliberately sequential so the numbers measure per-access cost, not
+//! the machine's core count.
+//!
+//! The report doubles as the repo's perf regression artifact: the harness
+//! writes it to `BENCH_perf.json` (repo root in CI) and EXPERIMENTS.md
+//! records the baselines. Simulated *outcomes* are pinned separately by
+//! `tests/golden_stats.rs`; this file only measures speed.
+
+use crate::matrix::run_one;
+use asf_core::detector::DetectorKind;
+use asf_stats::table::Table;
+use asf_workloads::Scale;
+use std::time::{Duration, Instant};
+
+/// The fixed detector set of the smoke grid: line granularity, the paper's
+/// preferred sub-blocking, and the byte-granularity oracle — the three
+/// configurations with the most distinct per-access work.
+pub fn smoke_detectors() -> Vec<DetectorKind> {
+    vec![DetectorKind::Baseline, DetectorKind::SubBlock(8), DetectorKind::Perfect]
+}
+
+/// One timed (benchmark × detector) cell.
+#[derive(Clone, Debug)]
+pub struct PerfCell {
+    /// Benchmark name.
+    pub bench: String,
+    /// Detector label (`baseline`, `sb8`, `perfect`).
+    pub detector: String,
+    /// Wall time of the run.
+    pub wall: Duration,
+    /// Simulated accesses (L1 hits + misses, per line fragment).
+    pub accesses: u64,
+    /// Simulated cycles (determinism cross-check against golden runs).
+    pub cycles: u64,
+}
+
+/// A completed throughput measurement.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Input scale the grid ran at.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// All timed cells, in (benchmark, detector) grid order.
+    pub cells: Vec<PerfCell>,
+}
+
+/// Time the smoke grid: every benchmark at `scale` under
+/// [`smoke_detectors`], one run each, sequentially on this thread.
+pub fn measure(scale: Scale, seed: u64) -> PerfReport {
+    let mut cells = Vec::new();
+    for w in asf_workloads::all(scale) {
+        for &det in &smoke_detectors() {
+            let start = Instant::now();
+            let stats = run_one(w.name(), det, scale, seed);
+            let wall = start.elapsed();
+            cells.push(PerfCell {
+                bench: w.name().to_string(),
+                detector: det.label(),
+                wall,
+                accesses: stats.l1_hits + stats.l1_misses,
+                cycles: stats.cycles,
+            });
+        }
+    }
+    PerfReport { scale, seed, cells }
+}
+
+fn rate(accesses: u64, wall: Duration) -> f64 {
+    accesses as f64 / wall.as_secs_f64().max(1e-9)
+}
+
+impl PerfReport {
+    /// Benchmarks present, in grid order.
+    fn benches(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if out.last() != Some(&c.bench.as_str()) {
+                out.push(&c.bench);
+            }
+        }
+        out
+    }
+
+    /// Total wall time across the grid.
+    pub fn total_wall(&self) -> Duration {
+        self.cells.iter().map(|c| c.wall).sum()
+    }
+
+    /// Total simulated accesses across the grid.
+    pub fn total_accesses(&self) -> u64 {
+        self.cells.iter().map(|c| c.accesses).sum()
+    }
+
+    /// Per-benchmark table (detectors aggregated) plus a TOTAL row:
+    /// accesses, wall time, and accesses/second.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("perf — simulator throughput ({:?}, seed {:#x})", self.scale, self.seed),
+            &["benchmark", "accesses", "wall ms", "Macc/s"],
+        );
+        let mut row = |name: &str, acc: u64, wall: Duration| {
+            t.row(vec![
+                name.to_string(),
+                acc.to_string(),
+                format!("{:.2}", wall.as_secs_f64() * 1e3),
+                format!("{:.2}", rate(acc, wall) / 1e6),
+            ]);
+        };
+        for b in self.benches() {
+            let (mut acc, mut wall) = (0u64, Duration::ZERO);
+            for c in self.cells.iter().filter(|c| c.bench == b) {
+                acc += c.accesses;
+                wall += c.wall;
+            }
+            row(b, acc, wall);
+        }
+        row("TOTAL", self.total_accesses(), self.total_wall());
+        t
+    }
+
+    /// Machine-readable report (hand-rolled JSON — dependency policy):
+    /// per-cell detail plus grid totals.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scale\": \"{:?}\",\n", self.scale));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"bench\": \"{}\", \"detector\": \"{}\", \
+                 \"wall_ms\": {:.3}, \"accesses\": {}, \"cycles\": {}, \
+                 \"accesses_per_sec\": {:.0}}}",
+                c.bench,
+                c.detector,
+                c.wall.as_secs_f64() * 1e3,
+                c.accesses,
+                c.cycles,
+                rate(c.accesses, c.wall),
+            ));
+        }
+        out.push_str("\n  ],\n");
+        out.push_str(&format!(
+            "  \"total_wall_ms\": {:.3},\n  \"total_accesses\": {},\n  \
+             \"total_accesses_per_sec\": {:.0}\n}}\n",
+            self.total_wall().as_secs_f64() * 1e3,
+            self.total_accesses(),
+            rate(self.total_accesses(), self.total_wall()),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_measures_and_serialises() {
+        // One tiny cell-shaped report, hand-built (no timing dependence).
+        let report = PerfReport {
+            scale: Scale::Small,
+            seed: 7,
+            cells: vec![
+                PerfCell {
+                    bench: "ssca2".into(),
+                    detector: "baseline".into(),
+                    wall: Duration::from_millis(4),
+                    accesses: 2000,
+                    cycles: 10_000,
+                },
+                PerfCell {
+                    bench: "ssca2".into(),
+                    detector: "sb8".into(),
+                    wall: Duration::from_millis(6),
+                    accesses: 2000,
+                    cycles: 10_000,
+                },
+            ],
+        };
+        assert_eq!(report.total_accesses(), 4000);
+        assert_eq!(report.total_wall(), Duration::from_millis(10));
+        let t = report.table();
+        // One benchmark row plus TOTAL.
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1][0], "TOTAL");
+        let json = report.to_json();
+        assert!(json.contains("\"total_accesses\": 4000"));
+        assert!(json.contains("\"detector\": \"sb8\""));
+        // Balanced braces — cheap JSON sanity without a parser.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn measure_runs_the_grid() {
+        // Restrict to the real measurement path but keep it fast: Small
+        // scale, and just assert shape + non-zero work.
+        let r = measure(Scale::Small, 0x9e3f);
+        let n_benches = asf_workloads::all(Scale::Small).len();
+        assert_eq!(r.cells.len(), n_benches * smoke_detectors().len());
+        assert!(r.total_accesses() > 0);
+        assert!(r.cells.iter().all(|c| c.cycles > 0));
+    }
+}

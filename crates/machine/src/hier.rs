@@ -7,7 +7,7 @@ use asf_mem::cache::CacheArray;
 use asf_mem::config::MachineConfig;
 use asf_mem::latency::AccessLevel;
 use asf_mem::moesi::MoesiState;
-use std::collections::HashMap;
+use asf_mem::fxhash::FxHashMap;
 
 /// L1 per-line metadata: coherence state + speculative record.
 #[derive(Clone, Copy, Debug, Default)]
@@ -32,7 +32,7 @@ pub struct CoreCaches {
     /// writes (false WAR survivals): the paper keeps it "inside the
     /// invalidated cache line"; we keep it beside the cache. Checked by
     /// every incoming probe and folded back on refetch.
-    pub retained: HashMap<LineAddr, SpecState>,
+    pub retained: FxHashMap<LineAddr, SpecState>,
     /// Lines currently carrying speculative state (live or retained) —
     /// cleared in O(set size) at commit/abort instead of scanning the L1.
     pub spec_lines: Vec<LineAddr>,
@@ -45,7 +45,7 @@ impl CoreCaches {
             l1: CacheArray::new(cfg.l1),
             l2: CacheArray::new(cfg.l2),
             l3: CacheArray::new(cfg.l3),
-            retained: HashMap::new(),
+            retained: FxHashMap::default(),
             spec_lines: Vec::new(),
         }
     }
@@ -91,8 +91,11 @@ impl CoreCaches {
     /// wrote are discarded from the L1 (their hardware data would be the
     /// speculative values); on commit they stay (now-committed data).
     pub fn clear_spec(&mut self, invalidate_written: bool) {
-        let lines = std::mem::take(&mut self.spec_lines);
-        for line in lines {
+        // Detach the list to appease the borrow checker, but hand the
+        // (cleared) buffer back afterwards so its capacity is reused by the
+        // next transaction instead of reallocated every commit/abort.
+        let mut lines = std::mem::take(&mut self.spec_lines);
+        for &line in &lines {
             if let Some(meta) = self.l1.peek_mut(line) {
                 let wrote = meta.spec.write_mask.any();
                 meta.spec.gang_clear();
@@ -103,6 +106,8 @@ impl CoreCaches {
                 }
             }
         }
+        lines.clear();
+        self.spec_lines = lines;
         self.retained.clear();
     }
 

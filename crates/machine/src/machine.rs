@@ -10,6 +10,7 @@ use asf_core::signature::Signature;
 use asf_core::spec::SpecState;
 use asf_mem::addr::{Access, Addr, CoreId, LineAddr};
 use asf_mem::config::MachineConfig;
+use asf_mem::fxhash::FxHashMap;
 use asf_mem::latency::AccessLevel;
 use asf_mem::mask::AccessMask;
 use asf_mem::moesi::{CoherenceKind, MoesiState};
@@ -225,7 +226,7 @@ struct Core {
     read_sig: Option<Signature>,
     write_sig: Option<Signature>,
     /// DPTM mode: byte values observed by this attempt's reads.
-    read_log: std::collections::HashMap<u64, u8>,
+    read_log: FxHashMap<u64, u8>,
     /// DPTM mode: a WAR probe was speculated through; commit must validate.
     needs_validation: bool,
 }
@@ -254,9 +255,9 @@ pub struct Machine {
     steps: u64,
     trace: Option<RingTrace>,
     /// Adaptive mode: per-line false-conflict heat (the predictor table).
-    line_heat: std::collections::HashMap<LineAddr, u32>,
+    line_heat: FxHashMap<LineAddr, u32>,
     /// Probe-filter directory: cores that may hold each line (bitmask).
-    directory: std::collections::HashMap<LineAddr, u64>,
+    directory: FxHashMap<LineAddr, u64>,
     /// Scratch buffer for probe-target lists (avoids per-probe allocation
     /// on the simulator's hottest path).
     scratch_targets: Vec<usize>,
@@ -303,7 +304,7 @@ impl Machine {
                 consec_aborts: 0,
                 read_sig: cfg.signatures.map(|sc| Signature::new(sc.bits, sc.hashes)),
                 write_sig: cfg.signatures.map(|sc| Signature::new(sc.bits, sc.hashes)),
-                read_log: std::collections::HashMap::new(),
+                read_log: FxHashMap::default(),
                 needs_validation: false,
             })
             .collect();
@@ -315,8 +316,8 @@ impl Machine {
             fallback_owner: None,
             steps: 0,
             trace: None,
-            line_heat: std::collections::HashMap::new(),
-            directory: std::collections::HashMap::new(),
+            line_heat: FxHashMap::default(),
+            directory: FxHashMap::default(),
             scratch_targets: Vec::new(),
         }
     }
@@ -772,8 +773,7 @@ impl Machine {
     /// Perform a (possibly multi-line) access, charging latency and doing
     /// all coherence + HTM work per line fragment.
     fn access(&mut self, who: usize, acc: Access, transactional: bool) -> Result<(), AbortCause> {
-        let frags: Vec<(LineAddr, usize, usize)> = acc.line_fragments().collect();
-        for (line, off, len) in frags {
+        for (line, off, len) in acc.line_fragments() {
             let mask = AccessMask::from_range(off, len);
             let latency = self.access_line(who, line, mask, acc.is_write, transactional)?;
             let jitter = if self.cfg.latency_jitter > 0 {

@@ -8,12 +8,12 @@
 //! DESIGN.md as the one deliberate simplification versus data-in-L1).
 
 use asf_mem::addr::{Addr, LineAddr, LINE_SIZE};
-use std::collections::HashMap;
+use asf_mem::fxhash::FxHashMap;
 
 /// Sparse committed byte memory, line-granular allocation, zero-initialised.
 #[derive(Clone, Debug, Default)]
 pub struct GlobalMemory {
-    lines: HashMap<LineAddr, Box<[u8; LINE_SIZE]>>,
+    lines: FxHashMap<LineAddr, Box<[u8; LINE_SIZE]>>,
 }
 
 impl GlobalMemory {
@@ -25,6 +25,17 @@ impl GlobalMemory {
     /// Read up to 8 little-endian bytes at `addr` (may straddle lines).
     pub fn read_u64(&self, addr: Addr, size: u32) -> u64 {
         assert!((1..=8).contains(&size), "valued reads are 1..=8 bytes");
+        // Fast path: the access stays within one line — look it up once
+        // instead of once per byte.
+        let off = addr.offset();
+        if off + size as usize <= LINE_SIZE {
+            let Some(line) = self.lines.get(&addr.line()) else { return 0 };
+            let mut out = 0u64;
+            for i in 0..size as usize {
+                out |= (line[off + i] as u64) << (8 * i);
+            }
+            return out;
+        }
         let mut out = 0u64;
         for i in 0..size as u64 {
             let a = addr.offset_by(i);
@@ -41,6 +52,18 @@ impl GlobalMemory {
     /// Write up to 8 little-endian bytes at `addr`.
     pub fn write_u64(&mut self, addr: Addr, size: u32, value: u64) {
         assert!((1..=8).contains(&size), "valued writes are 1..=8 bytes");
+        // Fast path: one line, one map probe.
+        let off = addr.offset();
+        if off + size as usize <= LINE_SIZE {
+            let line = self
+                .lines
+                .entry(addr.line())
+                .or_insert_with(|| Box::new([0; LINE_SIZE]));
+            for i in 0..size as usize {
+                line[off + i] = (value >> (8 * i)) as u8;
+            }
+            return;
+        }
         for i in 0..size as u64 {
             let a = addr.offset_by(i);
             let line = self
@@ -69,7 +92,7 @@ impl GlobalMemory {
 /// A transaction's buffered stores: byte-granular, last-write-wins.
 #[derive(Clone, Debug, Default)]
 pub struct WriteSet {
-    bytes: HashMap<u64, u8>,
+    bytes: FxHashMap<u64, u8>,
 }
 
 impl WriteSet {
@@ -95,20 +118,27 @@ impl WriteSet {
     /// and falling back to `global` elsewhere (store-to-load forwarding).
     pub fn read_u64(&self, global: &GlobalMemory, addr: Addr, size: u32) -> u64 {
         assert!((1..=8).contains(&size));
-        let mut out = 0u64;
+        if self.bytes.is_empty() {
+            return global.read_u64(addr, size);
+        }
+        // Read the committed bytes in one go, then overlay buffered bytes —
+        // one line probe plus `size` byte probes, instead of up to two map
+        // probes per byte.
+        let mut out = global.read_u64(addr, size);
         for i in 0..size as u64 {
-            let a = addr.offset_by(i);
-            let byte = self.bytes.get(&a.0).copied().unwrap_or_else(|| {
-                (global.read_u64(a, 1) & 0xff) as u8
-            });
-            out |= (byte as u64) << (8 * i);
+            if let Some(&b) = self.bytes.get(&(addr.0 + i)) {
+                out = (out & !(0xffu64 << (8 * i))) | ((b as u64) << (8 * i));
+            }
         }
         out
     }
 
     /// Does the buffered set overlap `[addr, addr+size)`?
+    #[inline]
     pub fn overlaps(&self, addr: Addr, size: u32) -> bool {
-        (0..size as u64).any(|i| self.bytes.contains_key(&(addr.0 + i)))
+        // The isolation oracle asks this for every remote core on every
+        // transactional access; most write sets are empty.
+        !self.bytes.is_empty() && (0..size as u64).any(|i| self.bytes.contains_key(&(addr.0 + i)))
     }
 
     /// Publish all buffered bytes into `global` and clear (commit).

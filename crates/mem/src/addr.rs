@@ -99,17 +99,20 @@ pub struct Access {
 
 impl Access {
     /// A read of `size` bytes at `addr`.
+    #[inline]
     pub fn read(addr: Addr, size: u32) -> Self {
         Access { addr, size, is_write: false }
     }
 
     /// A write of `size` bytes at `addr`.
+    #[inline]
     pub fn write(addr: Addr, size: u32) -> Self {
         Access { addr, size, is_write: true }
     }
 
     /// Iterate over the per-line fragments of this access as
     /// `(line, start_offset, len)` triples.
+    #[inline]
     pub fn line_fragments(&self) -> impl Iterator<Item = (LineAddr, usize, usize)> + '_ {
         let mut remaining = self.size as usize;
         let mut cursor = self.addr;

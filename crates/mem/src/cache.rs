@@ -5,6 +5,12 @@
 //! L1; plain MOESI for L2/L3). Victim selection can *pin* lines — ASF pins
 //! speculatively-accessed lines in L1, and an insertion that would have to
 //! evict a pinned line fails, which the machine turns into a capacity abort.
+//!
+//! Storage is one contiguous `Vec` with a fixed stride per set
+//! (`index = set * ways + way`), so a set probe — the single most frequent
+//! operation in the simulator — walks adjacent memory instead of chasing a
+//! per-set heap allocation. Set count and tag shift are cached at
+//! construction; the per-access path does no division.
 
 use crate::addr::LineAddr;
 use crate::geometry::CacheGeometry;
@@ -44,20 +50,23 @@ pub struct SetFull;
 #[derive(Clone, Debug)]
 pub struct CacheArray<M> {
     geom: CacheGeometry,
-    sets: Vec<Vec<Option<Way<M>>>>,
+    /// All ways of all sets, contiguously: `slots[set * ways + way]`.
+    slots: Vec<Option<Way<M>>>,
+    /// Ways per set (the stride), cached out of `geom`.
+    ways: usize,
+    /// `log2(sets)`, cached for line-address reconstruction.
+    sets_bits: u32,
     clock: u64,
 }
 
 impl<M> CacheArray<M> {
     /// Create an empty array with the given geometry.
     pub fn new(geom: CacheGeometry) -> Self {
-        let mut sets = Vec::with_capacity(geom.sets());
-        for _ in 0..geom.sets() {
-            let mut ways = Vec::with_capacity(geom.ways);
-            ways.resize_with(geom.ways, || None);
-            sets.push(ways);
-        }
-        CacheArray { geom, sets, clock: 0 }
+        let sets = geom.sets();
+        let ways = geom.ways;
+        let mut slots = Vec::with_capacity(sets * ways);
+        slots.resize_with(sets * ways, || None);
+        CacheArray { geom, slots, ways, sets_bits: sets.trailing_zeros(), clock: 0 }
     }
 
     /// The geometry this array was built with.
@@ -65,19 +74,38 @@ impl<M> CacheArray<M> {
         self.geom
     }
 
+    /// Split a line address into (set index, tag) using the cached shift —
+    /// same math as `CacheGeometry::{set_of, tag_of}` minus their per-call
+    /// set-count division.
+    #[inline]
     fn slot(&self, line: LineAddr) -> (usize, u64) {
-        (self.geom.set_of(line), self.geom.tag_of(line))
+        let set = (line.0 as usize) & ((1usize << self.sets_bits) - 1);
+        (set, line.0 >> self.sets_bits)
+    }
+
+    /// The contiguous slice of ways backing one set.
+    #[inline]
+    fn set_ways(&self, set: usize) -> &[Option<Way<M>>] {
+        &self.slots[set * self.ways..(set + 1) * self.ways]
+    }
+
+    /// Mutable variant of [`Self::set_ways`].
+    #[inline]
+    fn set_ways_mut(&mut self, set: usize) -> &mut [Option<Way<M>>] {
+        &mut self.slots[set * self.ways..(set + 1) * self.ways]
     }
 
     /// Is the line resident?
+    #[inline]
     pub fn contains(&self, line: LineAddr) -> bool {
         self.peek(line).is_some()
     }
 
     /// Borrow the metadata of a resident line without touching LRU state.
+    #[inline]
     pub fn peek(&self, line: LineAddr) -> Option<&M> {
         let (set, tag) = self.slot(line);
-        self.sets[set]
+        self.set_ways(set)
             .iter()
             .flatten()
             .find(|w| w.tag == tag)
@@ -85,9 +113,10 @@ impl<M> CacheArray<M> {
     }
 
     /// Mutably borrow the metadata of a resident line without touching LRU.
+    #[inline]
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut M> {
         let (set, tag) = self.slot(line);
-        self.sets[set]
+        self.set_ways_mut(set)
             .iter_mut()
             .flatten()
             .find(|w| w.tag == tag)
@@ -95,11 +124,12 @@ impl<M> CacheArray<M> {
     }
 
     /// Borrow the metadata of a resident line and mark it most-recently-used.
+    #[inline]
     pub fn get(&mut self, line: LineAddr) -> Option<&mut M> {
         self.clock += 1;
         let clock = self.clock;
         let (set, tag) = self.slot(line);
-        self.sets[set]
+        self.set_ways_mut(set)
             .iter_mut()
             .flatten()
             .find(|w| w.tag == tag)
@@ -127,7 +157,7 @@ impl<M> CacheArray<M> {
         self.clock += 1;
         let clock = self.clock;
         let (set, tag) = self.slot(line);
-        let ways = &mut self.sets[set];
+        let ways = &mut self.slots[set * self.ways..(set + 1) * self.ways];
 
         // Replace in place on re-insertion.
         if let Some(w) = ways.iter_mut().flatten().find(|w| w.tag == tag) {
@@ -142,7 +172,8 @@ impl<M> CacheArray<M> {
             return Ok(None);
         }
 
-        // Evict LRU among non-pinned ways.
+        // Evict LRU among non-pinned ways (first-minimal on ties, matching
+        // the pre-flattening scan order exactly).
         let victim_idx = ways
             .iter()
             .enumerate()
@@ -158,12 +189,11 @@ impl<M> CacheArray<M> {
             .map(|(i, _)| i)
             .ok_or(SetFull)?;
 
-        let sets_bits = self.geom.sets().trailing_zeros();
         let old = ways[victim_idx]
             .replace(Way { tag, meta, lru: clock })
             .expect("victim way was occupied");
         Ok(Some(EvictionInfo {
-            line: LineAddr((old.tag << sets_bits) | set as u64),
+            line: LineAddr((old.tag << self.sets_bits) | set as u64),
             meta: old.meta,
         }))
     }
@@ -171,7 +201,7 @@ impl<M> CacheArray<M> {
     /// Remove a line, returning its metadata.
     pub fn remove(&mut self, line: LineAddr) -> Option<M> {
         let (set, tag) = self.slot(line);
-        for w in self.sets[set].iter_mut() {
+        for w in self.set_ways_mut(set).iter_mut() {
             if matches!(w, Some(way) if way.tag == tag) {
                 return w.take().map(|way| way.meta);
             }
@@ -181,7 +211,7 @@ impl<M> CacheArray<M> {
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.iter().flatten().count()).sum()
+        self.slots.iter().flatten().count()
     }
 
     /// True when no line is resident.
@@ -191,35 +221,31 @@ impl<M> CacheArray<M> {
 
     /// Iterate over `(line, &meta)` for every resident line.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &M)> {
-        let sets_bits = self.geom.sets().trailing_zeros();
-        self.sets.iter().enumerate().flat_map(move |(set, ways)| {
-            ways.iter().flatten().map(move |w| {
-                (LineAddr((w.tag << sets_bits) | set as u64), &w.meta)
-            })
+        let (ways, sets_bits) = (self.ways, self.sets_bits);
+        self.slots.iter().enumerate().filter_map(move |(i, w)| {
+            w.as_ref()
+                .map(|w| (LineAddr((w.tag << sets_bits) | (i / ways) as u64), &w.meta))
         })
     }
 
     /// Iterate mutably over `(line, &mut meta)` for every resident line.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut M)> {
-        let sets_bits = self.geom.sets().trailing_zeros();
-        self.sets.iter_mut().enumerate().flat_map(move |(set, ways)| {
-            ways.iter_mut().flatten().map(move |w| {
-                (LineAddr((w.tag << sets_bits) | set as u64), &mut w.meta)
-            })
+        let (ways, sets_bits) = (self.ways, self.sets_bits);
+        self.slots.iter_mut().enumerate().filter_map(move |(i, w)| {
+            w.as_mut()
+                .map(|w| (LineAddr((w.tag << sets_bits) | (i / ways) as u64), &mut w.meta))
         })
     }
 
     /// Drop every line for which `pred` returns true, invoking `on_drop` on
     /// each removed `(line, meta)`.
     pub fn retain(&mut self, mut pred: impl FnMut(LineAddr, &mut M) -> bool) {
-        let sets_bits = self.geom.sets().trailing_zeros();
-        for (set, ways) in self.sets.iter_mut().enumerate() {
-            for w in ways.iter_mut() {
-                if let Some(way) = w {
-                    let line = LineAddr((way.tag << sets_bits) | set as u64);
-                    if !pred(line, &mut way.meta) {
-                        *w = None;
-                    }
+        let (ways, sets_bits) = (self.ways, self.sets_bits);
+        for (i, w) in self.slots.iter_mut().enumerate() {
+            if let Some(way) = w {
+                let line = LineAddr((way.tag << sets_bits) | (i / ways) as u64);
+                if !pred(line, &mut way.meta) {
+                    *w = None;
                 }
             }
         }
@@ -322,5 +348,20 @@ mod tests {
         c.retain(|_, m| *m % 2 == 0);
         assert_eq!(c.len(), 2);
         assert!(c.contains(line(0)) && c.contains(line(2)));
+    }
+
+    #[test]
+    fn flat_layout_keeps_sets_disjoint() {
+        // Fill both sets completely and check no cross-set interference:
+        // lines 0,2 → set 0; lines 1,3 → set 1 (2 sets).
+        let mut c = tiny();
+        for n in 0..4 {
+            c.insert(line(n), n as u32, |_| false).unwrap();
+        }
+        assert_eq!(c.len(), 4);
+        // Evicting in set 0 must not disturb set 1.
+        c.insert(line(4), 40, |_| false).unwrap().unwrap();
+        assert!(c.contains(line(1)) && c.contains(line(3)));
+        assert_eq!(c.len(), 4);
     }
 }

@@ -28,6 +28,7 @@
 pub mod addr;
 pub mod cache;
 pub mod config;
+pub mod fxhash;
 pub mod geometry;
 pub mod latency;
 pub mod mask;
@@ -37,6 +38,7 @@ pub mod rng;
 pub use addr::{Addr, CoreId, LineAddr};
 pub use cache::{CacheArray, EvictionInfo, LookupResult};
 pub use config::MachineConfig;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use geometry::CacheGeometry;
 pub use latency::{AccessLevel, LatencyModel};
 pub use mask::AccessMask;

@@ -151,6 +151,7 @@ impl AccessMask {
     }
 
     /// Iterate over covered byte offsets, ascending.
+    #[inline]
     pub fn iter_offsets(self) -> impl Iterator<Item = usize> {
         let mut bits = self.0;
         core::iter::from_fn(move || {

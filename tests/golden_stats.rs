@@ -1,0 +1,162 @@
+//! Golden-stats equivalence fence for the hot-path optimisation work.
+//!
+//! Unlike `tests/golden.rs` (which checks determinism within one build and
+//! a handful of headline counters), this test pins the *entire* `RunStats`
+//! of a few (benchmark, detector, seed) cells to exact constants captured
+//! from the pre-optimisation simulator. Any change to cache indexing,
+//! hashing, victim selection, scheduling order, or allocation strategy that
+//! alters even one counter, histogram bucket, or time-series stamp fails
+//! here — this is the "bit-identical before/after" bar for perf refactors.
+//!
+//! To re-baseline after an *intentional* behavioural change:
+//!     cargo test --test golden_stats -- --ignored --nocapture
+//! and paste the printed `Cell` rows over the `EXPECTED` table (re-checking
+//! EXPERIMENTS.md in the same commit).
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{AdaptiveConfig, Machine, SimConfig};
+use asf_stats::run::RunStats;
+use asf_workloads::Scale;
+
+/// FNV-1a over a canonical serialisation of every `RunStats` field,
+/// including full histogram and time-series contents. Two stats with the
+/// same digest are, for all practical purposes, bit-identical.
+fn digest(s: &RunStats) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    fold(s.tx_started);
+    fold(s.tx_attempts);
+    fold(s.tx_committed);
+    fold(s.tx_aborted);
+    s.aborts_by_cause.iter().for_each(|&v| fold(v));
+    fold(s.fallback_commits);
+    fold(s.isolation_violations);
+    fold(s.dirty_refetches);
+    fold(s.war_speculations);
+    fold(s.sig_alias_conflicts);
+    fold(s.probes);
+    fold(s.probe_targets);
+    fold(s.l1_hits);
+    fold(s.l1_misses);
+    s.conflicts.true_by_type.iter().for_each(|&v| fold(v));
+    s.conflicts.false_by_type.iter().for_each(|&v| fold(v));
+    // Time series: totals plus the full cumulative curve (order-insensitive
+    // but content-exact — merge order of equal stamps doesn't matter).
+    let horizon = s.cycles;
+    for series in [&s.started_series, &s.false_series] {
+        fold(series.total());
+        fold(series.last_cycle());
+        series.cumulative(horizon.max(1), 64).iter().for_each(|&v| fold(v));
+    }
+    for (line, count) in s.false_by_line.sorted() {
+        fold(line);
+        fold(count);
+    }
+    s.access_offsets.bytes().iter().for_each(|&v| fold(v));
+    fold(s.cycles);
+    fold(s.backoff_cycles);
+    fold(s.max_retries as u64);
+    s.retry_histogram.iter().for_each(|&v| fold(v));
+    h
+}
+
+/// Key counters kept alongside the digest so a failure names *what* moved
+/// instead of only "the hash changed".
+type Key = (u64, u64, u64, u64, u64, u64, u64, u64);
+
+fn key(s: &RunStats) -> Key {
+    (
+        s.tx_committed,
+        s.tx_aborted,
+        s.conflicts.total(),
+        s.conflicts.false_total(),
+        s.probes,
+        s.l1_hits,
+        s.l1_misses,
+        s.cycles,
+    )
+}
+
+/// The pinned cells: three paper-standard configurations plus one cell each
+/// for the adaptive predictor (`line_heat` path) and DPTM WAR speculation
+/// (`read_log` path), so every data structure touched by the hot-path
+/// rewrite sits behind this fence.
+fn cells() -> Vec<(&'static str, &'static str, SimConfig)> {
+    vec![
+        (
+            "ssca2/sb4/seed=0xA5",
+            "ssca2",
+            SimConfig::paper_seeded(DetectorKind::SubBlock(4), 0xA5),
+        ),
+        (
+            "vacation/baseline/seed=0x1CE",
+            "vacation",
+            SimConfig::paper_seeded(DetectorKind::Baseline, 0x1CE),
+        ),
+        (
+            "intruder/perfect/seed=0x7E57",
+            "intruder",
+            SimConfig::paper_seeded(DetectorKind::Perfect, 0x7E57),
+        ),
+        ("ssca2/adaptive/seed=0xADA", "ssca2", {
+            let mut c = SimConfig::paper_seeded(DetectorKind::Baseline, 0xADA);
+            c.adaptive = Some(AdaptiveConfig::standard());
+            c
+        }),
+        ("kmeans/dptm/seed=0xD9", "kmeans", {
+            let mut c = SimConfig::paper_seeded(DetectorKind::Baseline, 0xD9);
+            c.war_speculation = true;
+            c
+        }),
+    ]
+}
+
+fn run(bench: &str, cfg: SimConfig) -> RunStats {
+    let w = asf_workloads::by_name(bench, Scale::Small).expect("known benchmark");
+    Machine::run(w.as_ref(), cfg).stats
+}
+
+/// Expected (digest, key) per cell, captured from the pre-optimisation
+/// simulator (commit f4c5c8f lineage) at `Scale::Small`.
+const EXPECTED: &[(&str, u64, Key)] = &[
+    ("ssca2/sb4/seed=0xA5", 0x272ab65f4b1bfeaf, (480, 47, 47, 24, 819, 1249, 819, 14358)),
+    ("vacation/baseline/seed=0x1CE", 0x99b14e079c667a11, (360, 140, 140, 100, 2034, 2216, 2034, 48190)),
+    ("intruder/perfect/seed=0x7E57", 0xc333126da5733654, (520, 222, 222, 0, 687, 1064, 687, 131853)),
+    ("ssca2/adaptive/seed=0xADA", 0x886cab87da6c577c, (480, 70, 70, 55, 835, 1290, 835, 16626)),
+    ("kmeans/dptm/seed=0xD9", 0x164343f68462a897, (400, 82, 76, 58, 1160, 2274, 1160, 46357)),
+];
+
+#[test]
+fn golden_stats_bit_identical() {
+    for (name, bench, cfg) in cells() {
+        let stats = run(bench, cfg);
+        let (d, k) = (digest(&stats), key(&stats));
+        let (_, ed, ek) = EXPECTED
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .unwrap_or_else(|| panic!("no expectation for {name}"));
+        assert_eq!(
+            k, *ek,
+            "{name}: key counters (committed, aborted, conflicts, false, \
+             probes, l1_hits, l1_misses, cycles) drifted"
+        );
+        assert_eq!(d, *ed, "{name}: full RunStats digest drifted");
+    }
+}
+
+/// Prints the current actuals in `EXPECTED` table form; used to (re)baseline.
+#[test]
+#[ignore = "baseline capture helper, run with --ignored --nocapture"]
+fn print_golden_stats() {
+    for (name, bench, cfg) in cells() {
+        let stats = run(bench, cfg);
+        println!("    (\"{name}\", {:#018x}, {:?}),", digest(&stats), key(&stats));
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline shim of the [criterion](https://crates.io/crates/criterion) API
+//! surface this workspace uses.
+//!
+//! The build environment has no network access, so the real crates.io
+//! `criterion` cannot be downloaded. This shim keeps `crates/bench`
+//! compiling and produces useful wall-clock numbers:
+//!
+//! * `cargo bench -- --test` (the CI smoke mode) runs every benchmark body
+//!   exactly once and reports pass/fail;
+//! * a plain `cargo bench` times each benchmark over a fixed measurement
+//!   budget and prints `name  median-ish mean  iterations`.
+//!
+//! No statistics, no plots, no baselines — the repo's first-class perf
+//! tracking lives in `asf-repro perf` (see DESIGN.md §Performance).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export for parity with the real crate (benches may use either this
+/// or `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Target measurement budget per benchmark in normal mode.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into() }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.test_mode, &id.into(), &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks (`sample_size` is accepted and ignored —
+/// the shim sizes its measurement by wall-clock budget instead).
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim budgets by wall time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark one function under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(self.c.test_mode, &full, &mut f);
+        self
+    }
+
+    /// End the group (no-op; present for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    test_mode: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` (once in `--test` mode, else until the measurement
+    /// budget is spent).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // Warm-up + calibration run.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let mut iters = (MEASURE_BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        iters += 1; // include the calibration run in the reported mean
+        self.iters = iters;
+        self.elapsed = start.elapsed() + once;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, name: &str, f: &mut F) {
+    let mut b = Bencher { test_mode, iters: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    if test_mode {
+        println!("test {name} ... ok");
+    } else if b.iters > 0 {
+        let mean = b.elapsed.as_secs_f64() / b.iters as f64;
+        println!("bench {name:<48} {:>12.3} ms/iter  ({} iters)", mean * 1e3, b.iters);
+    } else {
+        println!("bench {name:<48} (no measurement: b.iter was not called)");
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod shim_tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher { test_mode: false, iters: 0, elapsed: Duration::ZERO };
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            n
+        });
+        assert!(b.iters >= 1);
+        assert_eq!(n, b.iters);
+    }
+
+    #[test]
+    fn test_mode_runs_exactly_once() {
+        let mut b = Bencher { test_mode: true, iters: 0, elapsed: Duration::ZERO };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(n, 1);
+        assert_eq!(b.iters, 1);
+    }
+}
