@@ -1,0 +1,77 @@
+//! Probe-resolution micro-benchmark (DESIGN.md §10): isolates the cost of
+//! `probe_others` by driving miss-heavy scripted workloads where probe
+//! handling dominates the step loop, in the two extremes the residency
+//! index distinguishes:
+//!
+//! * `uncontended` — every core streams over its own private region, so
+//!   each miss probes a line no other core has ever touched. The index
+//!   resolves these probes without visiting a single remote core; the
+//!   exhaustive walk inspects all seven.
+//! * `contended` — every core streams over one shared read-only region, so
+//!   each miss probes a line every other core may hold. Here the index
+//!   can skip at most the cores that already evicted their copy, and the
+//!   two walks cost about the same — the bench pins that the index never
+//!   *hurts* when it cannot help.
+//!
+//! Each case runs with the residency-narrowed walk (the default) and with
+//! `exhaustive_probe_walk` (the pre-index behaviour); the uncontended gap
+//! between them is what the index buys.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_machine::txprog::{ScriptedWorkload, TxAttempt, TxOp, WorkItem};
+use asf_mem::addr::Addr;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const CORES: u64 = 8;
+/// Lines per streaming region: twice the paper L1 (512 sets × 8 ways), so
+/// revisits have been evicted, miss again, and re-probe.
+const REGION_LINES: u64 = 8192;
+/// Reads per transaction — far below L1 capacity, so no capacity aborts.
+const TX_READS: u64 = 4;
+const TXNS_PER_CORE: u64 = 256;
+
+/// Each core streams reads over a region with a co-prime line step, so
+/// essentially every transactional read is an L1 miss that issues a probe.
+/// `private` selects per-core disjoint regions vs one shared region.
+fn streaming_workload(private: bool) -> ScriptedWorkload {
+    let mut scripts = Vec::new();
+    for tid in 0..CORES {
+        let base = if private { 0x100_0000 * (tid + 1) } else { 0x100_0000 };
+        let mut next = tid * 11; // stagger so contended cores overlap, not march in step
+        let mut items = Vec::new();
+        for _ in 0..TXNS_PER_CORE {
+            let mut ops = Vec::with_capacity(TX_READS as usize);
+            for _ in 0..TX_READS {
+                ops.push(TxOp::Read { addr: Addr(base + (next % REGION_LINES) * 64), size: 8 });
+                next += 7;
+            }
+            items.push(WorkItem::Tx(TxAttempt::new(ops)));
+        }
+        scripts.push(items);
+    }
+    ScriptedWorkload { name: "probe-micro", scripts }
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe");
+    g.sample_size(10);
+    for (case, private) in [("uncontended", true), ("contended", false)] {
+        let w = streaming_workload(private);
+        for (walk, exhaustive) in [("indexed", false), ("exhaustive", true)] {
+            g.bench_function(format!("{case}/{walk}"), |b| {
+                b.iter(|| {
+                    let mut cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(4), 9);
+                    cfg.exhaustive_probe_walk = exhaustive;
+                    let out = Machine::run(&w, cfg);
+                    black_box((out.stats.probes, out.stats.cycles))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

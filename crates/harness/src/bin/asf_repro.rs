@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! asf-repro [EXPERIMENT ...] [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR]
+//!                            [--check-baseline BENCH_perf.json]
 //!
 //! EXPERIMENT: all | ext | table1 | table2 | table3 | fig1 .. fig10
 //!           | overhead | headline | diag | scaling | backoff | policy | charts | excluded | related | signatures | variance | adaptive | fabric | summary | perf | profile:<bench> | trace:<bench>
@@ -19,7 +20,7 @@ use asf_workloads::Scale;
 
 const USAGE: &str = "usage: asf-repro [all|ext|table1|table2|table3|fig1..fig10|overhead|headline|diag|scaling|backoff|policy\
                      |charts|excluded|related|signatures|variance|adaptive|fabric|summary|perf|profile:<bench>|trace:<bench>]* \
-                     [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR]";
+                     [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR] [--check-baseline BENCH_perf.json]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +28,7 @@ fn main() {
     let mut seed: u64 = 0x5eed_2013;
     let mut csv_dir: Option<String> = None;
     let mut json_dir: Option<String> = None;
+    let mut check_baseline: Option<String> = None;
     let mut cmds: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -64,6 +66,13 @@ fn main() {
                 i += 1;
                 json_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
                     eprintln!("--json needs a directory\n{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            "--check-baseline" => {
+                i += 1;
+                check_baseline = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--check-baseline needs a BENCH_perf.json path\n{USAGE}");
                     std::process::exit(2);
                 }));
             }
@@ -160,11 +169,29 @@ fn main() {
                 // Throughput smoke grid; also writes the machine-readable
                 // report to BENCH_perf.json in the current directory (the
                 // repo root when run from CI), independent of --json.
+                // With --check-baseline PATH the committed report is read
+                // *before* the overwrite and the run fails (exit 1) on a
+                // >25% wall-time regression or any simulated-cycles drift.
                 eprintln!("timing perf smoke grid (scale {scale:?}, seed {seed:#x}) …");
+                let baseline = check_baseline.as_ref().map(|p| {
+                    std::fs::read_to_string(p).unwrap_or_else(|e| {
+                        eprintln!("cannot read baseline {p}: {e}");
+                        std::process::exit(2);
+                    })
+                });
                 let report = asf_harness::perf::measure(scale, seed);
                 emit("perf", report.table());
                 std::fs::write("BENCH_perf.json", report.to_json()).expect("write BENCH_perf.json");
                 eprintln!("wrote BENCH_perf.json");
+                if let Some(json) = baseline {
+                    match asf_harness::perf::check_against_baseline(&report, &json, 0.25) {
+                        Ok(msg) => eprintln!("{msg}"),
+                        Err(msg) => {
+                            eprintln!("FAIL: {msg}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
             }
             cmd if cmd.starts_with("trace:") => {
                 // Run one benchmark with tracing and write a Chrome-tracing

@@ -100,13 +100,8 @@ impl Matrix {
     /// under baseline, sb2/4/8/16 and perfect, aggregated over three seeds
     /// derived from `seed`.
     pub fn paper_grid(scale: Scale, seed: u64) -> Matrix {
-        let names: Vec<String> = asf_workloads::all(scale)
-            .iter()
-            .map(|w| w.name().to_string())
-            .collect();
-        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
         let seeds = [seed, seed.wrapping_add(1), seed.wrapping_add(2)];
-        Matrix::compute(&refs, &DetectorKind::paper_set(), scale, &seeds)
+        Matrix::compute(&asf_workloads::names(scale), &DetectorKind::paper_set(), scale, &seeds)
     }
 
     /// Look up one run.
@@ -123,13 +118,10 @@ impl Matrix {
 
     /// Benchmarks present, in Table III order.
     pub fn benches(&self) -> Vec<String> {
-        let order: Vec<String> = asf_workloads::all(Scale::Small)
-            .iter()
-            .map(|w| w.name().to_string())
-            .collect();
-        order
+        asf_workloads::names(self.scale)
             .into_iter()
-            .filter(|b| self.runs.keys().any(|k| &k.bench == b))
+            .filter(|b| self.runs.keys().any(|k| k.bench == *b))
+            .map(str::to_string)
             .collect()
     }
 

@@ -160,6 +160,128 @@ impl PerfReport {
     }
 }
 
+/// What `check_against_baseline` needs from a committed `BENCH_perf.json`:
+/// the grid identity (scale, seed), the wall-time total, and the simulated
+/// cycle count of every cell (the determinism fence).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Baseline {
+    /// `Scale` the baseline grid ran at (`"Small"`, `"Standard"`, …).
+    pub scale: String,
+    /// Master seed of the baseline grid.
+    pub seed: u64,
+    /// Total grid wall time in milliseconds.
+    pub total_wall_ms: f64,
+    /// `(bench, detector, cycles)` per cell, in grid order.
+    pub cells: Vec<(String, String, u64)>,
+}
+
+/// First `"key": <value>` after `from` — the entire JSON surface this file
+/// emits is flat enough that a scan beats a parser (dependency policy:
+/// there is none to use).
+fn json_field(s: &str, key: &str, from: usize) -> Option<(f64, usize)> {
+    let pat = format!("\"{key}\":");
+    let at = s[from..].find(&pat)? + from + pat.len();
+    let rest = s[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok().map(|v| (v, at))
+}
+
+/// First `"key": "<string>"` after `from`.
+fn json_string(s: &str, key: &str, from: usize) -> Option<(String, usize)> {
+    let pat = format!("\"{key}\": \"");
+    let at = s[from..].find(&pat)? + from + pat.len();
+    let len = s[at..].find('"')?;
+    Some((s[at..at + len].to_string(), at + len))
+}
+
+/// Parse a `BENCH_perf.json` produced by [`PerfReport::to_json`]. Returns
+/// `None` on any shape surprise (missing field, malformed number).
+pub fn parse_baseline(json: &str) -> Option<Baseline> {
+    let (scale, _) = json_string(json, "scale", 0)?;
+    let (seed, _) = json_field(json, "seed", 0)?;
+    let (total_wall_ms, _) = json_field(json, "total_wall_ms", 0)?;
+    let mut cells = Vec::new();
+    let mut pos = 0;
+    while let Some((bench, after)) = json_string(json, "bench", pos) {
+        let (detector, after) = json_string(json, "detector", after)?;
+        let (cycles, after) = json_field(json, "cycles", after)?;
+        cells.push((bench, detector, cycles as u64));
+        pos = after;
+    }
+    if cells.is_empty() {
+        return None;
+    }
+    Some(Baseline { scale, seed: seed as u64, total_wall_ms, cells })
+}
+
+/// CI regression guard: compare a fresh measurement against the committed
+/// `BENCH_perf.json`. Fails (Err with a human-readable reason) when
+///
+/// * the baseline is unreadable or ran a different scale (walls are not
+///   comparable across scales),
+/// * any cell's simulated `cycles` differs while benchmark set and seed
+///   match — that is a *correctness* drift wearing a perf costume, caught
+///   here deterministically even on noisy runners, or
+/// * total wall time regressed by more than `tolerance` (0.25 = fail when
+///   more than 25% slower than the baseline).
+///
+/// On success returns a one-line summary with the speed ratio.
+pub fn check_against_baseline(
+    report: &PerfReport,
+    baseline_json: &str,
+    tolerance: f64,
+) -> Result<String, String> {
+    let base = parse_baseline(baseline_json)
+        .ok_or_else(|| "baseline JSON is not a PerfReport".to_string())?;
+    let scale = format!("{:?}", report.scale);
+    if base.scale != scale {
+        return Err(format!(
+            "scale mismatch: baseline ran {}, this run {scale} — wall times not comparable",
+            base.scale
+        ));
+    }
+    if base.seed == report.seed {
+        if base.cells.len() != report.cells.len() {
+            return Err(format!(
+                "grid shape changed: baseline has {} cells, this run {}",
+                base.cells.len(),
+                report.cells.len()
+            ));
+        }
+        for (b, c) in base.cells.iter().zip(&report.cells) {
+            if b.0 != c.bench || b.1 != c.detector {
+                return Err(format!(
+                    "grid order changed: baseline cell {}/{} vs {}/{}",
+                    b.0, b.1, c.bench, c.detector
+                ));
+            }
+            if b.2 != c.cycles {
+                return Err(format!(
+                    "simulated cycles drifted on {}/{}: baseline {}, this run {} — \
+                     not a perf regression, a behaviour change",
+                    c.bench, c.detector, b.2, c.cycles
+                ));
+            }
+        }
+    }
+    let wall_ms = report.total_wall().as_secs_f64() * 1e3;
+    let ratio = wall_ms / base.total_wall_ms.max(1e-9);
+    if ratio > 1.0 + tolerance {
+        return Err(format!(
+            "perf regression: total wall {wall_ms:.1} ms vs baseline {:.1} ms \
+             ({ratio:.2}x, tolerance {:.0}%)",
+            base.total_wall_ms,
+            tolerance * 100.0
+        ));
+    }
+    Ok(format!(
+        "perf ok: total wall {wall_ms:.1} ms vs baseline {:.1} ms ({ratio:.2}x)",
+        base.total_wall_ms
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +320,56 @@ mod tests {
         assert!(json.contains("\"detector\": \"sb8\""));
         // Balanced braces — cheap JSON sanity without a parser.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    fn tiny_report(wall_ms: u64, cycles: u64) -> PerfReport {
+        PerfReport {
+            scale: Scale::Small,
+            seed: 7,
+            cells: vec![PerfCell {
+                bench: "ssca2".into(),
+                detector: "baseline".into(),
+                wall: Duration::from_millis(wall_ms),
+                accesses: 2000,
+                cycles,
+            }],
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_json() {
+        let report = tiny_report(4, 10_000);
+        let base = parse_baseline(&report.to_json()).expect("own JSON parses");
+        assert_eq!(base.scale, "Small");
+        assert_eq!(base.seed, 7);
+        assert_eq!(base.cells, vec![("ssca2".into(), "baseline".into(), 10_000)]);
+        assert!((base.total_wall_ms - 4.0).abs() < 1e-6);
+        assert_eq!(parse_baseline("{\"not\": \"a report\"}"), None);
+    }
+
+    #[test]
+    fn baseline_check_accepts_equal_and_faster_runs() {
+        let base_json = tiny_report(10, 10_000).to_json();
+        for wall in [5, 10, 12] {
+            let msg = check_against_baseline(&tiny_report(wall, 10_000), &base_json, 0.25)
+                .expect("within tolerance");
+            assert!(msg.contains("perf ok"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn baseline_check_rejects_regressions_and_drift() {
+        let base_json = tiny_report(10, 10_000).to_json();
+        let slow = check_against_baseline(&tiny_report(20, 10_000), &base_json, 0.25);
+        assert!(slow.unwrap_err().contains("perf regression"));
+        // Same seed, different simulated cycles: behaviour drift, not noise.
+        let drift = check_against_baseline(&tiny_report(10, 10_001), &base_json, 0.25);
+        assert!(drift.unwrap_err().contains("cycles drifted"));
+        // Different scale: not comparable at all.
+        let mut other = tiny_report(1, 10_000);
+        other.scale = Scale::Standard;
+        let scale = check_against_baseline(&other, &base_json, 0.25);
+        assert!(scale.unwrap_err().contains("scale mismatch"));
     }
 
     #[test]

@@ -145,6 +145,17 @@ pub struct SimConfig {
     /// Watchdog: panic if the scheduler exceeds this many steps (guards the
     /// test suite against livelock regressions).
     pub max_steps: u64,
+    /// Disable the exact residency index and walk every fabric-selected
+    /// core on each probe, as pre-index builds did. Outcomes and statistics
+    /// must be identical either way (the index only skips provably-empty
+    /// cache walks); equivalence tests flip this to prove it.
+    pub exhaustive_probe_walk: bool,
+    /// Cross-check the residency index against a full walk of every core's
+    /// caches on *every* probe (instead of the periodic debug-build
+    /// sampling). Slow; meant for the property/soak suites, where a stale
+    /// or leaked index entry should fail loudly rather than silently skip a
+    /// conflict check.
+    pub verify_residency: bool,
 }
 
 impl SimConfig {
@@ -166,6 +177,8 @@ impl SimConfig {
             latency_jitter: 0,
             seed: 0x05ee_da5f_2013,
             max_steps: 2_000_000_000,
+            exhaustive_probe_walk: false,
+            verify_residency: false,
         }
     }
 
@@ -191,10 +204,12 @@ pub struct SimOutput {
 /// Control state of one core.
 #[derive(Debug)]
 enum CoreState {
-    /// Ready to fetch the next work item.
+    /// Ready to fetch the next work item. (There is deliberately no
+    /// `Compute` state: a compute work item advances the core's clock at
+    /// dispatch time — the event-ordered scheduler re-queues the core at
+    /// the finish cycle, so a dedicated "advance the clock" turn would be
+    /// pure double dispatch.)
     Idle,
-    /// Busy with local compute until the given cycle.
-    Compute { until: u64 },
     /// Executing a transaction attempt.
     InTx { attempt: TxAttempt, pc: usize },
     /// Waiting out backoff before retrying `attempt`.
@@ -257,10 +272,31 @@ pub struct Machine {
     /// Adaptive mode: per-line false-conflict heat (the predictor table).
     line_heat: FxHashMap<LineAddr, u32>,
     /// Probe-filter directory: cores that may hold each line (bitmask).
+    ///
+    /// Distinct from `residency`: the directory models HT-Assist hardware —
+    /// conservative (stale entries survive silent evictions) and consulted
+    /// only under [`FabricKind::ProbeFilter`], where it defines the
+    /// *accounted* probe traffic. The residency index is a simulator-side
+    /// exactness structure that never changes any reported number.
     directory: FxHashMap<LineAddr, u64>,
+    /// Exact residency index: bit `v` is set iff core `v` holds the line in
+    /// L1, L2, or L3, or retains speculative metadata for it. Maintained at
+    /// every fill, eviction, invalidation, retained-metadata insert/drop,
+    /// and commit/abort teardown; probes walk only these cores (plus, in
+    /// signature mode, every in-transaction core — Bloom state is decoupled
+    /// from the caches). Purely an optimisation: broadcast *accounting*
+    /// still charges all remote cores, so stats stay bit-identical.
+    residency: FxHashMap<LineAddr, u64>,
+    /// Event-ordered run queue: one `(clock, core)` entry per non-`Done`
+    /// core, popped in exactly the `(clock, core_id)` order the old
+    /// linear `min_by_key` scan produced. Valid because a core's clock
+    /// only ever changes during its own turn.
+    runq: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
     /// Scratch buffer for probe-target lists (avoids per-probe allocation
     /// on the simulator's hottest path).
     scratch_targets: Vec<usize>,
+    /// Scratch buffer for residency-drop candidates at commit/abort.
+    scratch_dropped: Vec<LineAddr>,
 }
 
 impl Machine {
@@ -289,6 +325,7 @@ impl Machine {
                 .expect("invalid adaptive fine granularity");
             assert!(a.promote_after >= 1, "promotion threshold must be positive");
         }
+        assert!(cfg.machine.cores <= 64, "the residency index supports at most 64 cores");
         let n = cfg.machine.cores;
         let cores = (0..n)
             .map(|tid| Core {
@@ -318,7 +355,38 @@ impl Machine {
             trace: None,
             line_heat: FxHashMap::default(),
             directory: FxHashMap::default(),
+            residency: FxHashMap::default(),
+            // All cores start at clock 0; ties pop in core-id order, the
+            // same order the linear scan used.
+            runq: (0..n).map(|i| std::cmp::Reverse((0u64, i))).collect(),
             scratch_targets: Vec::new(),
+            scratch_dropped: Vec::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Residency index maintenance
+    // ------------------------------------------------------------------
+
+    /// Note that `who` now holds `line` somewhere (fill into any level).
+    #[inline]
+    fn res_add(&mut self, line: LineAddr, who: usize) {
+        *self.residency.entry(line).or_insert(0) |= 1 << who;
+    }
+
+    /// `who` may have stopped holding `line`: re-check the ground truth and
+    /// clear the bit if the line is gone from every level and the retained
+    /// table. (Re-checking keeps the index exact across partial removals —
+    /// an L1 eviction of a line still sitting in L2, say.)
+    fn res_drop_if_absent(&mut self, line: LineAddr, who: usize) {
+        if self.cores[who].caches.holds(line) {
+            return;
+        }
+        if let Some(bits) = self.residency.get_mut(&line) {
+            *bits &= !(1 << who);
+            if *bits == 0 {
+                self.residency.remove(&line);
+            }
         }
     }
 
@@ -330,23 +398,67 @@ impl Machine {
         }
     }
 
-    /// Cores a probe for `line` from `who` must visit, written into the
-    /// reusable scratch buffer (the caller takes it and must put it back).
+    /// Cores a probe for `line` from `who` must actually *visit*, written
+    /// into the reusable scratch buffer (the caller takes it and must put
+    /// it back). The walk set is the fabric's target set narrowed by the
+    /// exact residency index: a core holding neither a copy of the line at
+    /// any level nor retained speculative metadata for it contributes
+    /// nothing to conflict detection, data supply, or coherence updates, so
+    /// its cache walk is skipped. Signature (LogTM-SE) detection is the one
+    /// exception — Bloom state is decoupled from the caches, so every
+    /// in-transaction core stays in the walk set there.
+    ///
+    /// Accounting is separate (see [`Self::accounted_probe_targets`]):
+    /// under broadcast the fabric still pays for all remote cores, and the
+    /// probe-filter directory still defines its own (conservative) target
+    /// count, so all reported numbers are bit-identical to a full walk.
     fn probe_targets(&mut self, who: usize, line: LineAddr) -> Vec<usize> {
         let mut out = std::mem::take(&mut self.scratch_targets);
         out.clear();
-        match self.cfg.fabric {
-            FabricKind::Broadcast => {
-                out.extend((0..self.cores.len()).filter(|&v| v != who));
+        let n = self.cores.len();
+        let mut bits: u64 = if self.cfg.exhaustive_probe_walk {
+            u64::MAX
+        } else {
+            let res = self.residency.get(&line).copied().unwrap_or(0);
+            if self.cfg.signatures.is_some() {
+                let mut b = res;
+                for (v, core) in self.cores.iter().enumerate() {
+                    if core.in_running_tx() {
+                        b |= 1 << v;
+                    }
+                }
+                b
+            } else {
+                res
             }
-            FabricKind::ProbeFilter => {
-                let bits = self.directory.get(&line).copied().unwrap_or(0);
-                out.extend(
-                    (0..self.cores.len()).filter(|&v| v != who && bits & (1 << v) != 0),
-                );
-            }
+        };
+        if self.cfg.fabric == FabricKind::ProbeFilter {
+            bits &= self.directory.get(&line).copied().unwrap_or(0);
+        }
+        if n < 64 {
+            bits &= (1 << n) - 1;
+        }
+        bits &= !(1 << who);
+        // Ascending core id, exactly the order the full scan walked.
+        while bits != 0 {
+            out.push(bits.trailing_zeros() as usize);
+            bits &= bits - 1;
         }
         out
+    }
+
+    /// Probe targets the *fabric* charges for — what
+    /// [`asf_stats::run::RunStats::probe_targets`] counts, independent of
+    /// how many cache walks the residency index let us skip.
+    #[inline]
+    fn accounted_probe_targets(&self, who: usize, line: LineAddr) -> u64 {
+        match self.cfg.fabric {
+            FabricKind::Broadcast => self.cores.len() as u64 - 1,
+            FabricKind::ProbeFilter => {
+                let bits = self.directory.get(&line).copied().unwrap_or(0);
+                (bits & !(1 << who)).count_ones() as u64
+            }
+        }
     }
 
     /// Return the scratch buffer after a probe loop.
@@ -432,18 +544,28 @@ impl Machine {
     }
 
     /// Execute one scheduler step; false when all cores are done.
+    ///
+    /// The run queue holds exactly one `(clock, core)` entry per non-`Done`
+    /// core, so popping the minimum reproduces the retired linear scan's
+    /// `min_by_key((clock, id))` choice — including its tie-break on the
+    /// smaller core id — in O(log cores) instead of O(cores). The entry's
+    /// key can never go stale: a core's clock changes only during its own
+    /// turn, and the turn ends by re-queueing it at the new clock.
     fn step(&mut self) -> bool {
-        let who = match self
-            .cores
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| !matches!(c.state, CoreState::Done))
-            .min_by_key(|(i, c)| (c.clock, *i))
-        {
-            Some((i, _)) => i,
+        let who = match self.runq.pop() {
+            Some(std::cmp::Reverse((clock, who))) => {
+                debug_assert_eq!(
+                    clock, self.cores[who].clock,
+                    "run-queue entry went stale for core {who}"
+                );
+                who
+            }
             None => return false,
         };
         self.step_core(who);
+        if !matches!(self.cores[who].state, CoreState::Done) {
+            self.runq.push(std::cmp::Reverse((self.cores[who].clock, who)));
+        }
         true
     }
 
@@ -461,11 +583,12 @@ impl Machine {
 
         match std::mem::replace(&mut self.cores[who].state, CoreState::Idle) {
             CoreState::Idle => self.dispatch_next_item(who),
-            CoreState::Compute { until } => {
-                self.cores[who].clock = self.cores[who].clock.max(until);
-                self.cores[who].state = CoreState::Idle;
-            }
             CoreState::InTx { attempt, pc } => self.step_tx(who, attempt, pc),
+            // Unlike Compute, the Backoff arm keeps its own turn: it is not
+            // a pure clock bump — it re-enters `InTx`, and the cycle at
+            // which that happens relative to equal-clock cores decides who
+            // a fallback-lock acquisition or a probe can abort. Fusing it
+            // into `after_abort` would change those races (and outcomes).
             CoreState::Backoff { until, attempt } => {
                 self.cores[who].clock = self.cores[who].clock.max(until);
                 self.stats.on_attempt();
@@ -497,8 +620,12 @@ impl Machine {
         match item {
             None => self.cores[who].state = CoreState::Done,
             Some(WorkItem::Compute { cycles }) => {
-                self.cores[who].state =
-                    CoreState::Compute { until: self.cores[who].clock + cycles };
+                // Local compute has no shared-state interaction: advance the
+                // clock here and stay `Idle`. The scheduler re-queues this
+                // core at the finish cycle, so the *next* item is still
+                // dispatched at exactly the cycle (and queue position) the
+                // old dedicated-Compute-turn code dispatched it.
+                self.cores[who].clock += cycles;
             }
             Some(WorkItem::Plain(ops)) => {
                 self.cores[who].state = CoreState::Plain { ops, pc: 0 };
@@ -612,9 +739,10 @@ impl Machine {
         }
         let cycle = self.cores[who].clock;
         self.emit(TraceEvent::TxCommit { core: who, cycle });
+        let mut dropped = std::mem::take(&mut self.scratch_dropped);
         let core = &mut self.cores[who];
         core.writeset.publish(&mut self.memory);
-        core.caches.clear_spec(false);
+        core.caches.clear_spec(false, &mut dropped);
         if let Some(sig) = core.read_sig.as_mut() {
             sig.clear();
         }
@@ -630,14 +758,20 @@ impl Machine {
         core.state = CoreState::Idle;
         // Commit is a local gang-clear; charge a small fixed cost.
         core.clock += 3;
+        for &line in &dropped {
+            self.res_drop_if_absent(line, who);
+        }
+        dropped.clear();
+        self.scratch_dropped = dropped;
     }
 
     /// Tear down the speculative state of `who`'s running attempt (used for
     /// both remote-probe aborts and self-detected aborts).
     fn teardown_tx(&mut self, who: usize) {
+        let mut dropped = std::mem::take(&mut self.scratch_dropped);
         let core = &mut self.cores[who];
         core.writeset.discard();
-        core.caches.clear_spec(true);
+        core.caches.clear_spec(true, &mut dropped);
         if let Some(sig) = core.read_sig.as_mut() {
             sig.clear();
         }
@@ -646,6 +780,11 @@ impl Machine {
         }
         core.read_log.clear();
         core.needs_validation = false;
+        for &line in &dropped {
+            self.res_drop_if_absent(line, who);
+        }
+        dropped.clear();
+        self.scratch_dropped = dropped;
     }
 
     /// Abort a remote victim at probe time.
@@ -885,8 +1024,17 @@ impl Machine {
                 self.emit(TraceEvent::DirtyMark { core: who, line, mask: summary.piggyback });
             }
         } else {
-            // Miss: fill from `level` and insert.
-            self.cores[who].caches.fill_outer(line);
+            // Miss: fill from `level` and insert. The outer-level fill can
+            // silently evict lines from L2/L3; the residency index hears
+            // about both the fill and those evictions.
+            let (ev2, ev3) = self.cores[who].caches.fill_outer(line);
+            self.res_add(line, who);
+            if let Some(e) = ev2 {
+                self.res_drop_if_absent(e, who);
+            }
+            if let Some(e) = ev3 {
+                self.res_drop_if_absent(e, who);
+            }
             let mut spec = self.cores[who]
                 .caches
                 .retained
@@ -922,6 +1070,9 @@ impl Machine {
                             .merge(&evicted.meta.spec);
                         self.cores[who].caches.note_spec_line(evicted.line);
                     }
+                    // An L1-evicted line usually survives in L2/L3 (or just
+                    // moved to `retained`); only a full departure clears it.
+                    self.res_drop_if_absent(evicted.line, who);
                 }
                 Ok(None) => {}
                 Err(_full) => {
@@ -1035,10 +1186,18 @@ impl Machine {
             mask,
             invalidating: kind.invalidates(),
         });
+        // Periodic (debug builds) or per-probe (`verify_residency`) fence:
+        // a missing residency bit would silently skip a conflict check, so
+        // divergence must fail loudly here, not as wrong results downstream.
+        if self.cfg.verify_residency
+            || (cfg!(debug_assertions) && self.stats.probes.is_multiple_of(64))
+        {
+            self.crosscheck_residency(line);
+        }
         let detector = self.effective_detector(line);
         let mut summary = ProbeSummary::default();
         let targets = self.probe_targets(who, line);
-        self.stats.probe_targets += targets.len() as u64;
+        self.stats.probe_targets += self.accounted_probe_targets(who, line);
         let mut retained_mask: u64 = 0;
 
         for &v in &targets {
@@ -1171,6 +1330,7 @@ impl Machine {
                             self.cores[v].caches.note_spec_line(line);
                             retained_mask |= 1 << v;
                         }
+                        self.res_drop_if_absent(line, v);
                     }
                 }
             } else {
@@ -1182,6 +1342,7 @@ impl Machine {
                     if kind.invalidates() {
                         self.cores[v].caches.l2.remove(line);
                         self.cores[v].caches.l3.remove(line);
+                        self.res_drop_if_absent(line, v);
                     }
                 }
             }
@@ -1214,6 +1375,62 @@ impl Machine {
     /// Current cycle of a core (test hook).
     pub fn core_clock(&self, core: CoreId) -> u64 {
         self.cores[core.0].clock
+    }
+
+    /// Cross-check the residency index for one line against the ground
+    /// truth in every core's hierarchy. A missing bit (unsound: a probe
+    /// would skip a core that matters) or a stale bit (the index rotted and
+    /// stopped being exact) both panic with a description.
+    fn crosscheck_residency(&self, line: LineAddr) {
+        let bits = self.residency.get(&line).copied().unwrap_or(0);
+        for (v, core) in self.cores.iter().enumerate() {
+            let truth = core.caches.holds(line);
+            let indexed = bits & (1 << v) != 0;
+            assert_eq!(
+                indexed,
+                truth,
+                "residency index diverged for line {:#x} on core {v}: \
+                 index says {indexed}, caches say {truth}",
+                line.base().0
+            );
+        }
+    }
+
+    /// Exhaustively verify the residency index against every core's caches
+    /// and retained tables (test/debug hook, like
+    /// [`Self::check_coherence_invariants`]). Checks both directions: every
+    /// held line is indexed (soundness — a probe must never skip a core
+    /// that matters) and every indexed bit is backed by real residency
+    /// (exactness — stale bits would erode the probe savings).
+    pub fn verify_residency_index(&self) -> Result<(), String> {
+        use std::collections::HashSet;
+        let mut lines: HashSet<LineAddr> = self.residency.keys().copied().collect();
+        for core in &self.cores {
+            lines.extend(core.caches.l1.iter().map(|(l, _)| l));
+            lines.extend(core.caches.l2.iter().map(|(l, _)| l));
+            lines.extend(core.caches.l3.iter().map(|(l, _)| l));
+            lines.extend(core.caches.retained.keys().copied());
+        }
+        for &line in &lines {
+            let bits = self.residency.get(&line).copied().unwrap_or(0);
+            for (v, core) in self.cores.iter().enumerate() {
+                let truth = core.caches.holds(line);
+                let indexed = bits & (1 << v) != 0;
+                if truth && !indexed {
+                    return Err(format!(
+                        "line {:#x}: core {v} holds it but the index misses it (unsound)",
+                        line.base().0
+                    ));
+                }
+                if indexed && !truth {
+                    return Err(format!(
+                        "line {:#x}: index lists core {v} but nothing is resident (stale)",
+                        line.base().0
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Coherence invariant checker (test/debug hook): for every line

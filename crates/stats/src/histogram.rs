@@ -5,7 +5,7 @@ use asf_mem::mask::AccessMask;
 use std::collections::HashMap;
 
 /// False-conflict counts keyed by cache-line index (Figure 4).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct LineHistogram {
     counts: HashMap<u64, u64>,
 }
@@ -68,7 +68,7 @@ impl LineHistogram {
 /// Per-byte access counts within cache lines (Figure 5). The paper plots at
 /// the benchmark's natural word size; [`OffsetHistogram::bucketed`] rebins to
 /// any power-of-two word.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct OffsetHistogram {
     counts: [u64; LINE_SIZE],
 }

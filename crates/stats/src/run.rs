@@ -30,7 +30,7 @@ pub enum AbortCause {
 }
 
 /// Everything measured during one simulation run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct RunStats {
     /// Distinct transactions begun (first attempts).
     pub tx_started: u64,

@@ -5,7 +5,7 @@
 //! `(cycle)` event stamps and produces a binned cumulative curve on demand.
 
 /// Cumulative counter over simulated time.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct TimeSeries {
     /// Event timestamps in cycles, non-decreasing order not required.
     stamps: Vec<u64>,

@@ -62,6 +62,28 @@ pub fn all(scale: Scale) -> Vec<Box<dyn Workload>> {
     ]
 }
 
+/// The Table III benchmark names in presentation order, without building
+/// the workloads. Callers that only need labels (grid headers, run keys,
+/// perf tables) use this instead of constructing ten kernels via [`all`]
+/// and immediately discarding them. Names are scale-invariant; the `scale`
+/// parameter exists so the signature stays in lock-step with [`all`] (a
+/// future scale-dependent roster would change both together).
+pub fn names(scale: Scale) -> [&'static str; 10] {
+    let _ = scale;
+    [
+        "intruder",
+        "kmeans",
+        "labyrinth",
+        "ssca2",
+        "vacation",
+        "genome",
+        "scalparc",
+        "apriori",
+        "fluidanimate",
+        "utilitymine",
+    ]
+}
+
 /// Look a benchmark up by its Table III name.
 pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
     all(scale).into_iter().find(|w| w.name() == name)
@@ -97,6 +119,14 @@ mod tests {
                 "utilitymine",
             ]
         );
+    }
+
+    #[test]
+    fn names_agree_with_all_at_every_scale() {
+        for scale in [Scale::Small, Scale::Standard, Scale::Large] {
+            let built: Vec<_> = all(scale).iter().map(|w| w.name()).collect();
+            assert_eq!(names(scale).to_vec(), built, "{scale:?}");
+        }
     }
 
     #[test]

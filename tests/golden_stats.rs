@@ -14,7 +14,7 @@
 //! EXPERIMENTS.md in the same commit).
 
 use asf_core::detector::DetectorKind;
-use asf_machine::machine::{AdaptiveConfig, Machine, SimConfig};
+use asf_machine::machine::{AdaptiveConfig, FabricKind, Machine, SimConfig, SignatureConfig};
 use asf_stats::run::RunStats;
 use asf_workloads::Scale;
 
@@ -115,6 +115,20 @@ fn cells() -> Vec<(&'static str, &'static str, SimConfig)> {
             c.war_speculation = true;
             c
         }),
+        // Probe-path fences: the residency-index rewrite must keep both the
+        // probe-filter directory accounting and the signature (LogTM-SE)
+        // detection path — which fires on cores holding *no* copy of the
+        // probed line — bit-identical, not just the broadcast default.
+        ("utilitymine/sb4+probefilter/seed=0xF17", "utilitymine", {
+            let mut c = SimConfig::paper_seeded(DetectorKind::SubBlock(4), 0xF17);
+            c.fabric = FabricKind::ProbeFilter;
+            c
+        }),
+        ("genome/signatures1024/seed=0x516", "genome", {
+            let mut c = SimConfig::paper_seeded(DetectorKind::Baseline, 0x516);
+            c.signatures = Some(SignatureConfig::logtm_se());
+            c
+        }),
     ]
 }
 
@@ -131,6 +145,8 @@ const EXPECTED: &[(&str, u64, Key)] = &[
     ("intruder/perfect/seed=0x7E57", 0xc333126da5733654, (520, 222, 222, 0, 687, 1064, 687, 131853)),
     ("ssca2/adaptive/seed=0xADA", 0x886cab87da6c577c, (480, 70, 70, 55, 835, 1290, 835, 16626)),
     ("kmeans/dptm/seed=0xD9", 0x164343f68462a897, (400, 82, 76, 58, 1160, 2274, 1160, 46357)),
+    ("utilitymine/sb4+probefilter/seed=0xF17", 0x9dc6556de940fe6c, (336, 32, 32, 32, 1404, 867, 1404, 61031)),
+    ("genome/signatures1024/seed=0x516", 0x24d3edb7c6e06347, (400, 133, 133, 111, 2303, 960, 2303, 64402)),
 ];
 
 #[test]

@@ -10,6 +10,15 @@ fn detectors() -> Vec<DetectorKind> {
     DetectorKind::paper_set()
 }
 
+/// Paper config with the residency-index exactness cross-check enabled on
+/// every probe (DESIGN.md §10) — this whole suite doubles as its stress
+/// test.
+fn cfg(d: DetectorKind, seed: u64) -> SimConfig {
+    let mut c = SimConfig::paper_seeded(d, seed);
+    c.verify_residency = true;
+    c
+}
+
 #[test]
 fn no_isolation_violations_across_suite() {
     // Full detector set on three representative benchmarks, the headline
@@ -23,7 +32,7 @@ fn no_isolation_violations_across_suite() {
             vec![DetectorKind::Baseline, DetectorKind::SubBlock(4), DetectorKind::Perfect]
         };
         for d in ds {
-            let out = Machine::run(w.as_ref(), SimConfig::paper_seeded(d, 99));
+            let out = Machine::run(w.as_ref(), cfg(d, 99));
             assert_eq!(
                 out.stats.isolation_violations, 0,
                 "{} under {d} violated isolation",
@@ -40,7 +49,7 @@ fn every_transaction_completes() {
     // invariant: every started transaction eventually commits exactly once.
     for w in asf_workloads::all(Scale::Small) {
         for d in [DetectorKind::Baseline, DetectorKind::SubBlock(4), DetectorKind::Perfect] {
-            let out = Machine::run(w.as_ref(), SimConfig::paper_seeded(d, 7));
+            let out = Machine::run(w.as_ref(), cfg(d, 7));
             assert_eq!(
                 out.stats.tx_started, out.stats.tx_committed,
                 "{} under {d}: started != committed",
@@ -59,7 +68,7 @@ fn every_transaction_completes() {
 #[test]
 fn perfect_detector_reports_zero_false_conflicts() {
     for w in asf_workloads::all(Scale::Small) {
-        let out = Machine::run(w.as_ref(), SimConfig::paper_seeded(DetectorKind::Perfect, 11));
+        let out = Machine::run(w.as_ref(), cfg(DetectorKind::Perfect, 11));
         assert_eq!(
             out.stats.conflicts.false_total(),
             0,
@@ -74,7 +83,7 @@ fn waw_share_is_negligible_at_baseline() {
     // The paper's Figure 2 observation that WAW false conflicts are ≈ 0%
     // must hold across the whole suite at line granularity.
     for w in asf_workloads::all(Scale::Small) {
-        let out = Machine::run(w.as_ref(), SimConfig::paper_seeded(DetectorKind::Baseline, 13));
+        let out = Machine::run(w.as_ref(), cfg(DetectorKind::Baseline, 13));
         let waw = out.stats.conflicts.false_by_type[2];
         let total = out.stats.conflicts.false_total();
         assert!(
@@ -88,8 +97,8 @@ fn waw_share_is_negligible_at_baseline() {
 #[test]
 fn runs_are_bit_deterministic() {
     for w in asf_workloads::all(Scale::Small).into_iter().take(3) {
-        let a = Machine::run(w.as_ref(), SimConfig::paper_seeded(DetectorKind::SubBlock(4), 5));
-        let b = Machine::run(w.as_ref(), SimConfig::paper_seeded(DetectorKind::SubBlock(4), 5));
+        let a = Machine::run(w.as_ref(), cfg(DetectorKind::SubBlock(4), 5));
+        let b = Machine::run(w.as_ref(), cfg(DetectorKind::SubBlock(4), 5));
         assert_eq!(a.stats.cycles, b.stats.cycles, "{}", w.name());
         assert_eq!(a.stats.conflicts, b.stats.conflicts, "{}", w.name());
         assert_eq!(a.stats.tx_attempts, b.stats.tx_attempts, "{}", w.name());
@@ -100,7 +109,7 @@ fn runs_are_bit_deterministic() {
 #[test]
 fn different_seeds_change_timings() {
     let w = asf_workloads::by_name("vacation", Scale::Small).unwrap();
-    let a = Machine::run(w.as_ref(), SimConfig::paper_seeded(DetectorKind::Baseline, 1));
-    let b = Machine::run(w.as_ref(), SimConfig::paper_seeded(DetectorKind::Baseline, 2));
+    let a = Machine::run(w.as_ref(), cfg(DetectorKind::Baseline, 1));
+    let b = Machine::run(w.as_ref(), cfg(DetectorKind::Baseline, 2));
     assert_ne!(a.stats.cycles, b.stats.cycles);
 }
