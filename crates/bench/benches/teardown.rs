@@ -1,0 +1,107 @@
+//! Commit/abort teardown micro-benchmark (DESIGN.md §11): isolates the cost
+//! of ending a transaction attempt as a function of write-set size, in the
+//! three teardown flavours the generation-tagged state machinery serves:
+//!
+//! * `commit/<K>` — one core repeatedly writes the same `K` lines and
+//!   commits. After the first transaction the lines sit writable in L1, so
+//!   each iteration is `K` cheap hits plus one commit teardown: the bench
+//!   is dominated by publish + gang-clear cost.
+//! * `abort/<K>` — the same `K` writes followed by a certain user abort.
+//!   Every attempt discards a `K`-line write set (and refetches it on the
+//!   next attempt), driving the abort teardown path until the fallback
+//!   lock resolves the item.
+//! * `contended/<K>` — all eight cores update `K` slots of one shared
+//!   region, so remote probes constantly hit live speculative state and
+//!   tear down victims mid-flight (`abort_victim`), mixing the probe and
+//!   teardown hot paths the spec-state directory accelerates.
+//!
+//! Before/after numbers for the directory + generation-tag change live in
+//! EXPERIMENTS.md (round 3).
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_machine::txprog::{ScriptedWorkload, TxAttempt, TxOp, WorkItem};
+use asf_mem::addr::Addr;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Private region base; consecutive lines map to consecutive L1 sets
+/// (512 sets × 2 ways at paper geometry), so up to 512 pinned lines never
+/// trigger a capacity abort.
+const PRIVATE_BASE: u64 = 0x200_0000;
+const SHARED_BASE: u64 = 0x80_0000;
+
+/// Write-set sizes swept (lines per transaction).
+const SIZES: [u64; 3] = [16, 64, 256];
+
+fn commit_workload(k: u64, txns: u64) -> ScriptedWorkload {
+    let mut items = Vec::new();
+    for _ in 0..txns {
+        let ops = (0..k)
+            .map(|i| TxOp::Write { addr: Addr(PRIVATE_BASE + i * 64), size: 8, value: i })
+            .collect();
+        items.push(WorkItem::Tx(TxAttempt::new(ops)));
+    }
+    ScriptedWorkload { name: "teardown-commit", scripts: vec![items] }
+}
+
+fn abort_workload(k: u64, items_n: u64) -> ScriptedWorkload {
+    let mut items = Vec::new();
+    for _ in 0..items_n {
+        let mut ops: Vec<TxOp> = (0..k)
+            .map(|i| TxOp::Write { addr: Addr(PRIVATE_BASE + i * 64), size: 8, value: i })
+            .collect();
+        // Certain user abort: the attempt retries until the fallback lock
+        // picks it up, tearing down a K-line write set every attempt.
+        ops.push(TxOp::UserAbort { num: 1, den: 1 });
+        items.push(WorkItem::Tx(TxAttempt::new(ops)));
+    }
+    ScriptedWorkload { name: "teardown-abort", scripts: vec![items] }
+}
+
+fn contended_workload(k: u64, txns: u64) -> ScriptedWorkload {
+    let mut scripts = Vec::new();
+    for tid in 0..8u64 {
+        let mut items = Vec::new();
+        for t in 0..txns {
+            // Every core updates the same K slots, staggered so probes land
+            // on live speculative state and abort victims constantly.
+            let ops = (0..k)
+                .map(|i| {
+                    let slot = (i + tid + t) % k;
+                    TxOp::Update { addr: Addr(SHARED_BASE + slot * 64), size: 8, delta: 1 }
+                })
+                .collect();
+            items.push(WorkItem::Tx(TxAttempt::new(ops)));
+        }
+        scripts.push(items);
+    }
+    ScriptedWorkload { name: "teardown-contended", scripts }
+}
+
+fn run(w: &ScriptedWorkload) -> (u64, u64) {
+    let cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(8), 0x7EAD);
+    let out = Machine::run(w, cfg);
+    (out.stats.tx_aborted, out.stats.cycles)
+}
+
+fn bench_teardown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("teardown");
+    g.sample_size(10);
+    for k in SIZES {
+        let w = commit_workload(k, 64);
+        g.bench_function(format!("commit/{k}"), |b| b.iter(|| black_box(run(&w))));
+    }
+    for k in SIZES {
+        let w = abort_workload(k, 2);
+        g.bench_function(format!("abort/{k}"), |b| b.iter(|| black_box(run(&w))));
+    }
+    for k in SIZES {
+        let w = contended_workload(k, 16);
+        g.bench_function(format!("contended/{k}"), |b| b.iter(|| black_box(run(&w))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_teardown);
+criterion_main!(benches);

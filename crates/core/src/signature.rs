@@ -16,9 +16,20 @@
 use asf_mem::addr::LineAddr;
 
 /// A Bloom-filter address signature.
+///
+/// The filter is **generation-tagged**: every storage word carries the
+/// epoch in which it was last written, and a word participates in lookups
+/// only when its stamp matches the current epoch. [`Signature::clear`] just
+/// bumps the epoch — an O(1) logical gang-clear, matching the single-cycle
+/// hardware flash-clear — so commit/abort teardown never walks the filter.
 #[derive(Clone, Debug)]
 pub struct Signature {
     bits: Vec<u64>,
+    /// Per-word generation stamp; `bits[i]` is live iff `stamps[i] == epoch`.
+    stamps: Vec<u64>,
+    /// Current generation; bumped by `clear`, never reused (u64 cannot wrap
+    /// in any realistic run).
+    epoch: u64,
     num_bits: usize,
     hashes: u32,
     inserted: u64,
@@ -48,6 +59,8 @@ impl Signature {
         );
         Signature {
             bits: vec![0; num_bits.div_ceil(64)],
+            stamps: vec![0; num_bits.div_ceil(64)],
+            epoch: 1,
             num_bits,
             hashes,
             inserted: 0,
@@ -67,10 +80,19 @@ impl Signature {
         })
     }
 
-    /// Insert a line address.
+    /// Insert a line address. Stale words (from before the last epoch bump)
+    /// are lazily re-zeroed on first touch.
     pub fn insert(&mut self, line: LineAddr) {
-        for pos in self.positions(line).collect::<Vec<_>>() {
-            self.bits[pos / 64] |= 1 << (pos % 64);
+        let part = self.num_bits / self.hashes as usize;
+        for h in 0..self.hashes {
+            let idx = (mix(line, h as u64 + 1) % part as u64) as usize;
+            let pos = h as usize * part + idx;
+            let word = pos / 64;
+            if self.stamps[word] != self.epoch {
+                self.stamps[word] = self.epoch;
+                self.bits[word] = 0;
+            }
+            self.bits[word] |= 1 << (pos % 64);
         }
         self.inserted += 1;
     }
@@ -78,13 +100,15 @@ impl Signature {
     /// Membership test: false ⇒ definitely absent; true ⇒ present *or* an
     /// alias (the signature's false-conflict source).
     pub fn maybe_contains(&self, line: LineAddr) -> bool {
-        self.positions(line)
-            .all(|pos| self.bits[pos / 64] & (1 << (pos % 64)) != 0)
+        self.positions(line).all(|pos| {
+            self.stamps[pos / 64] == self.epoch && self.bits[pos / 64] & (1 << (pos % 64)) != 0
+        })
     }
 
     /// Clear all bits (commit/abort gang-clear — single-cycle in hardware).
+    /// O(1): bumps the generation instead of zeroing storage.
     pub fn clear(&mut self) {
-        self.bits.fill(0);
+        self.epoch += 1;
         self.inserted = 0;
     }
 
@@ -96,7 +120,13 @@ impl Signature {
     /// Fraction of filter bits set — the density that drives the
     /// false-positive rate (≈ density^k for a partitioned filter).
     pub fn density(&self) -> f64 {
-        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        let set: u32 = self
+            .bits
+            .iter()
+            .zip(&self.stamps)
+            .filter(|&(_, &s)| s == self.epoch)
+            .map(|(w, _)| w.count_ones())
+            .sum();
         set as f64 / self.num_bits as f64
     }
 
@@ -144,6 +174,22 @@ mod tests {
         s.clear();
         assert!(!s.maybe_contains(line(1)));
         assert_eq!(s.density(), 0.0);
+    }
+
+    #[test]
+    fn generations_stay_isolated_across_many_clears() {
+        // The O(1) epoch clear must behave exactly like a physical zeroing:
+        // nothing inserted in a previous generation may leak into the next.
+        let mut s = Signature::new(128, 2);
+        for round in 0..100 {
+            s.insert(line(round));
+            assert!(s.maybe_contains(line(round)));
+            assert!(s.density() > 0.0);
+            s.clear();
+            assert!(!s.maybe_contains(line(round)));
+            assert_eq!(s.density(), 0.0);
+            assert_eq!(s.inserted(), 0);
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! asf-repro [EXPERIMENT ...] [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR]
-//!                            [--check-baseline BENCH_perf.json]
+//!                            [--threads N] [--check-baseline BENCH_perf.json]
 //!
 //! EXPERIMENT: all | ext | table1 | table2 | table3 | fig1 .. fig10
 //!           | overhead | headline | diag | scaling | backoff | policy | charts | excluded | related | signatures | variance | adaptive | fabric | summary | perf | profile:<bench> | trace:<bench>
@@ -11,7 +11,9 @@
 //! Experiments needing simulation runs share one (benchmark × detector)
 //! matrix, aggregated over three seeds; `--seed` changes the seed family,
 //! `--scale` the input size. `--csv DIR` additionally writes each table as
-//! `DIR/<name>.csv`.
+//! `DIR/<name>.csv`. `--threads N` (or the `ASF_THREADS` env var) sets the
+//! matrix worker-pool size — wall-clock only, results are identical for
+//! every worker count; default is the machine's available parallelism.
 
 use asf_harness::experiments;
 use asf_harness::matrix::Matrix;
@@ -20,7 +22,7 @@ use asf_workloads::Scale;
 
 const USAGE: &str = "usage: asf-repro [all|ext|table1|table2|table3|fig1..fig10|overhead|headline|diag|scaling|backoff|policy\
                      |charts|excluded|related|signatures|variance|adaptive|fabric|summary|perf|profile:<bench>|trace:<bench>]* \
-                     [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR] [--check-baseline BENCH_perf.json]";
+                     [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR] [--threads N] [--check-baseline BENCH_perf.json]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -68,6 +70,18 @@ fn main() {
                     eprintln!("--json needs a directory\n{USAGE}");
                     std::process::exit(2);
                 }));
+            }
+            "--threads" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer\n{USAGE}");
+                        std::process::exit(2);
+                    });
+                asf_harness::matrix::set_default_workers(Some(n));
             }
             "--check-baseline" => {
                 i += 1;

@@ -39,16 +39,70 @@ pub fn run_one(bench: &str, detector: DetectorKind, scale: Scale, seed: u64) -> 
     Machine::run(workload.as_ref(), cfg).stats
 }
 
+/// Process-wide worker-count override for [`Matrix::compute`]
+/// (0 = unset). Set from `asf-repro --threads`; outranked only by an
+/// explicit [`Matrix::compute_with_workers`] argument.
+static DEFAULT_WORKERS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Set (Some) or unset (None) the process-wide default worker count used
+/// by [`Matrix::compute`].
+pub fn set_default_workers(n: Option<usize>) {
+    DEFAULT_WORKERS.store(n.unwrap_or(0), std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Resolve the worker-pool size for `jobs` grid cells: explicit argument,
+/// else the `--threads` process override, else the `ASF_THREADS`
+/// environment variable, else `available_parallelism` — always clamped to
+/// the job count. Worker count affects wall-clock only, never results
+/// (each cell's simulation is single-threaded and deterministic).
+fn resolve_workers(explicit: Option<usize>, jobs: usize) -> usize {
+    let n = explicit
+        .or_else(|| {
+            match DEFAULT_WORKERS.load(std::sync::atomic::Ordering::Relaxed) {
+                0 => None,
+                n => Some(n),
+            }
+        })
+        .or_else(|| {
+            std::env::var("ASF_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        });
+    n.max(1).min(jobs.max(1))
+}
+
 impl Matrix {
     /// Compute the grid for the given benchmarks × detectors, in parallel
     /// (a bounded worker pool over scoped threads). Each cell aggregates
     /// one run per seed — the multi-run averaging that tames the
     /// simulation variance the paper itself observes on labyrinth.
+    ///
+    /// Worker count comes from [`resolve_workers`] (`--threads` /
+    /// `ASF_THREADS` / `available_parallelism`); use
+    /// [`Matrix::compute_with_workers`] to pin it programmatically.
     pub fn compute(
         benches: &[&str],
         detectors: &[DetectorKind],
         scale: Scale,
         seeds: &[u64],
+    ) -> Matrix {
+        Matrix::compute_with_workers(benches, detectors, scale, seeds, None)
+    }
+
+    /// [`Matrix::compute`] with an explicit worker-pool size
+    /// (`None` = resolve from `--threads` / `ASF_THREADS` / parallelism).
+    /// Results are identical for every worker count — the grid-determinism
+    /// test pins a 1-worker grid against an N-worker grid cell by cell.
+    pub fn compute_with_workers(
+        benches: &[&str],
+        detectors: &[DetectorKind],
+        scale: Scale,
+        seeds: &[u64],
+        workers: Option<usize>,
     ) -> Matrix {
         assert!(!seeds.is_empty(), "need at least one seed");
         let mut jobs: Vec<(RunKey, DetectorKind, String, u64)> = Vec::new();
@@ -59,10 +113,7 @@ impl Matrix {
                 }
             }
         }
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(jobs.len().max(1));
+        let workers = resolve_workers(workers, jobs.len());
         let jobs_ref = &jobs;
         let next = std::sync::atomic::AtomicUsize::new(0);
         let next_ref = &next;
@@ -166,6 +217,31 @@ mod tests {
         );
         assert_eq!(sa.cycles, sb.cycles);
         assert_eq!(sa.conflicts, sb.conflicts);
+    }
+
+    #[test]
+    fn one_worker_and_n_worker_grids_are_identical() {
+        // The worker pool is pure wall-clock parallelism: a serial grid and
+        // a maximally-parallel grid must agree on every cell's full stats.
+        let grid = |workers: usize| {
+            Matrix::compute_with_workers(
+                &["ssca2", "intruder", "kmeans"],
+                &[DetectorKind::Baseline, DetectorKind::SubBlock(8)],
+                Scale::Small,
+                &[11, 12],
+                Some(workers),
+            )
+        };
+        let (serial, parallel) = (grid(1), grid(8));
+        for bench in ["ssca2", "intruder", "kmeans"] {
+            for det in [DetectorKind::Baseline, DetectorKind::SubBlock(8)] {
+                assert_eq!(
+                    serial.get(bench, det),
+                    parallel.get(bench, det),
+                    "{bench}/{det:?}: worker count changed the results"
+                );
+            }
+        }
     }
 
     #[test]

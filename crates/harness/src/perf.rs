@@ -3,9 +3,16 @@
 //! Runs a fixed (benchmark × detector) smoke grid single-threaded and
 //! reports, per benchmark, wall time and simulated accesses per second
 //! (an access = one cache-line fragment of one memory operation — the unit
-//! of work of `Machine::access_line`, the simulator's hot path). The grid
-//! is deliberately sequential so the numbers measure per-access cost, not
-//! the machine's core count.
+//! of work of `Machine::access_line`, the simulator's hot path).
+//!
+//! The grid is **pinned to one worker**: [`measure`] runs each cell
+//! directly on the calling thread, bypassing `Matrix::compute`'s worker
+//! pool — and therefore deliberately ignoring `--threads`/`ASF_THREADS`.
+//! Two reasons: the numbers must measure per-access cost rather than the
+//! host's core count, and the `--check-baseline` regression gate compares
+//! wall times against a committed baseline, which would be silently skewed
+//! (false passes *or* false failures) if a worker-count knob could change
+//! how many simulations share the machine during timing.
 //!
 //! The report doubles as the repo's perf regression artifact: the harness
 //! writes it to `BENCH_perf.json` (repo root in CI) and EXPERIMENTS.md
@@ -52,7 +59,9 @@ pub struct PerfReport {
 }
 
 /// Time the smoke grid: every benchmark at `scale` under
-/// [`smoke_detectors`], one run each, sequentially on this thread.
+/// [`smoke_detectors`], one run each, sequentially on this thread (1
+/// worker by construction — see the module docs for why the worker-count
+/// knobs must not reach this grid).
 pub fn measure(scale: Scale, seed: u64) -> PerfReport {
     let mut cells = Vec::new();
     for w in asf_workloads::all(scale) {

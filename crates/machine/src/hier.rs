@@ -51,10 +51,19 @@ impl CoreCaches {
     }
 
     /// Record that `line` now carries speculative state.
+    ///
+    /// The caller must guarantee the line is not already tracked — the
+    /// machine pushes exactly once, on a line's empty→speculative
+    /// transition, so this is a plain O(1) push (the old membership scan
+    /// made large write sets quadratic). `debug_assert` keeps the contract
+    /// honest in debug builds.
+    #[inline]
     pub fn note_spec_line(&mut self, line: LineAddr) {
-        if !self.spec_lines.contains(&line) {
-            self.spec_lines.push(line);
-        }
+        debug_assert!(
+            !self.spec_lines.contains(&line),
+            "spec line {line:?} noted twice"
+        );
+        self.spec_lines.push(line);
     }
 
     /// Where would a fill for `line` be satisfied locally (L2/L3), if at
@@ -123,21 +132,43 @@ impl CoreCaches {
         // next transaction instead of reallocated every commit/abort.
         let mut lines = std::mem::take(&mut self.spec_lines);
         for &line in &lines {
-            if let Some(meta) = self.l1.peek_mut(line) {
-                let wrote = meta.spec.write_mask.any();
-                meta.spec.gang_clear();
-                if invalidate_written && wrote {
-                    self.l1.remove(line);
-                    self.l2.remove(line);
-                    self.l3.remove(line);
-                    dropped.push(line);
-                }
-            }
+            self.clear_spec_line(line, invalidate_written, dropped);
         }
         lines.clear();
         self.spec_lines = lines;
-        dropped.extend(self.retained.keys().copied());
-        self.retained.clear();
+        // Every retained entry's line was noted when the state was created,
+        // so the per-line walk above already drained the table.
+        debug_assert!(
+            self.retained.is_empty(),
+            "retained entries must all be tracked spec lines"
+        );
+    }
+
+    /// Clear one line's speculative state: the live L1 record and any
+    /// retained entry. Teardown is driven line-by-line from the tracked
+    /// spec-line list so the machine can retire its spec-directory column in
+    /// the same walk; the retained table is drained per-line (never
+    /// `clear()`ed), which keeps its capacity pooled across attempts.
+    #[inline]
+    pub fn clear_spec_line(
+        &mut self,
+        line: LineAddr,
+        invalidate_written: bool,
+        dropped: &mut Vec<LineAddr>,
+    ) {
+        if self.retained.remove(&line).is_some() {
+            dropped.push(line);
+        }
+        if let Some(meta) = self.l1.peek_mut(line) {
+            let wrote = meta.spec.write_mask.any();
+            meta.spec.gang_clear();
+            if invalidate_written && wrote {
+                self.l1.remove(line);
+                self.l2.remove(line);
+                self.l3.remove(line);
+                dropped.push(line);
+            }
+        }
     }
 
     /// Total speculative lines currently tracked (live + retained).
@@ -208,7 +239,9 @@ mod tests {
         rmeta.spec.mark_read(AccessMask::from_range(0, 8));
         c.l1.insert(line(5), rmeta, |_| false).unwrap();
         c.note_spec_line(line(5));
+        // Retained entries are tracked spec lines too (machine invariant).
         c.retained.insert(line(7), SpecState::EMPTY);
+        c.note_spec_line(line(7));
         let mut dropped = Vec::new();
         c.clear_spec(true, &mut dropped); // abort
         assert!(!c.l1.contains(line(3)), "spec-written line invalidated");
@@ -251,10 +284,24 @@ mod tests {
     }
 
     #[test]
-    fn note_spec_line_dedups() {
+    fn clear_spec_line_drains_retained_per_line() {
+        let mut c = caches();
+        c.retained.insert(line(4), SpecState::EMPTY);
+        let mut dropped = Vec::new();
+        c.clear_spec_line(line(4), true, &mut dropped);
+        assert!(c.retained.is_empty());
+        assert_eq!(dropped, vec![line(4)]);
+        // A line with no state anywhere is a no-op.
+        c.clear_spec_line(line(6), true, &mut dropped);
+        assert_eq!(dropped.len(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "noted twice")]
+    fn note_spec_line_rejects_duplicates() {
         let mut c = caches();
         c.note_spec_line(line(1));
         c.note_spec_line(line(1));
-        assert_eq!(c.spec_footprint(), 1);
     }
 }

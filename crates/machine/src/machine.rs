@@ -3,7 +3,7 @@
 use crate::hier::{CoreCaches, LineMeta};
 use crate::trace::{RingTrace, TraceEvent};
 use crate::txprog::{ThreadProgram, TxAttempt, TxOp, WorkItem, Workload};
-use crate::value::{GlobalMemory, WriteSet};
+use crate::value::{GlobalMemory, ReadLog, WriteSet};
 use asf_core::backoff::ExponentialBackoff;
 use asf_core::detector::{DetectorKind, ProbeKind, ProbeOutcome};
 use asf_core::signature::Signature;
@@ -156,6 +156,17 @@ pub struct SimConfig {
     /// or leaked index entry should fail loudly rather than silently skip a
     /// conflict check.
     pub verify_residency: bool,
+    /// Disable the speculative-state directory for conflict *resolution*
+    /// and walk each candidate victim's L1 + retained table per probe, as
+    /// pre-directory builds did. Outcomes and statistics must be identical
+    /// either way (the directory is a read-path index over the same
+    /// metadata); equivalence tests flip this to prove it.
+    pub exhaustive_spec_walk: bool,
+    /// Cross-check the speculative-state directory against the per-core
+    /// ground truth (live L1 metadata + retained table) on *every* probe,
+    /// mirroring `verify_residency`. On in every property suite; sampled in
+    /// debug builds otherwise.
+    pub verify_spec_directory: bool,
 }
 
 impl SimConfig {
@@ -179,6 +190,8 @@ impl SimConfig {
             max_steps: 2_000_000_000,
             exhaustive_probe_walk: false,
             verify_residency: false,
+            exhaustive_spec_walk: false,
+            verify_spec_directory: false,
         }
     }
 
@@ -240,8 +253,9 @@ struct Core {
     /// Signature mode: Bloom summaries of the running attempt's sets.
     read_sig: Option<Signature>,
     write_sig: Option<Signature>,
-    /// DPTM mode: byte values observed by this attempt's reads.
-    read_log: FxHashMap<u64, u8>,
+    /// DPTM mode: byte values observed by this attempt's reads
+    /// (generation-tagged: cleared in O(1) at commit/abort).
+    read_log: ReadLog,
     /// DPTM mode: a WAR probe was speculated through; commit must validate.
     needs_validation: bool,
 }
@@ -258,6 +272,23 @@ struct ProbeSummary {
     others_had_copy: bool,
     owner_supplied: bool,
     piggyback: AccessMask,
+}
+
+/// One speculative-state directory entry: the per-core sub-block read/write
+/// bitmasks of all live *and* retained speculative state for one line,
+/// packed so a probe resolves every victim's state with one lookup + bit
+/// ops. Masks use the 64-sub-block `AccessMask::to_subblock_bits` encoding
+/// (the identity on the raw byte mask), so the `is_true` oracle stays
+/// byte-exact. Dirty bits are deliberately absent: they are local-only
+/// state, invisible to remote conflict checks.
+#[derive(Debug)]
+struct SpecDirEntry {
+    /// Bit `v` set iff core `v` holds live-or-retained speculative state.
+    cores: u64,
+    /// Per-core `(read_bits, write_bits)`, indexed by core id; slots for
+    /// unlisted cores are zero. Boxes are pooled by the machine so entry
+    /// churn does not allocate.
+    masks: Box<[(u64, u64)]>,
 }
 
 /// The simulator.
@@ -297,6 +328,20 @@ pub struct Machine {
     scratch_targets: Vec<usize>,
     /// Scratch buffer for residency-drop candidates at commit/abort.
     scratch_dropped: Vec<LineAddr>,
+    /// Global speculative-state directory: line → packed per-core spec
+    /// masks (live + retained union). Written only on a line's speculative
+    /// mask growth ([`Self::mark_spec`]) and cleared column-wise at
+    /// commit/abort teardown — every other metadata movement (invalidate
+    /// with retention, signature-mode L1 eviction to `retained`, fold-back
+    /// on refetch) preserves the per-(line, core) union, so no update is
+    /// needed there. Purely a read-path index: all reported statistics are
+    /// bit-identical with `exhaustive_spec_walk`.
+    spec_dir: FxHashMap<LineAddr, SpecDirEntry>,
+    /// Pool of retired directory-entry mask boxes, reused on insert.
+    spec_dir_pool: Vec<Box<[(u64, u64)]>>,
+    /// Scratch buffer for the per-probe victim spec-state snapshot
+    /// (ascending core id).
+    scratch_vspec: Vec<(usize, SpecState)>,
 }
 
 impl Machine {
@@ -341,7 +386,7 @@ impl Machine {
                 consec_aborts: 0,
                 read_sig: cfg.signatures.map(|sc| Signature::new(sc.bits, sc.hashes)),
                 write_sig: cfg.signatures.map(|sc| Signature::new(sc.bits, sc.hashes)),
-                read_log: FxHashMap::default(),
+                read_log: ReadLog::default(),
                 needs_validation: false,
             })
             .collect();
@@ -361,6 +406,9 @@ impl Machine {
             runq: (0..n).map(|i| std::cmp::Reverse((0u64, i))).collect(),
             scratch_targets: Vec::new(),
             scratch_dropped: Vec::new(),
+            spec_dir: FxHashMap::default(),
+            spec_dir_pool: Vec::new(),
+            scratch_vspec: Vec::new(),
         }
     }
 
@@ -386,6 +434,46 @@ impl Machine {
             *bits &= !(1 << who);
             if *bits == 0 {
                 self.residency.remove(&line);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Speculative-state directory maintenance
+    // ------------------------------------------------------------------
+
+    /// OR `mask` into `who`'s directory column for `line`. Called only when
+    /// the core's *live* mask actually grows (the caller pre-checks), so
+    /// most marks on warm lines skip the hash probe entirely.
+    fn spec_dir_mark(&mut self, line: LineAddr, who: usize, mask: AccessMask, is_write: bool) {
+        let n = self.cores.len();
+        let pool = &mut self.spec_dir_pool;
+        let entry = self.spec_dir.entry(line).or_insert_with(|| SpecDirEntry {
+            cores: 0,
+            masks: pool
+                .pop()
+                .unwrap_or_else(|| vec![(0u64, 0u64); n].into_boxed_slice()),
+        });
+        entry.cores |= 1 << who;
+        let slot = &mut entry.masks[who];
+        if is_write {
+            slot.1 |= mask.0;
+        } else {
+            slot.0 |= mask.0;
+        }
+    }
+
+    /// Retire `who`'s directory column for `line` (commit/abort teardown);
+    /// the entry's mask box returns to the pool once the last core leaves.
+    fn spec_dir_clear(&mut self, line: LineAddr, who: usize) {
+        if let Some(entry) = self.spec_dir.get_mut(&line) {
+            if entry.cores & (1 << who) != 0 {
+                entry.cores &= !(1 << who);
+                entry.masks[who] = (0, 0);
+                if entry.cores == 0 {
+                    let retired = self.spec_dir.remove(&line).expect("entry just seen");
+                    self.spec_dir_pool.push(retired.masks);
+                }
             }
         }
     }
@@ -726,7 +814,10 @@ impl Machine {
         if self.cfg.war_speculation && self.cores[who].needs_validation {
             let stale = {
                 let core = &self.cores[who];
-                core.read_log.iter().any(|(&addr, &logged)| {
+                // `any` over distinct addresses: iteration order (the log's
+                // first-write order vs. the old map order) cannot change
+                // the verdict.
+                core.read_log.iter().any(|(addr, logged)| {
                     !core.writeset.overlaps(Addr(addr), 1)
                         && (self.memory.read_u64(Addr(addr), 1) & 0xff) as u8 != logged
                 })
@@ -739,18 +830,9 @@ impl Machine {
         }
         let cycle = self.cores[who].clock;
         self.emit(TraceEvent::TxCommit { core: who, cycle });
-        let mut dropped = std::mem::take(&mut self.scratch_dropped);
+        self.cores[who].writeset.publish(&mut self.memory);
+        self.clear_spec_state(who, false);
         let core = &mut self.cores[who];
-        core.writeset.publish(&mut self.memory);
-        core.caches.clear_spec(false, &mut dropped);
-        if let Some(sig) = core.read_sig.as_mut() {
-            sig.clear();
-        }
-        if let Some(sig) = core.write_sig.as_mut() {
-            sig.clear();
-        }
-        core.read_log.clear();
-        core.needs_validation = false;
         core.backoff.on_commit();
         self.stats.on_commit();
         self.stats.on_final_retries(core.consec_aborts);
@@ -758,20 +840,38 @@ impl Machine {
         core.state = CoreState::Idle;
         // Commit is a local gang-clear; charge a small fixed cost.
         core.clock += 3;
-        for &line in &dropped {
-            self.res_drop_if_absent(line, who);
-        }
-        dropped.clear();
-        self.scratch_dropped = dropped;
     }
 
     /// Tear down the speculative state of `who`'s running attempt (used for
     /// both remote-probe aborts and self-detected aborts).
     fn teardown_tx(&mut self, who: usize) {
+        self.cores[who].writeset.discard();
+        self.clear_spec_state(who, true);
+    }
+
+    /// End-of-attempt speculative-state teardown, shared by commit and
+    /// abort: O(1) logical clears of the generation-tagged read log,
+    /// signatures, and write set (done by the callers / here), plus one
+    /// O(|own spec lines|) walk that simultaneously clears the L1 records,
+    /// drains the retained table, retires this core's spec-directory
+    /// columns, and feeds the residency index — every buffer involved is
+    /// pooled across attempts.
+    fn clear_spec_state(&mut self, who: usize, invalidate_written: bool) {
+        let mut lines = std::mem::take(&mut self.cores[who].caches.spec_lines);
         let mut dropped = std::mem::take(&mut self.scratch_dropped);
+        for &line in &lines {
+            self.spec_dir_clear(line, who);
+            self.cores[who]
+                .caches
+                .clear_spec_line(line, invalidate_written, &mut dropped);
+        }
+        debug_assert!(
+            self.cores[who].caches.retained.is_empty(),
+            "retained entries must all be tracked spec lines"
+        );
+        lines.clear();
+        self.cores[who].caches.spec_lines = lines;
         let core = &mut self.cores[who];
-        core.writeset.discard();
-        core.caches.clear_spec(true, &mut dropped);
         if let Some(sig) = core.read_sig.as_mut() {
             sig.clear();
         }
@@ -885,7 +985,7 @@ impl Machine {
             } else {
                 (self.memory.read_u64(a, 1) & 0xff) as u8
             };
-            self.cores[who].read_log.insert(a.0, byte);
+            self.cores[who].read_log.record(a.0, byte);
         }
     }
 
@@ -1061,6 +1161,9 @@ impl Machine {
                 Ok(Some(evicted)) => {
                     // Keep the oracle's byte-exact record for evicted
                     // speculative lines (signatures still detect them).
+                    // The line is already on the spec-line list (it was
+                    // marked by this attempt) and its live+retained union —
+                    // hence its directory column — is unchanged.
                     if sig_mode && evicted.meta.spec.is_speculative() {
                         self.cores[who]
                             .caches
@@ -1068,7 +1171,6 @@ impl Machine {
                             .entry(evicted.line)
                             .or_insert(SpecState::EMPTY)
                             .merge(&evicted.meta.spec);
-                        self.cores[who].caches.note_spec_line(evicted.line);
                     }
                     // An L1-evicted line usually survives in L2/L3 (or just
                     // moved to `retained`); only a full departure clears it.
@@ -1093,7 +1195,11 @@ impl Machine {
         Ok(lat.for_level(level))
     }
 
-    /// Record speculative access bits on a resident line.
+    /// Record speculative access bits on a resident line, keeping the
+    /// spec-line list (pushed exactly once, on the line's empty→speculative
+    /// transition) and the speculative-state directory (updated only when
+    /// the live mask actually grows — covered bits are already in the
+    /// directory's live+retained union) in sync.
     fn mark_spec(&mut self, who: usize, line: LineAddr, mask: AccessMask, is_write: bool) {
         let core = &mut self.cores[who];
         let meta = core
@@ -1101,18 +1207,30 @@ impl Machine {
             .l1
             .peek_mut(line)
             .expect("spec marking requires a resident line");
+        let was_spec = meta.spec.is_speculative();
+        let grows;
         if is_write {
+            grows = mask.0 & !meta.spec.write_mask.0 != 0;
             meta.spec.mark_write(mask);
             if let Some(sig) = core.write_sig.as_mut() {
                 sig.insert(line);
             }
         } else {
+            grows = mask.0 & !meta.spec.read_mask.0 != 0;
             meta.spec.mark_read(mask);
             if let Some(sig) = core.read_sig.as_mut() {
                 sig.insert(line);
             }
         }
-        core.caches.note_spec_line(line);
+        if !was_spec {
+            // A freshly-speculative line cannot already be tracked: a line
+            // re-fetched with retained state folds that state back into the
+            // live mask before marking, so `was_spec` is true for it.
+            core.caches.note_spec_line(line);
+        }
+        if grows {
+            self.spec_dir_mark(line, who, mask, is_write);
+        }
     }
 
     /// Victim-wins pre-scan: would this probe conflict with any remote
@@ -1127,22 +1245,9 @@ impl Machine {
     ) -> Option<AbortCause> {
         let now = self.cores[who].clock;
         let detector = self.effective_detector(line);
-        let targets = self.probe_targets(who, line);
-        for &v in &targets {
+        let vspec = self.snapshot_victim_spec(who, line);
+        for &(v, merged) in &vspec {
             if !self.cores[v].in_running_tx() {
-                continue;
-            }
-            let live = self.cores[v]
-                .caches
-                .l1
-                .peek(line)
-                .map(|m| m.spec)
-                .unwrap_or(SpecState::EMPTY);
-            let mut merged = live;
-            if let Some(ret) = self.cores[v].caches.retained.get(&line) {
-                merged.merge(ret);
-            }
-            if !merged.is_speculative() {
                 continue;
             }
             if let ProbeOutcome::Conflict { kind: ck, is_true } =
@@ -1159,12 +1264,77 @@ impl Machine {
                     kind: ck,
                     is_true,
                 });
-                self.put_back_targets(targets);
+                self.put_back_vspec(vspec);
                 return Some(AbortCause::Conflict { kind: ck, is_true });
             }
         }
-        self.put_back_targets(targets);
+        self.put_back_vspec(vspec);
         None
+    }
+
+    /// Snapshot, in ascending core order, every other core's merged
+    /// (live + retained) speculative state for `line` — the per-probe
+    /// victim view the conflict checks run against.
+    ///
+    /// Default: **one** spec-directory lookup plus bit ops; the directory
+    /// column *is* the live+retained union, byte-exact, with dirty bits
+    /// excluded (they are local-only and ignored by `check_probe` and the
+    /// `is_true` oracle). Under `exhaustive_spec_walk`: the pre-directory
+    /// behaviour — walk each candidate target's L1 and retained table.
+    /// Both paths produce identical snapshots; equivalence tests prove it.
+    ///
+    /// Snapshotting *before* the probe loop is also what makes mid-loop
+    /// victim teardown sound: `abort_victim` mutates the directory, but
+    /// each victim's state is read before any abort this probe causes, and
+    /// a victim's teardown never alters another core's masks.
+    fn snapshot_victim_spec(&mut self, who: usize, line: LineAddr) -> Vec<(usize, SpecState)> {
+        let mut out = std::mem::take(&mut self.scratch_vspec);
+        out.clear();
+        if !self.cfg.exhaustive_spec_walk {
+            if let Some(entry) = self.spec_dir.get(&line) {
+                let mut bits = entry.cores & !(1 << who);
+                while bits != 0 {
+                    let v = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let (r, w) = entry.masks[v];
+                    out.push((
+                        v,
+                        SpecState {
+                            read_mask: AccessMask(r),
+                            write_mask: AccessMask(w),
+                            dirty_mask: AccessMask::EMPTY,
+                        },
+                    ));
+                }
+            }
+        } else {
+            let targets = self.probe_targets(who, line);
+            for &v in &targets {
+                let mut merged = self.cores[v]
+                    .caches
+                    .l1
+                    .peek(line)
+                    .map(|m| m.spec)
+                    .unwrap_or(SpecState::EMPTY);
+                if let Some(ret) = self.cores[v].caches.retained.get(&line) {
+                    merged.merge(ret);
+                }
+                if merged.is_speculative() {
+                    // Strip dirty bits so both paths yield identical
+                    // snapshots; no conflict check reads them.
+                    merged.dirty_mask = AccessMask::EMPTY;
+                    out.push((v, merged));
+                }
+            }
+            self.put_back_targets(targets);
+        }
+        out
+    }
+
+    /// Return the victim-spec scratch buffer after a probe.
+    #[inline]
+    fn put_back_vspec(&mut self, buf: Vec<(usize, SpecState)>) {
+        self.scratch_vspec = buf;
     }
 
     /// Broadcast a probe for `line`/`mask` from `who` to all other cores:
@@ -1194,26 +1364,37 @@ impl Machine {
         {
             self.crosscheck_residency(line);
         }
+        // Same fence for the speculative-state directory: a stale column
+        // would mis-classify (or miss) a conflict, so divergence fails here.
+        if self.cfg.verify_spec_directory
+            || (cfg!(debug_assertions) && self.stats.probes.is_multiple_of(64))
+        {
+            self.crosscheck_spec_dir(line);
+        }
         let detector = self.effective_detector(line);
         let mut summary = ProbeSummary::default();
+        // Victim speculative state, resolved once per probe (one directory
+        // lookup) instead of two hash probes per candidate victim. The
+        // snapshot is ascending by core id, like `targets`, so a cursor
+        // pairs them up.
+        let vspec = self.snapshot_victim_spec(who, line);
+        let mut cursor = 0;
         let targets = self.probe_targets(who, line);
         self.stats.probe_targets += self.accounted_probe_targets(who, line);
         let mut retained_mask: u64 = 0;
 
         for &v in &targets {
+            while cursor < vspec.len() && vspec[cursor].0 < v {
+                cursor += 1;
+            }
 
             // --- Conflict detection against live + retained state --------
             if self.cores[v].in_running_tx() {
-                let live = self.cores[v]
-                    .caches
-                    .l1
-                    .peek(line)
-                    .map(|m| m.spec)
-                    .unwrap_or(SpecState::EMPTY);
-                let mut merged = live;
-                if let Some(ret) = self.cores[v].caches.retained.get(&line) {
-                    merged.merge(ret);
-                }
+                let merged = if cursor < vspec.len() && vspec[cursor].0 == v {
+                    vspec[cursor].1
+                } else {
+                    SpecState::EMPTY
+                };
                 if self.cfg.signatures.is_some() {
                     // LogTM-SE style: membership tests against the victim's
                     // Bloom signatures; aliases conflict too.
@@ -1320,6 +1501,9 @@ impl Machine {
                             .expect("line was resident");
                         // A surviving transaction keeps its speculative
                         // metadata for later conflict checks (§IV-D-2).
+                        // Live→retained preserves the per-(line, core)
+                        // union, so the spec directory needs no update, and
+                        // the line is already on the victim's spec list.
                         if survived_spec && taken.spec.is_speculative() {
                             self.cores[v]
                                 .caches
@@ -1327,7 +1511,6 @@ impl Machine {
                                 .entry(line)
                                 .or_insert(SpecState::EMPTY)
                                 .merge(&taken.spec);
-                            self.cores[v].caches.note_spec_line(line);
                             retained_mask |= 1 << v;
                         }
                         self.res_drop_if_absent(line, v);
@@ -1348,6 +1531,7 @@ impl Machine {
             }
         }
         self.put_back_targets(targets);
+        self.put_back_vspec(vspec);
         // Directory maintenance (probe filter): after an invalidation only
         // the requester and the retained-metadata holders can matter; a
         // read probe adds the requester as a sharer. Cores that held only
@@ -1394,6 +1578,113 @@ impl Machine {
                 line.base().0
             );
         }
+    }
+
+    /// Cross-check one line's speculative-state directory entry against the
+    /// ground truth (live L1 metadata merged with the retained table) for
+    /// every core. The directory must be *exact* — equal to the union, not
+    /// merely a superset — or conflict classification could drift.
+    fn crosscheck_spec_dir(&self, line: LineAddr) {
+        let entry = self.spec_dir.get(&line);
+        for (v, core) in self.cores.iter().enumerate() {
+            let mut truth = core
+                .caches
+                .l1
+                .peek(line)
+                .map(|m| m.spec)
+                .unwrap_or(SpecState::EMPTY);
+            if let Some(ret) = core.caches.retained.get(&line) {
+                truth.merge(ret);
+            }
+            let (r, w) = entry.map(|e| e.masks[v]).unwrap_or((0, 0));
+            let listed = entry.is_some_and(|e| e.cores & (1 << v) != 0);
+            assert_eq!(
+                (r, w),
+                (truth.read_mask.0, truth.write_mask.0),
+                "spec directory diverged for line {:#x} on core {v}: \
+                 directory says ({r:#x}, {w:#x}), caches say ({:#x}, {:#x})",
+                line.base().0,
+                truth.read_mask.0,
+                truth.write_mask.0
+            );
+            assert_eq!(
+                listed,
+                truth.is_speculative(),
+                "spec directory core-bit diverged for line {:#x} on core {v}",
+                line.base().0
+            );
+        }
+        if let Some(e) = entry {
+            assert_ne!(e.cores, 0, "empty spec-directory entry leaked for line {:#x}", line.base().0);
+        }
+    }
+
+    /// Exhaustively verify the speculative-state directory against every
+    /// core's live and retained metadata (test/debug hook mirroring
+    /// [`Self::verify_residency_index`]). Checks both directions — every
+    /// speculative (line, core) is listed with exactly the union mask
+    /// (soundness: a probe must see every victim's full state) and every
+    /// listed column is backed by real state (exactness: stale columns
+    /// would fabricate conflicts) — plus the spec-line-list invariant the
+    /// teardown walk relies on: every line carrying state appears on its
+    /// core's tracked list exactly once.
+    pub fn verify_spec_directory_index(&self) -> Result<(), String> {
+        use std::collections::HashSet;
+        let mut lines: HashSet<LineAddr> = self.spec_dir.keys().copied().collect();
+        for core in &self.cores {
+            lines.extend(core.caches.spec_lines.iter().copied());
+            lines.extend(core.caches.retained.keys().copied());
+            lines.extend(
+                core.caches
+                    .l1
+                    .iter()
+                    .filter(|(_, m)| m.spec.is_speculative())
+                    .map(|(l, _)| l),
+            );
+        }
+        for &line in &lines {
+            let entry = self.spec_dir.get(&line);
+            for (v, core) in self.cores.iter().enumerate() {
+                let mut truth = core
+                    .caches
+                    .l1
+                    .peek(line)
+                    .map(|m| m.spec)
+                    .unwrap_or(SpecState::EMPTY);
+                if let Some(ret) = core.caches.retained.get(&line) {
+                    truth.merge(ret);
+                }
+                let (r, w) = entry.map(|e| e.masks[v]).unwrap_or((0, 0));
+                let listed = entry.is_some_and(|e| e.cores & (1 << v) != 0);
+                if (r, w) != (truth.read_mask.0, truth.write_mask.0) {
+                    return Err(format!(
+                        "line {:#x}: core {v} directory masks ({r:#x}, {w:#x}) != \
+                         ground truth ({:#x}, {:#x})",
+                        line.base().0,
+                        truth.read_mask.0,
+                        truth.write_mask.0
+                    ));
+                }
+                if listed != truth.is_speculative() {
+                    return Err(format!(
+                        "line {:#x}: core {v} listed={listed} but ground-truth \
+                         speculative={}",
+                        line.base().0,
+                        truth.is_speculative()
+                    ));
+                }
+                let tracked =
+                    core.caches.spec_lines.iter().filter(|&&l| l == line).count();
+                if truth.is_speculative() && tracked != 1 {
+                    return Err(format!(
+                        "line {:#x}: core {v} speculative but tracked {tracked}x \
+                         on its spec-line list",
+                        line.base().0
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Exhaustively verify the residency index against every core's caches

@@ -90,27 +90,45 @@ impl GlobalMemory {
 }
 
 /// A transaction's buffered stores: byte-granular, last-write-wins.
+///
+/// **Generation-tagged**: each buffered byte is stamped with the epoch in
+/// which it was written and only current-epoch entries are live, so
+/// [`WriteSet::discard`] (abort) and the clear after [`WriteSet::publish`]
+/// (commit) are O(1) — the backing map is pooled across attempts instead of
+/// being torn down and re-grown. A side log of the current epoch's distinct
+/// addresses makes publish O(|write set|) rather than O(map capacity).
 #[derive(Clone, Debug, Default)]
 pub struct WriteSet {
-    bytes: FxHashMap<u64, u8>,
+    /// addr → (epoch stamp, byte); an entry is live iff its stamp matches
+    /// `epoch`. Stale entries are overwritten in place on reuse.
+    bytes: FxHashMap<u64, (u64, u8)>,
+    /// Distinct addresses written in the current epoch, in first-write order.
+    log: Vec<u64>,
+    epoch: u64,
 }
 
 impl WriteSet {
     /// Is the write set empty?
     pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+        self.log.is_empty()
     }
 
     /// Number of buffered bytes.
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        self.log.len()
     }
 
     /// Buffer a write of up to 8 little-endian bytes.
     pub fn write_u64(&mut self, addr: Addr, size: u32, value: u64) {
         assert!((1..=8).contains(&size));
         for i in 0..size as u64 {
-            self.bytes.insert(addr.0 + i, (value >> (8 * i)) as u8);
+            let a = addr.0 + i;
+            let b = (value >> (8 * i)) as u8;
+            let slot = self.bytes.entry(a).or_insert((self.epoch.wrapping_sub(1), 0));
+            if slot.0 != self.epoch {
+                self.log.push(a);
+            }
+            *slot = (self.epoch, b);
         }
     }
 
@@ -118,7 +136,7 @@ impl WriteSet {
     /// and falling back to `global` elsewhere (store-to-load forwarding).
     pub fn read_u64(&self, global: &GlobalMemory, addr: Addr, size: u32) -> u64 {
         assert!((1..=8).contains(&size));
-        if self.bytes.is_empty() {
+        if self.log.is_empty() {
             return global.read_u64(addr, size);
         }
         // Read the committed bytes in one go, then overlay buffered bytes —
@@ -126,8 +144,10 @@ impl WriteSet {
         // probes per byte.
         let mut out = global.read_u64(addr, size);
         for i in 0..size as u64 {
-            if let Some(&b) = self.bytes.get(&(addr.0 + i)) {
-                out = (out & !(0xffu64 << (8 * i))) | ((b as u64) << (8 * i));
+            if let Some(&(e, b)) = self.bytes.get(&(addr.0 + i)) {
+                if e == self.epoch {
+                    out = (out & !(0xffu64 << (8 * i))) | ((b as u64) << (8 * i));
+                }
             }
         }
         out
@@ -138,20 +158,78 @@ impl WriteSet {
     pub fn overlaps(&self, addr: Addr, size: u32) -> bool {
         // The isolation oracle asks this for every remote core on every
         // transactional access; most write sets are empty.
-        !self.bytes.is_empty() && (0..size as u64).any(|i| self.bytes.contains_key(&(addr.0 + i)))
+        !self.log.is_empty()
+            && (0..size as u64).any(|i| {
+                self.bytes
+                    .get(&(addr.0 + i))
+                    .is_some_and(|&(e, _)| e == self.epoch)
+            })
     }
 
     /// Publish all buffered bytes into `global` and clear (commit).
+    ///
+    /// Iterates the address log — every logged address is distinct, so the
+    /// final memory image is identical regardless of iteration order.
     pub fn publish(&mut self, global: &mut GlobalMemory) {
-        for (&a, &b) in &self.bytes {
+        for &a in &self.log {
+            let (e, b) = self.bytes[&a];
+            debug_assert_eq!(e, self.epoch, "logged address must be current-epoch");
             global.write_byte(Addr(a), b);
         }
-        self.bytes.clear();
+        self.discard();
     }
 
-    /// Drop all buffered bytes (abort).
+    /// Drop all buffered bytes (abort). O(1) logical clear: bumps the epoch
+    /// and truncates the log; the byte map keeps its capacity for reuse.
     pub fn discard(&mut self) {
-        self.bytes.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        self.log.clear();
+    }
+}
+
+/// A transaction's value-validation read log (DPTM WAR speculation):
+/// byte-granular `addr → observed byte`, replayed at commit to detect a
+/// conflicting committed write. Generation-tagged like [`WriteSet`] so
+/// per-attempt teardown is O(1) with pooled storage.
+#[derive(Clone, Debug, Default)]
+pub struct ReadLog {
+    /// addr → (epoch stamp, first byte observed this epoch).
+    bytes: FxHashMap<u64, (u64, u8)>,
+    /// Distinct addresses logged in the current epoch.
+    log: Vec<u64>,
+    epoch: u64,
+}
+
+impl ReadLog {
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Record `byte` as the value observed at `addr`; a repeated address
+    /// within an epoch keeps the *latest* observation (map-insert semantics,
+    /// matching the plain hash-map log this replaces).
+    pub fn record(&mut self, addr: u64, byte: u8) {
+        let slot = self.bytes.entry(addr).or_insert((self.epoch.wrapping_sub(1), 0));
+        if slot.0 != self.epoch {
+            self.log.push(addr);
+        }
+        *slot = (self.epoch, byte);
+    }
+
+    /// Iterate the current epoch's `(addr, observed byte)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u8)> + '_ {
+        self.log.iter().map(move |&a| {
+            let (e, b) = self.bytes[&a];
+            debug_assert_eq!(e, self.epoch, "logged address must be current-epoch");
+            (a, b)
+        })
+    }
+
+    /// O(1) logical clear; backing storage is pooled across attempts.
+    pub fn clear(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.log.clear();
     }
 }
 
@@ -221,5 +299,44 @@ mod tests {
         ws.write_u64(Addr(0), 8, 2);
         assert_eq!(ws.read_u64(&g, Addr(0), 8), 2);
         assert_eq!(ws.len(), 8);
+    }
+
+    #[test]
+    fn writeset_epochs_stay_isolated() {
+        // The O(1) discard must behave exactly like draining the map: no
+        // byte buffered before the epoch bump may be visible after it.
+        let mut g = GlobalMemory::new();
+        let mut ws = WriteSet::default();
+        for round in 0u64..50 {
+            ws.write_u64(Addr(round * 8), 8, round + 1);
+            assert_eq!(ws.len(), 8);
+            assert!(ws.overlaps(Addr(round * 8), 1));
+            ws.discard();
+            assert!(ws.is_empty());
+            assert!(!ws.overlaps(Addr(round * 8), 8));
+            assert_eq!(ws.read_u64(&g, Addr(round * 8), 8), 0);
+        }
+        // Publish only writes current-epoch bytes.
+        ws.write_u64(Addr(0), 4, 0xdead_beef);
+        ws.publish(&mut g);
+        assert_eq!(g.read_u64(Addr(0), 8), 0xdead_beef);
+        assert_eq!(g.read_u64(Addr(8), 8), 0, "stale epochs must not publish");
+    }
+
+    #[test]
+    fn read_log_epochs_and_last_observation() {
+        let mut rl = ReadLog::default();
+        assert!(rl.is_empty());
+        rl.record(0x10, 1);
+        rl.record(0x10, 2); // repeated address: latest observation wins
+        rl.record(0x11, 9);
+        let mut got: Vec<_> = rl.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0x10, 2), (0x11, 9)]);
+        rl.clear();
+        assert!(rl.is_empty());
+        assert_eq!(rl.iter().count(), 0);
+        rl.record(0x10, 7);
+        assert_eq!(rl.iter().collect::<Vec<_>>(), vec![(0x10, 7)]);
     }
 }

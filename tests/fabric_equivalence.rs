@@ -136,6 +136,54 @@ fn residency_index_stays_exact_under_verification() {
     assert!(out.stats.tx_aborted > 0);
 }
 
+/// PR 3 equivalence: resolving victim speculative state from the global
+/// spec directory (one lookup + bit ops) must leave every statistic
+/// bit-identical to the exhaustive per-victim metadata walk (L1 +
+/// `retained` per candidate), across fabrics and signature mode, on a
+/// randomized conflict-heavy workload.
+#[test]
+fn spec_directory_resolution_equals_exhaustive_metadata_walk() {
+    for fabric in [FabricKind::Broadcast, FabricKind::ProbeFilter] {
+        for signatures in [None, Some(SignatureConfig::logtm_se())] {
+            let set = |c: &mut SimConfig| {
+                c.fabric = fabric;
+                c.signatures = signatures;
+            };
+            let directory = run_randomized(set);
+            let walked = run_randomized(|c| {
+                set(c);
+                c.exhaustive_spec_walk = true;
+            });
+            assert_eq!(
+                directory, walked,
+                "{fabric:?}/signatures={}: spec-directory resolution changed results",
+                signatures.is_some()
+            );
+            assert!(directory.tx_aborted > 0, "workload too tame to exercise conflicts");
+        }
+    }
+    // Both probe-path indexes disabled at once must also agree (the two
+    // exhaustive modes compose).
+    let both_off = run_randomized(|c| {
+        c.exhaustive_probe_walk = true;
+        c.exhaustive_spec_walk = true;
+    });
+    assert_eq!(both_off, run_randomized(|_| ()));
+}
+
+/// The spec-directory cross-check (every probe) passes on a conflict-heavy
+/// run, and the directory is exact — both directions — at the end too.
+#[test]
+fn spec_directory_stays_exact_under_verification() {
+    let w = randomized_workload(0xFABEC, 6);
+    let mut cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(4), 0xFAB);
+    cfg.verify_spec_directory = true;
+    let mut m = Machine::new(&w, cfg);
+    let out = m.run_to_completion();
+    m.verify_spec_directory_index().expect("directory exact after run");
+    assert!(out.stats.tx_aborted > 0);
+}
+
 #[test]
 fn filter_savings_are_substantial_on_private_heavy_workloads() {
     // intruder's packet areas are thread-private: most lines have at most

@@ -129,6 +129,34 @@ fn cells() -> Vec<(&'static str, &'static str, SimConfig)> {
             c.signatures = Some(SignatureConfig::logtm_se());
             c
         }),
+        // Spec-directory fences (PR 3): a conflict-heavy cell checked with
+        // the one-lookup directory resolution (the default) — the same
+        // digest must also hold under the exhaustive metadata walk, which
+        // the A/B test below enforces against this very table.
+        (
+            "labyrinth/sb8/seed=0xD1C",
+            "labyrinth",
+            SimConfig::paper_seeded(DetectorKind::SubBlock(8), 0xD1C),
+        ),
+        (
+            "vacation/sb2/seed=0x5D1",
+            "vacation",
+            SimConfig::paper_seeded(DetectorKind::SubBlock(2), 0x5D1),
+        ),
+        // The A/B halves: identical configurations forced onto the
+        // exhaustive per-victim metadata walk. Pinned to the *same* digests
+        // as the directory-resolved cells above — the directory may only
+        // change how speculative metadata is found, never any statistic.
+        ("labyrinth/sb8/seed=0xD1C/exhaustive-spec-walk", "labyrinth", {
+            let mut c = SimConfig::paper_seeded(DetectorKind::SubBlock(8), 0xD1C);
+            c.exhaustive_spec_walk = true;
+            c
+        }),
+        ("vacation/sb2/seed=0x5D1/exhaustive-spec-walk", "vacation", {
+            let mut c = SimConfig::paper_seeded(DetectorKind::SubBlock(2), 0x5D1);
+            c.exhaustive_spec_walk = true;
+            c
+        }),
     ]
 }
 
@@ -147,6 +175,11 @@ const EXPECTED: &[(&str, u64, Key)] = &[
     ("kmeans/dptm/seed=0xD9", 0x164343f68462a897, (400, 82, 76, 58, 1160, 2274, 1160, 46357)),
     ("utilitymine/sb4+probefilter/seed=0xF17", 0x9dc6556de940fe6c, (336, 32, 32, 32, 1404, 867, 1404, 61031)),
     ("genome/signatures1024/seed=0x516", 0x24d3edb7c6e06347, (400, 133, 133, 111, 2303, 960, 2303, 64402)),
+    ("labyrinth/sb8/seed=0xD1C", 0x82d8d9714f5ece8e, (105, 50, 37, 6, 1058, 1842, 1058, 65563)),
+    ("vacation/sb2/seed=0x5D1", 0x8e06e4f7134f4fd9, (360, 94, 94, 66, 2011, 1865, 2011, 46555)),
+    // Same digests as the two cells above, by design (A/B fence).
+    ("labyrinth/sb8/seed=0xD1C/exhaustive-spec-walk", 0x82d8d9714f5ece8e, (105, 50, 37, 6, 1058, 1842, 1058, 65563)),
+    ("vacation/sb2/seed=0x5D1/exhaustive-spec-walk", 0x8e06e4f7134f4fd9, (360, 94, 94, 66, 2011, 1865, 2011, 46555)),
 ];
 
 #[test]

@@ -73,6 +73,7 @@ proptest! {
         cfg.machine = MachineConfig::opteron_with_cores(threads.len());
         cfg.max_retries = 24;
         cfg.verify_residency = true;
+        cfg.verify_spec_directory = true;
         let out = Machine::run(&w, cfg);
         prop_assert_eq!(out.stats.isolation_violations, 0);
         prop_assert_eq!(out.stats.tx_committed, total_txns);

@@ -100,9 +100,11 @@ proptest! {
         cfg.machine = MachineConfig::opteron_with_cores(threads.len());
         cfg.enable_dirty = enable_dirty;
         cfg.max_retries = 16;
-        // Exactness cross-check of the residency index on every probe
-        // (DESIGN.md §10) — free coverage from the random stress.
+        // Exactness cross-checks of the residency index (DESIGN.md §10)
+        // and the speculative-state directory (DESIGN.md §11) on every
+        // probe — free coverage from the random stress.
         cfg.verify_residency = true;
+        cfg.verify_spec_directory = true;
         let out = Machine::run(&workload, cfg);
         prop_assert_eq!(out.stats.isolation_violations, 0);
         let total_txns: u64 = threads.iter().map(|t| t.len() as u64).sum();

@@ -16,6 +16,7 @@ fn detectors() -> Vec<DetectorKind> {
 fn cfg(d: DetectorKind, seed: u64) -> SimConfig {
     let mut c = SimConfig::paper_seeded(d, seed);
     c.verify_residency = true;
+    c.verify_spec_directory = true;
     c
 }
 
