@@ -42,7 +42,7 @@ impl ExponentialBackoff {
     pub fn on_abort(&mut self, rng: &mut SimRng) -> u64 {
         self.retries = self.retries.saturating_add(1);
         let exp = (self.retries - 1).min(self.cap_exp);
-        let window = self.base << exp;
+        let window = saturating_shl(self.base, exp);
         rng.below(window.max(1))
     }
 
@@ -54,7 +54,19 @@ impl ExponentialBackoff {
     /// Current window size in cycles (for inspection/tests).
     pub fn window(&self) -> u64 {
         let exp = self.retries.min(self.cap_exp);
-        self.base << exp
+        saturating_shl(self.base, exp)
+    }
+}
+
+/// `base << exp` saturating at `u64::MAX` instead of wrapping. A plain
+/// shift silently overflows in release builds for user-supplied
+/// `base`/`cap_exp` combinations (e.g. `base = 1 << 60`, `cap_exp = 10`),
+/// collapsing the window to a tiny value and defeating livelock avoidance.
+fn saturating_shl(base: u64, exp: u32) -> u64 {
+    if exp >= 64 || base > (u64::MAX >> exp) {
+        u64::MAX
+    } else {
+        base << exp
     }
 }
 
@@ -96,6 +108,33 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn huge_base_and_cap_saturate_instead_of_wrapping() {
+        // Regression: `base << exp` used to wrap for large user-supplied
+        // parameters, shrinking the window (sometimes to a single cycle)
+        // exactly when livelock pressure is highest. The window must be
+        // monotone non-decreasing in the retry count, saturating at
+        // `u64::MAX`.
+        let mut b = ExponentialBackoff::new(1 << 60, 32);
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut prev = b.window();
+        assert_eq!(prev, 1 << 60);
+        for _ in 0..40 {
+            b.on_abort(&mut rng); // must not panic (debug) or wrap (release)
+            let w = b.window();
+            assert!(w >= prev, "window shrank from {prev} to {w}");
+            prev = w;
+        }
+        assert_eq!(b.window(), u64::MAX);
+
+        // Shift amounts ≥ 64 saturate too (would be UB-adjacent overflow).
+        let mut b = ExponentialBackoff::new(2, 100);
+        for _ in 0..80 {
+            b.on_abort(&mut rng);
+        }
+        assert_eq!(b.window(), u64::MAX);
     }
 
     #[test]

@@ -38,12 +38,14 @@
 pub mod backoff;
 pub mod detector;
 pub mod overhead;
+pub mod progress;
 pub mod signature;
 pub mod spec;
 pub mod subblock;
 
 pub use backoff::ExponentialBackoff;
 pub use detector::{ConflictType, DetectorKind, ProbeKind, ProbeOutcome};
+pub use progress::{ProgressMonitor, StallVerdict};
 pub use signature::Signature;
 pub use spec::SpecState;
 pub use subblock::SubBlockState;

@@ -1,0 +1,221 @@
+//! Forward-progress monitor for best-effort HTM.
+//!
+//! ASF gives no hardware progress guarantee: the paper's §V-A backoff
+//! manager and the software fallback lock exist precisely because
+//! transactions can abort each other indefinitely. This module tracks
+//! per-core commit age and consecutive-abort streaks so that, when the
+//! simulation watchdog trips, the failure can be *classified* instead of
+//! merely reported:
+//!
+//! * **livelock** — every core that still has transactional work is
+//!   stuck in an abort/retry cycle and nobody has committed recently;
+//! * **starvation** — some cores keep committing while at least one other
+//!   core is locked out (long abort streak, stale last-commit).
+//!
+//! The monitor is passive bookkeeping: it draws no randomness and never
+//! influences scheduling, so enabling it cannot perturb a run.
+
+/// Progress bookkeeping for one core.
+#[derive(Clone, Debug, Default)]
+pub struct CoreProgress {
+    /// Transactions committed by this core (hardware or fallback).
+    pub commits: u64,
+    /// Simulation step of the most recent commit, if any.
+    pub last_commit_step: Option<u64>,
+    /// Consecutive aborts since the last commit (current streak).
+    pub streak: u32,
+    /// Attempts begun since the last commit.
+    pub attempts_since_commit: u64,
+}
+
+/// Watchdog verdict: what kind of progress failure does the per-core
+/// evidence point at?
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StallVerdict {
+    /// No core with outstanding transactional work has committed within
+    /// the observation window — the classic mutual-abort cycle.
+    Livelock,
+    /// The system as a whole makes progress, but at least one core is
+    /// persistently locked out (long abort streak, stale commit age).
+    Starvation,
+    /// The evidence is mixed (e.g. the budget was simply too small for
+    /// the workload); no per-core pathology stands out.
+    Indeterminate,
+}
+
+impl StallVerdict {
+    /// Human-readable label used in diagnostic dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StallVerdict::Livelock => "livelock",
+            StallVerdict::Starvation => "starvation",
+            StallVerdict::Indeterminate => "indeterminate",
+        }
+    }
+}
+
+/// Per-core forward-progress monitor. One instance per machine.
+#[derive(Clone, Debug)]
+pub struct ProgressMonitor {
+    cores: Vec<CoreProgress>,
+}
+
+/// A core counts as *stalled* once its current abort streak reaches this
+/// many consecutive aborts without an intervening commit.
+pub const STREAK_THRESHOLD: u32 = 4;
+
+impl ProgressMonitor {
+    /// Monitor for `n` cores.
+    pub fn new(n: usize) -> ProgressMonitor {
+        ProgressMonitor { cores: vec![CoreProgress::default(); n] }
+    }
+
+    /// Record that `core` began a transaction attempt.
+    pub fn note_attempt(&mut self, core: usize) {
+        self.cores[core].attempts_since_commit += 1;
+    }
+
+    /// Record that `core` aborted an attempt.
+    pub fn note_abort(&mut self, core: usize) {
+        self.cores[core].streak = self.cores[core].streak.saturating_add(1);
+    }
+
+    /// Record that `core` committed a transaction at simulation `step`.
+    pub fn note_commit(&mut self, core: usize, step: u64) {
+        let c = &mut self.cores[core];
+        c.commits += 1;
+        c.last_commit_step = Some(step);
+        c.streak = 0;
+        c.attempts_since_commit = 0;
+    }
+
+    /// Bookkeeping for one core (diagnostic dumps, tests).
+    pub fn core(&self, i: usize) -> &CoreProgress {
+        &self.cores[i]
+    }
+
+    /// Number of cores tracked.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// True when tracking no cores.
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+
+    /// Is `core` stalled: a long abort streak, or attempts pending with no
+    /// commit inside the last `window` steps (ending at `now`)?
+    pub fn is_stalled(&self, core: usize, now: u64, window: u64) -> bool {
+        let c = &self.cores[core];
+        let commit_stale = match c.last_commit_step {
+            Some(s) => now.saturating_sub(s) > window,
+            None => true, // never committed at all
+        };
+        c.streak >= STREAK_THRESHOLD || (c.attempts_since_commit > 0 && commit_stale)
+    }
+
+    /// Did `core` commit within the last `window` steps ending at `now`?
+    pub fn is_progressing(&self, core: usize, now: u64, window: u64) -> bool {
+        matches!(self.cores[core].last_commit_step,
+                 Some(s) if now.saturating_sub(s) <= window)
+    }
+
+    /// Classify a watchdog trip at step `now`. `active[i]` marks cores
+    /// that still have transactional work outstanding (idle/finished cores
+    /// can neither stall nor starve). `window` is the recency horizon in
+    /// steps for "has committed lately".
+    pub fn classify(&self, active: &[bool], now: u64, window: u64) -> StallVerdict {
+        assert_eq!(active.len(), self.cores.len());
+        let mut any_stalled = false;
+        let mut any_progressing = false;
+        for (i, live) in active.iter().enumerate() {
+            if !live {
+                continue;
+            }
+            if self.is_stalled(i, now, window) {
+                any_stalled = true;
+            } else if self.is_progressing(i, now, window) {
+                any_progressing = true;
+            }
+        }
+        match (any_stalled, any_progressing) {
+            (true, true) => StallVerdict::Starvation,
+            (true, false) => StallVerdict::Livelock,
+            _ => StallVerdict::Indeterminate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_resets_streak_and_age() {
+        let mut m = ProgressMonitor::new(2);
+        m.note_attempt(0);
+        m.note_abort(0);
+        m.note_abort(0);
+        assert_eq!(m.core(0).streak, 2);
+        m.note_commit(0, 500);
+        assert_eq!(m.core(0).streak, 0);
+        assert_eq!(m.core(0).attempts_since_commit, 0);
+        assert_eq!(m.core(0).commits, 1);
+        assert_eq!(m.core(0).last_commit_step, Some(500));
+    }
+
+    #[test]
+    fn all_stalled_is_livelock() {
+        let mut m = ProgressMonitor::new(3);
+        for c in 0..3 {
+            m.note_attempt(c);
+            for _ in 0..STREAK_THRESHOLD {
+                m.note_abort(c);
+            }
+        }
+        assert_eq!(m.classify(&[true; 3], 10_000, 1_000), StallVerdict::Livelock);
+    }
+
+    #[test]
+    fn one_starved_among_committers_is_starvation() {
+        let mut m = ProgressMonitor::new(3);
+        // Cores 1 and 2 commit recently; core 0 only aborts.
+        m.note_attempt(0);
+        for _ in 0..STREAK_THRESHOLD + 2 {
+            m.note_abort(0);
+        }
+        m.note_commit(1, 9_900);
+        m.note_commit(2, 9_950);
+        assert_eq!(m.classify(&[true; 3], 10_000, 1_000), StallVerdict::Starvation);
+    }
+
+    #[test]
+    fn inactive_cores_are_ignored() {
+        let mut m = ProgressMonitor::new(2);
+        m.note_attempt(0);
+        for _ in 0..STREAK_THRESHOLD {
+            m.note_abort(0);
+        }
+        // Core 1 is done — its silence must not turn livelock into anything
+        // else, and a lone stalled active core is a livelock.
+        assert_eq!(m.classify(&[true, false], 10_000, 1_000), StallVerdict::Livelock);
+    }
+
+    #[test]
+    fn healthy_run_is_indeterminate() {
+        let mut m = ProgressMonitor::new(2);
+        m.note_commit(0, 9_990);
+        m.note_commit(1, 9_995);
+        assert_eq!(m.classify(&[true, true], 10_000, 1_000), StallVerdict::Indeterminate);
+    }
+
+    #[test]
+    fn stale_commit_with_pending_attempts_counts_as_stalled() {
+        let mut m = ProgressMonitor::new(1);
+        m.note_commit(0, 100);
+        m.note_attempt(0);
+        assert!(m.is_stalled(0, 10_000, 1_000));
+        assert!(!m.is_progressing(0, 10_000, 1_000));
+    }
+}

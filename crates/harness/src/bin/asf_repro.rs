@@ -3,9 +3,10 @@
 //! ```text
 //! asf-repro [EXPERIMENT ...] [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR]
 //!                            [--threads N] [--check-baseline BENCH_perf.json]
+//!                            [--checkpoint FILE] [--resume]
 //!
 //! EXPERIMENT: all | ext | table1 | table2 | table3 | fig1 .. fig10
-//!           | overhead | headline | diag | scaling | backoff | policy | charts | excluded | related | signatures | variance | adaptive | fabric | summary | perf | profile:<bench> | trace:<bench>
+//!           | overhead | headline | diag | scaling | backoff | policy | charts | excluded | related | signatures | variance | adaptive | fabric | summary | faults | perf | profile:<bench> | trace:<bench>
 //! ```
 //!
 //! Experiments needing simulation runs share one (benchmark × detector)
@@ -14,15 +15,23 @@
 //! `DIR/<name>.csv`. `--threads N` (or the `ASF_THREADS` env var) sets the
 //! matrix worker-pool size — wall-clock only, results are identical for
 //! every worker count; default is the machine's available parallelism.
+//!
+//! Matrix jobs run under `catch_unwind` with one retry; a job that still
+//! fails becomes a failed cell — tables render partial results and the
+//! failures are listed at the end (exit code 1). `--checkpoint FILE`
+//! persists each completed job to `FILE` as it finishes; `--resume` loads
+//! the file first and re-runs only the jobs it is missing.
 
 use asf_harness::experiments;
-use asf_harness::matrix::Matrix;
+use asf_harness::matrix::{ComputeOpts, Matrix};
+use asf_harness::Checkpoint;
 use asf_stats::table::Table;
 use asf_workloads::Scale;
 
 const USAGE: &str = "usage: asf-repro [all|ext|table1|table2|table3|fig1..fig10|overhead|headline|diag|scaling|backoff|policy\
-                     |charts|excluded|related|signatures|variance|adaptive|fabric|summary|perf|profile:<bench>|trace:<bench>]* \
-                     [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR] [--threads N] [--check-baseline BENCH_perf.json]";
+                     |charts|excluded|related|signatures|variance|adaptive|fabric|summary|faults|perf|profile:<bench>|trace:<bench>]* \
+                     [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR] [--threads N] [--check-baseline BENCH_perf.json] \
+                     [--checkpoint FILE] [--resume]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,6 +40,8 @@ fn main() {
     let mut csv_dir: Option<String> = None;
     let mut json_dir: Option<String> = None;
     let mut check_baseline: Option<String> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut resume = false;
     let mut cmds: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -90,6 +101,14 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--checkpoint" => {
+                i += 1;
+                checkpoint_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--checkpoint needs a file path\n{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            "--resume" => resume = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -110,9 +129,31 @@ fn main() {
                 | "headline" | "diag" | "charts" | "summary"
         )
     });
+    if resume && checkpoint_path.is_none() {
+        eprintln!("--resume needs --checkpoint FILE\n{USAGE}");
+        std::process::exit(2);
+    }
     let matrix = needs_matrix.then(|| {
         eprintln!("computing run matrix (scale {scale:?}, seed {seed:#x}) …");
-        Matrix::paper_grid(scale, seed)
+        let checkpoint = checkpoint_path.as_ref().map(|path| {
+            if resume {
+                Checkpoint::load_or_new(path).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                })
+            } else {
+                Checkpoint::new(path)
+            }
+        });
+        let opts = ComputeOpts { retries: 1, checkpoint, ..ComputeOpts::default() };
+        let m = Matrix::paper_grid_opts(scale, seed, opts);
+        if m.jobs_resumed > 0 {
+            eprintln!(
+                "resumed {} job(s) from checkpoint, ran {}",
+                m.jobs_resumed, m.jobs_run
+            );
+        }
+        m
     });
     let m = matrix.as_ref();
 
@@ -233,12 +274,25 @@ fn main() {
                     trace.dropped()
                 );
             }
+            "faults" => {
+                eprintln!("fault-injection grid (scale {scale:?}, seed {seed:#x}) …");
+                match experiments::faults(scale, seed) {
+                    Ok(table) => emit("faults", table),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             cmd if cmd.starts_with("profile:") => {
                 let bench = cmd.trim_start_matches("profile:");
-                emit(
-                    &format!("profile_{bench}"),
-                    experiments::profile(bench, scale, seed),
-                );
+                match experiments::profile(bench, scale, seed) {
+                    Ok(table) => emit(&format!("profile_{bench}"), table),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "charts" => {
                 let mm = m.expect("matrix");
@@ -253,6 +307,22 @@ fn main() {
                 eprintln!("unknown experiment {other}\n{USAGE}");
                 std::process::exit(2);
             }
+        }
+    }
+
+    // Failed matrix cells render as placeholder rows above; list them here
+    // and fail the process so CI notices partial results.
+    if let Some(m) = m {
+        let failed = m.failed_cells();
+        if !failed.is_empty() {
+            eprintln!("{} matrix cell(s) failed (tables show partial results):", failed.len());
+            for (key, error, attempts) in &failed {
+                eprintln!(
+                    "  {}/{} after {attempts} attempt(s): {error}",
+                    key.bench, key.detector
+                );
+            }
+            std::process::exit(1);
         }
     }
 }

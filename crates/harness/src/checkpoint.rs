@@ -1,0 +1,151 @@
+//! Crash-safe matrix checkpoints.
+//!
+//! A [`Checkpoint`] maps completed grid jobs — one `(benchmark, detector,
+//! seed)` triple each — to their [`RunStats`], persisted as JSON after
+//! every job so a killed run loses at most the jobs in flight. A rerun
+//! with `--resume` loads the file and skips every recorded job;
+//! [`crate::matrix::Matrix`] then recomputes only what is missing (failed
+//! cells are never recorded, so they are exactly what gets retried).
+//!
+//! Saves go through a temp file and an atomic rename: a crash mid-write
+//! leaves the previous checkpoint intact, never a half-written one.
+
+use crate::error::HarnessError;
+use asf_mem::fxhash::FxHashMap;
+use asf_stats::json::{escape, parse, JsonValue};
+use asf_stats::run::RunStats;
+use std::path::{Path, PathBuf};
+
+/// Persistent record of completed matrix jobs.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    cells: FxHashMap<String, RunStats>,
+}
+
+/// The key of one job: `bench|detector|seed`.
+pub fn job_key(bench: &str, detector: &str, seed: u64) -> String {
+    format!("{bench}|{detector}|{seed}")
+}
+
+impl Checkpoint {
+    /// An empty checkpoint that will save to `path`.
+    pub fn new(path: impl Into<PathBuf>) -> Checkpoint {
+        Checkpoint { path: path.into(), cells: FxHashMap::default() }
+    }
+
+    /// Load an existing checkpoint, or start empty when `path` does not
+    /// exist yet. A present-but-unparsable file is an error, not a silent
+    /// restart — resuming from a corrupt checkpoint would drop work.
+    pub fn load_or_new(path: impl Into<PathBuf>) -> Result<Checkpoint, HarnessError> {
+        let path = path.into();
+        if !path.exists() {
+            return Ok(Checkpoint::new(path));
+        }
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| HarnessError::Checkpoint(format!("read {}: {e}", path.display())))?;
+        let root = parse(&src)
+            .map_err(|e| HarnessError::Checkpoint(format!("parse {}: {e}", path.display())))?;
+        let mut cells = FxHashMap::default();
+        let JsonValue::Obj(entries) = root
+            .field("cells")
+            .map_err(HarnessError::Checkpoint)?
+        else {
+            return Err(HarnessError::Checkpoint("'cells' is not an object".into()));
+        };
+        for (key, value) in entries {
+            let stats = RunStats::from_value(value)
+                .map_err(|e| HarnessError::Checkpoint(format!("cell '{key}': {e}")))?;
+            cells.insert(key.clone(), stats);
+        }
+        Ok(Checkpoint { path, cells })
+    }
+
+    /// The stats recorded for one job, if any.
+    pub fn get(&self, key: &str) -> Option<&RunStats> {
+        self.cells.get(key)
+    }
+
+    /// Number of recorded jobs.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Record a completed job and persist the checkpoint. Persisting after
+    /// *every* job is the crash-safety contract: whatever is on disk is
+    /// always a complete, loadable set of finished jobs.
+    pub fn record(&mut self, key: String, stats: RunStats) -> Result<(), HarnessError> {
+        self.cells.insert(key, stats);
+        self.save()
+    }
+
+    /// Write the checkpoint to its path (temp file + atomic rename).
+    pub fn save(&self) -> Result<(), HarnessError> {
+        let mut keys: Vec<&String> = self.cells.keys().collect();
+        keys.sort(); // stable file content for a given cell set
+        let mut out = String::from("{\n  \"version\": 1,\n  \"cells\": {");
+        for (i, key) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", escape(key), self.cells[*key].to_json()));
+        }
+        out.push_str("\n  }\n}\n");
+        let tmp = self.path.with_extension("json.tmp");
+        let fail = |stage: &str, e: std::io::Error| {
+            HarnessError::Checkpoint(format!("{stage} {}: {e}", self.path.display()))
+        };
+        std::fs::write(&tmp, out).map_err(|e| fail("write", e))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| fail("rename", e))
+    }
+
+    /// Where this checkpoint persists.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("asf_checkpoint_{name}_{}.json", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrips_recorded_cells() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut cp = Checkpoint::load_or_new(&path).unwrap();
+        assert!(cp.is_empty());
+        let stats = RunStats {
+            tx_started: 41,
+            tx_committed: 41,
+            faults: asf_stats::fault::FaultStats { spurious_aborts: 7, ..Default::default() },
+            ..Default::default()
+        };
+        cp.record(job_key("vacation", "sb4", 3), stats.clone()).unwrap();
+        let reloaded = Checkpoint::load_or_new(&path).unwrap();
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.get(&job_key("vacation", "sb4", 3)), Some(&stats));
+        assert_eq!(reloaded.get("vacation|sb4|4"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error_not_a_restart() {
+        let path = tmp_path("corrupt");
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = Checkpoint::load_or_new(&path).unwrap_err();
+        assert!(matches!(err, HarnessError::Checkpoint(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

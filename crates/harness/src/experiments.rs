@@ -6,6 +6,7 @@
 //! baseline runs of the four representative benchmarks; Figures 6 and 7 run
 //! scripted protocol scenarios.
 
+use crate::error::HarnessError;
 use crate::matrix::Matrix;
 use asf_core::detector::{ConflictType, DetectorKind};
 use asf_core::overhead;
@@ -19,6 +20,15 @@ use asf_workloads::Scale;
 
 /// The four representative benchmarks of Figures 3–5.
 pub const REPRESENTATIVE: [&str; 4] = ["vacation", "genome", "kmeans", "intruder"];
+
+/// Render a missing/failed matrix cell as a placeholder row so the rest of
+/// the table still carries data — the partial-results contract of the
+/// crash-safe harness (failed cells are reported separately by the CLI).
+fn failed_row(t: &mut Table, bench: &str, cols: usize) {
+    let mut row = vec![bench.to_string()];
+    row.resize(cols, "failed".to_string());
+    t.row(row);
+}
 
 /// Number of time bins used for the Figure 3 curves.
 pub const FIG3_BINS: usize = 20;
@@ -104,7 +114,10 @@ pub fn fig1(m: &Matrix) -> Table {
     );
     let mut rates = Vec::new();
     for b in m.benches() {
-        let s = m.get(&b, DetectorKind::Baseline);
+        let Some(s) = m.stats(&b, DetectorKind::Baseline) else {
+            failed_row(&mut t, &b, 4);
+            continue;
+        };
         let rate = s.conflicts.false_rate();
         if let Some(r) = rate {
             rates.push(r);
@@ -130,7 +143,10 @@ pub fn fig2(m: &Matrix) -> Table {
     let mut sums = [0.0f64; 3];
     let mut n = 0usize;
     for b in m.benches() {
-        let s = m.get(&b, DetectorKind::Baseline);
+        let Some(s) = m.stats(&b, DetectorKind::Baseline) else {
+            failed_row(&mut t, &b, 4);
+            continue;
+        };
         match s.conflicts.false_type_shares() {
             Some(shares) => {
                 for (acc, v) in sums.iter_mut().zip(shares) {
@@ -168,7 +184,10 @@ pub fn fig3(m: &Matrix) -> Table {
         &["benchmark", "series", "curve (cumulative per 5% time bin)", "burstiness"],
     );
     for &b in REPRESENTATIVE.iter() {
-        let s = m.get(b, DetectorKind::Baseline);
+        let Some(s) = m.stats(b, DetectorKind::Baseline) else {
+            failed_row(&mut t, b, 4);
+            continue;
+        };
         // The matrix aggregates several seeds (cycles are summed), so the
         // plot horizon is the latest event stamp, not the cycle total.
         let horizon = s
@@ -210,7 +229,10 @@ pub fn fig4(m: &Matrix) -> Table {
         ],
     );
     for &b in REPRESENTATIVE.iter() {
-        let s = m.get(b, DetectorKind::Baseline);
+        let Some(s) = m.stats(b, DetectorKind::Baseline) else {
+            failed_row(&mut t, b, 4);
+            continue;
+        };
         let hottest = s
             .false_by_line
             .hottest(4)
@@ -236,7 +258,10 @@ pub fn fig5(m: &Matrix) -> Table {
         &["benchmark", "word", "occupied buckets", "bucket counts"],
     );
     for &b in REPRESENTATIVE.iter() {
-        let s = m.get(b, DetectorKind::Baseline);
+        let Some(s) = m.stats(b, DetectorKind::Baseline) else {
+            failed_row(&mut t, b, 4);
+            continue;
+        };
         let word = asf_workloads::by_name(b, Scale::Small)
             .expect("known benchmark")
             .word_size();
@@ -364,11 +389,18 @@ pub fn fig8(m: &Matrix) -> Table {
     let mut sums = [0.0f64; 4];
     let mut n = 0;
     for b in m.benches() {
-        let base = &m.get(&b, DetectorKind::Baseline).conflicts;
+        let Some(base) = m.stats(&b, DetectorKind::Baseline).map(|s| &s.conflicts) else {
+            failed_row(&mut t, &b, 5);
+            continue;
+        };
         let mut cells = vec![b.clone()];
         let mut counted = false;
         for (i, &k) in configs.iter().enumerate() {
-            let red = m.get(&b, k).conflicts.false_reduction_vs(base);
+            let Some(s) = m.stats(&b, k) else {
+                cells.push("failed".into());
+                continue;
+            };
+            let red = s.conflicts.false_reduction_vs(base);
             if let Some(r) = red {
                 sums[i] += r;
                 counted = true;
@@ -401,9 +433,18 @@ pub fn fig9(m: &Matrix) -> Table {
     let mut sump = 0.0;
     let mut n = 0;
     for b in m.benches() {
-        let base = &m.get(&b, DetectorKind::Baseline).conflicts;
-        let r4 = m.get(&b, DetectorKind::SubBlock(4)).conflicts.total_reduction_vs(base);
-        let rp = m.get(&b, DetectorKind::Perfect).conflicts.total_reduction_vs(base);
+        let cells = (
+            m.stats(&b, DetectorKind::Baseline),
+            m.stats(&b, DetectorKind::SubBlock(4)),
+            m.stats(&b, DetectorKind::Perfect),
+        );
+        let (Some(base), Some(sb4), Some(perfect)) = cells else {
+            failed_row(&mut t, &b, 4);
+            continue;
+        };
+        let base = &base.conflicts;
+        let r4 = sb4.conflicts.total_reduction_vs(base);
+        let rp = perfect.conflicts.total_reduction_vs(base);
         let ratio = match (r4, rp) {
             (Some(a), Some(p)) if p.abs() > 1e-9 => Some(a / p),
             _ => None,
@@ -444,9 +485,17 @@ pub fn fig10(m: &Matrix) -> Table {
     let mut sp = 0.0;
     let mut n = 0;
     for b in m.benches() {
-        let base = m.get(&b, DetectorKind::Baseline);
-        let v4 = m.get(&b, DetectorKind::SubBlock(4)).speedup_vs(base);
-        let vp = m.get(&b, DetectorKind::Perfect).speedup_vs(base);
+        let cells = (
+            m.stats(&b, DetectorKind::Baseline),
+            m.stats(&b, DetectorKind::SubBlock(4)),
+            m.stats(&b, DetectorKind::Perfect),
+        );
+        let (Some(base), Some(sb4), Some(perfect)) = cells else {
+            failed_row(&mut t, &b, 3);
+            continue;
+        };
+        let v4 = sb4.speedup_vs(base);
+        let vp = perfect.speedup_vs(base);
         s4 += v4;
         sp += vp;
         n += 1;
@@ -496,8 +545,12 @@ pub fn headline(m: &Matrix) -> Table {
     let mut total_red = 0.0;
     let mut n = 0;
     for b in m.benches() {
-        let base = &m.get(&b, DetectorKind::Baseline).conflicts;
-        let sb4 = &m.get(&b, DetectorKind::SubBlock(4)).conflicts;
+        let (Some(base), Some(sb4)) = (
+            m.stats(&b, DetectorKind::Baseline).map(|s| &s.conflicts),
+            m.stats(&b, DetectorKind::SubBlock(4)).map(|s| &s.conflicts),
+        ) else {
+            continue; // averages over the surviving cells
+        };
         if let (Some(f), Some(t)) = (sb4.false_reduction_vs(base), sb4.total_reduction_vs(base)) {
             false_red += f;
             total_red += t;
@@ -529,7 +582,10 @@ pub fn diag(m: &Matrix) -> Table {
             if !m.contains(&b, d) {
                 continue;
             }
-            let s = m.get(&b, d);
+            let Some(s) = m.stats(&b, d) else {
+                failed_row(&mut t, &format!("{b} ({})", d.label()), 14);
+                continue;
+            };
             t.row(vec![
                 b.clone(),
                 d.label(),
@@ -768,9 +824,8 @@ pub fn fig1_chart(m: &Matrix) -> asf_stats::chart::BarChart {
     c.max = Some(100.0);
     for b in m.benches() {
         let rate = m
-            .get(&b, DetectorKind::Baseline)
-            .conflicts
-            .false_rate()
+            .stats(&b, DetectorKind::Baseline)
+            .and_then(|s| s.conflicts.false_rate())
             .unwrap_or(0.0);
         c.bar(b, rate * 100.0);
     }
@@ -785,11 +840,10 @@ pub fn fig8_chart(m: &Matrix) -> asf_stats::chart::BarChart {
     );
     c.max = Some(100.0);
     for b in m.benches() {
-        let base = &m.get(&b, DetectorKind::Baseline).conflicts;
         let red = m
-            .get(&b, DetectorKind::SubBlock(4))
-            .conflicts
-            .false_reduction_vs(base)
+            .stats(&b, DetectorKind::Baseline)
+            .zip(m.stats(&b, DetectorKind::SubBlock(4)))
+            .and_then(|(base, sb4)| sb4.conflicts.false_reduction_vs(&base.conflicts))
             .unwrap_or(0.0);
         c.bar(b, red * 100.0);
     }
@@ -803,8 +857,11 @@ pub fn fig10_chart(m: &Matrix) -> asf_stats::chart::BarChart {
         "%",
     );
     for b in m.benches() {
-        let base = m.get(&b, DetectorKind::Baseline);
-        let v = m.get(&b, DetectorKind::SubBlock(4)).speedup_vs(base);
+        let v = m
+            .stats(&b, DetectorKind::Baseline)
+            .zip(m.stats(&b, DetectorKind::SubBlock(4)))
+            .map(|(base, sb4)| sb4.speedup_vs(base))
+            .unwrap_or(0.0);
         c.bar(b, v * 100.0);
     }
     c
@@ -961,18 +1018,14 @@ mod related_tests {
 /// Per-benchmark deep-dive profile: abort causes, retry distribution,
 /// memory behaviour and hot lines for one benchmark under one detector
 /// (`asf-repro profile` prints baseline and sb4 side by side).
-pub fn profile(bench: &str, scale: Scale, seed: u64) -> Table {
+pub fn profile(bench: &str, scale: Scale, seed: u64) -> Result<Table, HarnessError> {
     let mut t = Table::new(
         format!("Profile: {bench}"),
         &["metric", "baseline", "sb4"],
     );
-    let run = |detector| {
-        let w = asf_workloads::by_name(bench, scale)
-            .unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-        Machine::run(w.as_ref(), SimConfig::paper_seeded(detector, seed)).stats
-    };
-    let base = run(DetectorKind::Baseline);
-    let sb4 = run(DetectorKind::SubBlock(4));
+    let run = |detector| crate::matrix::run_one(bench, detector, scale, seed);
+    let base = run(DetectorKind::Baseline)?;
+    let sb4 = run(DetectorKind::SubBlock(4))?;
     let mut row = |name: &str, f: &dyn Fn(&asf_stats::run::RunStats) -> String| {
         t.row(vec![name.to_string(), f(&base), f(&sb4)]);
     };
@@ -997,7 +1050,7 @@ pub fn profile(bench: &str, scale: Scale, seed: u64) -> Table {
     row("dirty refetches", &|s| s.dirty_refetches.to_string());
     row("distinct false-conflict lines", &|s| s.false_by_line.distinct_lines().to_string());
     row("top-4 line concentration", &|s| pct(s.false_by_line.concentration(4)));
-    t
+    Ok(t)
 }
 
 /// Seed-to-seed variance of the headline metrics — quantifies the paper's
@@ -1046,9 +1099,13 @@ mod profile_tests {
 
     #[test]
     fn profile_has_both_columns() {
-        let t = profile("ssca2", Scale::Small, 3);
+        let t = profile("ssca2", Scale::Small, 3).unwrap();
         assert!(t.len() >= 15);
         assert_eq!(t.header(), &["metric", "baseline", "sb4"]);
+        assert!(matches!(
+            profile("no-such", Scale::Small, 3),
+            Err(HarnessError::UnknownBenchmark(_))
+        ));
     }
 
     #[test]
@@ -1174,26 +1231,35 @@ pub fn summary(m: &Matrix) -> Table {
     let benches = m.benches();
     let n = benches.len().max(1) as f64;
     let avg = |f: &dyn Fn(&str) -> f64| benches.iter().map(|b| f(b)).sum::<f64>() / n;
+    // Failed cells contribute zero to the averages — the summary is a
+    // partial-result view like every other table.
     let false_rate = avg(&|b: &str| {
-        m.get(b, DetectorKind::Baseline).conflicts.false_rate().unwrap_or(0.0)
+        m.stats(b, DetectorKind::Baseline)
+            .and_then(|s| s.conflicts.false_rate())
+            .unwrap_or(0.0)
     });
+    let vs_base = |b: &str, d: DetectorKind| {
+        Some((m.stats(b, d)?, m.stats(b, DetectorKind::Baseline)?))
+    };
     let sb4_false_red = avg(&|b: &str| {
-        m.get(b, DetectorKind::SubBlock(4))
-            .conflicts
-            .false_reduction_vs(&m.get(b, DetectorKind::Baseline).conflicts)
+        vs_base(b, DetectorKind::SubBlock(4))
+            .and_then(|(s, base)| s.conflicts.false_reduction_vs(&base.conflicts))
             .unwrap_or(0.0)
     });
     let sb4_total_red = avg(&|b: &str| {
-        m.get(b, DetectorKind::SubBlock(4))
-            .conflicts
-            .total_reduction_vs(&m.get(b, DetectorKind::Baseline).conflicts)
+        vs_base(b, DetectorKind::SubBlock(4))
+            .and_then(|(s, base)| s.conflicts.total_reduction_vs(&base.conflicts))
             .unwrap_or(0.0)
     });
     let sb4_speedup = avg(&|b: &str| {
-        m.get(b, DetectorKind::SubBlock(4)).speedup_vs(m.get(b, DetectorKind::Baseline))
+        vs_base(b, DetectorKind::SubBlock(4))
+            .map(|(s, base)| s.speedup_vs(base))
+            .unwrap_or(0.0)
     });
     let perfect_speedup = avg(&|b: &str| {
-        m.get(b, DetectorKind::Perfect).speedup_vs(m.get(b, DetectorKind::Baseline))
+        vs_base(b, DetectorKind::Perfect)
+            .map(|(s, base)| s.speedup_vs(base))
+            .unwrap_or(0.0)
     });
     t.row(vec!["false conflict rate (baseline)".into(), "≈46%".into(), pct(false_rate)]);
     t.row(vec!["false conflicts removed at sb4".into(), "56.4%".into(), pct(sb4_false_red)]);
@@ -1272,6 +1338,132 @@ pub fn signatures(scale: Scale, seed: u64) -> Table {
     let yada = asf_workloads::excluded::Yada::new(scale);
     row("yada (160-line cavities)".into(), &yada, &mut t);
     t
+}
+
+// ---------------------------------------------------------------------
+// Fault-injection grid (the robustness experiment)
+// ---------------------------------------------------------------------
+
+/// The fault-pressure profiles `asf-repro faults` sweeps, mildest first.
+pub fn fault_pressures() -> Vec<(&'static str, asf_machine::fault::FaultPlan)> {
+    use asf_machine::fault::FaultPlan;
+    vec![
+        ("none", FaultPlan::none()),
+        ("light", FaultPlan::light()),
+        ("heavy", FaultPlan::heavy()),
+        ("max-spurious", FaultPlan::max_spurious()),
+    ]
+}
+
+/// `asf-repro faults` — deterministic fault-injection grid: every pressure
+/// profile × {baseline, sb4, perfect} on the representative benchmarks,
+/// then a maximal-spurious-pressure sweep over the *whole* suite. Each run
+/// is checked against the forward-progress contract — every started
+/// transaction commits (hardware or fallback) and isolation holds; a
+/// violation aborts the experiment with
+/// [`HarnessError::ProgressViolation`]. The returned table shows how much
+/// noise was injected and what it cost.
+pub fn faults(scale: Scale, seed: u64) -> Result<Table, HarnessError> {
+    let detectors =
+        [DetectorKind::Baseline, DetectorKind::SubBlock(4), DetectorKind::Perfect];
+    let mut t = Table::new(
+        "Fault grid: injected pressure × detector (all runs must keep the forward-progress contract)",
+        &[
+            "benchmark",
+            "detector",
+            "pressure",
+            "injected",
+            "committed/started",
+            "fallback",
+            "aborts",
+            "cycles",
+        ],
+    );
+    let run = |bench: &str,
+               det: DetectorKind,
+               plan: asf_machine::fault::FaultPlan|
+     -> Result<asf_stats::run::RunStats, HarnessError> {
+        let w = asf_workloads::by_name(bench, scale)
+            .ok_or_else(|| HarnessError::UnknownBenchmark(bench.to_string()))?;
+        let mut cfg = SimConfig::paper_seeded(det, seed);
+        cfg.faults = plan;
+        let stats = Machine::try_run(w.as_ref(), cfg)
+            .map_err(|e| {
+                HarnessError::ProgressViolation(format!("{bench}/{}: {e}", det.label()))
+            })?
+            .stats;
+        if stats.tx_committed != stats.tx_started || stats.isolation_violations != 0 {
+            return Err(HarnessError::ProgressViolation(format!(
+                "{bench}/{}: committed {}/{} transactions, {} isolation violations",
+                det.label(),
+                stats.tx_committed,
+                stats.tx_started,
+                stats.isolation_violations
+            )));
+        }
+        Ok(stats)
+    };
+    for &b in REPRESENTATIVE.iter() {
+        for &det in &detectors {
+            for (label, plan) in fault_pressures() {
+                let s = run(b, det, plan)?;
+                t.row(vec![
+                    b.to_string(),
+                    det.label(),
+                    label.to_string(),
+                    s.faults.injected_total().to_string(),
+                    format!("{}/{}", s.tx_committed, s.tx_started),
+                    s.fallback_commits.to_string(),
+                    s.tx_aborted.to_string(),
+                    s.cycles.to_string(),
+                ]);
+            }
+        }
+    }
+    // The acceptance sweep: under maximal spurious pressure no transaction
+    // can ever commit in hardware, so the backoff → fallback chain alone
+    // must carry every workload in the suite to completion.
+    let max = asf_machine::fault::FaultPlan::max_spurious();
+    let mut suite_commits = 0u64;
+    for w in asf_workloads::all(scale) {
+        let s = run(w.name(), DetectorKind::SubBlock(4), max)?;
+        suite_commits += s.tx_committed;
+    }
+    t.row(vec![
+        "suite (all 10)".into(),
+        "sb4".into(),
+        "max-spurious".into(),
+        String::new(),
+        format!("{suite_commits}/{suite_commits}"),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    Ok(t)
+}
+
+#[cfg(test)]
+mod fault_grid_tests {
+    use super::*;
+
+    #[test]
+    fn fault_grid_upholds_forward_progress() {
+        let t = faults(Scale::Small, 21).expect("no progress violations");
+        // 4 representative benches × 3 detectors × 4 pressures + suite row.
+        assert_eq!(t.len(), 4 * 3 * 4 + 1);
+        // Zero-pressure rows inject nothing; max-spurious rows inject and
+        // push every commit through the fallback path.
+        for row in t.rows().iter().filter(|r| r[2] == "none") {
+            assert_eq!(row[3], "0", "{row:?}");
+        }
+        for row in t.rows().iter().filter(|r| r[2] == "max-spurious" && r[0] != "suite (all 10)") {
+            assert_ne!(row[3], "0", "{row:?}");
+            let (committed, fallback) = (&row[4], &row[5]);
+            let committed: u64 =
+                committed.split('/').next().unwrap().parse().unwrap();
+            assert_eq!(fallback.parse::<u64>().unwrap(), committed, "{row:?}");
+        }
+    }
 }
 
 #[cfg(test)]

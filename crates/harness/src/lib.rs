@@ -13,8 +13,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+pub mod error;
 pub mod experiments;
 pub mod matrix;
 pub mod perf;
 
-pub use matrix::{Matrix, RunKey};
+pub use checkpoint::Checkpoint;
+pub use error::HarnessError;
+pub use matrix::{ComputeOpts, InjectPanic, JobOutcome, Matrix, RunKey};

@@ -1,10 +1,22 @@
 //! The (benchmark × detector) grid of simulation runs.
+//!
+//! Grid jobs run on a worker pool under `catch_unwind`: a panicking or
+//! erroring job is retried per [`ComputeOpts::retries`] and, if it still
+//! fails, becomes a [`JobOutcome::Failed`] cell — the rest of the grid
+//! completes and tables render partial results around the hole. Completed
+//! jobs can be checkpointed to JSON ([`crate::checkpoint::Checkpoint`])
+//! after each job, so an interrupted run resumes with `--resume` paying
+//! only for the jobs it had not finished.
 
+use crate::checkpoint::{job_key, Checkpoint};
+use crate::error::HarnessError;
 use asf_core::detector::DetectorKind;
 use asf_machine::machine::{Machine, SimConfig};
 use asf_mem::fxhash::FxHashMap;
 use asf_stats::run::RunStats;
 use asf_workloads::Scale;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Identifies one run in the matrix.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -22,32 +34,117 @@ impl RunKey {
     }
 }
 
+/// What one grid cell holds after compute: aggregated stats, or the reason
+/// the cell's jobs failed (so sibling cells still render).
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// All of the cell's per-seed jobs completed; stats are merged.
+    /// Boxed: `RunStats` is ~1 KiB and would dwarf the `Failed` variant.
+    Completed(Box<RunStats>),
+    /// At least one job failed even after retries.
+    Failed {
+        /// Rendered cause (panic payload or simulation error).
+        error: String,
+        /// Total attempts spent on the failing job.
+        attempts: u32,
+    },
+}
+
+/// Knobs for one grid compute.
+#[derive(Default)]
+pub struct ComputeOpts {
+    /// Worker-pool size (`None` = resolve from `--threads` / `ASF_THREADS`
+    /// / available parallelism).
+    pub workers: Option<usize>,
+    /// Extra attempts per job after its first failure (so `1` = try twice).
+    pub retries: u32,
+    /// Optional step budget overriding [`SimConfig::paper_seeded`]'s
+    /// default — a per-job watchdog so one runaway simulation cannot hang
+    /// the grid.
+    pub max_steps: Option<u64>,
+    /// Checkpoint to resume from and record into. Jobs present in it are
+    /// not re-run; every newly completed job is recorded and persisted.
+    pub checkpoint: Option<Checkpoint>,
+    /// Test hook: panic the first [`InjectPanic::times`] executions of each
+    /// job of cell `(bench, detector)` — exercised by the crash-safety
+    /// tests. `times ≤ retries` means the cell recovers; `times > retries`
+    /// means it fails.
+    pub inject_panic: Option<InjectPanic>,
+}
+
+/// Deterministic worker-panic injection (test hook).
+#[derive(Clone, Debug)]
+pub struct InjectPanic {
+    /// Benchmark name of the targeted cell.
+    pub bench: String,
+    /// Detector label of the targeted cell.
+    pub detector: String,
+    /// Number of executions of each of the cell's jobs that panic before
+    /// the job starts succeeding.
+    pub times: u32,
+}
+
 /// A computed grid of runs plus the configuration that produced it.
 pub struct Matrix {
     /// Input scale.
     pub scale: Scale,
     /// Master seeds (each run aggregates all of them).
     pub seeds: Vec<u64>,
-    runs: FxHashMap<RunKey, RunStats>,
+    /// Jobs actually executed by this compute (not resumed from a
+    /// checkpoint) — the crash-safety tests read this to prove a resume
+    /// re-runs only what was missing.
+    pub jobs_run: usize,
+    /// Jobs satisfied from the checkpoint instead of being executed.
+    pub jobs_resumed: usize,
+    /// The checkpoint after compute (recorded jobs included), when one was
+    /// passed in via [`ComputeOpts::checkpoint`].
+    pub checkpoint: Option<Checkpoint>,
+    runs: FxHashMap<RunKey, JobOutcome>,
 }
 
 /// Run one benchmark under one detector, with the paper's machine.
-pub fn run_one(bench: &str, detector: DetectorKind, scale: Scale, seed: u64) -> RunStats {
-    let workload =
-        asf_workloads::by_name(bench, scale).unwrap_or_else(|| panic!("unknown benchmark {bench}"));
-    let cfg = SimConfig::paper_seeded(detector, seed);
-    Machine::run(workload.as_ref(), cfg).stats
+/// `Err` on names outside the suite and on simulation errors (watchdog).
+pub fn run_one(
+    bench: &str,
+    detector: DetectorKind,
+    scale: Scale,
+    seed: u64,
+) -> Result<RunStats, HarnessError> {
+    run_one_budgeted(bench, detector, scale, seed, None)
+}
+
+/// [`run_one`] with an optional step-budget override.
+pub fn run_one_budgeted(
+    bench: &str,
+    detector: DetectorKind,
+    scale: Scale,
+    seed: u64,
+    max_steps: Option<u64>,
+) -> Result<RunStats, HarnessError> {
+    let workload = asf_workloads::by_name(bench, scale)
+        .ok_or_else(|| HarnessError::UnknownBenchmark(bench.to_string()))?;
+    let mut cfg = SimConfig::paper_seeded(detector, seed);
+    if let Some(steps) = max_steps {
+        cfg.max_steps = steps;
+    }
+    Machine::try_run(workload.as_ref(), cfg)
+        .map(|out| out.stats)
+        .map_err(|e| HarnessError::FailedCell {
+            bench: bench.to_string(),
+            detector: detector.label(),
+            error: e.to_string(),
+        })
 }
 
 /// Process-wide worker-count override for [`Matrix::compute`]
 /// (0 = unset). Set from `asf-repro --threads`; outranked only by an
-/// explicit [`Matrix::compute_with_workers`] argument.
-static DEFAULT_WORKERS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+/// explicit [`ComputeOpts::workers`] argument.
+static DEFAULT_WORKERS: AtomicUsize = AtomicUsize::new(0);
 
 /// Set (Some) or unset (None) the process-wide default worker count used
 /// by [`Matrix::compute`].
 pub fn set_default_workers(n: Option<usize>) {
-    DEFAULT_WORKERS.store(n.unwrap_or(0), std::sync::atomic::Ordering::Relaxed);
+    DEFAULT_WORKERS.store(n.unwrap_or(0), Ordering::Relaxed);
 }
 
 /// Resolve the worker-pool size for `jobs` grid cells: explicit argument,
@@ -58,7 +155,7 @@ pub fn set_default_workers(n: Option<usize>) {
 fn resolve_workers(explicit: Option<usize>, jobs: usize) -> usize {
     let n = explicit
         .or_else(|| {
-            match DEFAULT_WORKERS.load(std::sync::atomic::Ordering::Relaxed) {
+            match DEFAULT_WORKERS.load(Ordering::Relaxed) {
                 0 => None,
                 n => Some(n),
             }
@@ -75,22 +172,70 @@ fn resolve_workers(explicit: Option<usize>, jobs: usize) -> usize {
     n.max(1).min(jobs.max(1))
 }
 
+/// One job's end state inside the worker pool.
+enum JobResult {
+    Ran(RunStats),
+    Resumed(RunStats),
+    Failed { error: String, attempts: u32 },
+}
+
+/// Execute one job under `catch_unwind`, with retries. The panic hook is
+/// left in place (a crashing worker should still say so on stderr); the
+/// payload is folded into the returned error string.
+fn run_job(
+    bench: &str,
+    detector: DetectorKind,
+    scale: Scale,
+    seed: u64,
+    opts: &ComputeOpts,
+    injections_left: &AtomicUsize,
+) -> JobResult {
+    let attempts_max = 1 + opts.retries;
+    let mut last_error = String::new();
+    for _ in 0..attempts_max {
+        // The closure only reads shared state; a panic cannot leave it
+        // torn, so asserting unwind safety is sound.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if injections_left
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok()
+            {
+                panic!("injected worker panic (test hook)");
+            }
+            run_one_budgeted(bench, detector, scale, seed, opts.max_steps)
+        }));
+        match result {
+            Ok(Ok(stats)) => return JobResult::Ran(stats),
+            Ok(Err(e)) => last_error = e.to_string(),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "worker panicked".to_string());
+                last_error = format!("panic: {msg}");
+            }
+        }
+    }
+    JobResult::Failed { error: last_error, attempts: attempts_max }
+}
+
 impl Matrix {
     /// Compute the grid for the given benchmarks × detectors, in parallel
     /// (a bounded worker pool over scoped threads). Each cell aggregates
     /// one run per seed — the multi-run averaging that tames the
     /// simulation variance the paper itself observes on labyrinth.
     ///
-    /// Worker count comes from [`resolve_workers`] (`--threads` /
-    /// `ASF_THREADS` / `available_parallelism`); use
-    /// [`Matrix::compute_with_workers`] to pin it programmatically.
+    /// Worker count comes from `resolve_workers` (`--threads` /
+    /// `ASF_THREADS` / `available_parallelism`); use [`Matrix::compute_opts`]
+    /// to pin it programmatically.
     pub fn compute(
         benches: &[&str],
         detectors: &[DetectorKind],
         scale: Scale,
         seeds: &[u64],
     ) -> Matrix {
-        Matrix::compute_with_workers(benches, detectors, scale, seeds, None)
+        Matrix::compute_opts(benches, detectors, scale, seeds, ComputeOpts::default())
     }
 
     /// [`Matrix::compute`] with an explicit worker-pool size
@@ -104,6 +249,25 @@ impl Matrix {
         seeds: &[u64],
         workers: Option<usize>,
     ) -> Matrix {
+        Matrix::compute_opts(
+            benches,
+            detectors,
+            scale,
+            seeds,
+            ComputeOpts { workers, ..ComputeOpts::default() },
+        )
+    }
+
+    /// The fully-general compute: worker pool, per-job `catch_unwind` with
+    /// retries and step budget, failed cells kept as [`JobOutcome::Failed`]
+    /// and the rest of the grid intact, checkpoint resume/record.
+    pub fn compute_opts(
+        benches: &[&str],
+        detectors: &[DetectorKind],
+        scale: Scale,
+        seeds: &[u64],
+        mut opts: ComputeOpts,
+    ) -> Matrix {
         assert!(!seeds.is_empty(), "need at least one seed");
         let mut jobs: Vec<(RunKey, DetectorKind, String, u64)> = Vec::new();
         for &b in benches {
@@ -113,56 +277,168 @@ impl Matrix {
                 }
             }
         }
-        let workers = resolve_workers(workers, jobs.len());
+        let workers = resolve_workers(opts.workers, jobs.len());
+        // The injection budget is global and decremented atomically, so the
+        // targeted cell panics exactly `times` times across all its
+        // attempts no matter how jobs land on workers.
+        let injection_budget = |key: &RunKey| -> usize {
+            match &opts.inject_panic {
+                Some(p) if p.bench == key.bench && p.detector == key.detector => {
+                    p.times as usize
+                }
+                _ => 0,
+            }
+        };
+        let budgets: Vec<AtomicUsize> =
+            jobs.iter().map(|(key, ..)| AtomicUsize::new(injection_budget(key))).collect();
+        let checkpoint = opts.checkpoint.take().map(Mutex::new);
         let jobs_ref = &jobs;
-        let next = std::sync::atomic::AtomicUsize::new(0);
+        let budgets_ref = &budgets;
+        let opts_ref = &opts;
+        let checkpoint_ref = &checkpoint;
+        let next = AtomicUsize::new(0);
         let next_ref = &next;
         // Each job writes its pre-assigned slot, so aggregation below runs
         // in job order no matter which worker finishes first — the merged
         // stats (notably series/histogram contents) are identical across
         // runs and across worker counts.
-        let slots: Vec<std::sync::Mutex<Option<RunStats>>> =
-            (0..jobs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<JobResult>>> =
+            (0..jobs.len()).map(|_| Mutex::new(None)).collect();
         let slots_ref = &slots;
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(move || loop {
-                    let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs_ref.len() {
                         break;
                     }
-                    let (_, det, bench, seed) = &jobs_ref[i];
-                    let stats = run_one(bench, *det, scale, *seed);
-                    *slots_ref[i].lock().unwrap() = Some(stats);
+                    let (key, det, bench, seed) = &jobs_ref[i];
+                    let ckpt_key = job_key(bench, &key.detector, *seed);
+                    if let Some(cp) = checkpoint_ref {
+                        let hit = cp.lock().unwrap().get(&ckpt_key).cloned();
+                        if let Some(stats) = hit {
+                            *slots_ref[i].lock().unwrap() = Some(JobResult::Resumed(stats));
+                            continue;
+                        }
+                    }
+                    let result =
+                        run_job(bench, *det, scale, *seed, opts_ref, &budgets_ref[i]);
+                    if let (Some(cp), JobResult::Ran(stats)) = (checkpoint_ref, &result) {
+                        // Failed jobs are deliberately *not* recorded: a
+                        // resume retries exactly the cells that failed.
+                        let mut cp = cp.lock().unwrap();
+                        if let Err(e) = cp.record(ckpt_key, stats.clone()) {
+                            eprintln!("warning: {e}");
+                        }
+                    }
+                    *slots_ref[i].lock().unwrap() = Some(result);
                 });
             }
         });
-        let mut runs: FxHashMap<RunKey, RunStats> = FxHashMap::default();
+        let mut runs: FxHashMap<RunKey, JobOutcome> = FxHashMap::default();
+        let mut jobs_run = 0;
+        let mut jobs_resumed = 0;
         for ((key, ..), slot) in jobs.iter().zip(slots) {
-            let stats = slot.into_inner().unwrap().expect("every job ran");
-            runs.entry(key.clone())
-                .and_modify(|agg| agg.merge(&stats))
-                .or_insert(stats);
+            let result = slot.into_inner().unwrap().expect("every job ran");
+            let stats = match result {
+                JobResult::Ran(stats) => {
+                    jobs_run += 1;
+                    stats
+                }
+                JobResult::Resumed(stats) => {
+                    jobs_resumed += 1;
+                    stats
+                }
+                JobResult::Failed { error, attempts } => {
+                    jobs_run += 1;
+                    // One failed seed poisons the cell (a partial-seed
+                    // aggregate would silently change the averaging).
+                    runs.insert(key.clone(), JobOutcome::Failed { error, attempts });
+                    continue;
+                }
+            };
+            match runs.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if let JobOutcome::Completed(agg) = e.get_mut() {
+                        agg.merge(&stats);
+                    } // Failed stays failed
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(JobOutcome::Completed(Box::new(stats)));
+                }
+            }
         }
-        Matrix { scale, seeds: seeds.to_vec(), runs }
+        Matrix {
+            scale,
+            seeds: seeds.to_vec(),
+            jobs_run,
+            jobs_resumed,
+            checkpoint: checkpoint.map(|cp| cp.into_inner().unwrap()),
+            runs,
+        }
     }
 
     /// The standard grid behind Figures 1, 2, 8, 9, 10: all ten benchmarks
     /// under baseline, sb2/4/8/16 and perfect, aggregated over three seeds
     /// derived from `seed`.
     pub fn paper_grid(scale: Scale, seed: u64) -> Matrix {
+        Matrix::paper_grid_opts(scale, seed, ComputeOpts::default())
+    }
+
+    /// [`Matrix::paper_grid`] with explicit [`ComputeOpts`] (retries,
+    /// checkpoint resume, …) — what `asf-repro --checkpoint/--resume` uses.
+    pub fn paper_grid_opts(scale: Scale, seed: u64, opts: ComputeOpts) -> Matrix {
         let seeds = [seed, seed.wrapping_add(1), seed.wrapping_add(2)];
-        Matrix::compute(&asf_workloads::names(scale), &DetectorKind::paper_set(), scale, &seeds)
+        Matrix::compute_opts(
+            &asf_workloads::names(scale),
+            &DetectorKind::paper_set(),
+            scale,
+            &seeds,
+            opts,
+        )
     }
 
-    /// Look up one run.
-    pub fn get(&self, bench: &str, detector: DetectorKind) -> &RunStats {
-        self.runs
-            .get(&RunKey::new(bench, detector))
-            .unwrap_or_else(|| panic!("run ({bench}, {detector}) not in matrix"))
+    /// Look up one run's stats; `Err` for cells that are missing from the
+    /// grid or whose jobs failed.
+    pub fn get(&self, bench: &str, detector: DetectorKind) -> Result<&RunStats, HarnessError> {
+        match self.runs.get(&RunKey::new(bench, detector)) {
+            Some(JobOutcome::Completed(stats)) => Ok(stats),
+            Some(JobOutcome::Failed { error, .. }) => Err(HarnessError::FailedCell {
+                bench: bench.to_string(),
+                detector: detector.label(),
+                error: error.clone(),
+            }),
+            None => Err(HarnessError::MissingCell {
+                bench: bench.to_string(),
+                detector: detector.label(),
+            }),
+        }
     }
 
-    /// Does the matrix hold this run?
+    /// Like [`Matrix::get`] but collapsing missing/failed to `None` — the
+    /// partial-rendering path the figure tables use.
+    pub fn stats(&self, bench: &str, detector: DetectorKind) -> Option<&RunStats> {
+        self.get(bench, detector).ok()
+    }
+
+    /// Every failed cell as `(key, error, attempts)`, sorted for stable
+    /// reporting.
+    pub fn failed_cells(&self) -> Vec<(RunKey, String, u32)> {
+        let mut out: Vec<(RunKey, String, u32)> = self
+            .runs
+            .iter()
+            .filter_map(|(k, v)| match v {
+                JobOutcome::Failed { error, attempts } => {
+                    Some((k.clone(), error.clone(), *attempts))
+                }
+                JobOutcome::Completed(_) => None,
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.0.bench, &a.0.detector).cmp(&(&b.0.bench, &b.0.detector)));
+        out
+    }
+
+    /// Does the matrix hold this run (completed or failed)?
     pub fn contains(&self, bench: &str, detector: DetectorKind) -> bool {
         self.runs.contains_key(&RunKey::new(bench, detector))
     }
@@ -201,10 +477,17 @@ mod tests {
         );
         assert_eq!(m.len(), 4);
         assert_eq!(m.benches(), vec!["intruder", "ssca2"]);
-        let s = m.get("ssca2", DetectorKind::Baseline);
+        let s = m.get("ssca2", DetectorKind::Baseline).unwrap();
         assert!(s.tx_committed > 0);
         assert!(m.contains("intruder", DetectorKind::SubBlock(4)));
         assert!(!m.contains("intruder", DetectorKind::Perfect));
+        assert!(matches!(
+            m.get("intruder", DetectorKind::Perfect),
+            Err(HarnessError::MissingCell { .. })
+        ));
+        assert_eq!(m.jobs_run, 8);
+        assert_eq!(m.jobs_resumed, 0);
+        assert!(m.failed_cells().is_empty());
     }
 
     #[test]
@@ -212,8 +495,8 @@ mod tests {
         let a = Matrix::compute(&["ssca2"], &[DetectorKind::Baseline], Scale::Small, &[3]);
         let b = Matrix::compute(&["ssca2"], &[DetectorKind::Baseline], Scale::Small, &[3]);
         let (sa, sb) = (
-            a.get("ssca2", DetectorKind::Baseline),
-            b.get("ssca2", DetectorKind::Baseline),
+            a.get("ssca2", DetectorKind::Baseline).unwrap(),
+            b.get("ssca2", DetectorKind::Baseline).unwrap(),
         );
         assert_eq!(sa.cycles, sb.cycles);
         assert_eq!(sa.conflicts, sb.conflicts);
@@ -236,8 +519,8 @@ mod tests {
         for bench in ["ssca2", "intruder", "kmeans"] {
             for det in [DetectorKind::Baseline, DetectorKind::SubBlock(8)] {
                 assert_eq!(
-                    serial.get(bench, det),
-                    parallel.get(bench, det),
+                    serial.get(bench, det).unwrap(),
+                    parallel.get(bench, det).unwrap(),
                     "{bench}/{det:?}: worker count changed the results"
                 );
             }
@@ -260,7 +543,8 @@ mod tests {
         let (a, b) = (grid(&[3, 4, 5]), grid(&[3, 4, 5]));
         for bench in ["ssca2", "intruder"] {
             for det in [DetectorKind::Baseline, DetectorKind::SubBlock(4)] {
-                let (sa, sb) = (a.get(bench, det), b.get(bench, det));
+                let (sa, sb) =
+                    (a.get(bench, det).unwrap(), b.get(bench, det).unwrap());
                 assert_eq!(sa.cycles, sb.cycles);
                 assert_eq!(sa.conflicts, sb.conflicts);
                 assert_eq!(
@@ -271,5 +555,12 @@ mod tests {
                 assert_eq!(sa.false_by_line.sorted(), sb.false_by_line.sorted());
             }
         }
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error_not_a_panic() {
+        let err = run_one("no-such-bench", DetectorKind::Baseline, Scale::Small, 1).unwrap_err();
+        assert!(matches!(err, HarnessError::UnknownBenchmark(_)), "{err}");
+        assert!(err.to_string().contains("no-such-bench"));
     }
 }

@@ -67,7 +67,10 @@ pub fn measure(scale: Scale, seed: u64) -> PerfReport {
     for w in asf_workloads::all(scale) {
         for &det in &smoke_detectors() {
             let start = Instant::now();
-            let stats = run_one(w.name(), det, scale, seed);
+            // Suite benchmarks under the paper config cannot fail; a
+            // failure here is a harness bug worth dying loudly over.
+            let stats = run_one(w.name(), det, scale, seed)
+                .unwrap_or_else(|e| panic!("perf grid cell failed: {e}"));
             let wall = start.elapsed();
             cells.push(PerfCell {
                 bench: w.name().to_string(),

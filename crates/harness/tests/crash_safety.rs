@@ -1,0 +1,119 @@
+//! Crash-safe harness behaviour: worker panics become failed cells instead
+//! of dead runs, retries recover transient failures, tables render partial
+//! results, and checkpoint + resume re-runs only the missing jobs.
+
+use asf_core::detector::DetectorKind;
+use asf_harness::checkpoint::Checkpoint;
+use asf_harness::error::HarnessError;
+use asf_harness::experiments;
+use asf_harness::matrix::{ComputeOpts, InjectPanic, Matrix};
+use asf_workloads::Scale;
+use std::path::PathBuf;
+
+const BENCHES: [&str; 2] = ["ssca2", "intruder"];
+const DETECTORS: [DetectorKind; 2] = [DetectorKind::Baseline, DetectorKind::SubBlock(4)];
+const SEEDS: [u64; 2] = [7, 8];
+
+fn grid(opts: ComputeOpts) -> Matrix {
+    Matrix::compute_opts(&BENCHES, &DETECTORS, Scale::Small, &SEEDS, opts)
+}
+
+fn inject(bench: &str, detector: DetectorKind, times: u32) -> Option<InjectPanic> {
+    Some(InjectPanic {
+        bench: bench.to_string(),
+        detector: detector.label(),
+        times,
+    })
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("asf_crash_safety_{name}_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn worker_panic_becomes_a_failed_cell_and_the_grid_survives() {
+    let m = grid(ComputeOpts {
+        inject_panic: inject("ssca2", DetectorKind::Baseline, 1),
+        ..ComputeOpts::default()
+    });
+    // Every cell is present; only the injected one failed.
+    assert_eq!(m.len(), 4);
+    let failed = m.failed_cells();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].0.bench, "ssca2");
+    assert_eq!(failed[0].0.detector, "baseline");
+    assert!(failed[0].1.contains("injected worker panic"), "{}", failed[0].1);
+    assert!(matches!(
+        m.get("ssca2", DetectorKind::Baseline),
+        Err(HarnessError::FailedCell { .. })
+    ));
+    // Sibling cells are intact.
+    assert!(m.get("ssca2", DetectorKind::SubBlock(4)).unwrap().tx_committed > 0);
+    assert!(m.get("intruder", DetectorKind::Baseline).unwrap().tx_committed > 0);
+    // Tables render partial results around the hole.
+    let t = experiments::fig1(&m);
+    let text = t.render();
+    assert!(text.contains("failed"), "{text}");
+    assert!(text.contains("intruder"), "{text}");
+}
+
+#[test]
+fn per_job_retry_recovers_a_transient_panic() {
+    let m = grid(ComputeOpts {
+        retries: 1,
+        inject_panic: inject("intruder", DetectorKind::SubBlock(4), 1),
+        ..ComputeOpts::default()
+    });
+    assert!(m.failed_cells().is_empty(), "{:?}", m.failed_cells());
+    let clean = grid(ComputeOpts::default());
+    assert_eq!(
+        m.get("intruder", DetectorKind::SubBlock(4)).unwrap(),
+        clean.get("intruder", DetectorKind::SubBlock(4)).unwrap(),
+        "a retried job must produce the same deterministic stats"
+    );
+}
+
+#[test]
+fn checkpoint_then_resume_reruns_only_the_failed_cell() {
+    let path = tmp_path("resume");
+
+    // First run: one cell's jobs panic; everything else completes and is
+    // checkpointed as it finishes.
+    let first = grid(ComputeOpts {
+        checkpoint: Some(Checkpoint::new(&path)),
+        inject_panic: inject("intruder", DetectorKind::Baseline, 1),
+        ..ComputeOpts::default()
+    });
+    assert_eq!(first.failed_cells().len(), 1);
+    assert_eq!(first.jobs_run, 8);
+    assert_eq!(first.jobs_resumed, 0);
+    // Failed jobs are not recorded: 8 jobs - 2 failing seeds of the cell.
+    let on_disk = Checkpoint::load_or_new(&path).unwrap();
+    assert_eq!(on_disk.len(), 6);
+
+    // Resume: only the two missing jobs run, and the grid now matches a
+    // clean compute cell for cell.
+    let resumed = grid(ComputeOpts {
+        checkpoint: Some(Checkpoint::load_or_new(&path).unwrap()),
+        ..ComputeOpts::default()
+    });
+    assert!(resumed.failed_cells().is_empty());
+    assert_eq!(resumed.jobs_resumed, 6);
+    assert_eq!(resumed.jobs_run, 2);
+    let clean = grid(ComputeOpts::default());
+    for bench in BENCHES {
+        for det in DETECTORS {
+            assert_eq!(
+                resumed.get(bench, det).unwrap(),
+                clean.get(bench, det).unwrap(),
+                "{bench}/{det:?}: resumed grid diverged from a clean one"
+            );
+        }
+    }
+    // The completed checkpoint now holds every job.
+    assert_eq!(Checkpoint::load_or_new(&path).unwrap().len(), 8);
+    let _ = std::fs::remove_file(&path);
+}

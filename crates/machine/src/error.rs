@@ -1,0 +1,145 @@
+//! Typed simulation errors with forward-progress diagnostics.
+//!
+//! The watchdog used to be a bare `panic!`, which killed whole matrix runs
+//! and said nothing about *why* progress stopped. It now produces a
+//! [`SimError::Watchdog`] carrying a [`ProgressReport`]: the
+//! [`asf_core::progress::ProgressMonitor`]'s livelock/starvation verdict,
+//! every core's control state and commit history, the fallback-lock owner,
+//! and the hottest conflict lines — enough to tell a mutual-abort cycle
+//! from one starved core from a simply-too-small step budget.
+
+use asf_core::progress::StallVerdict;
+use std::fmt;
+
+/// Snapshot of one core at watchdog time.
+#[derive(Clone, Debug)]
+pub struct CoreReport {
+    /// Core id.
+    pub core: usize,
+    /// Control state, rendered (`InTx(pc=3)`, `Backoff(until=…)`, …).
+    pub state: String,
+    /// The core's local clock, in cycles.
+    pub clock: u64,
+    /// Transactions committed so far.
+    pub commits: u64,
+    /// Consecutive aborts since the last commit.
+    pub streak: u32,
+    /// Simulation step of the last commit, if any.
+    pub last_commit_step: Option<u64>,
+    /// Attempts begun since the last commit.
+    pub attempts_since_commit: u64,
+}
+
+/// Diagnostic dump attached to a watchdog trip.
+#[derive(Clone, Debug)]
+pub struct ProgressReport {
+    /// Steps executed when the watchdog fired (= the configured budget).
+    pub steps: u64,
+    /// Livelock / starvation / indeterminate classification.
+    pub verdict: StallVerdict,
+    /// Core currently holding the software fallback lock, if any.
+    pub fallback_owner: Option<usize>,
+    /// Per-core state and progress bookkeeping.
+    pub cores: Vec<CoreReport>,
+    /// Hottest false-conflict lines, `(line index, count)` descending.
+    pub hottest_lines: Vec<(u64, u64)>,
+    /// Commits across all cores.
+    pub total_commits: u64,
+    /// Aborts across all cores (including injected ones).
+    pub total_aborts: u64,
+}
+
+/// Why a simulation could not run to completion.
+#[derive(Clone, Debug)]
+pub enum SimError {
+    /// The scheduler exceeded `SimConfig::max_steps`; the report says
+    /// whether the evidence points at livelock, starvation, or an
+    /// undersized budget.
+    Watchdog(ProgressReport),
+}
+
+impl fmt::Display for ProgressReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "verdict: {} after {} steps ({} commits, {} aborts)",
+            self.verdict.label(),
+            self.steps,
+            self.total_commits,
+            self.total_aborts
+        )?;
+        match self.fallback_owner {
+            Some(c) => writeln!(f, "fallback lock: held by core {c}")?,
+            None => writeln!(f, "fallback lock: free")?,
+        }
+        for c in &self.cores {
+            writeln!(
+                f,
+                "  core {:>2}: {:<24} clock={:<10} commits={:<6} streak={:<4} \
+                 last_commit_step={} attempts_since_commit={}",
+                c.core,
+                c.state,
+                c.clock,
+                c.commits,
+                c.streak,
+                c.last_commit_step.map_or("never".to_string(), |s| s.to_string()),
+                c.attempts_since_commit
+            )?;
+        }
+        if !self.hottest_lines.is_empty() {
+            let lines: Vec<String> = self
+                .hottest_lines
+                .iter()
+                .map(|&(l, n)| format!("{:#x}×{n}", l * 64))
+                .collect();
+            writeln!(f, "hottest conflict lines: {}", lines.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Watchdog(report) => {
+                write!(f, "simulation watchdog tripped: {report}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = SimError::Watchdog(ProgressReport {
+            steps: 1234,
+            verdict: StallVerdict::Livelock,
+            fallback_owner: Some(2),
+            cores: vec![CoreReport {
+                core: 0,
+                state: "Backoff(until=900)".to_string(),
+                clock: 850,
+                commits: 3,
+                streak: 7,
+                last_commit_step: Some(400),
+                attempts_since_commit: 8,
+            }],
+            hottest_lines: vec![(0x10, 42)],
+            total_commits: 3,
+            total_aborts: 11,
+        });
+        let s = err.to_string();
+        assert!(s.contains("watchdog"));
+        assert!(s.contains("livelock"));
+        assert!(s.contains("1234 steps"));
+        assert!(s.contains("core  0"));
+        assert!(s.contains("fallback lock: held by core 2"));
+        assert!(s.contains("streak=7"));
+        assert!(s.contains("hottest conflict lines"));
+    }
+}

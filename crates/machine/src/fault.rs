@@ -1,0 +1,176 @@
+//! Deterministic fault injection (the robustness layer).
+//!
+//! ASF is *best-effort*: real hardware aborts transactions for reasons the
+//! program never caused — interrupts, TLB misses, cache-way pressure from
+//! unrelated data, slow coherence responses. The paper's §V-A backoff
+//! manager and the software fallback lock exist to survive exactly this
+//! noise, but a simulator that never produces the noise cannot demonstrate
+//! that they do. A [`FaultPlan`] makes the noise first-class and
+//! *deterministic*: every injection decision is drawn from a dedicated RNG
+//! stream derived from the run seed, so a faulty run is exactly as
+//! reproducible as a clean one — and a plan with all rates at zero draws
+//! nothing at all, leaving the run bit-identical to a build without the
+//! fault layer.
+
+use asf_mem::rng::SimRng;
+
+/// Rate of one fault class, as a `num`-in-`den` chance per opportunity.
+/// `num == 0` disables the class without consuming randomness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultRate {
+    /// Numerator (0 = never fire).
+    pub num: u32,
+    /// Denominator (must be positive).
+    pub den: u32,
+}
+
+impl FaultRate {
+    /// Disabled: never fires, never draws.
+    pub const NEVER: FaultRate = FaultRate { num: 0, den: 1 };
+    /// Fires at every opportunity (maximal pressure).
+    pub const ALWAYS: FaultRate = FaultRate { num: 1, den: 1 };
+
+    /// A `num`-in-`den` rate.
+    pub fn new(num: u32, den: u32) -> FaultRate {
+        assert!(den > 0, "fault-rate denominator must be positive");
+        FaultRate { num, den }
+    }
+
+    /// True when this class can fire at all.
+    pub fn enabled(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Draw one injection decision. Zero rates short-circuit without
+    /// touching the RNG, so a disabled class cannot perturb the stream.
+    #[inline]
+    pub fn fires(&self, rng: &mut SimRng) -> bool {
+        self.num > 0 && rng.chance(self.num as u64, self.den as u64)
+    }
+}
+
+/// Per-run fault-injection plan, carried in
+/// [`crate::machine::SimConfig::faults`]. The default ([`FaultPlan::none`])
+/// disables every class; such a run is bit-identical to one predating the
+/// fault layer (the golden-stats fence enforces this).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultPlan {
+    /// Per transactional operation: abort the attempt spuriously (models
+    /// ASF's transient-abort class — interrupts, TLB misses, …).
+    pub spurious_abort: FaultRate,
+    /// Per in-transaction core visited by a probe: raise a false conflict
+    /// and abort that victim even though its speculative state does not
+    /// overlap (models transient coherence glitches).
+    pub false_probe_conflict: FaultRate,
+    /// Per transactional L1 fill: open a capacity-pressure window pinning
+    /// the victim core's L1 ways for [`FaultPlan::spike_cycles`]; fills
+    /// during the window take ordinary capacity aborts.
+    pub capacity_spike: FaultRate,
+    /// Length of one capacity-pressure window, in cycles.
+    pub spike_cycles: u64,
+    /// Per probe: delay the coherence response by
+    /// [`FaultPlan::delay_cycles`] extra cycles.
+    pub delayed_probe: FaultRate,
+    /// Extra latency of one delayed coherence response, in cycles.
+    pub delay_cycles: u64,
+}
+
+impl FaultPlan {
+    /// No injection at all (the default; bit-transparent).
+    pub const fn none() -> FaultPlan {
+        FaultPlan {
+            spurious_abort: FaultRate::NEVER,
+            false_probe_conflict: FaultRate::NEVER,
+            capacity_spike: FaultRate::NEVER,
+            spike_cycles: 0,
+            delayed_probe: FaultRate::NEVER,
+            delay_cycles: 0,
+        }
+    }
+
+    /// Light background noise: the "healthy production machine" profile.
+    pub fn light() -> FaultPlan {
+        FaultPlan {
+            spurious_abort: FaultRate::new(1, 64),
+            false_probe_conflict: FaultRate::new(1, 128),
+            capacity_spike: FaultRate::new(1, 256),
+            spike_cycles: 2_000,
+            delayed_probe: FaultRate::new(1, 64),
+            delay_cycles: 200,
+        }
+    }
+
+    /// Heavy adversarial pressure on every class at once.
+    pub fn heavy() -> FaultPlan {
+        FaultPlan {
+            spurious_abort: FaultRate::new(1, 8),
+            false_probe_conflict: FaultRate::new(1, 16),
+            capacity_spike: FaultRate::new(1, 64),
+            spike_cycles: 5_000,
+            delayed_probe: FaultRate::new(1, 8),
+            delay_cycles: 500,
+        }
+    }
+
+    /// Maximal spurious-abort pressure: every transactional operation
+    /// aborts, so *no* transaction can ever commit in hardware. The
+    /// forward-progress guarantee (backoff → fallback lock) is the only
+    /// thing standing between this plan and a livelock.
+    pub fn max_spurious() -> FaultPlan {
+        FaultPlan { spurious_abort: FaultRate::ALWAYS, ..FaultPlan::none() }
+    }
+
+    /// True when any class can fire. The machine skips every injection
+    /// site (and every RNG draw) when this is false.
+    pub fn enabled(&self) -> bool {
+        self.spurious_abort.enabled()
+            || self.false_probe_conflict.enabled()
+            || self.capacity_spike.enabled()
+            || self.delayed_probe.enabled()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_rates_never_draw() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!FaultRate::NEVER.fires(&mut a));
+        }
+        // The stream was never consumed: both RNGs still agree.
+        assert_eq!(a.below(1 << 40), b.below(1 << 40));
+    }
+
+    #[test]
+    fn always_fires() {
+        let mut rng = SimRng::seed_from_u64(2);
+        assert!((0..100).all(|_| FaultRate::ALWAYS.fires(&mut rng)));
+    }
+
+    #[test]
+    fn rates_are_roughly_calibrated() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let r = FaultRate::new(1, 4);
+        let hits = (0..10_000).filter(|_| r.fires(&mut rng)).count();
+        assert!((2_000..3_000).contains(&hits), "1-in-4 fired {hits}/10000");
+    }
+
+    #[test]
+    fn plan_enablement() {
+        assert!(!FaultPlan::none().enabled());
+        assert!(FaultPlan::light().enabled());
+        assert!(FaultPlan::heavy().enabled());
+        assert!(FaultPlan::max_spurious().enabled());
+        assert_eq!(FaultPlan::default(), FaultPlan::none());
+    }
+}

@@ -64,12 +64,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
+pub mod fault;
 pub mod hier;
 pub mod machine;
 pub mod trace;
 pub mod txprog;
 pub mod value;
 
+pub use error::{CoreReport, ProgressReport, SimError};
+pub use fault::{FaultPlan, FaultRate};
 pub use machine::{Machine, ResolutionPolicy, SimConfig, SimOutput};
 pub use trace::{RingTrace, TraceEvent};
 pub use txprog::{ThreadProgram, TxAttempt, TxBuilder, TxOp, WorkItem, Workload};

@@ -1,11 +1,14 @@
 //! The simulator engine: scheduler, coherence fabric, HTM execution.
 
+use crate::error::{CoreReport, ProgressReport, SimError};
+use crate::fault::FaultPlan;
 use crate::hier::{CoreCaches, LineMeta};
 use crate::trace::{RingTrace, TraceEvent};
 use crate::txprog::{ThreadProgram, TxAttempt, TxOp, WorkItem, Workload};
 use crate::value::{GlobalMemory, ReadLog, WriteSet};
 use asf_core::backoff::ExponentialBackoff;
 use asf_core::detector::{DetectorKind, ProbeKind, ProbeOutcome};
+use asf_core::progress::ProgressMonitor;
 use asf_core::signature::Signature;
 use asf_core::spec::SpecState;
 use asf_mem::addr::{Access, Addr, CoreId, LineAddr};
@@ -142,9 +145,17 @@ pub struct SimConfig {
     pub latency_jitter: u64,
     /// Master seed; every core derives an independent stream.
     pub seed: u64,
-    /// Watchdog: panic if the scheduler exceeds this many steps (guards the
-    /// test suite against livelock regressions).
+    /// Watchdog: fail the run (typed [`SimError::Watchdog`] from
+    /// [`Machine::try_run_to_completion`], panic from the infallible
+    /// [`Machine::run_to_completion`]) if the scheduler exceeds this many
+    /// steps — guards the test suite against livelock regressions.
     pub max_steps: u64,
+    /// Deterministic fault-injection plan. The default
+    /// ([`FaultPlan::none`]) disables every class and is bit-transparent:
+    /// no RNG draw, no timing change, no statistic moves (the golden-stats
+    /// fence pins this). Injection decisions come from a dedicated RNG
+    /// stream derived from `seed`, never from the cores' streams.
+    pub faults: FaultPlan,
     /// Disable the exact residency index and walk every fabric-selected
     /// core on each probe, as pre-index builds did. Outcomes and statistics
     /// must be identical either way (the index only skips provably-empty
@@ -188,6 +199,7 @@ impl SimConfig {
             latency_jitter: 0,
             seed: 0x05ee_da5f_2013,
             max_steps: 2_000_000_000,
+            faults: FaultPlan::none(),
             exhaustive_probe_walk: false,
             verify_residency: false,
             exhaustive_spec_walk: false,
@@ -342,7 +354,25 @@ pub struct Machine {
     /// Scratch buffer for the per-probe victim spec-state snapshot
     /// (ascending core id).
     scratch_vspec: Vec<(usize, SpecState)>,
+    /// Fault-injection RNG: a dedicated stream derived from the seed, so
+    /// enabling faults never perturbs the cores' own streams (and a
+    /// zero-rate plan never draws from this one either).
+    fault_rng: SimRng,
+    /// `cfg.faults.enabled()`, hoisted: every injection site is gated on
+    /// this bool so the disabled layer costs one predictable branch.
+    faults_on: bool,
+    /// Per-core end cycle of the current capacity-pressure spike window
+    /// (way pinning); 0 = no window.
+    spike_until: Vec<u64>,
+    /// Forward-progress bookkeeping (commit age, abort streaks) feeding
+    /// the watchdog's livelock/starvation verdict. Passive: no RNG, no
+    /// scheduling influence.
+    monitor: ProgressMonitor,
 }
+
+/// RNG stream id for fault injection; far outside the per-core streams
+/// (`1..=cores`, cores ≤ 64).
+const FAULT_RNG_STREAM: u64 = 0xFA17_0001;
 
 impl Machine {
     /// Build a machine running `workload` on every core.
@@ -409,6 +439,10 @@ impl Machine {
             spec_dir: FxHashMap::default(),
             spec_dir_pool: Vec::new(),
             scratch_vspec: Vec::new(),
+            fault_rng: SimRng::derive(cfg.seed, FAULT_RNG_STREAM),
+            faults_on: cfg.faults.enabled(),
+            spike_until: vec![0; n],
+            monitor: ProgressMonitor::new(n),
         }
     }
 
@@ -604,30 +638,100 @@ impl Machine {
         }
     }
 
-    /// Convenience: build and run to completion.
+    /// Convenience: build and run to completion (panics on watchdog trip;
+    /// see [`Machine::try_run`] for the fallible form).
     pub fn run(workload: &dyn Workload, cfg: SimConfig) -> SimOutput {
         let mut m = Machine::new(workload, cfg);
         m.run_to_completion()
     }
 
-    /// Drive the scheduler until every program finishes.
+    /// Convenience: build and run to completion, returning a typed
+    /// [`SimError`] (with its forward-progress diagnosis) instead of
+    /// panicking when the watchdog trips.
+    pub fn try_run(workload: &dyn Workload, cfg: SimConfig) -> Result<SimOutput, SimError> {
+        let mut m = Machine::new(workload, cfg);
+        m.try_run_to_completion()
+    }
+
+    /// Drive the scheduler until every program finishes. Panics with the
+    /// full diagnostic dump if the watchdog trips; callers that want to
+    /// degrade instead of die use [`Machine::try_run_to_completion`].
     pub fn run_to_completion(&mut self) -> SimOutput {
+        match self.try_run_to_completion() {
+            Ok(out) => out,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Drive the scheduler until every program finishes, or until the step
+    /// budget (`SimConfig::max_steps`) runs out — in which case the run
+    /// ends with [`SimError::Watchdog`] carrying per-core progress state,
+    /// the fallback-lock owner, the hottest conflict lines, and the
+    /// monitor's livelock/starvation verdict.
+    pub fn try_run_to_completion(&mut self) -> Result<SimOutput, SimError> {
         while self.step() {
             self.steps += 1;
-            assert!(
-                self.steps < self.cfg.max_steps,
-                "simulation watchdog tripped after {} steps (livelock?)",
-                self.steps
-            );
+            if self.steps >= self.cfg.max_steps {
+                return Err(SimError::Watchdog(self.progress_report()));
+            }
         }
         let mut stats = std::mem::take(&mut self.stats);
         stats.cycles = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
         let promoted_lines = self.promoted_lines();
-        SimOutput {
+        Ok(SimOutput {
             stats,
             memory: std::mem::take(&mut self.memory),
             trace: self.trace.take(),
             promoted_lines,
+        })
+    }
+
+    /// Assemble the watchdog's diagnostic dump from the progress monitor,
+    /// the cores' control state, and the run statistics so far.
+    fn progress_report(&self) -> ProgressReport {
+        // "Recently" = within the last eighth of the budget (floored so
+        // tiny test budgets still have a meaningful window).
+        let window = (self.cfg.max_steps / 8).max(1024);
+        let active: Vec<bool> = self
+            .cores
+            .iter()
+            .map(|c| !matches!(c.state, CoreState::Done))
+            .collect();
+        let verdict = self.monitor.classify(&active, self.steps, window);
+        let cores = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let state = match &c.state {
+                    CoreState::Idle => "Idle".to_string(),
+                    CoreState::InTx { pc, .. } => format!("InTx(pc={pc})"),
+                    CoreState::Backoff { until, .. } => format!("Backoff(until={until})"),
+                    CoreState::AwaitLock { .. } => "AwaitLock".to_string(),
+                    CoreState::Fallback { pc, .. } => format!("Fallback(pc={pc})"),
+                    CoreState::Plain { pc, .. } => format!("Plain(pc={pc})"),
+                    CoreState::Done => "Done".to_string(),
+                };
+                let p = self.monitor.core(i);
+                CoreReport {
+                    core: i,
+                    state,
+                    clock: c.clock,
+                    commits: p.commits,
+                    streak: p.streak,
+                    last_commit_step: p.last_commit_step,
+                    attempts_since_commit: p.attempts_since_commit,
+                }
+            })
+            .collect();
+        ProgressReport {
+            steps: self.steps,
+            verdict,
+            fallback_owner: self.fallback_owner,
+            cores,
+            hottest_lines: self.stats.false_by_line.hottest(4),
+            total_commits: self.stats.tx_committed,
+            total_aborts: self.stats.tx_aborted,
         }
     }
 
@@ -680,6 +784,7 @@ impl Machine {
             CoreState::Backoff { until, attempt } => {
                 self.cores[who].clock = self.cores[who].clock.max(until);
                 self.stats.on_attempt();
+                self.monitor.note_attempt(who);
                 let (cycle, retry) = (self.cores[who].clock, self.cores[who].consec_aborts);
                 self.emit(TraceEvent::TxBegin { core: who, cycle, retry });
                 self.cores[who].state = CoreState::InTx { attempt, pc: 0 };
@@ -729,6 +834,7 @@ impl Machine {
                 let now = self.cores[who].clock;
                 self.stats.on_tx_start(now);
                 self.stats.on_attempt();
+                self.monitor.note_attempt(who);
                 self.emit(TraceEvent::TxBegin { core: who, cycle: now, retry: 0 });
                 self.cores[who].state = CoreState::InTx { attempt, pc: 0 };
             }
@@ -738,6 +844,14 @@ impl Machine {
     fn step_tx(&mut self, who: usize, attempt: TxAttempt, pc: usize) {
         if pc >= attempt.ops.len() {
             self.commit(who, attempt);
+            return;
+        }
+        // Fault layer: a spurious abort can strike before any operation
+        // (ASF's transient-abort class — interrupts, TLB misses, …).
+        if self.faults_on && self.cfg.faults.spurious_abort.fires(&mut self.fault_rng) {
+            self.stats.faults.spurious_op_aborts += 1;
+            self.teardown_tx(who);
+            self.after_abort(who, AbortCause::Spurious, attempt);
             return;
         }
         let op = attempt.ops[pc];
@@ -762,6 +876,7 @@ impl Machine {
             let cycle = self.cores[who].clock;
             self.emit(TraceEvent::FallbackRelease { core: who, cycle });
             self.stats.on_commit();
+            self.monitor.note_commit(who, self.steps);
             self.stats.fallback_commits += 1;
             self.stats.on_final_retries(self.cores[who].consec_aborts);
             self.cores[who].consec_aborts = 0;
@@ -832,6 +947,7 @@ impl Machine {
         self.emit(TraceEvent::TxCommit { core: who, cycle });
         self.cores[who].writeset.publish(&mut self.memory);
         self.clear_spec_state(who, false);
+        self.monitor.note_commit(who, self.steps);
         let core = &mut self.cores[who];
         core.backoff.on_commit();
         self.stats.on_commit();
@@ -898,8 +1014,12 @@ impl Machine {
         self.stats.on_abort(cause);
         let cycle = self.cores[who].clock;
         self.emit(TraceEvent::TxAbort { core: who, cycle, cause });
+        self.monitor.note_abort(who);
         let core = &mut self.cores[who];
-        core.consec_aborts += 1;
+        // Saturating: with `max_retries = u32::MAX` (a deliberate
+        // no-fallback configuration used by the livelock tests) the streak
+        // would otherwise overflow long before the watchdog fires.
+        core.consec_aborts = core.consec_aborts.saturating_add(1);
         if core.consec_aborts > self.cfg.max_retries {
             core.state = CoreState::AwaitLock { attempt };
             return;
@@ -1124,6 +1244,16 @@ impl Machine {
                 self.emit(TraceEvent::DirtyMark { core: who, line, mask: summary.piggyback });
             }
         } else {
+            // Fault layer: capacity-pressure spikes temporarily pin this
+            // core's L1 ways — transactional fills inside the window take
+            // ordinary capacity aborts, as if unrelated data occupied the
+            // set. Checked before any cache mutation so the abort path is
+            // byte-for-byte the one a real pinned set produces.
+            if self.faults_on && transactional {
+                if let Some(cause) = self.capacity_spike_check(who) {
+                    return Err(cause);
+                }
+            }
             // Miss: fill from `level` and insert. The outer-level fill can
             // silently evict lines from L2/L3; the residency index hears
             // about both the fill and those evictions.
@@ -1192,7 +1322,35 @@ impl Machine {
             self.mark_spec(who, line, mask, is_write);
         }
         self.dir_add(line, who);
-        Ok(lat.for_level(level))
+
+        // Fault layer: a delayed coherence response stretches this access
+        // by a fixed penalty (the probe already went out; only its answer
+        // is late).
+        let mut delay = 0;
+        if self.faults_on && self.cfg.faults.delayed_probe.fires(&mut self.fault_rng) {
+            delay = self.cfg.faults.delay_cycles;
+            self.stats.faults.delayed_probes += 1;
+            self.stats.faults.delay_cycles += delay;
+        }
+        Ok(lat.for_level(level) + delay)
+    }
+
+    /// Capacity-spike bookkeeping for one transactional fill: inside an
+    /// open window every fill aborts; outside, the spike rate may open a
+    /// new window (whose triggering fill aborts too).
+    fn capacity_spike_check(&mut self, who: usize) -> Option<AbortCause> {
+        let now = self.cores[who].clock;
+        if now < self.spike_until[who] {
+            self.stats.faults.capacity_spike_aborts += 1;
+            return Some(AbortCause::Capacity);
+        }
+        if self.cfg.faults.capacity_spike.fires(&mut self.fault_rng) {
+            self.spike_until[who] = now + self.cfg.faults.spike_cycles;
+            self.stats.faults.capacity_spikes += 1;
+            self.stats.faults.capacity_spike_aborts += 1;
+            return Some(AbortCause::Capacity);
+        }
+        None
     }
 
     /// Record speculative access bits on a resident line, keeping the
@@ -1481,6 +1639,21 @@ impl Machine {
                         }
                     }
                 }
+            }
+
+            // Fault layer: a transient false probe conflict can strike any
+            // victim still transactional after the real checks — the probe
+            // "detects" a conflict that isn't there and the victim aborts.
+            // Modelled exactly like a real probe-time abort (teardown now,
+            // cause delivered at the victim's next step) so the coherence
+            // updates below see a freshly-aborted core; counted only in
+            // FaultStats, never in the paper's conflict taxonomy.
+            if self.faults_on
+                && self.cores[v].in_running_tx()
+                && self.cfg.faults.false_probe_conflict.fires(&mut self.fault_rng)
+            {
+                self.stats.faults.false_probe_conflicts += 1;
+                self.abort_victim(v, AbortCause::Spurious);
             }
 
             // --- Coherence state updates ---------------------------------

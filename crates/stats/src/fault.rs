@@ -1,0 +1,82 @@
+//! Injected-fault accounting (the robustness layer's `FaultStats` block).
+//!
+//! Every fault the simulator's deterministic fault-injection layer fires
+//! is counted here, separately from the paper's abort taxonomy: injected
+//! faults are *adversarial noise*, not workload behaviour, so they must
+//! never pollute `aborts_by_cause`, the conflict breakdown, or any figure
+//! the paper reproduces. A zero `FaultStats` block is the witness that a
+//! run executed with the fault layer disabled.
+
+/// Counters for every fault injected during one run. All zero when fault
+/// injection is disabled.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultStats {
+    /// Aborts with cause [`crate::run::AbortCause::Spurious`] — however the
+    /// spurious abort was delivered (at an op, or as a false probe hit).
+    pub spurious_aborts: u64,
+    /// Spurious aborts injected directly at a transactional operation
+    /// (models ASF's "transient abort" class: interrupts, TLB misses …).
+    pub spurious_op_aborts: u64,
+    /// False probe conflicts injected at probe time against a victim that
+    /// had no real conflict (models transient coherence glitches).
+    pub false_probe_conflicts: u64,
+    /// Capacity-pressure spike windows opened (temporary way pinning).
+    pub capacity_spikes: u64,
+    /// Transactional fills refused because a capacity spike pinned the L1
+    /// (each becomes an ordinary `AbortCause::Capacity` abort).
+    pub capacity_spike_aborts: u64,
+    /// Probes whose response was artificially delayed.
+    pub delayed_probes: u64,
+    /// Total extra cycles injected by delayed probe responses.
+    pub delay_cycles: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected, of every kind.
+    pub fn injected_total(&self) -> u64 {
+        self.spurious_op_aborts
+            + self.false_probe_conflicts
+            + self.capacity_spikes
+            + self.capacity_spike_aborts
+            + self.delayed_probes
+    }
+
+    /// True when no fault was injected (the disabled-layer witness).
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
+
+    /// Fold another run's fault counters into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.spurious_aborts += other.spurious_aborts;
+        self.spurious_op_aborts += other.spurious_op_aborts;
+        self.false_probe_conflicts += other.false_probe_conflicts;
+        self.capacity_spikes += other.capacity_spikes;
+        self.capacity_spike_aborts += other.capacity_spike_aborts;
+        self.delayed_probes += other.delayed_probes;
+        self.delay_cycles += other.delay_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_by_default() {
+        let f = FaultStats::default();
+        assert!(f.is_zero());
+        assert_eq!(f.injected_total(), 0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = FaultStats { spurious_aborts: 1, delayed_probes: 2, ..Default::default() };
+        let b = FaultStats { spurious_aborts: 3, delay_cycles: 40, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.spurious_aborts, 4);
+        assert_eq!(a.delayed_probes, 2);
+        assert_eq!(a.delay_cycles, 40);
+        assert!(!a.is_zero());
+    }
+}

@@ -63,6 +63,16 @@ impl LineHistogram {
             *self.counts.entry(k).or_insert(0) += c;
         }
     }
+
+    /// Rebuild a histogram from `(line index, count)` pairs — the inverse
+    /// of [`LineHistogram::sorted`] for checkpoint deserialisation.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u64, u64)>) -> LineHistogram {
+        let mut h = LineHistogram::default();
+        for (idx, c) in pairs {
+            *h.counts.entry(idx).or_insert(0) += c;
+        }
+        h
+    }
 }
 
 /// Per-byte access counts within cache lines (Figure 5). The paper plots at
@@ -126,6 +136,12 @@ impl OffsetHistogram {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
         }
+    }
+
+    /// Rebuild from raw per-byte counts — the inverse of
+    /// [`OffsetHistogram::bytes`] for checkpoint deserialisation.
+    pub fn from_bytes(counts: [u64; LINE_SIZE]) -> OffsetHistogram {
+        OffsetHistogram { counts }
     }
 }
 

@@ -12,6 +12,10 @@
 //!   (Figure 5);
 //! * [`run::RunStats`] — the per-run bundle the simulator fills in, plus
 //!   the transaction / abort accounting behind Figure 10;
+//! * [`fault::FaultStats`] — injected-fault accounting for the
+//!   deterministic fault layer (kept out of the paper's abort taxonomy);
+//! * [`json`] — minimal JSON parse/serialise for crash-safe checkpoints
+//!   (`RunStats` round-trips exactly);
 //! * [`table`] — plain-text and CSV rendering for the harness;
 //! * [`chart::BarChart`] — terminal bar charts mirroring the paper's figure
 //!   style.
@@ -21,14 +25,18 @@
 
 pub mod chart;
 pub mod conflict;
+pub mod fault;
 pub mod histogram;
+pub mod json;
 pub mod run;
 pub mod series;
 pub mod table;
 
 pub use chart::BarChart;
 pub use conflict::ConflictStats;
+pub use fault::FaultStats;
 pub use histogram::{LineHistogram, OffsetHistogram};
+pub use json::JsonValue;
 pub use run::{AbortCause, RunStats};
 pub use series::TimeSeries;
 pub use table::Table;

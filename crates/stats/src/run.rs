@@ -1,6 +1,7 @@
 //! Per-run statistics bundle filled in by the simulator.
 
 use crate::conflict::ConflictStats;
+use crate::fault::FaultStats;
 use crate::histogram::{LineHistogram, OffsetHistogram};
 use crate::series::TimeSeries;
 use asf_core::detector::ConflictType;
@@ -27,6 +28,11 @@ pub enum AbortCause {
     /// Commit-time value validation failed (DPTM-style WAR speculation —
     /// the related-work mode of paper §II).
     Validation,
+    /// An abort injected by the deterministic fault layer (spurious abort
+    /// or transient false probe conflict). Counted in [`FaultStats`], not
+    /// in `aborts_by_cause` — injected noise must not pollute the paper's
+    /// abort taxonomy.
+    Spurious,
 }
 
 /// Everything measured during one simulation run.
@@ -88,6 +94,8 @@ pub struct RunStats {
     /// committed after exactly *i* retries (last bucket: ≥ 15). Behind the
     /// paper's "very high average retry times" observation for intruder.
     pub retry_histogram: [u64; 16],
+    /// Injected-fault accounting; all zero when fault injection is off.
+    pub faults: FaultStats,
 }
 
 impl RunStats {
@@ -117,6 +125,13 @@ impl RunStats {
             AbortCause::User => 3,
             AbortCause::LockFallback => 4,
             AbortCause::Validation => 5,
+            // Injected faults are adversarial noise, not workload
+            // behaviour: they get their own block so the paper's abort
+            // taxonomy (and the golden digests over it) stay untouched.
+            AbortCause::Spurious => {
+                self.faults.spurious_aborts += 1;
+                return;
+            }
         };
         self.aborts_by_cause[i] += 1;
     }
@@ -224,6 +239,7 @@ impl RunStats {
         for (a, b) in self.retry_histogram.iter_mut().zip(other.retry_histogram.iter()) {
             *a += b;
         }
+        self.faults.merge(&other.faults);
     }
 }
 
@@ -276,6 +292,16 @@ mod tests {
         r.on_abort(AbortCause::LockFallback);
         r.on_abort(AbortCause::Validation);
         assert_eq!(r.aborts_by_cause, [1, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn spurious_aborts_bypass_the_paper_taxonomy() {
+        let mut r = RunStats::default();
+        r.on_abort(AbortCause::Spurious);
+        r.on_abort(AbortCause::Spurious);
+        assert_eq!(r.tx_aborted, 2);
+        assert_eq!(r.aborts_by_cause, [0; 6], "injected noise leaked into the abort taxonomy");
+        assert_eq!(r.faults.spurious_aborts, 2);
     }
 
     #[test]

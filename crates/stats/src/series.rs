@@ -64,6 +64,17 @@ impl TimeSeries {
     pub fn merge(&mut self, other: &TimeSeries) {
         self.stamps.extend_from_slice(&other.stamps);
     }
+
+    /// Raw event stamps in recorded order (checkpoint serialisation).
+    pub fn stamps(&self) -> &[u64] {
+        &self.stamps
+    }
+
+    /// Rebuild a series from raw stamps, preserving their order (the
+    /// inverse of [`TimeSeries::stamps`]; exact round-trip).
+    pub fn from_stamps(stamps: Vec<u64>) -> TimeSeries {
+        TimeSeries { stamps }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,64 @@
+//! The software fallback lock as the last line of forward progress —
+//! property-tested with retries disabled (`max_retries = 0`): any abort
+//! sends the transaction straight to the global lock, so the fallback path
+//! runs constantly instead of rarely. Whatever the seed and workload:
+//! serialization must hold and the fallback accounting must cover every
+//! aborted transaction exactly.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::fault::FaultPlan;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_workloads::Scale;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn zero_retry_runs_serialize_and_account_for_every_transaction(
+        seed in 0u64..1_000_000,
+        bench_idx in 0usize..10,
+        detector_idx in 0usize..3,
+    ) {
+        let w = &asf_workloads::all(Scale::Small)[bench_idx];
+        let detector = [
+            DetectorKind::Baseline,
+            DetectorKind::SubBlock(4),
+            DetectorKind::Perfect,
+        ][detector_idx];
+        let mut cfg = SimConfig::paper_seeded(detector, seed);
+        cfg.max_retries = 0;
+        let s = Machine::run(w.as_ref(), cfg).stats;
+
+        // Serialization: nothing lost, nothing torn.
+        prop_assert_eq!(s.isolation_violations, 0);
+        prop_assert_eq!(s.tx_started, s.tx_committed);
+        // With zero retries a transaction aborts at most once before the
+        // lock: aborts and fallback commits must pair up exactly, and the
+        // retry histogram can never see a second retry.
+        prop_assert_eq!(s.tx_aborted, s.fallback_commits);
+        prop_assert!(s.max_retries <= 1, "a second retry is impossible: {}", s.max_retries);
+        prop_assert_eq!(
+            s.tx_attempts,
+            s.tx_committed - s.fallback_commits + s.tx_aborted
+        );
+    }
+
+    #[test]
+    fn zero_retry_plus_always_abort_pushes_everything_through_the_lock(
+        seed in 0u64..1_000_000,
+        bench_idx in 0usize..10,
+    ) {
+        let w = &asf_workloads::all(Scale::Small)[bench_idx];
+        let mut cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(4), seed);
+        cfg.max_retries = 0;
+        cfg.faults = FaultPlan::max_spurious();
+        let s = Machine::run(w.as_ref(), cfg).stats;
+        prop_assert_eq!(s.isolation_violations, 0);
+        prop_assert_eq!(s.tx_started, s.tx_committed);
+        // Hardware commits are impossible: the fallback lock accounts for
+        // every single transaction.
+        prop_assert_eq!(s.fallback_commits, s.tx_committed);
+        prop_assert_eq!(s.tx_aborted, s.tx_started);
+    }
+}

@@ -1,0 +1,104 @@
+//! The deterministic fault layer: reproducibility, bit-transparency of
+//! zero-rate plans, and the accounting contract (injected faults live in
+//! `FaultStats`, never in the paper's abort taxonomy).
+
+use asf_core::detector::DetectorKind;
+use asf_machine::fault::{FaultPlan, FaultRate};
+use asf_machine::machine::{Machine, SimConfig};
+use asf_stats::run::RunStats;
+use asf_workloads::Scale;
+
+fn run(bench: &str, plan: FaultPlan, seed: u64) -> RunStats {
+    let w = asf_workloads::by_name(bench, Scale::Small).expect("known benchmark");
+    let mut cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(4), seed);
+    cfg.faults = plan;
+    Machine::run(w.as_ref(), cfg).stats
+}
+
+#[test]
+fn zero_rate_plan_is_bit_transparent() {
+    // A config whose fault plan is all-zeros must be indistinguishable —
+    // down to every stat — from one that never mentions faults (the
+    // golden-stats digests enforce the same property against history).
+    for bench in ["ssca2", "vacation", "intruder"] {
+        let w = asf_workloads::by_name(bench, Scale::Small).unwrap();
+        let clean = Machine::run(w.as_ref(), SimConfig::paper_seeded(DetectorKind::SubBlock(4), 5));
+        let zeroed = run(bench, FaultPlan::none(), 5);
+        assert_eq!(clean.stats, zeroed, "{bench}: zero-rate plan changed the run");
+        assert!(zeroed.faults.is_zero());
+    }
+}
+
+#[test]
+fn faulty_runs_are_deterministic() {
+    let a = run("vacation", FaultPlan::heavy(), 9);
+    let b = run("vacation", FaultPlan::heavy(), 9);
+    assert_eq!(a, b, "same seed + same plan must replay exactly");
+    assert!(a.faults.injected_total() > 0, "heavy plan injected nothing");
+    let c = run("vacation", FaultPlan::heavy(), 10);
+    assert_ne!(a.faults, c.faults, "fault stream must depend on the seed");
+}
+
+#[test]
+fn each_fault_class_lands_in_its_own_counter() {
+    let only = |f: fn(&mut FaultPlan)| {
+        let mut p = FaultPlan::none();
+        f(&mut p);
+        run("intruder", p, 3).faults
+    };
+    let spurious = only(|p| p.spurious_abort = FaultRate::new(1, 8));
+    assert!(spurious.spurious_op_aborts > 0);
+    assert_eq!(spurious.false_probe_conflicts, 0);
+    assert_eq!(spurious.capacity_spikes, 0);
+    assert_eq!(spurious.delayed_probes, 0);
+
+    let probe = only(|p| p.false_probe_conflict = FaultRate::new(1, 4));
+    assert!(probe.false_probe_conflicts > 0);
+    assert_eq!(probe.spurious_op_aborts, 0);
+
+    let spike = only(|p| {
+        p.capacity_spike = FaultRate::new(1, 16);
+        p.spike_cycles = 2_000;
+    });
+    assert!(spike.capacity_spikes > 0);
+    assert!(spike.capacity_spike_aborts >= spike.capacity_spikes);
+
+    let delay = only(|p| {
+        p.delayed_probe = FaultRate::new(1, 4);
+        p.delay_cycles = 300;
+    });
+    assert!(delay.delayed_probes > 0);
+    assert_eq!(delay.delay_cycles, delay.delayed_probes * 300);
+    // Pure latency noise: nothing aborts because of it.
+    assert_eq!(delay.spurious_aborts, 0);
+    assert_eq!(delay.capacity_spike_aborts, 0);
+}
+
+#[test]
+fn injected_aborts_stay_out_of_the_paper_taxonomy() {
+    // Spurious-class aborts (op injections and false probe conflicts) are
+    // counted in FaultStats only; `aborts_by_cause` keeps the paper's
+    // categories. Every abort is in exactly one of the two books.
+    let mut plan = FaultPlan::none();
+    plan.spurious_abort = FaultRate::new(1, 8);
+    plan.false_probe_conflict = FaultRate::new(1, 8);
+    let s = run("kmeans", plan, 7);
+    assert!(s.faults.spurious_aborts > 0);
+    let taxonomy: u64 = s.aborts_by_cause.iter().sum();
+    assert_eq!(
+        s.tx_aborted,
+        taxonomy + s.faults.spurious_aborts,
+        "abort books must partition tx_aborted"
+    );
+}
+
+#[test]
+fn delayed_probes_only_cost_time() {
+    let clean = run("genome", FaultPlan::none(), 13);
+    let mut plan = FaultPlan::none();
+    plan.delayed_probe = FaultRate::new(1, 2);
+    plan.delay_cycles = 500;
+    let delayed = run("genome", plan, 13);
+    assert!(delayed.cycles > clean.cycles, "heavy delays must slow the run");
+    assert_eq!(delayed.tx_committed, clean.tx_committed);
+}

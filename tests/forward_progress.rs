@@ -1,0 +1,125 @@
+//! Forward-progress guarantees under injected pressure, and the typed
+//! watchdog. Three behaviours are pinned:
+//!
+//! 1. With maximal spurious-abort pressure (no transaction can ever commit
+//!    in hardware) the backoff → fallback-lock chain still carries every
+//!    workload to completion — no watchdog, nothing lost.
+//! 2. A genuinely livelocked configuration (fallback disabled) returns
+//!    `SimError::Watchdog` with a `Livelock` verdict and a diagnostic dump
+//!    instead of panicking.
+//! 3. One starved core among committing peers is classified `Starvation`,
+//!    not `Livelock`.
+
+use asf_core::detector::DetectorKind;
+use asf_core::progress::StallVerdict;
+use asf_machine::error::SimError;
+use asf_machine::fault::FaultPlan;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_machine::txprog::{ScriptedWorkload, TxAttempt, TxOp, WorkItem};
+use asf_mem::addr::Addr;
+use asf_workloads::Scale;
+
+#[test]
+fn max_spurious_pressure_cannot_stop_the_suite() {
+    for w in asf_workloads::all(Scale::Small) {
+        let mut cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(4), 17);
+        cfg.faults = FaultPlan::max_spurious();
+        let out = Machine::try_run(w.as_ref(), cfg)
+            .unwrap_or_else(|e| panic!("{} hit the watchdog: {e}", w.name()));
+        let s = out.stats;
+        assert_eq!(s.tx_started, s.tx_committed, "{}: transactions lost", w.name());
+        assert_eq!(s.isolation_violations, 0, "{}", w.name());
+        // Hardware commits are impossible — only the fallback lock commits.
+        assert_eq!(
+            s.fallback_commits, s.tx_committed,
+            "{}: a transaction committed in hardware under always-abort",
+            w.name()
+        );
+    }
+}
+
+fn contended_workload(attempt_len: usize) -> ScriptedWorkload {
+    let hot = Addr(0x9000);
+    // Core 0: one long transaction over the hot line plus private lines.
+    let mut long_ops = vec![TxOp::Write { addr: hot, size: 8, value: 1 }];
+    for i in 0..attempt_len {
+        long_ops.push(TxOp::Update { addr: Addr(0xA000 + 64 * i as u64), size: 8, delta: 1 });
+    }
+    // Cores 1–3: an endless stream of short transactions on the hot line.
+    let short: Vec<WorkItem> = (0..50_000)
+        .map(|_| {
+            WorkItem::Tx(TxAttempt::new(vec![TxOp::Update { addr: hot, size: 8, delta: 1 }]))
+        })
+        .collect();
+    ScriptedWorkload {
+        name: "contended",
+        scripts: vec![
+            vec![WorkItem::Tx(TxAttempt::new(long_ops))],
+            short.clone(),
+            short.clone(),
+            short,
+        ],
+    }
+}
+
+#[test]
+fn forced_livelock_is_a_typed_error_with_a_diagnostic_dump() {
+    // Fallback disabled (max_retries = u32::MAX) + every transactional op
+    // aborts: nobody can ever commit. The watchdog must return a value,
+    // classify the stall as livelock, and dump per-core state.
+    let w = contended_workload(4);
+    let mut cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(4), 23);
+    cfg.faults = FaultPlan::max_spurious();
+    cfg.max_retries = u32::MAX;
+    cfg.max_steps = 20_000;
+    let err = Machine::try_run(&w, cfg).expect_err("must trip the watchdog");
+    let SimError::Watchdog(report) = err.clone();
+    assert_eq!(report.verdict, StallVerdict::Livelock, "\n{report}");
+    assert_eq!(report.total_commits, 0);
+    assert!(report.total_aborts > 0);
+    assert_eq!(report.cores.len(), 8);
+    assert!(report.cores.iter().any(|c| c.streak >= 4), "\n{report}");
+    let dump = err.to_string();
+    assert!(dump.contains("watchdog"), "{dump}");
+    assert!(dump.contains("livelock"), "{dump}");
+    assert!(dump.contains("core  0"), "{dump}");
+    assert!(dump.contains("fallback lock"), "{dump}");
+}
+
+#[test]
+fn one_starved_core_among_committing_peers_is_starvation() {
+    // No injected faults — pure contention: core 0's long transaction is
+    // repeatedly killed by the short writers, which keep committing. With
+    // the fallback disabled core 0 can never win, so at watchdog time the
+    // evidence says starvation (someone progresses), not livelock.
+    let w = contended_workload(30);
+    let mut cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(4), 29);
+    cfg.max_retries = u32::MAX;
+    cfg.max_steps = 40_000;
+    let err = Machine::try_run(&w, cfg).expect_err("core 0 can never finish");
+    let SimError::Watchdog(report) = err;
+    assert_eq!(report.verdict, StallVerdict::Starvation, "\n{report}");
+    assert!(report.total_commits > 0, "\n{report}");
+    let core0 = &report.cores[0];
+    assert_eq!(core0.commits, 0, "\n{report}");
+    assert!(core0.streak >= 4, "\n{report}");
+}
+
+#[test]
+fn infallible_run_still_panics_for_compatibility() {
+    // `Machine::run` keeps the old contract (panic) but now panics with
+    // the full diagnostic text of the typed error.
+    let w = contended_workload(4);
+    let mut cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(4), 23);
+    cfg.faults = FaultPlan::max_spurious();
+    cfg.max_retries = u32::MAX;
+    cfg.max_steps = 20_000;
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Machine::run(&w, cfg)))
+        .expect_err("must panic");
+    let msg = panic
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("watchdog"), "{msg}");
+    assert!(msg.contains("verdict"), "{msg}");
+}
