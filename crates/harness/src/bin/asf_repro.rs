@@ -29,9 +29,9 @@ use asf_stats::table::Table;
 use asf_workloads::Scale;
 
 const USAGE: &str = "usage: asf-repro [all|ext|table1|table2|table3|fig1..fig10|overhead|headline|diag|scaling|backoff|policy\
-                     |charts|excluded|related|signatures|variance|adaptive|fabric|summary|faults|perf|profile:<bench>|trace:<bench>]* \
+                     |charts|excluded|related|signatures|variance|adaptive|fabric|summary|faults|perf|observe|profile:<bench>|trace:<bench>]* \
                      [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR] [--threads N] [--check-baseline BENCH_perf.json] \
-                     [--checkpoint FILE] [--resume]";
+                     [--checkpoint FILE] [--resume] [--smoke]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +42,7 @@ fn main() {
     let mut check_baseline: Option<String> = None;
     let mut checkpoint_path: Option<String> = None;
     let mut resume = false;
+    let mut smoke = false;
     let mut cmds: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -109,6 +110,7 @@ fn main() {
                 }));
             }
             "--resume" => resume = true,
+            "--smoke" => smoke = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -246,6 +248,59 @@ fn main() {
                             std::process::exit(1);
                         }
                     }
+                }
+            }
+            "observe" => {
+                // End-to-end observability run (DESIGN.md §13): per
+                // benchmark, write the Chrome/Perfetto timeline and the
+                // asf-obs-v1 metrics snapshot, and print the hot-path
+                // breakdown + conflict time-series. `--smoke` restricts to
+                // one small benchmark and *validates* the artifacts
+                // (exit 1 on any contract violation) — the CI gate.
+                let benches: Vec<&str> = if smoke {
+                    vec![asf_harness::observe::SMOKE_BENCH]
+                } else {
+                    asf_harness::experiments::REPRESENTATIVE.to_vec()
+                };
+                eprintln!(
+                    "observing {benches:?} (scale {scale:?}, seed {seed:#x}) …"
+                );
+                let dir = json_dir.clone().unwrap_or_else(|| "results".to_string());
+                std::fs::create_dir_all(&dir).expect("create results dir");
+                let mut observations = Vec::new();
+                for bench in benches {
+                    let obs = asf_harness::observe::observe_one(
+                        bench,
+                        scale,
+                        seed,
+                        asf_harness::observe::DEFAULT_INTERVAL,
+                    )
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    });
+                    if smoke {
+                        if let Err(msg) = asf_harness::observe::validate(&obs) {
+                            eprintln!("FAIL: observe artifacts for {bench}: {msg}");
+                            std::process::exit(1);
+                        }
+                        eprintln!("observe artifacts for {bench} validate OK");
+                    }
+                    let trace_path = format!("{dir}/observe_trace_{bench}.json");
+                    std::fs::write(&trace_path, &obs.trace_json).expect("write trace");
+                    eprintln!(
+                        "wrote {trace_path} ({} events) — open in chrome://tracing or Perfetto",
+                        obs.trace_events
+                    );
+                    let metrics_path = format!("{dir}/observe_metrics_{bench}.json");
+                    std::fs::write(&metrics_path, obs.report.to_json()).expect("write metrics");
+                    eprintln!("wrote {metrics_path}");
+                    observations.push(obs);
+                }
+                emit("observe_breakdown", asf_harness::observe::breakdown_table(&observations));
+                emit("observe_series", asf_harness::observe::series_table(&observations));
+                for obs in &observations {
+                    println!("{}", asf_harness::observe::series_chart(obs).render(48));
                 }
             }
             cmd if cmd.starts_with("trace:") => {

@@ -23,11 +23,26 @@ pub const REPRESENTATIVE: [&str; 4] = ["vacation", "genome", "kmeans", "intruder
 
 /// Render a missing/failed matrix cell as a placeholder row so the rest of
 /// the table still carries data — the partial-results contract of the
-/// crash-safe harness (failed cells are reported separately by the CLI).
-fn failed_row(t: &mut Table, bench: &str, cols: usize) {
-    let mut row = vec![bench.to_string()];
+/// crash-safe harness — and attach the failure cause(s) as table notes, so
+/// CSV/JSON outputs are self-describing instead of bare `failed` cells.
+fn failed_row(t: &mut Table, m: &Matrix, bench: &str, cols: usize) {
+    failed_row_labeled(t, m, bench, bench, cols);
+}
+
+/// [`failed_row`] with a display label distinct from the matrix bench key
+/// (e.g. `genome (sb4)` for per-detector rows).
+fn failed_row_labeled(t: &mut Table, m: &Matrix, bench: &str, label: &str, cols: usize) {
+    let mut row = vec![label.to_string()];
     row.resize(cols, "failed".to_string());
     t.row(row);
+    for (key, error, attempts) in m.failed_cells() {
+        if key.bench == bench {
+            t.note(format!(
+                "{}/{} failed after {attempts} attempt(s): {error}",
+                key.bench, key.detector
+            ));
+        }
+    }
 }
 
 /// Number of time bins used for the Figure 3 curves.
@@ -115,7 +130,7 @@ pub fn fig1(m: &Matrix) -> Table {
     let mut rates = Vec::new();
     for b in m.benches() {
         let Some(s) = m.stats(&b, DetectorKind::Baseline) else {
-            failed_row(&mut t, &b, 4);
+            failed_row(&mut t, m, &b, 4);
             continue;
         };
         let rate = s.conflicts.false_rate();
@@ -144,7 +159,7 @@ pub fn fig2(m: &Matrix) -> Table {
     let mut n = 0usize;
     for b in m.benches() {
         let Some(s) = m.stats(&b, DetectorKind::Baseline) else {
-            failed_row(&mut t, &b, 4);
+            failed_row(&mut t, m, &b, 4);
             continue;
         };
         match s.conflicts.false_type_shares() {
@@ -185,7 +200,7 @@ pub fn fig3(m: &Matrix) -> Table {
     );
     for &b in REPRESENTATIVE.iter() {
         let Some(s) = m.stats(b, DetectorKind::Baseline) else {
-            failed_row(&mut t, b, 4);
+            failed_row(&mut t, m, b, 4);
             continue;
         };
         // The matrix aggregates several seeds (cycles are summed), so the
@@ -230,7 +245,7 @@ pub fn fig4(m: &Matrix) -> Table {
     );
     for &b in REPRESENTATIVE.iter() {
         let Some(s) = m.stats(b, DetectorKind::Baseline) else {
-            failed_row(&mut t, b, 4);
+            failed_row(&mut t, m, b, 4);
             continue;
         };
         let hottest = s
@@ -259,7 +274,7 @@ pub fn fig5(m: &Matrix) -> Table {
     );
     for &b in REPRESENTATIVE.iter() {
         let Some(s) = m.stats(b, DetectorKind::Baseline) else {
-            failed_row(&mut t, b, 4);
+            failed_row(&mut t, m, b, 4);
             continue;
         };
         let word = asf_workloads::by_name(b, Scale::Small)
@@ -390,7 +405,7 @@ pub fn fig8(m: &Matrix) -> Table {
     let mut n = 0;
     for b in m.benches() {
         let Some(base) = m.stats(&b, DetectorKind::Baseline).map(|s| &s.conflicts) else {
-            failed_row(&mut t, &b, 5);
+            failed_row(&mut t, m, &b, 5);
             continue;
         };
         let mut cells = vec![b.clone()];
@@ -439,7 +454,7 @@ pub fn fig9(m: &Matrix) -> Table {
             m.stats(&b, DetectorKind::Perfect),
         );
         let (Some(base), Some(sb4), Some(perfect)) = cells else {
-            failed_row(&mut t, &b, 4);
+            failed_row(&mut t, m, &b, 4);
             continue;
         };
         let base = &base.conflicts;
@@ -491,7 +506,7 @@ pub fn fig10(m: &Matrix) -> Table {
             m.stats(&b, DetectorKind::Perfect),
         );
         let (Some(base), Some(sb4), Some(perfect)) = cells else {
-            failed_row(&mut t, &b, 3);
+            failed_row(&mut t, m, &b, 3);
             continue;
         };
         let v4 = sb4.speedup_vs(base);
@@ -583,7 +598,7 @@ pub fn diag(m: &Matrix) -> Table {
                 continue;
             }
             let Some(s) = m.stats(&b, d) else {
-                failed_row(&mut t, &format!("{b} ({})", d.label()), 14);
+                failed_row_labeled(&mut t, m, &b, &format!("{b} ({})", d.label()), 14);
                 continue;
             };
             t.row(vec![

@@ -17,6 +17,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod experiments;
 pub mod matrix;
+pub mod observe;
 pub mod perf;
 
 pub use checkpoint::Checkpoint;

@@ -1,0 +1,288 @@
+//! The `asf-repro observe` experiment (DESIGN.md §13): run benchmarks with
+//! the full observability layer switched on and emit, per benchmark,
+//!
+//! * a Chrome `trace_event` / Perfetto-compatible timeline with per-core
+//!   tracks (transaction begin/commit/abort, probes, retention,
+//!   dirty-refetch, fallback-lock lifecycle), streamed through
+//!   [`ChromeTraceSink`] so nothing is ring-buffer-dropped;
+//! * a metrics snapshot (`asf-obs-v1` JSON: named counters, interval
+//!   gauges, wall-time phase histograms);
+//! * a hot-path breakdown table (wall time per simulator phase) and a
+//!   conflicts-per-interval time-series table with a bar-chart rendering.
+//!
+//! Observability is contracted to be bit-transparent
+//! (`tests/observability.rs` pins `RunStats` equality), so the numbers
+//! here are exactly the numbers every other experiment reports.
+
+use crate::error::HarnessError;
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_machine::obs::{ObsConfig, ObsReport};
+use asf_machine::trace::ChromeTraceSink;
+use asf_stats::chart::BarChart;
+use asf_stats::json::parse;
+use asf_stats::run::RunStats;
+use asf_stats::table::Table;
+use asf_workloads::Scale;
+
+/// Interval width (cycles) of the conflict time-series — the "conflicts
+/// per 100k cycles" resolution of the observe report.
+pub const DEFAULT_INTERVAL: u64 = 100_000;
+
+/// The benchmark set used by `observe --smoke`: one small, fast benchmark
+/// with enough contention to exercise every event class.
+pub const SMOKE_BENCH: &str = "ssca2";
+
+/// One benchmark observed end to end.
+#[derive(Debug)]
+pub struct Observation {
+    /// Benchmark name.
+    pub bench: String,
+    /// The run's ordinary statistics (identical to an unobserved run).
+    pub stats: RunStats,
+    /// Metrics registry + phase profiler snapshot.
+    pub report: ObsReport,
+    /// Finished Chrome `trace_event` JSON document.
+    pub trace_json: String,
+    /// Number of timeline events in `trace_json`.
+    pub trace_events: u64,
+}
+
+/// Run one benchmark with metrics, profiling, and the streaming timeline
+/// sink all enabled.
+pub fn observe_one(
+    bench: &str,
+    scale: Scale,
+    seed: u64,
+    interval_cycles: u64,
+) -> Result<Observation, HarnessError> {
+    let w = asf_workloads::by_name(bench, scale)
+        .ok_or_else(|| HarnessError::UnknownBenchmark(bench.to_string()))?;
+    let cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(4), seed);
+    let mut machine = Machine::new(w.as_ref(), cfg);
+    machine.enable_observability(ObsConfig { interval_cycles, profile: true });
+    machine.set_trace_sink(Box::new(ChromeTraceSink::new()));
+    let out = machine.try_run_to_completion().map_err(|e| HarnessError::FailedCell {
+        bench: bench.to_string(),
+        detector: DetectorKind::SubBlock(4).label(),
+        error: e.to_string(),
+    })?;
+    let mut sink = machine.take_trace_sink().expect("sink installed above");
+    let sink = sink
+        .as_any()
+        .downcast_mut::<ChromeTraceSink>()
+        .expect("the installed sink is a ChromeTraceSink");
+    let sink = std::mem::replace(sink, ChromeTraceSink::new());
+    let trace_events = sink.events();
+    Ok(Observation {
+        bench: bench.to_string(),
+        stats: out.stats,
+        report: out.obs.expect("observability enabled above"),
+        trace_json: sink.finish(),
+        trace_events,
+    })
+}
+
+/// Validate one observation against the artifact contract the CI smoke
+/// step enforces: the timeline parses as a non-empty Chrome `trace_event`
+/// array with per-core tracks carrying transaction lifecycle events, and
+/// the metrics snapshot parses with at least ten named counters, the
+/// interval series, and the phase histograms.
+pub fn validate(obs: &Observation) -> Result<(), String> {
+    // --- timeline ------------------------------------------------------
+    let trace = parse(&obs.trace_json).map_err(|e| format!("trace JSON does not parse: {e}"))?;
+    let events = trace.as_arr().map_err(|e| format!("trace is not an array: {e}"))?;
+    if events.is_empty() {
+        return Err("trace is empty".into());
+    }
+    let mut tids = std::collections::HashSet::new();
+    let (mut begins, mut closes, mut tracks) = (0u64, 0u64, 0u64);
+    for ev in events {
+        let name = ev
+            .field("name")
+            .and_then(|v| v.as_str())
+            .map_err(|e| format!("event without a name: {e}"))?;
+        let ph = ev
+            .field("ph")
+            .and_then(|v| v.as_str())
+            .map_err(|e| format!("event without a phase: {e}"))?;
+        match (name, ph) {
+            ("tx-begin", "i") => begins += 1,
+            ("transaction" | "transaction-aborted", "X") => {
+                closes += 1;
+                tids.insert(ev.field("tid").and_then(|v| v.as_u64()).unwrap_or(u64::MAX));
+            }
+            ("thread_name", "M") => tracks += 1,
+            _ => {}
+        }
+    }
+    if begins == 0 || closes == 0 {
+        return Err(format!(
+            "timeline lacks transaction lifecycle events (begins {begins}, commits/aborts {closes})"
+        ));
+    }
+    if tracks == 0 || tids.is_empty() {
+        return Err("timeline has no named per-core tracks".into());
+    }
+    // --- metrics snapshot ----------------------------------------------
+    let snap = parse(&obs.report.to_json()).map_err(|e| format!("metrics JSON: {e}"))?;
+    let schema = snap
+        .field("schema")
+        .and_then(|v| v.as_str())
+        .map_err(|e| format!("metrics snapshot without schema: {e}"))?;
+    if schema != "asf-obs-v1" {
+        return Err(format!("unexpected metrics schema {schema:?}"));
+    }
+    if obs.report.registry.counter_count() < 10 {
+        return Err(format!(
+            "metrics snapshot has {} counters, contract says >= 10",
+            obs.report.registry.counter_count()
+        ));
+    }
+    snap.field("counters").map_err(|e| format!("metrics snapshot: {e}"))?;
+    let intervals = snap.field("intervals").map_err(|e| format!("metrics snapshot: {e}"))?;
+    let conflicts = intervals
+        .field("conflicts.per_interval")
+        .map_err(|e| format!("metrics snapshot: {e}"))?;
+    conflicts.field("width").and_then(|v| v.as_u64()).map_err(|e| format!("series width: {e}"))?;
+    conflicts.field("buckets").and_then(|v| v.as_u64_vec()).map_err(|e| format!("series: {e}"))?;
+    snap.field("phases").map_err(|e| format!("metrics snapshot: {e}"))?;
+    // Cross-check: the registry's conflict counter must agree with the
+    // digest-pinned RunStats (the bit-transparency contract in action).
+    let counted = obs.report.registry.get_by_name("conflict.detected").unwrap_or(0);
+    if counted != obs.stats.conflicts.total() {
+        return Err(format!(
+            "registry counted {counted} conflicts but RunStats has {}",
+            obs.stats.conflicts.total()
+        ));
+    }
+    Ok(())
+}
+
+/// The wall-time-per-phase breakdown table across all observations.
+pub fn breakdown_table(observations: &[Observation]) -> Table {
+    let mut t = Table::new(
+        "Observe: hot-path wall-time breakdown",
+        &["benchmark", "phase", "calls", "total ms", "mean µs", "share"],
+    );
+    for obs in observations {
+        let total_ns: u64 = obs.report.phases.phases().map(|(_, _, ns, _, _)| ns).sum();
+        for (name, count, ns, _max, _hist) in obs.report.phases.phases() {
+            let share = if total_ns > 0 { ns as f64 / total_ns as f64 } else { 0.0 };
+            let mean_us = if count > 0 { ns as f64 / count as f64 / 1_000.0 } else { 0.0 };
+            t.row(vec![
+                obs.bench.clone(),
+                name.to_string(),
+                count.to_string(),
+                format!("{:.2}", ns as f64 / 1e6),
+                format!("{mean_us:.2}"),
+                asf_stats::table::pct(share),
+            ]);
+        }
+    }
+    t
+}
+
+/// The conflicts-per-interval time-series table across all observations
+/// (one row per non-empty window, plus each benchmark's totals).
+pub fn series_table(observations: &[Observation]) -> Table {
+    let mut t = Table::new(
+        "Observe: conflicts per interval",
+        &["benchmark", "window start (cycles)", "conflicts", "false"],
+    );
+    for obs in observations {
+        let mut windows: Vec<(u64, u64, u64)> = Vec::new();
+        for (name, width, buckets) in obs.report.registry.intervals() {
+            let which = match name {
+                "conflicts.per_interval" => 0,
+                "false_conflicts.per_interval" => 1,
+                _ => continue,
+            };
+            for (i, &n) in buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let start = i as u64 * width;
+                match windows.iter_mut().find(|w| w.0 == start) {
+                    Some(w) => {
+                        if which == 0 {
+                            w.1 += n;
+                        } else {
+                            w.2 += n;
+                        }
+                    }
+                    None => windows.push(if which == 0 {
+                        (start, n, 0)
+                    } else {
+                        (start, 0, n)
+                    }),
+                }
+            }
+        }
+        windows.sort_unstable();
+        for (start, c, f) in &windows {
+            t.row(vec![
+                obs.bench.clone(),
+                start.to_string(),
+                c.to_string(),
+                f.to_string(),
+            ]);
+        }
+        t.row(vec![
+            format!("{} (total)", obs.bench),
+            "-".into(),
+            obs.stats.conflicts.total().to_string(),
+            obs.stats.conflicts.false_total().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Bar chart of each observation's conflict time-series (one bar per
+/// interval window), rendered with the same machinery as the figure charts.
+pub fn series_chart(obs: &Observation) -> BarChart {
+    let mut c = BarChart::new(
+        format!("{}: conflicts per {}k cycles", obs.bench, DEFAULT_INTERVAL / 1000),
+        "",
+    );
+    for (name, width, buckets) in obs.report.registry.intervals() {
+        if name != "conflicts.per_interval" {
+            continue;
+        }
+        for (i, &n) in buckets.iter().enumerate() {
+            c.bar(format!("{}k", i as u64 * width / 1000), n as f64);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_one_produces_valid_artifacts() {
+        let obs = observe_one(SMOKE_BENCH, Scale::Small, 17, DEFAULT_INTERVAL).expect("runs");
+        validate(&obs).expect("artifacts meet the contract");
+        assert!(obs.trace_events > 0);
+        assert!(obs.report.registry.get_by_name("tx.commits").unwrap() > 0);
+        let breakdown = breakdown_table(std::slice::from_ref(&obs));
+        assert!(breakdown.len() >= 4, "one row per profiled phase");
+        let series = series_table(std::slice::from_ref(&obs));
+        assert!(!series.is_empty());
+    }
+
+    #[test]
+    fn unknown_benchmark_is_a_typed_error() {
+        let err = observe_one("nope", Scale::Small, 1, DEFAULT_INTERVAL).unwrap_err();
+        assert_eq!(err, HarnessError::UnknownBenchmark("nope".into()));
+    }
+
+    #[test]
+    fn validate_rejects_empty_trace() {
+        let mut obs = observe_one(SMOKE_BENCH, Scale::Small, 17, DEFAULT_INTERVAL).expect("runs");
+        obs.trace_json = "[\n]\n".into();
+        let err = validate(&obs).unwrap_err();
+        assert!(err.contains("empty"), "got: {err}");
+    }
+}

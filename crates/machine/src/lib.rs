@@ -68,6 +68,7 @@ pub mod error;
 pub mod fault;
 pub mod hier;
 pub mod machine;
+pub mod obs;
 pub mod trace;
 pub mod txprog;
 pub mod value;
@@ -75,6 +76,7 @@ pub mod value;
 pub use error::{CoreReport, ProgressReport, SimError};
 pub use fault::{FaultPlan, FaultRate};
 pub use machine::{Machine, ResolutionPolicy, SimConfig, SimOutput};
-pub use trace::{RingTrace, TraceEvent};
+pub use obs::{ObsConfig, ObsReport};
+pub use trace::{ChromeTraceSink, RingTrace, TraceEvent, TraceSink};
 pub use txprog::{ThreadProgram, TxAttempt, TxBuilder, TxOp, WorkItem, Workload};
 pub use value::GlobalMemory;

@@ -3,7 +3,8 @@
 use crate::error::{CoreReport, ProgressReport, SimError};
 use crate::fault::FaultPlan;
 use crate::hier::{CoreCaches, LineMeta};
-use crate::trace::{RingTrace, TraceEvent};
+use crate::obs::{Obs, ObsConfig, ObsReport, Phases};
+use crate::trace::{RingTrace, TraceEvent, TraceSink};
 use crate::txprog::{ThreadProgram, TxAttempt, TxOp, WorkItem, Workload};
 use crate::value::{GlobalMemory, ReadLog, WriteSet};
 use asf_core::backoff::ExponentialBackoff;
@@ -18,7 +19,9 @@ use asf_mem::latency::AccessLevel;
 use asf_mem::mask::AccessMask;
 use asf_mem::moesi::{CoherenceKind, MoesiState};
 use asf_mem::rng::SimRng;
+use asf_stats::metrics::PhaseId;
 use asf_stats::run::{AbortCause, RunStats};
+use std::time::Instant;
 
 /// Which transaction survives a detected conflict.
 ///
@@ -224,6 +227,12 @@ pub struct SimOutput {
     pub trace: Option<RingTrace>,
     /// Adaptive mode: lines promoted to fine-grained tracking (0 otherwise).
     pub promoted_lines: usize,
+    /// The observability report, when
+    /// [`Machine::enable_observability`] was called before the run.
+    /// Deliberately *outside* [`RunStats`]: phase timings are wall-clock
+    /// and therefore nondeterministic, and the whole layer is contracted
+    /// never to perturb the digest-pinned statistics.
+    pub obs: Option<ObsReport>,
 }
 
 /// Control state of one core.
@@ -312,6 +321,16 @@ pub struct Machine {
     fallback_owner: Option<usize>,
     steps: u64,
     trace: Option<RingTrace>,
+    /// Streaming timeline sink (Chrome trace, or anything implementing
+    /// [`TraceSink`]); fed the same events as `trace`.
+    sink: Option<Box<dyn TraceSink>>,
+    /// The observability layer (metrics registry + phase profiler);
+    /// `None` unless [`Machine::enable_observability`] was called.
+    obs: Option<Box<Obs>>,
+    /// `obs.is_some()`, hoisted: like `faults_on`, every instrumentation
+    /// site gates on this bool so the disabled layer costs one predictable
+    /// branch and the run stays bit-identical.
+    obs_on: bool,
     /// Adaptive mode: per-line false-conflict heat (the predictor table).
     line_heat: FxHashMap<LineAddr, u32>,
     /// Probe-filter directory: cores that may hold each line (bitmask).
@@ -428,6 +447,9 @@ impl Machine {
             fallback_owner: None,
             steps: 0,
             trace: None,
+            sink: None,
+            obs: None,
+            obs_on: false,
             line_heat: FxHashMap::default(),
             directory: FxHashMap::default(),
             residency: FxHashMap::default(),
@@ -631,10 +653,82 @@ impl Machine {
         self.trace = Some(RingTrace::new(cap));
     }
 
+    /// Attach a streaming [`TraceSink`] (e.g.
+    /// [`crate::trace::ChromeTraceSink`]). The sink sees every event the
+    /// ring trace would, as it happens — nothing is dropped. Call before
+    /// running; recover the sink with [`Machine::take_trace_sink`] after.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach the streaming sink installed by [`Machine::set_trace_sink`]
+    /// (downcast via [`TraceSink::as_any`] to recover the concrete writer).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Enable the observability layer (DESIGN.md §13): named counters,
+    /// cycle-bucketed interval gauges, and (when `cfg.profile`) wall-time
+    /// phase histograms. Call before running; the report is returned in
+    /// [`SimOutput::obs`]. The layer never touches [`RunStats`], any RNG
+    /// stream, or any clock — enabling it is bit-transparent to every
+    /// reported statistic.
+    pub fn enable_observability(&mut self, cfg: ObsConfig) {
+        self.obs = Some(Box::new(Obs::new(cfg)));
+        self.obs_on = true;
+    }
+
     #[inline]
     fn emit(&mut self, ev: TraceEvent) {
         if let Some(t) = self.trace.as_mut() {
             t.record(ev);
+        }
+        if let Some(s) = self.sink.as_mut() {
+            s.record(ev);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observability hooks (all no-ops unless `obs_on`)
+    // ------------------------------------------------------------------
+
+    /// Start a wall-clock sample if profiling is live. The `Option` is the
+    /// gate: disabled runs take one branch, no clock read.
+    #[inline]
+    fn obs_timer(&self) -> Option<Instant> {
+        match &self.obs {
+            Some(o) if o.profile => Some(Instant::now()),
+            _ => None,
+        }
+    }
+
+    /// Close a wall-clock sample opened by [`Self::obs_timer`].
+    #[inline]
+    fn obs_phase(&mut self, t0: Option<Instant>, sel: impl FnOnce(&Phases) -> PhaseId) {
+        if let (Some(t0), Some(o)) = (t0, self.obs.as_deref_mut()) {
+            let id = sel(&o.ph);
+            o.phases.record(id, t0.elapsed());
+        }
+    }
+
+    /// Run `f` against the live observability state (no-op when disabled).
+    #[inline]
+    fn obs_with(&mut self, f: impl FnOnce(&mut Obs)) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            f(o);
+        }
+    }
+
+    /// Count one detected conflict (and its interval-gauge bucket).
+    #[inline]
+    fn obs_conflict(&mut self, now: u64, is_true: bool) {
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.registry.inc(o.c.conflicts);
+            o.registry.bump(o.g.conflicts, now);
+            if !is_true {
+                o.registry.inc(o.c.false_conflicts);
+                o.registry.bump(o.g.false_conflicts, now);
+            }
         }
     }
 
@@ -678,11 +772,24 @@ impl Machine {
         let mut stats = std::mem::take(&mut self.stats);
         stats.cycles = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
         let promoted_lines = self.promoted_lines();
+        // Fold the caches' passive fill/eviction counters into the report
+        // at the end of the run (the mem crate cannot depend on stats, so
+        // the counters live with the arrays and are read out here).
+        let obs = self.obs.take().map(|mut o| {
+            self.obs_on = false;
+            for core in &self.cores {
+                o.registry.add(o.c.l1_evictions, core.caches.l1.evictions());
+                o.registry.add(o.c.l2_evictions, core.caches.l2.evictions());
+                o.registry.add(o.c.l3_evictions, core.caches.l3.evictions());
+            }
+            o.into_report()
+        });
         Ok(SimOutput {
             stats,
             memory: std::mem::take(&mut self.memory),
             trace: self.trace.take(),
             promoted_lines,
+            obs,
         })
     }
 
@@ -754,7 +861,18 @@ impl Machine {
             }
             None => return false,
         };
-        self.step_core(who);
+        if self.obs_on {
+            self.obs_with(|o| {
+                let id = o.c.sched_pops;
+                o.registry.inc(id);
+            });
+            let t0 = self.obs_timer();
+            self.step_core(who);
+            self.obs_phase(t0, |ph| ph.sched);
+        } else {
+            // Disabled path: one predictable branch, no clock reads.
+            self.step_core(who);
+        }
         if !matches!(self.cores[who].state, CoreState::Done) {
             self.runq.push(std::cmp::Reverse((self.cores[who].clock, who)));
         }
@@ -787,6 +905,10 @@ impl Machine {
                 self.monitor.note_attempt(who);
                 let (cycle, retry) = (self.cores[who].clock, self.cores[who].consec_aborts);
                 self.emit(TraceEvent::TxBegin { core: who, cycle, retry });
+                self.obs_with(|o| {
+                    o.registry.inc(o.c.tx_begins);
+                    o.registry.inc(o.c.tx_retries);
+                });
                 self.cores[who].state = CoreState::InTx { attempt, pc: 0 };
             }
             CoreState::AwaitLock { attempt } => {
@@ -836,6 +958,10 @@ impl Machine {
                 self.stats.on_attempt();
                 self.monitor.note_attempt(who);
                 self.emit(TraceEvent::TxBegin { core: who, cycle: now, retry: 0 });
+                self.obs_with(|o| {
+                    let id = o.c.tx_begins;
+                    o.registry.inc(id);
+                });
                 self.cores[who].state = CoreState::InTx { attempt, pc: 0 };
             }
         }
@@ -850,6 +976,10 @@ impl Machine {
         // (ASF's transient-abort class — interrupts, TLB misses, …).
         if self.faults_on && self.cfg.faults.spurious_abort.fires(&mut self.fault_rng) {
             self.stats.faults.spurious_op_aborts += 1;
+            self.obs_with(|o| {
+                let id = o.c.fault_injections;
+                o.registry.inc(id);
+            });
             self.teardown_tx(who);
             self.after_abort(who, AbortCause::Spurious, attempt);
             return;
@@ -878,6 +1008,10 @@ impl Machine {
             self.stats.on_commit();
             self.monitor.note_commit(who, self.steps);
             self.stats.fallback_commits += 1;
+            self.obs_with(|o| {
+                let id = o.c.fallback_commits;
+                o.registry.inc(id);
+            });
             self.stats.on_final_retries(self.cores[who].consec_aborts);
             self.cores[who].consec_aborts = 0;
             self.cores[who].backoff.on_commit();
@@ -911,6 +1045,10 @@ impl Machine {
     fn acquire_fallback(&mut self, who: usize) {
         let cycle = self.cores[who].clock;
         self.emit(TraceEvent::FallbackAcquire { core: who, cycle });
+        self.obs_with(|o| {
+            let id = o.c.fallback_acquires;
+            o.registry.inc(id);
+        });
         self.fallback_owner = Some(who);
         // Writing the lock word aborts every subscribed (running) txn.
         for v in 0..self.cores.len() {
@@ -925,6 +1063,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn commit(&mut self, who: usize, attempt: TxAttempt) {
+        let t0 = self.obs_timer();
         // DPTM mode: validate speculated reads before committing.
         if self.cfg.war_speculation && self.cores[who].needs_validation {
             let stale = {
@@ -940,6 +1079,7 @@ impl Machine {
             if stale {
                 self.teardown_tx(who);
                 self.after_abort(who, AbortCause::Validation, attempt);
+                self.obs_phase(t0, |ph| ph.commit);
                 return;
             }
         }
@@ -956,6 +1096,11 @@ impl Machine {
         core.state = CoreState::Idle;
         // Commit is a local gang-clear; charge a small fixed cost.
         core.clock += 3;
+        self.obs_with(|o| {
+            let id = o.c.tx_commits;
+            o.registry.inc(id);
+        });
+        self.obs_phase(t0, |ph| ph.commit);
     }
 
     /// Tear down the speculative state of `who`'s running attempt (used for
@@ -973,8 +1118,13 @@ impl Machine {
     /// columns, and feeds the residency index — every buffer involved is
     /// pooled across attempts.
     fn clear_spec_state(&mut self, who: usize, invalidate_written: bool) {
+        let t0 = self.obs_timer();
         let mut lines = std::mem::take(&mut self.cores[who].caches.spec_lines);
         let mut dropped = std::mem::take(&mut self.scratch_dropped);
+        self.obs_with(|o| {
+            o.registry.inc(o.c.teardown_walks);
+            o.registry.add(o.c.teardown_lines, lines.len() as u64);
+        });
         for &line in &lines {
             self.spec_dir_clear(line, who);
             self.cores[who]
@@ -1001,6 +1151,7 @@ impl Machine {
         }
         dropped.clear();
         self.scratch_dropped = dropped;
+        self.obs_phase(t0, |ph| ph.teardown);
     }
 
     /// Abort a remote victim at probe time.
@@ -1014,6 +1165,11 @@ impl Machine {
         self.stats.on_abort(cause);
         let cycle = self.cores[who].clock;
         self.emit(TraceEvent::TxAbort { core: who, cycle, cause });
+        self.obs_with(|o| {
+            let id = o.abort_counter(cause);
+            o.registry.inc(id);
+            o.registry.bump(o.g.aborts, cycle);
+        });
         self.monitor.note_abort(who);
         let core = &mut self.cores[who];
         // Saturating: with `max_retries = u32::MAX` (a deliberate
@@ -1265,11 +1421,14 @@ impl Machine {
             if let Some(e) = ev3 {
                 self.res_drop_if_absent(e, who);
             }
-            let mut spec = self.cores[who]
-                .caches
-                .retained
-                .remove(&line)
-                .unwrap_or(SpecState::EMPTY);
+            let retained = self.cores[who].caches.retained.remove(&line);
+            if retained.is_some() {
+                self.obs_with(|o| {
+                    let id = o.c.retained_folds;
+                    o.registry.inc(id);
+                });
+            }
+            let mut spec = retained.unwrap_or(SpecState::EMPTY);
             if transactional && self.cfg.enable_dirty {
                 spec.mark_dirty(summary.piggyback);
             }
@@ -1331,6 +1490,10 @@ impl Machine {
             delay = self.cfg.faults.delay_cycles;
             self.stats.faults.delayed_probes += 1;
             self.stats.faults.delay_cycles += delay;
+            self.obs_with(|o| {
+                let id = o.c.fault_injections;
+                o.registry.inc(id);
+            });
         }
         Ok(lat.for_level(level) + delay)
     }
@@ -1342,12 +1505,20 @@ impl Machine {
         let now = self.cores[who].clock;
         if now < self.spike_until[who] {
             self.stats.faults.capacity_spike_aborts += 1;
+            self.obs_with(|o| {
+                let id = o.c.fault_injections;
+                o.registry.inc(id);
+            });
             return Some(AbortCause::Capacity);
         }
         if self.cfg.faults.capacity_spike.fires(&mut self.fault_rng) {
             self.spike_until[who] = now + self.cfg.faults.spike_cycles;
             self.stats.faults.capacity_spikes += 1;
             self.stats.faults.capacity_spike_aborts += 1;
+            self.obs_with(|o| {
+                let id = o.c.fault_injections;
+                o.registry.inc(id);
+            });
             return Some(AbortCause::Capacity);
         }
         None
@@ -1412,6 +1583,7 @@ impl Machine {
                 detector.check_probe(&merged, kind, mask)
             {
                 self.stats.on_conflict(ck, is_true, now, line);
+                self.obs_conflict(now, is_true);
                 if !is_true {
                     self.heat_line(line);
                 }
@@ -1449,7 +1621,9 @@ impl Machine {
         let mut out = std::mem::take(&mut self.scratch_vspec);
         out.clear();
         if !self.cfg.exhaustive_spec_walk {
-            if let Some(entry) = self.spec_dir.get(&line) {
+            let entry = self.spec_dir.get(&line);
+            let dir_hit = entry.is_some();
+            if let Some(entry) = entry {
                 let mut bits = entry.cores & !(1 << who);
                 while bits != 0 {
                     let v = bits.trailing_zeros() as usize;
@@ -1465,6 +1639,10 @@ impl Machine {
                     ));
                 }
             }
+            self.obs_with(|o| {
+                let id = if dir_hit { o.c.specdir_hits } else { o.c.specdir_misses };
+                o.registry.inc(id);
+            });
         } else {
             let targets = self.probe_targets(who, line);
             for &v in &targets {
@@ -1506,6 +1684,8 @@ impl Machine {
         kind: ProbeKind,
     ) -> ProbeSummary {
         self.stats.probes += 1;
+        let t0 = self.obs_timer();
+        let obs_on = self.obs_on;
         let now = self.cores[who].clock;
         self.emit(TraceEvent::Probe {
             core: who,
@@ -1540,6 +1720,10 @@ impl Machine {
         let targets = self.probe_targets(who, line);
         self.stats.probe_targets += self.accounted_probe_targets(who, line);
         let mut retained_mask: u64 = 0;
+        // Coherence/retention tallies accumulate locally while `meta`
+        // borrows the victim's cache, then fold into the registry once
+        // after the loop.
+        let (mut obs_downgrades, mut obs_invalidations, mut obs_saves) = (0u64, 0u64, 0u64);
 
         for &v in &targets {
             while cursor < vspec.len() && vspec[cursor].0 < v {
@@ -1592,6 +1776,7 @@ impl Machine {
                             self.stats.sig_alias_conflicts += 1;
                         }
                         self.stats.on_conflict(ck, is_true, now, line);
+                        self.obs_conflict(now, is_true);
                         if !is_true {
                             self.heat_line(line);
                         }
@@ -1619,6 +1804,7 @@ impl Machine {
                         }
                         ProbeOutcome::Conflict { kind: ck, is_true } => {
                             self.stats.on_conflict(ck, is_true, now, line);
+                            self.obs_conflict(now, is_true);
                             if !is_true {
                                 self.heat_line(line);
                             }
@@ -1653,6 +1839,10 @@ impl Machine {
                 && self.cfg.faults.false_probe_conflict.fires(&mut self.fault_rng)
             {
                 self.stats.faults.false_probe_conflicts += 1;
+                self.obs_with(|o| {
+                    let id = o.c.fault_injections;
+                    o.registry.inc(id);
+                });
                 self.abort_victim(v, AbortCause::Spurious);
             }
 
@@ -1665,9 +1855,16 @@ impl Machine {
                 }
                 match kind {
                     ProbeKind::NonInvalidating => {
+                        let prev = meta.moesi;
                         meta.moesi = meta.moesi.after_remote_read_with(self.cfg.coherence);
+                        if obs_on && prev.is_demotion(meta.moesi) {
+                            obs_downgrades += 1;
+                        }
                     }
                     ProbeKind::Invalidating => {
+                        if obs_on {
+                            obs_invalidations += 1;
+                        }
                         let taken = self.cores[v]
                             .caches
                             .invalidate_all_levels(line)
@@ -1685,6 +1882,7 @@ impl Machine {
                                 .or_insert(SpecState::EMPTY)
                                 .merge(&taken.spec);
                             retained_mask |= 1 << v;
+                            obs_saves += 1;
                         }
                         self.res_drop_if_absent(line, v);
                     }
@@ -1696,6 +1894,9 @@ impl Machine {
                 {
                     summary.others_had_copy = true;
                     if kind.invalidates() {
+                        if obs_on {
+                            obs_invalidations += 1;
+                        }
                         self.cores[v].caches.l2.remove(line);
                         self.cores[v].caches.l3.remove(line);
                         self.res_drop_if_absent(line, v);
@@ -1703,8 +1904,16 @@ impl Machine {
                 }
             }
         }
+        let visited = targets.len() as u64;
         self.put_back_targets(targets);
         self.put_back_vspec(vspec);
+        self.obs_with(|o| {
+            o.registry.inc(o.c.probe_walks);
+            o.registry.add(o.c.probe_cores_visited, visited);
+            o.registry.add(o.c.coh_downgrades, obs_downgrades);
+            o.registry.add(o.c.coh_invalidations, obs_invalidations);
+            o.registry.add(o.c.retained_saves, obs_saves);
+        });
         // Directory maintenance (probe filter): after an invalidation only
         // the requester and the retained-metadata holders can matter; a
         // read probe adds the requester as a sharer. Cores that held only
@@ -1726,6 +1935,7 @@ impl Machine {
                 }
             }
         }
+        self.obs_phase(t0, |ph| ph.probe);
         summary
     }
 

@@ -1,0 +1,261 @@
+//! The observability layer (`asf-obs`, DESIGN.md §13): a per-run metrics
+//! registry plus hot-path profiling hooks, threaded through the machine's
+//! event sites.
+//!
+//! Disabled-path contract: the machine holds the whole layer behind an
+//! `Option` with a hoisted `obs_on` bool — exactly the `FaultPlan::none()`
+//! pattern — so a run without observability pays one predictable branch per
+//! event site and is bit-identical to a pre-observability build. Enabling
+//! it must not perturb the run either: the layer never touches
+//! [`asf_stats::run::RunStats`], never draws from any RNG stream, and never
+//! advances a clock; the transparency test in `tests/observability.rs`
+//! pins `RunStats` equality with everything switched on.
+//!
+//! Wall-clock phase timings come from `std::time::Instant` and are
+//! inherently nondeterministic, which is why the whole report lives in
+//! [`crate::machine::SimOutput::obs`] rather than in `RunStats`.
+
+use asf_stats::metrics::{CounterId, GaugeId, MetricsRegistry, PhaseId, PhaseProfiler};
+use asf_stats::run::AbortCause;
+
+/// Configuration of the observability layer
+/// ([`crate::machine::Machine::enable_observability`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ObsConfig {
+    /// Width, in cycles, of the interval gauges' buckets (conflicts /
+    /// aborts per window). The `observe` experiment's "conflicts per 100k
+    /// cycles" series uses the default.
+    pub interval_cycles: u64,
+    /// Record wall-time phase samples (scheduler steps, probe resolution,
+    /// teardown, commit) with `std::time::Instant`. Costs two clock reads
+    /// per sampled phase; counters and gauges stay on regardless.
+    pub profile: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { interval_cycles: 100_000, profile: true }
+    }
+}
+
+/// Counter handles, registered once at enable time so event sites pay a
+/// plain indexed add.
+pub(crate) struct Counters {
+    pub tx_begins: CounterId,
+    pub tx_retries: CounterId,
+    pub tx_commits: CounterId,
+    pub fallback_acquires: CounterId,
+    pub fallback_commits: CounterId,
+    pub abort_conflict_true: CounterId,
+    pub abort_conflict_false: CounterId,
+    pub abort_capacity: CounterId,
+    pub abort_user: CounterId,
+    pub abort_lock_fallback: CounterId,
+    pub abort_validation: CounterId,
+    pub abort_spurious: CounterId,
+    pub conflicts: CounterId,
+    pub false_conflicts: CounterId,
+    pub probe_walks: CounterId,
+    pub probe_cores_visited: CounterId,
+    pub specdir_hits: CounterId,
+    pub specdir_misses: CounterId,
+    pub retained_saves: CounterId,
+    pub retained_folds: CounterId,
+    pub fault_injections: CounterId,
+    pub sched_pops: CounterId,
+    pub teardown_walks: CounterId,
+    pub teardown_lines: CounterId,
+    pub coh_downgrades: CounterId,
+    pub coh_invalidations: CounterId,
+    pub l1_evictions: CounterId,
+    pub l2_evictions: CounterId,
+    pub l3_evictions: CounterId,
+}
+
+/// Interval-gauge handles.
+pub(crate) struct Gauges {
+    pub conflicts: GaugeId,
+    pub false_conflicts: GaugeId,
+    pub aborts: GaugeId,
+}
+
+/// Profiling-phase handles.
+pub(crate) struct Phases {
+    pub sched: PhaseId,
+    pub probe: PhaseId,
+    pub teardown: PhaseId,
+    pub commit: PhaseId,
+}
+
+/// Live observability state owned by a running machine.
+pub(crate) struct Obs {
+    pub registry: MetricsRegistry,
+    pub phases: PhaseProfiler,
+    pub profile: bool,
+    pub c: Counters,
+    pub g: Gauges,
+    pub ph: Phases,
+}
+
+impl Obs {
+    pub(crate) fn new(cfg: ObsConfig) -> Obs {
+        let mut registry = MetricsRegistry::new();
+        let c = Counters {
+            tx_begins: registry.counter("tx.begins"),
+            tx_retries: registry.counter("tx.retries"),
+            tx_commits: registry.counter("tx.commits"),
+            fallback_acquires: registry.counter("tx.fallback_acquires"),
+            fallback_commits: registry.counter("tx.fallback_commits"),
+            abort_conflict_true: registry.counter("abort.conflict_true"),
+            abort_conflict_false: registry.counter("abort.conflict_false"),
+            abort_capacity: registry.counter("abort.capacity"),
+            abort_user: registry.counter("abort.user"),
+            abort_lock_fallback: registry.counter("abort.lock_fallback"),
+            abort_validation: registry.counter("abort.validation"),
+            abort_spurious: registry.counter("abort.spurious"),
+            conflicts: registry.counter("conflict.detected"),
+            false_conflicts: registry.counter("conflict.false"),
+            probe_walks: registry.counter("probe.walks"),
+            probe_cores_visited: registry.counter("probe.cores_visited"),
+            specdir_hits: registry.counter("specdir.hits"),
+            specdir_misses: registry.counter("specdir.misses"),
+            retained_saves: registry.counter("retained.saves"),
+            retained_folds: registry.counter("retained.folds"),
+            fault_injections: registry.counter("fault.injections"),
+            sched_pops: registry.counter("sched.pops"),
+            teardown_walks: registry.counter("teardown.walks"),
+            teardown_lines: registry.counter("teardown.lines"),
+            coh_downgrades: registry.counter("coh.downgrades"),
+            coh_invalidations: registry.counter("coh.invalidations"),
+            l1_evictions: registry.counter("cache.l1_evictions"),
+            l2_evictions: registry.counter("cache.l2_evictions"),
+            l3_evictions: registry.counter("cache.l3_evictions"),
+        };
+        let w = cfg.interval_cycles.max(1);
+        let g = Gauges {
+            conflicts: registry.interval("conflicts.per_interval", w),
+            false_conflicts: registry.interval("false_conflicts.per_interval", w),
+            aborts: registry.interval("aborts.per_interval", w),
+        };
+        let mut phases = PhaseProfiler::new();
+        let ph = Phases {
+            sched: phases.phase("scheduler-step"),
+            probe: phases.phase("probe-resolve"),
+            teardown: phases.phase("teardown"),
+            commit: phases.phase("commit"),
+        };
+        Obs { registry, phases, profile: cfg.profile, c, g, ph }
+    }
+
+    /// Counter handle for one abort cause.
+    #[inline]
+    pub(crate) fn abort_counter(&self, cause: AbortCause) -> CounterId {
+        match cause {
+            AbortCause::Conflict { is_true: true, .. } => self.c.abort_conflict_true,
+            AbortCause::Conflict { is_true: false, .. } => self.c.abort_conflict_false,
+            AbortCause::Capacity => self.c.abort_capacity,
+            AbortCause::User => self.c.abort_user,
+            AbortCause::LockFallback => self.c.abort_lock_fallback,
+            AbortCause::Validation => self.c.abort_validation,
+            AbortCause::Spurious => self.c.abort_spurious,
+        }
+    }
+
+    /// Consume the live state into the run's report.
+    pub(crate) fn into_report(self) -> ObsReport {
+        ObsReport { registry: self.registry, phases: self.phases }
+    }
+}
+
+/// The observability report of one finished run
+/// ([`crate::machine::SimOutput::obs`]).
+#[derive(Clone, Debug)]
+pub struct ObsReport {
+    /// Named counters and cycle-bucketed interval gauges.
+    pub registry: MetricsRegistry,
+    /// Wall-time-per-phase accumulators (empty histograms when profiling
+    /// was disabled in [`ObsConfig`]).
+    pub phases: PhaseProfiler,
+}
+
+impl ObsReport {
+    /// Serialise the whole report as one JSON object:
+    /// `{"schema":"asf-obs-v1","counters":{..},"intervals":{..},"phases":{..}}`.
+    pub fn to_json(&self) -> String {
+        let registry = self.registry.to_json();
+        let registry = registry
+            .trim_end()
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .expect("registry JSON is an object")
+            .trim_end();
+        let mut out = String::from("{\n  \"schema\": \"asf-obs-v1\",");
+        out.push_str(registry);
+        out.push_str(",\n  \"phases\": ");
+        let phases = self.phases.to_json();
+        out.push_str(phases.trim_end());
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asf_core::detector::ConflictType;
+    use asf_stats::json::parse;
+
+    #[test]
+    fn registry_has_the_advertised_counters() {
+        let obs = Obs::new(ObsConfig::default());
+        assert!(obs.registry.counter_count() >= 10, "schema promises ≥ 10 named counters");
+        for name in ["tx.commits", "probe.walks", "specdir.hits", "retained.folds", "fault.injections"] {
+            assert_eq!(obs.registry.get_by_name(name), Some(0), "missing counter {name}");
+        }
+        assert_eq!(obs.registry.intervals().count(), 3);
+    }
+
+    #[test]
+    fn abort_causes_map_to_distinct_counters() {
+        let obs = Obs::new(ObsConfig::default());
+        let causes = [
+            AbortCause::Conflict { kind: ConflictType::WriteAfterRead, is_true: true },
+            AbortCause::Conflict { kind: ConflictType::WriteAfterRead, is_true: false },
+            AbortCause::Capacity,
+            AbortCause::User,
+            AbortCause::LockFallback,
+            AbortCause::Validation,
+            AbortCause::Spurious,
+        ];
+        let ids: Vec<_> = causes.iter().map(|&c| obs.abort_counter(c)).collect();
+        for (i, a) in ids.iter().enumerate() {
+            for b in &ids[i + 1..] {
+                assert_ne!(a, b, "abort causes must not share counters");
+            }
+        }
+    }
+
+    #[test]
+    fn report_json_carries_all_three_sections() {
+        let mut obs = Obs::new(ObsConfig { interval_cycles: 10, profile: true });
+        let id = obs.c.tx_commits;
+        obs.registry.inc(id);
+        let g = obs.g.conflicts;
+        obs.registry.bump(g, 25);
+        let ph = obs.ph.probe;
+        obs.phases.record(ph, std::time::Duration::from_nanos(50));
+        let report = obs.into_report();
+        let v = parse(&report.to_json()).expect("report JSON parses");
+        assert_eq!(v.field("schema").unwrap().as_str().unwrap(), "asf-obs-v1");
+        assert_eq!(
+            v.field("counters").unwrap().field("tx.commits").unwrap().as_u64().unwrap(),
+            1
+        );
+        let iv = v.field("intervals").unwrap().field("conflicts.per_interval").unwrap();
+        assert_eq!(iv.field("buckets").unwrap().as_u64_vec().unwrap(), vec![0, 0, 1]);
+        assert_eq!(
+            v.field("phases").unwrap().field("probe-resolve").unwrap().field("count").unwrap().as_u64().unwrap(),
+            1
+        );
+    }
+}

@@ -5,11 +5,20 @@
 //! sites); enable it with [`crate::machine::Machine::enable_trace`] before
 //! running. The log is a ring buffer — when full, the oldest events drop —
 //! so tracing long runs keeps the tail.
+//!
+//! For whole-run timelines the ring is upgraded by the [`TraceSink`]
+//! abstraction: the machine feeds every event to an optional streaming sink
+//! ([`crate::machine::Machine::set_trace_sink`]) in addition to the ring.
+//! [`ChromeTraceSink`] is the built-in streaming sink — it renders the
+//! cycle-domain tx/probe/retention lifecycle as Chrome `trace_event` JSON
+//! with one viewer track per core (open in Perfetto or `chrome://tracing`).
 
 use asf_core::detector::ConflictType;
 use asf_mem::addr::LineAddr;
 use asf_mem::mask::AccessMask;
+use asf_stats::chrome::{arg_str, ChromeTraceWriter};
 use asf_stats::run::AbortCause;
+use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -219,6 +228,184 @@ impl RingTrace {
     }
 }
 
+/// A streaming consumer of [`TraceEvent`]s.
+///
+/// The machine feeds every emitted event to the installed sink in stream
+/// order. Unlike the bounded [`RingTrace`], a streaming sink sees the whole
+/// run; sinks that do bound their storage must account for every discarded
+/// event in [`TraceSink::dropped_events`] so truncated exports are
+/// detectable.
+pub trait TraceSink {
+    /// Consume one event.
+    fn record(&mut self, ev: TraceEvent);
+
+    /// Events this sink has discarded (0 for unbounded sinks).
+    fn dropped_events(&self) -> u64 {
+        0
+    }
+
+    /// Downcast support: lets callers recover the concrete sink they
+    /// installed via [`crate::machine::Machine::take_trace_sink`].
+    fn as_any(&mut self) -> &mut dyn Any;
+}
+
+impl TraceSink for RingTrace {
+    fn record(&mut self, ev: TraceEvent) {
+        RingTrace::record(self, ev);
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped()
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Streaming [`TraceSink`] that renders events as Chrome `trace_event`
+/// JSON (Perfetto-compatible) while the run executes.
+///
+/// Transactions become per-core duration events (committed attempts named
+/// `transaction`, aborted ones `transaction-aborted` with the cause in
+/// `args`), the fallback lock a duration event spanning acquire→release,
+/// and probes / conflicts / dirty-marking retention events instants on the
+/// owning core's track. Cycles map to viewer microseconds 1:1. Nothing is
+/// dropped: memory grows with the number of events emitted.
+pub struct ChromeTraceSink {
+    w: ChromeTraceWriter,
+    open_tx: std::collections::HashMap<usize, u64>,
+    open_fallback: std::collections::HashMap<usize, u64>,
+    named_cores: std::collections::HashSet<usize>,
+    upstream_dropped: u64,
+    last_ts: u64,
+}
+
+impl Default for ChromeTraceSink {
+    fn default() -> Self {
+        ChromeTraceSink::new()
+    }
+}
+
+impl ChromeTraceSink {
+    /// Create an empty streaming sink.
+    pub fn new() -> ChromeTraceSink {
+        ChromeTraceSink {
+            w: ChromeTraceWriter::new(),
+            open_tx: std::collections::HashMap::new(),
+            open_fallback: std::collections::HashMap::new(),
+            named_cores: std::collections::HashSet::new(),
+            upstream_dropped: 0,
+            last_ts: 0,
+        }
+    }
+
+    /// Record that `n` events were lost before reaching this sink (e.g. by
+    /// an upstream ring buffer). Surfaced as a `dropped-events` instant in
+    /// the exported JSON.
+    pub fn note_dropped(&mut self, n: u64) {
+        self.upstream_dropped += n;
+    }
+
+    /// Events written so far (excluding track-name metadata).
+    pub fn events(&self) -> u64 {
+        self.w.events()
+    }
+
+    fn track(&mut self, core: usize) -> u64 {
+        if self.named_cores.insert(core) {
+            self.w.thread_name(core as u64, &format!("core {core}"));
+        }
+        core as u64
+    }
+
+    /// Close the stream and return the finished Chrome trace JSON.
+    pub fn finish(mut self) -> String {
+        if self.upstream_dropped > 0 {
+            let args = [("dropped", self.upstream_dropped.to_string())];
+            self.w.instant("dropped-events", 0, 0, 'g', &args);
+        }
+        self.w.finish()
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn record(&mut self, ev: TraceEvent) {
+        match ev {
+            TraceEvent::TxBegin { core, cycle, retry } => {
+                let tid = self.track(core);
+                self.open_tx.insert(core, cycle);
+                self.last_ts = cycle;
+                self.w.instant("tx-begin", tid, cycle, 't', &[("retry", retry.to_string())]);
+            }
+            TraceEvent::TxCommit { core, cycle } => {
+                let tid = self.track(core);
+                let start = self.open_tx.remove(&core).unwrap_or(cycle);
+                self.last_ts = cycle;
+                let dur = cycle.saturating_sub(start).max(1);
+                self.w.complete("transaction", tid, start, dur, &[]);
+            }
+            TraceEvent::TxAbort { core, cycle, cause } => {
+                let tid = self.track(core);
+                let start = self.open_tx.remove(&core).unwrap_or(cycle);
+                self.last_ts = cycle;
+                let dur = cycle.saturating_sub(start).max(1);
+                let args = [("cause", arg_str(&format!("{cause:?}")))];
+                self.w.complete("transaction-aborted", tid, start, dur, &args);
+            }
+            TraceEvent::Probe { core, cycle, line, invalidating, .. } => {
+                let tid = self.track(core);
+                self.last_ts = cycle;
+                let name = if invalidating { "probe-inv" } else { "probe-rd" };
+                let args = [("line", arg_str(&format!("{:#x}", line.base().0)))];
+                self.w.instant(name, tid, cycle, 't', &args);
+            }
+            TraceEvent::Conflict { requester, victim, line, kind, is_true } => {
+                let tid = self.track(victim);
+                // Conflicts carry no cycle of their own; they are emitted
+                // immediately after the probe that discovered them, so the
+                // last-seen timestamp is the probe cycle.
+                let args = [
+                    ("requester", requester.to_string()),
+                    ("line", arg_str(&format!("{:#x}", line.base().0))),
+                    ("true", is_true.to_string()),
+                ];
+                self.w.instant(&format!("conflict-{kind}"), tid, self.last_ts, 'p', &args);
+            }
+            TraceEvent::DirtyMark { core, line, mask } => {
+                let tid = self.track(core);
+                let args = [
+                    ("line", arg_str(&format!("{:#x}", line.base().0))),
+                    ("mask", arg_str(&format!("{:#018x}", mask.0))),
+                ];
+                self.w.instant("dirty-mark", tid, self.last_ts, 't', &args);
+            }
+            TraceEvent::DirtyRefetch { core, cycle, line } => {
+                let tid = self.track(core);
+                self.last_ts = cycle;
+                let args = [("line", arg_str(&format!("{:#x}", line.base().0)))];
+                self.w.instant("dirty-refetch", tid, cycle, 't', &args);
+            }
+            TraceEvent::FallbackAcquire { core, cycle } => {
+                self.track(core);
+                self.last_ts = cycle;
+                self.open_fallback.insert(core, cycle);
+            }
+            TraceEvent::FallbackRelease { core, cycle } => {
+                let tid = self.track(core);
+                let start = self.open_fallback.remove(&core).unwrap_or(cycle);
+                self.last_ts = cycle;
+                let dur = cycle.saturating_sub(start).max(1);
+                self.w.complete("fallback-lock", tid, start, dur, &[]);
+            }
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,83 +479,17 @@ impl RingTrace {
     /// Export as Chrome tracing JSON (load via `chrome://tracing` or
     /// Perfetto): transactions become duration events per core, probes and
     /// conflicts instant events. Cycles are mapped to microseconds 1:1.
+    ///
+    /// Implemented by replaying the retained events through a
+    /// [`ChromeTraceSink`]; events the ring discarded are surfaced as a
+    /// `dropped-events` instant so truncated exports are detectable.
     pub fn to_chrome_json(&self) -> String {
-        let mut out = String::from("[\n");
-        let mut first = true;
-        let mut open_tx: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
-        let push = |s: String, first: &mut bool, out: &mut String| {
-            if !*first {
-                out.push_str(",\n");
-            }
-            *first = false;
-            out.push_str(&s);
-        };
+        let mut sink = ChromeTraceSink::new();
+        sink.note_dropped(self.dropped());
         for ev in self.events() {
-            match *ev {
-                TraceEvent::TxBegin { core, cycle, retry } => {
-                    open_tx.insert(core, cycle);
-                    push(
-                        format!(
-                            r#"  {{"name":"tx-begin","ph":"i","ts":{cycle},"pid":1,"tid":{core},"s":"t","args":{{"retry":{retry}}}}}"#
-                        ),
-                        &mut first,
-                        &mut out,
-                    );
-                }
-                TraceEvent::TxCommit { core, cycle } | TraceEvent::TxAbort { core, cycle, .. } => {
-                    let start = open_tx.remove(&core).unwrap_or(cycle);
-                    let name = if matches!(ev, TraceEvent::TxCommit { .. }) {
-                        "transaction"
-                    } else {
-                        "transaction-aborted"
-                    };
-                    let dur = cycle.saturating_sub(start).max(1);
-                    push(
-                        format!(
-                            r#"  {{"name":"{name}","ph":"X","ts":{start},"dur":{dur},"pid":1,"tid":{core}}}"#
-                        ),
-                        &mut first,
-                        &mut out,
-                    );
-                }
-                TraceEvent::Probe { core, cycle, line, invalidating, .. } => {
-                    push(
-                        format!(
-                            r#"  {{"name":"probe-{}","ph":"i","ts":{cycle},"pid":1,"tid":{core},"s":"t","args":{{"line":"{:#x}"}}}}"#,
-                            if invalidating { "inv" } else { "rd" },
-                            line.base().0
-                        ),
-                        &mut first,
-                        &mut out,
-                    );
-                }
-                TraceEvent::Conflict { requester, victim, line, kind, is_true } => {
-                    push(
-                        format!(
-                            r#"  {{"name":"conflict-{kind}","ph":"i","ts":0,"pid":1,"tid":{victim},"s":"p","args":{{"requester":{requester},"line":"{:#x}","true":{is_true}}}}}"#,
-                            line.base().0
-                        ),
-                        &mut first,
-                        &mut out,
-                    );
-                }
-                TraceEvent::DirtyRefetch { core, cycle, line } => {
-                    push(
-                        format!(
-                            r#"  {{"name":"dirty-refetch","ph":"i","ts":{cycle},"pid":1,"tid":{core},"s":"t","args":{{"line":"{:#x}"}}}}"#,
-                            line.base().0
-                        ),
-                        &mut first,
-                        &mut out,
-                    );
-                }
-                TraceEvent::DirtyMark { .. }
-                | TraceEvent::FallbackAcquire { .. }
-                | TraceEvent::FallbackRelease { .. } => {}
-            }
+            TraceSink::record(&mut sink, *ev);
         }
-        out.push_str("\n]\n");
-        out
+        sink.finish()
     }
 }
 
@@ -415,5 +536,71 @@ mod chrome_tests {
         let json = t.to_chrome_json();
         assert!(json.contains(r#""name":"transaction-aborted""#));
         assert!(json.contains(r#""dur":20"#));
+        assert!(json.contains(r#""cause":"Capacity""#));
+    }
+
+    #[test]
+    fn dropped_events_are_visible_in_the_export() {
+        let mut t = RingTrace::new(1);
+        t.record(TraceEvent::TxCommit { core: 0, cycle: 1 });
+        t.record(TraceEvent::TxCommit { core: 1, cycle: 2 });
+        assert_eq!(t.dropped(), 1);
+        let json = t.to_chrome_json();
+        assert!(json.contains(r#""name":"dropped-events""#), "{json}");
+        assert!(json.contains(r#""dropped":1"#), "{json}");
+        // A drop-free trace carries no such marker.
+        let mut clean = RingTrace::new(8);
+        clean.record(TraceEvent::TxCommit { core: 0, cycle: 1 });
+        assert!(!clean.to_chrome_json().contains("dropped-events"));
+    }
+
+    #[test]
+    fn per_core_tracks_are_named() {
+        let mut t = RingTrace::new(8);
+        t.record(TraceEvent::TxBegin { core: 0, cycle: 1, retry: 0 });
+        t.record(TraceEvent::TxBegin { core: 3, cycle: 2, retry: 0 });
+        let json = t.to_chrome_json();
+        assert!(json.contains(r#""name":"thread_name""#));
+        assert!(json.contains(r#""name":"core 0""#));
+        assert!(json.contains(r#""name":"core 3""#));
+    }
+
+    #[test]
+    fn streaming_sink_matches_unbounded_ring_and_parses() {
+        let evs = [
+            TraceEvent::TxBegin { core: 0, cycle: 10, retry: 0 },
+            TraceEvent::FallbackAcquire { core: 1, cycle: 12 },
+            TraceEvent::Conflict {
+                requester: 0,
+                victim: 1,
+                line: Addr(0x80).line(),
+                kind: asf_core::detector::ConflictType::ReadAfterWrite,
+                is_true: true,
+            },
+            TraceEvent::DirtyMark {
+                core: 0,
+                line: Addr(0x80).line(),
+                mask: asf_mem::mask::AccessMask::from_range(0, 8),
+            },
+            TraceEvent::FallbackRelease { core: 1, cycle: 40 },
+            TraceEvent::TxCommit { core: 0, cycle: 50 },
+        ];
+        let mut sink = ChromeTraceSink::new();
+        let mut ring = RingTrace::new(64);
+        for ev in evs {
+            TraceSink::record(&mut sink, ev);
+            ring.record(ev);
+        }
+        assert_eq!(sink.dropped_events(), 0);
+        let streamed = sink.finish();
+        assert_eq!(streamed, ring.to_chrome_json(), "ring export replays through the sink");
+        let v = asf_stats::json::parse(&streamed).expect("valid JSON");
+        let arr = v.as_arr().expect("array");
+        assert!(arr.iter().any(|e| {
+            e.field("name").and_then(|n| n.as_str().map(str::to_owned)).ok().as_deref()
+                == Some("fallback-lock")
+        }));
+        assert!(streamed.contains(r#""name":"dirty-mark""#));
+        assert!(streamed.contains(r#""name":"conflict-RAW""#));
     }
 }

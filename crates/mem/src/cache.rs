@@ -57,6 +57,10 @@ pub struct CacheArray<M> {
     /// `log2(sets)`, cached for line-address reconstruction.
     sets_bits: u32,
     clock: u64,
+    /// Lines newly filled (re-insertions of a resident line excluded).
+    fills: u64,
+    /// Lines evicted by replacement (explicit `remove` excluded).
+    evictions: u64,
 }
 
 impl<M> CacheArray<M> {
@@ -66,12 +70,32 @@ impl<M> CacheArray<M> {
         let ways = geom.ways;
         let mut slots = Vec::with_capacity(sets * ways);
         slots.resize_with(sets * ways, || None);
-        CacheArray { geom, slots, ways, sets_bits: sets.trailing_zeros(), clock: 0 }
+        CacheArray {
+            geom,
+            slots,
+            ways,
+            sets_bits: sets.trailing_zeros(),
+            clock: 0,
+            fills: 0,
+            evictions: 0,
+        }
     }
 
     /// The geometry this array was built with.
     pub fn geometry(&self) -> CacheGeometry {
         self.geom
+    }
+
+    /// Lines newly filled over the array's lifetime (passive counter for
+    /// the observability layer; re-insertions of resident lines excluded).
+    pub fn fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// Lines evicted by LRU replacement over the array's lifetime (passive
+    /// counter for the observability layer; explicit removals excluded).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Split a line address into (set index, tag) using the cached shift —
@@ -169,6 +193,7 @@ impl<M> CacheArray<M> {
         // Free way?
         if let Some(slot) = ways.iter_mut().find(|w| w.is_none()) {
             *slot = Some(Way { tag, meta, lru: clock });
+            self.fills += 1;
             return Ok(None);
         }
 
@@ -192,6 +217,8 @@ impl<M> CacheArray<M> {
         let old = ways[victim_idx]
             .replace(Way { tag, meta, lru: clock })
             .expect("victim way was occupied");
+        self.fills += 1;
+        self.evictions += 1;
         Ok(Some(EvictionInfo {
             line: LineAddr((old.tag << self.sets_bits) | set as u64),
             meta: old.meta,
@@ -348,6 +375,23 @@ mod tests {
         c.retain(|_, m| *m % 2 == 0);
         assert_eq!(c.len(), 2);
         assert!(c.contains(line(0)) && c.contains(line(2)));
+    }
+
+    #[test]
+    fn fill_and_eviction_counters() {
+        let mut c = tiny();
+        c.insert(line(0), 0, |_| false).unwrap();
+        c.insert(line(2), 2, |_| false).unwrap();
+        assert_eq!((c.fills(), c.evictions()), (2, 0));
+        // Re-insertion is not a fill.
+        c.insert(line(0), 1, |_| false).unwrap();
+        assert_eq!((c.fills(), c.evictions()), (2, 0));
+        // Replacement counts both a fill and an eviction.
+        c.insert(line(4), 4, |_| false).unwrap().unwrap();
+        assert_eq!((c.fills(), c.evictions()), (3, 1));
+        // Explicit removal is not an eviction.
+        c.remove(line(4));
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]

@@ -68,6 +68,14 @@ impl MoesiState {
         )
     }
 
+    /// Does moving from `self` to `next` lose a privilege (write permission
+    /// or data ownership)? Used by the observability layer to count
+    /// coherence downgrades distinctly from full invalidations.
+    #[inline]
+    pub fn is_demotion(self, next: MoesiState) -> bool {
+        (self.writable() && !next.writable()) || (self.owns_data() && !next.owns_data())
+    }
+
     /// State after the local core *writes* this copy (assumes permission has
     /// been obtained; writing a Shared/Owned/Invalid copy first requires an
     /// invalidating probe).
@@ -192,6 +200,21 @@ mod tests {
         assert_eq!(MoesiState::install_for(true, false), Modified);
         assert_eq!(MoesiState::install_for(false, true), Shared);
         assert_eq!(MoesiState::install_for(false, false), Exclusive);
+    }
+
+    #[test]
+    fn demotions() {
+        // Losing write permission or data ownership is a demotion…
+        assert!(Modified.is_demotion(Owned));
+        assert!(Modified.is_demotion(Shared));
+        assert!(Exclusive.is_demotion(Shared));
+        assert!(Owned.is_demotion(Shared));
+        // …staying put, gaining privilege, or losing a copy one never had
+        // privileges on is not (Shared → Invalid is an invalidation, which
+        // the fabric counts separately).
+        assert!(!Shared.is_demotion(Invalid));
+        assert!(!Owned.is_demotion(Owned));
+        assert!(!Shared.is_demotion(Modified));
     }
 
     /// After any remote probe, at most one core can be left in a

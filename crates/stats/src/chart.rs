@@ -39,19 +39,25 @@ impl BarChart {
 
     /// Render with bars of up to `width` cells. Negative values render as a
     /// left-pointing bar marked with `◄`.
+    ///
+    /// Degenerate inputs are safe: an all-zero chart renders zero-width
+    /// bars, and non-finite values (NaN / ±∞) are treated as zero width —
+    /// they neither poison the auto-scaled axis nor panic.
     pub fn render(&self, width: usize) -> String {
         const BLOCKS: [char; 8] = ['▏', '▎', '▍', '▌', '▋', '▊', '▉', '█'];
+        let finite = |v: f64| if v.is_finite() { v } else { 0.0 };
         let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
         let max = self
             .max
-            .unwrap_or_else(|| self.bars.iter().map(|&(_, v)| v.abs()).fold(0.0, f64::max))
+            .filter(|m| m.is_finite())
+            .unwrap_or_else(|| self.bars.iter().map(|&(_, v)| finite(v).abs()).fold(0.0, f64::max))
             .max(1e-9);
         let mut out = String::new();
         if !self.title.is_empty() {
             let _ = writeln!(out, "── {} ──", self.title);
         }
         for (label, value) in &self.bars {
-            let frac = (value.abs() / max).min(1.0);
+            let frac = (finite(*value).abs() / max).min(1.0);
             let cells = frac * width as f64;
             let full = cells.floor() as usize;
             let rem = ((cells - full as f64) * 8.0).floor() as usize;
@@ -116,5 +122,37 @@ mod tests {
         let c = BarChart::new("x", "");
         assert!(c.is_empty());
         assert_eq!(c.render(10).lines().count(), 1); // just the title
+    }
+
+    #[test]
+    fn all_zero_chart_renders_zero_width_bars() {
+        let mut c = BarChart::new("zeros", "");
+        c.bar("a", 0.0).bar("b", 0.0);
+        let s = c.render(10);
+        assert!(!s.contains('█'), "no bar cells for all-zero values: {s}");
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("0.0"));
+    }
+
+    #[test]
+    fn nan_and_inf_values_do_not_poison_the_scale() {
+        let mut c = BarChart::new("", "");
+        c.bar("nan", f64::NAN).bar("inf", f64::INFINITY).bar("ok", 10.0);
+        let s = c.render(10);
+        let lines: Vec<&str> = s.lines().collect();
+        // NaN/∞ render as zero-width bars; the finite value still scales to
+        // full width instead of being divided by a NaN/infinite max.
+        assert!(!lines[0].contains('█'), "NaN bar must be empty: {}", lines[0]);
+        assert!(!lines[1].contains('█'), "∞ bar must be empty: {}", lines[1]);
+        assert!(lines[2].contains("██████████"), "finite bar scales to max: {}", lines[2]);
+    }
+
+    #[test]
+    fn non_finite_explicit_max_falls_back_to_auto_scale() {
+        let mut c = BarChart::new("", "");
+        c.max = Some(f64::NAN);
+        c.bar("v", 4.0);
+        let s = c.render(8);
+        assert!(s.contains("████████"), "auto-scale kicks in: {s}");
     }
 }

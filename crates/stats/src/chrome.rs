@@ -1,0 +1,157 @@
+//! Streaming writer for the Chrome `trace_event` JSON format.
+//!
+//! Emits the "JSON Array Format" understood by `chrome://tracing` and
+//! Perfetto (<https://ui.perfetto.dev> → "Open trace file"): a flat array of
+//! event objects, one per line. The writer is format-only — it knows nothing
+//! about the simulator; callers map their domain events onto duration (`X`),
+//! instant (`i`) and metadata (`M`) phases. Timestamps are microseconds in
+//! the trace-viewer UI; the simulator maps cycles to microseconds 1:1.
+//!
+//! Events stream straight into an in-memory buffer as they are recorded, so
+//! unlike a ring buffer nothing is dropped and memory scales with the events
+//! actually emitted.
+
+use crate::json::escape;
+use std::fmt::Write as _;
+
+/// One `"args"` entry: a key plus a pre-rendered JSON value.
+///
+/// The value string is spliced into the output verbatim, so it must already
+/// be valid JSON — use [`arg_str`] for string values, plain
+/// `value.to_string()` for numbers and booleans.
+pub type Arg<'a> = (&'a str, String);
+
+/// Render a Rust string as a quoted, escaped JSON string value for [`Arg`].
+pub fn arg_str(s: &str) -> String {
+    escape(s)
+}
+
+/// An incremental Chrome `trace_event` JSON writer.
+#[derive(Clone, Debug)]
+pub struct ChromeTraceWriter {
+    buf: String,
+    events: u64,
+}
+
+impl Default for ChromeTraceWriter {
+    fn default() -> Self {
+        ChromeTraceWriter::new()
+    }
+}
+
+impl ChromeTraceWriter {
+    /// Start a new trace (opens the JSON array).
+    pub fn new() -> ChromeTraceWriter {
+        ChromeTraceWriter { buf: String::from("[\n"), events: 0 }
+    }
+
+    fn begin_event(&mut self) {
+        if self.events > 0 {
+            self.buf.push_str(",\n");
+        }
+        self.events += 1;
+    }
+
+    fn push_args(&mut self, args: &[Arg<'_>]) {
+        if args.is_empty() {
+            return;
+        }
+        self.buf.push_str(r#","args":{"#);
+        for (i, (k, v)) in args.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{}:{}", escape(k), v);
+        }
+        self.buf.push('}');
+    }
+
+    /// Emit a complete (duration) event: `ph:"X"` spanning `[ts, ts+dur)` on
+    /// track `tid`.
+    pub fn complete(&mut self, name: &str, tid: u64, ts: u64, dur: u64, args: &[Arg<'_>]) {
+        self.begin_event();
+        let _ = write!(
+            self.buf,
+            r#"  {{"name":{},"ph":"X","ts":{ts},"dur":{dur},"pid":1,"tid":{tid}"#,
+            escape(name)
+        );
+        self.push_args(args);
+        self.buf.push('}');
+    }
+
+    /// Emit an instant event (`ph:"i"`) at `ts` on track `tid`.
+    /// `scope` is the trace-viewer scope: `"t"` (thread), `"p"` (process)
+    /// or `"g"` (global).
+    pub fn instant(&mut self, name: &str, tid: u64, ts: u64, scope: char, args: &[Arg<'_>]) {
+        self.begin_event();
+        let _ = write!(
+            self.buf,
+            r#"  {{"name":{},"ph":"i","ts":{ts},"pid":1,"tid":{tid},"s":"{scope}""#,
+            escape(name)
+        );
+        self.push_args(args);
+        self.buf.push('}');
+    }
+
+    /// Emit a `thread_name` metadata event so the viewer labels track `tid`.
+    pub fn thread_name(&mut self, tid: u64, name: &str) {
+        self.begin_event();
+        let _ = write!(
+            self.buf,
+            r#"  {{"name":"thread_name","ph":"M","pid":1,"tid":{tid},"args":{{"name":{}}}}}"#,
+            escape(name)
+        );
+    }
+
+    /// Number of events emitted so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Close the array and return the finished JSON document.
+    pub fn finish(mut self) -> String {
+        self.buf.push_str("\n]\n");
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn writes_parseable_event_array() {
+        let mut w = ChromeTraceWriter::new();
+        w.thread_name(0, "core 0");
+        w.complete("transaction", 0, 10, 40, &[("retry", "1".into())]);
+        w.instant("probe-rd", 0, 12, 't', &[("line", arg_str("0x40"))]);
+        assert_eq!(w.events(), 3);
+        let json = w.finish();
+        let v = parse(&json).expect("chrome JSON parses");
+        let arr = v.as_arr().expect("top level is an array");
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].field("ph").unwrap().as_str().unwrap(), "X");
+        assert_eq!(arr[1].field("dur").unwrap().as_u64().unwrap(), 40);
+        assert_eq!(
+            arr[2].field("args").unwrap().field("line").unwrap().as_str().unwrap(),
+            "0x40"
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let json = ChromeTraceWriter::new().finish();
+        let v = parse(&json).expect("empty trace parses");
+        assert_eq!(v.as_arr().map(<[_]>::len), Ok(0));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut w = ChromeTraceWriter::new();
+        w.instant("odd\"name", 3, 1, 'g', &[]);
+        let json = w.finish();
+        assert!(json.contains(r#""name":"odd\"name""#));
+        assert!(parse(&json).is_ok());
+    }
+}

@@ -16,6 +16,11 @@
 //!   deterministic fault layer (kept out of the paper's abort taxonomy);
 //! * [`json`] — minimal JSON parse/serialise for crash-safe checkpoints
 //!   (`RunStats` round-trips exactly);
+//! * [`metrics`] — observability accumulators: named counters,
+//!   cycle-bucketed interval gauges and a wall-time phase profiler
+//!   (DESIGN.md §13);
+//! * [`chrome`] — streaming Chrome `trace_event` / Perfetto JSON writer for
+//!   the cycle-domain timeline export;
 //! * [`table`] — plain-text and CSV rendering for the harness;
 //! * [`chart::BarChart`] — terminal bar charts mirroring the paper's figure
 //!   style.
@@ -24,19 +29,23 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod chrome;
 pub mod conflict;
 pub mod fault;
 pub mod histogram;
 pub mod json;
+pub mod metrics;
 pub mod run;
 pub mod series;
 pub mod table;
 
 pub use chart::BarChart;
+pub use chrome::ChromeTraceWriter;
 pub use conflict::ConflictStats;
 pub use fault::FaultStats;
 pub use histogram::{LineHistogram, OffsetHistogram};
 pub use json::JsonValue;
+pub use metrics::{MetricsRegistry, PhaseProfiler};
 pub use run::{AbortCause, RunStats};
 pub use series::TimeSeries;
 pub use table::Table;

@@ -14,6 +14,9 @@ pub struct Table {
     pub title: String,
     header: Vec<String>,
     rows: Vec<Vec<String>>,
+    /// Free-form annotations (e.g. why a cell rendered as `failed`),
+    /// carried through every output format so files stay self-describing.
+    notes: Vec<String>,
 }
 
 impl Table {
@@ -23,7 +26,24 @@ impl Table {
             title: title.into(),
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            notes: Vec::new(),
         }
+    }
+
+    /// Attach an annotation rendered below the rows (text), as a comment
+    /// row (CSV), and as a trailing `{"_note": …}` object (JSON).
+    /// Idempotent: an identical note is recorded once.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        let note = note.into();
+        if !self.notes.contains(&note) {
+            self.notes.push(note);
+        }
+        self
+    }
+
+    /// Attached annotations, in insertion order.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
     }
 
     /// Append a data row; must match the header arity.
@@ -86,6 +106,9 @@ impl Table {
         for row in &self.rows {
             render_row(row, &widths, &mut out);
         }
+        for note in &self.notes {
+            let _ = writeln!(out, "note: {note}");
+        }
         out
     }
 
@@ -107,6 +130,9 @@ impl Table {
         for row in &self.rows {
             out.push_str(&line(row));
             out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("# {}\n", note.replace('\n', " ")));
         }
         out
     }
@@ -182,10 +208,12 @@ impl Table {
             out
         }
         let mut out = String::from("[");
-        for (i, row) in self.rows.iter().enumerate() {
-            if i > 0 {
+        let mut emitted = 0usize;
+        for row in &self.rows {
+            if emitted > 0 {
                 out.push(',');
             }
+            emitted += 1;
             out.push_str("\n  {");
             for (j, (key, cell)) in self.header.iter().zip(row).enumerate() {
                 if j > 0 {
@@ -194,6 +222,15 @@ impl Table {
                 out.push_str(&format!("\"{}\": \"{}\"", esc(key), esc(cell)));
             }
             out.push('}');
+        }
+        // Notes ride along as trailing objects so consumers of the row
+        // stream can tell *why* a cell says "failed" without a side channel.
+        for note in &self.notes {
+            if emitted > 0 {
+                out.push(',');
+            }
+            emitted += 1;
+            out.push_str(&format!("\n  {{\"_note\": \"{}\"}}", esc(note)));
         }
         out.push_str("\n]\n");
         out
@@ -220,5 +257,20 @@ mod json_tests {
     fn empty_table_is_empty_array() {
         let t = Table::new("x", &["a"]);
         assert_eq!(t.to_json(), "[\n]\n");
+    }
+
+    #[test]
+    fn notes_appear_in_every_format() {
+        let mut t = Table::new("x", &["name", "value"]);
+        t.row(vec!["a".into(), "failed".into()]);
+        t.note("a: worker panicked after 2 attempt(s)");
+        let text = t.render();
+        assert!(text.contains("note: a: worker panicked"));
+        let csv = t.to_csv();
+        assert!(csv.lines().last().unwrap().starts_with("# a: worker"));
+        let j = t.to_json();
+        assert!(j.contains(r#"{"_note": "a: worker panicked after 2 attempt(s)"}"#));
+        // The notes object is a sibling of the row objects in one array.
+        assert!(j.contains(r#""value": "failed"},"#));
     }
 }

@@ -1,0 +1,93 @@
+//! The observability layer's core contract: switching on metrics,
+//! profiling, and the streaming timeline sink is *bit-transparent* — every
+//! digest-pinned statistic is identical to an unobserved run (the same
+//! guarantee `FaultPlan::none()` gives for the fault layer, but for the
+//! enabled state, which is stronger). Also pins that the artifacts an
+//! observed run produces are actually populated and mutually consistent.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig, SimOutput};
+use asf_machine::obs::ObsConfig;
+use asf_machine::trace::ChromeTraceSink;
+use asf_workloads::Scale;
+
+fn observed_run(bench: &str, seed: u64) -> SimOutput {
+    let w = asf_workloads::by_name(bench, Scale::Small).expect("known benchmark");
+    let mut m = Machine::new(w.as_ref(), SimConfig::paper_seeded(DetectorKind::SubBlock(4), seed));
+    m.enable_observability(ObsConfig::default());
+    m.enable_trace(4096);
+    m.set_trace_sink(Box::new(ChromeTraceSink::new()));
+    m.run_to_completion()
+}
+
+#[test]
+fn observability_is_bit_transparent() {
+    // Stronger than the golden digests: full structural equality of
+    // RunStats between a plain run and a run with every observability
+    // feature enabled (registry + interval gauges + wall-time profiling +
+    // ring trace + streaming Chrome sink), across several benchmarks.
+    for bench in ["ssca2", "vacation", "intruder"] {
+        let w = asf_workloads::by_name(bench, Scale::Small).unwrap();
+        let clean = Machine::run(w.as_ref(), SimConfig::paper_seeded(DetectorKind::SubBlock(4), 5));
+        let observed = observed_run(bench, 5);
+        assert_eq!(
+            clean.stats, observed.stats,
+            "{bench}: enabling observability changed the run"
+        );
+        assert_eq!(clean.promoted_lines, observed.promoted_lines);
+    }
+}
+
+#[test]
+fn observed_runs_produce_populated_reports() {
+    let out = observed_run("ssca2", 5);
+    let report = out.obs.expect("observability was enabled");
+    // The registry agrees with the digest-pinned stats wherever both count
+    // the same event — the transparency contract seen from the other side.
+    let get = |name: &str| report.registry.get_by_name(name).unwrap_or_else(|| panic!("{name}"));
+    assert_eq!(get("tx.commits"), out.stats.tx_committed);
+    assert_eq!(get("conflict.detected"), out.stats.conflicts.total());
+    assert_eq!(get("conflict.false"), out.stats.conflicts.false_total());
+    assert_eq!(get("probe.walks"), out.stats.probes);
+    assert_eq!(
+        get("abort.conflict_true") + get("abort.conflict_false"),
+        out.stats.conflicts.total() - out.stats.war_speculations,
+        "every detected conflict aborts its victim (minus speculated WARs)"
+    );
+    assert!(get("sched.pops") > 0);
+    assert!(get("teardown.walks") > 0);
+    // Profiling was on: every phase that ran recorded samples.
+    let sched_count = report
+        .phases
+        .phases()
+        .find(|(name, ..)| *name == "scheduler-step")
+        .map(|(_, count, ..)| count)
+        .expect("scheduler phase registered");
+    assert_eq!(sched_count, get("sched.pops"), "one sample per scheduler pop");
+}
+
+#[test]
+fn plain_runs_carry_no_report() {
+    let w = asf_workloads::by_name("ssca2", Scale::Small).unwrap();
+    let out = Machine::run(w.as_ref(), SimConfig::paper_seeded(DetectorKind::SubBlock(4), 5));
+    assert!(out.obs.is_none(), "no observability enabled, no report");
+}
+
+#[test]
+fn interval_gauges_span_the_run() {
+    let out = observed_run("ssca2", 5);
+    let report = out.obs.expect("enabled");
+    for (name, width, buckets) in report.registry.intervals() {
+        assert_eq!(width, ObsConfig::default().interval_cycles, "{name}");
+        let events: u64 = buckets.iter().sum();
+        let last_window = (buckets.len() as u64).saturating_mul(width);
+        assert!(
+            last_window <= out.stats.cycles + width,
+            "{name}: buckets extend past the run ({last_window} vs {} cycles)",
+            out.stats.cycles
+        );
+        if name == "conflicts.per_interval" {
+            assert_eq!(events, out.stats.conflicts.total());
+        }
+    }
+}
