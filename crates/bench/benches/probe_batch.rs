@@ -1,0 +1,72 @@
+//! Batched probe-resolution micro-benchmark (DESIGN.md §14): the same
+//! probe-heavy contended workload run with the default batched spec-directory
+//! pass and with `sequential_probe_resolution`, which forces the reference
+//! one-victim-at-a-time walk the batched pass is fenced against.
+//!
+//! * `batch/<k>` — default path: one dense-row bitmask join picks out the
+//!   probed victims, verdicts are computed in a single pass over
+//!   `row & targets`, then applied.
+//! * `sequential/<k>` — reference path: snapshot the victim list, then
+//!   re-resolve each victim's sub-block overlap independently.
+//!
+//! Both produce bit-identical `RunStats` (see `tests/probe_equivalence.rs`
+//! and the golden A/B cells); this bench exists to price the difference.
+//! Round-4 numbers live in EXPERIMENTS.md.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_machine::txprog::{ScriptedWorkload, TxAttempt, TxOp, WorkItem};
+use asf_mem::addr::Addr;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SHARED_BASE: u64 = 0x80_0000;
+
+/// All eight cores update a rotating window of `k` shared slots, so nearly
+/// every access probes live remote speculative state.
+fn contended_workload(k: u64, txns: u64) -> ScriptedWorkload {
+    let mut scripts = Vec::new();
+    for tid in 0..8u64 {
+        let mut items = Vec::new();
+        for t in 0..txns {
+            let ops = (0..k)
+                .map(|i| {
+                    let slot = (i + tid + t) % k;
+                    TxOp::Update { addr: Addr(SHARED_BASE + slot * 64), size: 8, delta: 1 }
+                })
+                .collect();
+            items.push(WorkItem::Tx(TxAttempt::new(ops)));
+        }
+        scripts.push(items);
+    }
+    ScriptedWorkload { name: "probe-batch", scripts }
+}
+
+fn run(w: &ScriptedWorkload, sequential: bool) -> (u64, u64) {
+    let mut cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(8), 0xBA7C);
+    cfg.sequential_probe_resolution = sequential;
+    let out = Machine::run(w, cfg);
+    (out.stats.probes, out.stats.cycles)
+}
+
+fn bench_probe_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("probe_batch");
+    g.sample_size(10);
+    for k in [8u64, 32] {
+        let w = contended_workload(k, 24);
+        // Same stream through both paths: equal stats, different wall time.
+        let batched = run(&w, false);
+        let sequential = run(&w, true);
+        assert_eq!(batched, sequential, "probe paths must agree before timing");
+        g.bench_function(format!("batch/{k}"), |b| {
+            b.iter(|| black_box(run(&w, false)))
+        });
+        g.bench_function(format!("sequential/{k}"), |b| {
+            b.iter(|| black_box(run(&w, true)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_probe_batch);
+criterion_main!(benches);

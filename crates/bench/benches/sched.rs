@@ -1,0 +1,95 @@
+//! Run-queue micro-benchmark (DESIGN.md §14): the calendar queue against the
+//! `BinaryHeap<Reverse<(u64, usize)>>` it replaced, on the two event-stream
+//! shapes the engine actually produces:
+//!
+//! * `dense/<n>` — `n` cores re-queuing a few cycles ahead of each other,
+//!   the steady-state shape of a running simulation. Events cluster inside
+//!   one or two ring buckets, so the calendar queue's pop is a mask rotate
+//!   plus a tiny min-scan with no sift.
+//! * `sparse/<n>` — the same stream with frequent far-future jumps (the
+//!   exponential-backoff shape), forcing events through the overflow heap
+//!   and across bucket-window boundaries — the calendar queue's worst case.
+//!
+//! Both drivers replay one deterministic pre-generated delta stream through
+//! whichever queue is under test, so the two structures do identical work.
+//! Round-4 before/after numbers live in EXPERIMENTS.md.
+
+use asf_machine::sched::{CalendarQueue, SPAN};
+use asf_mem::rng::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+/// Pops (= pushes) per benchmark iteration.
+const EVENTS: usize = 4096;
+
+/// Pre-generate the delta stream so queue cost is the only thing measured.
+/// `far_every` ≈ one far-future (overflow-shaped) delta per that many events;
+/// 0 disables them (pure dense mix).
+fn deltas(seed: u64, far_every: u64) -> Vec<u64> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..EVENTS)
+        .map(|_| {
+            if far_every > 0 && rng.below(far_every) == 0 {
+                // Backoff-shaped jump: up to several ring spans out.
+                rng.range(SPAN / 2, SPAN * 4)
+            } else {
+                // Near-future requeue: next few memory latencies.
+                rng.range(1, 300)
+            }
+        })
+        .collect()
+}
+
+fn drive_calendar(n_cores: usize, deltas: &[u64]) -> u64 {
+    let mut q = CalendarQueue::new();
+    for core in 0..n_cores {
+        q.push(core as u64, core);
+    }
+    let mut sum: u64 = 0;
+    for &d in deltas {
+        let (clock, core) = q.pop().expect("queue stays populated");
+        sum = sum.wrapping_add(clock);
+        q.push(clock + d, core);
+    }
+    sum
+}
+
+fn drive_heap(n_cores: usize, deltas: &[u64]) -> u64 {
+    let mut q: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    for core in 0..n_cores {
+        q.push(Reverse((core as u64, core)));
+    }
+    let mut sum: u64 = 0;
+    for &d in deltas {
+        let Reverse((clock, core)) = q.pop().expect("queue stays populated");
+        sum = sum.wrapping_add(clock);
+        q.push(Reverse((clock + d, core)));
+    }
+    sum
+}
+
+fn bench_sched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched");
+    let dense = deltas(0x5CED, 0);
+    let sparse = deltas(0xBACC0FF, 8);
+    for n in [8usize, 32] {
+        g.bench_function(format!("dense/calendar/{n}"), |b| {
+            b.iter(|| black_box(drive_calendar(n, &dense)))
+        });
+        g.bench_function(format!("dense/heap/{n}"), |b| {
+            b.iter(|| black_box(drive_heap(n, &dense)))
+        });
+        g.bench_function(format!("sparse/calendar/{n}"), |b| {
+            b.iter(|| black_box(drive_calendar(n, &sparse)))
+        });
+        g.bench_function(format!("sparse/heap/{n}"), |b| {
+            b.iter(|| black_box(drive_heap(n, &sparse)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sched);
+criterion_main!(benches);

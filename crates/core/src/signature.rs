@@ -15,6 +15,10 @@
 
 use asf_mem::addr::LineAddr;
 
+/// Upper bound on hash functions per signature: lets the word-merge scratch
+/// live on the stack (no per-probe allocation). Hardware proposals use ≤ 8.
+pub const MAX_HASHES: usize = 64;
+
 /// A Bloom-filter address signature.
 ///
 /// The filter is **generation-tagged**: every storage word carries the
@@ -54,6 +58,10 @@ impl Signature {
     pub fn new(num_bits: usize, hashes: u32) -> Signature {
         assert!(hashes >= 1, "need at least one hash function");
         assert!(
+            hashes as usize <= MAX_HASHES,
+            "at most {MAX_HASHES} hash functions supported, got {hashes}"
+        );
+        assert!(
             num_bits >= hashes as usize && num_bits.is_multiple_of(hashes as usize),
             "bits ({num_bits}) must be a positive multiple of hashes ({hashes})"
         );
@@ -72,36 +80,55 @@ impl Signature {
         Signature::new(1024, 4)
     }
 
-    fn positions(&self, line: LineAddr) -> impl Iterator<Item = usize> + '_ {
+    /// Hash `line` and merge the resulting bit positions into per-word
+    /// `(word index, bit mask)` chunks written to `out`, returning how many
+    /// chunks are live. Small partitions land several hash positions in the
+    /// same `u64` word; merging them lets [`Signature::insert`] and
+    /// [`Signature::maybe_contains`] run one stamp check and one word-wide
+    /// AND/OR per *distinct word* instead of one per bit position.
+    #[inline]
+    fn merged_words(&self, line: LineAddr, out: &mut [(usize, u64); MAX_HASHES]) -> usize {
         let part = self.num_bits / self.hashes as usize;
-        (0..self.hashes).map(move |h| {
+        let mut n = 0;
+        'hash: for h in 0..self.hashes {
             let idx = (mix(line, h as u64 + 1) % part as u64) as usize;
-            h as usize * part + idx
-        })
+            let pos = h as usize * part + idx;
+            let (word, bit) = (pos / 64, 1u64 << (pos % 64));
+            for chunk in out[..n].iter_mut() {
+                if chunk.0 == word {
+                    chunk.1 |= bit;
+                    continue 'hash;
+                }
+            }
+            out[n] = (word, bit);
+            n += 1;
+        }
+        n
     }
 
     /// Insert a line address. Stale words (from before the last epoch bump)
     /// are lazily re-zeroed on first touch.
     pub fn insert(&mut self, line: LineAddr) {
-        let part = self.num_bits / self.hashes as usize;
-        for h in 0..self.hashes {
-            let idx = (mix(line, h as u64 + 1) % part as u64) as usize;
-            let pos = h as usize * part + idx;
-            let word = pos / 64;
+        let mut words = [(0usize, 0u64); MAX_HASHES];
+        let n = self.merged_words(line, &mut words);
+        for &(word, chunk) in &words[..n] {
             if self.stamps[word] != self.epoch {
                 self.stamps[word] = self.epoch;
                 self.bits[word] = 0;
             }
-            self.bits[word] |= 1 << (pos % 64);
+            self.bits[word] |= chunk;
         }
         self.inserted += 1;
     }
 
     /// Membership test: false ⇒ definitely absent; true ⇒ present *or* an
-    /// alias (the signature's false-conflict source).
+    /// alias (the signature's false-conflict source). One word-wide AND per
+    /// distinct storage word.
     pub fn maybe_contains(&self, line: LineAddr) -> bool {
-        self.positions(line).all(|pos| {
-            self.stamps[pos / 64] == self.epoch && self.bits[pos / 64] & (1 << (pos % 64)) != 0
+        let mut words = [(0usize, 0u64); MAX_HASHES];
+        let n = self.merged_words(line, &mut words);
+        words[..n].iter().all(|&(word, chunk)| {
+            self.stamps[word] == self.epoch && self.bits[word] & chunk == chunk
         })
     }
 
@@ -228,6 +255,37 @@ mod tests {
     #[should_panic(expected = "multiple of hashes")]
     fn rejects_unbalanced_partitions() {
         let _ = Signature::new(100, 3);
+    }
+
+    #[test]
+    fn same_word_positions_merge_into_one_chunk() {
+        // 64 bits with 4 hashes: every partition is 16 bits, so all four
+        // positions land in storage word 0 and the merge path carries them
+        // as a single word-wide chunk. Membership must still require *all*
+        // bits: a probe whose chunk is only partially covered is absent.
+        let mut s = Signature::new(64, 4);
+        s.insert(line(3));
+        assert!(s.maybe_contains(line(3)));
+        let absent = (0..2000)
+            .map(line)
+            .filter(|&l| !s.maybe_contains(l))
+            .count();
+        assert!(absent > 0, "one insert cannot saturate a 64-bit filter");
+        s.clear();
+        assert!(!s.maybe_contains(line(3)));
+    }
+
+    #[test]
+    fn single_hash_wide_filter_spans_many_words() {
+        // The opposite extreme: one hash over 4096 bits — chunks never
+        // merge and words are touched sparsely.
+        let mut s = Signature::new(4096, 1);
+        for n in 0..200 {
+            s.insert(line(n));
+        }
+        for n in 0..200 {
+            assert!(s.maybe_contains(line(n)));
+        }
     }
 }
 

@@ -238,8 +238,24 @@ fn main() {
                 });
                 let report = asf_harness::perf::measure(scale, seed);
                 emit("perf", report.table());
-                std::fs::write("BENCH_perf.json", report.to_json()).expect("write BENCH_perf.json");
-                eprintln!("wrote BENCH_perf.json");
+                // Carry the append-only round history forward from the file
+                // being replaced (empty when absent) and record this run as
+                // the next round, stamped with HEAD's commit subject.
+                let prior = std::fs::read_to_string("BENCH_perf.json")
+                    .map(|s| asf_harness::perf::parse_history(&s))
+                    .unwrap_or_default();
+                let subject = std::process::Command::new("git")
+                    .args(["log", "-1", "--pretty=%s"])
+                    .output()
+                    .ok()
+                    .filter(|o| o.status.success())
+                    .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .unwrap_or_else(|| "(no git)".to_string());
+                let history = asf_harness::perf::next_history(&prior, &report, &subject);
+                std::fs::write("BENCH_perf.json", report.to_json_with_history(&history))
+                    .expect("write BENCH_perf.json");
+                eprintln!("wrote BENCH_perf.json ({} history rounds)", history.len());
                 if let Some(json) = baseline {
                     match asf_harness::perf::check_against_baseline(&report, &json, 0.25) {
                         Ok(msg) => eprintln!("{msg}"),

@@ -140,6 +140,19 @@ impl PerfReport {
     /// Machine-readable report (hand-rolled JSON — dependency policy):
     /// per-cell detail plus grid totals.
     pub fn to_json(&self) -> String {
+        self.render(&[])
+    }
+
+    /// [`PerfReport::to_json`] with the append-only round history attached
+    /// (omitted entirely when `history` is empty, keeping the original
+    /// shape). The history array is emitted *after* the top-level
+    /// `total_wall_ms` so [`parse_baseline`]'s first-occurrence scan keeps
+    /// finding the grid total, not a history entry's.
+    pub fn to_json_with_history(&self, history: &[HistoryEntry]) -> String {
+        self.render(history)
+    }
+
+    fn render(&self, history: &[HistoryEntry]) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"scale\": \"{:?}\",\n", self.scale));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
@@ -163,13 +176,95 @@ impl PerfReport {
         out.push_str("\n  ],\n");
         out.push_str(&format!(
             "  \"total_wall_ms\": {:.3},\n  \"total_accesses\": {},\n  \
-             \"total_accesses_per_sec\": {:.0}\n}}\n",
+             \"total_accesses_per_sec\": {:.0}",
             self.total_wall().as_secs_f64() * 1e3,
             self.total_accesses(),
             rate(self.total_accesses(), self.total_wall()),
         ));
+        if !history.is_empty() {
+            out.push_str(",\n  \"history\": [");
+            for (i, h) in history.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    {{\"round\": {}, \"git_subject\": \"{}\", \"total_wall_ms\": {:.3}}}",
+                    h.round,
+                    sanitize_subject(&h.git_subject),
+                    h.total_wall_ms,
+                ));
+            }
+            out.push_str("\n  ]");
+        }
+        out.push_str("\n}\n");
         out
     }
+}
+
+/// Commit subjects are narrative, not data: swap the two characters the
+/// hand-rolled scanner cannot round-trip (quote, backslash) for plain
+/// lookalikes instead of escaping, keeping [`parse_history`] a dumb scan.
+fn sanitize_subject(s: &str) -> String {
+    s.replace(['\\', '"'], "'")
+}
+
+/// One round of the append-only perf history carried inside
+/// `BENCH_perf.json`: which change produced that round's committed artifact
+/// and the grid total it recorded. Wall times are environment-sensitive, so
+/// the history is a narrative of what each round *measured and committed*,
+/// not a promise two entries ran on equally quiet machines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryEntry {
+    /// 1-based perf-round number, strictly increasing.
+    pub round: u64,
+    /// Subject line of the commit that round's grid was measured at.
+    pub git_subject: String,
+    /// Total grid wall time that round committed, in milliseconds.
+    pub total_wall_ms: f64,
+}
+
+/// The `"history"` array of a `BENCH_perf.json`, oldest round first.
+/// Reports written before the history existed (or with no completed rounds)
+/// parse as empty — absence is not an error.
+pub fn parse_history(json: &str) -> Vec<HistoryEntry> {
+    let mut out = Vec::new();
+    let Some(start) = json.find("\"history\":") else {
+        return out;
+    };
+    // Entries are flat, so the array ends at the first `]`.
+    let Some(len) = json[start..].find(']') else {
+        return out;
+    };
+    let slice = &json[start..start + len];
+    let mut pos = 0;
+    while let Some((round, after)) = json_field(slice, "round", pos) {
+        let Some((git_subject, after)) = json_string(slice, "git_subject", after) else {
+            break;
+        };
+        let Some((total_wall_ms, after)) = json_field(slice, "total_wall_ms", after) else {
+            break;
+        };
+        out.push(HistoryEntry { round: round as u64, git_subject, total_wall_ms });
+        pos = after;
+    }
+    out
+}
+
+/// Extend `prev` (the history carried in the on-disk report being replaced)
+/// with this run as the next round. Rounds number from 1 when there is no
+/// prior history.
+pub fn next_history(
+    prev: &[HistoryEntry],
+    report: &PerfReport,
+    git_subject: &str,
+) -> Vec<HistoryEntry> {
+    let mut out = prev.to_vec();
+    out.push(HistoryEntry {
+        round: prev.last().map_or(1, |h| h.round + 1),
+        git_subject: git_subject.to_string(),
+        total_wall_ms: report.total_wall().as_secs_f64() * 1e3,
+    });
+    out
 }
 
 /// What `check_against_baseline` needs from a committed `BENCH_perf.json`:
@@ -288,10 +383,20 @@ pub fn check_against_baseline(
             tolerance * 100.0
         ));
     }
-    Ok(format!(
+    let mut msg = format!(
         "perf ok: total wall {wall_ms:.1} ms vs baseline {:.1} ms ({ratio:.2}x)",
         base.total_wall_ms
-    ))
+    );
+    // The baseline's last history entry is the previous completed round;
+    // spell out the round-over-round delta when one exists.
+    if let Some(prev) = parse_history(baseline_json).last() {
+        let delta = (wall_ms - prev.total_wall_ms) / prev.total_wall_ms.max(1e-9) * 100.0;
+        msg.push_str(&format!(
+            "; vs round {} ({}): {:.1} ms -> {wall_ms:.1} ms ({delta:+.1}%)",
+            prev.round, prev.git_subject, prev.total_wall_ms
+        ));
+    }
+    Ok(msg)
 }
 
 #[cfg(test)]
@@ -382,6 +487,50 @@ mod tests {
         other.scale = Scale::Standard;
         let scale = check_against_baseline(&other, &base_json, 0.25);
         assert!(scale.unwrap_err().contains("scale mismatch"));
+    }
+
+    #[test]
+    fn history_roundtrips_and_appends() {
+        let report = tiny_report(4, 10_000);
+        // No history field at all: parses as empty, not an error.
+        assert_eq!(parse_history(&report.to_json()), vec![]);
+        // Round numbering starts at 1 and the new entry records this run.
+        let h1 = next_history(&[], &report, "flat cache arrays");
+        assert_eq!(h1.len(), 1);
+        assert_eq!(h1[0].round, 1);
+        assert!((h1[0].total_wall_ms - 4.0).abs() < 1e-6);
+        // Carry-forward keeps old rounds verbatim and increments.
+        let faster = tiny_report(3, 10_000);
+        let h2 = next_history(&h1, &faster, "calendar \"queue\" run");
+        assert_eq!(h2.len(), 2);
+        assert_eq!(h2[1].round, 2);
+        // Roundtrip through the emitted JSON. Quotes in subjects are
+        // sanitized to apostrophes on emit (the scanner cannot round-trip
+        // escapes), so compare against the sanitized form.
+        let json = faster.to_json_with_history(&h2);
+        let parsed = parse_history(&json);
+        assert_eq!(parsed[0], h2[0]);
+        assert_eq!(parsed[1].git_subject, "calendar 'queue' run");
+        assert_eq!(parsed[1].round, 2);
+        // The top-level total is still what parse_baseline sees, not a
+        // history entry's wall.
+        let base = parse_baseline(&json).expect("report with history parses");
+        assert!((base.total_wall_ms - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn baseline_check_reports_delta_vs_previous_round() {
+        let base_report = tiny_report(10, 10_000);
+        let history = next_history(&[], &base_report, "previous round");
+        let base_json = base_report.to_json_with_history(&history);
+        let msg = check_against_baseline(&tiny_report(5, 10_000), &base_json, 0.25)
+            .expect("faster run passes");
+        assert!(msg.contains("vs round 1 (previous round)"), "{msg}");
+        assert!(msg.contains("(-50.0%)"), "{msg}");
+        // Without history the message stays in its original shape.
+        let plain = check_against_baseline(&tiny_report(5, 10_000), &base_report.to_json(), 0.25)
+            .expect("faster run passes");
+        assert!(!plain.contains("vs round"), "{plain}");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use asf_core::spec::SpecState;
 use asf_mem::addr::LineAddr;
 use asf_mem::cache::CacheArray;
 use asf_mem::config::MachineConfig;
+use asf_mem::intern::LineId;
 use asf_mem::latency::AccessLevel;
 use asf_mem::moesi::MoesiState;
 use asf_mem::fxhash::FxHashMap;
@@ -35,7 +36,9 @@ pub struct CoreCaches {
     pub retained: FxHashMap<LineAddr, SpecState>,
     /// Lines currently carrying speculative state (live or retained) —
     /// cleared in O(set size) at commit/abort instead of scanning the L1.
-    pub spec_lines: Vec<LineAddr>,
+    /// Each entry carries the line's interned id so teardown can index the
+    /// machine's dense spec directory without a map lookup.
+    pub spec_lines: Vec<(LineAddr, LineId)>,
 }
 
 impl CoreCaches {
@@ -58,12 +61,12 @@ impl CoreCaches {
     /// made large write sets quadratic). `debug_assert` keeps the contract
     /// honest in debug builds.
     #[inline]
-    pub fn note_spec_line(&mut self, line: LineAddr) {
+    pub fn note_spec_line(&mut self, line: LineAddr, lid: LineId) {
         debug_assert!(
-            !self.spec_lines.contains(&line),
+            !self.spec_lines.iter().any(|&(l, _)| l == line),
             "spec line {line:?} noted twice"
         );
-        self.spec_lines.push(line);
+        self.spec_lines.push((line, lid));
     }
 
     /// Where would a fill for `line` be satisfied locally (L2/L3), if at
@@ -126,13 +129,17 @@ impl CoreCaches {
     /// write lines and dropped retained entries — are pushed onto `dropped`
     /// so the machine can update its residency index (re-checking
     /// [`Self::holds`], since a retained line can survive in L2/L3).
-    pub fn clear_spec(&mut self, invalidate_written: bool, dropped: &mut Vec<LineAddr>) {
+    pub fn clear_spec(
+        &mut self,
+        invalidate_written: bool,
+        dropped: &mut Vec<(LineAddr, LineId)>,
+    ) {
         // Detach the list to appease the borrow checker, but hand the
         // (cleared) buffer back afterwards so its capacity is reused by the
         // next transaction instead of reallocated every commit/abort.
         let mut lines = std::mem::take(&mut self.spec_lines);
-        for &line in &lines {
-            self.clear_spec_line(line, invalidate_written, dropped);
+        for &(line, lid) in &lines {
+            self.clear_spec_line(line, lid, invalidate_written, dropped);
         }
         lines.clear();
         self.spec_lines = lines;
@@ -153,11 +160,12 @@ impl CoreCaches {
     pub fn clear_spec_line(
         &mut self,
         line: LineAddr,
+        lid: LineId,
         invalidate_written: bool,
-        dropped: &mut Vec<LineAddr>,
+        dropped: &mut Vec<(LineAddr, LineId)>,
     ) {
         if self.retained.remove(&line).is_some() {
-            dropped.push(line);
+            dropped.push((line, lid));
         }
         if let Some(meta) = self.l1.peek_mut(line) {
             let wrote = meta.spec.write_mask.any();
@@ -166,7 +174,7 @@ impl CoreCaches {
                 self.l1.remove(line);
                 self.l2.remove(line);
                 self.l3.remove(line);
-                dropped.push(line);
+                dropped.push((line, lid));
             }
         }
     }
@@ -220,7 +228,7 @@ mod tests {
         meta.spec.mark_write(AccessMask::from_range(0, 8));
         meta.moesi = MoesiState::Modified;
         c.l1.insert(line(3), meta, |_| false).unwrap();
-        c.note_spec_line(line(3));
+        c.note_spec_line(line(3), 3);
         c.clear_spec(false, &mut Vec::new()); // commit
         let m = c.l1.peek(line(3)).unwrap();
         assert!(m.spec.is_empty());
@@ -234,14 +242,14 @@ mod tests {
         let mut wmeta = LineMeta::default();
         wmeta.spec.mark_write(AccessMask::from_range(0, 8));
         c.l1.insert(line(3), wmeta, |_| false).unwrap();
-        c.note_spec_line(line(3));
+        c.note_spec_line(line(3), 3);
         let mut rmeta = LineMeta::default();
         rmeta.spec.mark_read(AccessMask::from_range(0, 8));
         c.l1.insert(line(5), rmeta, |_| false).unwrap();
-        c.note_spec_line(line(5));
+        c.note_spec_line(line(5), 5);
         // Retained entries are tracked spec lines too (machine invariant).
         c.retained.insert(line(7), SpecState::EMPTY);
-        c.note_spec_line(line(7));
+        c.note_spec_line(line(7), 7);
         let mut dropped = Vec::new();
         c.clear_spec(true, &mut dropped); // abort
         assert!(!c.l1.contains(line(3)), "spec-written line invalidated");
@@ -249,8 +257,8 @@ mod tests {
         assert!(c.l1.peek(line(5)).unwrap().spec.is_empty());
         assert!(c.retained.is_empty());
         // Both the discarded write line and the dropped retained entry are
-        // reported as residency-change candidates.
-        assert!(dropped.contains(&line(3)) && dropped.contains(&line(7)));
+        // reported as residency-change candidates, ids attached.
+        assert!(dropped.contains(&(line(3), 3)) && dropped.contains(&(line(7), 7)));
     }
 
     #[test]
@@ -288,11 +296,11 @@ mod tests {
         let mut c = caches();
         c.retained.insert(line(4), SpecState::EMPTY);
         let mut dropped = Vec::new();
-        c.clear_spec_line(line(4), true, &mut dropped);
+        c.clear_spec_line(line(4), 4, true, &mut dropped);
         assert!(c.retained.is_empty());
-        assert_eq!(dropped, vec![line(4)]);
+        assert_eq!(dropped, vec![(line(4), 4)]);
         // A line with no state anywhere is a no-op.
-        c.clear_spec_line(line(6), true, &mut dropped);
+        c.clear_spec_line(line(6), 6, true, &mut dropped);
         assert_eq!(dropped.len(), 1);
     }
 
@@ -301,7 +309,7 @@ mod tests {
     #[should_panic(expected = "noted twice")]
     fn note_spec_line_rejects_duplicates() {
         let mut c = caches();
-        c.note_spec_line(line(1));
-        c.note_spec_line(line(1));
+        c.note_spec_line(line(1), 1);
+        c.note_spec_line(line(1), 1);
     }
 }

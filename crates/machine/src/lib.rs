@@ -64,11 +64,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod error;
 pub mod fault;
 pub mod hier;
 pub mod machine;
 pub mod obs;
+pub mod sched;
 pub mod trace;
 pub mod txprog;
 pub mod value;

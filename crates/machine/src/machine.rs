@@ -1,9 +1,11 @@
 //! The simulator engine: scheduler, coherence fabric, HTM execution.
 
+use crate::arena::ProbeArena;
 use crate::error::{CoreReport, ProgressReport, SimError};
 use crate::fault::FaultPlan;
 use crate::hier::{CoreCaches, LineMeta};
 use crate::obs::{Obs, ObsConfig, ObsReport, Phases};
+use crate::sched::CalendarQueue;
 use crate::trace::{RingTrace, TraceEvent, TraceSink};
 use crate::txprog::{ThreadProgram, TxAttempt, TxOp, WorkItem, Workload};
 use crate::value::{GlobalMemory, ReadLog, WriteSet};
@@ -14,7 +16,7 @@ use asf_core::signature::Signature;
 use asf_core::spec::SpecState;
 use asf_mem::addr::{Access, Addr, CoreId, LineAddr};
 use asf_mem::config::MachineConfig;
-use asf_mem::fxhash::FxHashMap;
+use asf_mem::intern::{LineId, LineInterner};
 use asf_mem::latency::AccessLevel;
 use asf_mem::mask::AccessMask;
 use asf_mem::moesi::{CoherenceKind, MoesiState};
@@ -181,6 +183,14 @@ pub struct SimConfig {
     /// mirroring `verify_residency`. On in every property suite; sampled in
     /// debug builds otherwise.
     pub verify_spec_directory: bool,
+    /// Resolve probe conflicts victim-by-victim from a per-probe snapshot
+    /// (the pre-batching code path) instead of the default two-phase
+    /// batched pass over the spec-directory row. Outcomes and statistics
+    /// must be identical either way — the batched pass evaluates the same
+    /// per-victim checks against the same state, it only hoists the
+    /// mask-coarsening and the row lookup out of the victim loop;
+    /// equivalence tests flip this to prove it.
+    pub sequential_probe_resolution: bool,
 }
 
 impl SimConfig {
@@ -207,6 +217,7 @@ impl SimConfig {
             verify_residency: false,
             exhaustive_spec_walk: false,
             verify_spec_directory: false,
+            sequential_probe_resolution: false,
         }
     }
 
@@ -295,23 +306,6 @@ struct ProbeSummary {
     piggyback: AccessMask,
 }
 
-/// One speculative-state directory entry: the per-core sub-block read/write
-/// bitmasks of all live *and* retained speculative state for one line,
-/// packed so a probe resolves every victim's state with one lookup + bit
-/// ops. Masks use the 64-sub-block `AccessMask::to_subblock_bits` encoding
-/// (the identity on the raw byte mask), so the `is_true` oracle stays
-/// byte-exact. Dirty bits are deliberately absent: they are local-only
-/// state, invisible to remote conflict checks.
-#[derive(Debug)]
-struct SpecDirEntry {
-    /// Bit `v` set iff core `v` holds live-or-retained speculative state.
-    cores: u64,
-    /// Per-core `(read_bits, write_bits)`, indexed by core id; slots for
-    /// unlisted cores are zero. Boxes are pooled by the machine so entry
-    /// churn does not allocate.
-    masks: Box<[(u64, u64)]>,
-}
-
 /// The simulator.
 pub struct Machine {
     cfg: SimConfig,
@@ -331,48 +325,55 @@ pub struct Machine {
     /// site gates on this bool so the disabled layer costs one predictable
     /// branch and the run stays bit-identical.
     obs_on: bool,
-    /// Adaptive mode: per-line false-conflict heat (the predictor table).
-    line_heat: FxHashMap<LineAddr, u32>,
-    /// Probe-filter directory: cores that may hold each line (bitmask).
+    /// Line-address intern table: every per-line global structure below is
+    /// a dense array indexed by [`LineId`]. One hash probe per line
+    /// fragment at access time replaces one per structure per touch.
+    intern: LineInterner,
+    /// Adaptive mode: per-line false-conflict heat (the predictor table),
+    /// indexed by line id.
+    line_heat: Vec<u32>,
+    /// Probe-filter directory: cores that may hold each line (bitmask),
+    /// indexed by line id.
     ///
     /// Distinct from `residency`: the directory models HT-Assist hardware —
     /// conservative (stale entries survive silent evictions) and consulted
     /// only under [`FabricKind::ProbeFilter`], where it defines the
     /// *accounted* probe traffic. The residency index is a simulator-side
     /// exactness structure that never changes any reported number.
-    directory: FxHashMap<LineAddr, u64>,
-    /// Exact residency index: bit `v` is set iff core `v` holds the line in
-    /// L1, L2, or L3, or retains speculative metadata for it. Maintained at
-    /// every fill, eviction, invalidation, retained-metadata insert/drop,
-    /// and commit/abort teardown; probes walk only these cores (plus, in
-    /// signature mode, every in-transaction core — Bloom state is decoupled
-    /// from the caches). Purely an optimisation: broadcast *accounting*
-    /// still charges all remote cores, so stats stay bit-identical.
-    residency: FxHashMap<LineAddr, u64>,
+    directory: Vec<u64>,
+    /// Exact residency index, indexed by line id: bit `v` is set iff core
+    /// `v` holds the line in L1, L2, or L3, or retains speculative metadata
+    /// for it. Maintained at every fill, eviction, invalidation,
+    /// retained-metadata insert/drop, and commit/abort teardown; probes
+    /// walk only these cores (plus, in signature mode, every
+    /// in-transaction core — Bloom state is decoupled from the caches).
+    /// Purely an optimisation: broadcast *accounting* still charges all
+    /// remote cores, so stats stay bit-identical.
+    residency: Vec<u64>,
     /// Event-ordered run queue: one `(clock, core)` entry per non-`Done`
     /// core, popped in exactly the `(clock, core_id)` order the old
-    /// linear `min_by_key` scan produced. Valid because a core's clock
-    /// only ever changes during its own turn.
-    runq: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
-    /// Scratch buffer for probe-target lists (avoids per-probe allocation
-    /// on the simulator's hottest path).
-    scratch_targets: Vec<usize>,
-    /// Scratch buffer for residency-drop candidates at commit/abort.
-    scratch_dropped: Vec<LineAddr>,
-    /// Global speculative-state directory: line → packed per-core spec
-    /// masks (live + retained union). Written only on a line's speculative
-    /// mask growth ([`Self::mark_spec`]) and cleared column-wise at
-    /// commit/abort teardown — every other metadata movement (invalidate
-    /// with retention, signature-mode L1 eviction to `retained`, fold-back
-    /// on refetch) preserves the per-(line, core) union, so no update is
-    /// needed there. Purely a read-path index: all reported statistics are
-    /// bit-identical with `exhaustive_spec_walk`.
-    spec_dir: FxHashMap<LineAddr, SpecDirEntry>,
-    /// Pool of retired directory-entry mask boxes, reused on insert.
-    spec_dir_pool: Vec<Box<[(u64, u64)]>>,
-    /// Scratch buffer for the per-probe victim spec-state snapshot
-    /// (ascending core id).
-    scratch_vspec: Vec<(usize, SpecState)>,
+    /// linear `min_by_key` scan (and the binary heap that replaced it)
+    /// produced. Valid because a core's clock only ever changes during its
+    /// own turn, and never moves backwards — the calendar queue's
+    /// monotone-push contract.
+    runq: CalendarQueue,
+    /// Global speculative-state directory, struct-of-arrays: bit `v` of
+    /// `spec_cores[lid]` iff core `v` holds live-or-retained speculative
+    /// state for the line, with its raw byte `(read, write)` masks at
+    /// `spec_masks[lid * n_cores + v]`. Written only on a line's
+    /// speculative mask growth ([`Self::mark_spec`]) and cleared
+    /// column-wise at commit/abort teardown — every other metadata
+    /// movement (invalidate with retention, signature-mode L1 eviction to
+    /// `retained`, fold-back on refetch) preserves the per-(line, core)
+    /// union, so no update is needed there. Purely a read-path index: all
+    /// reported statistics are bit-identical with `exhaustive_spec_walk`.
+    spec_cores: Vec<u64>,
+    /// Per-(line, core) raw `(read_bits, write_bits)` masks; see
+    /// [`Machine::spec_cores`]. Dirty bits are deliberately absent: they
+    /// are local-only state, invisible to remote conflict checks.
+    spec_masks: Vec<(u64, u64)>,
+    /// Pooled scratch buffers for the probe and teardown hot paths.
+    arena: ProbeArena,
     /// Fault-injection RNG: a dedicated stream derived from the seed, so
     /// enabling faults never perturbs the cores' own streams (and a
     /// zero-rate plan never draws from this one either).
@@ -439,6 +440,12 @@ impl Machine {
                 needs_validation: false,
             })
             .collect();
+        // All cores start at clock 0; ties pop in core-id order, the same
+        // order the linear scan used.
+        let mut runq = CalendarQueue::new();
+        for i in 0..n {
+            runq.push(0, i);
+        }
         Machine {
             cfg,
             cores,
@@ -450,17 +457,14 @@ impl Machine {
             sink: None,
             obs: None,
             obs_on: false,
-            line_heat: FxHashMap::default(),
-            directory: FxHashMap::default(),
-            residency: FxHashMap::default(),
-            // All cores start at clock 0; ties pop in core-id order, the
-            // same order the linear scan used.
-            runq: (0..n).map(|i| std::cmp::Reverse((0u64, i))).collect(),
-            scratch_targets: Vec::new(),
-            scratch_dropped: Vec::new(),
-            spec_dir: FxHashMap::default(),
-            spec_dir_pool: Vec::new(),
-            scratch_vspec: Vec::new(),
+            intern: LineInterner::new(),
+            line_heat: Vec::new(),
+            directory: Vec::new(),
+            residency: Vec::new(),
+            runq,
+            spec_cores: Vec::new(),
+            spec_masks: Vec::new(),
+            arena: ProbeArena::new(),
             fault_rng: SimRng::derive(cfg.seed, FAULT_RNG_STREAM),
             faults_on: cfg.faults.enabled(),
             spike_until: vec![0; n],
@@ -468,50 +472,54 @@ impl Machine {
         }
     }
 
+    /// Intern `line`, growing every dense per-line table on first sight so
+    /// all downstream lookups are plain in-bounds array indexing.
+    #[inline]
+    fn intern_line(&mut self, line: LineAddr) -> LineId {
+        let lid = self.intern.intern(line);
+        if lid as usize >= self.line_heat.len() {
+            self.line_heat.push(0);
+            self.directory.push(0);
+            self.residency.push(0);
+            self.spec_cores.push(0);
+            self.spec_masks
+                .resize(self.spec_masks.len() + self.cores.len(), (0, 0));
+        }
+        lid
+    }
+
     // ------------------------------------------------------------------
     // Residency index maintenance
     // ------------------------------------------------------------------
 
-    /// Note that `who` now holds `line` somewhere (fill into any level).
+    /// Note that `who` now holds the line somewhere (fill into any level).
     #[inline]
-    fn res_add(&mut self, line: LineAddr, who: usize) {
-        *self.residency.entry(line).or_insert(0) |= 1 << who;
+    fn res_add(&mut self, lid: LineId, who: usize) {
+        self.residency[lid as usize] |= 1 << who;
     }
 
     /// `who` may have stopped holding `line`: re-check the ground truth and
     /// clear the bit if the line is gone from every level and the retained
     /// table. (Re-checking keeps the index exact across partial removals —
     /// an L1 eviction of a line still sitting in L2, say.)
-    fn res_drop_if_absent(&mut self, line: LineAddr, who: usize) {
+    fn res_drop_if_absent(&mut self, line: LineAddr, lid: LineId, who: usize) {
         if self.cores[who].caches.holds(line) {
             return;
         }
-        if let Some(bits) = self.residency.get_mut(&line) {
-            *bits &= !(1 << who);
-            if *bits == 0 {
-                self.residency.remove(&line);
-            }
-        }
+        self.residency[lid as usize] &= !(1 << who);
     }
 
     // ------------------------------------------------------------------
     // Speculative-state directory maintenance
     // ------------------------------------------------------------------
 
-    /// OR `mask` into `who`'s directory column for `line`. Called only when
-    /// the core's *live* mask actually grows (the caller pre-checks), so
-    /// most marks on warm lines skip the hash probe entirely.
-    fn spec_dir_mark(&mut self, line: LineAddr, who: usize, mask: AccessMask, is_write: bool) {
-        let n = self.cores.len();
-        let pool = &mut self.spec_dir_pool;
-        let entry = self.spec_dir.entry(line).or_insert_with(|| SpecDirEntry {
-            cores: 0,
-            masks: pool
-                .pop()
-                .unwrap_or_else(|| vec![(0u64, 0u64); n].into_boxed_slice()),
-        });
-        entry.cores |= 1 << who;
-        let slot = &mut entry.masks[who];
+    /// OR `mask` into `who`'s directory column for the line. Called only
+    /// when the core's *live* mask actually grows (the caller pre-checks),
+    /// so most marks on warm lines skip even the array store.
+    #[inline]
+    fn spec_dir_mark(&mut self, lid: LineId, who: usize, mask: AccessMask, is_write: bool) {
+        self.spec_cores[lid as usize] |= 1 << who;
+        let slot = &mut self.spec_masks[lid as usize * self.cores.len() + who];
         if is_write {
             slot.1 |= mask.0;
         } else {
@@ -519,51 +527,45 @@ impl Machine {
         }
     }
 
-    /// Retire `who`'s directory column for `line` (commit/abort teardown);
-    /// the entry's mask box returns to the pool once the last core leaves.
-    fn spec_dir_clear(&mut self, line: LineAddr, who: usize) {
-        if let Some(entry) = self.spec_dir.get_mut(&line) {
-            if entry.cores & (1 << who) != 0 {
-                entry.cores &= !(1 << who);
-                entry.masks[who] = (0, 0);
-                if entry.cores == 0 {
-                    let retired = self.spec_dir.remove(&line).expect("entry just seen");
-                    self.spec_dir_pool.push(retired.masks);
-                }
-            }
-        }
-    }
-
-    /// Probe-filter: note that `who` may now cache `line`.
+    /// Retire `who`'s directory column for the line (commit/abort
+    /// teardown).
     #[inline]
-    fn dir_add(&mut self, line: LineAddr, who: usize) {
-        if self.cfg.fabric == FabricKind::ProbeFilter {
-            *self.directory.entry(line).or_insert(0) |= 1 << who;
+    fn spec_dir_clear(&mut self, lid: LineId, who: usize) {
+        let row = &mut self.spec_cores[lid as usize];
+        if *row & (1 << who) != 0 {
+            *row &= !(1 << who);
+            self.spec_masks[lid as usize * self.cores.len() + who] = (0, 0);
         }
     }
 
-    /// Cores a probe for `line` from `who` must actually *visit*, written
-    /// into the reusable scratch buffer (the caller takes it and must put
-    /// it back). The walk set is the fabric's target set narrowed by the
-    /// exact residency index: a core holding neither a copy of the line at
-    /// any level nor retained speculative metadata for it contributes
-    /// nothing to conflict detection, data supply, or coherence updates, so
-    /// its cache walk is skipped. Signature (LogTM-SE) detection is the one
-    /// exception — Bloom state is decoupled from the caches, so every
-    /// in-transaction core stays in the walk set there.
+    /// Probe-filter: note that `who` may now cache the line.
+    #[inline]
+    fn dir_add(&mut self, lid: LineId, who: usize) {
+        if self.cfg.fabric == FabricKind::ProbeFilter {
+            self.directory[lid as usize] |= 1 << who;
+        }
+    }
+
+    /// Cores a probe for the line from `who` must actually *visit*, as a
+    /// bitmask walked in ascending core-id order. The walk set is the
+    /// fabric's target set narrowed by the exact residency index: a core
+    /// holding neither a copy of the line at any level nor retained
+    /// speculative metadata for it contributes nothing to conflict
+    /// detection, data supply, or coherence updates, so its cache walk is
+    /// skipped. Signature (LogTM-SE) detection is the one exception —
+    /// Bloom state is decoupled from the caches, so every in-transaction
+    /// core stays in the walk set there.
     ///
     /// Accounting is separate (see [`Self::accounted_probe_targets`]):
     /// under broadcast the fabric still pays for all remote cores, and the
     /// probe-filter directory still defines its own (conservative) target
     /// count, so all reported numbers are bit-identical to a full walk.
-    fn probe_targets(&mut self, who: usize, line: LineAddr) -> Vec<usize> {
-        let mut out = std::mem::take(&mut self.scratch_targets);
-        out.clear();
+    fn probe_target_bits(&self, who: usize, lid: LineId) -> u64 {
         let n = self.cores.len();
         let mut bits: u64 = if self.cfg.exhaustive_probe_walk {
             u64::MAX
         } else {
-            let res = self.residency.get(&line).copied().unwrap_or(0);
+            let res = self.residency[lid as usize];
             if self.cfg.signatures.is_some() {
                 let mut b = res;
                 for (v, core) in self.cores.iter().enumerate() {
@@ -577,47 +579,35 @@ impl Machine {
             }
         };
         if self.cfg.fabric == FabricKind::ProbeFilter {
-            bits &= self.directory.get(&line).copied().unwrap_or(0);
+            bits &= self.directory[lid as usize];
         }
         if n < 64 {
             bits &= (1 << n) - 1;
         }
-        bits &= !(1 << who);
-        // Ascending core id, exactly the order the full scan walked.
-        while bits != 0 {
-            out.push(bits.trailing_zeros() as usize);
-            bits &= bits - 1;
-        }
-        out
+        bits & !(1 << who)
     }
 
     /// Probe targets the *fabric* charges for — what
     /// [`asf_stats::run::RunStats::probe_targets`] counts, independent of
     /// how many cache walks the residency index let us skip.
     #[inline]
-    fn accounted_probe_targets(&self, who: usize, line: LineAddr) -> u64 {
+    fn accounted_probe_targets(&self, who: usize, lid: LineId) -> u64 {
         match self.cfg.fabric {
             FabricKind::Broadcast => self.cores.len() as u64 - 1,
             FabricKind::ProbeFilter => {
-                let bits = self.directory.get(&line).copied().unwrap_or(0);
-                (bits & !(1 << who)).count_ones() as u64
+                (self.directory[lid as usize] & !(1 << who)).count_ones() as u64
             }
         }
     }
 
-    /// Return the scratch buffer after a probe loop.
+    /// The detector effective for the line (adaptive mode promotes hot
+    /// lines).
     #[inline]
-    fn put_back_targets(&mut self, buf: Vec<usize>) {
-        self.scratch_targets = buf;
-    }
-
-    /// The detector effective for `line` (adaptive mode promotes hot lines).
-    #[inline]
-    fn effective_detector(&self, line: LineAddr) -> DetectorKind {
+    fn effective_detector(&self, lid: LineId) -> DetectorKind {
         match self.cfg.adaptive {
             None => self.cfg.detector,
             Some(a) => {
-                if self.line_heat.get(&line).copied().unwrap_or(0) >= a.promote_after {
+                if self.line_heat[lid as usize] >= a.promote_after {
                     DetectorKind::SubBlock(a.fine)
                 } else {
                     self.cfg.detector
@@ -626,11 +616,11 @@ impl Machine {
         }
     }
 
-    /// Adaptive mode: account a false conflict against `line`.
+    /// Adaptive mode: account a false conflict against the line.
     #[inline]
-    fn heat_line(&mut self, line: LineAddr) {
+    fn heat_line(&mut self, lid: LineId) {
         if self.cfg.adaptive.is_some() {
-            *self.line_heat.entry(line).or_insert(0) += 1;
+            self.line_heat[lid as usize] += 1;
         }
     }
 
@@ -641,7 +631,7 @@ impl Machine {
             None => 0,
             Some(a) => self
                 .line_heat
-                .values()
+                .iter()
                 .filter(|&&h| h >= a.promote_after)
                 .count(),
         }
@@ -847,12 +837,14 @@ impl Machine {
     /// The run queue holds exactly one `(clock, core)` entry per non-`Done`
     /// core, so popping the minimum reproduces the retired linear scan's
     /// `min_by_key((clock, id))` choice — including its tie-break on the
-    /// smaller core id — in O(log cores) instead of O(cores). The entry's
-    /// key can never go stale: a core's clock changes only during its own
-    /// turn, and the turn ends by re-queueing it at the new clock.
+    /// smaller core id (see [`crate::sched::CalendarQueue`] for the pop
+    /// order the golden digests pin). The entry's key can never go stale: a
+    /// core's clock changes only during its own turn, the turn ends by
+    /// re-queueing it at the new clock, and clocks never move backwards —
+    /// the queue's monotone-push contract.
     fn step(&mut self) -> bool {
         let who = match self.runq.pop() {
-            Some(std::cmp::Reverse((clock, who))) => {
+            Some((clock, who)) => {
                 debug_assert_eq!(
                     clock, self.cores[who].clock,
                     "run-queue entry went stale for core {who}"
@@ -874,7 +866,7 @@ impl Machine {
             self.step_core(who);
         }
         if !matches!(self.cores[who].state, CoreState::Done) {
-            self.runq.push(std::cmp::Reverse((self.cores[who].clock, who)));
+            self.runq.push(self.cores[who].clock, who);
         }
         true
     }
@@ -1120,16 +1112,16 @@ impl Machine {
     fn clear_spec_state(&mut self, who: usize, invalidate_written: bool) {
         let t0 = self.obs_timer();
         let mut lines = std::mem::take(&mut self.cores[who].caches.spec_lines);
-        let mut dropped = std::mem::take(&mut self.scratch_dropped);
+        let mut dropped = self.arena.checkout_dropped();
         self.obs_with(|o| {
             o.registry.inc(o.c.teardown_walks);
             o.registry.add(o.c.teardown_lines, lines.len() as u64);
         });
-        for &line in &lines {
-            self.spec_dir_clear(line, who);
+        for &(line, lid) in &lines {
+            self.spec_dir_clear(lid, who);
             self.cores[who]
                 .caches
-                .clear_spec_line(line, invalidate_written, &mut dropped);
+                .clear_spec_line(line, lid, invalidate_written, &mut dropped);
         }
         debug_assert!(
             self.cores[who].caches.retained.is_empty(),
@@ -1146,11 +1138,10 @@ impl Machine {
         }
         core.read_log.clear();
         core.needs_validation = false;
-        for &line in &dropped {
-            self.res_drop_if_absent(line, who);
+        for &(line, lid) in &dropped {
+            self.res_drop_if_absent(line, lid, who);
         }
-        dropped.clear();
-        self.scratch_dropped = dropped;
+        self.arena.checkin_dropped(dropped);
         self.obs_phase(t0, |ph| ph.teardown);
     }
 
@@ -1315,8 +1306,11 @@ impl Machine {
     ) -> Result<u64, AbortCause> {
         let lat = self.cfg.machine.latency;
         let probe_kind = ProbeKind::for_access(is_write);
+        let lid = self.intern_line(line);
 
-        // Classify the local L1 state.
+        // Classify the local L1 state. Classification deliberately uses
+        // `peek` (no LRU touch): a miss-classified access must leave the
+        // replacement order exactly as the probe path expects to find it.
         let (present, readable, writable, dirty_hit) = {
             let core = &self.cores[who];
             match core.caches.l1.peek(line) {
@@ -1333,7 +1327,8 @@ impl Machine {
         };
 
         // Fast path: plain L1 hit with sufficient permission and no dirty
-        // bytes under a transactional access.
+        // bytes under a transactional access. Spec marking is inlined on
+        // the same `get` borrow (one LRU-touching set scan, not two).
         let plain_hit = present && !dirty_hit && if is_write { writable } else { readable };
         if plain_hit {
             self.stats.l1_hits += 1;
@@ -1343,7 +1338,27 @@ impl Machine {
                 meta.moesi = meta.moesi.after_local_write();
             }
             if transactional {
-                self.mark_spec(who, line, mask, is_write);
+                let was_spec = meta.spec.is_speculative();
+                let grows;
+                if is_write {
+                    grows = mask.0 & !meta.spec.write_mask.0 != 0;
+                    meta.spec.mark_write(mask);
+                    if let Some(sig) = core.write_sig.as_mut() {
+                        sig.insert(line);
+                    }
+                } else {
+                    grows = mask.0 & !meta.spec.read_mask.0 != 0;
+                    meta.spec.mark_read(mask);
+                    if let Some(sig) = core.read_sig.as_mut() {
+                        sig.insert(line);
+                    }
+                }
+                if !was_spec {
+                    core.caches.note_spec_line(line, lid);
+                }
+                if grows {
+                    self.spec_dir_mark(lid, who, mask, is_write);
+                }
             }
             return Ok(lat.l1);
         }
@@ -1360,12 +1375,12 @@ impl Machine {
         // aborts itself instead (the probe is NACKed before mutating any
         // remote state).
         if transactional && self.cfg.resolution == ResolutionPolicy::VictimWins {
-            if let Some(cause) = self.victim_wins_check(who, line, mask, probe_kind) {
+            if let Some(cause) = self.victim_wins_check(who, line, lid, mask, probe_kind) {
                 return Err(cause);
             }
         }
 
-        let summary = self.probe_others(who, line, mask, probe_kind);
+        let summary = self.probe_others(who, line, lid, mask, probe_kind);
 
         // Upgrade: line present & readable, we needed write permission.
         let upgrade = present && readable && is_write && !dirty_hit;
@@ -1414,12 +1429,14 @@ impl Machine {
             // silently evict lines from L2/L3; the residency index hears
             // about both the fill and those evictions.
             let (ev2, ev3) = self.cores[who].caches.fill_outer(line);
-            self.res_add(line, who);
+            self.res_add(lid, who);
             if let Some(e) = ev2 {
-                self.res_drop_if_absent(e, who);
+                let elid = self.intern_line(e);
+                self.res_drop_if_absent(e, elid, who);
             }
             if let Some(e) = ev3 {
-                self.res_drop_if_absent(e, who);
+                let elid = self.intern_line(e);
+                self.res_drop_if_absent(e, elid, who);
             }
             let retained = self.cores[who].caches.retained.remove(&line);
             if retained.is_some() {
@@ -1463,7 +1480,8 @@ impl Machine {
                     }
                     // An L1-evicted line usually survives in L2/L3 (or just
                     // moved to `retained`); only a full departure clears it.
-                    self.res_drop_if_absent(evicted.line, who);
+                    let elid = self.intern_line(evicted.line);
+                    self.res_drop_if_absent(evicted.line, elid, who);
                 }
                 Ok(None) => {}
                 Err(_full) => {
@@ -1478,9 +1496,9 @@ impl Machine {
         }
 
         if transactional {
-            self.mark_spec(who, line, mask, is_write);
+            self.mark_spec(who, line, lid, mask, is_write);
         }
-        self.dir_add(line, who);
+        self.dir_add(lid, who);
 
         // Fault layer: a delayed coherence response stretches this access
         // by a fixed penalty (the probe already went out; only its answer
@@ -1529,7 +1547,7 @@ impl Machine {
     /// transition) and the speculative-state directory (updated only when
     /// the live mask actually grows — covered bits are already in the
     /// directory's live+retained union) in sync.
-    fn mark_spec(&mut self, who: usize, line: LineAddr, mask: AccessMask, is_write: bool) {
+    fn mark_spec(&mut self, who: usize, line: LineAddr, lid: LineId, mask: AccessMask, is_write: bool) {
         let core = &mut self.cores[who];
         let meta = core
             .caches
@@ -1555,10 +1573,10 @@ impl Machine {
             // A freshly-speculative line cannot already be tracked: a line
             // re-fetched with retained state folds that state back into the
             // live mask before marking, so `was_spec` is true for it.
-            core.caches.note_spec_line(line);
+            core.caches.note_spec_line(line, lid);
         }
         if grows {
-            self.spec_dir_mark(line, who, mask, is_write);
+            self.spec_dir_mark(lid, who, mask, is_write);
         }
     }
 
@@ -1569,12 +1587,13 @@ impl Machine {
         &mut self,
         who: usize,
         line: LineAddr,
+        lid: LineId,
         mask: AccessMask,
         kind: ProbeKind,
     ) -> Option<AbortCause> {
         let now = self.cores[who].clock;
-        let detector = self.effective_detector(line);
-        let vspec = self.snapshot_victim_spec(who, line);
+        let detector = self.effective_detector(lid);
+        let vspec = self.snapshot_victim_spec(who, line, lid);
         for &(v, merged) in &vspec {
             if !self.cores[v].in_running_tx() {
                 continue;
@@ -1585,7 +1604,7 @@ impl Machine {
                 self.stats.on_conflict(ck, is_true, now, line);
                 self.obs_conflict(now, is_true);
                 if !is_true {
-                    self.heat_line(line);
+                    self.heat_line(lid);
                 }
                 self.emit(TraceEvent::Conflict {
                     requester: who,
@@ -1594,11 +1613,11 @@ impl Machine {
                     kind: ck,
                     is_true,
                 });
-                self.put_back_vspec(vspec);
+                self.arena.checkin_vspec(vspec);
                 return Some(AbortCause::Conflict { kind: ck, is_true });
             }
         }
-        self.put_back_vspec(vspec);
+        self.arena.checkin_vspec(vspec);
         None
     }
 
@@ -1617,35 +1636,40 @@ impl Machine {
     /// victim teardown sound: `abort_victim` mutates the directory, but
     /// each victim's state is read before any abort this probe causes, and
     /// a victim's teardown never alters another core's masks.
-    fn snapshot_victim_spec(&mut self, who: usize, line: LineAddr) -> Vec<(usize, SpecState)> {
-        let mut out = std::mem::take(&mut self.scratch_vspec);
-        out.clear();
+    fn snapshot_victim_spec(
+        &mut self,
+        who: usize,
+        line: LineAddr,
+        lid: LineId,
+    ) -> Vec<(usize, SpecState)> {
+        let mut out = self.arena.checkout_vspec();
         if !self.cfg.exhaustive_spec_walk {
-            let entry = self.spec_dir.get(&line);
-            let dir_hit = entry.is_some();
-            if let Some(entry) = entry {
-                let mut bits = entry.cores & !(1 << who);
-                while bits != 0 {
-                    let v = bits.trailing_zeros() as usize;
-                    bits &= bits - 1;
-                    let (r, w) = entry.masks[v];
-                    out.push((
-                        v,
-                        SpecState {
-                            read_mask: AccessMask(r),
-                            write_mask: AccessMask(w),
-                            dirty_mask: AccessMask::EMPTY,
-                        },
-                    ));
-                }
+            let row = self.spec_cores[lid as usize];
+            let dir_hit = row != 0;
+            let n = self.cores.len();
+            let mut bits = row & !(1 << who);
+            while bits != 0 {
+                let v = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let (r, w) = self.spec_masks[lid as usize * n + v];
+                out.push((
+                    v,
+                    SpecState {
+                        read_mask: AccessMask(r),
+                        write_mask: AccessMask(w),
+                        dirty_mask: AccessMask::EMPTY,
+                    },
+                ));
             }
             self.obs_with(|o| {
                 let id = if dir_hit { o.c.specdir_hits } else { o.c.specdir_misses };
                 o.registry.inc(id);
             });
         } else {
-            let targets = self.probe_targets(who, line);
-            for &v in &targets {
+            let mut targets = self.probe_target_bits(who, lid);
+            while targets != 0 {
+                let v = targets.trailing_zeros() as usize;
+                targets &= targets - 1;
                 let mut merged = self.cores[v]
                     .caches
                     .l1
@@ -1662,24 +1686,38 @@ impl Machine {
                     out.push((v, merged));
                 }
             }
-            self.put_back_targets(targets);
         }
         out
-    }
-
-    /// Return the victim-spec scratch buffer after a probe.
-    #[inline]
-    fn put_back_vspec(&mut self, buf: Vec<(usize, SpecState)>) {
-        self.scratch_vspec = buf;
     }
 
     /// Broadcast a probe for `line`/`mask` from `who` to all other cores:
     /// conflict-check live and retained speculative state, update remote
     /// MOESI, collect piggy-back bits and data-source information.
+    ///
+    /// Conflict resolution runs in one of three modes:
+    ///
+    /// * **Batched** (the default): a read-only *verdict pass* joins the
+    ///   probe's pre-coarsened mask against every candidate victim's raw
+    ///   masks straight out of the spec-directory row — one AND per victim,
+    ///   no per-victim snapshot structs — then an *apply pass* walks the
+    ///   targets in the same ascending core order, applying verdicts and
+    ///   coherence updates. Equivalent to the sequential path because the
+    ///   checks are read-only and per-victim independent: aborting victim
+    ///   `a` only clears `a`'s own directory column and running-tx status,
+    ///   and each victim is visited exactly once, so the state any victim's
+    ///   check reads is identical in both orders (fault-RNG draws stay in
+    ///   the apply pass, in the original per-victim order).
+    /// * **Sequential** (`sequential_probe_resolution` or
+    ///   `exhaustive_spec_walk`): the pre-batching code path — snapshot the
+    ///   victims' merged state, then check and apply victim-by-victim.
+    ///   The A/B fence for the batched pass.
+    /// * **Signature**: Bloom-filter membership per victim; inherently
+    ///   per-victim, so it always runs on the snapshot path.
     fn probe_others(
         &mut self,
         who: usize,
         line: LineAddr,
+        lid: LineId,
         mask: AccessMask,
         kind: ProbeKind,
     ) -> ProbeSummary {
@@ -1700,38 +1738,112 @@ impl Machine {
         if self.cfg.verify_residency
             || (cfg!(debug_assertions) && self.stats.probes.is_multiple_of(64))
         {
-            self.crosscheck_residency(line);
+            self.crosscheck_residency(line, lid);
         }
         // Same fence for the speculative-state directory: a stale column
         // would mis-classify (or miss) a conflict, so divergence fails here.
         if self.cfg.verify_spec_directory
             || (cfg!(debug_assertions) && self.stats.probes.is_multiple_of(64))
         {
-            self.crosscheck_spec_dir(line);
+            self.crosscheck_spec_dir(line, lid);
         }
-        let detector = self.effective_detector(line);
+        let detector = self.effective_detector(lid);
         let mut summary = ProbeSummary::default();
-        // Victim speculative state, resolved once per probe (one directory
-        // lookup) instead of two hash probes per candidate victim. The
-        // snapshot is ascending by core id, like `targets`, so a cursor
-        // pairs them up.
-        let vspec = self.snapshot_victim_spec(who, line);
+        let use_snapshot = self.cfg.signatures.is_some()
+            || self.cfg.sequential_probe_resolution
+            || self.cfg.exhaustive_spec_walk;
+        let targets_bits = self.probe_target_bits(who, lid);
+        self.stats.probe_targets += self.accounted_probe_targets(who, lid);
+        // Victim speculative state for the snapshot modes, resolved once
+        // per probe; ascending by core id, like the target walk, so a
+        // cursor pairs them up. Batched mode leaves it empty.
+        let vspec = if use_snapshot {
+            self.snapshot_victim_spec(who, line, lid)
+        } else {
+            self.arena.checkout_vspec()
+        };
+        // Batched verdict pass: read-only, so running it before any abort
+        // is applied sees exactly the state the sequential loop would.
+        let mut verdicts = self.arena.checkout_verdicts();
+        if !use_snapshot {
+            let row = self.spec_cores[lid as usize];
+            let n = self.cores.len();
+            let probe_coarse = detector.coarsen(mask).0;
+            let mut bits = row & targets_bits;
+            while bits != 0 {
+                let v = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if !self.cores[v].in_running_tx() {
+                    continue;
+                }
+                let (r, w) = self.spec_masks[lid as usize * n + v];
+                verdicts.push((v, detector.check_probe_masks(r, w, kind, mask, probe_coarse)));
+            }
+            // Same per-probe hit/miss accounting the snapshot path records.
+            self.obs_with(|o| {
+                let id = if row != 0 { o.c.specdir_hits } else { o.c.specdir_misses };
+                o.registry.inc(id);
+            });
+        }
         let mut cursor = 0;
-        let targets = self.probe_targets(who, line);
-        self.stats.probe_targets += self.accounted_probe_targets(who, line);
         let mut retained_mask: u64 = 0;
         // Coherence/retention tallies accumulate locally while `meta`
         // borrows the victim's cache, then fold into the registry once
         // after the loop.
         let (mut obs_downgrades, mut obs_invalidations, mut obs_saves) = (0u64, 0u64, 0u64);
 
-        for &v in &targets {
-            while cursor < vspec.len() && vspec[cursor].0 < v {
-                cursor += 1;
-            }
+        let mut walk = targets_bits;
+        while walk != 0 {
+            let v = walk.trailing_zeros() as usize;
+            walk &= walk - 1;
 
-            // --- Conflict detection against live + retained state --------
-            if self.cores[v].in_running_tx() {
+            // --- Conflict detection / verdict application ----------------
+            if !use_snapshot {
+                while cursor < verdicts.len() && verdicts[cursor].0 < v {
+                    cursor += 1;
+                }
+                if cursor < verdicts.len() && verdicts[cursor].0 == v {
+                    debug_assert!(
+                        self.cores[v].in_running_tx(),
+                        "verdict for a core no longer transactional"
+                    );
+                    match verdicts[cursor].1 {
+                        ProbeOutcome::Conflict { kind: ck, is_true }
+                            if self.cfg.war_speculation
+                                && ck == asf_core::detector::ConflictType::WriteAfterRead =>
+                        {
+                            // DPTM-style coherence decoupling: the reader
+                            // speculates through the invalidation and will
+                            // validate its values at commit.
+                            self.stats.war_speculations += 1;
+                            let _ = is_true;
+                            self.cores[v].needs_validation = true;
+                        }
+                        ProbeOutcome::Conflict { kind: ck, is_true } => {
+                            self.stats.on_conflict(ck, is_true, now, line);
+                            self.obs_conflict(now, is_true);
+                            if !is_true {
+                                self.heat_line(lid);
+                            }
+                            self.emit(TraceEvent::Conflict {
+                                requester: who,
+                                victim: v,
+                                line,
+                                kind: ck,
+                                is_true,
+                            });
+                            self.abort_victim(v, AbortCause::Conflict { kind: ck, is_true });
+                        }
+                        ProbeOutcome::NoConflict { piggyback } => {
+                            summary.piggyback |= piggyback;
+                        }
+                    }
+                }
+            } else {
+                while cursor < vspec.len() && vspec[cursor].0 < v {
+                    cursor += 1;
+                }
+                if self.cores[v].in_running_tx() {
                 let merged = if cursor < vspec.len() && vspec[cursor].0 == v {
                     vspec[cursor].1
                 } else {
@@ -1778,7 +1890,7 @@ impl Machine {
                         self.stats.on_conflict(ck, is_true, now, line);
                         self.obs_conflict(now, is_true);
                         if !is_true {
-                            self.heat_line(line);
+                            self.heat_line(lid);
                         }
                         self.emit(TraceEvent::Conflict {
                             requester: who,
@@ -1806,7 +1918,7 @@ impl Machine {
                             self.stats.on_conflict(ck, is_true, now, line);
                             self.obs_conflict(now, is_true);
                             if !is_true {
-                                self.heat_line(line);
+                                self.heat_line(lid);
                             }
                             self.emit(TraceEvent::Conflict {
                                 requester: who,
@@ -1824,6 +1936,7 @@ impl Machine {
                             summary.piggyback |= piggyback;
                         }
                     }
+                }
                 }
             }
 
@@ -1884,7 +1997,7 @@ impl Machine {
                             retained_mask |= 1 << v;
                             obs_saves += 1;
                         }
-                        self.res_drop_if_absent(line, v);
+                        self.res_drop_if_absent(line, lid, v);
                     }
                 }
             } else {
@@ -1899,14 +2012,14 @@ impl Machine {
                         }
                         self.cores[v].caches.l2.remove(line);
                         self.cores[v].caches.l3.remove(line);
-                        self.res_drop_if_absent(line, v);
+                        self.res_drop_if_absent(line, lid, v);
                     }
                 }
             }
         }
-        let visited = targets.len() as u64;
-        self.put_back_targets(targets);
-        self.put_back_vspec(vspec);
+        let visited = targets_bits.count_ones() as u64;
+        self.arena.checkin_verdicts(verdicts);
+        self.arena.checkin_vspec(vspec);
         self.obs_with(|o| {
             o.registry.inc(o.c.probe_walks);
             o.registry.add(o.c.probe_cores_visited, visited);
@@ -1928,10 +2041,10 @@ impl Machine {
                             mask |= 1 << v;
                         }
                     }
-                    self.directory.insert(line, mask);
+                    self.directory[lid as usize] = mask;
                 }
                 ProbeKind::NonInvalidating => {
-                    *self.directory.entry(line).or_insert(0) |= 1 << who;
+                    self.directory[lid as usize] |= 1 << who;
                 }
             }
         }
@@ -1948,8 +2061,8 @@ impl Machine {
     /// truth in every core's hierarchy. A missing bit (unsound: a probe
     /// would skip a core that matters) or a stale bit (the index rotted and
     /// stopped being exact) both panic with a description.
-    fn crosscheck_residency(&self, line: LineAddr) {
-        let bits = self.residency.get(&line).copied().unwrap_or(0);
+    fn crosscheck_residency(&self, line: LineAddr, lid: LineId) {
+        let bits = self.residency[lid as usize];
         for (v, core) in self.cores.iter().enumerate() {
             let truth = core.caches.holds(line);
             let indexed = bits & (1 << v) != 0;
@@ -1967,8 +2080,9 @@ impl Machine {
     /// ground truth (live L1 metadata merged with the retained table) for
     /// every core. The directory must be *exact* — equal to the union, not
     /// merely a superset — or conflict classification could drift.
-    fn crosscheck_spec_dir(&self, line: LineAddr) {
-        let entry = self.spec_dir.get(&line);
+    fn crosscheck_spec_dir(&self, line: LineAddr, lid: LineId) {
+        let row = self.spec_cores[lid as usize];
+        let n = self.cores.len();
         for (v, core) in self.cores.iter().enumerate() {
             let mut truth = core
                 .caches
@@ -1979,8 +2093,8 @@ impl Machine {
             if let Some(ret) = core.caches.retained.get(&line) {
                 truth.merge(ret);
             }
-            let (r, w) = entry.map(|e| e.masks[v]).unwrap_or((0, 0));
-            let listed = entry.is_some_and(|e| e.cores & (1 << v) != 0);
+            let (r, w) = self.spec_masks[lid as usize * n + v];
+            let listed = row & (1 << v) != 0;
             assert_eq!(
                 (r, w),
                 (truth.read_mask.0, truth.write_mask.0),
@@ -1997,9 +2111,6 @@ impl Machine {
                 line.base().0
             );
         }
-        if let Some(e) = entry {
-            assert_ne!(e.cores, 0, "empty spec-directory entry leaked for line {:#x}", line.base().0);
-        }
     }
 
     /// Exhaustively verify the speculative-state directory against every
@@ -2013,9 +2124,15 @@ impl Machine {
     /// core's tracked list exactly once.
     pub fn verify_spec_directory_index(&self) -> Result<(), String> {
         use std::collections::HashSet;
-        let mut lines: HashSet<LineAddr> = self.spec_dir.keys().copied().collect();
+        let n = self.cores.len();
+        let mut lines: HashSet<LineAddr> = self
+            .intern
+            .iter()
+            .filter(|&(lid, _)| self.spec_cores[lid as usize] != 0)
+            .map(|(_, l)| l)
+            .collect();
         for core in &self.cores {
-            lines.extend(core.caches.spec_lines.iter().copied());
+            lines.extend(core.caches.spec_lines.iter().map(|&(l, _)| l));
             lines.extend(core.caches.retained.keys().copied());
             lines.extend(
                 core.caches
@@ -2026,7 +2143,7 @@ impl Machine {
             );
         }
         for &line in &lines {
-            let entry = self.spec_dir.get(&line);
+            let lid = self.intern.get(line);
             for (v, core) in self.cores.iter().enumerate() {
                 let mut truth = core
                     .caches
@@ -2037,8 +2154,11 @@ impl Machine {
                 if let Some(ret) = core.caches.retained.get(&line) {
                     truth.merge(ret);
                 }
-                let (r, w) = entry.map(|e| e.masks[v]).unwrap_or((0, 0));
-                let listed = entry.is_some_and(|e| e.cores & (1 << v) != 0);
+                let (r, w) = lid
+                    .map(|lid| self.spec_masks[lid as usize * n + v])
+                    .unwrap_or((0, 0));
+                let listed =
+                    lid.is_some_and(|lid| self.spec_cores[lid as usize] & (1 << v) != 0);
                 if (r, w) != (truth.read_mask.0, truth.write_mask.0) {
                     return Err(format!(
                         "line {:#x}: core {v} directory masks ({r:#x}, {w:#x}) != \
@@ -2057,7 +2177,7 @@ impl Machine {
                     ));
                 }
                 let tracked =
-                    core.caches.spec_lines.iter().filter(|&&l| l == line).count();
+                    core.caches.spec_lines.iter().filter(|&&(l, _)| l == line).count();
                 if truth.is_speculative() && tracked != 1 {
                     return Err(format!(
                         "line {:#x}: core {v} speculative but tracked {tracked}x \
@@ -2078,7 +2198,12 @@ impl Machine {
     /// (exactness — stale bits would erode the probe savings).
     pub fn verify_residency_index(&self) -> Result<(), String> {
         use std::collections::HashSet;
-        let mut lines: HashSet<LineAddr> = self.residency.keys().copied().collect();
+        let mut lines: HashSet<LineAddr> = self
+            .intern
+            .iter()
+            .filter(|&(lid, _)| self.residency[lid as usize] != 0)
+            .map(|(_, l)| l)
+            .collect();
         for core in &self.cores {
             lines.extend(core.caches.l1.iter().map(|(l, _)| l));
             lines.extend(core.caches.l2.iter().map(|(l, _)| l));
@@ -2086,7 +2211,11 @@ impl Machine {
             lines.extend(core.caches.retained.keys().copied());
         }
         for &line in &lines {
-            let bits = self.residency.get(&line).copied().unwrap_or(0);
+            let bits = self
+                .intern
+                .get(line)
+                .map(|lid| self.residency[lid as usize])
+                .unwrap_or(0);
             for (v, core) in self.cores.iter().enumerate() {
                 let truth = core.caches.holds(line);
                 let indexed = bits & (1 << v) != 0;

@@ -1,0 +1,325 @@
+//! Calendar-queue event scheduler (DESIGN.md §14).
+//!
+//! The engine's run queue holds one `(clock, core)` entry per live core and
+//! pops the globally earliest one each step. A binary heap does this in
+//! O(log n) with pointer-chasing sifts; this module replaces it with a
+//! *calendar queue*: a ring of [`NBUCKETS`] cycle-window buckets, each a
+//! flat `Vec` of packed `u64` event records, plus a single `u64` occupancy
+//! bitmask. Popping is: rotate the occupancy mask to the current window,
+//! `trailing_zeros` to the first non-empty bucket, min-scan a tiny
+//! contiguous `Vec`. No sift, no branches proportional to queue depth.
+//!
+//! Events are packed as `clock << CORE_BITS | core`, so comparing packed
+//! words *is* comparing `(clock, core)` lexicographically — the exact
+//! ordering `BinaryHeap<Reverse<(u64, usize)>>` gave the engine, which the
+//! golden digests encode. Ties beyond `(clock, core)` (possible only for
+//! duplicate events, which the engine never produces) fall back to
+//! insertion order because the min-scan takes the first occurrence and
+//! removal shifts rather than swaps.
+//!
+//! # Invariants
+//!
+//! * `base` never exceeds any queued clock (pushes at or after the last
+//!   popped event — true for a discrete-event loop where a core is only
+//!   rescheduled from its own turn).
+//! * Ring buckets hold exactly the events with `clock ∈ [base,
+//!   align(base) +` [`SPAN`]`)` where `align` rounds down to a bucket
+//!   boundary; later events wait in a small overflow heap and migrate into
+//!   the ring as `base` advances past their window. The *aligned* limit
+//!   matters: admitting a full `SPAN` past an unaligned `base` would let a
+//!   far-future event alias into the current bucket (indices wrap mod
+//!   [`NBUCKETS`]) and pop before nearer events in later buckets. With the
+//!   aligned limit each bucket maps to a single cycle window, so window
+//!   order equals rotation order and the first non-empty bucket holds the
+//!   minimum.
+//! * `occupancy` bit `b` is set iff `buckets[b]` is non-empty.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Buckets in the ring. Must equal the bit width of the occupancy word.
+pub const NBUCKETS: usize = 64;
+/// log2 of the cycle width of one bucket.
+const WIDTH_SHIFT: u64 = 6;
+/// Cycles covered by one bucket.
+pub const BUCKET_WIDTH: u64 = 1 << WIDTH_SHIFT;
+/// Cycles covered by the whole ring; events further out go to overflow.
+pub const SPAN: u64 = NBUCKETS as u64 * BUCKET_WIDTH;
+
+/// Bits reserved for the core id in a packed event record.
+const CORE_BITS: u64 = 6;
+/// Largest core id a packed record can carry.
+pub const MAX_CORE: usize = (1 << CORE_BITS) - 1;
+
+#[inline]
+fn pack(clock: u64, core: usize) -> u64 {
+    debug_assert!(core <= MAX_CORE, "core id {core} does not fit packed event");
+    debug_assert!(clock < 1 << (64 - CORE_BITS), "clock {clock} overflows packed event");
+    (clock << CORE_BITS) | core as u64
+}
+
+#[inline]
+fn unpack(ev: u64) -> (u64, usize) {
+    (ev >> CORE_BITS, (ev & MAX_CORE as u64) as usize)
+}
+
+#[inline]
+fn bucket_of(clock: u64) -> usize {
+    ((clock >> WIDTH_SHIFT) as usize) % NBUCKETS
+}
+
+/// Struct-of-arrays calendar queue over `(clock, core)` events.
+///
+/// Pop order is exactly ascending `(clock, core)` — bit-compatible with the
+/// `BinaryHeap<Reverse<(u64, usize)>>` it replaces — with insertion order
+/// breaking ties between fully identical events.
+#[derive(Debug)]
+pub struct CalendarQueue {
+    buckets: Vec<Vec<u64>>,
+    /// Bit `b` set iff `buckets[b]` is non-empty.
+    occupancy: u64,
+    /// Lower bound on every queued clock; advances monotonically.
+    base: u64,
+    /// Cached [`CalendarQueue::ring_limit`] for `base`: first clock the ring
+    /// cannot hold. Only moves when `base` crosses a bucket boundary, which
+    /// is the only moment overflow migration can admit anything.
+    limit: u64,
+    /// Events with `clock >=` [`CalendarQueue::ring_limit`], packed, min-heap.
+    overflow: BinaryHeap<Reverse<u64>>,
+    len: usize,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> CalendarQueue {
+        CalendarQueue::new()
+    }
+}
+
+impl CalendarQueue {
+    /// An empty queue with `base = 0`.
+    pub fn new() -> CalendarQueue {
+        CalendarQueue {
+            buckets: (0..NBUCKETS).map(|_| Vec::new()).collect(),
+            occupancy: 0,
+            base: 0,
+            limit: SPAN,
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of queued events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the queue empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queue `core`'s next turn at `clock`.
+    ///
+    /// `clock` must be at or after the most recently popped event (the
+    /// discrete-event contract); pushing into the past would corrupt the
+    /// ring's single-window-per-bucket invariant.
+    #[inline]
+    pub fn push(&mut self, clock: u64, core: usize) {
+        debug_assert!(clock >= self.base, "push at {clock} before queue base {}", self.base);
+        let ev = pack(clock, core);
+        if clock < self.ring_limit() {
+            self.bucket_push(ev);
+        } else {
+            self.overflow.push(Reverse(ev));
+        }
+        self.len += 1;
+    }
+
+    /// First clock the ring cannot hold: one full span past `base`'s bucket
+    /// boundary, so no two in-ring events share a bucket across windows.
+    #[inline]
+    fn ring_limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Advance `base`, refreshing the cached ring limit and migrating
+    /// overflow events whose window just entered the ring. Skipped entirely
+    /// for same-bucket advances — the common case — where the limit cannot
+    /// move and migration cannot admit anything.
+    #[inline]
+    fn advance_base(&mut self, clock: u64) {
+        self.base = clock;
+        let limit = (clock & !(BUCKET_WIDTH - 1)) + SPAN;
+        if limit != self.limit {
+            self.limit = limit;
+            if !self.overflow.is_empty() {
+                self.migrate_overflow();
+            }
+        }
+    }
+
+    /// Pop the earliest event: minimum `(clock, core)`, insertion order on
+    /// full ties.
+    pub fn pop(&mut self) -> Option<(u64, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.occupancy == 0 {
+            // Ring drained: jump base to the overflow minimum and refill.
+            // The jump always crosses a bucket boundary (overflow clocks sit
+            // at or past the old limit), so `advance_base` migrates.
+            let &Reverse(head) = self.overflow.peek().expect("len > 0 with empty ring");
+            self.advance_base(unpack(head).0);
+        }
+        let cur = bucket_of(self.base);
+        let tz = self.occupancy.rotate_right(cur as u32).trailing_zeros() as usize;
+        let b = (cur + tz) % NBUCKETS;
+        let bucket = &mut self.buckets[b];
+        let mut min_i = 0;
+        for (i, &ev) in bucket.iter().enumerate().skip(1) {
+            if ev < bucket[min_i] {
+                min_i = i;
+            }
+        }
+        // Shifting `remove` (buckets hold at most a handful of events)
+        // keeps relative order, preserving insertion-order tie-breaks.
+        let ev = bucket.remove(min_i);
+        if bucket.is_empty() {
+            self.occupancy &= !(1u64 << b);
+        }
+        self.len -= 1;
+        let (clock, core) = unpack(ev);
+        self.advance_base(clock);
+        Some((clock, core))
+    }
+
+    #[inline]
+    fn bucket_push(&mut self, ev: u64) {
+        let b = bucket_of(ev >> CORE_BITS);
+        self.buckets[b].push(ev);
+        self.occupancy |= 1u64 << b;
+    }
+
+    /// Pull overflow events whose window has entered the ring's span.
+    #[inline]
+    fn migrate_overflow(&mut self) {
+        let limit = self.ring_limit();
+        while let Some(&Reverse(ev)) = self.overflow.peek() {
+            if (ev >> CORE_BITS) >= limit {
+                break;
+            }
+            self.overflow.pop();
+            self.bucket_push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_clock_then_core_order() {
+        let mut q = CalendarQueue::new();
+        q.push(5, 3);
+        q.push(5, 1);
+        q.push(2, 7);
+        q.push(5, 0);
+        assert_eq!(q.pop(), Some((2, 7)));
+        assert_eq!(q.pop(), Some((5, 0)));
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((5, 3)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_round_trip_through_overflow() {
+        let mut q = CalendarQueue::new();
+        q.push(0, 0);
+        q.push(SPAN * 3 + 17, 1); // overflow
+        q.push(SPAN + 1, 2); // overflow
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((0, 0)));
+        assert_eq!(q.pop(), Some((SPAN + 1, 2)));
+        // Push relative to the advanced base still works.
+        q.push(SPAN * 3 + 17, 3);
+        assert_eq!(q.pop(), Some((SPAN * 3 + 17, 1)));
+        assert_eq!(q.pop(), Some((SPAN * 3 + 17, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn identical_events_pop_in_insertion_order() {
+        // The engine never queues duplicates, but the tie-break is pinned
+        // anyway: min-scan takes the first occurrence.
+        let mut q = CalendarQueue::new();
+        for _ in 0..4 {
+            q.push(9, 2);
+        }
+        for _ in 0..4 {
+            assert_eq!(q.pop(), Some((9, 2)));
+        }
+    }
+
+    #[test]
+    fn unaligned_base_does_not_alias_far_events_into_current_bucket() {
+        // Regression: with base = 10 (mid-bucket), an event at SPAN + 5 is
+        // within `base + SPAN` but its bucket index wraps onto bucket 0 —
+        // the *current* bucket — so a naive span check would pop it before
+        // the nearer event at clock 70 sitting in bucket 1.
+        let mut q = CalendarQueue::new();
+        q.push(10, 0);
+        assert_eq!(q.pop(), Some((10, 0)));
+        q.push(SPAN + 5, 1);
+        q.push(70, 2);
+        assert_eq!(q.pop(), Some((70, 2)));
+        assert_eq!(q.pop(), Some((SPAN + 5, 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Reference check: interleaved pushes and pops agree with
+    /// `BinaryHeap<Reverse<(u64, usize)>>` on a discrete-event-shaped
+    /// stream (every push at or after the last pop), including deltas that
+    /// exercise the overflow heap.
+    #[test]
+    fn matches_binary_heap_reference() {
+        use asf_mem::rng::SimRng;
+        let mut rng = SimRng::seed_from_u64(0x5CED);
+        let mut q = CalendarQueue::new();
+        let mut h: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for core in 0..8 {
+            q.push(0, core);
+            h.push(Reverse((0, core)));
+        }
+        let mut now = 0;
+        for _ in 0..20_000 {
+            let (qc, qi) = q.pop().expect("queues stay populated");
+            let Reverse((hc, hi)) = h.pop().unwrap();
+            assert_eq!((qc, qi), (hc, hi));
+            now = qc;
+            // Mostly near-future deltas, occasionally far past the span
+            // (mimics backoff), sometimes zero (same-cycle requeue).
+            let delta = match rng.below(100) {
+                0..=4 => 0,
+                5..=84 => rng.range(1, 400),
+                85..=91 => rng.range(400, SPAN),
+                // The bucket-aliasing band: just under/over one full span,
+                // where an unaligned `base` once mapped ring admissions
+                // onto the current bucket.
+                92..=97 => rng.range(SPAN - 70, SPAN + 70),
+                _ => rng.range(SPAN, SPAN * 5),
+            };
+            q.push(now + delta, qi);
+            h.push(Reverse((now + delta, qi)));
+        }
+        let _ = now;
+        while let Some(got) = q.pop() {
+            let Reverse(want) = h.pop().unwrap();
+            assert_eq!(got, want);
+        }
+        assert!(h.is_empty());
+    }
+}

@@ -83,29 +83,67 @@ impl GlobalMemory {
         line[addr.offset()] = byte;
     }
 
+    /// Write the bytes of `src` selected by `mask` (bit `i` ⇒ byte `i`)
+    /// into `line` — one map probe per line instead of one per byte. The
+    /// write-set publish path lives on this.
+    pub fn write_masked_line(&mut self, line: LineAddr, mask: u64, src: &[u8; LINE_SIZE]) {
+        if mask == 0 {
+            return;
+        }
+        let dst = self
+            .lines
+            .entry(line)
+            .or_insert_with(|| Box::new([0; LINE_SIZE]));
+        let mut bits = mask;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            dst[i] = src[i];
+        }
+    }
+
     /// Number of allocated (ever-written) lines.
     pub fn allocated_lines(&self) -> usize {
         self.lines.len()
     }
 }
 
-/// A transaction's buffered stores: byte-granular, last-write-wins.
+/// One line's buffered speculative bytes: a presence bitmask plus the byte
+/// values, generation-tagged so abort/commit never walks the map.
+#[derive(Clone, Debug)]
+struct WsLine {
+    /// Epoch stamp; the entry is live iff it matches the set's epoch.
+    epoch: u64,
+    /// Bit `i` set ⇒ byte `i` of the line is buffered.
+    mask: u64,
+    /// Buffered byte values (only masked positions are meaningful).
+    bytes: [u8; LINE_SIZE],
+}
+
+/// A transaction's buffered stores: byte-granular, last-write-wins,
+/// **line-packed**.
 ///
-/// **Generation-tagged**: each buffered byte is stamped with the epoch in
-/// which it was written and only current-epoch entries are live, so
-/// [`WriteSet::discard`] (abort) and the clear after [`WriteSet::publish`]
-/// (commit) are O(1) — the backing map is pooled across attempts instead of
-/// being torn down and re-grown. A side log of the current epoch's distinct
-/// addresses makes publish O(|write set|) rather than O(map capacity).
+/// Storage is one map entry per touched *line* — a 64-bit presence mask
+/// plus the byte values — so an 8-byte store is one hash probe and a word
+/// OR instead of eight per-byte map entries, and the isolation oracle's
+/// [`WriteSet::overlaps`] is one probe and an AND. Entries are
+/// **generation-tagged**: a line is live iff its epoch stamp matches the
+/// set's, so [`WriteSet::discard`] (abort) and the clear after
+/// [`WriteSet::publish`] (commit) are O(1) — the backing map is pooled
+/// across attempts instead of being torn down and re-grown. A side log of
+/// the current epoch's distinct lines makes publish O(touched lines).
 #[derive(Clone, Debug, Default)]
 pub struct WriteSet {
-    /// addr → (epoch stamp, byte); an entry is live iff its stamp matches
-    /// `epoch`. Stale entries are overwritten in place on reuse.
-    bytes: FxHashMap<u64, (u64, u8)>,
-    /// Distinct addresses written in the current epoch, in first-write order.
-    log: Vec<u64>,
+    lines: FxHashMap<LineAddr, WsLine>,
+    /// Distinct lines written in the current epoch, in first-write order.
+    log: Vec<LineAddr>,
     epoch: u64,
+    /// Distinct bytes buffered in the current epoch.
+    live_bytes: usize,
 }
+
+/// One line-sized piece of an access: `(line, offset-in-line, len)`.
+type Fragment = (LineAddr, usize, usize);
 
 impl WriteSet {
     /// Is the write set empty?
@@ -115,20 +153,78 @@ impl WriteSet {
 
     /// Number of buffered bytes.
     pub fn len(&self) -> usize {
-        self.log.len()
+        self.live_bytes
+    }
+
+    /// Split `[addr, addr+size)` (size ≤ 8, so at most two lines) into a
+    /// head fragment and an optional straddle tail, each `(line,
+    /// offset-in-line, len)`. Returned as a pair — not an iterator — so the
+    /// hot callers compile to a straight-line head path with a predictable
+    /// rarely-taken tail branch.
+    #[inline]
+    fn fragments(addr: Addr, size: u32) -> (Fragment, Option<Fragment>) {
+        let first = addr.line();
+        let off = addr.offset();
+        let head = (LINE_SIZE - off).min(size as usize);
+        let tail = size as usize - head;
+        (
+            (first, off, head),
+            (tail > 0).then(|| (LineAddr(first.0 + LINE_SIZE as u64), 0, tail)),
+        )
+    }
+
+    /// Buffer one fragment's bytes (`value` already shifted so its low byte
+    /// is the fragment's first byte).
+    #[inline]
+    fn buffer_fragment(&mut self, (line, off, len): (LineAddr, usize, usize), value: u64) {
+        let slot = self.lines.entry(line).or_insert_with(|| WsLine {
+            epoch: self.epoch.wrapping_sub(1),
+            mask: 0,
+            bytes: [0; LINE_SIZE],
+        });
+        if slot.epoch != self.epoch {
+            slot.epoch = self.epoch;
+            slot.mask = 0;
+            self.log.push(line);
+        }
+        let frag_mask = (u64::MAX >> (64 - len)) << off;
+        self.live_bytes += (frag_mask & !slot.mask).count_ones() as usize;
+        slot.mask |= frag_mask;
+        for i in 0..len {
+            slot.bytes[off + i] = (value >> (8 * i)) as u8;
+        }
     }
 
     /// Buffer a write of up to 8 little-endian bytes.
     pub fn write_u64(&mut self, addr: Addr, size: u32, value: u64) {
         assert!((1..=8).contains(&size));
-        for i in 0..size as u64 {
-            let a = addr.0 + i;
-            let b = (value >> (8 * i)) as u8;
-            let slot = self.bytes.entry(a).or_insert((self.epoch.wrapping_sub(1), 0));
-            if slot.0 != self.epoch {
-                self.log.push(a);
+        let (head, tail) = Self::fragments(addr, size);
+        self.buffer_fragment(head, value);
+        if let Some(frag) = tail {
+            self.buffer_fragment(frag, value >> (8 * head.2));
+        }
+    }
+
+    /// Overlay one fragment's buffered bytes onto `out` (little-endian view
+    /// of the access), where the fragment's first byte is access byte
+    /// `consumed`.
+    #[inline]
+    fn overlay_fragment(
+        &self,
+        (line, off, len): (LineAddr, usize, usize),
+        consumed: usize,
+        out: &mut u64,
+    ) {
+        if let Some(slot) = self.lines.get(&line) {
+            if slot.epoch == self.epoch {
+                for i in 0..len {
+                    if slot.mask & (1 << (off + i)) != 0 {
+                        let shift = 8 * (consumed + i);
+                        *out = (*out & !(0xffu64 << shift))
+                            | ((slot.bytes[off + i] as u64) << shift);
+                    }
+                }
             }
-            *slot = (self.epoch, b);
         }
     }
 
@@ -140,50 +236,57 @@ impl WriteSet {
             return global.read_u64(addr, size);
         }
         // Read the committed bytes in one go, then overlay buffered bytes —
-        // one line probe plus `size` byte probes, instead of up to two map
-        // probes per byte.
+        // one map probe per line fragment.
         let mut out = global.read_u64(addr, size);
-        for i in 0..size as u64 {
-            if let Some(&(e, b)) = self.bytes.get(&(addr.0 + i)) {
-                if e == self.epoch {
-                    out = (out & !(0xffu64 << (8 * i))) | ((b as u64) << (8 * i));
-                }
-            }
+        let (head, tail) = Self::fragments(addr, size);
+        self.overlay_fragment(head, 0, &mut out);
+        if let Some(frag) = tail {
+            self.overlay_fragment(frag, head.2, &mut out);
         }
         out
+    }
+
+    /// Does one fragment hit any buffered byte?
+    #[inline]
+    fn fragment_overlaps(&self, (line, off, len): (LineAddr, usize, usize)) -> bool {
+        self.lines.get(&line).is_some_and(|slot| {
+            slot.epoch == self.epoch && slot.mask & ((u64::MAX >> (64 - len)) << off) != 0
+        })
     }
 
     /// Does the buffered set overlap `[addr, addr+size)`?
     #[inline]
     pub fn overlaps(&self, addr: Addr, size: u32) -> bool {
         // The isolation oracle asks this for every remote core on every
-        // transactional access; most write sets are empty.
-        !self.log.is_empty()
-            && (0..size as u64).any(|i| {
-                self.bytes
-                    .get(&(addr.0 + i))
-                    .is_some_and(|&(e, _)| e == self.epoch)
-            })
+        // transactional access; most write sets are empty, and a non-empty
+        // one answers with one map probe and a mask AND per line fragment.
+        if self.log.is_empty() {
+            return false;
+        }
+        let (head, tail) = Self::fragments(addr, size);
+        self.fragment_overlaps(head) || tail.is_some_and(|f| self.fragment_overlaps(f))
     }
 
     /// Publish all buffered bytes into `global` and clear (commit).
     ///
-    /// Iterates the address log — every logged address is distinct, so the
-    /// final memory image is identical regardless of iteration order.
+    /// Iterates the line log — logged lines are distinct and bytes within a
+    /// line are written mask-selected in one pass, so the final memory image
+    /// is identical regardless of iteration order.
     pub fn publish(&mut self, global: &mut GlobalMemory) {
-        for &a in &self.log {
-            let (e, b) = self.bytes[&a];
-            debug_assert_eq!(e, self.epoch, "logged address must be current-epoch");
-            global.write_byte(Addr(a), b);
+        for &line in &self.log {
+            let slot = &self.lines[&line];
+            debug_assert_eq!(slot.epoch, self.epoch, "logged line must be current-epoch");
+            global.write_masked_line(line, slot.mask, &slot.bytes);
         }
         self.discard();
     }
 
     /// Drop all buffered bytes (abort). O(1) logical clear: bumps the epoch
-    /// and truncates the log; the byte map keeps its capacity for reuse.
+    /// and truncates the log; the line map keeps its capacity for reuse.
     pub fn discard(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
         self.log.clear();
+        self.live_bytes = 0;
     }
 }
 

@@ -638,3 +638,48 @@ fn fallback_lock_blocks_new_transactions_until_release() {
     assert_eq!(out.stats.isolation_violations, 0);
     assert_eq!(out.stats.fallback_commits, 1);
 }
+
+/// Same-cycle scheduling ties resolve by core id (DESIGN.md §14): when
+/// several cores are runnable at the same cycle, the run queue pops them in
+/// ascending core order — the `(clock, core)` lexicographic contract the
+/// golden digests were captured under — regardless of the order they were
+/// *queued* in.
+#[test]
+fn same_cycle_ties_pop_in_core_id_order() {
+    const CORES: usize = 8;
+    const RENDEZVOUS: u64 = 5_000;
+    // Each core computes a different amount first, so the cores *insert*
+    // their rendezvous turns in reverse core order (core 7 arrives first),
+    // then they all wake at the same cycle.
+    let scripts = (0..CORES)
+        .map(|tid| {
+            vec![
+                WorkItem::Compute { cycles: ((CORES - tid) * 10) as u64 },
+                WorkItem::Plain(vec![TxOp::WaitUntil { cycle: RENDEZVOUS }]),
+                tx(vec![TxOp::Write {
+                    addr: Addr(0x9000 + (tid as u64) * 0x1000),
+                    size: 8,
+                    value: tid as u64,
+                }]),
+            ]
+        })
+        .collect();
+    let w = ScriptedWorkload { name: "same-cycle-ties", scripts };
+    let mut m = Machine::new(&w, cfg(DetectorKind::SubBlock(8), CORES));
+    m.enable_trace(10_000);
+    let out = m.run_to_completion();
+    let trace = out.trace.unwrap();
+    use asf_machine::trace::TraceEvent as Ev;
+    // Trace order is execution order: the begin events at the rendezvous
+    // cycle must come out in ascending core id, pinning the tie-break.
+    let begins: Vec<(u64, usize)> = trace
+        .events()
+        .filter_map(|e| match *e {
+            Ev::TxBegin { core, cycle, .. } => Some((cycle, core)),
+            _ => None,
+        })
+        .collect();
+    let expect: Vec<(u64, usize)> = (0..CORES).map(|c| (RENDEZVOUS, c)).collect();
+    assert_eq!(begins, expect, "same-cycle pops must come out in core-id order");
+    assert_eq!(out.stats.tx_committed, CORES as u64);
+}

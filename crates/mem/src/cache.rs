@@ -6,11 +6,15 @@
 //! speculatively-accessed lines in L1, and an insertion that would have to
 //! evict a pinned line fails, which the machine turns into a capacity abort.
 //!
-//! Storage is one contiguous `Vec` with a fixed stride per set
-//! (`index = set * ways + way`), so a set probe — the single most frequent
-//! operation in the simulator — walks adjacent memory instead of chasing a
-//! per-set heap allocation. Set count and tag shift are cached at
-//! construction; the per-access path does no division.
+//! Storage is two-level: a `Vec` of per-set way arrays, where each way
+//! array is a small contiguous boxed slice allocated on the set's *first
+//! insertion*. A set probe therefore walks adjacent memory (one pointer hop
+//! from the set table), while construction touches only the pointer table —
+//! the paper machine's 2 MB L3 would otherwise memset ~800 KB of empty way
+//! slots per core per simulation, which dominated short runs. Workloads
+//! touch a tiny fraction of the sets, so the way arrays stay sparse. Set
+//! count and tag shift are cached at construction; the per-access path does
+//! no division.
 
 use crate::addr::LineAddr;
 use crate::geometry::CacheGeometry;
@@ -46,13 +50,16 @@ pub struct EvictionInfo<M> {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SetFull;
 
+/// One set's way array, boxed so an untouched set costs one null pointer.
+type SetWays<M> = Box<[Option<Way<M>>]>;
+
 /// A set-associative cache tag array with per-line metadata `M`.
 #[derive(Clone, Debug)]
 pub struct CacheArray<M> {
     geom: CacheGeometry,
-    /// All ways of all sets, contiguously: `slots[set * ways + way]`.
-    slots: Vec<Option<Way<M>>>,
-    /// Ways per set (the stride), cached out of `geom`.
+    /// Per-set way arrays; `None` until the set's first insertion.
+    sets: Vec<Option<SetWays<M>>>,
+    /// Ways per set, cached out of `geom`.
     ways: usize,
     /// `log2(sets)`, cached for line-address reconstruction.
     sets_bits: u32,
@@ -68,11 +75,11 @@ impl<M> CacheArray<M> {
     pub fn new(geom: CacheGeometry) -> Self {
         let sets = geom.sets();
         let ways = geom.ways;
-        let mut slots = Vec::with_capacity(sets * ways);
-        slots.resize_with(sets * ways, || None);
+        let mut table = Vec::with_capacity(sets);
+        table.resize_with(sets, || None);
         CacheArray {
             geom,
-            slots,
+            sets: table,
             ways,
             sets_bits: sets.trailing_zeros(),
             clock: 0,
@@ -107,16 +114,28 @@ impl<M> CacheArray<M> {
         (set, line.0 >> self.sets_bits)
     }
 
-    /// The contiguous slice of ways backing one set.
+    /// The contiguous slice of ways backing one set (empty slice for a
+    /// never-touched set).
     #[inline]
     fn set_ways(&self, set: usize) -> &[Option<Way<M>>] {
-        &self.slots[set * self.ways..(set + 1) * self.ways]
+        self.sets[set].as_deref().unwrap_or(&[])
     }
 
-    /// Mutable variant of [`Self::set_ways`].
+    /// Mutable variant of [`Self::set_ways`]; empty for an untouched set.
     #[inline]
     fn set_ways_mut(&mut self, set: usize) -> &mut [Option<Way<M>>] {
-        &mut self.slots[set * self.ways..(set + 1) * self.ways]
+        self.sets[set].as_deref_mut().unwrap_or(&mut [])
+    }
+
+    /// The set's way array, allocating it on first use.
+    #[inline]
+    fn set_ways_alloc(&mut self, set: usize) -> &mut [Option<Way<M>>] {
+        let ways = self.ways;
+        self.sets[set].get_or_insert_with(|| {
+            let mut v = Vec::with_capacity(ways);
+            v.resize_with(ways, || None);
+            v.into_boxed_slice()
+        })
     }
 
     /// Is the line resident?
@@ -181,7 +200,7 @@ impl<M> CacheArray<M> {
         self.clock += 1;
         let clock = self.clock;
         let (set, tag) = self.slot(line);
-        let ways = &mut self.slots[set * self.ways..(set + 1) * self.ways];
+        let ways = self.set_ways_alloc(set);
 
         // Replace in place on re-insertion.
         if let Some(w) = ways.iter_mut().flatten().find(|w| w.tag == tag) {
@@ -238,7 +257,7 @@ impl<M> CacheArray<M> {
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.slots.iter().flatten().count()
+        self.sets.iter().flatten().flat_map(|ws| ws.iter()).flatten().count()
     }
 
     /// True when no line is resident.
@@ -248,31 +267,34 @@ impl<M> CacheArray<M> {
 
     /// Iterate over `(line, &meta)` for every resident line.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &M)> {
-        let (ways, sets_bits) = (self.ways, self.sets_bits);
-        self.slots.iter().enumerate().filter_map(move |(i, w)| {
-            w.as_ref()
-                .map(|w| (LineAddr((w.tag << sets_bits) | (i / ways) as u64), &w.meta))
+        let sets_bits = self.sets_bits;
+        self.sets.iter().enumerate().flat_map(move |(s, ws)| {
+            ws.iter().flat_map(|ws| ws.iter()).flatten().map(move |w| {
+                (LineAddr((w.tag << sets_bits) | s as u64), &w.meta)
+            })
         })
     }
 
     /// Iterate mutably over `(line, &mut meta)` for every resident line.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut M)> {
-        let (ways, sets_bits) = (self.ways, self.sets_bits);
-        self.slots.iter_mut().enumerate().filter_map(move |(i, w)| {
-            w.as_mut()
-                .map(|w| (LineAddr((w.tag << sets_bits) | (i / ways) as u64), &mut w.meta))
+        let sets_bits = self.sets_bits;
+        self.sets.iter_mut().enumerate().flat_map(move |(s, ws)| {
+            ws.iter_mut().flat_map(|ws| ws.iter_mut()).flatten().map(move |w| {
+                (LineAddr((w.tag << sets_bits) | s as u64), &mut w.meta)
+            })
         })
     }
 
-    /// Drop every line for which `pred` returns true, invoking `on_drop` on
-    /// each removed `(line, meta)`.
+    /// Drop every line for which `pred` returns false.
     pub fn retain(&mut self, mut pred: impl FnMut(LineAddr, &mut M) -> bool) {
-        let (ways, sets_bits) = (self.ways, self.sets_bits);
-        for (i, w) in self.slots.iter_mut().enumerate() {
-            if let Some(way) = w {
-                let line = LineAddr((way.tag << sets_bits) | (i / ways) as u64);
-                if !pred(line, &mut way.meta) {
-                    *w = None;
+        let sets_bits = self.sets_bits;
+        for (s, ws) in self.sets.iter_mut().enumerate() {
+            for w in ws.iter_mut().flat_map(|ws| ws.iter_mut()) {
+                if let Some(way) = w {
+                    let line = LineAddr((way.tag << sets_bits) | s as u64);
+                    if !pred(line, &mut way.meta) {
+                        *w = None;
+                    }
                 }
             }
         }

@@ -1,0 +1,138 @@
+//! Line-address interning: `LineAddr` → dense `u32` id.
+//!
+//! The simulator keys several global per-line structures (residency index,
+//! speculative-state directory, probe-filter directory, adaptive heat) by
+//! line address. Hashing the same line once per structure per access adds
+//! up on the hot path; interning pays **one** hash probe per line fragment
+//! and turns every downstream lookup into a plain array index.
+//!
+//! Ids are allocated densely in first-seen order and never recycled — the
+//! id space is bounded by the distinct lines a workload touches, which is
+//! exactly the footprint the hash maps held anyway. Because allocation
+//! order is a pure function of the (deterministic) access stream, the ids
+//! themselves are deterministic, and structures indexed by them behave
+//! identically across runs.
+
+use crate::addr::LineAddr;
+use crate::fxhash::FxHashMap;
+
+/// Dense id for an interned [`LineAddr`] (see [`LineInterner`]).
+pub type LineId = u32;
+
+/// An append-only `LineAddr` ↔ dense-id table.
+///
+/// ```
+/// use asf_mem::addr::Addr;
+/// use asf_mem::intern::LineInterner;
+///
+/// let mut t = LineInterner::new();
+/// let a = t.intern(Addr(0x1000).line());
+/// let b = t.intern(Addr(0x2000).line());
+/// assert_ne!(a, b);
+/// assert_eq!(t.intern(Addr(0x1038).line()), a); // same 64-byte line
+/// assert_eq!(t.line(b), Addr(0x2000).line());
+/// assert_eq!(t.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct LineInterner {
+    ids: FxHashMap<LineAddr, LineId>,
+    lines: Vec<LineAddr>,
+}
+
+impl LineInterner {
+    /// Fresh, empty table.
+    pub fn new() -> LineInterner {
+        LineInterner::default()
+    }
+
+    /// Id of `line`, allocating the next dense id on first sight.
+    #[inline]
+    pub fn intern(&mut self, line: LineAddr) -> LineId {
+        if let Some(&id) = self.ids.get(&line) {
+            return id;
+        }
+        let id = self.lines.len() as LineId;
+        self.ids.insert(line, id);
+        self.lines.push(line);
+        id
+    }
+
+    /// Id of `line` if it has ever been interned.
+    #[inline]
+    pub fn get(&self, line: LineAddr) -> Option<LineId> {
+        self.ids.get(&line).copied()
+    }
+
+    /// The line behind `id`.
+    ///
+    /// # Panics
+    /// If `id` was never returned by [`LineInterner::intern`].
+    #[inline]
+    pub fn line(&self, id: LineId) -> LineAddr {
+        self.lines[id as usize]
+    }
+
+    /// Number of distinct lines interned so far (= the smallest id not yet
+    /// allocated — callers size dense side tables from this).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Has nothing been interned yet?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// All interned lines with their ids, in allocation (= id) order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineId, LineAddr)> + '_ {
+        self.lines.iter().enumerate().map(|(i, &l)| (i as LineId, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    fn line(n: u64) -> LineAddr {
+        Addr(n * 64).line()
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut t = LineInterner::new();
+        for n in 0..100 {
+            assert_eq!(t.intern(line(n)), n as LineId);
+        }
+        // Re-interning returns the original id, allocates nothing.
+        for n in (0..100).rev() {
+            assert_eq!(t.intern(line(n)), n as LineId);
+        }
+        assert_eq!(t.len(), 100);
+        for n in 0..100 {
+            assert_eq!(t.line(n as LineId), line(n as u64));
+            assert_eq!(t.get(line(n as u64)), Some(n as LineId));
+        }
+        assert_eq!(t.get(line(100)), None);
+    }
+
+    #[test]
+    fn iter_walks_in_id_order() {
+        let mut t = LineInterner::new();
+        t.intern(line(7));
+        t.intern(line(3));
+        t.intern(line(7));
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all, vec![(0, line(7)), (1, line(3))]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = LineInterner::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(line(0)), None);
+    }
+}

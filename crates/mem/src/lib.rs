@@ -30,6 +30,7 @@ pub mod cache;
 pub mod config;
 pub mod fxhash;
 pub mod geometry;
+pub mod intern;
 pub mod latency;
 pub mod mask;
 pub mod moesi;

@@ -157,6 +157,21 @@ fn cells() -> Vec<(&'static str, &'static str, SimConfig)> {
             c.exhaustive_spec_walk = true;
             c
         }),
+        // Batched-probe fences (PR 6): the same two conflict-heavy cells
+        // forced onto the sequential one-victim-at-a-time reference path.
+        // Pinned to the *same* digests again — batching every same-cycle
+        // verdict into one spec-directory pass may only change how fast
+        // probes resolve, never any statistic.
+        ("labyrinth/sb8/seed=0xD1C/sequential-probes", "labyrinth", {
+            let mut c = SimConfig::paper_seeded(DetectorKind::SubBlock(8), 0xD1C);
+            c.sequential_probe_resolution = true;
+            c
+        }),
+        ("vacation/sb2/seed=0x5D1/sequential-probes", "vacation", {
+            let mut c = SimConfig::paper_seeded(DetectorKind::SubBlock(2), 0x5D1);
+            c.sequential_probe_resolution = true;
+            c
+        }),
     ]
 }
 
@@ -180,6 +195,8 @@ const EXPECTED: &[(&str, u64, Key)] = &[
     // Same digests as the two cells above, by design (A/B fence).
     ("labyrinth/sb8/seed=0xD1C/exhaustive-spec-walk", 0x82d8d9714f5ece8e, (105, 50, 37, 6, 1058, 1842, 1058, 65563)),
     ("vacation/sb2/seed=0x5D1/exhaustive-spec-walk", 0x8e06e4f7134f4fd9, (360, 94, 94, 66, 2011, 1865, 2011, 46555)),
+    ("labyrinth/sb8/seed=0xD1C/sequential-probes", 0x82d8d9714f5ece8e, (105, 50, 37, 6, 1058, 1842, 1058, 65563)),
+    ("vacation/sb2/seed=0x5D1/sequential-probes", 0x8e06e4f7134f4fd9, (360, 94, 94, 66, 2011, 1865, 2011, 46555)),
 ];
 
 #[test]

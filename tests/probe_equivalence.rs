@@ -1,0 +1,101 @@
+//! The batched same-cycle probe pass (DESIGN.md §14) must be
+//! outcome-equivalent to the reference one-victim-at-a-time resolution:
+//! computing every victim's verdict in a single pass over the spec-state
+//! directory row — one bitmask join per line — before applying any of them
+//! may not change a single statistic versus snapshotting the victim list
+//! and re-resolving each victim independently.
+//!
+//! `sequential_probe_resolution` forces the reference path; the default is
+//! the batched pass. The golden A/B cells in `tests/golden_stats.rs` pin
+//! two fixed configurations to identical digests in both modes; this file
+//! sweeps randomized workloads across seeds, detectors, fabrics and
+//! signature mode, asserting full `RunStats` equality every time.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{FabricKind, Machine, SimConfig, SignatureConfig};
+use asf_machine::txprog::{ScriptedWorkload, TxAttempt, TxOp, WorkItem};
+use asf_mem::addr::Addr;
+use asf_mem::rng::SimRng;
+
+/// Hot shared slots (heavy false sharing, multi-victim probes) mixed with
+/// thread-private regions (zero-victim probes), the same shape the fabric
+/// and residency equivalence suites use.
+fn randomized_workload(seed: u64, threads: usize) -> ScriptedWorkload {
+    const SHARED_BASE: u64 = 0x4_0000;
+    const SHARED_SLOTS: u64 = 24;
+    const PRIVATE_BASE: u64 = 0x8_0000;
+    let mut scripts = Vec::new();
+    for tid in 0..threads {
+        let mut rng = SimRng::derive(seed, tid as u64);
+        let mut items = Vec::new();
+        for _ in 0..rng.range(8, 16) {
+            let mut ops = Vec::new();
+            for _ in 0..rng.range(2, 9) {
+                let addr = if rng.chance(1, 2) {
+                    Addr(SHARED_BASE + rng.below(SHARED_SLOTS) * 8)
+                } else {
+                    Addr(PRIVATE_BASE + ((tid as u64) << 12) + rng.below(32) * 8)
+                };
+                if rng.chance(1, 3) {
+                    ops.push(TxOp::Update { addr, size: 8, delta: 1 });
+                } else {
+                    ops.push(TxOp::Read { addr, size: 8 });
+                }
+            }
+            items.push(WorkItem::Tx(TxAttempt::new(ops)));
+            if rng.chance(1, 4) {
+                items.push(WorkItem::Compute { cycles: rng.range(10, 200) });
+            }
+        }
+        scripts.push(items);
+    }
+    ScriptedWorkload { name: "randomized", scripts }
+}
+
+fn run(seed: u64, cfg_mut: impl Fn(&mut SimConfig)) -> asf_stats::run::RunStats {
+    let w = randomized_workload(seed, 6);
+    let mut cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(4), seed ^ 0xBA7C);
+    cfg_mut(&mut cfg);
+    Machine::run(&w, cfg).stats
+}
+
+/// The tentpole equivalence: batching every same-cycle verdict into one
+/// directory pass changes *nothing* observable versus the sequential
+/// reference, across all three detector granularities and several seeds.
+#[test]
+fn batched_probe_pass_equals_sequential_across_detectors_and_seeds() {
+    for detector in [DetectorKind::Baseline, DetectorKind::SubBlock(8), DetectorKind::Perfect] {
+        for seed in [0xA5EED_u64, 0xB5EED, 0xC5EED] {
+            let batched = run(seed, |c| c.detector = detector);
+            let sequential = run(seed, |c| {
+                c.detector = detector;
+                c.sequential_probe_resolution = true;
+            });
+            assert_eq!(
+                batched, sequential,
+                "{detector:?}/seed {seed:#x}: batched probe pass changed results"
+            );
+        }
+    }
+}
+
+/// The equivalence holds composed with the other probe-path modes: the
+/// probe-filter fabric, signature (LogTM-SE) conflict detection, and the
+/// exhaustive spec-directory A/B walk.
+#[test]
+fn batched_probe_pass_equals_sequential_composed_with_probe_modes() {
+    type Mode = (&'static str, fn(&mut SimConfig));
+    let cases: [Mode; 3] = [
+        ("probe-filter", |c| c.fabric = FabricKind::ProbeFilter),
+        ("signatures", |c| c.signatures = Some(SignatureConfig::logtm_se())),
+        ("exhaustive-walk", |c| c.exhaustive_spec_walk = true),
+    ];
+    for (label, set) in cases {
+        let batched = run(0xD5EED, set);
+        let sequential = run(0xD5EED, |c| {
+            set(c);
+            c.sequential_probe_resolution = true;
+        });
+        assert_eq!(batched, sequential, "{label}: batched probe pass changed results");
+    }
+}
