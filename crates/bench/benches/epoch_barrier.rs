@@ -1,0 +1,99 @@
+//! Epoch-barrier micro-benchmark (DESIGN.md §15): the cost of the
+//! cross-shard inbox drain that runs single-threaded between epochs.
+//!
+//! Two levels:
+//!
+//! * `dir_drain/<clusters>` — the barrier's directory work in isolation:
+//!   pass 1 notes every line that gained speculative state this epoch,
+//!   pass 2 routes each committed write footprint and walks the returned
+//!   target bitmask — exactly the shape of `ShardEngine::resolve_barrier`,
+//!   minus the per-target probe delivery into a live machine.
+//! * `engine/<threads>` — a complete 32-core / 2-shard streaming run end to
+//!   end, so the barrier cost is visible in its real proportions (epoch
+//!   execution dominates; the drain must stay a rounding error).
+//!
+//! Like `sched`/`probe_batch`, this compiles in CI via `cargo bench -- --test`.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::hier::{DirLatency, InterClusterDirectory};
+use asf_machine::machine::SimConfig;
+use asf_machine::shard::{ShardConfig, ShardEngine};
+use asf_mem::addr::{Addr, LineAddr};
+use asf_mem::rng::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Committed lines routed per simulated epoch (per cluster).
+const COMMITS_PER_CLUSTER: usize = 64;
+/// Newly speculative lines noted per simulated epoch (per cluster).
+const TOUCHED_PER_CLUSTER: usize = 128;
+/// Distinct lines in the synthetic working set.
+const LINES: u64 = 1024;
+
+fn line(rng: &mut SimRng) -> LineAddr {
+    Addr(rng.below(LINES) * 64).line()
+}
+
+/// Pre-generated per-cluster epoch logs: (spec_touched, committed lines).
+fn logs(clusters: usize, seed: u64) -> Vec<(Vec<LineAddr>, Vec<LineAddr>)> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    (0..clusters)
+        .map(|_| {
+            let touched = (0..TOUCHED_PER_CLUSTER).map(|_| line(&mut rng)).collect();
+            let commits = (0..COMMITS_PER_CLUSTER).map(|_| line(&mut rng)).collect();
+            (touched, commits)
+        })
+        .collect()
+}
+
+/// One barrier's directory drain in canonical order: all notes, then all
+/// routes, walking each target mask ascending.
+fn drain(dir: &mut InterClusterDirectory, logs: &[(Vec<LineAddr>, Vec<LineAddr>)]) -> u64 {
+    let lat = DirLatency::opteron_like();
+    for (s, (touched, _)) in logs.iter().enumerate() {
+        for &l in touched {
+            dir.note(l, s);
+        }
+    }
+    let mut delivered: u64 = 0;
+    for (s, (_, commits)) in logs.iter().enumerate() {
+        for &l in commits {
+            let mut targets = dir.route(l, s, lat);
+            while targets != 0 {
+                let t = targets.trailing_zeros() as u64;
+                targets &= targets - 1;
+                delivered = delivered.wrapping_add(t + 1);
+            }
+        }
+    }
+    delivered
+}
+
+fn bench_epoch_barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("epoch_barrier");
+    for clusters in [4usize, 16] {
+        let data = logs(clusters, 0xE90C);
+        // Persistent directory across iterations, like across real epochs:
+        // steady-state drains hit an already-populated sharer map.
+        let mut dir = InterClusterDirectory::new();
+        g.bench_function(format!("dir_drain/{clusters}"), |b| {
+            b.iter(|| black_box(drain(&mut dir, &data)))
+        });
+    }
+    let preset = asf_workloads::streaming::by_name("smoke").expect("smoke preset");
+    for threads in [1usize, 2] {
+        g.sample_size(10);
+        g.bench_function(format!("engine/{threads}"), |b| {
+            b.iter(|| {
+                let base = SimConfig::paper_seeded(DetectorKind::SubBlock(8), 0xE90C);
+                let cfg = ShardConfig { worker_threads: threads, ..ShardConfig::huge(32) };
+                let out = ShardEngine::new(&preset, base, cfg).try_run().expect("run");
+                black_box(out.stats.cycles)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_epoch_barrier);
+criterion_main!(benches);

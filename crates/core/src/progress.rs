@@ -58,16 +58,56 @@ impl StallVerdict {
 #[derive(Clone, Debug)]
 pub struct ProgressMonitor {
     cores: Vec<CoreProgress>,
+    /// Streak length at which a core counts as stalled; scaled with the
+    /// *system* core count (see [`ProgressMonitor::with_system_cores`]).
+    streak_threshold: u32,
 }
 
 /// A core counts as *stalled* once its current abort streak reaches this
-/// many consecutive aborts without an intervening commit.
+/// many consecutive aborts without an intervening commit — the base value,
+/// tuned for the paper's 8-core machine. Larger systems scale it up (see
+/// [`scaled_streak_threshold`]): with more contention peers, transient
+/// streaks of this length are routine, not pathological.
 pub const STREAK_THRESHOLD: u32 = 4;
 
+/// The stalled-streak threshold for a system of `system_cores` cores:
+/// [`STREAK_THRESHOLD`] at 8 cores and below, growing linearly with the
+/// number of potential abort sources above that (256 cores → 128). At 8
+/// cores and below this is exactly the paper-era constant, so existing
+/// verdicts are unchanged.
+pub fn scaled_streak_threshold(system_cores: usize) -> u32 {
+    STREAK_THRESHOLD.max((system_cores / 2) as u32)
+}
+
+/// The commit-age recency window for a system of `system_cores` cores:
+/// `base` (the 8-core tuning) stretched proportionally to the core count.
+/// Scheduler steps are shared by all cores, so at 256 cores each core is
+/// scheduled 1/32 as often per step — a commit age that means "idle" on 8
+/// cores is ordinary scheduling latency there.
+pub fn scaled_window(base: u64, system_cores: usize) -> u64 {
+    base.saturating_mul(((system_cores as u64) / 8).max(1))
+}
+
 impl ProgressMonitor {
-    /// Monitor for `n` cores.
+    /// Monitor for `n` cores of an `n`-core system.
     pub fn new(n: usize) -> ProgressMonitor {
-        ProgressMonitor { cores: vec![CoreProgress::default(); n] }
+        ProgressMonitor::with_system_cores(n, n)
+    }
+
+    /// Monitor for `n` local cores inside a system of `system_cores` total
+    /// cores. The shard-parallel engine monitors each shard's cores locally
+    /// but thresholds must reflect system-wide contention, or a large
+    /// machine's routine abort streaks read as livelock.
+    pub fn with_system_cores(n: usize, system_cores: usize) -> ProgressMonitor {
+        ProgressMonitor {
+            cores: vec![CoreProgress::default(); n],
+            streak_threshold: scaled_streak_threshold(system_cores.max(n)),
+        }
+    }
+
+    /// The streak length at which this monitor calls a core stalled.
+    pub fn streak_threshold(&self) -> u32 {
+        self.streak_threshold
     }
 
     /// Record that `core` began a transaction attempt.
@@ -112,7 +152,7 @@ impl ProgressMonitor {
             Some(s) => now.saturating_sub(s) > window,
             None => true, // never committed at all
         };
-        c.streak >= STREAK_THRESHOLD || (c.attempts_since_commit > 0 && commit_stale)
+        c.streak >= self.streak_threshold || (c.attempts_since_commit > 0 && commit_stale)
     }
 
     /// Did `core` commit within the last `window` steps ending at `now`?
@@ -208,6 +248,40 @@ mod tests {
         m.note_commit(0, 9_990);
         m.note_commit(1, 9_995);
         assert_eq!(m.classify(&[true, true], 10_000, 1_000), StallVerdict::Indeterminate);
+    }
+
+    #[test]
+    fn thresholds_scale_with_system_core_count() {
+        // The 8-core tuning is preserved exactly...
+        assert_eq!(scaled_streak_threshold(1), STREAK_THRESHOLD);
+        assert_eq!(scaled_streak_threshold(8), STREAK_THRESHOLD);
+        assert_eq!(scaled_window(1024, 8), 1024);
+        // ...and large systems get proportionally more headroom.
+        assert_eq!(scaled_streak_threshold(256), 128);
+        assert_eq!(scaled_window(1024, 256), 32 * 1024);
+    }
+
+    #[test]
+    fn large_system_tolerates_routine_streaks() {
+        // A 16-core shard inside a 256-core system: a streak that would be
+        // "stalled" on the 8-core machine is routine contention at scale.
+        let mut m = ProgressMonitor::with_system_cores(16, 256);
+        assert_eq!(m.streak_threshold(), 128);
+        m.note_attempt(0);
+        for _ in 0..STREAK_THRESHOLD + 4 {
+            m.note_abort(0);
+        }
+        m.note_commit(0, 9_000); // committed recently, streak restarts below
+        m.note_attempt(0);
+        for _ in 0..32 {
+            m.note_abort(0);
+        }
+        assert!(
+            !m.is_stalled(0, 10_000, scaled_window(1_000, 256)),
+            "a 32-abort streak with a recent commit is not a stall at 256 cores"
+        );
+        // But the old 8-core threshold would have called it one.
+        const { assert!(32 >= STREAK_THRESHOLD) };
     }
 
     #[test]

@@ -29,9 +29,21 @@ use asf_stats::table::Table;
 use asf_workloads::Scale;
 
 const USAGE: &str = "usage: asf-repro [all|ext|table1|table2|table3|fig1..fig10|overhead|headline|diag|scaling|backoff|policy\
-                     |charts|excluded|related|signatures|variance|adaptive|fabric|summary|faults|perf|observe|profile:<bench>|trace:<bench>]* \
-                     [--scale small|standard|large] [--seed N] [--csv DIR] [--json DIR] [--threads N] [--check-baseline BENCH_perf.json] \
-                     [--checkpoint FILE] [--resume] [--smoke]";
+                     |charts|excluded|related|signatures|variance|adaptive|fabric|summary|faults|perf|observe|scale|profile:<bench>|trace:<bench>]* \
+                     [--scale small|standard|large|huge] [--seed N] [--csv DIR] [--json DIR] [--threads N] [--samples N] \
+                     [--check-baseline BENCH_perf.json] [--checkpoint FILE] [--resume] [--smoke]";
+
+/// Subject line of the HEAD commit, for stamping report rounds.
+fn git_subject() -> String {
+    std::process::Command::new("git")
+        .args(["log", "-1", "--pretty=%s"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "(no git)".to_string())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +55,7 @@ fn main() {
     let mut checkpoint_path: Option<String> = None;
     let mut resume = false;
     let mut smoke = false;
+    let mut samples = asf_harness::perf::DEFAULT_SAMPLES;
     let mut cmds: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -53,6 +66,7 @@ fn main() {
                     Some("small") => Scale::Small,
                     Some("standard") => Scale::Standard,
                     Some("large") => Scale::Large,
+                    Some("huge") => Scale::Huge,
                     other => {
                         eprintln!("unknown scale {other:?}\n{USAGE}");
                         std::process::exit(2);
@@ -108,6 +122,17 @@ fn main() {
                     eprintln!("--checkpoint needs a file path\n{USAGE}");
                     std::process::exit(2);
                 }));
+            }
+            "--samples" => {
+                i += 1;
+                samples = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--samples needs a positive integer\n{USAGE}");
+                        std::process::exit(2);
+                    });
             }
             "--resume" => resume = true,
             "--smoke" => smoke = true,
@@ -229,32 +254,32 @@ fn main() {
                 // With --check-baseline PATH the committed report is read
                 // *before* the overwrite and the run fails (exit 1) on a
                 // >25% wall-time regression or any simulated-cycles drift.
-                eprintln!("timing perf smoke grid (scale {scale:?}, seed {seed:#x}) …");
+                eprintln!(
+                    "timing perf smoke grid (scale {scale:?}, seed {seed:#x}, \
+                     {samples} sample(s)/cell) …"
+                );
                 let baseline = check_baseline.as_ref().map(|p| {
                     std::fs::read_to_string(p).unwrap_or_else(|e| {
                         eprintln!("cannot read baseline {p}: {e}");
                         std::process::exit(2);
                     })
                 });
-                let report = asf_harness::perf::measure(scale, seed);
+                let report = asf_harness::perf::measure_samples(scale, seed, samples);
                 emit("perf", report.table());
-                // Carry the append-only round history forward from the file
-                // being replaced (empty when absent) and record this run as
-                // the next round, stamped with HEAD's commit subject.
-                let prior = std::fs::read_to_string("BENCH_perf.json")
-                    .map(|s| asf_harness::perf::parse_history(&s))
-                    .unwrap_or_default();
-                let subject = std::process::Command::new("git")
-                    .args(["log", "-1", "--pretty=%s"])
-                    .output()
-                    .ok()
-                    .filter(|o| o.status.success())
-                    .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
-                    .filter(|s| !s.is_empty())
-                    .unwrap_or_else(|| "(no git)".to_string());
-                let history = asf_harness::perf::next_history(&prior, &report, &subject);
-                std::fs::write("BENCH_perf.json", report.to_json_with_history(&history))
-                    .expect("write BENCH_perf.json");
+                // Carry the append-only round history — and any scale_rounds
+                // section — forward from the file being replaced (empty when
+                // absent) and record this run as the next round, stamped
+                // with HEAD's commit subject.
+                let old_json = std::fs::read_to_string("BENCH_perf.json").unwrap_or_default();
+                let prior = asf_harness::perf::parse_history(&old_json);
+                let history =
+                    asf_harness::perf::next_history(&prior, &report, &git_subject());
+                let rendered = report.to_json_with_history(&history);
+                std::fs::write(
+                    "BENCH_perf.json",
+                    asf_harness::scale::carry_scale_rounds(&old_json, &rendered),
+                )
+                .expect("write BENCH_perf.json");
                 eprintln!("wrote BENCH_perf.json ({} history rounds)", history.len());
                 if let Some(json) = baseline {
                     match asf_harness::perf::check_against_baseline(&report, &json, 0.25) {
@@ -265,6 +290,71 @@ fn main() {
                         }
                     }
                 }
+            }
+            "scale" => {
+                // Shard-parallel scaling sweep (DESIGN.md §15). `--smoke`
+                // runs the CI gate instead: a 2-shard config with 1 and 2
+                // worker threads in one process, exit 1 unless bit-equal.
+                if smoke {
+                    match asf_harness::scale::smoke(seed) {
+                        Ok(msg) => eprintln!("{msg}"),
+                        Err(e) => {
+                            eprintln!("FAIL: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                    continue;
+                }
+                // `--scale huge` runs the million-transaction soak; every
+                // other scale uses the balanced mix preset.
+                let preset = if scale == Scale::Huge { "million" } else { "mix" };
+                eprintln!(
+                    "scale sweep: preset {preset}, cores {:?} x threads {:?}, seed {seed:#x} …",
+                    asf_harness::scale::CORES_GRID,
+                    asf_harness::scale::THREADS_GRID,
+                );
+                let mut checkpoint = checkpoint_path.as_ref().map(|path| {
+                    if resume {
+                        Checkpoint::load_or_new(path).unwrap_or_else(|e| {
+                            eprintln!("error: {e}");
+                            std::process::exit(2);
+                        })
+                    } else {
+                        Checkpoint::new(path)
+                    }
+                });
+                let report = asf_harness::scale::sweep(
+                    preset,
+                    seed,
+                    &asf_harness::scale::CORES_GRID,
+                    &asf_harness::scale::THREADS_GRID,
+                    checkpoint.as_mut(),
+                )
+                .unwrap_or_else(|e| {
+                    eprintln!("FAIL: {e}");
+                    std::process::exit(1);
+                });
+                emit("scale", report.table());
+                if let Some(dir) = &json_dir {
+                    for (name, json) in &report.timelines {
+                        let path = format!("{dir}/{name}.json");
+                        std::fs::write(&path, json).expect("write timeline");
+                        eprintln!("wrote {path} — open in chrome://tracing or Perfetto");
+                    }
+                }
+                // Append this sweep as a round of the scale_rounds section.
+                let old_json = std::fs::read_to_string("BENCH_perf.json").unwrap_or_default();
+                let entry = asf_harness::scale::scale_round_entry(
+                    &report,
+                    asf_harness::scale::next_scale_round(&old_json),
+                    &git_subject(),
+                );
+                std::fs::write(
+                    "BENCH_perf.json",
+                    asf_harness::scale::append_scale_round(&old_json, &entry),
+                )
+                .expect("write BENCH_perf.json");
+                eprintln!("appended scale round to BENCH_perf.json");
             }
             "observe" => {
                 // End-to-end observability run (DESIGN.md §13): per

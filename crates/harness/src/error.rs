@@ -33,6 +33,10 @@ pub enum HarnessError {
     },
     /// A checkpoint file could not be read, parsed, or written.
     Checkpoint(String),
+    /// A shard-parallel run diverged from its sequential reference — the
+    /// worker-thread count leaked into simulated state, which the engine
+    /// guarantees never happens.
+    Determinism(String),
     /// The `faults` experiment found a workload that lost transactions
     /// under injected pressure — the forward-progress guarantee is broken.
     ProgressViolation(String),
@@ -51,6 +55,7 @@ impl fmt::Display for HarnessError {
                 write!(f, "run ({bench}, {detector}) failed: {error}")
             }
             HarnessError::Checkpoint(msg) => write!(f, "checkpoint: {msg}"),
+            HarnessError::Determinism(msg) => write!(f, "determinism violation: {msg}"),
             HarnessError::ProgressViolation(msg) => {
                 write!(f, "forward-progress violation: {msg}")
             }

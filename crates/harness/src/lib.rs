@@ -19,6 +19,7 @@ pub mod experiments;
 pub mod matrix;
 pub mod observe;
 pub mod perf;
+pub mod scale;
 
 pub use checkpoint::Checkpoint;
 pub use error::HarnessError;

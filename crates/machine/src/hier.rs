@@ -1,5 +1,17 @@
 //! Per-core private cache hierarchy: L1 with speculative metadata, plus
-//! timing-only L2/L3 tag arrays, plus the retained-metadata side table.
+//! timing-only L2/L3 tag arrays, plus the retained-metadata side table —
+//! and, above the per-core level, the *hierarchical fabric* model: clusters
+//! of cores forming per-cluster snoop domains joined by an inter-cluster
+//! directory (DESIGN.md §15).
+//!
+//! The paper's machine is a flat 8-core snoop domain; probes broadcast to
+//! every other core. Scaling to hundreds of cores that way makes every
+//! probe O(total cores). The hierarchical model keeps probes O(cluster
+//! sharers): each cluster of 8–16 cores snoops internally exactly as
+//! before, while cross-cluster traffic is routed by
+//! [`InterClusterDirectory`] — a conservative sharer map in the style of
+//! AMD's HT Assist probe filter, lifted one level up — which charges its
+//! own lookup/hop latencies ([`DirLatency`]) to a fabric-occupancy budget.
 
 use asf_core::spec::SpecState;
 use asf_mem::addr::LineAddr;
@@ -185,6 +197,150 @@ impl CoreCaches {
     }
 }
 
+// ----------------------------------------------------------------------
+// Hierarchical fabric: cluster topology + inter-cluster directory
+// ----------------------------------------------------------------------
+
+/// How the huge-tier machine's cores are grouped into snoop domains.
+///
+/// Cores `[c * cores_per_cluster, (c+1) * cores_per_cluster)` form cluster
+/// `c`. Each cluster is one flat snoop domain (one
+/// [`crate::machine::Machine`] in the shard-parallel engine); only the
+/// directory sees all clusters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClusterTopology {
+    /// Number of clusters (1..=64 — the directory sharer map is a `u64`
+    /// bitmask).
+    pub clusters: usize,
+    /// Cores per cluster (1..=64 — each cluster reuses the flat machine's
+    /// 64-core index structures).
+    pub cores_per_cluster: usize,
+}
+
+impl ClusterTopology {
+    /// Define a topology, validating both dimensions.
+    pub fn new(clusters: usize, cores_per_cluster: usize) -> ClusterTopology {
+        assert!(
+            (1..=64).contains(&clusters),
+            "cluster count {clusters} outside the directory's 1..=64 bitmask range"
+        );
+        assert!(
+            (1..=64).contains(&cores_per_cluster),
+            "cores-per-cluster {cores_per_cluster} outside the snoop domain's 1..=64 range"
+        );
+        ClusterTopology { clusters, cores_per_cluster }
+    }
+
+    /// Topology for `total` simulated cores: clusters of 16 (the upper end
+    /// of the per-cluster snoop-domain size), or one cluster when `total`
+    /// fits in a single flat domain.
+    pub fn for_cores(total: usize) -> ClusterTopology {
+        if total <= 16 {
+            ClusterTopology::new(1, total)
+        } else {
+            assert!(
+                total.is_multiple_of(16),
+                "huge-tier core count {total} must be a multiple of the cluster size 16"
+            );
+            ClusterTopology::new(total / 16, 16)
+        }
+    }
+
+    /// Total simulated cores.
+    pub fn total_cores(&self) -> usize {
+        self.clusters * self.cores_per_cluster
+    }
+
+    /// Cluster of a global core id.
+    #[inline]
+    pub fn cluster_of(&self, global_core: usize) -> usize {
+        global_core / self.cores_per_cluster
+    }
+
+    /// First global core id of a cluster.
+    #[inline]
+    pub fn base_core(&self, cluster: usize) -> usize {
+        cluster * self.cores_per_cluster
+    }
+}
+
+/// Latency model of the inter-cluster directory, in cycles.
+///
+/// Cross-cluster traffic does not stall the requesting core in the
+/// epoch-parallel model (delivery is deferred to the epoch barrier, which
+/// already coarsens timing to the epoch length); instead the directory
+/// accumulates the cycles its lookups and probe hops *would* occupy on the
+/// fabric, reported as the scaling experiment's directory-occupancy column.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DirLatency {
+    /// One directory lookup (committed-line footprint check).
+    pub lookup: u64,
+    /// One routed probe hop to a sharing cluster.
+    pub probe_hop: u64,
+}
+
+impl DirLatency {
+    /// HT-Assist-flavoured defaults: a lookup costs about a local memory
+    /// access, a routed cross-cluster hop about a remote-cache transfer.
+    pub fn opteron_like() -> DirLatency {
+        DirLatency { lookup: 60, probe_hop: 120 }
+    }
+}
+
+/// The inter-cluster sharer directory.
+///
+/// Maps each line to the set of clusters that may hold speculative state
+/// for it (a `u64` bitmask). *Conservative*, like the HT-Assist probe
+/// filter it scales up from: clusters are added when any of their cores
+/// first takes speculative state on the line and never removed — commit
+/// and abort teardown are cluster-local silent events the directory does
+/// not observe. Over-approximation only routes extra probes (counted, and
+/// answered "no conflict"); it can never miss a cluster whose speculative
+/// state matters, which is the soundness half the determinism fence pins.
+#[derive(Debug, Default)]
+pub struct InterClusterDirectory {
+    sharers: FxHashMap<LineAddr, u64>,
+    /// Directory lookups served (one per committed-line footprint).
+    pub lookups: u64,
+    /// Cross-cluster probes routed to sharing clusters.
+    pub probes_routed: u64,
+    /// Modeled fabric occupancy: lookup + hop cycles accumulated.
+    pub latency_cycles: u64,
+}
+
+impl InterClusterDirectory {
+    /// An empty directory.
+    pub fn new() -> InterClusterDirectory {
+        InterClusterDirectory::default()
+    }
+
+    /// Note that `cluster` now holds speculative state for `line`.
+    #[inline]
+    pub fn note(&mut self, line: LineAddr, cluster: usize) {
+        *self.sharers.entry(line).or_insert(0) |= 1u64 << cluster;
+    }
+
+    /// Route one committed-write footprint for `line` from `from_cluster`:
+    /// returns the bitmask of *other* clusters that may hold speculative
+    /// state for the line, charging the lookup and one hop per routed
+    /// target to the occupancy budget.
+    pub fn route(&mut self, line: LineAddr, from_cluster: usize, lat: DirLatency) -> u64 {
+        self.lookups += 1;
+        self.latency_cycles += lat.lookup;
+        let targets =
+            self.sharers.get(&line).copied().unwrap_or(0) & !(1u64 << from_cluster);
+        let hops = targets.count_ones() as u64;
+        self.probes_routed += hops;
+        self.latency_cycles += lat.probe_hop * hops;
+        targets
+    }
+
+    /// Lines with at least one recorded sharer.
+    pub fn lines(&self) -> usize {
+        self.sharers.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,5 +467,42 @@ mod tests {
         let mut c = caches();
         c.note_spec_line(line(1), 1);
         c.note_spec_line(line(1), 1);
+    }
+
+    #[test]
+    fn cluster_topology_maps_cores() {
+        let t = ClusterTopology::new(4, 16);
+        assert_eq!(t.total_cores(), 64);
+        assert_eq!(t.cluster_of(0), 0);
+        assert_eq!(t.cluster_of(15), 0);
+        assert_eq!(t.cluster_of(16), 1);
+        assert_eq!(t.cluster_of(63), 3);
+        assert_eq!(t.base_core(2), 32);
+        assert_eq!(ClusterTopology::for_cores(8), ClusterTopology::new(1, 8));
+        assert_eq!(ClusterTopology::for_cores(256), ClusterTopology::new(16, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the cluster size")]
+    fn odd_huge_core_counts_rejected() {
+        ClusterTopology::for_cores(100);
+    }
+
+    #[test]
+    fn directory_routes_to_other_sharers_only() {
+        let lat = DirLatency { lookup: 10, probe_hop: 100 };
+        let mut d = InterClusterDirectory::new();
+        // Unknown line: lookup charged, nothing routed.
+        assert_eq!(d.route(line(1), 0, lat), 0);
+        assert_eq!((d.lookups, d.probes_routed, d.latency_cycles), (1, 0, 10));
+        d.note(line(1), 0);
+        d.note(line(1), 2);
+        d.note(line(1), 5);
+        assert_eq!(d.lines(), 1);
+        // From cluster 0: clusters 2 and 5 are targets, never the origin.
+        assert_eq!(d.route(line(1), 0, lat), (1 << 2) | (1 << 5));
+        assert_eq!((d.lookups, d.probes_routed, d.latency_cycles), (2, 2, 220));
+        // Conservative: sharers are never dropped.
+        assert_eq!(d.route(line(1), 2, lat), 1 | (1 << 5));
     }
 }

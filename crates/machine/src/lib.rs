@@ -71,6 +71,7 @@ pub mod hier;
 pub mod machine;
 pub mod obs;
 pub mod sched;
+pub mod shard;
 pub mod trace;
 pub mod txprog;
 pub mod value;
@@ -79,6 +80,7 @@ pub use error::{CoreReport, ProgressReport, SimError};
 pub use fault::{FaultPlan, FaultRate};
 pub use machine::{Machine, ResolutionPolicy, SimConfig, SimOutput};
 pub use obs::{ObsConfig, ObsReport};
+pub use shard::{EpochSpan, ScaleStats, ShardConfig, ShardEngine, ShardOutput};
 pub use trace::{ChromeTraceSink, RingTrace, TraceEvent, TraceSink};
 pub use txprog::{ThreadProgram, TxAttempt, TxBuilder, TxOp, WorkItem, Workload};
 pub use value::GlobalMemory;

@@ -11,7 +11,7 @@ use crate::txprog::{ThreadProgram, TxAttempt, TxOp, WorkItem, Workload};
 use crate::value::{GlobalMemory, ReadLog, WriteSet};
 use asf_core::backoff::ExponentialBackoff;
 use asf_core::detector::{DetectorKind, ProbeKind, ProbeOutcome};
-use asf_core::progress::ProgressMonitor;
+use asf_core::progress::{scaled_window, ProgressMonitor};
 use asf_core::signature::Signature;
 use asf_core::spec::SpecState;
 use asf_mem::addr::{Access, Addr, CoreId, LineAddr};
@@ -191,6 +191,17 @@ pub struct SimConfig {
     /// mask-coarsening and the row lookup out of the victim loop;
     /// equivalence tests flip this to prove it.
     pub sequential_probe_resolution: bool,
+    /// First *global* thread id of this machine's cores. 0 for a
+    /// standalone machine; the shard-parallel engine sets it to the
+    /// shard's base core so workload spawning and per-core RNG stream
+    /// derivation see system-wide ids — a shard's cores behave exactly
+    /// like the same-numbered cores of one big machine.
+    pub tid_base: usize,
+    /// Total cores of the *system* this machine is part of; 0 means "this
+    /// machine is the whole system" (`machine.cores`). Drives workload
+    /// spawning (`threads` argument) and the core-count scaling of the
+    /// forward-progress watchdog thresholds.
+    pub system_cores: usize,
 }
 
 impl SimConfig {
@@ -218,12 +229,24 @@ impl SimConfig {
             exhaustive_spec_walk: false,
             verify_spec_directory: false,
             sequential_probe_resolution: false,
+            tid_base: 0,
+            system_cores: 0,
         }
     }
 
     /// Same, with an explicit seed.
     pub fn paper_seeded(detector: DetectorKind, seed: u64) -> SimConfig {
         SimConfig { seed, ..SimConfig::paper(detector) }
+    }
+
+    /// Total cores of the system this configuration belongs to (the local
+    /// machine when `system_cores` is unset).
+    pub fn system_total(&self) -> usize {
+        if self.system_cores == 0 {
+            self.machine.cores
+        } else {
+            self.system_cores
+        }
     }
 }
 
@@ -304,6 +327,58 @@ struct ProbeSummary {
     others_had_copy: bool,
     owner_supplied: bool,
     piggyback: AccessMask,
+}
+
+/// One committed transaction's write footprint in an [`EpochLog`]: a range
+/// of `(line, write mask)` entries in the log's flat `commit_lines` store
+/// (flattened so a million-commit epoch makes zero per-commit allocations).
+#[derive(Clone, Copy, Debug)]
+pub struct CommitRecord {
+    /// Commit cycle (shard-local clock).
+    pub cycle: u64,
+    /// Committing core (machine-local id).
+    pub core: usize,
+    /// First entry in [`EpochLog::commit_lines`].
+    pub start: usize,
+    /// Number of written lines.
+    pub len: usize,
+}
+
+/// Per-epoch outbox a machine fills when epoch logging is enabled
+/// ([`Machine::enable_epoch_log`]) — the raw material of the shard engine's
+/// epoch barrier (DESIGN.md §15).
+///
+/// Two streams, both in exact event order (the scheduler's ascending
+/// `(clock, core)` order, which makes barrier resolution deterministic):
+/// lines that *gained speculative state* (feeding the inter-cluster
+/// directory's conservative sharer map) and committed write footprints
+/// (routed to sharing clusters as external probes). Logging is gated on
+/// one hoisted bool, records no RNG draws and no timing, and is therefore
+/// bit-transparent to every statistic — the golden fence pins this.
+#[derive(Debug, Default)]
+pub struct EpochLog {
+    /// Lines whose speculative state went empty→present this epoch, in
+    /// event order (duplicates possible across attempts; the directory
+    /// insert is idempotent).
+    pub spec_touched: Vec<LineAddr>,
+    /// Commit footprints, in commit order (non-decreasing cycle).
+    pub commits: Vec<CommitRecord>,
+    /// Flat `(line, write-mask bits)` store the commit records index.
+    pub commit_lines: Vec<(LineAddr, u64)>,
+}
+
+impl EpochLog {
+    /// Forget all records, keeping buffer capacity for the next epoch.
+    pub fn clear(&mut self) {
+        self.spec_touched.clear();
+        self.commits.clear();
+        self.commit_lines.clear();
+    }
+
+    /// Nothing recorded this epoch?
+    pub fn is_empty(&self) -> bool {
+        self.spec_touched.is_empty() && self.commits.is_empty()
+    }
 }
 
 /// The simulator.
@@ -388,6 +463,12 @@ pub struct Machine {
     /// the watchdog's livelock/starvation verdict. Passive: no RNG, no
     /// scheduling influence.
     monitor: ProgressMonitor,
+    /// Epoch outbox for the shard-parallel engine; filled only when
+    /// `epoch_on` (hoisted gate, like `faults_on`), so standalone runs pay
+    /// one predictable branch and stay bit-identical.
+    epoch: EpochLog,
+    /// [`Machine::enable_epoch_log`] was called.
+    epoch_on: bool,
 }
 
 /// RNG stream id for fault injection; far outside the per-core streams
@@ -422,16 +503,23 @@ impl Machine {
         }
         assert!(cfg.machine.cores <= 64, "the residency index supports at most 64 cores");
         let n = cfg.machine.cores;
+        // Shard-parallel support: cores identify as `tid_base + local` out
+        // of `system_total()` threads, and RNG streams derive from the
+        // *global* id — so shard `s`'s core `i` runs the identical program
+        // on the identical stream as core `s*k + i` of one big machine.
+        // Standalone machines have `tid_base = 0`, `system = n`: exactly
+        // the old behaviour, bit for bit.
+        let system = cfg.system_total();
         let cores = (0..n)
             .map(|tid| Core {
                 clock: 0,
                 caches: CoreCaches::new(&cfg.machine),
-                program: workload.spawn(tid, n, cfg.seed),
+                program: workload.spawn(cfg.tid_base + tid, system, cfg.seed),
                 state: CoreState::Idle,
                 pending: None,
                 writeset: WriteSet::default(),
                 backoff: ExponentialBackoff::new(cfg.backoff_base, cfg.backoff_cap_exp),
-                rng: SimRng::derive(cfg.seed, tid as u64 + 1),
+                rng: SimRng::derive(cfg.seed, (cfg.tid_base + tid) as u64 + 1),
                 abort_pending: None,
                 consec_aborts: 0,
                 read_sig: cfg.signatures.map(|sc| Signature::new(sc.bits, sc.hashes)),
@@ -465,10 +553,12 @@ impl Machine {
             spec_cores: Vec::new(),
             spec_masks: Vec::new(),
             arena: ProbeArena::new(),
-            fault_rng: SimRng::derive(cfg.seed, FAULT_RNG_STREAM),
+            fault_rng: SimRng::derive(cfg.seed, FAULT_RNG_STREAM + cfg.tid_base as u64),
             faults_on: cfg.faults.enabled(),
             spike_until: vec![0; n],
-            monitor: ProgressMonitor::new(n),
+            monitor: ProgressMonitor::with_system_cores(n, system),
+            epoch: EpochLog::default(),
+            epoch_on: false,
         }
     }
 
@@ -783,12 +873,135 @@ impl Machine {
         })
     }
 
+    // ------------------------------------------------------------------
+    // Epoch-parallel driving (the shard engine's per-shard interface)
+    // ------------------------------------------------------------------
+
+    /// Clock of the next scheduled event, `None` when every core is done.
+    /// The shard engine uses this to pick (and skip to) the next epoch
+    /// boundary without stepping anything.
+    pub fn next_event_clock(&self) -> Option<u64> {
+        self.runq.peek().map(|(clock, _)| clock)
+    }
+
+    /// Start filling the per-epoch outbox ([`EpochLog`]). Called once by
+    /// the shard engine right after construction; standalone machines never
+    /// enable it and pay one predictable branch per site.
+    pub fn enable_epoch_log(&mut self) {
+        self.epoch_on = true;
+    }
+
+    /// Hand the filled epoch outbox to the caller (swapping in `out`'s
+    /// buffers, cleared, for the next epoch) — the barrier reads it while
+    /// the machine is parked.
+    pub fn swap_epoch_log(&mut self, out: &mut EpochLog) {
+        std::mem::swap(&mut self.epoch, out);
+        self.epoch.clear();
+    }
+
+    /// Drive the scheduler up to (but not into) cycle `until`: steps run
+    /// while the next event's clock is `< until`, so after returning every
+    /// local event before the epoch boundary has executed. Shares the
+    /// step budget and watchdog of [`Machine::try_run_to_completion`].
+    ///
+    /// Returns `Ok(true)` while the machine still has scheduled work at or
+    /// past `until`, `Ok(false)` once every core is done.
+    pub fn run_epoch(&mut self, until: u64) -> Result<bool, SimError> {
+        loop {
+            match self.runq.peek() {
+                None => return Ok(false),
+                Some((clock, _)) if clock >= until => return Ok(true),
+                Some(_) => {}
+            }
+            let stepped = self.step();
+            debug_assert!(stepped, "peek returned an event but step found none");
+            self.steps += 1;
+            if self.steps >= self.cfg.max_steps {
+                return Err(SimError::Watchdog(self.progress_report()));
+            }
+        }
+    }
+
+    /// Finalize after the shard engine has driven every epoch: identical to
+    /// finishing [`Machine::try_run_to_completion`] (the run queue is empty,
+    /// so no further steps execute — only the end-of-run folds).
+    pub fn finish(&mut self) -> Result<SimOutput, SimError> {
+        debug_assert!(self.runq.peek().is_none(), "finish() with events still queued");
+        self.try_run_to_completion()
+    }
+
+    /// Apply one *external* (cross-cluster) probe: a transaction in another
+    /// shard committed a write to `line` covering the sub-block bytes in
+    /// `wmask`. Any local core holding conflicting speculative state aborts
+    /// — same detector mask check, same true/false-conflict taxonomy, and
+    /// same WAR-speculation escape as the local probe path, so the abort
+    /// statistics stay comparable across shard counts. Returns the number
+    /// of victims aborted here.
+    ///
+    /// Differences from a local probe, by design (DESIGN.md §15): no
+    /// `TraceEvent::Probe`/`Conflict` is emitted (those name a local
+    /// requester core, and the requester lives in another shard), the
+    /// `probes` counter is untouched (cross-cluster traffic is accounted by
+    /// the inter-cluster directory instead), and plain (non-speculative)
+    /// cached copies are left alone — shards own disjoint address regions
+    /// for plain data, so only speculative state crosses clusters.
+    pub fn apply_external_probe(&mut self, line: LineAddr, wmask: u64, now: u64) -> u32 {
+        let Some(lid) = self.intern.get(line) else {
+            return 0; // line never touched here — nothing speculative to hit
+        };
+        let detector = self.effective_detector(lid);
+        let mask = AccessMask(wmask);
+        let kind = ProbeKind::Invalidating;
+        let probe_coarse = detector.coarsen(mask).0;
+        let n = self.cores.len();
+        // Two-phase, like `probe_others`: read-only verdict pass over the
+        // spec-directory row, then application in ascending core order.
+        let mut verdicts = self.arena.checkout_verdicts();
+        let mut bits = self.spec_cores[lid as usize];
+        while bits != 0 {
+            let v = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if !self.cores[v].in_running_tx() {
+                continue;
+            }
+            let (r, w) = self.spec_masks[lid as usize * n + v];
+            verdicts.push((v, detector.check_probe_masks(r, w, kind, mask, probe_coarse)));
+        }
+        let mut aborted = 0;
+        for &(v, outcome) in verdicts.iter() {
+            match outcome {
+                ProbeOutcome::Conflict { kind: ck, is_true }
+                    if self.cfg.war_speculation
+                        && ck == asf_core::detector::ConflictType::WriteAfterRead =>
+                {
+                    self.stats.war_speculations += 1;
+                    let _ = is_true;
+                    self.cores[v].needs_validation = true;
+                }
+                ProbeOutcome::Conflict { kind: ck, is_true } => {
+                    self.stats.on_conflict(ck, is_true, now, line);
+                    self.obs_conflict(now, is_true);
+                    if !is_true {
+                        self.heat_line(lid);
+                    }
+                    self.abort_victim(v, AbortCause::Conflict { kind: ck, is_true });
+                    aborted += 1;
+                }
+                ProbeOutcome::NoConflict { .. } => {}
+            }
+        }
+        self.arena.checkin_verdicts(verdicts);
+        aborted
+    }
+
     /// Assemble the watchdog's diagnostic dump from the progress monitor,
     /// the cores' control state, and the run statistics so far.
     fn progress_report(&self) -> ProgressReport {
         // "Recently" = within the last eighth of the budget (floored so
-        // tiny test budgets still have a meaningful window).
-        let window = (self.cfg.max_steps / 8).max(1024);
+        // tiny test budgets still have a meaningful window), stretched for
+        // large systems where each core is scheduled proportionally less
+        // often per step. At ≤ 8 system cores this is the base window.
+        let window = scaled_window((self.cfg.max_steps / 8).max(1024), self.cfg.system_total());
         let active: Vec<bool> = self
             .cores
             .iter()
@@ -1078,6 +1291,9 @@ impl Machine {
         let cycle = self.cores[who].clock;
         self.emit(TraceEvent::TxCommit { core: who, cycle });
         self.cores[who].writeset.publish(&mut self.memory);
+        if self.epoch_on {
+            self.log_commit_footprint(who, cycle);
+        }
         self.clear_spec_state(who, false);
         self.monitor.note_commit(who, self.steps);
         let core = &mut self.cores[who];
@@ -1093,6 +1309,28 @@ impl Machine {
             o.registry.inc(id);
         });
         self.obs_phase(t0, |ph| ph.commit);
+    }
+
+    /// Record the committing attempt's written lines into the epoch outbox
+    /// (shard mode only). The write footprint is exactly the speculative
+    /// write masks `clear_spec_state` is about to retire — captured here,
+    /// one entry per written line, so the shard barrier can route it to
+    /// other clusters as external probes. Pure logging: no stats, no
+    /// clocks, no RNG.
+    fn log_commit_footprint(&mut self, who: usize, cycle: u64) {
+        let n = self.cores.len();
+        let start = self.epoch.commit_lines.len();
+        for i in 0..self.cores[who].caches.spec_lines.len() {
+            let (line, lid) = self.cores[who].caches.spec_lines[i];
+            let (_r, w) = self.spec_masks[lid as usize * n + who];
+            if w != 0 {
+                self.epoch.commit_lines.push((line, w));
+            }
+        }
+        let len = self.epoch.commit_lines.len() - start;
+        if len != 0 {
+            self.epoch.commits.push(CommitRecord { cycle, core: who, start, len });
+        }
     }
 
     /// Tear down the speculative state of `who`'s running attempt (used for
@@ -1359,6 +1597,9 @@ impl Machine {
                 if grows {
                     self.spec_dir_mark(lid, who, mask, is_write);
                 }
+                if self.epoch_on && !was_spec {
+                    self.epoch.spec_touched.push(line);
+                }
             }
             return Ok(lat.l1);
         }
@@ -1577,6 +1818,9 @@ impl Machine {
         }
         if grows {
             self.spec_dir_mark(lid, who, mask, is_write);
+        }
+        if self.epoch_on && !was_spec {
+            self.epoch.spec_touched.push(line);
         }
     }
 

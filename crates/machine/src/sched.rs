@@ -160,6 +160,36 @@ impl CalendarQueue {
         }
     }
 
+    /// The earliest queued event without removing it — what the next
+    /// [`CalendarQueue::pop`] will return. Read-only: `base` does not
+    /// advance and no overflow migration happens, which is sound because
+    /// the answer does not depend on either. When the ring is occupied its
+    /// first non-empty bucket (in rotation order from `base`) holds the
+    /// global minimum — every overflow clock is at or past the ring limit;
+    /// when the ring is empty the overflow head is the minimum directly.
+    ///
+    /// The epoch-parallel engine uses this to pause a shard exactly at a
+    /// coherence-epoch boundary: peek, compare against the boundary, pop
+    /// only if the event still belongs to this epoch.
+    pub fn peek(&self) -> Option<(u64, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.occupancy == 0 {
+            let &Reverse(head) = self.overflow.peek().expect("len > 0 with empty ring");
+            return Some(unpack(head));
+        }
+        let cur = bucket_of(self.base);
+        let tz = self.occupancy.rotate_right(cur as u32).trailing_zeros() as usize;
+        let b = (cur + tz) % NBUCKETS;
+        let min = self.buckets[b]
+            .iter()
+            .copied()
+            .min()
+            .expect("occupancy bit set on empty bucket");
+        Some(unpack(min))
+    }
+
     /// Pop the earliest event: minimum `(clock, core)`, insertion order on
     /// full ties.
     pub fn pop(&mut self) -> Option<(u64, usize)> {
@@ -278,6 +308,31 @@ mod tests {
         assert_eq!(q.pop(), Some((70, 2)));
         assert_eq!(q.pop(), Some((SPAN + 5, 1)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_matches_pop_everywhere() {
+        use asf_mem::rng::SimRng;
+        let mut rng = SimRng::seed_from_u64(0x9EEC);
+        let mut q = CalendarQueue::new();
+        assert_eq!(q.peek(), None);
+        for core in 0..8 {
+            q.push(0, core);
+        }
+        for _ in 0..5_000 {
+            let peeked = q.peek();
+            let popped = q.pop();
+            assert_eq!(peeked, popped);
+            let (now, core) = popped.unwrap();
+            // Same delta mix as the reference test, including overflow and
+            // the ring-empty-with-overflow peek path.
+            let delta = match rng.below(100) {
+                0..=9 => 0,
+                10..=79 => rng.range(1, 300),
+                _ => rng.range(SPAN, SPAN * 4),
+            };
+            q.push(now + delta, core);
+        }
     }
 
     /// Reference check: interleaved pushes and pops agree with

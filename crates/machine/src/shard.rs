@@ -1,0 +1,522 @@
+//! Shard-parallel execution: many [`Machine`]s as one big simulation.
+//!
+//! The sequential engine tops out at 64 cores (its dense per-line state is
+//! a set of `u64` bitmask columns). To scale past the paper's 8-core
+//! machine to hundreds of simulated cores, this module runs **K clusters of
+//! ≤ 64 cores each as K independent `Machine`s** — each cluster is a snoop
+//! domain with its own broadcast fabric — joined by the conservative
+//! [`InterClusterDirectory`] of [`crate::hier`].
+//!
+//! ## Execution model: bulk-synchronous epochs
+//!
+//! Time is cut into fixed-length *coherence epochs* (`epoch_cycles`). Each
+//! epoch, every shard runs its own calendar-queue scheduler up to the epoch
+//! boundary — completely independently, touching no shared state — and then
+//! the engine resolves cross-shard traffic at a single-threaded barrier:
+//!
+//! 1. every line that *gained speculative state* this epoch is noted in the
+//!    inter-cluster directory (conservative: entries are never removed,
+//!    mirroring HT-Assist's never-cleaned probe filter);
+//! 2. every committed write footprint is routed through the directory to
+//!    the other clusters holding (possibly stale) speculative state on the
+//!    line, where it lands as an external invalidating probe and aborts
+//!    conflicting transactions with the same detector mask check — and the
+//!    same true/false-conflict taxonomy — as a local probe.
+//!
+//! ## Determinism
+//!
+//! The barrier runs on one thread and walks shards, commits, and probe
+//! targets in a canonical order (ascending shard id → commit event order →
+//! ascending target cluster), and intra-epoch shard execution shares no
+//! state whatsoever. Worker threads therefore *cannot* affect any simulated
+//! outcome: `worker_threads = N` is bit-identical to `worker_threads = 1`,
+//! and a single-shard engine is bit-identical to a plain [`Machine`] run —
+//! both invariants are pinned by tests (`tests/shard_equivalence.rs`).
+//!
+//! The price of the model is physical fidelity, stated plainly: conflicts
+//! *within* a cluster are detected at exact cycle granularity as before,
+//! while cross-cluster conflicts are detected only at epoch boundaries and
+//! only in the committed-writer → speculative-reader direction. Plain
+//! (non-speculative) data is not kept coherent across clusters — shard
+//! workloads partition their plain data by cluster (see
+//! `asf-workloads::streaming`). DESIGN.md §15 discusses the trade-off.
+
+use crate::hier::{ClusterTopology, DirLatency, InterClusterDirectory};
+use crate::machine::{EpochLog, Machine, SimConfig, SimOutput};
+use crate::txprog::Workload;
+use asf_stats::run::RunStats;
+use std::time::{Duration, Instant};
+
+use crate::error::SimError;
+
+/// Shard-engine shape: how many cores, how they cluster, how often the
+/// barrier runs, and how many OS threads drive the shards.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Total simulated cores across all shards; must be a multiple of
+    /// `cores_per_cluster` (or equal to it).
+    pub total_cores: usize,
+    /// Cores per cluster = per shard (1..=64); 16 models four Opteron
+    /// Istanbul sockets sharing one snoop domain.
+    pub cores_per_cluster: usize,
+    /// Epoch length in cycles: the cross-cluster conflict-detection
+    /// granularity *and* the barrier frequency. Smaller = more faithful +
+    /// more barrier overhead.
+    pub epoch_cycles: u64,
+    /// OS worker threads driving the shards (`shard s → thread s % N`).
+    /// 1 = the sequential reference; any N is bit-identical to it.
+    pub worker_threads: usize,
+    /// Inter-cluster directory latency model (accounted, not simulated:
+    /// the cycles accrue in [`ScaleStats`], not in any shard's clock).
+    pub dir_latency: DirLatency,
+}
+
+impl ShardConfig {
+    /// The `--scale huge` tier shape: 16-core clusters, 4096-cycle epochs,
+    /// sequential driving unless the caller raises `worker_threads`.
+    pub fn huge(total_cores: usize) -> ShardConfig {
+        ShardConfig {
+            total_cores,
+            cores_per_cluster: 16,
+            epoch_cycles: 4096,
+            worker_threads: 1,
+            dir_latency: DirLatency::opteron_like(),
+        }
+    }
+}
+
+/// Epochs recorded in the [`ScaleStats`] timeline before it stops growing
+/// (a 512-core soak resolves tens of thousands of epochs; the timeline is
+/// for tracing, not accounting, so it is capped and the totals keep going).
+pub const TIMELINE_CAP: usize = 4096;
+
+/// One resolved epoch, for timeline export (Chrome-trace shard tracks).
+#[derive(Clone, Debug)]
+pub struct EpochSpan {
+    /// The epoch boundary this span ran up to (simulated cycles).
+    pub until: u64,
+    /// Wall-clock of the parallel execution phase.
+    pub wall: Duration,
+    /// Wall-clock of the single-threaded barrier that followed.
+    pub barrier: Duration,
+    /// Per-worker busy time within this epoch (index = worker id).
+    pub busy: Vec<Duration>,
+}
+
+/// Cross-shard and engine-level statistics, kept *outside* [`RunStats`] so
+/// shard-parallel runs stay field-for-field comparable with sequential
+/// references (the equivalence tests compare whole `RunStats` values).
+#[derive(Debug, Default)]
+pub struct ScaleStats {
+    /// Epochs resolved (barrier executions).
+    pub epochs: u64,
+    /// External probes delivered to shards (one per routed line × target).
+    pub cross_probes: u64,
+    /// Transactions aborted by external probes.
+    pub cross_aborts: u64,
+    /// Inter-cluster directory lookups (one per routed committed line).
+    pub dir_lookups: u64,
+    /// Directory-routed probe hops (targets across all lookups).
+    pub dir_probes_routed: u64,
+    /// Modelled directory latency: lookups and hops priced by
+    /// [`DirLatency`]. Accounted cost, never added to a core clock.
+    pub dir_latency_cycles: u64,
+    /// Distinct lines the directory tracks at the end of the run.
+    pub dir_lines: usize,
+    /// Wall-clock spent inside shard execution, per worker thread.
+    pub busy: Vec<Duration>,
+    /// Wall-clock of the execution phases (max over workers, summed across
+    /// epochs) — the parallel region's critical path.
+    pub epoch_wall: Duration,
+    /// Wall-clock of the single-threaded barriers.
+    pub barrier_wall: Duration,
+    /// Per-epoch spans, first [`TIMELINE_CAP`] epochs only.
+    pub timeline: Vec<EpochSpan>,
+    /// Epochs that ran after the timeline filled (totals still include
+    /// them; only the per-epoch detail is dropped).
+    pub timeline_dropped: u64,
+}
+
+impl ScaleStats {
+    /// Fraction of the parallel region's thread-time lost to the epoch
+    /// barrier (idle workers waiting on the slowest shard): `1 − Σbusy /
+    /// (threads × Σ epoch_wall)`. 0 when nothing has run yet.
+    pub fn barrier_stall_fraction(&self) -> f64 {
+        let threads = self.busy.len().max(1) as f64;
+        let wall = self.epoch_wall.as_secs_f64() * threads;
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.busy.iter().map(|d| d.as_secs_f64()).sum();
+        (1.0 - busy / wall).max(0.0)
+    }
+}
+
+/// Result of a shard-parallel run.
+#[derive(Debug)]
+pub struct ShardOutput {
+    /// All shards' statistics merged ([`RunStats::merge`]), with `cycles`
+    /// overridden to the *maximum* shard cycle count (the shards ran
+    /// concurrently in simulated time; summing would double-count it).
+    pub stats: RunStats,
+    /// Per-shard end-of-run clocks, ascending shard id.
+    pub per_shard_cycles: Vec<u64>,
+    /// Cross-shard traffic and engine timing.
+    pub scale: ScaleStats,
+}
+
+/// K machines + the inter-cluster directory, driven in lock-step epochs.
+pub struct ShardEngine {
+    shards: Vec<Machine>,
+    topo: ClusterTopology,
+    dir: InterClusterDirectory,
+    cfg: ShardConfig,
+    /// Parked per-shard log buffers, swapped against each machine's live
+    /// outbox at the barrier (no allocation per epoch).
+    logs: Vec<EpochLog>,
+    scale: ScaleStats,
+}
+
+impl ShardEngine {
+    /// Build one machine per cluster, each seeing the *global* thread space
+    /// (`tid_base`, `system_cores`): shard `s`'s core `i` runs the exact
+    /// program and RNG stream that core `s·k + i` of a monolithic machine
+    /// would, so sharding changes scheduling, never workload content.
+    pub fn new(workload: &dyn Workload, base: SimConfig, cfg: ShardConfig) -> ShardEngine {
+        assert!(cfg.epoch_cycles > 0, "epoch length must be positive");
+        assert!(cfg.worker_threads > 0, "need at least one worker thread");
+        let topo = if cfg.total_cores <= cfg.cores_per_cluster {
+            ClusterTopology::new(1, cfg.total_cores)
+        } else {
+            assert!(
+                cfg.total_cores.is_multiple_of(cfg.cores_per_cluster),
+                "total cores must be a multiple of the cluster size"
+            );
+            ClusterTopology::new(cfg.total_cores / cfg.cores_per_cluster, cfg.cores_per_cluster)
+        };
+        let shards: Vec<Machine> = (0..topo.clusters)
+            .map(|s| {
+                let mut c = base;
+                c.machine.cores = topo.cores_per_cluster;
+                c.tid_base = topo.base_core(s);
+                c.system_cores = topo.total_cores();
+                let mut m = Machine::new(workload, c);
+                m.enable_epoch_log();
+                m
+            })
+            .collect();
+        let logs = (0..topo.clusters).map(|_| EpochLog::default()).collect();
+        let workers = cfg.worker_threads.min(topo.clusters);
+        ShardEngine {
+            shards,
+            topo,
+            dir: InterClusterDirectory::default(),
+            cfg,
+            logs,
+            scale: ScaleStats { busy: vec![Duration::ZERO; workers], ..ScaleStats::default() },
+        }
+    }
+
+    /// Cluster layout in use.
+    pub fn topology(&self) -> ClusterTopology {
+        self.topo
+    }
+
+    /// Run every shard to completion, epoch by epoch.
+    pub fn try_run(mut self) -> Result<ShardOutput, SimError> {
+        // Next epoch boundary: one past the earliest scheduled event
+        // anywhere, rounded up — empty epochs are skipped entirely, and
+        // the boundary is a pure function of simulated state, so every
+        // thread count computes the same schedule.
+        while let Some(next) = self.shards.iter().filter_map(Machine::next_event_clock).min() {
+            let until = (next / self.cfg.epoch_cycles + 1) * self.cfg.epoch_cycles;
+            let busy_before = self.scale.busy.clone();
+            let wall_before = self.scale.epoch_wall;
+            self.run_epoch_all(until)?;
+            let t0 = Instant::now();
+            self.resolve_barrier(until);
+            let barrier = t0.elapsed();
+            self.scale.barrier_wall += barrier;
+            self.scale.epochs += 1;
+            if self.scale.timeline.len() < TIMELINE_CAP {
+                let busy = self
+                    .scale
+                    .busy
+                    .iter()
+                    .zip(&busy_before)
+                    .map(|(now, before)| now.saturating_sub(*before))
+                    .collect();
+                self.scale.timeline.push(EpochSpan {
+                    until,
+                    wall: self.scale.epoch_wall.saturating_sub(wall_before),
+                    barrier,
+                    busy,
+                });
+            } else {
+                self.scale.timeline_dropped += 1;
+            }
+        }
+        // Finalize each shard (no events left — this only folds counters).
+        let mut outs: Vec<SimOutput> = Vec::with_capacity(self.shards.len());
+        for m in &mut self.shards {
+            outs.push(m.finish()?);
+        }
+        let per_shard_cycles: Vec<u64> = outs.iter().map(|o| o.stats.cycles).collect();
+        let mut stats = RunStats::default();
+        for o in &outs {
+            stats.merge(&o.stats);
+        }
+        stats.cycles = per_shard_cycles.iter().copied().max().unwrap_or(0);
+        self.scale.dir_lookups = self.dir.lookups;
+        self.scale.dir_probes_routed = self.dir.probes_routed;
+        self.scale.dir_latency_cycles = self.dir.latency_cycles;
+        self.scale.dir_lines = self.dir.lines();
+        Ok(ShardOutput { stats, per_shard_cycles, scale: self.scale })
+    }
+
+    /// Drive every shard to `until`, on 1..N worker threads. Shards share
+    /// no state during this phase, so the thread count is invisible to the
+    /// simulation; errors (watchdog trips) are reported for the lowest
+    /// shard id, again independent of threading.
+    fn run_epoch_all(&mut self, until: u64) -> Result<(), SimError> {
+        let workers = self.scale.busy.len();
+        let t0 = Instant::now();
+        if workers <= 1 {
+            let mut first_err = None;
+            for m in &mut self.shards {
+                if let Err(e) = m.run_epoch(until) {
+                    first_err = first_err.or(Some(e));
+                }
+            }
+            let dt = t0.elapsed();
+            self.scale.busy[0] += dt;
+            self.scale.epoch_wall += dt;
+            return match first_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
+        }
+        // Partition &mut shards into per-worker buckets: shard s → worker
+        // s % workers, a fixed map so shard-to-thread placement never
+        // depends on runtime timing.
+        let mut buckets: Vec<Vec<(usize, &mut Machine)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (s, m) in self.shards.iter_mut().enumerate() {
+            buckets[s % workers].push((s, m));
+        }
+        let mut results: Vec<(usize, Result<(), SimError>)> = Vec::new();
+        let mut busy: Vec<(usize, Duration)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .enumerate()
+                .map(|(w, bucket)| {
+                    scope.spawn(move || {
+                        let t0 = Instant::now();
+                        let rs: Vec<(usize, Result<(), SimError>)> = bucket
+                            .into_iter()
+                            .map(|(s, m)| (s, m.run_epoch(until).map(|_| ())))
+                            .collect();
+                        (w, rs, t0.elapsed())
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (w, rs, dt) = h.join().expect("shard worker panicked");
+                busy.push((w, dt));
+                results.extend(rs);
+            }
+        });
+        self.scale.epoch_wall += t0.elapsed();
+        for (w, dt) in busy {
+            self.scale.busy[w] += dt;
+        }
+        // Lowest shard id wins the error report, whatever thread ran it.
+        results.sort_by_key(|(s, _)| *s);
+        for (_, r) in results {
+            r?;
+        }
+        Ok(())
+    }
+
+    /// The single-threaded epoch barrier: drain outboxes, feed the
+    /// directory, route committed write footprints as external probes.
+    /// Canonical order throughout — ascending shard id, then each shard's
+    /// own event order, then ascending target cluster — so the result is a
+    /// pure function of the (deterministic) per-shard logs.
+    fn resolve_barrier(&mut self, until: u64) {
+        let mut logs = std::mem::take(&mut self.logs);
+        for (s, log) in logs.iter_mut().enumerate() {
+            self.shards[s].swap_epoch_log(log);
+        }
+        // Pass 1: register this epoch's new speculative lines *before* any
+        // routing, so a commit in shard 0 sees speculative state shard 2
+        // acquired in the same epoch (conservative ordering: the directory
+        // may over-route, never under-route).
+        for (s, log) in logs.iter().enumerate() {
+            for &line in &log.spec_touched {
+                self.dir.note(line, s);
+            }
+        }
+        // Pass 2: route committed write footprints.
+        for (s, log) in logs.iter().enumerate() {
+            for rec in &log.commits {
+                for &(line, wbits) in &log.commit_lines[rec.start..rec.start + rec.len] {
+                    let mut targets = self.dir.route(line, s, self.cfg.dir_latency);
+                    while targets != 0 {
+                        let t = targets.trailing_zeros() as usize;
+                        targets &= targets - 1;
+                        self.scale.cross_probes += 1;
+                        self.scale.cross_aborts +=
+                            u64::from(self.shards[t].apply_external_probe(line, wbits, until));
+                    }
+                }
+            }
+        }
+        for log in logs.iter_mut() {
+            log.clear();
+        }
+        self.logs = logs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::txprog::{ScriptedWorkload, TxAttempt, TxOp, WorkItem};
+    use asf_core::detector::DetectorKind;
+    use asf_mem::addr::Addr;
+
+    fn contention_workload(cores: usize) -> ScriptedWorkload {
+        // Every core increments a shared counter a few times, plus touches
+        // a private line — enough traffic to exercise commits, conflicts,
+        // and retries.
+        let scripts = (0..cores)
+            .map(|tid| {
+                (0..4)
+                    .map(|i| {
+                        WorkItem::Tx(TxAttempt::new(vec![
+                            TxOp::Read { addr: Addr(0x1000), size: 8 },
+                            TxOp::Write { addr: Addr(0x1000), size: 8, value: (tid + i) as u64 },
+                            TxOp::Write {
+                                addr: Addr(0x8000 + tid as u64 * 64),
+                                size: 8,
+                                value: i as u64,
+                            },
+                        ]))
+                    })
+                    .collect()
+            })
+            .collect();
+        ScriptedWorkload { name: "contention", scripts }
+    }
+
+    #[test]
+    fn single_shard_matches_plain_machine() {
+        let w = contention_workload(4);
+        let base = SimConfig::paper_seeded(DetectorKind::SubBlock(4), 7);
+        let mut plain_cfg = base;
+        plain_cfg.machine.cores = 4;
+        let plain = Machine::try_run(&w, plain_cfg).expect("plain run");
+        let sharded = ShardEngine::new(
+            &w,
+            base,
+            ShardConfig {
+                total_cores: 4,
+                cores_per_cluster: 4,
+                epoch_cycles: 256,
+                worker_threads: 1,
+                dir_latency: DirLatency::opteron_like(),
+            },
+        )
+        .try_run()
+        .expect("sharded run");
+        assert_eq!(plain.stats, sharded.stats, "one shard must equal the plain machine");
+        assert_eq!(sharded.scale.cross_probes, 0, "a single cluster routes nothing");
+    }
+
+    #[test]
+    fn worker_thread_count_is_invisible() {
+        let w = contention_workload(8);
+        let base = SimConfig::paper_seeded(DetectorKind::Baseline, 11);
+        let cfg = ShardConfig {
+            total_cores: 8,
+            cores_per_cluster: 2,
+            epoch_cycles: 512,
+            worker_threads: 1,
+            dir_latency: DirLatency::opteron_like(),
+        };
+        let seq = ShardEngine::new(&w, base, cfg).try_run().expect("seq");
+        let par = ShardEngine::new(&w, base, ShardConfig { worker_threads: 4, ..cfg })
+            .try_run()
+            .expect("par");
+        assert_eq!(seq.stats, par.stats, "threads must be bit-invisible");
+        assert_eq!(seq.per_shard_cycles, par.per_shard_cycles);
+        assert_eq!(seq.scale.epochs, par.scale.epochs);
+        assert_eq!(seq.scale.cross_probes, par.scale.cross_probes);
+        assert_eq!(seq.scale.cross_aborts, par.scale.cross_aborts);
+        assert_eq!(seq.scale.dir_lookups, par.scale.dir_lookups);
+        // The timeline records every epoch (well under the cap here), and
+        // its `until` sequence — pure simulated state — matches too.
+        assert_eq!(seq.scale.timeline.len(), seq.scale.epochs as usize);
+        assert_eq!(seq.scale.timeline_dropped, 0);
+        let seq_untils: Vec<u64> = seq.scale.timeline.iter().map(|e| e.until).collect();
+        let par_untils: Vec<u64> = par.scale.timeline.iter().map(|e| e.until).collect();
+        assert_eq!(seq_untils, par_untils);
+    }
+
+    #[test]
+    fn cross_shard_commit_aborts_remote_speculative_reader() {
+        // Shard 0 (core 0) commits a write to line L early; shard 1
+        // (core 1) holds a speculative read of L across the epoch boundary
+        // inside a long transaction. The barrier must route the committed
+        // footprint and abort the reader with a *true* WAR conflict.
+        let scripts = vec![
+            vec![WorkItem::Tx(TxAttempt::new(vec![TxOp::Write {
+                addr: Addr(0x1000),
+                size: 8,
+                value: 1,
+            }]))],
+            vec![WorkItem::Tx(TxAttempt::new(vec![
+                TxOp::Read { addr: Addr(0x1000), size: 8 },
+                TxOp::Compute { cycles: 1_000_000 },
+            ]))],
+        ];
+        let w = ScriptedWorkload { name: "cross", scripts };
+        let base = SimConfig::paper_seeded(DetectorKind::SubBlock(4), 3);
+        let out = ShardEngine::new(
+            &w,
+            base,
+            ShardConfig {
+                total_cores: 2,
+                cores_per_cluster: 1,
+                epoch_cycles: 4096,
+                worker_threads: 1,
+                dir_latency: DirLatency::opteron_like(),
+            },
+        )
+        .try_run()
+        .expect("run");
+        assert_eq!(out.scale.cross_aborts, 1, "the remote reader must abort once");
+        assert!(out.scale.cross_probes >= 1);
+        assert!(out.scale.dir_lookups >= 1);
+        assert_eq!(out.stats.tx_committed, 2, "both transactions commit in the end");
+        assert!(out.stats.tx_aborted >= 1);
+        // Accounted directory latency: every lookup pays, every hop pays.
+        assert!(out.scale.dir_latency_cycles >= out.scale.dir_lookups * 60);
+    }
+
+    #[test]
+    fn barrier_stall_fraction_is_bounded() {
+        let s = ScaleStats::default();
+        assert_eq!(s.barrier_stall_fraction(), 0.0);
+        let s = ScaleStats {
+            busy: vec![Duration::from_millis(30), Duration::from_millis(10)],
+            epoch_wall: Duration::from_millis(40),
+            ..ScaleStats::default()
+        };
+        let f = s.barrier_stall_fraction();
+        assert!(f > 0.49 && f < 0.51, "2 threads × 40ms wall, 40ms busy → 50%: {f}");
+    }
+}

@@ -235,7 +235,12 @@ impl RingTrace {
 /// run; sinks that do bound their storage must account for every discarded
 /// event in [`TraceSink::dropped_events`] so truncated exports are
 /// detectable.
-pub trait TraceSink {
+///
+/// `Send` is a supertrait for the same reason as
+/// [`crate::txprog::ThreadProgram`]: a machine carrying an installed sink
+/// must be movable to a shard worker thread; the sink is only ever driven
+/// from the one thread currently running its machine.
+pub trait TraceSink: Send {
     /// Consume one event.
     fn record(&mut self, ev: TraceEvent);
 

@@ -93,7 +93,13 @@ pub enum WorkItem {
 }
 
 /// A per-core instruction stream.
-pub trait ThreadProgram {
+///
+/// `Send` is a supertrait so a whole [`crate::machine::Machine`] (which
+/// owns one boxed program per core) can be moved to a worker thread by the
+/// shard-parallel engine ([`crate::shard::ShardEngine`]). Programs are
+/// still driven strictly single-threaded — one shard runs on exactly one
+/// worker per epoch — so no `Sync` is required.
+pub trait ThreadProgram: Send {
     /// Next unit of work, or `None` when the thread is finished. Called
     /// only after the previous item fully completed (transactions: after
     /// commit or lock-fallback completion).

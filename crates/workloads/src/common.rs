@@ -14,6 +14,9 @@ pub enum Scale {
     Standard,
     /// Heavier runs for benchmarking the simulator itself.
     Large,
+    /// The shard-parallel tier (64–512 simulated cores): soak-sized inputs
+    /// for the `asf-repro scale` sweep and the streaming generators.
+    Huge,
 }
 
 impl Scale {
@@ -23,6 +26,7 @@ impl Scale {
             Scale::Small => (standard / 8).max(8),
             Scale::Standard => standard,
             Scale::Large => standard * 4,
+            Scale::Huge => standard * 16,
         }
     }
 }
@@ -150,7 +154,7 @@ where
 
 impl<F> ThreadProgram for GenProgram<F>
 where
-    F: FnMut(&mut SimRng, usize) -> Vec<WorkItem>,
+    F: FnMut(&mut SimRng, usize) -> Vec<WorkItem> + Send,
 {
     fn next_item(&mut self) -> Option<WorkItem> {
         loop {
@@ -214,6 +218,7 @@ mod tests {
         assert_eq!(Scale::Standard.txns(400), 400);
         assert_eq!(Scale::Small.txns(400), 50);
         assert_eq!(Scale::Large.txns(400), 1600);
+        assert_eq!(Scale::Huge.txns(400), 6400);
         assert_eq!(Scale::Small.txns(10), 8); // floor
     }
 

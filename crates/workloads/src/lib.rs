@@ -40,6 +40,7 @@ pub mod kmeans;
 pub mod labyrinth;
 pub mod scalparc;
 pub mod ssca2;
+pub mod streaming;
 pub mod utilitymine;
 pub mod vacation;
 
@@ -123,7 +124,7 @@ mod tests {
 
     #[test]
     fn names_agree_with_all_at_every_scale() {
-        for scale in [Scale::Small, Scale::Standard, Scale::Large] {
+        for scale in [Scale::Small, Scale::Standard, Scale::Large, Scale::Huge] {
             let built: Vec<_> = all(scale).iter().map(|w| w.name()).collect();
             assert_eq!(names(scale).to_vec(), built, "{scale:?}");
         }

@@ -1,0 +1,304 @@
+//! Streaming workload generators for the huge (shard-parallel) tier.
+//!
+//! The Table III kernels are sized for the paper's 8-core machine; driving
+//! 64–512 simulated cores needs workloads that (a) scale transaction counts
+//! into the millions, (b) cost **constant memory per core** — transactions
+//! are generated on demand from a seeded RNG stream, never materialized as
+//! a list — and (c) partition their data so the shard engine's memory model
+//! holds: plain data never crosses clusters, speculative conflicts may.
+//!
+//! ## Address plan
+//!
+//! Fixed bases, far above the Table III kernels' 16 MiB arena and far apart
+//! (the simulator's memory is sparse, so the spread is free):
+//!
+//! * **private** — 1 TiB + `tid`·1 MiB: one pool per core, never shared;
+//! * **cluster** — 2 TiB + `cluster`·1 MiB: shared by the 16 cores of one
+//!   cluster — *intra-shard* conflicts, detected at cycle granularity;
+//! * **global** — 3 TiB: one pool shared by every core — the only data
+//!   that crosses clusters, and it is only ever touched *transactionally*,
+//!   so cross-cluster traffic is exactly the speculative traffic the epoch
+//!   barrier routes.
+//!
+//! Every program is a pure function of `(seed, global tid)`: the `threads`
+//! count does not enter generation at all, so core 17's stream is identical
+//! whether it runs on one 64-core machine or as core 1 of shard 1 — the
+//! shard-equivalence tests lean on this.
+
+use crate::common::{tx, GenProgram, Region};
+use asf_machine::txprog::{ThreadProgram, TxOp, WorkItem, Workload};
+
+/// Base of the per-core private pools.
+const PRIVATE_BASE: u64 = 1 << 40;
+/// Base of the per-cluster shared pools.
+const CLUSTER_BASE: u64 = 2 << 40;
+/// Base of the single global pool.
+const GLOBAL_BASE: u64 = 3 << 40;
+/// 1 MiB spacing between pools (lines never straddle pools).
+const POOL_STRIDE: u64 = 1 << 20;
+
+/// Shape of a streaming workload: counts, mix percentages, compute gaps.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamSpec {
+    /// Transactions generated per core (millions across a huge machine).
+    pub txns_per_core: usize,
+    /// Reads per transaction (from the private pool, or per
+    /// `global_read_pct` the global pool).
+    pub reads_per_tx: usize,
+    /// Updates per transaction (private, or per the pcts below).
+    pub updates_per_tx: usize,
+    /// Percent of updates aimed at the cluster-shared pool (intra-shard
+    /// contention).
+    pub cluster_update_pct: u32,
+    /// Percent of updates aimed at the global pool (the cross-shard
+    /// conflict source).
+    pub global_update_pct: u32,
+    /// Percent of reads taken from the global pool.
+    pub global_read_pct: u32,
+    /// Percent of steps that are pure non-transactional compute (an
+    /// "idle-heavy" mix stresses the watchdog, not the fabric).
+    pub idle_pct: u32,
+    /// Compute cycles inside each transaction.
+    pub tx_compute: u64,
+    /// Compute cycles between transactions.
+    pub gap_compute: u64,
+    /// Cores per cluster (must match the shard engine's topology for the
+    /// cluster pools to be cluster-private).
+    pub cores_per_cluster: usize,
+    /// 8-byte slots in each pool.
+    pub slots_per_pool: usize,
+}
+
+impl StreamSpec {
+    /// Balanced mix: mostly private traffic, a tenth of updates on the
+    /// cluster pool, a few percent crossing clusters through the global
+    /// pool. The default for throughput curves.
+    pub fn mix() -> StreamSpec {
+        StreamSpec {
+            txns_per_core: 256,
+            reads_per_tx: 3,
+            updates_per_tx: 2,
+            cluster_update_pct: 10,
+            global_update_pct: 2,
+            global_read_pct: 5,
+            idle_pct: 10,
+            tx_compute: 20,
+            gap_compute: 80,
+            cores_per_cluster: 16,
+            slots_per_pool: 512,
+        }
+    }
+
+    /// Idle-heavy mix: most steps are plain compute and transactions are
+    /// short and private — long commit gaps and abort droughts that a
+    /// naively-tuned watchdog misreads as livelock at 256 cores (the
+    /// regression test in `tests/shard_equivalence.rs` pins this).
+    pub fn idle_heavy() -> StreamSpec {
+        StreamSpec {
+            idle_pct: 70,
+            reads_per_tx: 1,
+            updates_per_tx: 1,
+            cluster_update_pct: 5,
+            global_update_pct: 0,
+            global_read_pct: 0,
+            gap_compute: 400,
+            ..StreamSpec::mix()
+        }
+    }
+
+    /// The million-transaction soak: ≥ 2^20 transactions at 256 cores.
+    pub fn million() -> StreamSpec {
+        StreamSpec { txns_per_core: 4096, ..StreamSpec::mix() }
+    }
+
+    /// CI-sized smoke preset.
+    pub fn smoke() -> StreamSpec {
+        StreamSpec { txns_per_core: 24, ..StreamSpec::mix() }
+    }
+
+    /// Total transactions this spec generates on `cores` cores.
+    pub fn total_txns(&self, cores: usize) -> usize {
+        self.txns_per_core * cores
+    }
+
+    /// The private pool of global core `tid`.
+    pub fn private_pool(&self, tid: usize) -> Region {
+        Region::new(PRIVATE_BASE + tid as u64 * POOL_STRIDE, 8, self.slots_per_pool)
+    }
+
+    /// The shared pool of `tid`'s cluster.
+    pub fn cluster_pool(&self, tid: usize) -> Region {
+        let cluster = (tid / self.cores_per_cluster) as u64;
+        Region::new(CLUSTER_BASE + cluster * POOL_STRIDE, 8, self.slots_per_pool)
+    }
+
+    /// The single global pool.
+    pub fn global_pool(&self) -> Region {
+        Region::new(GLOBAL_BASE, 8, self.slots_per_pool)
+    }
+}
+
+/// A named streaming workload. Unlike the Table III kernels this is not
+/// registered in [`crate::all`] — it exists for the `asf-repro scale`
+/// experiment and the shard-equivalence tests.
+pub struct StreamWorkload {
+    name: &'static str,
+    spec: StreamSpec,
+}
+
+impl StreamWorkload {
+    /// Wrap a spec under a stable name (used in run keys and JSON).
+    pub fn new(name: &'static str, spec: StreamSpec) -> StreamWorkload {
+        assert!(spec.cores_per_cluster >= 1);
+        assert!(spec.slots_per_pool >= 1);
+        StreamWorkload { name, spec }
+    }
+
+    /// The spec this workload generates from.
+    pub fn spec(&self) -> StreamSpec {
+        self.spec
+    }
+}
+
+/// Look up a streaming preset by name (`mix`, `idle_heavy`, `million`,
+/// `smoke`).
+pub fn by_name(name: &str) -> Option<StreamWorkload> {
+    match name {
+        "mix" => Some(StreamWorkload::new("mix", StreamSpec::mix())),
+        "idle_heavy" => Some(StreamWorkload::new("idle_heavy", StreamSpec::idle_heavy())),
+        "million" => Some(StreamWorkload::new("million", StreamSpec::million())),
+        "smoke" => Some(StreamWorkload::new("smoke", StreamSpec::smoke())),
+        _ => None,
+    }
+}
+
+/// The streaming preset names, in presentation order.
+pub fn names() -> [&'static str; 4] {
+    ["mix", "idle_heavy", "million", "smoke"]
+}
+
+impl Workload for StreamWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        "streaming generator for the shard-parallel huge tier"
+    }
+
+    fn spawn(&self, tid: usize, threads: usize, seed: u64) -> Box<dyn ThreadProgram> {
+        // `threads` deliberately unused: generation is a function of the
+        // global tid alone, so sharding cannot change workload content.
+        let _ = threads;
+        let spec = self.spec;
+        let private = spec.private_pool(tid);
+        let cluster = spec.cluster_pool(tid);
+        let global = spec.global_pool();
+        Box::new(GenProgram::new(seed, tid, spec.txns_per_core, move |rng, _| {
+            if spec.idle_pct > 0 && rng.chance(spec.idle_pct as u64, 100) {
+                return vec![WorkItem::Compute { cycles: spec.gap_compute.max(1) * 4 }];
+            }
+            let mut ops = Vec::with_capacity(spec.reads_per_tx + spec.updates_per_tx + 1);
+            for _ in 0..spec.reads_per_tx {
+                let pool = if spec.global_read_pct > 0
+                    && rng.chance(spec.global_read_pct as u64, 100)
+                {
+                    &global
+                } else {
+                    &private
+                };
+                let i = pool.pick(rng);
+                ops.push(pool.read(i));
+            }
+            for _ in 0..spec.updates_per_tx {
+                let roll = rng.below(100) as u32;
+                let pool = if roll < spec.global_update_pct {
+                    &global
+                } else if roll < spec.global_update_pct + spec.cluster_update_pct {
+                    &cluster
+                } else {
+                    &private
+                };
+                let i = pool.pick(rng);
+                ops.push(pool.update(i, 1));
+            }
+            if spec.tx_compute > 0 {
+                ops.push(TxOp::Compute { cycles: spec.tx_compute });
+            }
+            vec![tx(ops), WorkItem::Compute { cycles: spec.gap_compute.max(1) }]
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &StreamWorkload, tid: usize, threads: usize, seed: u64) -> Vec<String> {
+        let mut p = w.spawn(tid, threads, seed);
+        let mut v = Vec::new();
+        while let Some(it) = p.next_item() {
+            v.push(format!("{it:?}"));
+        }
+        v
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let w = StreamWorkload::new("mix", StreamSpec::smoke());
+        assert_eq!(drain(&w, 3, 64, 7), drain(&w, 3, 64, 7));
+        assert_ne!(drain(&w, 3, 64, 7), drain(&w, 3, 64, 8));
+        assert_ne!(drain(&w, 3, 64, 7), drain(&w, 4, 64, 7));
+    }
+
+    #[test]
+    fn thread_count_never_enters_generation() {
+        // The shard-equivalence keystone: core 17's program is the same
+        // whether spawned as 17-of-64 (monolithic) or 17-of-256 (sharded).
+        let w = StreamWorkload::new("mix", StreamSpec::mix());
+        assert_eq!(drain(&w, 17, 64, 5), drain(&w, 17, 256, 5));
+    }
+
+    #[test]
+    fn pools_partition_as_documented() {
+        let spec = StreamSpec::mix();
+        // Private pools: disjoint per core, below the cluster base.
+        let a = spec.private_pool(0);
+        let b = spec.private_pool(1);
+        assert!(a.base.0 + a.bytes() <= b.base.0);
+        assert!(b.base.0 + b.bytes() <= CLUSTER_BASE);
+        // Cluster pools: one per 16 cores, disjoint across clusters.
+        assert_eq!(spec.cluster_pool(0).base, spec.cluster_pool(15).base);
+        assert_ne!(spec.cluster_pool(15).base, spec.cluster_pool(16).base);
+        let c0 = spec.cluster_pool(0);
+        let c1 = spec.cluster_pool(16);
+        assert!(c0.base.0 + c0.bytes() <= c1.base.0);
+        assert!(c1.base.0 + c1.bytes() <= GLOBAL_BASE);
+    }
+
+    #[test]
+    fn million_preset_crosses_a_million_at_256_cores() {
+        assert!(StreamSpec::million().total_txns(256) >= 1 << 20);
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for n in names() {
+            let w = by_name(n).expect("preset exists");
+            assert_eq!(w.name(), n);
+        }
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn idle_heavy_generates_mostly_compute() {
+        let w = StreamWorkload::new("idle_heavy", StreamSpec::idle_heavy());
+        let items = drain(&w, 0, 16, 1);
+        let txns = items.iter().filter(|s| s.starts_with("Tx")).count();
+        let computes = items.len() - txns;
+        assert!(
+            computes > txns,
+            "idle-heavy must be compute-dominated: {txns} txns vs {computes} computes"
+        );
+    }
+}

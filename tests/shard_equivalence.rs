@@ -1,0 +1,115 @@
+//! Shard-parallel equivalence fence (DESIGN.md §15).
+//!
+//! The shard engine's whole claim is that OS worker threads are *invisible*
+//! to the simulation: for any shard topology, detector, and seed, running
+//! the shards on N threads produces the exact `RunStats` of running them on
+//! one — and a single-shard engine produces the exact `RunStats` of a plain
+//! [`Machine`]. This suite sweeps those claims across detectors × seeds ×
+//! shard counts on a streaming workload (whose generation is a pure
+//! function of the global core id, never the thread count), and pins the
+//! watchdog scaling: a 256-core idle-heavy run must not trip a spurious
+//! `Livelock` just because commits per-core are sparse at system scale.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::hier::DirLatency;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_machine::shard::{ShardConfig, ShardEngine, ShardOutput};
+use asf_workloads::streaming::{StreamSpec, StreamWorkload};
+
+/// A quick streaming mix: every pool class exercised (private, cluster,
+/// global) so cross-shard routing actually fires, but small enough for a
+/// debug-build sweep.
+fn quick_spec() -> StreamSpec {
+    StreamSpec { txns_per_core: 12, ..StreamSpec::smoke() }
+}
+
+fn run_sharded(
+    w: &StreamWorkload,
+    det: DetectorKind,
+    seed: u64,
+    total: usize,
+    per_cluster: usize,
+    threads: usize,
+) -> ShardOutput {
+    let base = SimConfig::paper_seeded(det, seed);
+    ShardEngine::new(
+        w,
+        base,
+        ShardConfig {
+            total_cores: total,
+            cores_per_cluster: per_cluster,
+            epoch_cycles: 1024,
+            worker_threads: threads,
+            dir_latency: DirLatency::opteron_like(),
+        },
+    )
+    .try_run()
+    .expect("sharded run completes")
+}
+
+#[test]
+fn worker_threads_invisible_across_detectors_seeds_and_shard_counts() {
+    let w = StreamWorkload::new("smoke", quick_spec());
+    let total = 16;
+    for det in [DetectorKind::Baseline, DetectorKind::SubBlock(4), DetectorKind::Perfect] {
+        for seed in [1u64, 0xBEEF] {
+            for shards in [1usize, 2, 4, 8] {
+                let per_cluster = total / shards;
+                let seq = run_sharded(&w, det, seed, total, per_cluster, 1);
+                let par = run_sharded(&w, det, seed, total, per_cluster, 3);
+                assert_eq!(
+                    seq.stats, par.stats,
+                    "{det:?}/seed {seed:#x}/{shards} shard(s): \
+                     3 worker threads diverged from 1"
+                );
+                assert_eq!(
+                    seq.per_shard_cycles, par.per_shard_cycles,
+                    "{det:?}/seed {seed:#x}/{shards} shard(s): per-shard clocks diverged"
+                );
+                assert_eq!(
+                    (seq.scale.epochs, seq.scale.cross_probes, seq.scale.cross_aborts),
+                    (par.scale.epochs, par.scale.cross_probes, par.scale.cross_aborts),
+                    "{det:?}/seed {seed:#x}/{shards} shard(s): cross-shard counters diverged"
+                );
+                assert!(seq.stats.tx_committed > 0, "the sweep must do real work");
+            }
+        }
+    }
+}
+
+#[test]
+fn single_shard_engine_equals_plain_machine() {
+    let w = StreamWorkload::new("smoke", quick_spec());
+    for det in [DetectorKind::Baseline, DetectorKind::SubBlock(8)] {
+        for seed in [7u64, 0xCAFE] {
+            let mut plain_cfg = SimConfig::paper_seeded(det, seed);
+            plain_cfg.machine.cores = 16;
+            let plain = Machine::try_run(&w, plain_cfg).expect("plain run");
+            let sharded = run_sharded(&w, det, seed, 16, 16, 1);
+            assert_eq!(
+                plain.stats, sharded.stats,
+                "{det:?}/seed {seed:#x}: one 16-core shard must equal a plain \
+                 16-core machine (epoch pausing is behaviour-neutral)"
+            );
+            assert_eq!(sharded.scale.cross_probes, 0, "one cluster routes nothing");
+        }
+    }
+}
+
+/// Watchdog scaling regression (the satellite fix): at 256 simulated cores
+/// an idle-heavy mix leaves each core committing rarely and aborting in
+/// long per-core droughts. With the 8-core thresholds this tripped spurious
+/// `Livelock`/`Starvation` reports; `ProgressMonitor::with_system_cores`
+/// now scales the abort-streak threshold and commit-age window with the
+/// *system* core count, so the run must complete.
+#[test]
+fn huge_idle_heavy_run_does_not_trip_the_watchdog() {
+    let spec = StreamSpec { txns_per_core: 24, ..StreamSpec::idle_heavy() };
+    let w = StreamWorkload::new("idle_heavy", spec);
+    let out = run_sharded(&w, DetectorKind::SubBlock(8), 0x1D7E, 256, 16, 2);
+    assert!(out.stats.tx_committed > 0);
+    assert!(out.scale.epochs > 0);
+    // 16 clusters all ran to their own completion.
+    assert_eq!(out.per_shard_cycles.len(), 16);
+    assert!(out.per_shard_cycles.iter().all(|&c| c > 0));
+}
