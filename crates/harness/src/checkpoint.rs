@@ -15,6 +15,10 @@ use asf_mem::fxhash::FxHashMap;
 use asf_stats::json::{escape, parse, JsonValue};
 use asf_stats::run::RunStats;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process counter distinguishing concurrent saves' temp files.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Persistent record of completed matrix jobs.
 #[derive(Debug)]
@@ -96,12 +100,25 @@ impl Checkpoint {
             out.push_str(&format!("\n    {}: {}", escape(key), self.cells[*key].to_json()));
         }
         out.push_str("\n  }\n}\n");
-        let tmp = self.path.with_extension("json.tmp");
+        // The temp name must be unique per (process, save): two processes
+        // sharing one `--checkpoint` path — or two threads saving at once —
+        // would otherwise interleave writes into the *same* `.json.tmp`
+        // and rename a torn file into place. pid + per-process sequence
+        // keeps every in-flight save on its own file; the final rename is
+        // still atomic, so whichever save lands last wins whole.
+        let tmp = self.path.with_extension(format!(
+            "json.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let fail = |stage: &str, e: std::io::Error| {
             HarnessError::Checkpoint(format!("{stage} {}: {e}", self.path.display()))
         };
         std::fs::write(&tmp, out).map_err(|e| fail("write", e))?;
-        std::fs::rename(&tmp, &self.path).map_err(|e| fail("rename", e))
+        std::fs::rename(&tmp, &self.path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp); // don't strand the temp file
+            fail("rename", e)
+        })
     }
 
     /// Where this checkpoint persists.
@@ -137,6 +154,54 @@ mod tests {
         assert_eq!(reloaded.len(), 1);
         assert_eq!(reloaded.get(&job_key("vacation", "sb4", 3)), Some(&stats));
         assert_eq!(reloaded.get("vacation|sb4|4"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_saves_never_share_a_temp_file() {
+        // Regression: saves used a fixed `<path>.json.tmp`, so two writers
+        // sharing one checkpoint path could interleave into the same temp
+        // file and rename a torn mix into place. With per-save unique temp
+        // names, hammering one path from many threads must always leave a
+        // complete, parsable checkpoint equal to one writer's snapshot.
+        let path = tmp_path("concurrent");
+        let _ = std::fs::remove_file(&path);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    let mut cp = Checkpoint::new(&path);
+                    for round in 0..20u64 {
+                        let stats = RunStats {
+                            tx_started: t * 1000 + round,
+                            tx_committed: t * 1000 + round,
+                            ..Default::default()
+                        };
+                        cp.record(job_key("bench", "sb4", t), stats).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in threads {
+            h.join().unwrap();
+        }
+        // Whatever won the last rename must be a complete snapshot: one
+        // cell (each writer reuses one key), cleanly parsable.
+        let survivor = Checkpoint::load_or_new(&path).unwrap();
+        assert_eq!(survivor.len(), 1);
+        // No temp files stranded next to the checkpoint.
+        let dir = path.parent().unwrap();
+        let strays: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| {
+                n.starts_with(
+                    path.file_stem().unwrap().to_string_lossy().as_ref(),
+                ) && n.contains(".tmp")
+            })
+            .collect();
+        assert!(strays.is_empty(), "stranded temp files: {strays:?}");
         let _ = std::fs::remove_file(&path);
     }
 

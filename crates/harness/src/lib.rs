@@ -20,6 +20,8 @@ pub mod matrix;
 pub mod observe;
 pub mod perf;
 pub mod scale;
+pub mod section;
+pub mod serve;
 
 pub use checkpoint::Checkpoint;
 pub use error::HarnessError;

@@ -337,60 +337,21 @@ pub fn smoke(seed: u64) -> Result<String, HarnessError> {
 }
 
 // ---------------------------------------------------------------------------
-// The "scale_rounds" section of BENCH_perf.json.
-//
-// The perf report is hand-rolled flat JSON read by dumb scanners
-// (`perf::parse_baseline`, `perf::parse_history`); this section is
-// maintained by textual surgery for the same reason. The invariants that
-// keep the two co-tenants from corrupting each other:
-//   * the section is always emitted/inserted at the END of the document,
-//     after `total_wall_ms` and `history`, so first-occurrence scans keep
-//     hitting the perf grid's fields;
-//   * entries never use the keys `bench`, `detector`, `cycles` or
-//     `history`;
-//   * git subjects are sanitized of quotes, backslashes and brackets so
-//     the bracket-counting extractor below stays sound.
+// The "scale_rounds" section of BENCH_perf.json. The textual-surgery
+// machinery lives in [`crate::section`] (shared with `serve_rounds`);
+// these wrappers keep the scale-specific names callers use.
 // ---------------------------------------------------------------------------
 
-/// Subjects are narrative: swap everything the dumb scanners cannot
-/// round-trip (quotes, backslashes, and the brackets the section extractor
-/// counts) for harmless lookalikes.
-fn sanitize(s: &str) -> String {
-    s.replace(['\\', '"'], "'").replace('[', "(").replace(']', ")")
-}
-
-/// Byte range of the `"scale_rounds": [...]` section in a
-/// `BENCH_perf.json`, if present (from the opening quote of the key to the
-/// closing `]`, exclusive end one past it).
-fn section_range(json: &str) -> Option<(usize, usize)> {
-    let start = json.find("\"scale_rounds\":")?;
-    let open = start + json[start..].find('[')?;
-    let mut depth = 0usize;
-    for (i, b) in json[open..].bytes().enumerate() {
-        match b {
-            b'[' => depth += 1,
-            b']' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some((start, open + i + 1));
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
+use crate::section;
 
 /// The verbatim `"scale_rounds": [...]` section text, if present.
 pub fn extract_scale_rounds(json: &str) -> Option<&str> {
-    section_range(json).map(|(a, b)| &json[a..b])
+    section::extract_section(json, "scale_rounds")
 }
 
 /// The 1-based number the next appended round should carry.
 pub fn next_scale_round(json: &str) -> u64 {
-    extract_scale_rounds(json)
-        .map(|s| s.matches("\"round\":").count() as u64 + 1)
-        .unwrap_or(1)
+    section::next_round(json, "scale_rounds")
 }
 
 /// Render one round entry (a flat-enough JSON object) for
@@ -401,7 +362,7 @@ pub fn scale_round_entry(report: &ScaleReport, round: u64, git_subject: &str) ->
          \"git_subject\": \"{}\", \"curve\": [",
         report.preset,
         report.seed,
-        sanitize(git_subject),
+        section::sanitize(git_subject),
     );
     for (i, c) in report.cells.iter().enumerate() {
         if i > 0 {
@@ -433,45 +394,18 @@ pub fn scale_round_entry(report: &ScaleReport, round: u64, git_subject: &str) ->
     out
 }
 
-/// Insert `section` (a full `"scale_rounds": [...]` text) before the final
-/// `}` of `json`.
-fn insert_section(json: &str, section: &str) -> String {
-    let close = json.rfind('}').expect("a JSON object to splice into");
-    let head = json[..close].trim_end();
-    let comma = if head.ends_with('{') { "" } else { "," };
-    format!("{head}{comma}\n  {section}\n}}\n")
-}
-
 /// Append one round to the `"scale_rounds"` section of a `BENCH_perf.json`
 /// document, creating the section (or, for an empty/absent file, a minimal
 /// document) as needed. The rest of the document is preserved byte-for-byte.
 pub fn append_scale_round(json: &str, entry: &str) -> String {
-    if json.trim().is_empty() {
-        return format!("{{\n  \"scale_rounds\": [\n    {entry}\n  ]\n}}\n");
-    }
-    match section_range(json) {
-        Some((_, end)) => {
-            // `end` is one past the section's closing `]`; splice the new
-            // entry in front of it.
-            let close = end - 1;
-            let had_entries = json[..close].trim_end().ends_with('}');
-            let sep = if had_entries { ",\n    " } else { "\n    " };
-            format!("{}{sep}{entry}\n  {}", json[..close].trim_end(), &json[close..])
-        }
-        None => insert_section(json, &format!("\"scale_rounds\": [\n    {entry}\n  ]")),
-    }
+    section::append_round(json, "scale_rounds", entry)
 }
 
 /// Re-attach `old_json`'s `"scale_rounds"` section to a freshly rendered
 /// perf report (`new_json`), which never emits one itself. Returns
 /// `new_json` unchanged when the old document had no section.
 pub fn carry_scale_rounds(old_json: &str, new_json: &str) -> String {
-    match extract_scale_rounds(old_json) {
-        Some(section) if extract_scale_rounds(new_json).is_none() => {
-            insert_section(new_json, section)
-        }
-        _ => new_json.to_string(),
-    }
+    section::carry_section(old_json, new_json, "scale_rounds")
 }
 
 #[cfg(test)]

@@ -1,0 +1,132 @@
+//! Append-only round sections co-tenanting `BENCH_perf.json`.
+//!
+//! The perf report is hand-rolled flat JSON read by dumb scanners
+//! (`perf::parse_baseline`, `perf::parse_history`). Long-lived experiment
+//! histories that share the file — `"scale_rounds"` (shard sweeps, DESIGN
+//! §15) and `"serve_rounds"` (serve-layer load tests, DESIGN §16) — are
+//! maintained by the textual surgery here rather than a JSON round-trip,
+//! so a rewrite of one co-tenant preserves every other byte-for-byte. The
+//! invariants that keep the co-tenants from corrupting each other:
+//!
+//! * a section is always emitted/inserted at the END of the document,
+//!   after `total_wall_ms` and `history`, so first-occurrence scans keep
+//!   hitting the perf grid's fields;
+//! * entries never use the keys `bench`, `detector`, `cycles` or
+//!   `history`;
+//! * git subjects are sanitized of quotes, backslashes and brackets so
+//!   the bracket-counting extractor stays sound.
+
+/// Subjects are narrative: swap everything the dumb scanners cannot
+/// round-trip (quotes, backslashes, and the brackets the section extractor
+/// counts) for harmless lookalikes.
+pub fn sanitize(s: &str) -> String {
+    s.replace(['\\', '"'], "'").replace('[', "(").replace(']', ")")
+}
+
+/// Byte range of the `"<key>": [...]` section in a `BENCH_perf.json`, if
+/// present (from the opening quote of the key to the closing `]`,
+/// exclusive end one past it).
+fn section_range(json: &str, key: &str) -> Option<(usize, usize)> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)?;
+    let open = start + json[start..].find('[')?;
+    let mut depth = 0usize;
+    for (i, b) in json[open..].bytes().enumerate() {
+        match b {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((start, open + i + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The verbatim `"<key>": [...]` section text, if present.
+pub fn extract_section<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    section_range(json, key).map(|(a, b)| &json[a..b])
+}
+
+/// The 1-based number the next round appended to `key` should carry.
+pub fn next_round(json: &str, key: &str) -> u64 {
+    extract_section(json, key)
+        .map(|s| s.matches("\"round\":").count() as u64 + 1)
+        .unwrap_or(1)
+}
+
+/// Insert `section` (a full `"<key>": [...]` text) before the final `}` of
+/// `json`.
+fn insert_section(json: &str, section: &str) -> String {
+    let close = json.rfind('}').expect("a JSON object to splice into");
+    let head = json[..close].trim_end();
+    let comma = if head.ends_with('{') { "" } else { "," };
+    format!("{head}{comma}\n  {section}\n}}\n")
+}
+
+/// Append one round entry to the `"<key>"` section of a `BENCH_perf.json`
+/// document, creating the section (or, for an empty/absent file, a minimal
+/// document) as needed. The rest of the document is preserved
+/// byte-for-byte.
+pub fn append_round(json: &str, key: &str, entry: &str) -> String {
+    if json.trim().is_empty() {
+        return format!("{{\n  \"{key}\": [\n    {entry}\n  ]\n}}\n");
+    }
+    match section_range(json, key) {
+        Some((_, end)) => {
+            // `end` is one past the section's closing `]`; splice the new
+            // entry in front of it.
+            let close = end - 1;
+            let had_entries = json[..close].trim_end().ends_with('}');
+            let sep = if had_entries { ",\n    " } else { "\n    " };
+            format!("{}{sep}{entry}\n  {}", json[..close].trim_end(), &json[close..])
+        }
+        None => insert_section(json, &format!("\"{key}\": [\n    {entry}\n  ]")),
+    }
+}
+
+/// Re-attach `old_json`'s `"<key>"` section to a freshly rendered perf
+/// report (`new_json`), which never emits one itself. Returns `new_json`
+/// unchanged when the old document had no such section.
+pub fn carry_section(old_json: &str, new_json: &str, key: &str) -> String {
+    match extract_section(old_json, key) {
+        Some(section) if extract_section(new_json, key).is_none() => {
+            insert_section(new_json, section)
+        }
+        _ => new_json.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_sections_coexist_in_one_document() {
+        let mut doc = append_round("", "scale_rounds", "{\"round\": 1, \"a\": [1, 2]}");
+        doc = append_round(&doc, "serve_rounds", "{\"round\": 1, \"b\": 3}");
+        doc = append_round(&doc, "scale_rounds", "{\"round\": 2, \"a\": []}");
+        doc = append_round(&doc, "serve_rounds", "{\"round\": 2, \"b\": 4}");
+        assert_eq!(next_round(&doc, "scale_rounds"), 3);
+        assert_eq!(next_round(&doc, "serve_rounds"), 3);
+        let scale = extract_section(&doc, "scale_rounds").unwrap();
+        assert!(scale.contains("\"a\": [1, 2]") && !scale.contains("\"b\""));
+        let serve = extract_section(&doc, "serve_rounds").unwrap();
+        assert!(serve.contains("\"b\": 4") && !serve.contains("\"a\""));
+        // A perf rewrite that drops both sections carries each back intact.
+        let rewritten = "{\n  \"total_wall_ms\": 1.0\n}\n";
+        let carried = carry_section(&doc, rewritten, "scale_rounds");
+        let carried = carry_section(&doc, &carried, "serve_rounds");
+        assert!(extract_section(&carried, "scale_rounds").is_some());
+        assert!(extract_section(&carried, "serve_rounds").is_some());
+        assert!(asf_stats::json::parse(&carried).is_ok(), "{carried}");
+    }
+
+    #[test]
+    fn sanitize_defangs_scanner_hostile_bytes() {
+        assert_eq!(sanitize("a \"b\" [c] \\d"), "a 'b' (c) 'd");
+    }
+}

@@ -1,0 +1,163 @@
+//! `asf-repro serve` / `asf-repro loadtest` — harness glue for the
+//! content-addressed simulation service (DESIGN.md §16).
+//!
+//! `serve` runs [`asf_serve::server::Server`] in the foreground until a
+//! `POST /v1/shutdown` arrives (or, with `--smoke`, runs the CI gate:
+//! ephemeral port, one fixed-seed job submitted twice, the repeat must be
+//! a byte-identical cache hit). `loadtest` hammers a private server with
+//! in-process concurrent clients over a Zipf-skewed job mix and appends
+//! the measurement as a round of the `"serve_rounds"` section of
+//! `BENCH_perf.json` — the same append-only co-tenancy discipline as
+//! `"scale_rounds"` (see [`crate::section`]).
+
+use crate::section;
+use asf_serve::loadtest::{LoadTestOpts, LoadTestReport};
+use asf_stats::table::Table;
+use asf_workloads::Scale;
+
+/// Default concurrent clients for `asf-repro loadtest` ("thousands of
+/// in-process concurrent clients" at full scale; CI uses fewer).
+pub const DEFAULT_CLIENTS: usize = 128;
+/// Default requests per client.
+pub const DEFAULT_REQUESTS: usize = 24;
+/// Default distinct-spec universe size.
+pub const DEFAULT_DISTINCT: usize = 32;
+
+/// The speedup floor the load test holds the hot path to (ISSUE/DESIGN
+/// §16 acceptance: memoized repeats ≥ 100x faster than cold simulation of
+/// the standard-scale probe cell).
+pub const SPEEDUP_FLOOR: f64 = 100.0;
+
+/// Shape a [`LoadTestOpts`] from CLI-level knobs. `scale` sets the mixed
+/// jobs' size; the speedup probe is standard-scale regardless.
+pub fn loadtest_opts(clients: usize, scale: Scale, seed: u64) -> LoadTestOpts {
+    LoadTestOpts {
+        clients,
+        requests_per_client: DEFAULT_REQUESTS,
+        distinct_specs: DEFAULT_DISTINCT,
+        seed,
+        scale,
+        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+        // Deep enough that a full-burst start never 429s the measurement
+        // itself; admission control is exercised by the serve unit tests.
+        queue_capacity: clients.saturating_mul(DEFAULT_REQUESTS).max(1024),
+    }
+}
+
+/// Human-readable summary table of one load-test run.
+pub fn loadtest_table(opts: &LoadTestOpts, report: &LoadTestReport) -> Table {
+    let mut t = Table::new(
+        "serve loadtest — Zipf-skewed job mix against the result cache",
+        &[
+            "clients",
+            "requests",
+            "cached",
+            "coalesced",
+            "queued",
+            "rejected",
+            "hit rate",
+            "p50 (us)",
+            "p99 (us)",
+            "cold (ms)",
+            "hot (us)",
+            "speedup",
+        ],
+    );
+    t.row(vec![
+        opts.clients.to_string(),
+        report.requests.to_string(),
+        report.cached.to_string(),
+        report.coalesced.to_string(),
+        report.queued.to_string(),
+        report.rejected.to_string(),
+        format!("{:.1}%", report.hit_rate * 100.0),
+        format!("{:.1}", report.p50_us),
+        format!("{:.1}", report.p99_us),
+        format!("{:.2}", report.cold_ns as f64 / 1e6),
+        format!("{:.1}", report.hot_ns as f64 / 1e3),
+        format!("{:.0}x", report.speedup),
+    ]);
+    t
+}
+
+/// Render one `serve_rounds` entry for [`append_serve_round`].
+pub fn serve_round_entry(
+    opts: &LoadTestOpts,
+    report: &LoadTestReport,
+    round: u64,
+    git_subject: &str,
+) -> String {
+    format!(
+        "{{\"round\": {round}, \"clients\": {}, \"distinct_specs\": {}, \
+         \"mix_seed\": {}, \"git_subject\": \"{}\", \"measure\": {}}}",
+        opts.clients,
+        opts.distinct_specs,
+        opts.seed,
+        section::sanitize(git_subject),
+        report.to_json(),
+    )
+}
+
+/// The verbatim `"serve_rounds": [...]` section text, if present.
+pub fn extract_serve_rounds(json: &str) -> Option<&str> {
+    section::extract_section(json, "serve_rounds")
+}
+
+/// The 1-based number the next appended round should carry.
+pub fn next_serve_round(json: &str) -> u64 {
+    section::next_round(json, "serve_rounds")
+}
+
+/// Append one round to the `"serve_rounds"` section of a `BENCH_perf.json`
+/// document (creating section/document as needed).
+pub fn append_serve_round(json: &str, entry: &str) -> String {
+    section::append_round(json, "serve_rounds", entry)
+}
+
+/// Re-attach `old_json`'s `"serve_rounds"` section to a freshly rendered
+/// perf report that lacks one.
+pub fn carry_serve_rounds(old_json: &str, new_json: &str) -> String {
+    section::carry_section(old_json, new_json, "serve_rounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report() -> LoadTestReport {
+        LoadTestReport {
+            requests: 3072,
+            cached: 2000,
+            coalesced: 700,
+            queued: 372,
+            rejected: 0,
+            hit_rate: 2000.0 / 3072.0,
+            p50_us: 81.0,
+            p99_us: 410.5,
+            cold_ns: 9_000_000,
+            hot_ns: 60_000,
+            speedup: 150.0,
+        }
+    }
+
+    #[test]
+    fn round_entry_is_valid_json_and_appends() {
+        let opts = loadtest_opts(128, Scale::Small, 7);
+        let entry = serve_round_entry(&opts, &fake_report(), 1, "some [bracketed] \"subject\"");
+        let doc = append_serve_round("", &entry);
+        assert!(asf_stats::json::parse(&doc).is_ok(), "{doc}");
+        assert_eq!(next_serve_round(&doc), 2);
+        let doc2 = append_serve_round(&doc, &serve_round_entry(&opts, &fake_report(), 2, "x"));
+        assert!(asf_stats::json::parse(&doc2).is_ok(), "{doc2}");
+        assert_eq!(next_serve_round(&doc2), 3);
+        assert!(doc2.contains("\"speedup\": 150.0"));
+    }
+
+    #[test]
+    fn table_renders_the_headline_numbers() {
+        let opts = loadtest_opts(128, Scale::Small, 7);
+        let rendered = loadtest_table(&opts, &fake_report()).render();
+        assert!(rendered.contains("150x"), "{rendered}");
+        assert!(rendered.contains("65.1%"), "{rendered}");
+    }
+}

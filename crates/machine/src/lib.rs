@@ -72,6 +72,7 @@ pub mod machine;
 pub mod obs;
 pub mod sched;
 pub mod shard;
+pub mod snapshot;
 pub mod trace;
 pub mod txprog;
 pub mod value;

@@ -469,6 +469,13 @@ pub struct Machine {
     epoch: EpochLog,
     /// [`Machine::enable_epoch_log`] was called.
     epoch_on: bool,
+    /// Shared progress snapshot, refreshed every
+    /// [`crate::snapshot::PUBLISH_EVERY_STEPS`] steps when attached
+    /// (hoisted-`Option` pattern like `faults_on`): the serve layer's
+    /// status endpoint reads it from another thread. Publishing copies
+    /// already-maintained counters into relaxed atomics and is therefore
+    /// bit-transparent to the run.
+    progress_probe: Option<std::sync::Arc<crate::snapshot::ProgressProbe>>,
 }
 
 /// RNG stream id for fault injection; far outside the per-core streams
@@ -559,6 +566,7 @@ impl Machine {
             monitor: ProgressMonitor::with_system_cores(n, system),
             epoch: EpochLog::default(),
             epoch_on: false,
+            progress_probe: None,
         }
     }
 
@@ -758,6 +766,34 @@ impl Machine {
         self.obs_on = true;
     }
 
+    /// Attach a shared progress snapshot
+    /// ([`crate::snapshot::ProgressProbe`]): the run refreshes it every
+    /// [`crate::snapshot::PUBLISH_EVERY_STEPS`] scheduler steps and at
+    /// completion, so another thread (the serve layer's status endpoint)
+    /// can watch a long simulation without touching it. Bit-transparent:
+    /// publishing only copies already-maintained counters into relaxed
+    /// atomics.
+    pub fn attach_progress_probe(
+        &mut self,
+        probe: std::sync::Arc<crate::snapshot::ProgressProbe>,
+    ) {
+        self.progress_probe = Some(probe);
+    }
+
+    /// Refresh the attached progress probe, if any.
+    fn publish_progress(&self) {
+        if let Some(p) = &self.progress_probe {
+            p.publish(
+                self.steps,
+                self.cores.iter().map(|c| c.clock).max().unwrap_or(0),
+                self.stats.tx_started,
+                self.stats.tx_committed,
+                self.stats.tx_aborted,
+                &self.monitor,
+            );
+        }
+    }
+
     #[inline]
     fn emit(&mut self, ev: TraceEvent) {
         if let Some(t) = self.trace.as_mut() {
@@ -846,8 +882,21 @@ impl Machine {
         while self.step() {
             self.steps += 1;
             if self.steps >= self.cfg.max_steps {
+                self.publish_progress();
+                if let Some(p) = &self.progress_probe {
+                    p.finish();
+                }
                 return Err(SimError::Watchdog(self.progress_report()));
             }
+            if self.progress_probe.is_some()
+                && self.steps.is_multiple_of(crate::snapshot::PUBLISH_EVERY_STEPS)
+            {
+                self.publish_progress();
+            }
+        }
+        self.publish_progress();
+        if let Some(p) = &self.progress_probe {
+            p.finish();
         }
         let mut stats = std::mem::take(&mut self.stats);
         stats.cycles = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);

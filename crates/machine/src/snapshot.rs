@@ -1,0 +1,158 @@
+//! Lock-free progress snapshots of a running simulation.
+//!
+//! A [`ProgressProbe`] is a handful of atomics that a machine, once given
+//! one via [`crate::machine::Machine::attach_progress_probe`], refreshes
+//! every [`PUBLISH_EVERY_STEPS`] scheduler steps and at completion. Another
+//! thread — the serve layer's status endpoint — reads it at any time
+//! without touching the simulation.
+//!
+//! Transparency contract (the `FaultPlan::none()` pattern): publishing
+//! copies already-maintained counters (`RunStats`, the forward-progress
+//! monitor, core clocks) into relaxed atomics. It draws no randomness,
+//! advances no clock, and never influences scheduling, so an attached
+//! probe cannot perturb a run — `tests/serve_golden.rs` pins a probed
+//! run's stats digest against an unprobed one.
+
+use asf_core::progress::ProgressMonitor;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Scheduler steps between two probe refreshes. A power of two so the
+/// in-loop gate is one mask + compare.
+pub const PUBLISH_EVERY_STEPS: u64 = 1024;
+
+/// Shared snapshot of a simulation's progress. All loads/stores are
+/// `Relaxed`: readers want a recent, internally *approximate* picture
+/// (fields may straddle two publishes), never synchronisation.
+#[derive(Debug, Default)]
+pub struct ProgressProbe {
+    /// Scheduler steps executed.
+    steps: AtomicU64,
+    /// Max core clock at the last publish — simulated cycles so far.
+    cycles: AtomicU64,
+    /// Distinct transactions begun.
+    tx_started: AtomicU64,
+    /// Committed transactions.
+    tx_committed: AtomicU64,
+    /// Aborted attempts.
+    tx_aborted: AtomicU64,
+    /// Longest abort streak any core is currently in (the forward-progress
+    /// monitor's starvation signal).
+    worst_streak: AtomicU64,
+    /// The run finished (successfully or not) and published its final state.
+    done: AtomicBool,
+}
+
+/// One coherent-enough read of a [`ProgressProbe`] (plain data, JSON-able
+/// by the serve layer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Scheduler steps executed.
+    pub steps: u64,
+    /// Simulated cycles (max core clock) at the last publish.
+    pub cycles: u64,
+    /// Distinct transactions begun.
+    pub tx_started: u64,
+    /// Committed transactions.
+    pub tx_committed: u64,
+    /// Aborted attempts.
+    pub tx_aborted: u64,
+    /// Longest current per-core abort streak.
+    pub worst_streak: u64,
+    /// The run has finished.
+    pub done: bool,
+}
+
+impl ProgressProbe {
+    /// A fresh all-zero probe.
+    pub fn new() -> ProgressProbe {
+        ProgressProbe::default()
+    }
+
+    /// Publish one refresh. Called by the owning machine; `monitor` feeds
+    /// the starvation signal.
+    pub fn publish(
+        &self,
+        steps: u64,
+        cycles: u64,
+        tx_started: u64,
+        tx_committed: u64,
+        tx_aborted: u64,
+        monitor: &ProgressMonitor,
+    ) {
+        let worst = (0..monitor.len())
+            .map(|i| monitor.core(i).streak as u64)
+            .max()
+            .unwrap_or(0);
+        self.steps.store(steps, Ordering::Relaxed);
+        self.cycles.store(cycles, Ordering::Relaxed);
+        self.tx_started.store(tx_started, Ordering::Relaxed);
+        self.tx_committed.store(tx_committed, Ordering::Relaxed);
+        self.tx_aborted.store(tx_aborted, Ordering::Relaxed);
+        self.worst_streak.store(worst, Ordering::Relaxed);
+    }
+
+    /// Mark the run finished (after a final [`ProgressProbe::publish`]).
+    pub fn finish(&self) {
+        self.done.store(true, Ordering::Relaxed);
+    }
+
+    /// Read the current snapshot.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            steps: self.steps.load(Ordering::Relaxed),
+            cycles: self.cycles.load(Ordering::Relaxed),
+            tx_started: self.tx_started.load(Ordering::Relaxed),
+            tx_committed: self.tx_committed.load(Ordering::Relaxed),
+            tx_aborted: self.tx_aborted.load(Ordering::Relaxed),
+            worst_streak: self.worst_streak.load(Ordering::Relaxed),
+            done: self.done.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ProgressSnapshot {
+    /// Serialise as one JSON object (the serve status endpoint's
+    /// `progress` field).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"steps\": {}, \"cycles\": {}, \"tx_started\": {}, \
+             \"tx_committed\": {}, \"tx_aborted\": {}, \"worst_streak\": {}, \
+             \"done\": {}}}",
+            self.steps,
+            self.cycles,
+            self.tx_started,
+            self.tx_committed,
+            self.tx_aborted,
+            self.worst_streak,
+            self.done
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_snapshot_roundtrips() {
+        let probe = ProgressProbe::new();
+        let mut mon = ProgressMonitor::new(2);
+        mon.note_attempt(1);
+        mon.note_abort(1);
+        mon.note_abort(1);
+        probe.publish(2048, 99_000, 12, 10, 2, &mon);
+        let s = probe.snapshot();
+        assert_eq!(s.steps, 2048);
+        assert_eq!(s.cycles, 99_000);
+        assert_eq!(s.tx_started, 12);
+        assert_eq!(s.tx_committed, 10);
+        assert_eq!(s.tx_aborted, 2);
+        assert_eq!(s.worst_streak, 2);
+        assert!(!s.done);
+        probe.finish();
+        assert!(probe.snapshot().done);
+        let json = probe.snapshot().to_json();
+        assert!(json.contains("\"tx_committed\": 10"), "{json}");
+        assert!(json.contains("\"done\": true"), "{json}");
+    }
+}

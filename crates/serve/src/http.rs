@@ -1,0 +1,216 @@
+//! Minimal HTTP/1.1 framing over `std::net` — just enough protocol for the
+//! serve API and its in-process load-test clients: request-line plus
+//! headers plus `Content-Length` bodies, keep-alive connections, and
+//! fixed-size responses. Deliberately tokio-free (the vendored offline
+//! build carries no async runtime); concurrency comes from one thread per
+//! connection and the bounded worker pool behind the API.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body (job specs are tiny; anything big is
+/// hostile or broken).
+pub const MAX_BODY: usize = 1 << 20;
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Method verb (`GET`, `POST`, …), uppercased by the client.
+    pub method: String,
+    /// Request path (no scheme/host; query strings are kept verbatim).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Read one request off a keep-alive connection. `Ok(None)` = clean EOF
+/// (client closed between requests); `Err` = malformed traffic or I/O
+/// failure, after which the connection should be dropped.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed request line {line:?}"),
+            ))
+        }
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(None); // EOF mid-headers: treat as a closed client
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("bad content-length {value:?}"),
+                    )
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("body of {content_length} bytes exceeds the {MAX_BODY}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { method, path, body }))
+}
+
+/// Write one response. `extra_headers` are appended verbatim (the queue
+/// depth and cache-status headers); the body is always JSON here.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    // One write for head + body: two small writes on a Nagle-enabled
+    // socket cost a delayed-ACK round trip (~40ms) per response, which
+    // would bury the cache's microsecond hot path.
+    head.push_str(body);
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// One parsed response (client side).
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Response headers, lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Header lookup (names stored lowercased).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == &name.to_ascii_lowercase())
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy — diagnostics only go through this).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive client connection (the load-test clients and the smoke
+/// check both drive the server through this).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:4157`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Issue one request and read the full response.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<Response> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: asf-serve\r\n");
+        if !body.is_empty() || method == "POST" {
+            head.push_str(&format!("content-length: {}\r\n", body.len()));
+        }
+        head.push_str("\r\n");
+        head.push_str(body); // one write — see write_response on Nagle
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Convenience: `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
+        self.request("GET", path, "")
+    }
+
+    /// Convenience: `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<Response> {
+        self.request("POST", path, body)
+    }
+
+    fn read_response(&mut self) -> std::io::Result<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before status line",
+            ));
+        }
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed status line {line:?}"),
+                )
+            })?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header)?;
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().unwrap_or(0);
+                }
+                headers.push((name, value));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(Response { status, headers, body })
+    }
+}

@@ -1,0 +1,32 @@
+//! `asf-serve` — a content-addressed simulation service.
+//!
+//! The simulator is deterministic: a job spec (benchmark, detector, scale,
+//! seed, fault profile, observe flag) *uniquely determines* its result.
+//! That makes every completed run a memoizable artifact, and this crate
+//! turns the repository into a long-running HTTP/JSON service built on
+//! that observation:
+//!
+//! - [`spec`] — canonical job specs and their content digests,
+//! - [`cache`] — an O(1) LRU over digests with a crash-safe disk store and
+//!   single-flight coalescing of concurrent identical computations,
+//! - [`pool`] — a bounded worker pool with immediate-reject admission
+//!   control (HTTP 429),
+//! - [`runner`] — spec → `Machine::run` → byte-deterministic result body,
+//! - [`http`] — tokio-free HTTP/1.1 framing over `std::net`,
+//! - [`server`] — the endpoint surface gluing the above together,
+//! - [`loadtest`] — an in-process many-client hammer measuring hit rate
+//!   and latency percentiles, plus the CI smoke check.
+//!
+//! Everything here is std-only: the offline build vendors no async
+//! runtime, so concurrency is threads + condvars end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod loadtest;
+pub mod pool;
+pub mod runner;
+pub mod server;
+pub mod spec;

@@ -1,0 +1,177 @@
+//! Bounded worker pool with FIFO admission control.
+//!
+//! "On the Cost of Concurrency in Transactional Memory"'s lesson applies
+//! to the serving layer itself: admitting unbounded concurrent simulations
+//! degrades everyone. The pool therefore runs a fixed number of worker
+//! threads over one FIFO queue with a hard depth bound — a submission
+//! against a full queue is *rejected immediately* ([`PoolFull`], surfaced
+//! as HTTP 429 with the current depth in a header) instead of piling up
+//! latency for every queued client.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Rejection: the queue was at capacity. Carries the depth observed at
+/// rejection time (== capacity) for the `x-asf-queue-depth` header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolFull(pub usize);
+
+struct State {
+    queue: VecDeque<Job>,
+    open: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+/// Fixed-size worker pool over a bounded FIFO queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Start `workers` threads serving a queue bounded at `capacity`
+    /// pending jobs (jobs being executed do not count against the bound).
+    pub fn new(workers: usize, capacity: usize) -> WorkerPool {
+        assert!(workers >= 1, "need at least one worker");
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), open: true }),
+            cv: Condvar::new(),
+            capacity,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("asf-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Enqueue a job. `Ok(depth)` is the queue depth right after the
+    /// enqueue; `Err(PoolFull)` rejects without blocking when the queue is
+    /// at capacity or the pool is shutting down.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<usize, PoolFull> {
+        let mut state = self.shared.state.lock().unwrap();
+        if !state.open || state.queue.len() >= self.shared.capacity {
+            return Err(PoolFull(state.queue.len()));
+        }
+        state.queue.push_back(Box::new(job));
+        let depth = state.queue.len();
+        drop(state);
+        self.shared.cv.notify_one();
+        Ok(depth)
+    }
+
+    /// Pending (not yet started) jobs.
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// The queue's depth bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Stop accepting work, drain the queue, and join every worker.
+    pub fn shutdown(mut self) {
+        self.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn close(&self) {
+        self.shared.state.lock().unwrap().open = false;
+        self.shared.cv.notify_all();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Dropping without an explicit shutdown still stops the workers;
+        // queued-but-unstarted jobs are executed first (drain semantics).
+        self.close();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if !state.open {
+                    return;
+                }
+                state = shared.cv.wait(state).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_submitted_jobs_and_drains_on_shutdown() {
+        let pool = WorkerPool::new(2, 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let pool = WorkerPool::new(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // Block the single worker so the queue actually fills.
+        let g = Arc::clone(&gate);
+        pool.submit(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .unwrap();
+        // Wait until the worker has dequeued the blocker.
+        while pool.depth() > 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.submit(|| {}), Ok(1));
+        assert_eq!(pool.submit(|| {}), Ok(2));
+        assert_eq!(pool.submit(|| {}), Err(PoolFull(2)));
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,543 @@
+//! The `asf-serve` service: HTTP/JSON API over the bounded pool and the
+//! content-addressed cache.
+//!
+//! ## Endpoints
+//!
+//! | Method | Path                  | Purpose                                   |
+//! |--------|-----------------------|-------------------------------------------|
+//! | GET    | `/v1/healthz`         | liveness                                  |
+//! | POST   | `/v1/jobs`            | submit a job spec (429 + depth when full) |
+//! | GET    | `/v1/jobs/:id`        | status + progress snapshot                |
+//! | GET    | `/v1/jobs/:id/result` | the `asf-serve-v1` artifact (202 pending) |
+//! | GET    | `/v1/jobs/:id/metrics`| `asf-obs-v1` snapshot (observed jobs)     |
+//! | GET    | `/v1/jobs/:id/trace`  | Chrome trace JSON (observed jobs)         |
+//! | GET    | `/v1/cache/stats`     | cache + admission counters                |
+//! | POST   | `/v1/shutdown`        | stop accepting, drain, exit               |
+//!
+//! A job's id **is** its spec digest (16 hex digits): submitting is
+//! idempotent, a repeat submission of a completed spec answers `cached`
+//! in O(1), and concurrent identical submissions — whether they race
+//! through the queue or arrive while one is running — coalesce onto a
+//! single computation (`ResultCache::get_or_compute`'s single-flight).
+
+use crate::cache::{CacheConfig, ResultCache};
+use crate::http::{read_request, write_response, Request};
+use crate::pool::WorkerPool;
+use crate::runner::run_spec;
+use crate::spec::{parse_digest_hex, JobSpec};
+use asf_machine::snapshot::ProgressProbe;
+use asf_mem::fxhash::FxHashMap;
+use asf_stats::json::escape;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Bind address; port 0 picks an ephemeral port (the smoke/loadtest
+    /// default).
+    pub addr: String,
+    /// Worker threads executing simulations.
+    pub workers: usize,
+    /// Pending-job bound; submissions beyond it get 429.
+    pub queue_capacity: usize,
+    /// In-memory result-cache entries.
+    pub cache_capacity: usize,
+    /// Persistent store directory (`None` = memory only).
+    pub disk_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            addr: "127.0.0.1:0".to_string(),
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4),
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            disk_dir: None,
+        }
+    }
+}
+
+/// Lifecycle of one registered job.
+#[derive(Clone, Debug)]
+enum JobPhase {
+    Queued,
+    Running,
+    Done,
+    Failed(String),
+}
+
+impl JobPhase {
+    fn label(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed(_) => "failed",
+        }
+    }
+}
+
+struct JobEntry {
+    spec: JobSpec,
+    phase: Mutex<JobPhase>,
+    probe: Arc<ProgressProbe>,
+}
+
+/// Shared service state (cache, registry, pool, counters). Exposed so the
+/// in-process load test can read counters without a round-trip.
+pub struct ServeState {
+    /// The content-addressed result cache.
+    pub cache: ResultCache,
+    jobs: Mutex<FxHashMap<u64, Arc<JobEntry>>>,
+    pool: WorkerPool,
+    /// Total submissions accepted (cached answers included).
+    pub jobs_submitted: AtomicU64,
+    /// Submissions answered `cached` straight from the store.
+    pub submit_cache_hits: AtomicU64,
+    /// Submissions coalesced onto an already queued/running identical job.
+    pub submit_coalesced: AtomicU64,
+    /// Submissions rejected with 429 (queue at capacity).
+    pub jobs_rejected: AtomicU64,
+    /// Jobs that completed successfully.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that failed (watchdog etc.).
+    pub jobs_failed: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+impl ServeState {
+    /// Current pending-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.depth()
+    }
+
+    /// The `GET /v1/cache/stats` document.
+    pub fn stats_json(&self) -> String {
+        format!(
+            "{{\n  \"cache\": {},\n  \"entries\": {},\n  \"capacity\": {},\n  \
+             \"queue_depth\": {},\n  \"queue_capacity\": {},\n  \
+             \"jobs_submitted\": {},\n  \"submit_cache_hits\": {},\n  \
+             \"submit_coalesced\": {},\n  \"jobs_rejected\": {},\n  \
+             \"jobs_completed\": {},\n  \"jobs_failed\": {}\n}}\n",
+            self.cache.counters.to_json(),
+            self.cache.len(),
+            self.cache.capacity(),
+            self.queue_depth(),
+            self.pool.capacity(),
+            self.jobs_submitted.load(Ordering::Relaxed),
+            self.submit_cache_hits.load(Ordering::Relaxed),
+            self.submit_coalesced.load(Ordering::Relaxed),
+            self.jobs_rejected.load(Ordering::Relaxed),
+            self.jobs_completed.load(Ordering::Relaxed),
+            self.jobs_failed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A running server. Dropping (or [`Server::shutdown`]) stops the accept
+/// loop and drains the worker pool.
+pub struct Server {
+    state: Arc<ServeState>,
+    port: u16,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, start the accept loop and the worker pool.
+    pub fn start(opts: ServeOpts) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let port = listener.local_addr()?.port();
+        let state = Arc::new(ServeState {
+            cache: ResultCache::new(CacheConfig {
+                capacity: opts.cache_capacity,
+                disk_dir: opts.disk_dir.clone(),
+            })?,
+            jobs: Mutex::new(FxHashMap::default()),
+            pool: WorkerPool::new(opts.workers, opts.queue_capacity),
+            jobs_submitted: AtomicU64::new(0),
+            submit_cache_hits: AtomicU64::new(0),
+            submit_coalesced: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("asf-serve-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_state.shutting_down.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_nodelay(true);
+                    let conn_state = Arc::clone(&accept_state);
+                    let _ = std::thread::Builder::new()
+                        .name("asf-serve-conn".to_string())
+                        .spawn(move || handle_connection(stream, &conn_state));
+                }
+            })
+            .expect("spawn accept loop");
+        Ok(Server { state, port, accept: Some(accept) })
+    }
+
+    /// The bound port (useful with an ephemeral bind).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// `host:port` of the listener.
+    pub fn addr(&self) -> String {
+        format!("127.0.0.1:{}", self.port)
+    }
+
+    /// The shared service state (counters, cache) for in-process callers.
+    pub fn state(&self) -> Arc<ServeState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Block until the accept loop exits on its own — i.e. until some
+    /// client issues `POST /v1/shutdown`. The foreground `asf-repro serve`
+    /// command parks here.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stop accepting connections and join the accept loop. Worker threads
+    /// drain their queue when the last state reference drops.
+    pub fn shutdown(mut self) {
+        self.signal_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn signal_shutdown(&self) {
+        self.state.shutting_down.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with one throwaway connection. Always
+        // attempted (not just on the first signal): the HTTP shutdown
+        // endpoint may have set the flag without waking the listener, and
+        // a connect against an already-dead listener is harmless.
+        let _ = TcpStream::connect(("127.0.0.1", self.port));
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.signal_shutdown();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServeState>) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    while let Ok(Some(req)) = read_request(&mut reader) {
+        let keep_going = respond(&mut write_half, &req, state);
+        if !keep_going || state.shutting_down.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+}
+
+/// Route one request; returns `false` when the connection should close.
+fn respond(stream: &mut TcpStream, req: &Request, state: &Arc<ServeState>) -> bool {
+    let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
+    let outcome = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => {
+            write_response(stream, 200, &[], "{\"ok\": true}\n")
+        }
+        ("POST", ["v1", "jobs"]) => handle_submit(stream, req, state),
+        ("GET", ["v1", "jobs", id]) => handle_status(stream, id, state),
+        ("GET", ["v1", "jobs", id, "result"]) => handle_result(stream, id, state),
+        ("GET", ["v1", "jobs", id, artifact @ ("metrics" | "trace")]) => {
+            handle_artifact(stream, id, artifact, state)
+        }
+        ("GET", ["v1", "cache", "stats"]) => {
+            write_response(stream, 200, &[], &state.stats_json())
+        }
+        ("POST", ["v1", "shutdown"]) => {
+            let r = write_response(stream, 200, &[], "{\"shutting_down\": true}\n");
+            state.shutting_down.store(true, Ordering::Relaxed);
+            // Wake the accept loop so it observes the flag even when no
+            // further client ever connects.
+            if let Ok(addr) = stream.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            let _ = r;
+            return false;
+        }
+        (_, ["v1", ..]) => write_response(
+            stream,
+            405,
+            &[],
+            "{\"error\": \"method not allowed\"}\n",
+        ),
+        _ => write_response(stream, 404, &[], "{\"error\": \"no such endpoint\"}\n"),
+    };
+    outcome.is_ok()
+}
+
+fn depth_header(state: &ServeState) -> (&'static str, String) {
+    ("x-asf-queue-depth", state.queue_depth().to_string())
+}
+
+fn submit_reply(id: &str, status: &str, depth: usize) -> String {
+    format!("{{\"job\": \"{id}\", \"status\": \"{status}\", \"queue_depth\": {depth}}}\n")
+}
+
+fn handle_submit(
+    stream: &mut TcpStream,
+    req: &Request,
+    state: &Arc<ServeState>,
+) -> std::io::Result<()> {
+    let body = String::from_utf8_lossy(&req.body);
+    let spec = match JobSpec::from_json(&body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return write_response(
+                stream,
+                400,
+                &[depth_header(state)],
+                &format!("{{\"error\": {}}}\n", escape(&e)),
+            )
+        }
+    };
+    let digest = spec.digest();
+    let id = spec.digest_hex();
+    state.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    // O(1) memoized repeat: answer straight from the store.
+    if state.cache.lookup(digest).is_some() {
+        state.submit_cache_hits.fetch_add(1, Ordering::Relaxed);
+        mark_done_entry(state, digest, &spec);
+        return write_response(
+            stream,
+            200,
+            &[depth_header(state), ("x-asf-cache", "hit".to_string())],
+            &submit_reply(&id, "cached", state.queue_depth()),
+        );
+    }
+    // Coalesce onto an identical queued/running job.
+    {
+        let jobs = state.jobs.lock().unwrap();
+        if let Some(entry) = jobs.get(&digest) {
+            let phase = entry.phase.lock().unwrap().clone();
+            if matches!(phase, JobPhase::Queued | JobPhase::Running) {
+                state.submit_coalesced.fetch_add(1, Ordering::Relaxed);
+                state.cache.counters.flight_joins.fetch_add(1, Ordering::Relaxed);
+                return write_response(
+                    stream,
+                    200,
+                    &[depth_header(state), ("x-asf-cache", "join".to_string())],
+                    &submit_reply(&id, phase.label(), state.queue_depth()),
+                );
+            }
+        }
+    }
+    // Admission control: reject instead of queueing unboundedly.
+    let entry = Arc::new(JobEntry {
+        spec: spec.clone(),
+        phase: Mutex::new(JobPhase::Queued),
+        probe: Arc::new(ProgressProbe::new()),
+    });
+    let job_state = Arc::clone(state);
+    let job_entry = Arc::clone(&entry);
+    let submit = state.pool.submit(move || execute_job(&job_state, &job_entry));
+    match submit {
+        Ok(depth) => {
+            state.jobs.lock().unwrap().insert(digest, entry);
+            write_response(
+                stream,
+                200,
+                &[depth_header(state), ("x-asf-cache", "miss".to_string())],
+                &submit_reply(&id, "queued", depth),
+            )
+        }
+        Err(full) => {
+            state.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            write_response(
+                stream,
+                429,
+                &[("x-asf-queue-depth", full.0.to_string())],
+                &format!(
+                    "{{\"error\": \"queue full\", \"queue_depth\": {}, \
+                     \"queue_capacity\": {}}}\n",
+                    full.0,
+                    state.pool.capacity()
+                ),
+            )
+        }
+    }
+}
+
+/// Register (or update) a registry entry for a spec already answered from
+/// the cache, so the status endpoint reports `done` for it.
+fn mark_done_entry(state: &ServeState, digest: u64, spec: &JobSpec) {
+    let mut jobs = state.jobs.lock().unwrap();
+    let entry = jobs.entry(digest).or_insert_with(|| {
+        Arc::new(JobEntry {
+            spec: spec.clone(),
+            phase: Mutex::new(JobPhase::Done),
+            probe: Arc::new(ProgressProbe::new()),
+        })
+    });
+    *entry.phase.lock().unwrap() = JobPhase::Done;
+}
+
+/// Worker-side execution: run (or join) the computation, then publish the
+/// phase transition.
+fn execute_job(state: &Arc<ServeState>, entry: &Arc<JobEntry>) {
+    *entry.phase.lock().unwrap() = JobPhase::Running;
+    let probe = Arc::clone(&entry.probe);
+    let spec = entry.spec.clone();
+    let result = state
+        .cache
+        .get_or_compute(entry.spec.digest(), move || run_spec(&spec, Some(probe)));
+    match result {
+        Ok(_) => {
+            state.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            *entry.phase.lock().unwrap() = JobPhase::Done;
+        }
+        Err(e) => {
+            state.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            *entry.phase.lock().unwrap() = JobPhase::Failed(e);
+        }
+    }
+}
+
+fn lookup_entry(state: &ServeState, id: &str) -> Result<(u64, Option<Arc<JobEntry>>), String> {
+    let digest = parse_digest_hex(id)?;
+    let entry = state.jobs.lock().unwrap().get(&digest).cloned();
+    Ok((digest, entry))
+}
+
+fn handle_status(
+    stream: &mut TcpStream,
+    id: &str,
+    state: &Arc<ServeState>,
+) -> std::io::Result<()> {
+    let (digest, entry) = match lookup_entry(state, id) {
+        Ok(pair) => pair,
+        Err(e) => {
+            return write_response(stream, 400, &[], &format!("{{\"error\": {}}}\n", escape(&e)))
+        }
+    };
+    if let Some(entry) = entry {
+        let phase = entry.phase.lock().unwrap().clone();
+        let error = match &phase {
+            JobPhase::Failed(e) => format!(", \"error\": {}", escape(e)),
+            _ => String::new(),
+        };
+        let body = format!(
+            "{{\"job\": \"{id}\", \"status\": \"{}\", \"spec\": {}, \
+             \"progress\": {}{error}, \"queue_depth\": {}}}\n",
+            phase.label(),
+            entry.spec.canonical(),
+            entry.probe.snapshot().to_json(),
+            state.queue_depth(),
+        );
+        return write_response(stream, 200, &[depth_header(state)], &body);
+    }
+    // Not registered this lifetime — the disk store may still answer.
+    if state.cache.lookup(digest).is_some() {
+        return write_response(
+            stream,
+            200,
+            &[depth_header(state)],
+            &format!("{{\"job\": \"{id}\", \"status\": \"cached\"}}\n"),
+        );
+    }
+    write_response(stream, 404, &[], "{\"error\": \"unknown job\"}\n")
+}
+
+fn handle_result(
+    stream: &mut TcpStream,
+    id: &str,
+    state: &Arc<ServeState>,
+) -> std::io::Result<()> {
+    let (digest, entry) = match lookup_entry(state, id) {
+        Ok(pair) => pair,
+        Err(e) => {
+            return write_response(stream, 400, &[], &format!("{{\"error\": {}}}\n", escape(&e)))
+        }
+    };
+    // Pending phases answer 202 without charging the cache a miss.
+    if let Some(entry) = &entry {
+        let phase = entry.phase.lock().unwrap().clone();
+        match phase {
+            JobPhase::Queued | JobPhase::Running => {
+                return write_response(
+                    stream,
+                    202,
+                    &[depth_header(state)],
+                    &format!("{{\"job\": \"{id}\", \"status\": \"{}\"}}\n", phase.label()),
+                );
+            }
+            JobPhase::Failed(e) => {
+                return write_response(
+                    stream,
+                    500,
+                    &[],
+                    &format!(
+                        "{{\"job\": \"{id}\", \"status\": \"failed\", \"error\": {}}}\n",
+                        escape(&e)
+                    ),
+                );
+            }
+            JobPhase::Done => {}
+        }
+    }
+    match state.cache.lookup(digest) {
+        Some(hit) => write_response(
+            stream,
+            200,
+            &[("x-asf-cache", "hit".to_string())],
+            &hit.body,
+        ),
+        None if entry.is_some() => {
+            // Done in the registry but evicted from memory *and* disk
+            // (memory-only deployments): recompute on resubmission.
+            write_response(stream, 404, &[], "{\"error\": \"result evicted; resubmit\"}\n")
+        }
+        None => write_response(stream, 404, &[], "{\"error\": \"unknown job\"}\n"),
+    }
+}
+
+fn handle_artifact(
+    stream: &mut TcpStream,
+    id: &str,
+    artifact: &str,
+    state: &Arc<ServeState>,
+) -> std::io::Result<()> {
+    let (digest, _) = match lookup_entry(state, id) {
+        Ok(pair) => pair,
+        Err(e) => {
+            return write_response(stream, 400, &[], &format!("{{\"error\": {}}}\n", escape(&e)))
+        }
+    };
+    let Some(hit) = state.cache.lookup(digest) else {
+        return write_response(stream, 404, &[], "{\"error\": \"unknown or pending job\"}\n");
+    };
+    let payload = if artifact == "metrics" { &hit.metrics } else { &hit.trace };
+    match payload {
+        Some(text) => write_response(stream, 200, &[], text),
+        None => write_response(
+            stream,
+            404,
+            &[],
+            "{\"error\": \"job was not submitted with observe: true\"}\n",
+        ),
+    }
+}

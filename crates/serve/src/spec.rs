@@ -1,0 +1,260 @@
+//! Job specifications and their canonical, digestable form.
+//!
+//! A [`JobSpec`] names one deterministic simulation — benchmark, detector,
+//! scale, seed, fault profile, observability — which makes its result
+//! *content-addressable*: [`JobSpec::canonical`] renders the spec with a
+//! fixed field order and formatting, [`JobSpec::digest`] is the FNV-1a of
+//! those bytes, and two submissions whose JSON bodies differ only in field
+//! order (or in omitted-but-defaulted fields) land on the same digest and
+//! therefore the same cache entry. The proptest suite in
+//! `crates/serve/tests/cache.rs` pins this reordering invariance.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::fault::FaultPlan;
+use asf_stats::digest::bytes_digest;
+use asf_stats::json::{parse, JsonValue};
+use asf_workloads::Scale;
+
+/// One simulation job, fully determining its result.
+#[derive(Clone, PartialEq, Debug)]
+pub struct JobSpec {
+    /// Benchmark name (one of the paper's ten kernels).
+    pub bench: String,
+    /// Conflict detector under test.
+    pub detector: DetectorKind,
+    /// Input scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Named fault-injection profile: `none`, `light`, `heavy` or
+    /// `max_spurious` (the presets of [`FaultPlan`]).
+    pub faults: String,
+    /// Also produce the PR-5 observability artifacts (metrics snapshot +
+    /// Chrome trace) alongside the result.
+    pub observe: bool,
+}
+
+/// Parse a detector label (`baseline`, `perfect`, `sb<N>`).
+pub fn detector_from_label(label: &str) -> Result<DetectorKind, String> {
+    match label {
+        "baseline" => Ok(DetectorKind::Baseline),
+        "perfect" => Ok(DetectorKind::Perfect),
+        _ => {
+            let n: usize = label
+                .strip_prefix("sb")
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| format!("unknown detector {label:?}"))?;
+            DetectorKind::SubBlock(n).validate()
+        }
+    }
+}
+
+/// Parse a scale label (`small`, `standard`, `large`, `huge`).
+pub fn scale_from_label(label: &str) -> Result<Scale, String> {
+    match label {
+        "small" => Ok(Scale::Small),
+        "standard" => Ok(Scale::Standard),
+        "large" => Ok(Scale::Large),
+        "huge" => Ok(Scale::Huge),
+        other => Err(format!("unknown scale {other:?}")),
+    }
+}
+
+/// Render a scale as its label.
+pub fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Small => "small",
+        Scale::Standard => "standard",
+        Scale::Large => "large",
+        Scale::Huge => "huge",
+    }
+}
+
+/// The named fault profiles a spec may select.
+pub const FAULT_PROFILES: &[&str] = &["none", "light", "heavy", "max_spurious"];
+
+impl JobSpec {
+    /// A standard-profile spec: no faults, no observability artifacts.
+    pub fn new(bench: &str, detector: DetectorKind, scale: Scale, seed: u64) -> JobSpec {
+        JobSpec {
+            bench: bench.to_string(),
+            detector,
+            scale,
+            seed,
+            faults: "none".to_string(),
+            observe: false,
+        }
+    }
+
+    /// Parse a submission body. Field order is free; `bench`, `detector`
+    /// and `seed` are required; `scale` defaults to `standard`, `faults`
+    /// to `none`, `observe` to `false`. Unknown fields are an error — a
+    /// field the canonicalizer does not render must not be able to smuggle
+    /// meaning past the content address.
+    pub fn from_json(src: &str) -> Result<JobSpec, String> {
+        let root = parse(src)?;
+        let JsonValue::Obj(pairs) = &root else {
+            return Err("job spec must be a JSON object".to_string());
+        };
+        for (key, _) in pairs {
+            if !matches!(
+                key.as_str(),
+                "bench" | "detector" | "scale" | "seed" | "faults" | "observe"
+            ) {
+                return Err(format!("unknown job-spec field {key:?}"));
+            }
+        }
+        let bench = root.field("bench")?.as_str()?.to_string();
+        let detector = detector_from_label(root.field("detector")?.as_str()?)?;
+        let seed = root.field("seed")?.as_u64()?;
+        let scale = match root.get("scale") {
+            Some(v) => scale_from_label(v.as_str()?)?,
+            None => Scale::Standard,
+        };
+        let faults = match root.get("faults") {
+            Some(v) => v.as_str()?.to_string(),
+            None => "none".to_string(),
+        };
+        if !FAULT_PROFILES.contains(&faults.as_str()) {
+            return Err(format!(
+                "unknown fault profile {faults:?} (expected one of {FAULT_PROFILES:?})"
+            ));
+        }
+        let observe = match root.get("observe") {
+            Some(JsonValue::Bool(b)) => *b,
+            Some(other) => return Err(format!("observe must be a boolean, got {other:?}")),
+            None => false,
+        };
+        let spec = JobSpec { bench, detector, scale, seed, faults, observe };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Reject specs naming benchmarks outside the suite.
+    pub fn validate(&self) -> Result<(), String> {
+        if asf_workloads::by_name(&self.bench, self.scale).is_none() {
+            return Err(format!("unknown benchmark {:?}", self.bench));
+        }
+        Ok(())
+    }
+
+    /// Canonical serialisation: fixed field order (alphabetical), fixed
+    /// formatting, every field rendered including defaults. Equal specs —
+    /// however their submission bodies were spelled — produce equal bytes.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{{\"bench\": \"{}\", \"detector\": \"{}\", \"faults\": \"{}\", \
+             \"observe\": {}, \"scale\": \"{}\", \"seed\": {}}}",
+            self.bench,
+            self.detector.label(),
+            self.faults,
+            self.observe,
+            scale_label(self.scale),
+            self.seed
+        )
+    }
+
+    /// The spec's content address: FNV-1a of [`JobSpec::canonical`].
+    pub fn digest(&self) -> u64 {
+        bytes_digest(self.canonical().as_bytes())
+    }
+
+    /// The digest in the form the HTTP API uses as a job id.
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
+
+    /// The fault plan the named profile stands for.
+    pub fn fault_plan(&self) -> FaultPlan {
+        match self.faults.as_str() {
+            "light" => FaultPlan::light(),
+            "heavy" => FaultPlan::heavy(),
+            "max_spurious" => FaultPlan::max_spurious(),
+            _ => FaultPlan::none(),
+        }
+    }
+}
+
+/// Parse a 16-hex-digit job id back into a digest.
+pub fn parse_digest_hex(id: &str) -> Result<u64, String> {
+    if id.len() != 16 {
+        return Err(format!("job id must be 16 hex digits, got {id:?}"));
+    }
+    u64::from_str_radix(id, 16).map_err(|e| format!("bad job id {id:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_canonicalize() {
+        let spec = JobSpec::from_json(
+            r#"{"seed": 7, "bench": "ssca2", "detector": "sb4"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.detector, DetectorKind::SubBlock(4));
+        assert_eq!(spec.scale, Scale::Standard);
+        assert_eq!(
+            spec.canonical(),
+            "{\"bench\": \"ssca2\", \"detector\": \"sb4\", \"faults\": \"none\", \
+             \"observe\": false, \"scale\": \"standard\", \"seed\": 7}"
+        );
+        // The canonical form re-parses to the same spec and digest.
+        let reparsed = JobSpec::from_json(&spec.canonical()).unwrap();
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.digest(), spec.digest());
+    }
+
+    #[test]
+    fn field_order_and_defaults_do_not_change_the_digest() {
+        let a = JobSpec::from_json(
+            r#"{"bench": "vacation", "detector": "baseline", "seed": 3}"#,
+        )
+        .unwrap();
+        let b = JobSpec::from_json(
+            r#"{"seed": 3, "scale": "standard", "observe": false,
+                "detector": "baseline", "faults": "none", "bench": "vacation"}"#,
+        )
+        .unwrap();
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn distinct_specs_have_distinct_digests() {
+        let base = JobSpec::new("ssca2", DetectorKind::SubBlock(4), Scale::Small, 1);
+        let mut seed = base.clone();
+        seed.seed = 2;
+        let mut det = base.clone();
+        det.detector = DetectorKind::SubBlock(8);
+        let mut obs = base.clone();
+        obs.observe = true;
+        let digests = [base.digest(), seed.digest(), det.digest(), obs.digest()];
+        for (i, a) in digests.iter().enumerate() {
+            for b in &digests[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for (body, what) in [
+            (r#"{"bench": "nope", "detector": "sb4", "seed": 1}"#, "unknown benchmark"),
+            (r#"{"bench": "ssca2", "detector": "sb3", "seed": 1}"#, "bad sub-block count"),
+            (r#"{"bench": "ssca2", "detector": "sb4"}"#, "missing seed"),
+            (r#"{"bench": "ssca2", "detector": "sb4", "seed": 1, "extra": 1}"#, "unknown field"),
+            (r#"{"bench": "ssca2", "detector": "sb4", "seed": 1, "faults": "odd"}"#, "bad profile"),
+            (r#"[1]"#, "not an object"),
+        ] {
+            assert!(JobSpec::from_json(body).is_err(), "{what} accepted: {body}");
+        }
+    }
+
+    #[test]
+    fn digest_hex_roundtrips() {
+        let spec = JobSpec::new("kmeans", DetectorKind::Perfect, Scale::Small, 9);
+        assert_eq!(parse_digest_hex(&spec.digest_hex()).unwrap(), spec.digest());
+        assert!(parse_digest_hex("xyz").is_err());
+    }
+}

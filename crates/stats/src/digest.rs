@@ -1,0 +1,152 @@
+//! Content digests: the FNV-1a fold behind the golden-stats fence and the
+//! serve layer's content-addressed result cache.
+//!
+//! Two consumers share this module so they can never drift apart:
+//!
+//! * `tests/golden_stats.rs` pins [`run_stats_digest`] values of a fixed
+//!   cell set — the "bit-identical before/after" bar for perf refactors;
+//! * `asf-serve` keys its result cache by an [`Fnv`] digest of a canonical
+//!   job-spec serialisation, and stamps every served artifact with the
+//!   [`run_stats_digest`] of the stats it carries, so a served result can
+//!   be checked against a direct `Machine::run` of the same spec.
+//!
+//! The fold is plain FNV-1a over little-endian `u64` words. It is not
+//! cryptographic — it only needs to make accidental collisions and silent
+//! drift overwhelmingly unlikely, and to be dependency-free and stable
+//! across platforms.
+
+use crate::run::RunStats;
+
+/// Incremental FNV-1a hasher over bytes and little-endian `u64` words.
+#[derive(Clone, Debug)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    /// Fold raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Fold one `u64` as its eight little-endian bytes.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Fold a string's UTF-8 bytes.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// The digest accumulated so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot digest of a byte string (what the serve cache keys specs by).
+pub fn bytes_digest(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(bytes);
+    h.finish()
+}
+
+/// FNV-1a over a canonical serialisation of every [`RunStats`] field,
+/// including full histogram and time-series contents. Two stats with the
+/// same digest are, for all practical purposes, bit-identical.
+///
+/// The fold order is load-bearing: `tests/golden_stats.rs` pins digests
+/// produced by exactly this sequence, so any edit here is a re-baselining
+/// event, not a refactor.
+pub fn run_stats_digest(s: &RunStats) -> u64 {
+    let mut h = Fnv::new();
+    let mut fold = |v: u64| {
+        h.u64(v);
+    };
+    fold(s.tx_started);
+    fold(s.tx_attempts);
+    fold(s.tx_committed);
+    fold(s.tx_aborted);
+    s.aborts_by_cause.iter().for_each(|&v| fold(v));
+    fold(s.fallback_commits);
+    fold(s.isolation_violations);
+    fold(s.dirty_refetches);
+    fold(s.war_speculations);
+    fold(s.sig_alias_conflicts);
+    fold(s.probes);
+    fold(s.probe_targets);
+    fold(s.l1_hits);
+    fold(s.l1_misses);
+    s.conflicts.true_by_type.iter().for_each(|&v| fold(v));
+    s.conflicts.false_by_type.iter().for_each(|&v| fold(v));
+    // Time series: totals plus the full cumulative curve (order-insensitive
+    // but content-exact — merge order of equal stamps doesn't matter).
+    let horizon = s.cycles;
+    for series in [&s.started_series, &s.false_series] {
+        fold(series.total());
+        fold(series.last_cycle());
+        series.cumulative(horizon.max(1), 64).iter().for_each(|&v| fold(v));
+    }
+    for (line, count) in s.false_by_line.sorted() {
+        fold(line);
+        fold(count);
+    }
+    s.access_offsets.bytes().iter().for_each(|&v| fold(v));
+    fold(s.cycles);
+    fold(s.backoff_cycles);
+    fold(s.max_retries as u64);
+    s.retry_histogram.iter().for_each(|&v| fold(v));
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(Fnv::new().finish(), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(bytes_digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(bytes_digest(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn word_fold_is_byte_fold() {
+        let mut words = Fnv::new();
+        words.u64(0x0102_0304_0506_0708);
+        let mut bytes = Fnv::new();
+        bytes.bytes(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(words.finish(), bytes.finish());
+    }
+
+    #[test]
+    fn run_stats_digest_separates_fields() {
+        let base = RunStats::default();
+        let started = RunStats { tx_started: 1, ..Default::default() };
+        let cycles = RunStats { cycles: 1, ..Default::default() };
+        let d = run_stats_digest(&base);
+        assert_ne!(d, run_stats_digest(&started));
+        assert_ne!(d, run_stats_digest(&cycles));
+        assert_ne!(run_stats_digest(&started), run_stats_digest(&cycles));
+        // Deterministic across calls.
+        assert_eq!(d, run_stats_digest(&RunStats::default()));
+    }
+}

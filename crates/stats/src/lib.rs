@@ -16,6 +16,8 @@
 //!   deterministic fault layer (kept out of the paper's abort taxonomy);
 //! * [`json`] — minimal JSON parse/serialise for crash-safe checkpoints
 //!   (`RunStats` round-trips exactly);
+//! * [`digest`] — the FNV-1a fold shared by the golden-stats fence and the
+//!   serve layer's content-addressed result cache;
 //! * [`metrics`] — observability accumulators: named counters,
 //!   cycle-bucketed interval gauges and a wall-time phase profiler
 //!   (DESIGN.md §13);
@@ -31,6 +33,7 @@
 pub mod chart;
 pub mod chrome;
 pub mod conflict;
+pub mod digest;
 pub mod fault;
 pub mod histogram;
 pub mod json;

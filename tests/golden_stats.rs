@@ -18,53 +18,13 @@ use asf_machine::machine::{AdaptiveConfig, FabricKind, Machine, SimConfig, Signa
 use asf_stats::run::RunStats;
 use asf_workloads::Scale;
 
-/// FNV-1a over a canonical serialisation of every `RunStats` field,
-/// including full histogram and time-series contents. Two stats with the
-/// same digest are, for all practical purposes, bit-identical.
+/// FNV-1a over a canonical serialisation of every `RunStats` field —
+/// [`asf_stats::digest::run_stats_digest`], the exact fold this fence
+/// historically defined inline. It moved into the stats crate so the
+/// serve layer's content-addressed cache stamps results with the *same*
+/// digest this table pins; the constants below did not change.
 fn digest(s: &RunStats) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut fold = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    fold(s.tx_started);
-    fold(s.tx_attempts);
-    fold(s.tx_committed);
-    fold(s.tx_aborted);
-    s.aborts_by_cause.iter().for_each(|&v| fold(v));
-    fold(s.fallback_commits);
-    fold(s.isolation_violations);
-    fold(s.dirty_refetches);
-    fold(s.war_speculations);
-    fold(s.sig_alias_conflicts);
-    fold(s.probes);
-    fold(s.probe_targets);
-    fold(s.l1_hits);
-    fold(s.l1_misses);
-    s.conflicts.true_by_type.iter().for_each(|&v| fold(v));
-    s.conflicts.false_by_type.iter().for_each(|&v| fold(v));
-    // Time series: totals plus the full cumulative curve (order-insensitive
-    // but content-exact — merge order of equal stamps doesn't matter).
-    let horizon = s.cycles;
-    for series in [&s.started_series, &s.false_series] {
-        fold(series.total());
-        fold(series.last_cycle());
-        series.cumulative(horizon.max(1), 64).iter().for_each(|&v| fold(v));
-    }
-    for (line, count) in s.false_by_line.sorted() {
-        fold(line);
-        fold(count);
-    }
-    s.access_offsets.bytes().iter().for_each(|&v| fold(v));
-    fold(s.cycles);
-    fold(s.backoff_cycles);
-    fold(s.max_retries as u64);
-    s.retry_histogram.iter().for_each(|&v| fold(v));
-    h
+    asf_stats::digest::run_stats_digest(s)
 }
 
 /// Key counters kept alongside the digest so a failure names *what* moved

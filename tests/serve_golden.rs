@@ -1,0 +1,74 @@
+//! Golden fence for the serve layer: a result served over HTTP must carry
+//! a stats digest **bit-identical** to a direct `Machine::run` of the same
+//! spec in this process — the serve path (job spec parsing, progress
+//! probe, worker pool, cache round-trip, JSON render and re-parse) may add
+//! zero observable perturbation to the simulation. Because the served run
+//! always attaches a [`asf_machine::snapshot::ProgressProbe`], this is
+//! simultaneously the probe-transparency fence.
+
+use asf_core::detector::DetectorKind;
+use asf_machine::machine::{Machine, SimConfig};
+use asf_serve::http::Client;
+use asf_serve::server::{ServeOpts, Server};
+use asf_serve::spec::JobSpec;
+use asf_stats::digest::run_stats_digest;
+use asf_stats::run::RunStats;
+use asf_workloads::Scale;
+
+/// The fenced cell — same family as `tests/golden_stats.rs` pins.
+const BENCH: &str = "ssca2";
+const SEED: u64 = 0xA5;
+
+/// Direct, serve-free reference run.
+fn direct_digest() -> u64 {
+    let workload = asf_workloads::by_name(BENCH, Scale::Small).expect("known bench");
+    let cfg = SimConfig::paper_seeded(DetectorKind::SubBlock(4), SEED);
+    let out = Machine::new(workload.as_ref(), cfg).run_to_completion();
+    run_stats_digest(&out.stats)
+}
+
+#[test]
+fn served_stats_digest_matches_direct_machine_run() {
+    let reference = direct_digest();
+
+    let server = Server::start(ServeOpts::default()).expect("start server");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    let spec = JobSpec::new(BENCH, DetectorKind::SubBlock(4), Scale::Small, SEED);
+    let submit = client.post("/v1/jobs", &spec.canonical()).expect("submit");
+    assert_eq!(submit.status, 200, "{}", submit.text());
+
+    // Poll the result to completion.
+    let path = format!("/v1/jobs/{}/result", spec.digest_hex());
+    let body = loop {
+        let resp = client.get(&path).expect("poll result");
+        match resp.status {
+            200 => break resp.text(),
+            202 => std::thread::sleep(std::time::Duration::from_millis(2)),
+            status => panic!("result status {status}: {}", resp.text()),
+        }
+    };
+    server.shutdown();
+
+    let root = asf_stats::json::parse(&body).expect("served body parses");
+    assert_eq!(
+        root.field("schema").unwrap().as_str().unwrap(),
+        "asf-serve-v1"
+    );
+    // The digest the server stamped…
+    let stamped = u64::from_str_radix(
+        root.field("stats_digest").unwrap().as_str().unwrap(),
+        16,
+    )
+    .expect("hex digest");
+    // …the digest of the stats actually embedded in the body…
+    let stats = RunStats::from_value(root.field("stats").unwrap())
+        .expect("embedded stats parse");
+    let embedded = run_stats_digest(&stats);
+    // …and the direct-run reference must all be one number.
+    assert_eq!(stamped, embedded, "server stamped a digest it did not serve");
+    assert_eq!(
+        stamped, reference,
+        "served result diverged from a direct Machine::run of the same spec \
+         (the serve path must be bit-transparent)"
+    );
+}
