@@ -29,7 +29,7 @@ use asf_stats::table::Table;
 use asf_workloads::Scale;
 
 const USAGE: &str = "usage: asf-repro [all|ext|table1|table2|table3|fig1..fig10|overhead|headline|diag|scaling|backoff|policy\
-                     |charts|excluded|related|signatures|variance|adaptive|fabric|summary|faults|perf|observe|scale|serve|loadtest|profile:<bench>|trace:<bench>]* \
+                     |charts|excluded|related|signatures|variance|adaptive|fabric|summary|faults|perf|observe|scale|serve|loadtest|chaos|profile:<bench>|trace:<bench>]* \
                      [--scale small|standard|large|huge] [--seed N] [--csv DIR] [--json DIR] [--threads N] [--samples N] \
                      [--check-baseline BENCH_perf.json] [--checkpoint FILE] [--resume] [--smoke] [--allow-failed] \
                      [--port N] [--clients N] [--cache-dir DIR]";
@@ -465,6 +465,36 @@ fn main() {
                 )
                 .expect("write BENCH_perf.json");
                 eprintln!("appended serve round to BENCH_perf.json");
+            }
+            "chaos" => {
+                // Self-healing soak (DESIGN.md §17): drive a live server
+                // under a seeded ServeChaosPlan and assert the healing
+                // invariants. `--smoke` runs the short CI gate, which also
+                // requires the plan to have demonstrably fired (≥1 injected
+                // worker panic, ≥1 deadline expiry). Deterministic in
+                // --seed: a CI failure replays locally with the same seed.
+                if smoke {
+                    match asf_harness::chaos::smoke(seed) {
+                        Ok(msg) => eprintln!("{msg}"),
+                        Err(e) => {
+                            eprintln!("FAIL: chaos smoke: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                    continue;
+                }
+                eprintln!("chaos soak (seed {seed:#x}) …");
+                let opts = asf_harness::chaos::ChaosOpts {
+                    seed,
+                    ..asf_harness::chaos::ChaosOpts::default()
+                };
+                match asf_harness::chaos::soak(&opts) {
+                    Ok(report) => emit("chaos", report.table(seed)),
+                    Err(e) => {
+                        eprintln!("FAIL: chaos soak: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
             "observe" => {
                 // End-to-end observability run (DESIGN.md §13): per

@@ -1,0 +1,500 @@
+//! `asf-repro chaos` — the self-healing soak (DESIGN.md §17).
+//!
+//! Drives a live [`asf_serve::server::Server`] under a seeded
+//! [`ServeChaosPlan`]: a quarter of job attempts panic their worker, a
+//! quarter stall far past the job deadline, and a quarter of cell writes
+//! fail or tear on disk. The soak then asserts the self-healing
+//! invariants end to end:
+//!
+//! 1. **The pool heals** — every injected panic is counted, every
+//!    retired worker is respawned, and the pool ends at full strength
+//!    (`/v1/healthz` reports `ok`).
+//! 2. **No job outlives its deadline** by more than one watchdog tick
+//!    plus a grace window: every submission reaches a *terminal* state
+//!    (`done`, `failed`, `cancelled`, `deadline_exceeded`) inside
+//!    `deadline + tick + grace`.
+//! 3. **Cache integrity holds** — every served result parses as a
+//!    well-formed `asf-serve-v1` document for the right spec and repeat
+//!    reads are byte-identical; torn cells are quarantined, never served.
+//! 4. **Work still completes** — resubmitting a failed/cancelled spec
+//!    eventually computes it (fresh attempts draw fresh chaos verdicts),
+//!    and the final drain finishes promptly because injected stalls
+//!    observe the shutdown flag.
+//!
+//! Everything is deterministic in the plan seed: the same seed replays
+//! the same panics, stalls, and torn writes, so a CI failure reproduces
+//! locally with the same command.
+
+use asf_serve::chaos::ServeChaosPlan;
+use asf_serve::http::Client;
+use asf_serve::server::{ServeOpts, Server};
+use asf_stats::table::Table;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// Knobs for one soak run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosOpts {
+    /// Chaos-plan seed; the whole run is deterministic in it.
+    pub seed: u64,
+    /// Distinct specs in the first wave.
+    pub specs: usize,
+    /// Hard bound on extra specs submitted while hunting coverage
+    /// (smoke mode keeps going until it has seen at least one injected
+    /// panic *and* one deadline expiry).
+    pub max_specs: usize,
+    /// Worker threads under supervision.
+    pub workers: usize,
+    /// Per-job deadline. Deliberately far below the injected stall, so
+    /// every stalled attempt exercises deadline cancellation.
+    pub deadline_ms: u64,
+    /// Watchdog scan interval.
+    pub tick_ms: u64,
+    /// Scheduling-noise allowance on top of `deadline + tick` before a
+    /// still-pending job counts as an invariant violation.
+    pub grace_ms: u64,
+    /// Resubmission rounds for specs chaos knocked down.
+    pub rounds: u32,
+    /// Require ≥1 injected panic and ≥1 deadline expiry (the smoke
+    /// gate's "the chaos actually fired" check).
+    pub require_coverage: bool,
+}
+
+impl Default for ChaosOpts {
+    fn default() -> Self {
+        ChaosOpts {
+            seed: 0xc405,
+            specs: 24,
+            max_specs: 96,
+            workers: 3,
+            deadline_ms: 400,
+            tick_ms: 10,
+            grace_ms: 2_000,
+            rounds: 4,
+            require_coverage: true,
+        }
+    }
+}
+
+/// What one soak run observed; `table()` renders the summary.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosReport {
+    /// Distinct specs driven.
+    pub specs: usize,
+    /// Total submissions (resubmission rounds included).
+    pub submissions: u64,
+    /// Specs whose result was ultimately served.
+    pub completed: usize,
+    /// Worker panics injected by the plan.
+    pub panics_injected: u64,
+    /// Stalls injected by the plan.
+    pub stalls_injected: u64,
+    /// Jobs the watchdog expired.
+    pub deadline_exceeded: u64,
+    /// Jobs that landed `failed` (injected panics surface here).
+    pub failed: u64,
+    /// Workers respawned by supervision.
+    pub respawns: u64,
+    /// Torn cells quarantined by the checksum check.
+    pub quarantined: u64,
+    /// Injected disk-write failures absorbed.
+    pub disk_write_failures: u64,
+    /// Milliseconds the final drain took.
+    pub drain_ms: u64,
+}
+
+impl ChaosReport {
+    /// Summary table for the CLI.
+    pub fn table(&self, seed: u64) -> Table {
+        let mut t = Table::new(
+            "chaos soak — self-healing serve layer under seeded fault injection",
+            &[
+                "seed",
+                "specs",
+                "submissions",
+                "completed",
+                "panics",
+                "respawns",
+                "stalls",
+                "deadlined",
+                "failed",
+                "quarantined",
+                "disk fails",
+                "drain (ms)",
+            ],
+        );
+        t.row(vec![
+            format!("{seed:#x}"),
+            self.specs.to_string(),
+            self.submissions.to_string(),
+            self.completed.to_string(),
+            self.panics_injected.to_string(),
+            self.respawns.to_string(),
+            self.stalls_injected.to_string(),
+            self.deadline_exceeded.to_string(),
+            self.failed.to_string(),
+            self.quarantined.to_string(),
+            self.disk_write_failures.to_string(),
+            self.drain_ms.to_string(),
+        ]);
+        t
+    }
+}
+
+/// The job mix: tiny distinct specs (seed-parameterised) so compute time
+/// is negligible next to the injected adversity.
+fn spec_body(i: usize) -> String {
+    let bench = if i.is_multiple_of(2) { "ssca2" } else { "intruder" };
+    format!(
+        "{{\"bench\": \"{bench}\", \"detector\": \"sb4\", \"scale\": \"small\", \
+         \"seed\": {}}}",
+        1000 + i
+    )
+}
+
+/// One tracked submission.
+struct Pending {
+    index: usize,
+    id: String,
+    submitted: Instant,
+}
+
+/// Silence the panic hook for the plan's own injected panics (they are
+/// the point of the soak); everything else still reports. Restores the
+/// previous hook on drop.
+struct QuietChaosPanics;
+
+impl QuietChaosPanics {
+    fn install() -> QuietChaosPanics {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("chaos: injected"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("chaos: injected"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+        QuietChaosPanics
+    }
+}
+
+impl Drop for QuietChaosPanics {
+    fn drop(&mut self) {
+        let _ = std::panic::take_hook();
+    }
+}
+
+fn submit(client: &mut Client, index: usize) -> Result<Pending, String> {
+    let reply = client
+        .post("/v1/jobs", &spec_body(index))
+        .map_err(|e| format!("submit spec {index}: {e}"))?;
+    if reply.status != 200 {
+        return Err(format!("submit spec {index}: HTTP {} {}", reply.status, reply.text()));
+    }
+    let text = reply.text();
+    let root = asf_stats::json::parse(&text).map_err(|e| format!("submit reply: {e}"))?;
+    let id = root
+        .field("job")
+        .and_then(|v| v.as_str())
+        .map(str::to_string)
+        .map_err(|e| format!("submit reply {text:?}: {e}"))?;
+    Ok(Pending { index, id, submitted: Instant::now() })
+}
+
+/// Poll `pending` until every job is terminal, enforcing invariant 2 —
+/// or error out naming the job that outlived its window. Returns the
+/// per-spec terminal labels.
+fn await_terminals(
+    client: &mut Client,
+    pending: &[Pending],
+    opts: &ChaosOpts,
+) -> Result<Vec<(usize, String)>, String> {
+    let allowance = Duration::from_millis(opts.deadline_ms + opts.tick_ms + opts.grace_ms);
+    let mut landed: Vec<Option<String>> = vec![None; pending.len()];
+    loop {
+        let mut open = 0usize;
+        for (slot, job) in pending.iter().enumerate() {
+            if landed[slot].is_some() {
+                continue;
+            }
+            let reply = client
+                .get(&format!("/v1/jobs/{}", job.id))
+                .map_err(|e| format!("status {}: {e}", job.id))?;
+            let text = reply.text();
+            let status = {
+                let root = asf_stats::json::parse(&text)
+                    .map_err(|e| format!("status for {} does not parse: {e}", job.id))?;
+                root.field("status")
+                    .and_then(|v| v.as_str())
+                    .map(str::to_string)
+                    .map_err(|e| format!("status reply {text:?}: {e}"))?
+            };
+            match status.as_str() {
+                "queued" | "running" => {
+                    if job.submitted.elapsed() > allowance {
+                        return Err(format!(
+                            "job {} (spec {}) still {:?} {}ms after submission — \
+                             outlived deadline {}ms + tick {}ms + grace {}ms",
+                            job.id,
+                            job.index,
+                            status,
+                            job.submitted.elapsed().as_millis(),
+                            opts.deadline_ms,
+                            opts.tick_ms,
+                            opts.grace_ms,
+                        ));
+                    }
+                    open += 1;
+                }
+                _ => landed[slot] = Some(status),
+            }
+        }
+        if open == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(opts.tick_ms));
+    }
+    Ok(pending
+        .iter()
+        .zip(landed)
+        .map(|(job, status)| (job.index, status.expect("loop exits only when all landed")))
+        .collect())
+}
+
+/// Invariant 3: a served result must be a well-formed `asf-serve-v1`
+/// document and repeat reads byte-identical. A 404 "evicted" answer is
+/// legitimate (tiny cache + quarantined cells); anything else is not.
+fn check_result_integrity(client: &mut Client, id: &str) -> Result<bool, String> {
+    let first = client
+        .get(&format!("/v1/jobs/{id}/result"))
+        .map_err(|e| format!("result {id}: {e}"))?;
+    match first.status {
+        200 => {}
+        404 | 410 => return Ok(false),
+        other => return Err(format!("result {id}: unexpected HTTP {other}: {}", first.text())),
+    }
+    let body = first.text();
+    let root = asf_stats::json::parse(&body)
+        .map_err(|e| format!("served result {id} does not parse: {e}"))?;
+    let schema = root
+        .field("schema")
+        .and_then(|v| v.as_str())
+        .unwrap_or_default();
+    if schema != "asf-serve-v1" {
+        return Err(format!("served result {id} has schema {schema:?}"));
+    }
+    let digest = root
+        .field("spec_digest")
+        .and_then(|v| v.as_str())
+        .unwrap_or_default();
+    if digest != id {
+        return Err(format!("served result {id} carries spec_digest {digest:?}"));
+    }
+    let again = client
+        .get(&format!("/v1/jobs/{id}/result"))
+        .map_err(|e| format!("repeat result {id}: {e}"))?;
+    if again.status == 200 && again.body != first.body {
+        return Err(format!("repeat read of result {id} was not byte-identical"));
+    }
+    Ok(true)
+}
+
+/// Run the soak. Deterministic in `opts.seed`; errors describe the
+/// violated invariant.
+pub fn soak(opts: &ChaosOpts) -> Result<ChaosReport, String> {
+    let _quiet = QuietChaosPanics::install();
+    let disk_dir = std::env::temp_dir().join(format!(
+        "asf_chaos_soak_{}_{:x}",
+        std::process::id(),
+        opts.seed
+    ));
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    let server = Server::start(ServeOpts {
+        workers: opts.workers,
+        queue_capacity: opts.max_specs.max(16),
+        // Tiny memory cache: results spill to (chaos-torn) disk cells and
+        // reloads exercise the checksum/quarantine path.
+        cache_capacity: 4,
+        disk_dir: Some(disk_dir.clone()),
+        default_deadline_ms: opts.deadline_ms,
+        max_deadline_ms: opts.deadline_ms,
+        deadline_tick_ms: opts.tick_ms,
+        chaos: ServeChaosPlan {
+            stall_ms: opts.deadline_ms.saturating_mul(25),
+            ..ServeChaosPlan::soak(opts.seed)
+        },
+        ..ServeOpts::default()
+    })
+    .map_err(|e| format!("cannot start chaos server: {e}"))?;
+    let state = server.state();
+    let mut client = Client::connect(&server.addr()).map_err(|e| format!("connect: {e}"))?;
+
+    let mut report = ChaosReport::default();
+    let mut done: Vec<(usize, String)> = Vec::new();
+    let mut next_spec = 0usize;
+    let mut wave: Vec<usize> = Vec::new();
+
+    // Wave 0 is the configured mix; later waves resubmit what chaos
+    // knocked down, plus (in coverage mode) fresh specs until both fault
+    // classes have demonstrably fired.
+    for round in 0..=opts.rounds {
+        if round == 0 {
+            wave = (0..opts.specs).collect();
+            next_spec = opts.specs;
+        }
+        if wave.is_empty() {
+            let covered = state.chaos_panics_injected.load(Ordering::Relaxed) > 0
+                && state.jobs_deadline_exceeded.load(Ordering::Relaxed) > 0;
+            if !opts.require_coverage || covered || next_spec >= opts.max_specs {
+                break;
+            }
+            // Deterministic coverage hunt: extend the spec sequence.
+            wave = (next_spec..(next_spec + 8).min(opts.max_specs)).collect();
+            next_spec = (next_spec + 8).min(opts.max_specs);
+        }
+        let mut pending = Vec::new();
+        for &index in &wave {
+            pending.push(submit(&mut client, index)?);
+            report.submissions += 1;
+        }
+        let landed = await_terminals(&mut client, &pending, opts)?;
+        wave = landed
+            .iter()
+            .filter(|(_, status)| !matches!(status.as_str(), "done" | "cached"))
+            .map(|(index, _)| *index)
+            .collect();
+        for (index, status) in landed {
+            if matches!(status.as_str(), "done" | "cached") {
+                done.push((index, pending.iter().find(|p| p.index == index).unwrap().id.clone()));
+            }
+        }
+    }
+
+    // Invariant 3 over everything that completed.
+    report.completed = 0;
+    for (_, id) in &done {
+        if check_result_integrity(&mut client, id)? {
+            report.completed += 1;
+        }
+    }
+
+    // Invariant 1: the pool healed and readiness is green.
+    let health_body = client
+        .get("/v1/healthz")
+        .map_err(|e| format!("healthz: {e}"))?
+        .text();
+    let health = server.state().pool_health();
+    if health.live != health.workers {
+        return Err(format!(
+            "pool did not heal: {}/{} workers live ({health_body})",
+            health.live, health.workers
+        ));
+    }
+    if health.respawns != health.panics {
+        return Err(format!(
+            "respawns ({}) diverged from panics ({}) — {health_body}",
+            health.respawns, health.panics
+        ));
+    }
+    if !health_body.contains("\"ok\": true") {
+        return Err(format!("healthz not ok after soak: {health_body}"));
+    }
+    report.panics_injected = state.chaos_panics_injected.load(Ordering::Relaxed);
+    report.stalls_injected = state.chaos_stalls_injected.load(Ordering::Relaxed);
+    report.deadline_exceeded = state.jobs_deadline_exceeded.load(Ordering::Relaxed);
+    report.failed = state.jobs_failed.load(Ordering::Relaxed);
+    report.respawns = health.respawns;
+    report.quarantined = state.cache.counters.corrupt_quarantined.load(Ordering::Relaxed);
+    report.disk_write_failures =
+        state.cache.counters.disk_write_failures.load(Ordering::Relaxed);
+    report.specs = next_spec;
+    if health.panics != report.panics_injected {
+        return Err(format!(
+            "worker panics ({}) diverged from injected panics ({}) — a job \
+             panicked on its own",
+            health.panics, report.panics_injected
+        ));
+    }
+    if opts.require_coverage {
+        if report.panics_injected == 0 {
+            return Err("coverage: the plan never injected a worker panic".to_string());
+        }
+        if report.deadline_exceeded == 0 {
+            return Err("coverage: no job ever exceeded its deadline".to_string());
+        }
+    }
+    if report.completed == 0 {
+        return Err("no spec ever completed under chaos".to_string());
+    }
+
+    // Invariant 4: the drain completes promptly — injected stalls watch
+    // the shutdown flag, so nothing waits out a full stall.
+    let drain_started = Instant::now();
+    drop(state);
+    server.shutdown();
+    report.drain_ms = drain_started.elapsed().as_millis() as u64;
+    if report.drain_ms > opts.deadline_ms.saturating_mul(25) {
+        return Err(format!("drain took {}ms — a stall outlived shutdown", report.drain_ms));
+    }
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    Ok(report)
+}
+
+/// The CI smoke gate: a short deterministic soak that must inject at
+/// least one worker panic and one deadline expiry, and exit green.
+pub fn smoke(seed: u64) -> Result<String, String> {
+    let opts = ChaosOpts { seed, specs: 16, max_specs: 64, rounds: 3, ..ChaosOpts::default() };
+    let report = soak(&opts)?;
+    Ok(format!(
+        "chaos smoke ok (seed {seed:#x}): {} specs, {} panics healed by {} respawns, \
+         {} deadline expiries, {} stalls, {} torn cells quarantined, {} completed, \
+         drain {}ms",
+        report.specs,
+        report.panics_injected,
+        report.respawns,
+        report.deadline_exceeded,
+        report.stalls_injected,
+        report.quarantined,
+        report.completed,
+        report.drain_ms,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Cheap structural check; the full soak runs as `asf-repro chaos
+    /// --smoke` in CI.
+    #[test]
+    fn report_table_renders() {
+        let report = ChaosReport {
+            specs: 16,
+            submissions: 40,
+            completed: 16,
+            panics_injected: 5,
+            respawns: 5,
+            ..ChaosReport::default()
+        };
+        let rendered = report.table(0xc405).render();
+        assert!(rendered.contains("16"), "{rendered}");
+        assert!(rendered.contains("0xc405"), "{rendered}");
+    }
+
+    #[test]
+    fn spec_mix_is_distinct_and_parsable() {
+        for i in 0..8 {
+            let spec = asf_serve::spec::JobSpec::from_json(&spec_body(i)).expect("parses");
+            let other = asf_serve::spec::JobSpec::from_json(&spec_body(i + 1)).expect("parses");
+            assert_ne!(spec.digest(), other.digest());
+        }
+    }
+}

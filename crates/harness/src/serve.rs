@@ -55,6 +55,7 @@ pub fn loadtest_table(opts: &LoadTestOpts, report: &LoadTestReport) -> Table {
             "coalesced",
             "queued",
             "rejected",
+            "retries",
             "hit rate",
             "p50 (us)",
             "p99 (us)",
@@ -70,6 +71,7 @@ pub fn loadtest_table(opts: &LoadTestOpts, report: &LoadTestReport) -> Table {
         report.coalesced.to_string(),
         report.queued.to_string(),
         report.rejected.to_string(),
+        report.retries.to_string(),
         format!("{:.1}%", report.hit_rate * 100.0),
         format!("{:.1}", report.p50_us),
         format!("{:.1}", report.p99_us),
@@ -131,6 +133,7 @@ mod tests {
             coalesced: 700,
             queued: 372,
             rejected: 0,
+            retries: 5,
             hit_rate: 2000.0 / 3072.0,
             p50_us: 81.0,
             p99_us: 410.5,

@@ -8,6 +8,7 @@
 //! and the hottest conflict lines — enough to tell a mutual-abort cycle
 //! from one starved core from a simply-too-small step budget.
 
+use crate::snapshot::CancelKind;
 use asf_core::progress::StallVerdict;
 use std::fmt;
 
@@ -56,6 +57,11 @@ pub enum SimError {
     /// whether the evidence points at livelock, starvation, or an
     /// undersized budget.
     Watchdog(ProgressReport),
+    /// An attached [`crate::snapshot::CancelToken`] fired: a supervisor
+    /// (client cancel or deadline watchdog) asked the run to stop. The
+    /// machine noticed at the next cooperative check and unwound cleanly —
+    /// no result, no partial statistics.
+    Cancelled(CancelKind),
 }
 
 impl fmt::Display for ProgressReport {
@@ -104,6 +110,12 @@ impl fmt::Display for SimError {
             SimError::Watchdog(report) => {
                 write!(f, "simulation watchdog tripped: {report}")
             }
+            SimError::Cancelled(CancelKind::Client) => {
+                write!(f, "simulation cancelled by client request")
+            }
+            SimError::Cancelled(CancelKind::Deadline) => {
+                write!(f, "simulation cancelled: deadline exceeded")
+            }
         }
     }
 }
@@ -141,5 +153,13 @@ mod tests {
         assert!(s.contains("fallback lock: held by core 2"));
         assert!(s.contains("streak=7"));
         assert!(s.contains("hottest conflict lines"));
+    }
+
+    #[test]
+    fn cancelled_display_names_the_kind() {
+        assert!(SimError::Cancelled(CancelKind::Client).to_string().contains("client"));
+        assert!(SimError::Cancelled(CancelKind::Deadline)
+            .to_string()
+            .contains("deadline"));
     }
 }

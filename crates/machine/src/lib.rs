@@ -81,6 +81,7 @@ pub use error::{CoreReport, ProgressReport, SimError};
 pub use fault::{FaultPlan, FaultRate};
 pub use machine::{Machine, ResolutionPolicy, SimConfig, SimOutput};
 pub use obs::{ObsConfig, ObsReport};
+pub use snapshot::{CancelKind, CancelToken, ProgressProbe, ProgressSnapshot};
 pub use shard::{EpochSpan, ScaleStats, ShardConfig, ShardEngine, ShardOutput};
 pub use trace::{ChromeTraceSink, RingTrace, TraceEvent, TraceSink};
 pub use txprog::{ThreadProgram, TxAttempt, TxBuilder, TxOp, WorkItem, Workload};

@@ -476,6 +476,11 @@ pub struct Machine {
     /// already-maintained counters into relaxed atomics and is therefore
     /// bit-transparent to the run.
     progress_probe: Option<std::sync::Arc<crate::snapshot::ProgressProbe>>,
+
+    /// Cooperative cancellation flag, checked at the probe-publish cadence
+    /// (see [`Machine::attach_cancel_token`]). `None` costs one branch per
+    /// publish window; an attached-but-unfired token is bit-transparent.
+    cancel: Option<std::sync::Arc<crate::snapshot::CancelToken>>,
 }
 
 /// RNG stream id for fault injection; far outside the per-core streams
@@ -567,6 +572,7 @@ impl Machine {
             epoch: EpochLog::default(),
             epoch_on: false,
             progress_probe: None,
+            cancel: None,
         }
     }
 
@@ -780,6 +786,20 @@ impl Machine {
         self.progress_probe = Some(probe);
     }
 
+    /// Attach a cooperative cancellation token
+    /// ([`crate::snapshot::CancelToken`]). The run checks it every
+    /// [`crate::snapshot::PUBLISH_EVERY_STEPS`] scheduler steps — the same
+    /// cadence as the progress probe — and, when it finds the token fired,
+    /// stops cleanly with [`SimError::Cancelled`] instead of running to
+    /// completion. A token that never fires is bit-transparent: the check
+    /// is one relaxed load, no RNG, no clock, no scheduling influence.
+    pub fn attach_cancel_token(
+        &mut self,
+        token: std::sync::Arc<crate::snapshot::CancelToken>,
+    ) {
+        self.cancel = Some(token);
+    }
+
     /// Refresh the attached progress probe, if any.
     fn publish_progress(&self) {
         if let Some(p) = &self.progress_probe {
@@ -888,10 +908,19 @@ impl Machine {
                 }
                 return Err(SimError::Watchdog(self.progress_report()));
             }
-            if self.progress_probe.is_some()
+            if (self.progress_probe.is_some() || self.cancel.is_some())
                 && self.steps.is_multiple_of(crate::snapshot::PUBLISH_EVERY_STEPS)
             {
                 self.publish_progress();
+                // Cooperative cancellation shares the publish cadence: one
+                // relaxed load per window, and a clean typed exit (no
+                // partial stats escape) when a supervisor fired the token.
+                if let Some(kind) = self.cancel.as_ref().and_then(|t| t.kind()) {
+                    if let Some(p) = &self.progress_probe {
+                        p.finish();
+                    }
+                    return Err(SimError::Cancelled(kind));
+                }
             }
         }
         self.publish_progress();

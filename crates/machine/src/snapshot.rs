@@ -14,7 +14,78 @@
 //! run's stats digest against an unprobed one.
 
 use asf_core::progress::ProgressMonitor;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+/// Why a run was asked to stop early (see [`CancelToken`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelKind {
+    /// A client explicitly asked for the job to be cancelled
+    /// (`DELETE /v1/jobs/:id` in the serve layer).
+    Client,
+    /// The job's wall-clock deadline expired (the serve layer's deadline
+    /// watchdog fired the token).
+    Deadline,
+}
+
+impl CancelKind {
+    /// Stable label (serve-layer terminal-state names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CancelKind::Client => "cancelled",
+            CancelKind::Deadline => "deadline_exceeded",
+        }
+    }
+}
+
+/// Cooperative cancellation flag shared between a running simulation and
+/// whoever supervises it.
+///
+/// The machine checks the token at the same [`PUBLISH_EVERY_STEPS`] cadence
+/// as the progress probe — one relaxed atomic load per 1024 scheduler
+/// steps — and returns [`crate::error::SimError::Cancelled`] when it finds
+/// the token fired. The token itself never touches the simulation: like
+/// the probe, an attached-but-unfired token is bit-transparent (no RNG, no
+/// clock, no scheduling influence), so the golden fences hold with a token
+/// attached. The first `cancel` call wins; later calls (client cancel
+/// racing the deadline watchdog) are ignored.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    /// 0 = live, 1 = client cancel, 2 = deadline.
+    state: AtomicU8,
+}
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fire the token. The first caller decides the kind; returns whether
+    /// this call was the one that fired it.
+    pub fn cancel(&self, kind: CancelKind) -> bool {
+        let code = match kind {
+            CancelKind::Client => 1,
+            CancelKind::Deadline => 2,
+        };
+        self.state
+            .compare_exchange(0, code, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// The kind the token fired with, `None` while live.
+    pub fn kind(&self) -> Option<CancelKind> {
+        match self.state.load(Ordering::Relaxed) {
+            1 => Some(CancelKind::Client),
+            2 => Some(CancelKind::Deadline),
+            _ => None,
+        }
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Relaxed) != 0
+    }
+}
 
 /// Scheduler steps between two probe refreshes. A power of two so the
 /// in-loop gate is one mask + compare.
@@ -132,6 +203,20 @@ impl ProgressSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cancel_token_first_writer_wins() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.kind(), None);
+        assert!(t.cancel(CancelKind::Deadline));
+        // A racing client cancel arrives second and must not overwrite.
+        assert!(!t.cancel(CancelKind::Client));
+        assert!(t.is_cancelled());
+        assert_eq!(t.kind(), Some(CancelKind::Deadline));
+        assert_eq!(t.kind().unwrap().label(), "deadline_exceeded");
+        assert_eq!(CancelKind::Client.label(), "cancelled");
+    }
 
     #[test]
     fn publish_then_snapshot_roundtrips() {

@@ -15,10 +15,22 @@
 //!   `harness::checkpoint` discipline), and a memory miss falls back to
 //!   disk, repopulating the LRU. A crash mid-write leaves either the old
 //!   file or nothing — never a torn artifact.
+//! * **Checksums & quarantine** — every persisted cell
+//!   (`asf-serve-cell-v2`) carries an FNV-1a checksum over its delimited
+//!   fields, verified on load. A cell that fails parsing *or* the
+//!   checksum is never served: it is renamed aside
+//!   (`*.quarantine.<pid>.<seq>`) so the evidence survives for inspection,
+//!   counted in [`CacheCounters::corrupt_quarantined`], and the next
+//!   computation rewrites it. Rename-aside (not delete) is deliberate: a
+//!   corrupt cell means either torn hardware or a code bug, and both are
+//!   worth a post-mortem.
 //! * **Single-flight** — [`ResultCache::get_or_compute`] guarantees at
 //!   most one in-flight computation per digest: followers block on the
 //!   leader's condvar and are served the very entry the leader produced,
-//!   counted in [`CacheCounters::flight_joins`].
+//!   counted in [`CacheCounters::flight_joins`]. A *panicking* leader
+//!   publishes a failure to its followers and deregisters the flight
+//!   before the panic resumes — waiters can never be wedged on a dead
+//!   leader's condvar.
 
 use asf_mem::fxhash::FxHashMap;
 use asf_stats::json::{escape, parse};
@@ -59,6 +71,13 @@ pub struct CacheCounters {
     pub flight_joins: AtomicU64,
     /// Computations that actually ran (single-flight leaders).
     pub flight_leads: AtomicU64,
+    /// Disk cells that failed parse/checksum verification and were
+    /// renamed aside. Nonzero after restarts is fine (old-schema cells);
+    /// *growing* under steady state means something is tearing writes.
+    pub corrupt_quarantined: AtomicU64,
+    /// Disk writes that failed (filesystem error or injected fault). The
+    /// artifact is still served from memory; only persistence was lost.
+    pub disk_write_failures: AtomicU64,
 }
 
 impl CacheCounters {
@@ -66,7 +85,8 @@ impl CacheCounters {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"hits\": {}, \"disk_hits\": {}, \"misses\": {}, \"inserts\": {}, \
-             \"evictions\": {}, \"single_flight_joins\": {}, \"single_flight_leads\": {}}}",
+             \"evictions\": {}, \"single_flight_joins\": {}, \"single_flight_leads\": {}, \
+             \"corrupt_quarantined\": {}, \"disk_write_failures\": {}}}",
             self.hits.load(Ordering::Relaxed),
             self.disk_hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
@@ -74,6 +94,8 @@ impl CacheCounters {
             self.evictions.load(Ordering::Relaxed),
             self.flight_joins.load(Ordering::Relaxed),
             self.flight_leads.load(Ordering::Relaxed),
+            self.corrupt_quarantined.load(Ordering::Relaxed),
+            self.disk_write_failures.load(Ordering::Relaxed),
         )
     }
 }
@@ -218,6 +240,25 @@ struct Flight {
 // The cache proper
 // ---------------------------------------------------------------------------
 
+/// Deterministic disk-write fault decision, produced per digest by a
+/// chaos hook (see [`ResultCache::set_disk_chaos`]). Outside the chaos
+/// soak no hook is installed and every write takes the `None` path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DiskChaos {
+    /// Write normally.
+    #[default]
+    None,
+    /// Pretend the filesystem refused the write (counted in
+    /// [`CacheCounters::disk_write_failures`]; serving is unaffected).
+    FailWrite,
+    /// Persist a deliberately torn cell — checksum cannot verify, so a
+    /// later disk load must quarantine it instead of serving it.
+    Corrupt,
+}
+
+/// Chaos decision function: digest → what to do to this disk write.
+pub type DiskChaosHook = Box<dyn Fn(u64) -> DiskChaos + Send + Sync>;
+
 /// Configuration of a [`ResultCache`].
 #[derive(Clone, Debug)]
 pub struct CacheConfig {
@@ -241,6 +282,7 @@ pub struct ResultCache {
     pub counters: CacheCounters,
     disk_dir: Option<PathBuf>,
     capacity: usize,
+    disk_chaos: Mutex<Option<DiskChaosHook>>,
 }
 
 /// Per-process temp-file sequence (see [`unique_tmp_suffix`]).
@@ -267,7 +309,15 @@ impl ResultCache {
             counters: CacheCounters::default(),
             disk_dir: cfg.disk_dir,
             capacity: cfg.capacity,
+            disk_chaos: Mutex::new(None),
         })
+    }
+
+    /// Install a deterministic disk-write fault hook (chaos soak only).
+    /// The hook sees the digest about to be persisted and decides whether
+    /// the write proceeds, fails, or tears.
+    pub fn set_disk_chaos(&self, hook: DiskChaosHook) {
+        *self.disk_chaos.lock().unwrap() = Some(hook);
     }
 
     /// In-memory entry count.
@@ -308,6 +358,7 @@ impl ResultCache {
     pub fn insert(&self, digest: u64, result: CachedResult) {
         self.counters.inserts.fetch_add(1, Ordering::Relaxed);
         if let Err(e) = self.disk_store(digest, &result) {
+            self.counters.disk_write_failures.fetch_add(1, Ordering::Relaxed);
             eprintln!("warning: cache disk store for {digest:016x}: {e}");
         }
         self.insert_memory(digest, result);
@@ -362,11 +413,25 @@ impl ResultCache {
         let result = match self.lookup(digest) {
             Some(hit) => Ok(hit),
             None => {
-                let computed = compute();
-                if let Ok(entry) = &computed {
-                    self.insert(digest, entry.clone());
+                // A panicking compute must not strand followers on the
+                // condvar: publish a failure and deregister the flight
+                // *before* the panic resumes towards the pool supervisor.
+                let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute));
+                match computed {
+                    Ok(computed) => {
+                        if let Ok(entry) = &computed {
+                            self.insert(digest, entry.clone());
+                        }
+                        computed
+                    }
+                    Err(payload) => {
+                        let failure = Err("computation panicked".to_string());
+                        *flight.state.lock().unwrap() = FlightState::Done(failure);
+                        flight.cv.notify_all();
+                        self.flights.lock().unwrap().remove(&digest);
+                        std::panic::resume_unwind(payload);
+                    }
                 }
-                computed
             }
         };
         // Publish to waiters, then deregister the flight so later misses
@@ -387,7 +452,21 @@ impl ResultCache {
         let Some(path) = self.disk_path(digest) else {
             return Ok(());
         };
-        let mut out = String::from("{\n  \"schema\": \"asf-serve-cell-v1\",\n");
+        let chaos = match &*self.disk_chaos.lock().unwrap() {
+            Some(hook) => hook(digest),
+            None => DiskChaos::None,
+        };
+        if chaos == DiskChaos::FailWrite {
+            return Err(std::io::Error::other("injected disk-write fault"));
+        }
+        let mut out = String::from("{\n  \"schema\": \"asf-serve-cell-v2\",\n");
+        let mut checksum = cell_checksum(result);
+        if chaos == DiskChaos::Corrupt {
+            // A torn write modelled precisely: the cell parses, but its
+            // recorded checksum disagrees with its contents.
+            checksum = !checksum;
+        }
+        out.push_str(&format!("  \"checksum\": \"{checksum:016x}\",\n"));
         out.push_str(&format!("  \"spec_digest\": \"{:016x}\",\n", result.spec_digest));
         out.push_str(&format!("  \"stats_digest\": \"{:016x}\",\n", result.stats_digest));
         out.push_str(&format!("  \"body\": {}", escape(&result.body)));
@@ -413,31 +492,76 @@ impl ResultCache {
         match parse_cell(digest, &src) {
             Ok(cell) => Some(cell),
             Err(e) => {
-                // A corrupt cell never poisons serving: log, ignore, and
-                // let the computation repopulate it.
-                eprintln!("warning: ignoring corrupt cache cell {}: {e}", path.display());
+                // A corrupt cell never poisons serving: rename it aside so
+                // the evidence survives, count it, and let the next
+                // computation repopulate the slot.
+                let quarantined = path.with_file_name(format!(
+                    "{}.quarantine.{}.{}",
+                    path.file_name().unwrap_or_default().to_string_lossy(),
+                    std::process::id(),
+                    TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                match std::fs::rename(&path, &quarantined) {
+                    Ok(()) => eprintln!(
+                        "warning: quarantined corrupt cache cell {} -> {}: {e}",
+                        path.display(),
+                        quarantined.display()
+                    ),
+                    // Lost a rename race with a concurrent quarantine or a
+                    // rewrite — either way the bad bytes are gone.
+                    Err(_) => eprintln!(
+                        "warning: ignoring corrupt cache cell {}: {e}",
+                        path.display()
+                    ),
+                }
+                self.counters.corrupt_quarantined.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 }
 
-/// Parse one persisted `asf-serve-cell-v1` document.
+/// FNV-1a over every servable field of a cell, with explicit length/
+/// presence delimiters so `("ab","c")` and `("a","bc")` — or a missing
+/// versus empty artifact — can never collide.
+fn cell_checksum(result: &CachedResult) -> u64 {
+    let mut h = asf_stats::digest::Fnv::new();
+    h.u64(result.spec_digest).u64(result.stats_digest);
+    h.u64(result.body.len() as u64).str(&result.body);
+    for field in [&result.metrics, &result.trace] {
+        match field {
+            Some(text) => {
+                h.u64(1).u64(text.len() as u64).str(text);
+            }
+            None => {
+                h.u64(0);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Parse one persisted `asf-serve-cell-v2` document and verify its
+/// checksum. Anything that fails here is quarantined by the caller —
+/// including leftover v1 cells from before checksums existed, which is
+/// the intended migration (recompute once, persist verified).
 fn parse_cell(digest: u64, src: &str) -> Result<CachedResult, String> {
     let root = parse(src)?;
     let schema = root.field("schema")?.as_str()?;
-    if schema != "asf-serve-cell-v1" {
+    if schema != "asf-serve-cell-v2" {
         return Err(format!("unexpected schema {schema:?}"));
     }
-    let spec_digest = u64::from_str_radix(root.field("spec_digest")?.as_str()?, 16)
-        .map_err(|e| format!("bad spec_digest: {e}"))?;
+    let hex_field = |key: &str| -> Result<u64, String> {
+        u64::from_str_radix(root.field(key)?.as_str()?, 16)
+            .map_err(|e| format!("bad {key}: {e}"))
+    };
+    let spec_digest = hex_field("spec_digest")?;
     if spec_digest != digest {
         return Err(format!(
             "cell addressed {digest:016x} but records spec_digest {spec_digest:016x}"
         ));
     }
-    let stats_digest = u64::from_str_radix(root.field("stats_digest")?.as_str()?, 16)
-        .map_err(|e| format!("bad stats_digest: {e}"))?;
+    let stats_digest = hex_field("stats_digest")?;
     let body = Arc::new(root.field("body")?.as_str()?.to_string());
     let opt = |key: &str| -> Result<Option<Arc<String>>, String> {
         match root.get(key) {
@@ -445,13 +569,21 @@ fn parse_cell(digest: u64, src: &str) -> Result<CachedResult, String> {
             Some(v) => Ok(Some(Arc::new(v.as_str()?.to_string()))),
         }
     };
-    Ok(CachedResult {
+    let cell = CachedResult {
         spec_digest,
         stats_digest,
         body,
         metrics: opt("metrics")?,
         trace: opt("trace")?,
-    })
+    };
+    let recorded = hex_field("checksum")?;
+    let computed = cell_checksum(&cell);
+    if recorded != computed {
+        return Err(format!(
+            "checksum mismatch: recorded {recorded:016x}, computed {computed:016x}"
+        ));
+    }
+    Ok(cell)
 }
 
 #[cfg(test)]
@@ -530,20 +662,84 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_disk_cell_is_ignored_not_served() {
+    fn corrupt_disk_cell_is_quarantined_not_served() {
         let dir = std::env::temp_dir().join(format!(
             "asf_serve_corrupt_test_{}_{}",
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join(format!("cell_{:016x}.json", 5u64)), "{ torn").unwrap();
+        let cell_path = dir.join(format!("cell_{:016x}.json", 5u64));
+        std::fs::write(&cell_path, "{ torn").unwrap();
         let cache = ResultCache::new(CacheConfig {
             capacity: 4,
             disk_dir: Some(dir.clone()),
         })
         .unwrap();
         assert!(cache.lookup(5).is_none());
+        assert_eq!(cache.counters.corrupt_quarantined.load(Ordering::Relaxed), 1);
+        // The bad bytes were renamed aside, not deleted, and the original
+        // path is free for the recompute.
+        assert!(!cell_path.exists());
+        let quarantined: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".quarantine."))
+            .collect();
+        assert_eq!(quarantined.len(), 1, "{quarantined:?}");
+        // The slot heals: a fresh insert persists a verified cell which
+        // loads cleanly after memory eviction.
+        cache.insert(5, entry(5));
+        cache.insert(6, entry(6));
+        cache.insert(7, entry(7));
+        cache.insert(8, entry(8));
+        cache.insert(9, entry(9)); // capacity 4: 5 is evicted from memory
+        assert!(cache.lookup(5).is_some());
+        assert_eq!(cache.counters.corrupt_quarantined.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksum_mismatch_is_caught_and_quarantined() {
+        let dir = std::env::temp_dir().join(format!(
+            "asf_serve_checksum_test_{}_{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let cache = ResultCache::new(CacheConfig {
+            capacity: 1,
+            disk_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        // Inject a torn write for digest 1 only: the cell parses as JSON
+        // but its checksum disagrees with its contents.
+        cache.set_disk_chaos(Box::new(|digest| {
+            if digest == 1 { DiskChaos::Corrupt } else { DiskChaos::None }
+        }));
+        cache.insert(1, entry(1));
+        cache.insert(2, entry(2)); // evicts 1 from memory
+        assert!(cache.lookup(1).is_none(), "torn cell must not be served");
+        assert_eq!(cache.counters.corrupt_quarantined.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_failure_is_counted_and_memory_still_serves() {
+        let dir = std::env::temp_dir().join(format!(
+            "asf_serve_failwrite_test_{}_{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let cache = ResultCache::new(CacheConfig {
+            capacity: 4,
+            disk_dir: Some(dir.clone()),
+        })
+        .unwrap();
+        cache.set_disk_chaos(Box::new(|_| DiskChaos::FailWrite));
+        cache.insert(3, entry(3));
+        assert_eq!(cache.counters.disk_write_failures.load(Ordering::Relaxed), 1);
+        assert!(cache.lookup(3).is_some(), "memory path unaffected");
+        assert!(!dir.join(format!("cell_{:016x}.json", 3u64)).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -557,5 +753,19 @@ mod tests {
         let ok = cache.get_or_compute(7, || Ok(entry(7))).unwrap();
         assert_eq!(ok.spec_digest, 7);
         assert!(cache.lookup(7).is_some());
+    }
+
+    #[test]
+    fn panicking_leader_releases_followers_and_flight() {
+        let cache = Arc::new(ResultCache::new(CacheConfig::default()).unwrap());
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute(11, || panic!("leader died"))
+        }));
+        assert!(panicked.is_err(), "the panic must propagate to the supervisor");
+        // The flight was deregistered: a later caller becomes a fresh
+        // leader instead of wedging on a dead one's condvar.
+        let ok = cache.get_or_compute(11, || Ok(entry(11))).unwrap();
+        assert_eq!(ok.spec_digest, 11);
+        assert_eq!(cache.counters.flight_leads.load(Ordering::Relaxed), 2);
     }
 }

@@ -1,0 +1,188 @@
+//! Deterministic fault injection for the serving layer itself.
+//!
+//! The simulator has [`asf_machine::fault::FaultPlan`] for injecting
+//! *microarchitectural* adversity; [`ServeChaosPlan`] is the same idea one
+//! layer up, aimed at the service: worker panics, artificial job stalls
+//! (which the deadline watchdog must cancel), and disk-write faults
+//! (failed or torn cell writes, which the checksum/quarantine path must
+//! contain). The chaos soak in `asf-harness` drives a live server under
+//! such a plan and asserts the self-healing invariants.
+//!
+//! ## Determinism
+//!
+//! Every decision is drawn from a [`SimRng`] derived from the plan seed
+//! and the *identity of the decision point* — the job digest plus, for
+//! per-execution decisions, the attempt ordinal. Thread interleaving,
+//! scheduling, and wall-clock therefore never change what gets injected:
+//! one `(seed, digest, attempt)` triple always produces the same panic /
+//! stall verdict, and one `(seed, digest)` pair always produces the same
+//! disk fate. Re-running the soak with one seed replays the exact same
+//! adversity.
+//!
+//! ## Transparency
+//!
+//! A disabled plan ([`ServeChaosPlan::none`], the server default) is
+//! structurally inert: the server skips attempt accounting, installs no
+//! disk hook, and executes jobs on the unmodified path — pinned by the
+//! serve-vs-direct golden fence, which runs against default options.
+
+use crate::cache::DiskChaos;
+use asf_machine::fault::FaultRate;
+use asf_mem::rng::SimRng;
+
+/// Decision stream tags, so the panic/stall draw and the disk draw of one
+/// digest are independent.
+const STREAM_JOB: u64 = 0x6a6f_625f;
+const STREAM_DISK: u64 = 0x6469_736b;
+
+/// What to inject into one job execution attempt.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobChaos {
+    /// Panic the worker thread mid-job (supervision must heal the pool).
+    pub panic: bool,
+    /// Stall the job for [`ServeChaosPlan::stall_ms`] before computing
+    /// (the deadline watchdog must cancel it if the deadline is shorter).
+    pub stall: bool,
+}
+
+/// Seeded, deterministic injection plan for the serving layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeChaosPlan {
+    /// Master seed; every decision derives from it.
+    pub seed: u64,
+    /// Rate of injected worker panics, per execution attempt.
+    pub worker_panic: FaultRate,
+    /// Rate of artificial stalls, per execution attempt.
+    pub job_stall: FaultRate,
+    /// Stall duration in milliseconds. Soaks pair this with a much
+    /// shorter job deadline so every stalled attempt exercises
+    /// deadline-cancellation rather than just slow completion.
+    pub stall_ms: u64,
+    /// Rate of injected disk-write failures, per digest.
+    pub disk_fail: FaultRate,
+    /// Rate of injected torn (checksum-mismatching) cell writes, per
+    /// digest.
+    pub disk_corrupt: FaultRate,
+}
+
+impl Default for ServeChaosPlan {
+    fn default() -> Self {
+        ServeChaosPlan::none()
+    }
+}
+
+impl ServeChaosPlan {
+    /// No injection anywhere — the production and golden-fence default.
+    pub fn none() -> ServeChaosPlan {
+        ServeChaosPlan {
+            seed: 0,
+            worker_panic: FaultRate::NEVER,
+            job_stall: FaultRate::NEVER,
+            stall_ms: 0,
+            disk_fail: FaultRate::NEVER,
+            disk_corrupt: FaultRate::NEVER,
+        }
+    }
+
+    /// The chaos-soak preset: aggressive enough that a short run injects
+    /// every fault class, survivable enough that the workload still
+    /// completes.
+    pub fn soak(seed: u64) -> ServeChaosPlan {
+        ServeChaosPlan {
+            seed,
+            worker_panic: FaultRate::new(1, 4),
+            job_stall: FaultRate::new(1, 4),
+            stall_ms: 10_000,
+            disk_fail: FaultRate::new(1, 4),
+            disk_corrupt: FaultRate::new(1, 4),
+        }
+    }
+
+    /// True when any injection can ever fire. A disabled plan must leave
+    /// the server bit-transparent.
+    pub fn enabled(&self) -> bool {
+        self.worker_panic.enabled()
+            || self.job_stall.enabled()
+            || self.disk_fail.enabled()
+            || self.disk_corrupt.enabled()
+    }
+
+    /// The injection verdict for execution attempt `attempt` of the job
+    /// with `digest`. Pure function of `(seed, digest, attempt)`.
+    pub fn job_decision(&self, digest: u64, attempt: u32) -> JobChaos {
+        if !self.enabled() {
+            return JobChaos::default();
+        }
+        let stream = STREAM_JOB
+            ^ digest
+            ^ (attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = SimRng::derive(self.seed, stream);
+        JobChaos {
+            panic: self.worker_panic.fires(&mut rng),
+            stall: self.job_stall.fires(&mut rng),
+        }
+    }
+
+    /// The disk fate of every cell write for `digest`. Pure function of
+    /// `(seed, digest)` — attempt-independent so the cache layer needs no
+    /// attempt plumbing.
+    pub fn disk_decision(&self, digest: u64) -> DiskChaos {
+        if !self.enabled() {
+            return DiskChaos::None;
+        }
+        let mut rng = SimRng::derive(self.seed, STREAM_DISK ^ digest);
+        if self.disk_fail.fires(&mut rng) {
+            DiskChaos::FailWrite
+        } else if self.disk_corrupt.fires(&mut rng) {
+            DiskChaos::Corrupt
+        } else {
+            DiskChaos::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_identity_sensitive() {
+        let plan = ServeChaosPlan::soak(42);
+        for digest in [1u64, 0xdead_beef, u64::MAX] {
+            for attempt in 0..4 {
+                assert_eq!(
+                    plan.job_decision(digest, attempt),
+                    plan.job_decision(digest, attempt)
+                );
+            }
+            assert_eq!(plan.disk_decision(digest), plan.disk_decision(digest));
+        }
+        // Across enough identities both verdicts of each class appear —
+        // the plan is neither always-on nor never-on.
+        let mut panics = 0;
+        let mut stalls = 0;
+        for digest in 0..256u64 {
+            let d = plan.job_decision(digest, 0);
+            panics += d.panic as u32;
+            stalls += d.stall as u32;
+        }
+        assert!(panics > 0 && panics < 256, "{panics}");
+        assert!(stalls > 0 && stalls < 256, "{stalls}");
+        // A different attempt of the same digest can differ (retries are
+        // not doomed to repeat the first attempt's fate forever).
+        let varies = (0..64u64).any(|d| {
+            (0..8).any(|a| plan.job_decision(d, a) != plan.job_decision(d, 0))
+        });
+        assert!(varies);
+    }
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let plan = ServeChaosPlan::none();
+        assert!(!plan.enabled());
+        for digest in 0..64u64 {
+            assert_eq!(plan.job_decision(digest, 0), JobChaos::default());
+            assert_eq!(plan.disk_decision(digest), DiskChaos::None);
+        }
+    }
+}

@@ -4,18 +4,97 @@
 //! fixed-size responses. Deliberately tokio-free (the vendored offline
 //! build carries no async runtime); concurrency comes from one thread per
 //! connection and the bounded worker pool behind the API.
+//!
+//! ## Hardening
+//!
+//! Every dimension of a request is bounded ([`HttpLimits`]) and every
+//! failure is typed ([`HttpError`]) so the server can *answer* before it
+//! hangs up instead of silently dropping the connection:
+//!
+//! - header lines are read through a byte-bounded reader, so a client
+//!   streaming an endless request line cannot grow memory ([`HttpError::Malformed`] → 400);
+//! - the header count is capped (400);
+//! - `Content-Length` is checked against the body cap *before* any body
+//!   byte is read, so an oversized upload costs nothing ([`HttpError::TooLarge`] → 413);
+//! - socket read timeouts surface as [`HttpError::Timeout`] with a flag
+//!   saying whether the request had started — a slow-loris mid-request
+//!   gets 408, an idle keep-alive connection is closed silently.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
-/// Largest accepted request body (job specs are tiny; anything big is
-/// hostile or broken).
+/// Bounds on one parsed request. All fields are configurable on
+/// `ServeOpts` (satellite: limits must not be hard-coded).
+#[derive(Clone, Copy, Debug)]
+pub struct HttpLimits {
+    /// Largest accepted request body (job specs are tiny; anything big is
+    /// hostile or broken). Checked against `Content-Length` before the
+    /// body is read; violations answer 413.
+    pub max_body: usize,
+    /// Longest accepted request/header line in bytes (including CRLF).
+    /// Violations answer 400.
+    pub max_line: usize,
+    /// Most headers accepted on one request. Violations answer 400.
+    pub max_headers: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits { max_body: 1 << 20, max_line: 8 << 10, max_headers: 64 }
+    }
+}
+
+/// Compatibility alias: the historical body cap (now the
+/// [`HttpLimits::max_body`] default).
 pub const MAX_BODY: usize = 1 << 20;
+
+/// Why reading a request failed, typed so the connection handler can map
+/// each cause to the right status line before closing.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically broken traffic (bad request line, oversized header
+    /// line, too many headers, unparsable `Content-Length`) → 400.
+    Malformed(String),
+    /// `Content-Length` exceeded [`HttpLimits::max_body`]; carries the
+    /// declared length → 413.
+    TooLarge(usize),
+    /// The socket read timeout expired. `started` is true when at least
+    /// one byte of the request had arrived (slow-loris → 408); false for
+    /// an idle keep-alive connection (close silently).
+    Timeout {
+        /// Whether any byte of the request had been received.
+        started: bool,
+    },
+    /// Transport failure (reset, broken pipe, …); nothing to answer.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::TooLarge(len) => write!(f, "request body of {len} bytes over limit"),
+            HttpError::Timeout { started } => {
+                write!(f, "read timeout (request started: {started})")
+            }
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+/// True when an I/O error is a socket read-timeout expiry (unix surfaces
+/// these as `WouldBlock`, windows as `TimedOut`).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
 
 /// One parsed request.
 #[derive(Clone, Debug)]
 pub struct Request {
-    /// Method verb (`GET`, `POST`, …), uppercased by the client.
+    /// Method verb (`GET`, `POST`, `DELETE`, …), uppercased by the client.
     pub method: String,
     /// Request path (no scheme/host; query strings are kept verbatim).
     pub path: String,
@@ -23,53 +102,100 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
-/// Read one request off a keep-alive connection. `Ok(None)` = clean EOF
-/// (client closed between requests); `Err` = malformed traffic or I/O
-/// failure, after which the connection should be dropped.
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<Request>> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
+/// Read one line, bounded at `max` bytes. `Ok(None)` = clean EOF before
+/// any byte. Longer lines fail as [`HttpError::Malformed`] without reading
+/// the remainder, so a client streaming an endless line is cut off at the
+/// cap. `started` reports whether any byte was consumed before a timeout.
+fn read_line_bounded<R: BufRead>(
+    reader: &mut R,
+    max: usize,
+    started: bool,
+) -> Result<Option<String>, HttpError> {
+    let mut buf = Vec::new();
+    // `take` bounds how much one line may consume; reading through it
+    // leaves the underlying reader exactly past what was consumed.
+    let mut limited = reader.take(max as u64 + 1);
+    match limited.read_until(b'\n', &mut buf) {
+        Ok(0) => Ok(None),
+        Ok(n) if n > max => Err(HttpError::Malformed(format!(
+            "line exceeds the {max}-byte limit"
+        ))),
+        Ok(_) if !buf.ends_with(b"\n") => {
+            // EOF mid-line: the client hung up while sending.
+            Err(HttpError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-line",
+            )))
+        }
+        Ok(_) => String::from_utf8(buf)
+            .map(Some)
+            .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".to_string())),
+        Err(e) if is_timeout(&e) => Err(HttpError::Timeout {
+            started: started || !buf.is_empty(),
+        }),
+        Err(e) => Err(HttpError::Io(e)),
     }
+}
+
+/// Read one request off a keep-alive connection. `Ok(None)` = clean EOF
+/// (client closed between requests); `Err` = malformed / oversized / timed
+/// out / failed traffic, each typed so the caller can answer before
+/// dropping the connection.
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    limits: &HttpLimits,
+) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line_bounded(reader, limits.max_line, false)? else {
+        return Ok(None);
+    };
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m.to_string(), p.to_string()),
         _ => {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("malformed request line {line:?}"),
-            ))
+            return Err(HttpError::Malformed(format!(
+                "malformed request line {line:?}"
+            )))
         }
     };
     let mut content_length = 0usize;
+    let mut headers = 0usize;
     loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Ok(None); // EOF mid-headers: treat as a closed client
-        }
+        let Some(header) = read_line_bounded(reader, limits.max_line, true)? else {
+            // EOF mid-headers: treat as a closed client.
+            return Ok(None);
+        };
         let header = header.trim_end();
         if header.is_empty() {
             break;
         }
+        headers += 1;
+        if headers > limits.max_headers {
+            return Err(HttpError::Malformed(format!(
+                "more than {} headers",
+                limits.max_headers
+            )));
+        }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().map_err(|_| {
-                    std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        format!("bad content-length {value:?}"),
-                    )
+                    HttpError::Malformed(format!("bad content-length {value:?}"))
                 })?;
             }
         }
     }
-    if content_length > MAX_BODY {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("body of {content_length} bytes exceeds the {MAX_BODY}-byte limit"),
-        ));
+    // Reject before reading a single body byte: an oversized upload costs
+    // the server nothing but this comparison.
+    if content_length > limits.max_body {
+        return Err(HttpError::TooLarge(content_length));
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    reader.read_exact(&mut body).map_err(|e| {
+        if is_timeout(&e) {
+            HttpError::Timeout { started: true }
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
     Ok(Some(Request { method, path, body }))
 }
 
@@ -87,8 +213,13 @@ pub fn write_response(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        410 => "Gone",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     };
     let mut head = format!(
@@ -173,6 +304,11 @@ impl Client {
         self.request("POST", path, body)
     }
 
+    /// Convenience: `DELETE path` (the job-cancel endpoint).
+    pub fn delete(&mut self, path: &str) -> std::io::Result<Response> {
+        self.request("DELETE", path, "")
+    }
+
     fn read_response(&mut self) -> std::io::Result<Response> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
@@ -212,5 +348,61 @@ impl Client {
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         Ok(Response { status, headers, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(bytes.to_vec()), &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /v1/jobs HTTP/1.1\r\nhost: x\r\ncontent-length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_content_length_is_too_large_before_body_read() {
+        // Only the headers are present — rejection must not wait for body
+        // bytes that will never arrive.
+        let got = parse(b"POST / HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n");
+        assert!(matches!(got, Err(HttpError::TooLarge(99_999_999))), "{got:?}");
+    }
+
+    #[test]
+    fn long_line_and_header_flood_are_malformed() {
+        let limits = HttpLimits { max_body: 1024, max_line: 64, max_headers: 4 };
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(256));
+        assert!(matches!(
+            read_request(&mut Cursor::new(long.into_bytes()), &limits),
+            Err(HttpError::Malformed(_))
+        ));
+        let flood = format!("GET / HTTP/1.1\r\n{}\r\n", "x: y\r\n".repeat(10));
+        assert!(matches!(
+            read_request(&mut Cursor::new(flood.into_bytes()), &limits),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn bad_content_length_is_malformed() {
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\ncontent-length: banana\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
     }
 }

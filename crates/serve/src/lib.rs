@@ -15,7 +15,16 @@
 //! - [`http`] — tokio-free HTTP/1.1 framing over `std::net`,
 //! - [`server`] — the endpoint surface gluing the above together,
 //! - [`loadtest`] — an in-process many-client hammer measuring hit rate
-//!   and latency percentiles, plus the CI smoke check.
+//!   and latency percentiles, plus the CI smoke check,
+//! - [`chaos`] — seeded, deterministic fault injection against the
+//!   service itself (worker panics, stalls, torn disk writes), driven by
+//!   the `asf-repro chaos` soak.
+//!
+//! The serving layer is *self-healing*: panicking jobs are caught and the
+//! worker respawned ([`pool`]), every job runs under a deadline enforced
+//! by a watchdog firing cooperative cancel tokens ([`server`]), persisted
+//! cache cells are checksummed and quarantined on corruption ([`cache`]),
+//! and request framing is bounded in every dimension ([`http`]).
 //!
 //! Everything here is std-only: the offline build vendors no async
 //! runtime, so concurrency is threads + condvars end to end.
@@ -24,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod http;
 pub mod loadtest;
 pub mod pool;

@@ -1,4 +1,4 @@
-//! Bounded worker pool with FIFO admission control.
+//! Bounded, self-healing worker pool with FIFO admission control.
 //!
 //! "On the Cost of Concurrency in Transactional Memory"'s lesson applies
 //! to the serving layer itself: admitting unbounded concurrent simulations
@@ -7,6 +7,23 @@
 //! against a full queue is *rejected immediately* ([`PoolFull`], surfaced
 //! as HTTP 429 with the current depth in a header) instead of piling up
 //! latency for every queued client.
+//!
+//! ## Supervision
+//!
+//! Every job runs under `catch_unwind`. A panicking job must not take a
+//! worker with it — before supervision, one poisoned job spec could
+//! silently halve the pool until nothing drained the queue. A caught
+//! panic is counted, the worker *retires* (a panicked stack is not worth
+//! trusting for the next job), and a sentinel [`Drop`] guard spawns a
+//! fresh replacement thread, so capacity converges back to the configured
+//! worker count no matter how many jobs panic. [`WorkerPool::health`]
+//! snapshots live workers, lifetime panics, and respawns for the
+//! `/v1/healthz` readiness endpoint.
+//!
+//! The sentinel pushes the replacement's `JoinHandle` while still holding
+//! the state lock so a concurrent shutdown either observes `open ==
+//! false` before the respawn decision, or finds the new handle already in
+//! the join list — a replacement can never be leaked past `shutdown`.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -20,21 +37,43 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PoolFull(pub usize);
 
+/// Point-in-time supervision snapshot, serialised into `/v1/healthz`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Configured worker count (the target the pool heals towards).
+    pub workers: usize,
+    /// Workers currently alive (between a retirement and its respawn this
+    /// can briefly dip below `workers`).
+    pub live: usize,
+    /// Lifetime count of jobs that panicked.
+    pub panics: u64,
+    /// Lifetime count of replacement workers spawned after a panic.
+    pub respawns: u64,
+    /// Pending (not yet started) jobs.
+    pub queue_depth: usize,
+}
+
 struct State {
     queue: VecDeque<Job>,
     open: bool,
+    live: usize,
+    panics: u64,
+    respawns: u64,
+    next_worker: usize,
 }
 
 struct Shared {
     state: Mutex<State>,
     cv: Condvar,
     capacity: usize,
+    // Lock order: `state` before `handles`, never the reverse.
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// Fixed-size worker pool over a bounded FIFO queue.
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    workers: usize,
 }
 
 impl WorkerPool {
@@ -44,20 +83,22 @@ impl WorkerPool {
         assert!(workers >= 1, "need at least one worker");
         assert!(capacity >= 1, "queue capacity must be at least 1");
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { queue: VecDeque::new(), open: true }),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                open: true,
+                live: workers,
+                panics: 0,
+                respawns: 0,
+                next_worker: workers,
+            }),
             cv: Condvar::new(),
             capacity,
+            handles: Mutex::new(Vec::with_capacity(workers)),
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("asf-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
-        WorkerPool { shared, handles }
+        let handles: Vec<JoinHandle<()>> =
+            (0..workers).map(|i| spawn_worker(&shared, i)).collect();
+        shared.handles.lock().unwrap().extend(handles);
+        WorkerPool { shared, workers }
     }
 
     /// Enqueue a job. `Ok(depth)` is the queue depth right after the
@@ -85,12 +126,22 @@ impl WorkerPool {
         self.shared.capacity
     }
 
-    /// Stop accepting work, drain the queue, and join every worker.
-    pub fn shutdown(mut self) {
-        self.close();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+    /// Supervision snapshot for the readiness endpoint.
+    pub fn health(&self) -> PoolHealth {
+        let state = self.shared.state.lock().unwrap();
+        PoolHealth {
+            workers: self.workers,
+            live: state.live,
+            panics: state.panics,
+            respawns: state.respawns,
+            queue_depth: state.queue.len(),
         }
+    }
+
+    /// Stop accepting work, drain the queue, and join every worker
+    /// (including any replacements spawned during the drain).
+    pub fn shutdown(self) {
+        // Drop does the work; this name exists for call-site clarity.
     }
 
     fn close(&self) {
@@ -104,13 +155,59 @@ impl Drop for WorkerPool {
         // Dropping without an explicit shutdown still stops the workers;
         // queued-but-unstarted jobs are executed first (drain semantics).
         self.close();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        // Join until the list is empty — sentinels may append replacement
+        // handles while earlier ones are being joined.
+        loop {
+            let handle = self.shared.handles.lock().unwrap().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn spawn_worker(shared: &Arc<Shared>, id: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("asf-serve-worker-{id}"))
+        .spawn(move || worker_loop(&shared))
+        .expect("spawn worker")
+}
+
+/// Decrements `live` on worker exit and — when the exit was a
+/// panic-retirement while the pool is still open — spawns the
+/// replacement. Running this from `Drop` (not straight-line code) means
+/// even an unexpected unwind out of the worker loop heals the pool.
+struct Sentinel {
+    shared: Arc<Shared>,
+    clean: bool,
+}
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.live -= 1;
+        if !self.clean && state.open {
+            state.respawns += 1;
+            state.live += 1;
+            let id = state.next_worker;
+            state.next_worker += 1;
+            let handle = spawn_worker(&self.shared, id);
+            // Push while still holding the state lock: shutdown's close()
+            // serialises on that lock, so it cannot observe `open` flipped
+            // without also seeing this handle in the join list.
+            self.shared.handles.lock().unwrap().push(handle);
+        }
+        drop(state);
+        self.shared.cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut sentinel = Sentinel { shared: Arc::clone(shared), clean: false };
     loop {
         let job = {
             let mut state = shared.state.lock().unwrap();
@@ -119,12 +216,18 @@ fn worker_loop(shared: &Shared) {
                     break job;
                 }
                 if !state.open {
+                    sentinel.clean = true;
                     return;
                 }
                 state = shared.cv.wait(state).unwrap();
             }
         };
-        job();
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+            shared.state.lock().unwrap().panics += 1;
+            // Retire: a stack that just unwound is not worth reusing.
+            // `sentinel.clean` stays false, so Drop spawns a replacement.
+            return;
+        }
     }
 }
 
@@ -132,6 +235,7 @@ fn worker_loop(shared: &Shared) {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
 
     #[test]
     fn runs_submitted_jobs_and_drains_on_shutdown() {
@@ -172,6 +276,42 @@ mod tests {
         let (lock, cv) = &*gate;
         *lock.lock().unwrap() = true;
         cv.notify_all();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_job_retires_and_respawns_the_worker() {
+        let pool = WorkerPool::new(1, 16);
+        pool.submit(|| panic!("poisoned job")).unwrap();
+        // The single worker must heal; a job submitted after the panic
+        // still completes.
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if pool
+                .submit({
+                    let d = Arc::clone(&d);
+                    move || {
+                        d.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .is_ok()
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "pool never healed");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while done.load(Ordering::Relaxed) == 0 {
+            assert!(Instant::now() < deadline, "healed worker never ran the job");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let health = pool.health();
+        assert_eq!(health.panics, 1);
+        assert_eq!(health.respawns, 1);
+        assert_eq!(health.live, 1);
         pool.shutdown();
     }
 }

@@ -13,7 +13,7 @@ use crate::cache::CachedResult;
 use crate::spec::JobSpec;
 use asf_machine::machine::{Machine, SimConfig};
 use asf_machine::obs::ObsConfig;
-use asf_machine::snapshot::ProgressProbe;
+use asf_machine::snapshot::{CancelToken, ProgressProbe};
 use asf_machine::trace::ChromeTraceSink;
 use asf_stats::digest::run_stats_digest;
 use asf_stats::run::RunStats;
@@ -43,6 +43,18 @@ pub fn run_spec(
     spec: &JobSpec,
     probe: Option<Arc<ProgressProbe>>,
 ) -> Result<CachedResult, String> {
+    run_spec_cancellable(spec, probe, None)
+}
+
+/// [`run_spec`] with a cooperative [`CancelToken`]: the machine checks it
+/// at the progress-publish cadence and unwinds with a cancellation error
+/// when a supervisor (client cancel or the server's deadline watchdog)
+/// has fired it. A cancelled run produces no result and is never cached.
+pub fn run_spec_cancellable(
+    spec: &JobSpec,
+    probe: Option<Arc<ProgressProbe>>,
+    cancel: Option<Arc<CancelToken>>,
+) -> Result<CachedResult, String> {
     let workload = asf_workloads::by_name(&spec.bench, spec.scale)
         .ok_or_else(|| format!("unknown benchmark {:?}", spec.bench))?;
     let mut cfg = SimConfig::paper_seeded(spec.detector, spec.seed);
@@ -50,6 +62,9 @@ pub fn run_spec(
     let mut machine = Machine::new(workload.as_ref(), cfg);
     if let Some(probe) = probe {
         machine.attach_progress_probe(probe);
+    }
+    if let Some(cancel) = cancel {
+        machine.attach_cancel_token(cancel);
     }
     if spec.observe {
         machine.enable_observability(ObsConfig {
@@ -114,6 +129,20 @@ mod tests {
         assert_eq!(a.stats_digest, b.stats_digest);
         assert!(b.metrics.is_some() && b.trace.is_some());
         assert!(b.metrics.unwrap().contains("asf-obs-v1"));
+    }
+
+    #[test]
+    fn a_prefired_cancel_token_stops_the_run_with_a_typed_message() {
+        let spec = JobSpec::new("ssca2", DetectorKind::SubBlock(4), Scale::Small, 0xA5);
+        let token = Arc::new(CancelToken::new());
+        token.cancel(asf_machine::snapshot::CancelKind::Deadline);
+        let err = run_spec_cancellable(&spec, None, Some(token)).unwrap_err();
+        assert!(err.contains("deadline"), "{err}");
+        // An attached-but-unfired token is bit-transparent.
+        let live = Arc::new(CancelToken::new());
+        let a = run_spec_cancellable(&spec, None, Some(live)).unwrap();
+        let b = run_spec(&spec, None).unwrap();
+        assert_eq!(*a.body, *b.body);
     }
 
     #[test]

@@ -5,10 +5,11 @@
 //!
 //! | Method | Path                  | Purpose                                   |
 //! |--------|-----------------------|-------------------------------------------|
-//! | GET    | `/v1/healthz`         | liveness                                  |
+//! | GET    | `/v1/healthz`         | readiness: pool supervision, queue, cache integrity |
 //! | POST   | `/v1/jobs`            | submit a job spec (429 + depth when full) |
 //! | GET    | `/v1/jobs/:id`        | status + progress snapshot                |
-//! | GET    | `/v1/jobs/:id/result` | the `asf-serve-v1` artifact (202 pending) |
+//! | DELETE | `/v1/jobs/:id`        | cooperative cancel (409 once terminal)    |
+//! | GET    | `/v1/jobs/:id/result` | the `asf-serve-v1` artifact (202 pending, 410 cancelled) |
 //! | GET    | `/v1/jobs/:id/metrics`| `asf-obs-v1` snapshot (observed jobs)     |
 //! | GET    | `/v1/jobs/:id/trace`  | Chrome trace JSON (observed jobs)         |
 //! | GET    | `/v1/cache/stats`     | cache + admission counters                |
@@ -19,13 +20,28 @@
 //! in O(1), and concurrent identical submissions — whether they race
 //! through the queue or arrive while one is running — coalesce onto a
 //! single computation (`ResultCache::get_or_compute`'s single-flight).
+//!
+//! ## Deadlines & cancellation
+//!
+//! Every submission carries a deadline (client `deadline_ms`, clamped to
+//! the server cap; server default otherwise). A watchdog thread scans the
+//! registry every [`ServeOpts::deadline_tick_ms`] and fires the job's
+//! [`CancelToken`] once the deadline passes; the simulator checks the
+//! token cooperatively at its progress-publish cadence and unwinds
+//! cleanly. `DELETE /v1/jobs/:id` fires the same token with client
+//! provenance. Both produce *typed terminal states* (`cancelled`,
+//! `deadline_exceeded`) that are never cached — a resubmission computes
+//! fresh. Cancellation is cooperative and therefore best-effort: a job
+//! that completes in the race window stays `done` and its (valid) result
+//! is kept.
 
 use crate::cache::{CacheConfig, ResultCache};
-use crate::http::{read_request, write_response, Request};
-use crate::pool::WorkerPool;
-use crate::runner::run_spec;
-use crate::spec::{parse_digest_hex, JobSpec};
-use asf_machine::snapshot::ProgressProbe;
+use crate::chaos::ServeChaosPlan;
+use crate::http::{read_request, write_response, HttpError, HttpLimits, Request};
+use crate::pool::{PoolHealth, WorkerPool};
+use crate::runner::run_spec_cancellable;
+use crate::spec::{parse_digest_hex, JobSpec, Submission};
+use asf_machine::snapshot::{CancelKind, CancelToken, ProgressProbe};
 use asf_mem::fxhash::FxHashMap;
 use asf_stats::json::escape;
 use std::io::BufReader;
@@ -34,6 +50,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -49,6 +66,23 @@ pub struct ServeOpts {
     pub cache_capacity: usize,
     /// Persistent store directory (`None` = memory only).
     pub disk_dir: Option<PathBuf>,
+    /// Request framing bounds (body size, header line length/count).
+    pub limits: HttpLimits,
+    /// Socket read timeout per connection, ms. A connection idle past it
+    /// is closed; one that stalls *mid-request* is answered 408 first.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout per connection, ms.
+    pub write_timeout_ms: u64,
+    /// Deadline applied to submissions that do not name one, ms.
+    pub default_deadline_ms: u64,
+    /// Hard cap on client-requested deadlines, ms.
+    pub max_deadline_ms: u64,
+    /// Deadline-watchdog scan interval, ms. Bounds how far past its
+    /// deadline a job can run before its cancel token fires.
+    pub deadline_tick_ms: u64,
+    /// Fault-injection plan; [`ServeChaosPlan::none`] (the default) is
+    /// structurally inert.
+    pub chaos: ServeChaosPlan,
 }
 
 impl Default for ServeOpts {
@@ -59,6 +93,13 @@ impl Default for ServeOpts {
             queue_capacity: 256,
             cache_capacity: 1024,
             disk_dir: None,
+            limits: HttpLimits::default(),
+            read_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
+            default_deadline_ms: 300_000,
+            max_deadline_ms: 600_000,
+            deadline_tick_ms: 25,
+            chaos: ServeChaosPlan::none(),
         }
     }
 }
@@ -70,6 +111,8 @@ enum JobPhase {
     Running,
     Done,
     Failed(String),
+    Cancelled,
+    DeadlineExceeded,
 }
 
 impl JobPhase {
@@ -79,7 +122,13 @@ impl JobPhase {
             JobPhase::Running => "running",
             JobPhase::Done => "done",
             JobPhase::Failed(_) => "failed",
+            JobPhase::Cancelled => "cancelled",
+            JobPhase::DeadlineExceeded => "deadline_exceeded",
         }
+    }
+
+    fn is_terminal(&self) -> bool {
+        !matches!(self, JobPhase::Queued | JobPhase::Running)
     }
 }
 
@@ -87,6 +136,8 @@ struct JobEntry {
     spec: JobSpec,
     phase: Mutex<JobPhase>,
     probe: Arc<ProgressProbe>,
+    cancel: Arc<CancelToken>,
+    deadline: Instant,
 }
 
 /// Shared service state (cache, registry, pool, counters). Exposed so the
@@ -96,6 +147,17 @@ pub struct ServeState {
     pub cache: ResultCache,
     jobs: Mutex<FxHashMap<u64, Arc<JobEntry>>>,
     pool: WorkerPool,
+    limits: HttpLimits,
+    read_timeout_ms: u64,
+    write_timeout_ms: u64,
+    default_deadline_ms: u64,
+    max_deadline_ms: u64,
+    deadline_tick_ms: u64,
+    chaos: ServeChaosPlan,
+    /// Execution-attempt ordinals per digest, so chaos decisions are a
+    /// pure function of `(seed, digest, attempt)` regardless of thread
+    /// interleaving. Only touched when chaos is enabled.
+    chaos_attempts: Mutex<FxHashMap<u64, u32>>,
     /// Total submissions accepted (cached answers included).
     pub jobs_submitted: AtomicU64,
     /// Submissions answered `cached` straight from the store.
@@ -108,6 +170,14 @@ pub struct ServeState {
     pub jobs_completed: AtomicU64,
     /// Jobs that failed (watchdog etc.).
     pub jobs_failed: AtomicU64,
+    /// Jobs terminated by client cancel.
+    pub jobs_cancelled: AtomicU64,
+    /// Jobs terminated by the deadline watchdog.
+    pub jobs_deadline_exceeded: AtomicU64,
+    /// Worker panics injected by the chaos plan.
+    pub chaos_panics_injected: AtomicU64,
+    /// Artificial stalls injected by the chaos plan.
+    pub chaos_stalls_injected: AtomicU64,
     shutting_down: AtomicBool,
 }
 
@@ -117,6 +187,38 @@ impl ServeState {
         self.pool.depth()
     }
 
+    /// Worker-supervision snapshot.
+    pub fn pool_health(&self) -> PoolHealth {
+        self.pool.health()
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Relaxed)
+    }
+
+    /// The `GET /v1/healthz` readiness document: pool supervision, queue
+    /// pressure, and cache integrity in one probe-friendly object.
+    pub fn healthz_json(&self) -> String {
+        let health = self.pool.health();
+        let shutting_down = self.is_shutting_down();
+        let ok = !shutting_down && health.live > 0;
+        format!(
+            "{{\"ok\": {ok}, \"shutting_down\": {shutting_down}, \
+             \"workers\": {}, \"live_workers\": {}, \"worker_panics\": {}, \
+             \"worker_respawns\": {}, \"queue_depth\": {}, \"queue_capacity\": {}, \
+             \"corrupt_quarantined\": {}, \"disk_write_failures\": {}}}\n",
+            health.workers,
+            health.live,
+            health.panics,
+            health.respawns,
+            health.queue_depth,
+            self.pool.capacity(),
+            self.cache.counters.corrupt_quarantined.load(Ordering::Relaxed),
+            self.cache.counters.disk_write_failures.load(Ordering::Relaxed),
+        )
+    }
+
     /// The `GET /v1/cache/stats` document.
     pub fn stats_json(&self) -> String {
         format!(
@@ -124,7 +226,9 @@ impl ServeState {
              \"queue_depth\": {},\n  \"queue_capacity\": {},\n  \
              \"jobs_submitted\": {},\n  \"submit_cache_hits\": {},\n  \
              \"submit_coalesced\": {},\n  \"jobs_rejected\": {},\n  \
-             \"jobs_completed\": {},\n  \"jobs_failed\": {}\n}}\n",
+             \"jobs_completed\": {},\n  \"jobs_failed\": {},\n  \
+             \"jobs_cancelled\": {},\n  \"jobs_deadline_exceeded\": {},\n  \
+             \"chaos_panics_injected\": {},\n  \"chaos_stalls_injected\": {}\n}}\n",
             self.cache.counters.to_json(),
             self.cache.len(),
             self.cache.capacity(),
@@ -136,6 +240,10 @@ impl ServeState {
             self.jobs_rejected.load(Ordering::Relaxed),
             self.jobs_completed.load(Ordering::Relaxed),
             self.jobs_failed.load(Ordering::Relaxed),
+            self.jobs_cancelled.load(Ordering::Relaxed),
+            self.jobs_deadline_exceeded.load(Ordering::Relaxed),
+            self.chaos_panics_injected.load(Ordering::Relaxed),
+            self.chaos_stalls_injected.load(Ordering::Relaxed),
         )
     }
 }
@@ -146,10 +254,12 @@ pub struct Server {
     state: Arc<ServeState>,
     port: u16,
     accept: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind, start the accept loop and the worker pool.
+    /// Bind, start the accept loop, the worker pool, and the deadline
+    /// watchdog.
     pub fn start(opts: ServeOpts) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
         let port = listener.local_addr()?.port();
@@ -160,14 +270,30 @@ impl Server {
             })?,
             jobs: Mutex::new(FxHashMap::default()),
             pool: WorkerPool::new(opts.workers, opts.queue_capacity),
+            limits: opts.limits,
+            read_timeout_ms: opts.read_timeout_ms,
+            write_timeout_ms: opts.write_timeout_ms,
+            default_deadline_ms: opts.default_deadline_ms,
+            max_deadline_ms: opts.max_deadline_ms,
+            deadline_tick_ms: opts.deadline_tick_ms,
+            chaos: opts.chaos,
+            chaos_attempts: Mutex::new(FxHashMap::default()),
             jobs_submitted: AtomicU64::new(0),
             submit_cache_hits: AtomicU64::new(0),
             submit_coalesced: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            jobs_deadline_exceeded: AtomicU64::new(0),
+            chaos_panics_injected: AtomicU64::new(0),
+            chaos_stalls_injected: AtomicU64::new(0),
             shutting_down: AtomicBool::new(false),
         });
+        if state.chaos.enabled() {
+            let plan = state.chaos;
+            state.cache.set_disk_chaos(Box::new(move |digest| plan.disk_decision(digest)));
+        }
         let accept_state = Arc::clone(&state);
         let accept = std::thread::Builder::new()
             .name("asf-serve-accept".to_string())
@@ -185,7 +311,12 @@ impl Server {
                 }
             })
             .expect("spawn accept loop");
-        Ok(Server { state, port, accept: Some(accept) })
+        let watchdog_state = Arc::clone(&state);
+        let watchdog = std::thread::Builder::new()
+            .name("asf-serve-deadline".to_string())
+            .spawn(move || deadline_watchdog(&watchdog_state))
+            .expect("spawn deadline watchdog");
+        Ok(Server { state, port, accept: Some(accept), watchdog: Some(watchdog) })
     }
 
     /// The bound port (useful with an ephemeral bind).
@@ -237,17 +368,114 @@ impl Drop for Server {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.watchdog.take() {
+            let _ = h.join();
+        }
     }
 }
 
+/// The deadline watchdog: every tick, fire the cancel token of any
+/// non-terminal job past its deadline. Queued victims are transitioned
+/// immediately (there is no simulation to unwind); running victims are
+/// unwound cooperatively by the machine at its next publish cadence.
+/// Exits on shutdown — injected stalls also watch the shutdown flag, so
+/// the drain never waits out a stall the watchdog can no longer cancel.
+fn deadline_watchdog(state: &Arc<ServeState>) {
+    while !state.shutting_down.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(state.deadline_tick_ms));
+        let now = Instant::now();
+        let expired: Vec<Arc<JobEntry>> = {
+            let jobs = state.jobs.lock().unwrap();
+            jobs.values()
+                .filter(|e| now >= e.deadline && !e.phase.lock().unwrap().is_terminal())
+                .cloned()
+                .collect()
+        };
+        for entry in expired {
+            entry.cancel.cancel(CancelKind::Deadline);
+            let queued = matches!(*entry.phase.lock().unwrap(), JobPhase::Queued);
+            if queued {
+                mark_cancelled(state, &entry);
+            }
+        }
+    }
+}
+
+/// Transition a job to its cancelled terminal phase, exactly once. The
+/// phase is derived from the token (first writer wins there), so racing
+/// supervisors agree on the verdict.
+fn mark_cancelled(state: &ServeState, entry: &JobEntry) {
+    let Some(kind) = entry.cancel.kind() else { return };
+    let mut phase = entry.phase.lock().unwrap();
+    if phase.is_terminal() {
+        return;
+    }
+    *phase = match kind {
+        CancelKind::Client => {
+            state.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            JobPhase::Cancelled
+        }
+        CancelKind::Deadline => {
+            state.jobs_deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            JobPhase::DeadlineExceeded
+        }
+    };
+    entry.probe.finish();
+}
+
 fn handle_connection(stream: TcpStream, state: &Arc<ServeState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(state.read_timeout_ms)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(state.write_timeout_ms)));
     let Ok(write_half) = stream.try_clone() else { return };
     let mut write_half = write_half;
     let mut reader = BufReader::new(stream);
-    while let Ok(Some(req)) = read_request(&mut reader) {
-        let keep_going = respond(&mut write_half, &req, state);
-        if !keep_going || state.shutting_down.load(Ordering::Relaxed) {
-            break;
+    loop {
+        match read_request(&mut reader, &state.limits) {
+            Ok(Some(req)) => {
+                let keep_going = respond(&mut write_half, &req, state);
+                if !keep_going || state.shutting_down.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            // Clean close between requests.
+            Ok(None) => break,
+            // Broken traffic is *answered*, then the connection closes:
+            // a client that can read a status line learns what it did
+            // wrong instead of diagnosing a silent hangup.
+            Err(HttpError::Malformed(e)) => {
+                let _ = write_response(
+                    &mut write_half,
+                    400,
+                    &[],
+                    &format!("{{\"error\": {}}}\n", escape(&e)),
+                );
+                break;
+            }
+            Err(HttpError::TooLarge(len)) => {
+                let _ = write_response(
+                    &mut write_half,
+                    413,
+                    &[],
+                    &format!(
+                        "{{\"error\": \"request body of {len} bytes exceeds the \
+                         {}-byte limit\"}}\n",
+                        state.limits.max_body
+                    ),
+                );
+                break;
+            }
+            // A request was started but never finished arriving: 408.
+            Err(HttpError::Timeout { started: true }) => {
+                let _ = write_response(
+                    &mut write_half,
+                    408,
+                    &[],
+                    "{\"error\": \"timed out reading request\"}\n",
+                );
+                break;
+            }
+            // Idle keep-alive expiry or transport failure: just close.
+            Err(HttpError::Timeout { started: false }) | Err(HttpError::Io(_)) => break,
         }
     }
 }
@@ -257,10 +485,11 @@ fn respond(stream: &mut TcpStream, req: &Request, state: &Arc<ServeState>) -> bo
     let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
     let outcome = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["v1", "healthz"]) => {
-            write_response(stream, 200, &[], "{\"ok\": true}\n")
+            write_response(stream, 200, &[], &state.healthz_json())
         }
         ("POST", ["v1", "jobs"]) => handle_submit(stream, req, state),
         ("GET", ["v1", "jobs", id]) => handle_status(stream, id, state),
+        ("DELETE", ["v1", "jobs", id]) => handle_cancel(stream, id, state),
         ("GET", ["v1", "jobs", id, "result"]) => handle_result(stream, id, state),
         ("GET", ["v1", "jobs", id, artifact @ ("metrics" | "trace")]) => {
             handle_artifact(stream, id, artifact, state)
@@ -304,8 +533,8 @@ fn handle_submit(
     state: &Arc<ServeState>,
 ) -> std::io::Result<()> {
     let body = String::from_utf8_lossy(&req.body);
-    let spec = match JobSpec::from_json(&body) {
-        Ok(spec) => spec,
+    let submission = match Submission::from_json(&body) {
+        Ok(sub) => sub,
         Err(e) => {
             return write_response(
                 stream,
@@ -315,6 +544,7 @@ fn handle_submit(
             )
         }
     };
+    let spec = submission.spec;
     let digest = spec.digest();
     let id = spec.digest_hex();
     state.jobs_submitted.fetch_add(1, Ordering::Relaxed);
@@ -346,11 +576,20 @@ fn handle_submit(
             }
         }
     }
+    // The effective deadline: client ask clamped to the cap, server
+    // default otherwise. Submission-level only — it never touches the
+    // content address.
+    let deadline_ms = submission
+        .deadline_ms
+        .unwrap_or(state.default_deadline_ms)
+        .min(state.max_deadline_ms);
     // Admission control: reject instead of queueing unboundedly.
     let entry = Arc::new(JobEntry {
         spec: spec.clone(),
         phase: Mutex::new(JobPhase::Queued),
         probe: Arc::new(ProgressProbe::new()),
+        cancel: Arc::new(CancelToken::new()),
+        deadline: Instant::now() + Duration::from_millis(deadline_ms),
     });
     let job_state = Arc::clone(state);
     let job_entry = Arc::clone(&entry);
@@ -362,7 +601,10 @@ fn handle_submit(
                 stream,
                 200,
                 &[depth_header(state), ("x-asf-cache", "miss".to_string())],
-                &submit_reply(&id, "queued", depth),
+                &format!(
+                    "{{\"job\": \"{id}\", \"status\": \"queued\", \
+                     \"queue_depth\": {depth}, \"deadline_ms\": {deadline_ms}}}\n"
+                ),
             )
         }
         Err(full) => {
@@ -391,28 +633,104 @@ fn mark_done_entry(state: &ServeState, digest: u64, spec: &JobSpec) {
             spec: spec.clone(),
             phase: Mutex::new(JobPhase::Done),
             probe: Arc::new(ProgressProbe::new()),
+            cancel: Arc::new(CancelToken::new()),
+            deadline: Instant::now(),
         })
     });
     *entry.phase.lock().unwrap() = JobPhase::Done;
 }
 
+/// Marks the job `Failed` if execution unwinds without reaching a normal
+/// phase transition — a panicking job (injected or genuine) must leave a
+/// terminal state behind, or resubmissions would coalesce onto a
+/// permanently `running` ghost.
+struct PhaseGuard<'a> {
+    state: &'a ServeState,
+    entry: &'a JobEntry,
+    armed: bool,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.state.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        *self.entry.phase.lock().unwrap() =
+            JobPhase::Failed("worker panicked during execution; resubmit to retry".to_string());
+        self.entry.probe.finish();
+    }
+}
+
 /// Worker-side execution: run (or join) the computation, then publish the
 /// phase transition.
 fn execute_job(state: &Arc<ServeState>, entry: &Arc<JobEntry>) {
+    // A supervisor may have fired the token while we were queued (client
+    // cancel, or the deadline passed before a worker freed up): terminal
+    // state without ever starting the simulation.
+    if entry.cancel.kind().is_some() {
+        mark_cancelled(state, entry);
+        return;
+    }
     *entry.phase.lock().unwrap() = JobPhase::Running;
+    let mut guard = PhaseGuard { state, entry, armed: true };
+    let digest = entry.spec.digest();
+    if state.chaos.enabled() {
+        let attempt = {
+            let mut attempts = state.chaos_attempts.lock().unwrap();
+            let counter = attempts.entry(digest).or_insert(0);
+            let attempt = *counter;
+            *counter += 1;
+            attempt
+        };
+        let decision = state.chaos.job_decision(digest, attempt);
+        if decision.stall {
+            state.chaos_stalls_injected.fetch_add(1, Ordering::Relaxed);
+            // Stall in small slices, watching the cancel token (so the
+            // deadline watchdog cuts the stall short) and the shutdown
+            // flag (so a drain never waits out a full stall).
+            let stall_until = Instant::now() + Duration::from_millis(state.chaos.stall_ms);
+            while Instant::now() < stall_until
+                && entry.cancel.kind().is_none()
+                && !state.shutting_down.load(Ordering::Relaxed)
+            {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if entry.cancel.kind().is_some() {
+                mark_cancelled(state, entry);
+                guard.armed = false;
+                return;
+            }
+        }
+        if decision.panic {
+            state.chaos_panics_injected.fetch_add(1, Ordering::Relaxed);
+            // The PhaseGuard converts this into `failed`; the pool
+            // supervisor counts it and respawns the worker.
+            panic!("chaos: injected worker panic");
+        }
+    }
     let probe = Arc::clone(&entry.probe);
+    let cancel = Arc::clone(&entry.cancel);
     let spec = entry.spec.clone();
-    let result = state
-        .cache
-        .get_or_compute(entry.spec.digest(), move || run_spec(&spec, Some(probe)));
+    let result = state.cache.get_or_compute(digest, move || {
+        run_spec_cancellable(&spec, Some(probe), Some(cancel))
+    });
+    guard.armed = false;
     match result {
         Ok(_) => {
             state.jobs_completed.fetch_add(1, Ordering::Relaxed);
             *entry.phase.lock().unwrap() = JobPhase::Done;
         }
         Err(e) => {
-            state.jobs_failed.fetch_add(1, Ordering::Relaxed);
-            *entry.phase.lock().unwrap() = JobPhase::Failed(e);
+            // The token says whether this failure *is* a cancellation;
+            // typed terminal states are never cached (`get_or_compute`
+            // drops every Err on the floor).
+            if entry.cancel.kind().is_some() {
+                mark_cancelled(state, entry);
+            } else {
+                state.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                *entry.phase.lock().unwrap() = JobPhase::Failed(e);
+            }
         }
     }
 }
@@ -462,6 +780,66 @@ fn handle_status(
     write_response(stream, 404, &[], "{\"error\": \"unknown job\"}\n")
 }
 
+/// `DELETE /v1/jobs/:id` — fire the job's cancel token with client
+/// provenance. Queued jobs transition immediately; running jobs are
+/// unwound at the machine's next cooperative check (the response says
+/// `cancelling`, the status endpoint reports the landing). A job already
+/// in a terminal state answers 409 — there is nothing left to cancel.
+fn handle_cancel(
+    stream: &mut TcpStream,
+    id: &str,
+    state: &Arc<ServeState>,
+) -> std::io::Result<()> {
+    let (digest, entry) = match lookup_entry(state, id) {
+        Ok(pair) => pair,
+        Err(e) => {
+            return write_response(stream, 400, &[], &format!("{{\"error\": {}}}\n", escape(&e)))
+        }
+    };
+    let Some(entry) = entry else {
+        // Completed in a previous lifetime (disk store) — terminal, so
+        // cancelling is a conflict; never-seen is a 404.
+        return if state.cache.lookup(digest).is_some() {
+            write_response(
+                stream,
+                409,
+                &[],
+                &format!("{{\"job\": \"{id}\", \"error\": \"job already cached\"}}\n"),
+            )
+        } else {
+            write_response(stream, 404, &[], "{\"error\": \"unknown job\"}\n")
+        };
+    };
+    let phase = entry.phase.lock().unwrap().clone();
+    if phase.is_terminal() {
+        return write_response(
+            stream,
+            409,
+            &[],
+            &format!(
+                "{{\"job\": \"{id}\", \"status\": \"{}\", \
+                 \"error\": \"job already terminal\"}}\n",
+                phase.label()
+            ),
+        );
+    }
+    entry.cancel.cancel(CancelKind::Client);
+    if matches!(phase, JobPhase::Queued) {
+        // No simulation to unwind — terminal right now.
+        mark_cancelled(state, &entry);
+    }
+    let landed = entry.phase.lock().unwrap().label();
+    write_response(
+        stream,
+        200,
+        &[depth_header(state)],
+        &format!(
+            "{{\"job\": \"{id}\", \"status\": \"{}\"}}\n",
+            if landed == "running" { "cancelling" } else { landed }
+        ),
+    )
+}
+
 fn handle_result(
     stream: &mut TcpStream,
     id: &str,
@@ -493,6 +871,21 @@ fn handle_result(
                     &format!(
                         "{{\"job\": \"{id}\", \"status\": \"failed\", \"error\": {}}}\n",
                         escape(&e)
+                    ),
+                );
+            }
+            // Cancelled jobs have no result, by construction: nothing was
+            // cached and nothing ever will be for this submission. 410
+            // (not 404) tells the client the job existed and is gone.
+            JobPhase::Cancelled | JobPhase::DeadlineExceeded => {
+                return write_response(
+                    stream,
+                    410,
+                    &[],
+                    &format!(
+                        "{{\"job\": \"{id}\", \"status\": \"{}\", \
+                         \"error\": \"job was cancelled; resubmit to compute\"}}\n",
+                        phase.label()
                     ),
                 );
             }

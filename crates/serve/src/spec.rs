@@ -90,10 +90,18 @@ impl JobSpec {
     /// and `seed` are required; `scale` defaults to `standard`, `faults`
     /// to `none`, `observe` to `false`. Unknown fields are an error — a
     /// field the canonicalizer does not render must not be able to smuggle
-    /// meaning past the content address.
+    /// meaning past the content address. Note `deadline_ms` is *not* a
+    /// spec field (it is submission metadata, see [`Submission`]) and is
+    /// rejected here like any other unknown key.
     pub fn from_json(src: &str) -> Result<JobSpec, String> {
         let root = parse(src)?;
-        let JsonValue::Obj(pairs) = &root else {
+        JobSpec::from_value(&root)
+    }
+
+    /// Parse a spec from an already-parsed JSON object (the spec fields
+    /// only — the caller has removed any submission metadata).
+    fn from_value(root: &JsonValue) -> Result<JobSpec, String> {
+        let JsonValue::Obj(pairs) = root else {
             return Err("job spec must be a JSON object".to_string());
         };
         for (key, _) in pairs {
@@ -175,6 +183,54 @@ impl JobSpec {
     }
 }
 
+/// One `POST /v1/jobs` body: the content-addressed [`JobSpec`] plus
+/// submission-level metadata that must **not** enter the content address.
+///
+/// `deadline_ms` bounds how long the server may spend on this submission;
+/// the *result* of a deterministic simulation does not depend on how long
+/// a client was willing to wait for it, so two submissions differing only
+/// in deadline land on the same digest and share one cache entry. Keeping
+/// the field out of [`JobSpec`] (whose parser rejects it as unknown) makes
+/// that structural rather than a convention.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Submission {
+    /// The job to run (or answer from cache).
+    pub spec: JobSpec,
+    /// Client deadline in milliseconds, if given. `None` means "use the
+    /// server default"; the server also clamps to its hard cap. Zero is
+    /// rejected at parse time — a submission that is already expired is a
+    /// client bug, not a job.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Submission {
+    /// Parse a submission body: every [`JobSpec`] field plus optional
+    /// `deadline_ms`.
+    pub fn from_json(src: &str) -> Result<Submission, String> {
+        let root = parse(src)?;
+        let JsonValue::Obj(pairs) = &root else {
+            return Err("job spec must be a JSON object".to_string());
+        };
+        let deadline_ms = match root.get("deadline_ms") {
+            None => None,
+            Some(v) => {
+                let ms = v.as_u64().map_err(|e| format!("bad deadline_ms: {e}"))?;
+                if ms == 0 {
+                    return Err("deadline_ms must be positive".to_string());
+                }
+                Some(ms)
+            }
+        };
+        let spec_pairs: Vec<(String, JsonValue)> = pairs
+            .iter()
+            .filter(|(k, _)| k != "deadline_ms")
+            .cloned()
+            .collect();
+        let spec = JobSpec::from_value(&JsonValue::Obj(spec_pairs))?;
+        Ok(Submission { spec, deadline_ms })
+    }
+}
+
 /// Parse a 16-hex-digit job id back into a digest.
 pub fn parse_digest_hex(id: &str) -> Result<u64, String> {
     if id.len() != 16 {
@@ -249,6 +305,44 @@ mod tests {
         ] {
             assert!(JobSpec::from_json(body).is_err(), "{what} accepted: {body}");
         }
+    }
+
+    #[test]
+    fn deadline_is_submission_metadata_not_spec() {
+        // The spec parser must reject deadline_ms (it is not part of the
+        // content address)…
+        assert!(JobSpec::from_json(
+            r#"{"bench": "ssca2", "detector": "sb4", "seed": 1, "deadline_ms": 500}"#
+        )
+        .is_err());
+        // …while the submission parser accepts it and two submissions
+        // differing only in deadline share one digest.
+        let fast = Submission::from_json(
+            r#"{"bench": "ssca2", "detector": "sb4", "seed": 1, "deadline_ms": 500}"#,
+        )
+        .unwrap();
+        let slow = Submission::from_json(
+            r#"{"bench": "ssca2", "detector": "sb4", "seed": 1, "deadline_ms": 60000}"#,
+        )
+        .unwrap();
+        let bare = Submission::from_json(r#"{"bench": "ssca2", "detector": "sb4", "seed": 1}"#)
+            .unwrap();
+        assert_eq!(fast.deadline_ms, Some(500));
+        assert_eq!(bare.deadline_ms, None);
+        assert_eq!(fast.spec.digest(), slow.spec.digest());
+        assert_eq!(fast.spec.digest(), bare.spec.digest());
+        // Zero and non-numeric deadlines are submission errors.
+        for body in [
+            r#"{"bench": "ssca2", "detector": "sb4", "seed": 1, "deadline_ms": 0}"#,
+            r#"{"bench": "ssca2", "detector": "sb4", "seed": 1, "deadline_ms": "soon"}"#,
+        ] {
+            assert!(Submission::from_json(body).is_err(), "{body}");
+        }
+        // Unknown fields still fail through the submission path.
+        assert!(Submission::from_json(
+            r#"{"bench": "ssca2", "detector": "sb4", "seed": 1, "priority": 9}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Property suite for the HTTP/1.1 request parser plus live-socket
+//! checks of the hardened connection handler: arbitrary chunking must
+//! not change what parses, truncated traffic must never produce a bogus
+//! request, junk bytes must never panic, pipelined requests must frame
+//! cleanly — and on a real socket the server answers 400/408/413 before
+//! closing instead of hanging up silently.
+
+use asf_serve::http::{read_request, Client, HttpError, HttpLimits, Request};
+use asf_serve::server::{ServeOpts, Server};
+use proptest::prelude::*;
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Parser properties (pure, over in-memory readers)
+// ---------------------------------------------------------------------------
+
+/// A reader that hands out at most `chunk` bytes per `read` call —
+/// simulates a peer whose bytes arrive in arbitrarily small pieces.
+struct Trickle {
+    data: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for Trickle {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self
+            .chunk
+            .min(buf.len())
+            .min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn parse_trickled(
+    bytes: &[u8],
+    chunk: usize,
+) -> (
+    BufReader<Trickle>,
+    Result<Option<Request>, HttpError>,
+) {
+    // A tiny BufReader capacity forces the bounded line reader to cross
+    // many fill_buf boundaries, the worst case for framing bugs.
+    let mut reader = BufReader::with_capacity(
+        chunk.max(1),
+        Trickle { data: bytes.to_vec(), pos: 0, chunk: chunk.max(1) },
+    );
+    let got = read_request(&mut reader, &HttpLimits::default());
+    (reader, got)
+}
+
+fn render_request(method: &str, path: &str, extra_headers: usize, body: &[u8]) -> Vec<u8> {
+    let mut out = format!("{method} {path} HTTP/1.1\r\nhost: proptest\r\n");
+    for i in 0..extra_headers {
+        out.push_str(&format!("x-extra-{i}: value-{i}\r\n"));
+    }
+    out.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+fn arb_method() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec!["GET", "POST", "DELETE", "PUT", "HEAD"])
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(vec!["v1", "jobs", "abc123", "result"]), 1..5)
+        .prop_map(|segs| format!("/{}", segs.join("/")))
+}
+
+proptest! {
+    /// A well-formed request parses to the same (method, path, body) no
+    /// matter how the transport fragments it.
+    #[test]
+    fn chunking_never_changes_what_parses(
+        method in arb_method(),
+        path in arb_path(),
+        extra in 0usize..8,
+        body in prop::collection::vec(any::<u8>(), 0..200),
+        chunk in 1usize..7,
+    ) {
+        let bytes = render_request(method, &path, extra, &body);
+        let (_, got) = parse_trickled(&bytes, chunk);
+        let req = got.expect("well-formed request parses").expect("not EOF");
+        prop_assert_eq!(req.method, method);
+        prop_assert_eq!(req.path, path);
+        prop_assert_eq!(req.body, body);
+    }
+
+    /// Truncating a request anywhere strictly short of its full length
+    /// must never yield a parsed request — the parser reports EOF or a
+    /// typed error, and (crucially) never panics.
+    #[test]
+    fn truncation_never_fabricates_a_request(
+        path in arb_path(),
+        body in prop::collection::vec(any::<u8>(), 0..100),
+        cut_permille in 0usize..1000,
+        chunk in 1usize..5,
+    ) {
+        let bytes = render_request("POST", &path, 2, &body);
+        let cut = bytes.len() * cut_permille / 1000;
+        prop_assume!(cut < bytes.len());
+        let (_, got) = parse_trickled(&bytes[..cut], chunk);
+        prop_assert!(
+            !matches!(got, Ok(Some(_))),
+            "a truncated request must not parse: {got:?}"
+        );
+    }
+
+    /// Arbitrary junk never panics the parser, and anything it does
+    /// accept has a non-empty method and path.
+    #[test]
+    fn junk_bytes_never_panic(
+        junk in prop::collection::vec(any::<u8>(), 0..300),
+        chunk in 1usize..5,
+    ) {
+        let (_, got) = parse_trickled(&junk, chunk);
+        if let Ok(Some(req)) = got {
+            prop_assert!(!req.method.is_empty() && !req.path.is_empty());
+        }
+    }
+
+    /// Pipelined keep-alive traffic frames exactly: N concatenated
+    /// requests parse back in order, then a clean EOF.
+    #[test]
+    fn pipelined_requests_frame_exactly(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..60), 1..6),
+        chunk in 1usize..5,
+    ) {
+        let mut wire = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            wire.extend_from_slice(&render_request("POST", &format!("/v1/req/{i}"), 1, body));
+        }
+        let mut reader = BufReader::with_capacity(
+            chunk,
+            Trickle { data: wire, pos: 0, chunk },
+        );
+        for (i, body) in bodies.iter().enumerate() {
+            let req = read_request(&mut reader, &HttpLimits::default())
+                .expect("pipelined request parses")
+                .expect("not EOF yet");
+            prop_assert_eq!(req.path, format!("/v1/req/{i}"));
+            prop_assert_eq!(&req.body, body);
+        }
+        let end = read_request(&mut reader, &HttpLimits::default()).expect("clean end");
+        prop_assert!(end.is_none(), "after the last request the stream is a clean EOF");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live-socket behaviour of the hardened connection handler
+// ---------------------------------------------------------------------------
+
+fn abuse_server() -> Server {
+    Server::start(ServeOpts {
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 8,
+        limits: HttpLimits { max_body: 2048, max_line: 256, max_headers: 8 },
+        read_timeout_ms: 300,
+        write_timeout_ms: 2_000,
+        ..ServeOpts::default()
+    })
+    .expect("server starts")
+}
+
+/// Send raw bytes, then read whatever the server answers until it closes.
+fn raw_exchange(addr: &str, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("client read timeout");
+    stream.write_all(bytes).expect("send");
+    let mut reply = Vec::new();
+    let _ = stream.read_to_end(&mut reply);
+    String::from_utf8_lossy(&reply).into_owned()
+}
+
+#[test]
+fn malformed_traffic_is_answered_400_then_closed() {
+    let server = abuse_server();
+    // A request line with no path token at all cannot be routed.
+    let reply = raw_exchange(&server.addr(), b"nonsense\r\n\r\n");
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    // An endless request line is cut off at the cap, also 400.
+    let long = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(4096));
+    let reply = raw_exchange(&server.addr(), long.as_bytes());
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    // The server survived the abuse.
+    let health = Client::connect(&server.addr())
+        .and_then(|mut c| c.get("/v1/healthz"))
+        .expect("healthz after abuse");
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("\"ok\": true"), "{}", health.text());
+    server.shutdown();
+}
+
+#[test]
+fn oversized_body_is_rejected_413_without_reading_it() {
+    let server = abuse_server();
+    // Headers only: the declared length alone must trigger the rejection
+    // (the body bytes never arrive).
+    let reply = raw_exchange(
+        &server.addr(),
+        b"POST /v1/jobs HTTP/1.1\r\ncontent-length: 1000000\r\n\r\n",
+    );
+    assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+    assert!(reply.contains("2048-byte limit"), "{reply}");
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_mid_request_is_answered_408() {
+    let server = abuse_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("client read timeout");
+    // Start a request and stop: the 300ms server read timeout expires
+    // with the request started, which must be answered 408.
+    stream.write_all(b"POST /v1/jobs HTTP/1.1\r\nhost:").expect("send partial");
+    let mut reply = Vec::new();
+    let _ = stream.read_to_end(&mut reply);
+    let reply = String::from_utf8_lossy(&reply);
+    assert!(reply.starts_with("HTTP/1.1 408"), "{reply}");
+    server.shutdown();
+}
+
+#[test]
+fn idle_keepalive_is_closed_silently() {
+    let server = abuse_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("client read timeout");
+    // Send nothing at all: after the read timeout the server hangs up
+    // without wasting a status line on a peer that never spoke.
+    let mut reply = Vec::new();
+    let n = stream.read_to_end(&mut reply).expect("clean close");
+    assert_eq!(n, 0, "idle expiry must close without bytes: {reply:?}");
+    server.shutdown();
+}

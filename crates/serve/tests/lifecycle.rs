@@ -1,0 +1,142 @@
+//! Deadline and cancellation lifecycle against a live server. A
+//! stall-only chaos plan (every job pauses before computing) makes the
+//! timing deterministic: the worker is provably busy while we race
+//! queued jobs against the watchdog, cancel a running job, and verify
+//! the typed terminal states — `cancelled` and `deadline_exceeded` —
+//! answer 410 on the result endpoint and are never cached, so a
+//! resubmission computes fresh.
+
+use asf_machine::fault::FaultRate;
+use asf_serve::chaos::ServeChaosPlan;
+use asf_serve::http::Client;
+use asf_serve::server::{ServeOpts, Server};
+use std::time::{Duration, Instant};
+
+fn spec_body(seed: u64) -> String {
+    format!(
+        "{{\"bench\": \"ssca2\", \"detector\": \"sb4\", \"scale\": \"small\", \
+         \"seed\": {seed}}}"
+    )
+}
+
+fn spec_with_deadline(seed: u64, deadline_ms: u64) -> String {
+    format!(
+        "{{\"bench\": \"ssca2\", \"detector\": \"sb4\", \"scale\": \"small\", \
+         \"seed\": {seed}, \"deadline_ms\": {deadline_ms}}}"
+    )
+}
+
+fn job_id(client: &mut Client, body: &str) -> String {
+    let reply = client.post("/v1/jobs", body).expect("submit");
+    assert_eq!(reply.status, 200, "{}", reply.text());
+    let text = reply.text();
+    let root = asf_stats::json::parse(&text).expect("submit reply parses");
+    root.field("job").unwrap().as_str().unwrap().to_string()
+}
+
+fn poll_status(client: &mut Client, id: &str, wanted: &str) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let reply = client.get(&format!("/v1/jobs/{id}")).expect("status");
+        let text = reply.text();
+        if text.contains(&format!("\"status\": \"{wanted}\"")) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} never reached {wanted:?}; last: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn deadlines_and_cancels_produce_typed_uncached_terminals() {
+    // Every job stalls 500ms before computing; nothing else is injected.
+    // One worker serialises execution so queued jobs stay queued.
+    let server = Server::start(ServeOpts {
+        workers: 1,
+        queue_capacity: 16,
+        cache_capacity: 16,
+        deadline_tick_ms: 5,
+        chaos: ServeChaosPlan {
+            seed: 7,
+            job_stall: FaultRate::ALWAYS,
+            stall_ms: 500,
+            ..ServeChaosPlan::none()
+        },
+        ..ServeOpts::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+
+    // A occupies the lone worker (default deadline, stalled 500ms).
+    let a = job_id(&mut client, &spec_body(1));
+    poll_status(&mut client, &a, "running");
+
+    // B expires while queued: its 1ms deadline passes long before the
+    // worker frees up, and the watchdog transitions it without a run.
+    let b = job_id(&mut client, &spec_with_deadline(2, 1));
+    poll_status(&mut client, &b, "deadline_exceeded");
+    let gone = client.get(&format!("/v1/jobs/{b}/result")).expect("result");
+    assert_eq!(gone.status, 410, "{}", gone.text());
+    assert!(gone.text().contains("resubmit"), "{}", gone.text());
+    // Terminal jobs cannot be cancelled again.
+    let conflict = client.delete(&format!("/v1/jobs/{b}")).expect("cancel terminal");
+    assert_eq!(conflict.status, 409, "{}", conflict.text());
+
+    // Client-cancel the running job: the stall loop observes the token
+    // within milliseconds and lands on `cancelled`.
+    let cancelling = client.delete(&format!("/v1/jobs/{a}")).expect("cancel running");
+    assert_eq!(cancelling.status, 200, "{}", cancelling.text());
+    poll_status(&mut client, &a, "cancelled");
+    let gone = client.get(&format!("/v1/jobs/{a}/result")).expect("result");
+    assert_eq!(gone.status, 410, "{}", gone.text());
+
+    // C is *running* when its 50ms deadline passes mid-stall: the
+    // watchdog fires the token and the stall loop converts it.
+    let c = job_id(&mut client, &spec_with_deadline(3, 50));
+    poll_status(&mut client, &c, "deadline_exceeded");
+
+    // Nothing cancelled was cached: resubmitting B computes fresh and
+    // completes (500ms stall, then the real run) under the default
+    // deadline.
+    let b2 = job_id(&mut client, &spec_body(2));
+    assert_eq!(b2, b, "same spec, same content address");
+    poll_status(&mut client, &b2, "done");
+    let result = client.get(&format!("/v1/jobs/{b2}/result")).expect("result");
+    assert_eq!(result.status, 200, "{}", result.text());
+    assert!(result.text().contains("asf-serve-v1"), "{}", result.text());
+
+    // The counters saw one client cancel, two deadline expiries, and the
+    // injected stalls.
+    let stats = client.get("/v1/cache/stats").expect("stats").text();
+    let root = asf_stats::json::parse(&stats).expect("stats parse");
+    assert_eq!(root.field("jobs_cancelled").unwrap().as_u64().unwrap(), 1, "{stats}");
+    assert_eq!(root.field("jobs_deadline_exceeded").unwrap().as_u64().unwrap(), 2, "{stats}");
+    assert!(root.field("chaos_stalls_injected").unwrap().as_u64().unwrap() >= 1, "{stats}");
+
+    // Readiness stayed green throughout (no worker ever died here).
+    let health = client.get("/v1/healthz").expect("healthz");
+    assert!(health.text().contains("\"ok\": true"), "{}", health.text());
+    assert!(health.text().contains("\"worker_panics\": 0"), "{}", health.text());
+
+    server.shutdown();
+}
+
+#[test]
+fn cancel_of_unknown_or_bad_ids_is_typed() {
+    let server = Server::start(ServeOpts {
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 4,
+        ..ServeOpts::default()
+    })
+    .expect("server starts");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    let bad = client.delete("/v1/jobs/not-hex").expect("bad id");
+    assert_eq!(bad.status, 400, "{}", bad.text());
+    let unknown = client.delete("/v1/jobs/0123456789abcdef").expect("unknown id");
+    assert_eq!(unknown.status, 404, "{}", unknown.text());
+    server.shutdown();
+}

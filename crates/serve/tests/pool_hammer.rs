@@ -1,0 +1,103 @@
+//! Supervision hammer: many submitter threads interleave panicking and
+//! well-behaved jobs against one pool. Every well-behaved job must
+//! complete, every panic must be counted and answered with a respawn,
+//! and the pool must converge back to its full complement of live
+//! workers. This test lives alone in its binary because it silences the
+//! default panic hook — dozens of *intentional* worker panics would
+//! otherwise bury the test output.
+
+use asf_serve::pool::WorkerPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SUBMITTERS: usize = 8;
+const JOBS_PER_SUBMITTER: usize = 32;
+
+/// Every third job panics — interleaved with the well-behaved ones from
+/// the same submitter, so panics land while healthy work is in flight.
+fn is_panicker(submitter: usize, job: usize) -> bool {
+    (submitter + job).is_multiple_of(3)
+}
+
+#[test]
+fn hammered_pool_completes_all_wellbehaved_jobs_and_heals() {
+    // The panics here are the point; don't let libstd narrate each one.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let pool = Arc::new(WorkerPool::new(4, SUBMITTERS * JOBS_PER_SUBMITTER));
+    let completed = Arc::new(AtomicUsize::new(0));
+
+    let mut expected_ok = 0usize;
+    let mut expected_panics = 0usize;
+    for s in 0..SUBMITTERS {
+        for j in 0..JOBS_PER_SUBMITTER {
+            if is_panicker(s, j) {
+                expected_panics += 1;
+            } else {
+                expected_ok += 1;
+            }
+        }
+    }
+
+    let submitters: Vec<_> = (0..SUBMITTERS)
+        .map(|s| {
+            let pool = Arc::clone(&pool);
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                for j in 0..JOBS_PER_SUBMITTER {
+                    let completed = Arc::clone(&completed);
+                    let job = move || {
+                        if is_panicker(s, j) {
+                            panic!("hammer: intentional job panic");
+                        }
+                        completed.fetch_add(1, Ordering::SeqCst);
+                    };
+                    // The queue is sized for the full load, but respawn
+                    // gaps can momentarily close admission; retry.
+                    let mut backoff = 0u32;
+                    while pool.submit(job.clone()).is_err() {
+                        backoff += 1;
+                        assert!(backoff < 10_000, "submission starved");
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in submitters {
+        h.join().expect("submitter threads do not panic");
+    }
+
+    // Converge: all well-behaved jobs done, all panics counted, pool back
+    // at full strength with an empty queue.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let health = pool.health();
+        let done = completed.load(Ordering::SeqCst);
+        if done == expected_ok
+            && health.panics == expected_panics as u64
+            && health.queue_depth == 0
+            && health.live == health.workers
+        {
+            assert_eq!(health.workers, 4);
+            assert_eq!(
+                health.respawns, expected_panics as u64,
+                "every retired worker is replaced exactly once"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "pool failed to converge: done={done}/{expected_ok} health={health:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Drain cleanly; Drop joins every worker, including respawns.
+    match Arc::try_unwrap(pool) {
+        Ok(pool) => pool.shutdown(),
+        Err(_) => panic!("all submitter handles were joined; pool must be unique"),
+    }
+    let _ = std::panic::take_hook();
+}

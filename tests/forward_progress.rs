@@ -73,7 +73,9 @@ fn forced_livelock_is_a_typed_error_with_a_diagnostic_dump() {
     cfg.max_retries = u32::MAX;
     cfg.max_steps = 20_000;
     let err = Machine::try_run(&w, cfg).expect_err("must trip the watchdog");
-    let SimError::Watchdog(report) = err.clone();
+    let SimError::Watchdog(report) = err.clone() else {
+        panic!("expected a watchdog error, got {err}");
+    };
     assert_eq!(report.verdict, StallVerdict::Livelock, "\n{report}");
     assert_eq!(report.total_commits, 0);
     assert!(report.total_aborts > 0);
@@ -97,7 +99,9 @@ fn one_starved_core_among_committing_peers_is_starvation() {
     cfg.max_retries = u32::MAX;
     cfg.max_steps = 40_000;
     let err = Machine::try_run(&w, cfg).expect_err("core 0 can never finish");
-    let SimError::Watchdog(report) = err;
+    let SimError::Watchdog(report) = err else {
+        panic!("expected a watchdog error");
+    };
     assert_eq!(report.verdict, StallVerdict::Starvation, "\n{report}");
     assert!(report.total_commits > 0, "\n{report}");
     let core0 = &report.cores[0];
