@@ -29,10 +29,10 @@ use asf_stats::table::Table;
 use asf_workloads::Scale;
 
 const USAGE: &str = "usage: asf-repro [all|ext|table1|table2|table3|fig1..fig10|overhead|headline|diag|scaling|backoff|policy\
-                     |charts|excluded|related|signatures|variance|adaptive|fabric|summary|faults|perf|observe|scale|serve|loadtest|chaos|profile:<bench>|trace:<bench>]* \
+                     |charts|excluded|related|signatures|variance|adaptive|fabric|summary|faults|perf|observe|scale|serve|loadtest|chaos|dash|profile:<bench>|trace:<bench>]* \
                      [--scale small|standard|large|huge] [--seed N] [--csv DIR] [--json DIR] [--threads N] [--samples N] \
                      [--check-baseline BENCH_perf.json] [--checkpoint FILE] [--resume] [--smoke] [--allow-failed] \
-                     [--port N] [--clients N] [--cache-dir DIR]";
+                     [--port N] [--clients N] [--cache-dir DIR] [--offline]";
 
 /// Subject line of the HEAD commit, for stamping report rounds.
 fn git_subject() -> String {
@@ -56,6 +56,7 @@ fn main() {
     let mut checkpoint_path: Option<String> = None;
     let mut resume = false;
     let mut smoke = false;
+    let mut offline = false;
     let mut allow_failed = false;
     let mut port: u16 = 0;
     let mut clients = asf_harness::serve::DEFAULT_CLIENTS;
@@ -166,6 +167,7 @@ fn main() {
             }
             "--resume" => resume = true,
             "--smoke" => smoke = true,
+            "--offline" => offline = true,
             "--allow-failed" => allow_failed = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -178,6 +180,16 @@ fn main() {
     if cmds.is_empty() {
         cmds.push("all".to_string());
     }
+
+    // Structured JSON-lines logging (stderr, ASF_LOG-filtered): every run
+    // stamps which experiments it drives, correlating harness activity
+    // with the serve layer's request logs when both are captured.
+    let log = asf_stats::slog::Logger::from_env();
+    log.info("repro.start")
+        .str("cmds", &cmds.join(","))
+        .str("scale", &format!("{scale:?}"))
+        .u64("seed", seed)
+        .emit();
 
     // Only build the matrix if some requested experiment needs it.
     let needs_matrix = cmds.iter().any(|c| {
@@ -241,6 +253,7 @@ fn main() {
     };
 
     for cmd in &cmds {
+        log.debug("repro.cmd").str("cmd", cmd).emit();
         match cmd.as_str() {
             "all" => {
                 for (name, table) in experiments::all_experiments(m.expect("matrix")) {
@@ -401,10 +414,7 @@ fn main() {
                 // answer `cached` with a byte-identical result body.
                 if smoke {
                     match asf_serve::loadtest::smoke(seed) {
-                        Ok(()) => eprintln!(
-                            "serve smoke ok: repeat submission was a byte-identical \
-                             cache hit (seed {seed:#x})"
-                        ),
+                        Ok(msg) => eprintln!("{msg} (seed {seed:#x})"),
                         Err(e) => {
                             eprintln!("FAIL: serve smoke: {e}");
                             std::process::exit(1);
@@ -412,22 +422,38 @@ fn main() {
                     }
                     continue;
                 }
+                let flightrec_dir = std::path::PathBuf::from("results");
                 let opts = asf_serve::server::ServeOpts {
                     addr: format!("127.0.0.1:{port}"),
                     disk_dir: cache_dir.clone().map(std::path::PathBuf::from),
+                    flightrec_dir: Some(flightrec_dir.clone()),
                     ..asf_serve::server::ServeOpts::default()
                 };
                 let server = asf_serve::server::Server::start(opts).unwrap_or_else(|e| {
                     eprintln!("FAIL: cannot start server: {e}");
                     std::process::exit(1);
                 });
+                let addr = server.addr();
+                let state = server.state();
                 eprintln!(
-                    "asf-serve listening on http://{} — POST /v1/jobs to submit, \
-                     POST /v1/shutdown to stop",
-                    server.addr()
+                    "asf-serve listening on http://{addr} — POST /v1/jobs to submit, \
+                     GET /v1/metrics/prometheus to scrape, POST /v1/shutdown to stop"
                 );
                 server.wait();
-                eprintln!("asf-serve stopped");
+                let dumps = state.flightrec.dump_paths();
+                let artifacts = if dumps.is_empty() {
+                    "none".to_string()
+                } else {
+                    format!(
+                        "{} ({} flight dumps)",
+                        flightrec_dir.display(),
+                        dumps.len()
+                    )
+                };
+                eprintln!(
+                    "asf-serve stopped: addr=http://{addr} requests={} artifacts={artifacts}",
+                    state.metrics.total_requests()
+                );
             }
             "loadtest" => {
                 // Hammer a private server with concurrent in-process
@@ -492,6 +518,39 @@ fn main() {
                     Ok(report) => emit("chaos", report.table(seed)),
                     Err(e) => {
                         eprintln!("FAIL: chaos soak: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "dash" => {
+                // Read-only observability dashboard (DESIGN.md §18).
+                // `--offline` renders the BENCH_perf.json trajectory (the
+                // CI mode, pinned against the committed report); otherwise
+                // poll a live server given by --port.
+                if offline {
+                    let json = std::fs::read_to_string("BENCH_perf.json").unwrap_or_else(|e| {
+                        eprintln!("FAIL: dash --offline needs BENCH_perf.json: {e}");
+                        std::process::exit(1);
+                    });
+                    match asf_harness::dash::offline(&json) {
+                        Ok(out) => print!("{out}"),
+                        Err(e) => {
+                            eprintln!("FAIL: dash: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                    continue;
+                }
+                if port == 0 {
+                    eprintln!(
+                        "dash needs --port N of a running asf-serve (or --offline)\n{USAGE}"
+                    );
+                    std::process::exit(2);
+                }
+                match asf_harness::dash::online(&format!("127.0.0.1:{port}"), 3, 500) {
+                    Ok(out) => print!("{out}"),
+                    Err(e) => {
+                        eprintln!("FAIL: dash: {e}");
                         std::process::exit(1);
                     }
                 }

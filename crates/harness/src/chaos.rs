@@ -26,14 +26,17 @@
 //! locally with the same command.
 
 use asf_serve::chaos::ServeChaosPlan;
+use asf_serve::flightrec::FLIGHTREC_SCHEMA;
 use asf_serve::http::Client;
 use asf_serve::server::{ServeOpts, Server};
 use asf_stats::table::Table;
+use std::collections::HashSet;
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 /// Knobs for one soak run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ChaosOpts {
     /// Chaos-plan seed; the whole run is deterministic in it.
     pub seed: u64,
@@ -58,6 +61,10 @@ pub struct ChaosOpts {
     /// Require ≥1 injected panic and ≥1 deadline expiry (the smoke
     /// gate's "the chaos actually fired" check).
     pub require_coverage: bool,
+    /// Where flight-recorder dumps land. `None` keeps them under the
+    /// soak's temp directory (validated, then cleaned up with it);
+    /// `Some(dir)` persists them — the CLI passes `results/`.
+    pub flightrec_dir: Option<PathBuf>,
 }
 
 impl Default for ChaosOpts {
@@ -72,6 +79,7 @@ impl Default for ChaosOpts {
             grace_ms: 2_000,
             rounds: 4,
             require_coverage: true,
+            flightrec_dir: None,
         }
     }
 }
@@ -101,6 +109,12 @@ pub struct ChaosReport {
     pub disk_write_failures: u64,
     /// Milliseconds the final drain took.
     pub drain_ms: u64,
+    /// Flight-recorder dump triggers fired during the soak.
+    pub flight_dumps: u64,
+    /// Paths of the schema-validated dump files written.
+    pub dump_paths: Vec<PathBuf>,
+    /// Address the soak server listened on.
+    pub addr: String,
 }
 
 impl ChaosReport {
@@ -121,6 +135,7 @@ impl ChaosReport {
                 "quarantined",
                 "disk fails",
                 "drain (ms)",
+                "flight dumps",
             ],
         );
         t.row(vec![
@@ -136,6 +151,7 @@ impl ChaosReport {
             self.quarantined.to_string(),
             self.disk_write_failures.to_string(),
             self.drain_ms.to_string(),
+            self.flight_dumps.to_string(),
         ]);
         t
     }
@@ -188,7 +204,11 @@ impl QuietChaosPanics {
 
 impl Drop for QuietChaosPanics {
     fn drop(&mut self) {
-        let _ = std::panic::take_hook();
+        // Modifying the hook from a panicking thread aborts the process;
+        // leave it installed if we are unwinding.
+        if !std::thread::panicking() {
+            let _ = std::panic::take_hook();
+        }
     }
 }
 
@@ -307,6 +327,74 @@ fn check_result_integrity(client: &mut Client, id: &str) -> Result<bool, String>
     Ok(true)
 }
 
+/// Scrape `/v1/metrics/prometheus` and require it to parse as valid
+/// OpenMetrics text (the exposition must stay scrapeable before, during
+/// and after the chaos). Returns the `asf_http_requests_total` sum so the
+/// caller can assert counters are monotonic across scrapes.
+fn scrape_prometheus(client: &mut Client, when: &str) -> Result<f64, String> {
+    let resp = client
+        .get("/v1/metrics/prometheus")
+        .map_err(|e| format!("prometheus scrape ({when}): {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("prometheus scrape ({when}) status {}", resp.status));
+    }
+    let text = resp.text();
+    let exposition = asf_stats::openmetrics::parse_exposition(&text)
+        .map_err(|e| format!("prometheus output ({when}) does not parse: {e}"))?;
+    Ok(exposition
+        .samples
+        .iter()
+        .filter(|s| s.name == "asf_http_requests_total")
+        .map(|s| s.value)
+        .sum())
+}
+
+/// Read every flight dump back, validate the `asf-flightrec-v1` schema,
+/// and require at least one dump to reference (as its `job`) a digest the
+/// soak actually submitted — the recorder must name the job that died,
+/// not just fire.
+fn check_flight_dumps(paths: &[PathBuf], submitted: &HashSet<String>) -> Result<(), String> {
+    if paths.is_empty() {
+        return Err("chaos injected faults but the flight recorder wrote no dump".to_string());
+    }
+    let mut referenced = false;
+    for path in paths {
+        let body = std::fs::read_to_string(path)
+            .map_err(|e| format!("flight dump {}: {e}", path.display()))?;
+        let root = asf_stats::json::parse(&body)
+            .map_err(|e| format!("flight dump {} does not parse: {e}", path.display()))?;
+        let schema = root
+            .field("schema")
+            .and_then(|v| v.as_str())
+            .map_err(|e| format!("flight dump {}: {e}", path.display()))?;
+        if schema != FLIGHTREC_SCHEMA {
+            return Err(format!("flight dump {} has schema {schema:?}", path.display()));
+        }
+        let reason = root
+            .field("reason")
+            .and_then(|v| v.as_str())
+            .map_err(|e| format!("flight dump {}: {e}", path.display()))?;
+        if !matches!(reason, "worker_panic" | "deadline_exceeded") {
+            return Err(format!(
+                "flight dump {} carries unexpected reason {reason:?}",
+                path.display()
+            ));
+        }
+        root.field("events")
+            .and_then(|v| v.as_arr().map(|a| a.len()))
+            .map_err(|e| format!("flight dump {} events: {e}", path.display()))?;
+        if let Ok(job) = root.field("job").and_then(|v| v.as_str()) {
+            if submitted.contains(job) {
+                referenced = true;
+            }
+        }
+    }
+    if !referenced {
+        return Err("no flight dump references a submitted job digest".to_string());
+    }
+    Ok(())
+}
+
 /// Run the soak. Deterministic in `opts.seed`; errors describe the
 /// violated invariant.
 pub fn soak(opts: &ChaosOpts) -> Result<ChaosReport, String> {
@@ -317,6 +405,8 @@ pub fn soak(opts: &ChaosOpts) -> Result<ChaosReport, String> {
         opts.seed
     ));
     let _ = std::fs::remove_dir_all(&disk_dir);
+    let flight_dir =
+        opts.flightrec_dir.clone().unwrap_or_else(|| disk_dir.join("flightrec"));
     let server = Server::start(ServeOpts {
         workers: opts.workers,
         queue_capacity: opts.max_specs.max(16),
@@ -331,14 +421,17 @@ pub fn soak(opts: &ChaosOpts) -> Result<ChaosReport, String> {
             stall_ms: opts.deadline_ms.saturating_mul(25),
             ..ServeChaosPlan::soak(opts.seed)
         },
+        flightrec_dir: Some(flight_dir.clone()),
         ..ServeOpts::default()
     })
     .map_err(|e| format!("cannot start chaos server: {e}"))?;
     let state = server.state();
     let mut client = Client::connect(&server.addr()).map_err(|e| format!("connect: {e}"))?;
+    let scrape_before = scrape_prometheus(&mut client, "before soak")?;
 
-    let mut report = ChaosReport::default();
+    let mut report = ChaosReport { addr: server.addr(), ..ChaosReport::default() };
     let mut done: Vec<(usize, String)> = Vec::new();
+    let mut submitted_ids: HashSet<String> = HashSet::new();
     let mut next_spec = 0usize;
     let mut wave: Vec<usize> = Vec::new();
 
@@ -362,9 +455,14 @@ pub fn soak(opts: &ChaosOpts) -> Result<ChaosReport, String> {
         }
         let mut pending = Vec::new();
         for &index in &wave {
-            pending.push(submit(&mut client, index)?);
+            let job = submit(&mut client, index)?;
+            submitted_ids.insert(job.id.clone());
+            pending.push(job);
             report.submissions += 1;
         }
+        // Mid-soak scrape: the exposition must stay parseable while
+        // panics, stalls and deadline kills are in full swing.
+        scrape_prometheus(&mut client, "during soak")?;
         let landed = await_terminals(&mut client, &pending, opts)?;
         wave = landed
             .iter()
@@ -435,6 +533,26 @@ pub fn soak(opts: &ChaosOpts) -> Result<ChaosReport, String> {
         return Err("no spec ever completed under chaos".to_string());
     }
 
+    // Flight recorder: every panic and deadline kill fired a dump; the
+    // written files must be whole, schema-tagged, and at least one must
+    // name a job the soak submitted.
+    report.flight_dumps = state.flightrec.dumps();
+    report.dump_paths = state.flightrec.dump_paths();
+    if report.flight_dumps == 0 {
+        return Err("chaos fired but flight_dumps is zero".to_string());
+    }
+    check_flight_dumps(&report.dump_paths, &submitted_ids)?;
+
+    // Final scrape: still parseable after the adversity, and the request
+    // counter never went backwards.
+    let scrape_after = scrape_prometheus(&mut client, "after soak")?;
+    if scrape_after < scrape_before {
+        return Err(format!(
+            "asf_http_requests_total decreased across the soak \
+             ({scrape_before} -> {scrape_after})"
+        ));
+    }
+
     // Invariant 4: the drain completes promptly — injected stalls watch
     // the shutdown flag, so nothing waits out a full stall.
     let drain_started = Instant::now();
@@ -449,14 +567,34 @@ pub fn soak(opts: &ChaosOpts) -> Result<ChaosReport, String> {
 }
 
 /// The CI smoke gate: a short deterministic soak that must inject at
-/// least one worker panic and one deadline expiry, and exit green.
+/// least one worker panic and one deadline expiry, write ≥1 schema-valid
+/// flight dump into `results/`, keep `/v1/metrics/prometheus` scrapeable
+/// throughout, and exit green. The returned line names the listening
+/// address and the dump artifacts.
 pub fn smoke(seed: u64) -> Result<String, String> {
-    let opts = ChaosOpts { seed, specs: 16, max_specs: 64, rounds: 3, ..ChaosOpts::default() };
+    let opts = ChaosOpts {
+        seed,
+        specs: 16,
+        max_specs: 64,
+        rounds: 3,
+        flightrec_dir: Some(PathBuf::from("results")),
+        ..ChaosOpts::default()
+    };
     let report = soak(&opts)?;
+    let artifacts = match report.dump_paths.first() {
+        Some(first) if report.dump_paths.len() > 1 => format!(
+            "{} (+{} more)",
+            first.display(),
+            report.dump_paths.len() - 1
+        ),
+        Some(first) => first.display().to_string(),
+        None => "none".to_string(),
+    };
     Ok(format!(
-        "chaos smoke ok (seed {seed:#x}): {} specs, {} panics healed by {} respawns, \
-         {} deadline expiries, {} stalls, {} torn cells quarantined, {} completed, \
-         drain {}ms",
+        "chaos smoke ok (seed {seed:#x}): addr={} {} specs, {} panics healed by {} \
+         respawns, {} deadline expiries, {} stalls, {} torn cells quarantined, \
+         {} completed, drain {}ms, {} flight dumps, artifacts={artifacts}",
+        report.addr,
         report.specs,
         report.panics_injected,
         report.respawns,
@@ -465,6 +603,7 @@ pub fn smoke(seed: u64) -> Result<String, String> {
         report.quarantined,
         report.completed,
         report.drain_ms,
+        report.flight_dumps,
     ))
 }
 

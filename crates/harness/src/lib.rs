@@ -15,6 +15,7 @@
 
 pub mod chaos;
 pub mod checkpoint;
+pub mod dash;
 pub mod error;
 pub mod experiments;
 pub mod matrix;

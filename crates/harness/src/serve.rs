@@ -59,6 +59,9 @@ pub fn loadtest_table(opts: &LoadTestOpts, report: &LoadTestReport) -> Table {
             "hit rate",
             "p50 (us)",
             "p99 (us)",
+            "h50 (us)",
+            "h90 (us)",
+            "h99 (us)",
             "cold (ms)",
             "hot (us)",
             "speedup",
@@ -75,6 +78,9 @@ pub fn loadtest_table(opts: &LoadTestOpts, report: &LoadTestReport) -> Table {
         format!("{:.1}%", report.hit_rate * 100.0),
         format!("{:.1}", report.p50_us),
         format!("{:.1}", report.p99_us),
+        format!("{:.1}", report.hist_p50_us),
+        format!("{:.1}", report.hist_p90_us),
+        format!("{:.1}", report.hist_p99_us),
         format!("{:.2}", report.cold_ns as f64 / 1e6),
         format!("{:.1}", report.hot_ns as f64 / 1e3),
         format!("{:.0}x", report.speedup),
@@ -137,6 +143,9 @@ mod tests {
             hit_rate: 2000.0 / 3072.0,
             p50_us: 81.0,
             p99_us: 410.5,
+            hist_p50_us: 131.0,
+            hist_p90_us: 524.2,
+            hist_p99_us: 524.2,
             cold_ns: 9_000_000,
             hot_ns: 60_000,
             speedup: 150.0,

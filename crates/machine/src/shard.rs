@@ -150,6 +150,77 @@ impl ScaleStats {
         let busy: f64 = self.busy.iter().map(|d| d.as_secs_f64()).sum();
         (1.0 - busy / wall).max(0.0)
     }
+
+    /// Render the engine-level counters — plus a per-epoch barrier-stall
+    /// gauge over the recorded timeline — as OpenMetrics text (DESIGN.md
+    /// §18). The per-epoch series is naturally bounded by
+    /// [`TIMELINE_CAP`], so exposition size cannot grow without bound on
+    /// long soaks.
+    pub fn to_openmetrics(&self) -> String {
+        let mut r = asf_stats::openmetrics::Renderer::new();
+        r.counter("asf_shard_epochs", "Epochs resolved (barrier executions)", &[], self.epochs);
+        r.counter(
+            "asf_shard_cross_probes",
+            "External probes delivered to shards",
+            &[],
+            self.cross_probes,
+        );
+        r.counter(
+            "asf_shard_cross_aborts",
+            "Transactions aborted by external probes",
+            &[],
+            self.cross_aborts,
+        );
+        r.counter(
+            "asf_shard_dir_lookups",
+            "Inter-cluster directory lookups",
+            &[],
+            self.dir_lookups,
+        );
+        r.counter(
+            "asf_shard_dir_probes_routed",
+            "Directory-routed probe hops",
+            &[],
+            self.dir_probes_routed,
+        );
+        r.counter(
+            "asf_shard_dir_latency_cycles",
+            "Modelled directory latency, accounted cycles",
+            &[],
+            self.dir_latency_cycles,
+        );
+        r.gauge(
+            "asf_shard_dir_lines",
+            "Distinct lines the directory tracks",
+            &[],
+            self.dir_lines as f64,
+        );
+        r.gauge(
+            "asf_shard_barrier_stall_fraction",
+            "Fraction of parallel thread-time lost to the epoch barrier",
+            &[],
+            self.barrier_stall_fraction(),
+        );
+        r.counter(
+            "asf_shard_timeline_dropped",
+            "Epochs past the timeline cap (totals still include them)",
+            &[],
+            self.timeline_dropped,
+        );
+        for (i, span) in self.timeline.iter().enumerate() {
+            let epoch = i.to_string();
+            let wall = span.wall.as_secs_f64() * span.busy.len().max(1) as f64;
+            let busy: f64 = span.busy.iter().map(|d| d.as_secs_f64()).sum();
+            let stall = if wall > 0.0 { (1.0 - busy / wall).max(0.0) } else { 0.0 };
+            r.gauge(
+                "asf_shard_epoch_barrier_stall",
+                "Per-epoch barrier-stall fraction over the recorded timeline",
+                &[("epoch", &epoch)],
+                stall,
+            );
+        }
+        r.finish()
+    }
 }
 
 /// Result of a shard-parallel run.
@@ -518,5 +589,30 @@ mod tests {
         };
         let f = s.barrier_stall_fraction();
         assert!(f > 0.49 && f < 0.51, "2 threads × 40ms wall, 40ms busy → 50%: {f}");
+    }
+
+    #[test]
+    fn scale_stats_render_as_valid_openmetrics() {
+        let s = ScaleStats {
+            epochs: 7,
+            cross_probes: 12,
+            cross_aborts: 3,
+            busy: vec![Duration::from_millis(30), Duration::from_millis(10)],
+            epoch_wall: Duration::from_millis(40),
+            timeline: vec![EpochSpan {
+                until: 4096,
+                wall: Duration::from_millis(40),
+                barrier: Duration::from_millis(2),
+                busy: vec![Duration::from_millis(30), Duration::from_millis(10)],
+            }],
+            ..ScaleStats::default()
+        };
+        let text = s.to_openmetrics();
+        let exp = asf_stats::openmetrics::parse_exposition(&text).expect("parses");
+        assert_eq!(exp.value("asf_shard_epochs_total", &[]), Some(7.0));
+        let stall = exp
+            .value("asf_shard_epoch_barrier_stall", &[("epoch", "0")])
+            .expect("per-epoch stall gauge present");
+        assert!(stall > 0.49 && stall < 0.51, "{stall}");
     }
 }

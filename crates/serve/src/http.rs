@@ -199,11 +199,24 @@ pub fn read_request<R: BufRead>(
     Ok(Some(Request { method, path, body }))
 }
 
-/// Write one response. `extra_headers` are appended verbatim (the queue
-/// depth and cache-status headers); the body is always JSON here.
+/// Write one response with a JSON content type. `extra_headers` are
+/// appended verbatim (the queue depth, cache-status and request-id
+/// headers).
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    write_response_typed(stream, status, "application/json", extra_headers, body)
+}
+
+/// Write one response with an explicit content type (the OpenMetrics
+/// endpoint serves `text/plain`).
+pub fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
     extra_headers: &[(&str, String)],
     body: &str,
 ) -> std::io::Result<()> {
@@ -223,7 +236,7 @@ pub fn write_response(
         _ => "Unknown",
     };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\n\
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\n\
          content-length: {}\r\n",
         body.len()
     );

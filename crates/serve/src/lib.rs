@@ -18,7 +18,11 @@
 //!   and latency percentiles, plus the CI smoke check,
 //! - [`chaos`] — seeded, deterministic fault injection against the
 //!   service itself (worker panics, stalls, torn disk writes), driven by
-//!   the `asf-repro chaos` soak.
+//!   the `asf-repro chaos` soak,
+//! - [`metrics`] — request counters by endpoint/status plus log2 latency
+//!   histograms behind `GET /v1/metrics/prometheus`,
+//! - [`flightrec`] — a bounded ring of recent structured events, dumped
+//!   crash-safely when a worker panics or a deadline kills a job.
 //!
 //! The serving layer is *self-healing*: panicking jobs are caught and the
 //! worker respawned ([`pool`]), every job runs under a deadline enforced
@@ -34,8 +38,10 @@
 
 pub mod cache;
 pub mod chaos;
+pub mod flightrec;
 pub mod http;
 pub mod loadtest;
+pub mod metrics;
 pub mod pool;
 pub mod runner;
 pub mod server;

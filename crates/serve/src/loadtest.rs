@@ -95,6 +95,12 @@ pub struct LoadTestReport {
     pub p50_us: f64,
     /// 99th-percentile submit round-trip, microseconds.
     pub p99_us: f64,
+    /// Median from the log2 latency histogram (bucket upper bound), µs.
+    pub hist_p50_us: f64,
+    /// 90th percentile from the log2 latency histogram, µs.
+    pub hist_p90_us: f64,
+    /// 99th percentile from the log2 latency histogram, µs.
+    pub hist_p99_us: f64,
     /// Cold wall time of the standard-scale probe cell, nanoseconds.
     pub cold_ns: u64,
     /// Memoized round-trip (submit answered `cached` + result fetch) for
@@ -110,8 +116,9 @@ impl LoadTestReport {
         format!(
             "{{\"requests\": {}, \"cached\": {}, \"coalesced\": {}, \
              \"queued\": {}, \"rejected\": {}, \"retries\": {}, \"hit_rate\": {:.4}, \
-             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"cold_ns\": {}, \
-             \"hot_ns\": {}, \"speedup\": {:.1}}}",
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"hist_p50_us\": {:.1}, \"hist_p90_us\": {:.1}, \"hist_p99_us\": {:.1}, \
+             \"cold_ns\": {}, \"hot_ns\": {}, \"speedup\": {:.1}}}",
             self.requests,
             self.cached,
             self.coalesced,
@@ -121,6 +128,9 @@ impl LoadTestReport {
             self.hit_rate,
             self.p50_us,
             self.p99_us,
+            self.hist_p50_us,
+            self.hist_p90_us,
+            self.hist_p99_us,
             self.cold_ns,
             self.hot_ns,
             self.speedup
@@ -262,6 +272,15 @@ pub fn run(opts: &LoadTestOpts) -> Result<LoadTestReport, String> {
         let idx = ((latencies_ns.len() - 1) as f64 * p).round() as usize;
         latencies_ns[idx] as f64 / 1_000.0
     };
+    // Same samples through the allocation-free log2 histogram the server
+    // uses on its hot path: the `hist_*` percentiles are what a scrape of
+    // `/v1/metrics/prometheus` can derive, reported next to the exact
+    // sampled ones so the bucket-resolution error stays visible.
+    let mut hist = asf_stats::Histogram::new();
+    for &ns in &latencies_ns {
+        hist.record(ns);
+    }
+    let hist_us = |q: f64| hist.quantile(q) as f64 / 1_000.0;
     let requests = cached + coalesced + queued + rejected;
     Ok(LoadTestReport {
         requests,
@@ -273,6 +292,9 @@ pub fn run(opts: &LoadTestOpts) -> Result<LoadTestReport, String> {
         hit_rate: if requests == 0 { 0.0 } else { cached as f64 / requests as f64 },
         p50_us: pct(0.50),
         p99_us: pct(0.99),
+        hist_p50_us: hist_us(0.50),
+        hist_p90_us: hist_us(0.90),
+        hist_p99_us: hist_us(0.99),
         cold_ns,
         hot_ns: hot_ns.max(1),
         speedup: cold_ns as f64 / hot_ns.max(1) as f64,
@@ -390,10 +412,37 @@ fn submit_and_wait(client: &mut Client, spec: &JobSpec) -> Result<String, String
     }
 }
 
+/// Scrape `/v1/metrics/prometheus`, require it to parse as valid
+/// OpenMetrics text, and return the recorded `asf_http_requests_total`
+/// sum (which the smoke gate requires to be non-zero).
+fn scrape_prometheus(client: &mut Client) -> Result<f64, String> {
+    let resp = client
+        .get("/v1/metrics/prometheus")
+        .map_err(|e| format!("prometheus scrape: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("prometheus scrape status {}", resp.status));
+    }
+    if resp.header("content-type").is_none_or(|ct| !ct.starts_with("text/plain")) {
+        return Err(format!("prometheus content-type {:?}", resp.header("content-type")));
+    }
+    let text = resp.text();
+    let exposition = asf_stats::openmetrics::parse_exposition(&text)
+        .map_err(|e| format!("prometheus output does not parse: {e}\n{text}"))?;
+    let requests: f64 = exposition
+        .samples
+        .iter()
+        .filter(|s| s.name == "asf_http_requests_total")
+        .map(|s| s.value)
+        .sum();
+    Ok(requests)
+}
+
 /// The CI smoke gate: ephemeral server, one fixed-seed job submitted
 /// twice — the repeat must answer `cached` with a byte-identical result
-/// body — then a clean HTTP-initiated shutdown.
-pub fn smoke(seed: u64) -> Result<(), String> {
+/// body, the prometheus exposition must parse and show the traffic — then
+/// a clean HTTP-initiated shutdown. Returns the one-line summary the CLI
+/// prints (listening port, job digest, scrape count).
+pub fn smoke(seed: u64) -> Result<String, String> {
     let server =
         Server::start(ServeOpts::default()).map_err(|e| format!("start server: {e}"))?;
     let addr = server.addr();
@@ -401,6 +450,9 @@ pub fn smoke(seed: u64) -> Result<(), String> {
     let health = client.get("/v1/healthz").map_err(|e| format!("healthz: {e}"))?;
     if health.status != 200 || !health.text().contains("\"ok\": true") {
         return Err(format!("healthz not ready ({}): {}", health.status, health.text()));
+    }
+    if health.header("x-asf-request-id").is_none() {
+        return Err("healthz reply missing x-asf-request-id".to_string());
     }
     let spec = JobSpec::new("ssca2", DetectorKind::SubBlock(4), Scale::Small, seed);
     let first_body = submit_and_wait(&mut client, &spec)?;
@@ -423,12 +475,20 @@ pub fn smoke(seed: u64) -> Result<(), String> {
     if stats.status != 200 || !stats.text().contains("\"hits\"") {
         return Err(format!("cache stats malformed: {}", stats.text()));
     }
+    let scraped_requests = scrape_prometheus(&mut client)?;
+    if scraped_requests <= 0.0 {
+        return Err("prometheus exposition recorded zero HTTP requests".to_string());
+    }
     let bye = client.post("/v1/shutdown", "").map_err(|e| format!("shutdown: {e}"))?;
     if bye.status != 200 {
         return Err(format!("shutdown status {}", bye.status));
     }
     server.shutdown();
-    Ok(())
+    Ok(format!(
+        "serve smoke ok: addr={addr} job={} prometheus_requests={scraped_requests} \
+         artifacts=none (in-memory cache, no flight dumps)",
+        spec.digest_hex()
+    ))
 }
 
 #[cfg(test)]
@@ -446,7 +506,9 @@ mod tests {
 
     #[test]
     fn smoke_round_trip() {
-        smoke(0x51).expect("smoke must pass");
+        let summary = smoke(0x51).expect("smoke must pass");
+        assert!(summary.contains("serve smoke ok"), "{summary}");
+        assert!(summary.contains("addr="), "{summary}");
     }
 
     #[test]
@@ -471,5 +533,10 @@ mod tests {
             "repeats must dedup: {report:?}"
         );
         assert!(report.speedup > 1.0, "{report:?}");
+        // Histogram-derived percentiles bracket from above (bucket upper
+        // bound) and must be ordered like any quantile family.
+        assert!(report.hist_p50_us >= report.p50_us, "{report:?}");
+        assert!(report.hist_p50_us <= report.hist_p90_us, "{report:?}");
+        assert!(report.hist_p90_us <= report.hist_p99_us, "{report:?}");
     }
 }

@@ -37,13 +37,17 @@
 
 use crate::cache::{CacheConfig, ResultCache};
 use crate::chaos::ServeChaosPlan;
-use crate::http::{read_request, write_response, HttpError, HttpLimits, Request};
+use crate::flightrec::FlightRecorder;
+use crate::http::{read_request, write_response, write_response_typed, HttpError, HttpLimits, Request};
+use crate::metrics::{endpoint_label, ServeMetrics};
 use crate::pool::{PoolHealth, WorkerPool};
 use crate::runner::run_spec_cancellable;
 use crate::spec::{parse_digest_hex, JobSpec, Submission};
 use asf_machine::snapshot::{CancelKind, CancelToken, ProgressProbe};
 use asf_mem::fxhash::FxHashMap;
 use asf_stats::json::escape;
+use asf_stats::openmetrics::Renderer;
+use asf_stats::slog::Logger;
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -83,6 +87,15 @@ pub struct ServeOpts {
     /// Fault-injection plan; [`ServeChaosPlan::none`] (the default) is
     /// structurally inert.
     pub chaos: ServeChaosPlan,
+    /// Flight-recorder ring capacity (most recent events kept).
+    pub flightrec_capacity: usize,
+    /// Directory flight-recorder dumps land in. `None` (the default)
+    /// records and counts but writes nothing — unit-test servers stay
+    /// clean; the chaos soak and foreground serve point this at
+    /// `results/`.
+    pub flightrec_dir: Option<PathBuf>,
+    /// Structured logger threaded through the request lifecycle.
+    pub log: Logger,
 }
 
 impl Default for ServeOpts {
@@ -100,6 +113,9 @@ impl Default for ServeOpts {
             max_deadline_ms: 600_000,
             deadline_tick_ms: 25,
             chaos: ServeChaosPlan::none(),
+            flightrec_capacity: 256,
+            flightrec_dir: None,
+            log: Logger::from_env(),
         }
     }
 }
@@ -138,6 +154,7 @@ struct JobEntry {
     probe: Arc<ProgressProbe>,
     cancel: Arc<CancelToken>,
     deadline: Instant,
+    submitted_at: Instant,
 }
 
 /// Shared service state (cache, registry, pool, counters). Exposed so the
@@ -178,6 +195,12 @@ pub struct ServeState {
     pub chaos_panics_injected: AtomicU64,
     /// Artificial stalls injected by the chaos plan.
     pub chaos_stalls_injected: AtomicU64,
+    /// Request counters, latency histograms, correlation-id mint.
+    pub metrics: ServeMetrics,
+    /// Bounded event ring + crash-dump bookkeeping.
+    pub flightrec: FlightRecorder,
+    /// Structured logger shared by every thread of the service.
+    pub log: Logger,
     shutting_down: AtomicBool,
 }
 
@@ -198,7 +221,8 @@ impl ServeState {
     }
 
     /// The `GET /v1/healthz` readiness document: pool supervision, queue
-    /// pressure, and cache integrity in one probe-friendly object.
+    /// pressure, cache integrity, uptime, build info and flight-dump
+    /// count in one probe-friendly object.
     pub fn healthz_json(&self) -> String {
         let health = self.pool.health();
         let shutting_down = self.is_shutting_down();
@@ -207,7 +231,10 @@ impl ServeState {
             "{{\"ok\": {ok}, \"shutting_down\": {shutting_down}, \
              \"workers\": {}, \"live_workers\": {}, \"worker_panics\": {}, \
              \"worker_respawns\": {}, \"queue_depth\": {}, \"queue_capacity\": {}, \
-             \"corrupt_quarantined\": {}, \"disk_write_failures\": {}}}\n",
+             \"corrupt_quarantined\": {}, \"disk_write_failures\": {}, \
+             \"uptime_ms\": {}, \"version\": \"{}\", \
+             \"detectors\": [\"baseline\", \"sb2\", \"sb4\", \"sb8\", \"sb16\", \"perfect\"], \
+             \"flight_dumps\": {}}}\n",
             health.workers,
             health.live,
             health.panics,
@@ -216,7 +243,120 @@ impl ServeState {
             self.pool.capacity(),
             self.cache.counters.corrupt_quarantined.load(Ordering::Relaxed),
             self.cache.counters.disk_write_failures.load(Ordering::Relaxed),
+            self.metrics.uptime_ms(),
+            env!("CARGO_PKG_VERSION"),
+            self.flightrec.dumps(),
         )
+    }
+
+    /// Count of jobs currently in the `running` phase (the worker-
+    /// utilization numerator).
+    fn running_jobs(&self) -> usize {
+        self.jobs
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|e| matches!(*e.phase.lock().unwrap(), JobPhase::Running))
+            .count()
+    }
+
+    /// The `GET /v1/metrics/prometheus` exposition: request counters by
+    /// endpoint/status, queue and worker gauges, cache and single-flight
+    /// counters, cancel/deadline/chaos counters, flight dumps, and the
+    /// four latency histograms. Rendered by
+    /// [`asf_stats::openmetrics::Renderer`], so its output parses with
+    /// the same parser the tests and CI scrape use.
+    pub fn prometheus_text(&self) -> String {
+        let mut r = Renderer::new();
+        for (endpoint, status, count) in self.metrics.request_counts() {
+            let status = status.to_string();
+            r.counter(
+                "asf_http_requests",
+                "HTTP responses by endpoint and status",
+                &[("endpoint", endpoint), ("status", &status)],
+                count,
+            );
+        }
+        let health = self.pool.health();
+        r.gauge("asf_queue_depth", "pending jobs", &[], self.queue_depth() as f64);
+        r.gauge("asf_queue_capacity", "queue bound", &[], self.pool.capacity() as f64);
+        r.gauge("asf_workers_live", "live worker threads", &[], health.live as f64);
+        let running = self.running_jobs();
+        r.gauge("asf_workers_busy", "jobs in the running phase", &[], running as f64);
+        let utilization = if health.workers == 0 {
+            0.0
+        } else {
+            running as f64 / health.workers as f64
+        };
+        r.gauge("asf_worker_utilization", "busy fraction of the pool", &[], utilization);
+        r.counter("asf_worker_panics", "jobs that panicked", &[], health.panics);
+        r.counter("asf_worker_respawns", "workers respawned after a panic", &[], health.respawns);
+        let c = &self.cache.counters;
+        for (name, value) in [
+            ("hits", c.hits.load(Ordering::Relaxed)),
+            ("disk_hits", c.disk_hits.load(Ordering::Relaxed)),
+            ("misses", c.misses.load(Ordering::Relaxed)),
+            ("inserts", c.inserts.load(Ordering::Relaxed)),
+            ("evictions", c.evictions.load(Ordering::Relaxed)),
+            ("flight_joins", c.flight_joins.load(Ordering::Relaxed)),
+            ("flight_leads", c.flight_leads.load(Ordering::Relaxed)),
+            ("corrupt_quarantined", c.corrupt_quarantined.load(Ordering::Relaxed)),
+            ("disk_write_failures", c.disk_write_failures.load(Ordering::Relaxed)),
+        ] {
+            r.counter("asf_cache_events", "result-cache events by kind", &[("kind", name)], value);
+        }
+        r.gauge("asf_cache_entries", "in-memory cache entries", &[], self.cache.len() as f64);
+        for (name, value) in [
+            ("submitted", self.jobs_submitted.load(Ordering::Relaxed)),
+            ("cache_hit", self.submit_cache_hits.load(Ordering::Relaxed)),
+            ("coalesced", self.submit_coalesced.load(Ordering::Relaxed)),
+            ("rejected", self.jobs_rejected.load(Ordering::Relaxed)),
+            ("completed", self.jobs_completed.load(Ordering::Relaxed)),
+            ("failed", self.jobs_failed.load(Ordering::Relaxed)),
+            ("cancelled", self.jobs_cancelled.load(Ordering::Relaxed)),
+            ("deadline_exceeded", self.jobs_deadline_exceeded.load(Ordering::Relaxed)),
+        ] {
+            r.counter("asf_jobs", "job lifecycle events by kind", &[("kind", name)], value);
+        }
+        r.counter(
+            "asf_chaos_panics_injected",
+            "worker panics injected by the chaos plan",
+            &[],
+            self.chaos_panics_injected.load(Ordering::Relaxed),
+        );
+        r.counter(
+            "asf_chaos_stalls_injected",
+            "stalls injected by the chaos plan",
+            &[],
+            self.chaos_stalls_injected.load(Ordering::Relaxed),
+        );
+        r.counter("asf_flight_dumps", "flight-recorder dump triggers", &[], self.flightrec.dumps());
+        r.gauge("asf_uptime_ms", "milliseconds since server start", &[], self.metrics.uptime_ms() as f64);
+        r.histogram(
+            "asf_http_request_duration_ns",
+            "request parse to response write",
+            &[],
+            &self.metrics.http_request_ns.snapshot(),
+        );
+        r.histogram(
+            "asf_job_e2e_ns",
+            "submission to terminal phase",
+            &[],
+            &self.metrics.job_e2e_ns.snapshot(),
+        );
+        r.histogram(
+            "asf_job_queue_wait_ns",
+            "submission to worker pickup",
+            &[],
+            &self.metrics.queue_wait_ns.snapshot(),
+        );
+        r.histogram(
+            "asf_job_execute_ns",
+            "worker compute time",
+            &[],
+            &self.metrics.execute_ns.snapshot(),
+        );
+        r.finish()
     }
 
     /// The `GET /v1/cache/stats` document.
@@ -288,8 +428,19 @@ impl Server {
             jobs_deadline_exceeded: AtomicU64::new(0),
             chaos_panics_injected: AtomicU64::new(0),
             chaos_stalls_injected: AtomicU64::new(0),
+            metrics: ServeMetrics::new(),
+            flightrec: FlightRecorder::new(opts.flightrec_capacity, opts.flightrec_dir.clone()),
+            log: opts.log.clone(),
             shutting_down: AtomicBool::new(false),
         });
+        state
+            .log
+            .info("serve.start")
+            .u64("port", u64::from(port))
+            .u64("workers", opts.workers as u64)
+            .u64("queue_capacity", opts.queue_capacity as u64)
+            .bool("chaos", opts.chaos.enabled())
+            .emit();
         if state.chaos.enabled() {
             let plan = state.chaos;
             state.cache.set_disk_chaos(Box::new(move |digest| plan.disk_decision(digest)));
@@ -392,6 +543,9 @@ fn deadline_watchdog(state: &Arc<ServeState>) {
                 .collect()
         };
         for entry in expired {
+            let id = entry.spec.digest_hex();
+            state.flightrec.record("deadline.fired", Some(&id), "watchdog tick");
+            state.log.warn("serve.deadline_fired").str("digest", &id).emit();
             entry.cancel.cancel(CancelKind::Deadline);
             let queued = matches!(*entry.phase.lock().unwrap(), JobPhase::Queued);
             if queued {
@@ -410,16 +564,29 @@ fn mark_cancelled(state: &ServeState, entry: &JobEntry) {
     if phase.is_terminal() {
         return;
     }
+    let id = entry.spec.digest_hex();
     *phase = match kind {
         CancelKind::Client => {
             state.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            state.flightrec.record("job.cancelled", Some(&id), "client cancel");
             JobPhase::Cancelled
         }
         CancelKind::Deadline => {
             state.jobs_deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            state.flightrec.record("job.deadline_exceeded", Some(&id), "deadline kill");
             JobPhase::DeadlineExceeded
         }
     };
+    drop(phase);
+    state
+        .metrics
+        .job_e2e_ns
+        .record(entry.submitted_at.elapsed().as_nanos() as u64);
+    if matches!(kind, CancelKind::Deadline) {
+        // A deadline kill is a dump trigger: the ring around it is the
+        // evidence for *why* the job overran.
+        state.flightrec.dump("deadline_exceeded", Some(&id));
+    }
     entry.probe.finish();
 }
 
@@ -443,19 +610,25 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServeState>) {
             // a client that can read a status line learns what it did
             // wrong instead of diagnosing a silent hangup.
             Err(HttpError::Malformed(e)) => {
+                let rid = state.metrics.next_request_id();
+                state.log.warn("http.malformed").str("rid", &rid).str("error", &e).emit();
+                state.metrics.observe_request("other", 400, 0);
                 let _ = write_response(
                     &mut write_half,
                     400,
-                    &[],
+                    &[("x-asf-request-id", rid)],
                     &format!("{{\"error\": {}}}\n", escape(&e)),
                 );
                 break;
             }
             Err(HttpError::TooLarge(len)) => {
+                let rid = state.metrics.next_request_id();
+                state.log.warn("http.too_large").str("rid", &rid).u64("len", len as u64).emit();
+                state.metrics.observe_request("other", 413, 0);
                 let _ = write_response(
                     &mut write_half,
                     413,
-                    &[],
+                    &[("x-asf-request-id", rid)],
                     &format!(
                         "{{\"error\": \"request body of {len} bytes exceeds the \
                          {}-byte limit\"}}\n",
@@ -466,10 +639,13 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServeState>) {
             }
             // A request was started but never finished arriving: 408.
             Err(HttpError::Timeout { started: true }) => {
+                let rid = state.metrics.next_request_id();
+                state.log.warn("http.timeout").str("rid", &rid).emit();
+                state.metrics.observe_request("other", 408, 0);
                 let _ = write_response(
                     &mut write_half,
                     408,
-                    &[],
+                    &[("x-asf-request-id", rid)],
                     "{\"error\": \"timed out reading request\"}\n",
                 );
                 break;
@@ -480,25 +656,94 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServeState>) {
     }
 }
 
+/// Per-request instrumentation context: the correlation id (returned as
+/// `x-asf-request-id` and stamped on every log line), the endpoint label
+/// for the request counters, and the parse-time anchor for the duration
+/// histogram. Every response goes through [`reply`], so no path can skip
+/// the id or the metrics.
+struct ReqCtx {
+    rid: String,
+    endpoint: &'static str,
+    t0: Instant,
+}
+
+/// The single response choke point: append the correlation id, write,
+/// count, time, log.
+fn reply(
+    stream: &mut TcpStream,
+    state: &ServeState,
+    ctx: &ReqCtx,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    reply_typed(stream, state, ctx, status, "application/json", extra_headers, body)
+}
+
+/// [`reply`] with an explicit content type (the OpenMetrics endpoint).
+fn reply_typed(
+    stream: &mut TcpStream,
+    state: &ServeState,
+    ctx: &ReqCtx,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut headers: Vec<(&str, String)> = Vec::with_capacity(extra_headers.len() + 1);
+    headers.extend(extra_headers.iter().map(|(n, v)| (*n, v.clone())));
+    headers.push(("x-asf-request-id", ctx.rid.clone()));
+    let outcome = write_response_typed(stream, status, content_type, &headers, body);
+    let elapsed_ns = ctx.t0.elapsed().as_nanos() as u64;
+    state.metrics.observe_request(ctx.endpoint, status, elapsed_ns);
+    state
+        .log
+        .debug("http.respond")
+        .str("rid", &ctx.rid)
+        .str("endpoint", ctx.endpoint)
+        .u64("status", u64::from(status))
+        .u64("dur_ns", elapsed_ns)
+        .emit();
+    outcome
+}
+
 /// Route one request; returns `false` when the connection should close.
 fn respond(stream: &mut TcpStream, req: &Request, state: &Arc<ServeState>) -> bool {
     let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
+    let ctx = ReqCtx {
+        rid: state.metrics.next_request_id(),
+        endpoint: endpoint_label(req.method.as_str(), segments.as_slice()),
+        t0: Instant::now(),
+    };
     let outcome = match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["v1", "healthz"]) => {
-            write_response(stream, 200, &[], &state.healthz_json())
+            reply(stream, state, &ctx, 200, &[], &state.healthz_json())
         }
-        ("POST", ["v1", "jobs"]) => handle_submit(stream, req, state),
-        ("GET", ["v1", "jobs", id]) => handle_status(stream, id, state),
-        ("DELETE", ["v1", "jobs", id]) => handle_cancel(stream, id, state),
-        ("GET", ["v1", "jobs", id, "result"]) => handle_result(stream, id, state),
+        ("POST", ["v1", "jobs"]) => handle_submit(stream, req, state, &ctx),
+        ("GET", ["v1", "jobs", id]) => handle_status(stream, id, state, &ctx),
+        ("DELETE", ["v1", "jobs", id]) => handle_cancel(stream, id, state, &ctx),
+        ("GET", ["v1", "jobs", id, "result"]) => handle_result(stream, id, state, &ctx),
         ("GET", ["v1", "jobs", id, artifact @ ("metrics" | "trace")]) => {
-            handle_artifact(stream, id, artifact, state)
+            handle_artifact(stream, id, artifact, state, &ctx)
         }
         ("GET", ["v1", "cache", "stats"]) => {
-            write_response(stream, 200, &[], &state.stats_json())
+            reply(stream, state, &ctx, 200, &[], &state.stats_json())
+        }
+        ("GET", ["v1", "metrics", "prometheus"]) => reply_typed(
+            stream,
+            state,
+            &ctx,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &[],
+            &state.prometheus_text(),
+        ),
+        ("GET", ["v1", "flightrec"]) => {
+            reply(stream, state, &ctx, 200, &[], &state.flightrec.to_json("snapshot", None))
         }
         ("POST", ["v1", "shutdown"]) => {
-            let r = write_response(stream, 200, &[], "{\"shutting_down\": true}\n");
+            state.log.info("serve.shutdown").str("rid", &ctx.rid).emit();
+            let r = reply(stream, state, &ctx, 200, &[], "{\"shutting_down\": true}\n");
             state.shutting_down.store(true, Ordering::Relaxed);
             // Wake the accept loop so it observes the flag even when no
             // further client ever connects.
@@ -508,13 +753,15 @@ fn respond(stream: &mut TcpStream, req: &Request, state: &Arc<ServeState>) -> bo
             let _ = r;
             return false;
         }
-        (_, ["v1", ..]) => write_response(
+        (_, ["v1", ..]) => reply(
             stream,
+            state,
+            &ctx,
             405,
             &[],
             "{\"error\": \"method not allowed\"}\n",
         ),
-        _ => write_response(stream, 404, &[], "{\"error\": \"no such endpoint\"}\n"),
+        _ => reply(stream, state, &ctx, 404, &[], "{\"error\": \"no such endpoint\"}\n"),
     };
     outcome.is_ok()
 }
@@ -531,17 +778,21 @@ fn handle_submit(
     stream: &mut TcpStream,
     req: &Request,
     state: &Arc<ServeState>,
+    ctx: &ReqCtx,
 ) -> std::io::Result<()> {
     let body = String::from_utf8_lossy(&req.body);
     let submission = match Submission::from_json(&body) {
         Ok(sub) => sub,
         Err(e) => {
-            return write_response(
+            state.log.warn("serve.submit_rejected").str("rid", &ctx.rid).str("error", &e).emit();
+            return reply(
                 stream,
+                state,
+                ctx,
                 400,
                 &[depth_header(state)],
                 &format!("{{\"error\": {}}}\n", escape(&e)),
-            )
+            );
         }
     };
     let spec = submission.spec;
@@ -552,8 +803,11 @@ fn handle_submit(
     if state.cache.lookup(digest).is_some() {
         state.submit_cache_hits.fetch_add(1, Ordering::Relaxed);
         mark_done_entry(state, digest, &spec);
-        return write_response(
+        state.log.debug("serve.submit").str("rid", &ctx.rid).str("digest", &id).str("outcome", "cached").emit();
+        return reply(
             stream,
+            state,
+            ctx,
             200,
             &[depth_header(state), ("x-asf-cache", "hit".to_string())],
             &submit_reply(&id, "cached", state.queue_depth()),
@@ -567,8 +821,11 @@ fn handle_submit(
             if matches!(phase, JobPhase::Queued | JobPhase::Running) {
                 state.submit_coalesced.fetch_add(1, Ordering::Relaxed);
                 state.cache.counters.flight_joins.fetch_add(1, Ordering::Relaxed);
-                return write_response(
+                state.log.debug("serve.submit").str("rid", &ctx.rid).str("digest", &id).str("outcome", "join").emit();
+                return reply(
                     stream,
+                    state,
+                    ctx,
                     200,
                     &[depth_header(state), ("x-asf-cache", "join".to_string())],
                     &submit_reply(&id, phase.label(), state.queue_depth()),
@@ -590,6 +847,7 @@ fn handle_submit(
         probe: Arc::new(ProgressProbe::new()),
         cancel: Arc::new(CancelToken::new()),
         deadline: Instant::now() + Duration::from_millis(deadline_ms),
+        submitted_at: Instant::now(),
     });
     let job_state = Arc::clone(state);
     let job_entry = Arc::clone(&entry);
@@ -597,8 +855,20 @@ fn handle_submit(
     match submit {
         Ok(depth) => {
             state.jobs.lock().unwrap().insert(digest, entry);
-            write_response(
+            state.flightrec.record("job.queued", Some(&id), "");
+            state
+                .log
+                .info("serve.submit")
+                .str("rid", &ctx.rid)
+                .str("digest", &id)
+                .str("outcome", "queued")
+                .u64("depth", depth as u64)
+                .u64("deadline_ms", deadline_ms)
+                .emit();
+            reply(
                 stream,
+                state,
+                ctx,
                 200,
                 &[depth_header(state), ("x-asf-cache", "miss".to_string())],
                 &format!(
@@ -609,8 +879,17 @@ fn handle_submit(
         }
         Err(full) => {
             state.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-            write_response(
+            state
+                .log
+                .warn("serve.submit_rejected")
+                .str("rid", &ctx.rid)
+                .str("digest", &id)
+                .u64("depth", full.0 as u64)
+                .emit();
+            reply(
                 stream,
+                state,
+                ctx,
                 429,
                 &[("x-asf-queue-depth", full.0.to_string())],
                 &format!(
@@ -635,6 +914,7 @@ fn mark_done_entry(state: &ServeState, digest: u64, spec: &JobSpec) {
             probe: Arc::new(ProgressProbe::new()),
             cancel: Arc::new(CancelToken::new()),
             deadline: Instant::now(),
+            submitted_at: Instant::now(),
         })
     });
     *entry.phase.lock().unwrap() = JobPhase::Done;
@@ -658,6 +938,17 @@ impl Drop for PhaseGuard<'_> {
         self.state.jobs_failed.fetch_add(1, Ordering::Relaxed);
         *self.entry.phase.lock().unwrap() =
             JobPhase::Failed("worker panicked during execution; resubmit to retry".to_string());
+        // This drop only runs armed while unwinding a worker panic — the
+        // flight-recorder dump turns "respawns == panics" into a
+        // debuggable artifact naming the job that died.
+        let id = self.entry.spec.digest_hex();
+        self.state.flightrec.record("job.panic", Some(&id), "worker unwound");
+        self.state.flightrec.dump("worker_panic", Some(&id));
+        self.state.log.error("serve.worker_panic").str("digest", &id).emit();
+        self.state
+            .metrics
+            .job_e2e_ns
+            .record(self.entry.submitted_at.elapsed().as_nanos() as u64);
         self.entry.probe.finish();
     }
 }
@@ -672,7 +963,14 @@ fn execute_job(state: &Arc<ServeState>, entry: &Arc<JobEntry>) {
         mark_cancelled(state, entry);
         return;
     }
+    state
+        .metrics
+        .queue_wait_ns
+        .record(entry.submitted_at.elapsed().as_nanos() as u64);
     *entry.phase.lock().unwrap() = JobPhase::Running;
+    let id = entry.spec.digest_hex();
+    state.flightrec.record("job.running", Some(&id), "");
+    state.log.debug("serve.job_running").str("digest", &id).emit();
     let mut guard = PhaseGuard { state, entry, armed: true };
     let digest = entry.spec.digest();
     if state.chaos.enabled() {
@@ -686,6 +984,7 @@ fn execute_job(state: &Arc<ServeState>, entry: &Arc<JobEntry>) {
         let decision = state.chaos.job_decision(digest, attempt);
         if decision.stall {
             state.chaos_stalls_injected.fetch_add(1, Ordering::Relaxed);
+            state.flightrec.record("chaos.stall", Some(&id), &format!("attempt {attempt}"));
             // Stall in small slices, watching the cancel token (so the
             // deadline watchdog cuts the stall short) and the shutdown
             // flag (so a drain never waits out a full stall).
@@ -704,6 +1003,7 @@ fn execute_job(state: &Arc<ServeState>, entry: &Arc<JobEntry>) {
         }
         if decision.panic {
             state.chaos_panics_injected.fetch_add(1, Ordering::Relaxed);
+            state.flightrec.record("chaos.panic", Some(&id), &format!("attempt {attempt}"));
             // The PhaseGuard converts this into `failed`; the pool
             // supervisor counts it and respawns the worker.
             panic!("chaos: injected worker panic");
@@ -712,14 +1012,25 @@ fn execute_job(state: &Arc<ServeState>, entry: &Arc<JobEntry>) {
     let probe = Arc::clone(&entry.probe);
     let cancel = Arc::clone(&entry.cancel);
     let spec = entry.spec.clone();
+    let execute_start = Instant::now();
     let result = state.cache.get_or_compute(digest, move || {
         run_spec_cancellable(&spec, Some(probe), Some(cancel))
     });
+    state
+        .metrics
+        .execute_ns
+        .record(execute_start.elapsed().as_nanos() as u64);
     guard.armed = false;
     match result {
         Ok(_) => {
             state.jobs_completed.fetch_add(1, Ordering::Relaxed);
             *entry.phase.lock().unwrap() = JobPhase::Done;
+            state
+                .metrics
+                .job_e2e_ns
+                .record(entry.submitted_at.elapsed().as_nanos() as u64);
+            state.flightrec.record("job.done", Some(&id), "");
+            state.log.info("serve.job_done").str("digest", &id).emit();
         }
         Err(e) => {
             // The token says whether this failure *is* a cancellation;
@@ -729,7 +1040,13 @@ fn execute_job(state: &Arc<ServeState>, entry: &Arc<JobEntry>) {
                 mark_cancelled(state, entry);
             } else {
                 state.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                state.flightrec.record("job.failed", Some(&id), &e);
+                state.log.error("serve.job_failed").str("digest", &id).str("error", &e).emit();
                 *entry.phase.lock().unwrap() = JobPhase::Failed(e);
+                state
+                    .metrics
+                    .job_e2e_ns
+                    .record(entry.submitted_at.elapsed().as_nanos() as u64);
             }
         }
     }
@@ -745,11 +1062,12 @@ fn handle_status(
     stream: &mut TcpStream,
     id: &str,
     state: &Arc<ServeState>,
+    ctx: &ReqCtx,
 ) -> std::io::Result<()> {
     let (digest, entry) = match lookup_entry(state, id) {
         Ok(pair) => pair,
         Err(e) => {
-            return write_response(stream, 400, &[], &format!("{{\"error\": {}}}\n", escape(&e)))
+            return reply(stream, state, ctx, 400, &[], &format!("{{\"error\": {}}}\n", escape(&e)))
         }
     };
     if let Some(entry) = entry {
@@ -766,18 +1084,20 @@ fn handle_status(
             entry.probe.snapshot().to_json(),
             state.queue_depth(),
         );
-        return write_response(stream, 200, &[depth_header(state)], &body);
+        return reply(stream, state, ctx, 200, &[depth_header(state)], &body);
     }
     // Not registered this lifetime — the disk store may still answer.
     if state.cache.lookup(digest).is_some() {
-        return write_response(
+        return reply(
             stream,
+            state,
+            ctx,
             200,
             &[depth_header(state)],
             &format!("{{\"job\": \"{id}\", \"status\": \"cached\"}}\n"),
         );
     }
-    write_response(stream, 404, &[], "{\"error\": \"unknown job\"}\n")
+    reply(stream, state, ctx, 404, &[], "{\"error\": \"unknown job\"}\n")
 }
 
 /// `DELETE /v1/jobs/:id` — fire the job's cancel token with client
@@ -789,31 +1109,36 @@ fn handle_cancel(
     stream: &mut TcpStream,
     id: &str,
     state: &Arc<ServeState>,
+    ctx: &ReqCtx,
 ) -> std::io::Result<()> {
     let (digest, entry) = match lookup_entry(state, id) {
         Ok(pair) => pair,
         Err(e) => {
-            return write_response(stream, 400, &[], &format!("{{\"error\": {}}}\n", escape(&e)))
+            return reply(stream, state, ctx, 400, &[], &format!("{{\"error\": {}}}\n", escape(&e)))
         }
     };
     let Some(entry) = entry else {
         // Completed in a previous lifetime (disk store) — terminal, so
         // cancelling is a conflict; never-seen is a 404.
         return if state.cache.lookup(digest).is_some() {
-            write_response(
+            reply(
                 stream,
+                state,
+                ctx,
                 409,
                 &[],
                 &format!("{{\"job\": \"{id}\", \"error\": \"job already cached\"}}\n"),
             )
         } else {
-            write_response(stream, 404, &[], "{\"error\": \"unknown job\"}\n")
+            reply(stream, state, ctx, 404, &[], "{\"error\": \"unknown job\"}\n")
         };
     };
     let phase = entry.phase.lock().unwrap().clone();
     if phase.is_terminal() {
-        return write_response(
+        return reply(
             stream,
+            state,
+            ctx,
             409,
             &[],
             &format!(
@@ -823,14 +1148,18 @@ fn handle_cancel(
             ),
         );
     }
+    state.log.info("serve.cancel").str("rid", &ctx.rid).str("digest", id).emit();
+    state.flightrec.record("cancel.requested", Some(id), "client");
     entry.cancel.cancel(CancelKind::Client);
     if matches!(phase, JobPhase::Queued) {
         // No simulation to unwind — terminal right now.
         mark_cancelled(state, &entry);
     }
     let landed = entry.phase.lock().unwrap().label();
-    write_response(
+    reply(
         stream,
+        state,
+        ctx,
         200,
         &[depth_header(state)],
         &format!(
@@ -844,11 +1173,12 @@ fn handle_result(
     stream: &mut TcpStream,
     id: &str,
     state: &Arc<ServeState>,
+    ctx: &ReqCtx,
 ) -> std::io::Result<()> {
     let (digest, entry) = match lookup_entry(state, id) {
         Ok(pair) => pair,
         Err(e) => {
-            return write_response(stream, 400, &[], &format!("{{\"error\": {}}}\n", escape(&e)))
+            return reply(stream, state, ctx, 400, &[], &format!("{{\"error\": {}}}\n", escape(&e)))
         }
     };
     // Pending phases answer 202 without charging the cache a miss.
@@ -856,16 +1186,20 @@ fn handle_result(
         let phase = entry.phase.lock().unwrap().clone();
         match phase {
             JobPhase::Queued | JobPhase::Running => {
-                return write_response(
+                return reply(
                     stream,
+                    state,
+                    ctx,
                     202,
                     &[depth_header(state)],
                     &format!("{{\"job\": \"{id}\", \"status\": \"{}\"}}\n", phase.label()),
                 );
             }
             JobPhase::Failed(e) => {
-                return write_response(
+                return reply(
                     stream,
+                    state,
+                    ctx,
                     500,
                     &[],
                     &format!(
@@ -878,8 +1212,10 @@ fn handle_result(
             // cached and nothing ever will be for this submission. 410
             // (not 404) tells the client the job existed and is gone.
             JobPhase::Cancelled | JobPhase::DeadlineExceeded => {
-                return write_response(
+                return reply(
                     stream,
+                    state,
+                    ctx,
                     410,
                     &[],
                     &format!(
@@ -893,8 +1229,10 @@ fn handle_result(
         }
     }
     match state.cache.lookup(digest) {
-        Some(hit) => write_response(
+        Some(hit) => reply(
             stream,
+            state,
+            ctx,
             200,
             &[("x-asf-cache", "hit".to_string())],
             &hit.body,
@@ -902,9 +1240,9 @@ fn handle_result(
         None if entry.is_some() => {
             // Done in the registry but evicted from memory *and* disk
             // (memory-only deployments): recompute on resubmission.
-            write_response(stream, 404, &[], "{\"error\": \"result evicted; resubmit\"}\n")
+            reply(stream, state, ctx, 404, &[], "{\"error\": \"result evicted; resubmit\"}\n")
         }
-        None => write_response(stream, 404, &[], "{\"error\": \"unknown job\"}\n"),
+        None => reply(stream, state, ctx, 404, &[], "{\"error\": \"unknown job\"}\n"),
     }
 }
 
@@ -913,21 +1251,24 @@ fn handle_artifact(
     id: &str,
     artifact: &str,
     state: &Arc<ServeState>,
+    ctx: &ReqCtx,
 ) -> std::io::Result<()> {
     let (digest, _) = match lookup_entry(state, id) {
         Ok(pair) => pair,
         Err(e) => {
-            return write_response(stream, 400, &[], &format!("{{\"error\": {}}}\n", escape(&e)))
+            return reply(stream, state, ctx, 400, &[], &format!("{{\"error\": {}}}\n", escape(&e)))
         }
     };
     let Some(hit) = state.cache.lookup(digest) else {
-        return write_response(stream, 404, &[], "{\"error\": \"unknown or pending job\"}\n");
+        return reply(stream, state, ctx, 404, &[], "{\"error\": \"unknown or pending job\"}\n");
     };
     let payload = if artifact == "metrics" { &hit.metrics } else { &hit.trace };
     match payload {
-        Some(text) => write_response(stream, 200, &[], text),
-        None => write_response(
+        Some(text) => reply(stream, state, ctx, 200, &[], text),
+        None => reply(
             stream,
+            state,
+            ctx,
             404,
             &[],
             "{\"error\": \"job was not submitted with observe: true\"}\n",

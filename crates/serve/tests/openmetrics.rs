@@ -1,0 +1,255 @@
+//! Exposition-format and flight-recorder contracts against a live server
+//! (DESIGN.md §18).
+//!
+//! The scrape tests drive real traffic and re-parse `GET
+//! /v1/metrics/prometheus` with the in-repo OpenMetrics parser: every
+//! sample family must carry a `# TYPE` declaration, label values must
+//! round-trip through escaping, and counters must never decrease between
+//! scrapes. The flight-recorder test injects a deterministic worker panic
+//! and requires exactly one schema-valid dump naming the panicking job's
+//! digest.
+
+use asf_machine::fault::FaultRate;
+use asf_serve::chaos::ServeChaosPlan;
+use asf_serve::flightrec::FLIGHTREC_SCHEMA;
+use asf_serve::http::Client;
+use asf_serve::server::{ServeOpts, Server};
+use asf_serve::spec::JobSpec;
+use asf_stats::openmetrics::{parse_exposition, Exposition};
+use std::time::{Duration, Instant};
+
+fn spec_body(seed: u64) -> String {
+    format!(
+        "{{\"bench\": \"ssca2\", \"detector\": \"sb4\", \"scale\": \"small\", \
+         \"seed\": {seed}}}"
+    )
+}
+
+fn scrape(client: &mut Client) -> Exposition {
+    let resp = client.get("/v1/metrics/prometheus").expect("scrape");
+    assert_eq!(resp.status, 200);
+    let ct = resp.header("content-type").expect("content-type").to_string();
+    assert!(ct.starts_with("text/plain"), "{ct}");
+    parse_exposition(&resp.text()).expect("exposition parses")
+}
+
+/// Poll a job until it reaches a terminal status; returns that status.
+fn await_terminal(client: &mut Client, id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let resp = client.get(&format!("/v1/jobs/{id}")).expect("status");
+        let text = resp.text();
+        let root = asf_stats::json::parse(&text).expect("status parses");
+        let status = root.field("status").and_then(|v| v.as_str().map(str::to_string));
+        match status.as_deref() {
+            Ok("queued" | "running") => {
+                assert!(Instant::now() < deadline, "job {id} never landed: {text}");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Ok(other) => return other.to_string(),
+            Err(e) => panic!("status reply {text:?}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn exposition_is_valid_and_counters_never_decrease() {
+    let server = Server::start(ServeOpts::default()).expect("start");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+
+    // Prime the request counters: the endpoint/status families only
+    // appear once at least one response has been counted.
+    assert_eq!(client.get("/v1/healthz").expect("healthz").status, 200);
+
+    // Scrape 1: before the real traffic.
+    let first = scrape(&mut client);
+    // Every sample's family carries a TYPE declaration (parse_exposition
+    // enforces this; double-check a few families we care about).
+    for family in ["asf_http_requests", "asf_uptime_ms", "asf_http_request_duration_ns"] {
+        assert!(first.kind(family).is_some(), "missing # TYPE for {family}");
+    }
+    assert_eq!(first.kind("asf_http_requests"), Some("counter"));
+    assert_eq!(first.kind("asf_queue_depth"), Some("gauge"));
+    assert_eq!(first.kind("asf_job_e2e_ns"), Some("histogram"));
+
+    // Drive traffic: a job to completion plus a cache-hit repeat.
+    let spec = JobSpec::from_json(&spec_body(0x0b53)).expect("spec");
+    let submit = client.post("/v1/jobs", &spec_body(0x0b53)).expect("submit");
+    assert_eq!(submit.status, 200);
+    assert!(submit.header("x-asf-request-id").is_some(), "submit lacks correlation id");
+    let status = await_terminal(&mut client, &spec.digest_hex());
+    assert_eq!(status, "done");
+    let repeat = client.post("/v1/jobs", &spec_body(0x0b53)).expect("repeat");
+    assert_eq!(repeat.header("x-asf-cache"), Some("hit"));
+
+    // Scrape 2: every counter sample present in scrape 1 must be <= its
+    // successor (counters are monotonic), and the traffic must show up.
+    let second = scrape(&mut client);
+    for sample in &first.samples {
+        let family = asf_stats::openmetrics::family_of(&sample.name);
+        if first.kind(&family) != Some("counter") {
+            continue;
+        }
+        let labels: Vec<(&str, &str)> =
+            sample.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let later = second
+            .value(&sample.name, &labels)
+            .unwrap_or_else(|| panic!("{} vanished from scrape 2", sample.name));
+        assert!(
+            later >= sample.value,
+            "counter {}{:?} decreased: {} -> {later}",
+            sample.name,
+            sample.labels,
+            sample.value
+        );
+    }
+    assert!(second.sum("asf_http_requests_total") > first.sum("asf_http_requests_total"));
+    assert!(second.value("asf_jobs_total", &[("kind", "completed")]).unwrap_or(0.0) >= 1.0);
+    assert!(second.value("asf_jobs_total", &[("kind", "cache_hit")]).unwrap_or(0.0) >= 1.0);
+    // The e2e histogram saw the job.
+    assert!(second.value("asf_job_e2e_ns_count", &[]).unwrap_or(0.0) >= 1.0);
+
+    server.shutdown();
+}
+
+#[test]
+fn healthz_reports_build_info_uptime_and_dumps() {
+    let server = Server::start(ServeOpts::default()).expect("start");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+    let resp = client.get("/v1/healthz").expect("healthz");
+    assert_eq!(resp.status, 200);
+    let text = resp.text();
+    let root = asf_stats::json::parse(&text).expect("healthz parses");
+    assert_eq!(
+        root.field("version").unwrap().as_str().unwrap(),
+        env!("CARGO_PKG_VERSION"),
+        "{text}"
+    );
+    root.field("uptime_ms").and_then(|v| v.as_u64()).expect("uptime_ms");
+    assert_eq!(root.field("flight_dumps").and_then(|v| v.as_u64()), Ok(0));
+    let detectors = root.field("detectors").and_then(|v| {
+        v.as_arr().map(|a| {
+            a.iter().filter_map(|d| d.as_str().ok().map(str::to_string)).collect::<Vec<_>>()
+        })
+    });
+    assert_eq!(
+        detectors.unwrap(),
+        vec!["baseline", "sb2", "sb4", "sb8", "sb16", "perfect"],
+        "{text}"
+    );
+    server.shutdown();
+}
+
+/// Silence the panic hook for the injected panic (it is the point of the
+/// test); restores default reporting on drop.
+struct QuietInjectedPanics;
+
+impl QuietInjectedPanics {
+    fn install() -> QuietInjectedPanics {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains("chaos: injected"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.contains("chaos: injected"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+        QuietInjectedPanics
+    }
+}
+
+impl Drop for QuietInjectedPanics {
+    fn drop(&mut self) {
+        // Restoring mid-unwind would abort: the hook cannot be modified
+        // from a panicking thread.
+        if !std::thread::panicking() {
+            let _ = std::panic::take_hook();
+        }
+    }
+}
+
+#[test]
+fn injected_panic_dumps_exactly_one_flight_record_naming_the_job() {
+    let _quiet = QuietInjectedPanics::install();
+    let dir = std::env::temp_dir().join(format!(
+        "asf_openmetrics_flightrec_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(ServeOpts {
+        workers: 1,
+        chaos: ServeChaosPlan {
+            seed: 9,
+            worker_panic: FaultRate::ALWAYS,
+            ..ServeChaosPlan::none()
+        },
+        flightrec_dir: Some(dir.clone()),
+        ..ServeOpts::default()
+    })
+    .expect("start");
+    let mut client = Client::connect(&server.addr()).expect("connect");
+
+    let spec = JobSpec::from_json(&spec_body(77)).expect("spec");
+    let digest = spec.digest_hex();
+    let submit = client.post("/v1/jobs", &spec_body(77)).expect("submit");
+    assert_eq!(submit.status, 200);
+    assert_eq!(await_terminal(&mut client, &digest), "failed");
+
+    // Exactly one dump, schema-valid, reason worker_panic, naming the job.
+    let state = server.state();
+    assert_eq!(state.flightrec.dumps(), 1);
+    let paths = state.flightrec.dump_paths();
+    assert_eq!(paths.len(), 1, "{paths:?}");
+    let body = std::fs::read_to_string(&paths[0]).expect("read dump");
+    let root = asf_stats::json::parse(&body).expect("dump parses");
+    assert_eq!(root.field("schema").unwrap().as_str().unwrap(), FLIGHTREC_SCHEMA);
+    assert_eq!(root.field("reason").unwrap().as_str().unwrap(), "worker_panic");
+    assert_eq!(root.field("job").unwrap().as_str().unwrap(), digest);
+    // The ring captured the job's lifecycle, and the panic event names
+    // the same digest.
+    let events = root.field("events").unwrap().as_arr().unwrap();
+    let panic_events: Vec<_> = events
+        .iter()
+        .filter(|e| e.field("kind").and_then(|k| k.as_str().map(str::to_string)).as_deref() == Ok("job.panic"))
+        .collect();
+    assert_eq!(panic_events.len(), 1, "{body}");
+    assert_eq!(
+        panic_events[0].field("job").unwrap().as_str().unwrap(),
+        digest
+    );
+
+    // Healthz surfaces the dump count.
+    let health = client.get("/v1/healthz").expect("healthz").text();
+    let root = asf_stats::json::parse(&health).expect("healthz parses");
+    assert_eq!(root.field("flight_dumps").and_then(|v| v.as_u64()), Ok(1), "{health}");
+
+    // And the exposition still parses with the panic counted.
+    let exposition = scrape(&mut client);
+    assert_eq!(exposition.value("asf_flight_dumps_total", &[]), Some(1.0));
+    assert!(exposition.value("asf_worker_panics_total", &[]).unwrap_or(0.0) >= 1.0);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn label_escaping_round_trips_through_the_parser() {
+    let mut r = asf_stats::openmetrics::Renderer::new();
+    let hostile = "a\\b\"c\nd";
+    r.counter("asf_test_events", "escaping check", &[("name", hostile)], 3);
+    let text = r.finish();
+    let exposition = parse_exposition(&text).expect("hostile labels still parse");
+    assert_eq!(
+        exposition.value("asf_test_events_total", &[("name", hostile)]),
+        Some(3.0),
+        "{text}"
+    );
+}

@@ -21,6 +21,12 @@
 //! * [`metrics`] — observability accumulators: named counters,
 //!   cycle-bucketed interval gauges and a wall-time phase profiler
 //!   (DESIGN.md §13);
+//! * [`openmetrics`] — fixed-bucket log2 latency histograms plus a
+//!   Prometheus/OpenMetrics text renderer and validating parser
+//!   (DESIGN.md §18);
+//! * [`slog`] — JSON-lines structured logger with `ASF_LOG` level
+//!   filtering and injectable sinks, carrying request correlation ids
+//!   through the serve layer;
 //! * [`chrome`] — streaming Chrome `trace_event` / Perfetto JSON writer for
 //!   the cycle-domain timeline export;
 //! * [`table`] — plain-text and CSV rendering for the harness;
@@ -38,8 +44,10 @@ pub mod fault;
 pub mod histogram;
 pub mod json;
 pub mod metrics;
+pub mod openmetrics;
 pub mod run;
 pub mod series;
+pub mod slog;
 pub mod table;
 
 pub use chart::BarChart;
@@ -49,6 +57,7 @@ pub use fault::FaultStats;
 pub use histogram::{LineHistogram, OffsetHistogram};
 pub use json::JsonValue;
 pub use metrics::{MetricsRegistry, PhaseProfiler};
+pub use openmetrics::{AtomicHistogram, Histogram};
 pub use run::{AbortCause, RunStats};
 pub use series::TimeSeries;
 pub use table::Table;

@@ -1,0 +1,335 @@
+//! Structured JSON-lines logging (DESIGN.md §18).
+//!
+//! One log call emits one JSON object on one line: a monotonic sequence
+//! number, wall-clock milliseconds, level, event name and typed fields.
+//! Serve-layer lines additionally carry a per-request correlation id and
+//! the job digest so a slow loadtest request can be joined against
+//! pool/worker/cache events (the same id is returned to clients as the
+//! `x-asf-request-id` header).
+//!
+//! The level threshold comes from the `ASF_LOG` environment variable
+//! (`error|warn|info|debug|trace|off`, default `warn` so existing smoke
+//! output stays clean); the sink is injectable so tests capture lines in
+//! memory instead of stderr. Logging never panics: sink write errors are
+//! swallowed — losing a log line must never take down a worker.
+
+use crate::json::escape;
+use std::fmt::Write as _;
+use std::io::Write as IoWrite;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or correctness-relevant failures.
+    Error,
+    /// Degraded but self-healing conditions (respawns, quarantines).
+    Warn,
+    /// Request/job lifecycle milestones.
+    Info,
+    /// Per-step detail (cache decisions, retries).
+    Debug,
+    /// Firehose.
+    Trace,
+}
+
+impl Level {
+    /// Lower-case name used in log lines and `ASF_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parse an `ASF_LOG` value; `None` for unknown strings.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+struct Inner {
+    /// `None` disables the logger entirely.
+    level: Option<Level>,
+    sink: Mutex<Box<dyn IoWrite + Send>>,
+    seq: AtomicU64,
+}
+
+/// Cheaply clonable JSON-lines logger handle.
+#[derive(Clone)]
+pub struct Logger {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger").field("level", &self.inner.level).finish()
+    }
+}
+
+impl Logger {
+    /// Logger writing to an injected sink at an explicit level.
+    pub fn with_sink(level: Level, sink: Box<dyn IoWrite + Send>) -> Logger {
+        Logger {
+            inner: Arc::new(Inner {
+                level: Some(level),
+                sink: Mutex::new(sink),
+                seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Logger writing to stderr at an explicit level.
+    pub fn stderr(level: Level) -> Logger {
+        Logger::with_sink(level, Box::new(std::io::stderr()))
+    }
+
+    /// Logger configured from `ASF_LOG`: unset or unknown values default
+    /// to `warn`; `off`/`none`/`0` disable logging.
+    pub fn from_env() -> Logger {
+        match std::env::var("ASF_LOG") {
+            Ok(v) if matches!(v.trim().to_ascii_lowercase().as_str(), "off" | "none" | "0") => {
+                Logger::disabled()
+            }
+            Ok(v) => Logger::stderr(Level::parse(&v).unwrap_or(Level::Warn)),
+            Err(_) => Logger::stderr(Level::Warn),
+        }
+    }
+
+    /// Logger that drops everything.
+    pub fn disabled() -> Logger {
+        Logger {
+            inner: Arc::new(Inner {
+                level: None,
+                sink: Mutex::new(Box::new(std::io::sink())),
+                seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Whether a line at `level` would be emitted.
+    pub fn enabled(&self, level: Level) -> bool {
+        self.inner.level.is_some_and(|max| level <= max)
+    }
+
+    /// Start building a line at `level` for `event`. The line is emitted
+    /// when [`LineBuilder::emit`] runs; a disabled level builds nothing.
+    pub fn at(&self, level: Level, event: &str) -> LineBuilder<'_> {
+        let buf = if self.enabled(level) {
+            let mut s = String::with_capacity(128);
+            let ts = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+            let _ = write!(
+                s,
+                "{{\"seq\":{},\"ts_ms\":{},\"level\":\"{}\",\"event\":{}",
+                seq,
+                ts,
+                level.as_str(),
+                escape(event)
+            );
+            Some(s)
+        } else {
+            None
+        };
+        LineBuilder { logger: self, buf }
+    }
+
+    /// Shorthand for [`Logger::at`] with [`Level::Info`].
+    pub fn info(&self, event: &str) -> LineBuilder<'_> {
+        self.at(Level::Info, event)
+    }
+
+    /// Shorthand for [`Logger::at`] with [`Level::Warn`].
+    pub fn warn(&self, event: &str) -> LineBuilder<'_> {
+        self.at(Level::Warn, event)
+    }
+
+    /// Shorthand for [`Logger::at`] with [`Level::Error`].
+    pub fn error(&self, event: &str) -> LineBuilder<'_> {
+        self.at(Level::Error, event)
+    }
+
+    /// Shorthand for [`Logger::at`] with [`Level::Debug`].
+    pub fn debug(&self, event: &str) -> LineBuilder<'_> {
+        self.at(Level::Debug, event)
+    }
+
+    fn write_line(&self, line: &str) {
+        if let Ok(mut sink) = self.inner.sink.lock() {
+            let _ = sink.write_all(line.as_bytes());
+            let _ = sink.write_all(b"\n");
+            let _ = sink.flush();
+        }
+    }
+}
+
+/// Accumulates fields for one log line; emits on [`LineBuilder::emit`].
+#[must_use = "call .emit() to write the log line"]
+pub struct LineBuilder<'a> {
+    logger: &'a Logger,
+    buf: Option<String>,
+}
+
+impl LineBuilder<'_> {
+    /// Attach a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            let _ = write!(buf, ",{}:{}", escape(key), escape(value));
+        }
+        self
+    }
+
+    /// Attach an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            let _ = write!(buf, ",{}:{}", escape(key), value);
+        }
+        self
+    }
+
+    /// Attach a float field.
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            if value.is_finite() {
+                let _ = write!(buf, ",{}:{}", escape(key), value);
+            } else {
+                let _ = write!(buf, ",{}:null", escape(key));
+            }
+        }
+        self
+    }
+
+    /// Attach a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        if let Some(buf) = self.buf.as_mut() {
+            let _ = write!(buf, ",{}:{}", escape(key), value);
+        }
+        self
+    }
+
+    /// Close the object and write the line to the sink.
+    pub fn emit(mut self) {
+        if let Some(mut buf) = self.buf.take() {
+            buf.push('}');
+            self.logger.write_line(&buf);
+        }
+    }
+}
+
+/// In-memory sink for tests: clone it, hand one copy to
+/// [`Logger::with_sink`], read lines back from the other.
+#[derive(Clone, Debug, Default)]
+pub struct BufferSink {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl BufferSink {
+    /// Create an empty shared buffer.
+    pub fn new() -> BufferSink {
+        BufferSink::default()
+    }
+
+    /// Everything written so far, as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.buf.lock().expect("sink lock")).into_owned()
+    }
+
+    /// Written lines, split and owned.
+    pub fn lines(&self) -> Vec<String> {
+        self.contents().lines().map(str::to_string).collect()
+    }
+}
+
+impl IoWrite for BufferSink {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.lock().expect("sink lock").extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn lines_are_valid_json_with_fields() {
+        let sink = BufferSink::new();
+        let log = Logger::with_sink(Level::Debug, Box::new(sink.clone()));
+        log.info("serve.submit")
+            .str("digest", "deadbeef")
+            .u64("req", 7)
+            .bool("cached", false)
+            .f64("wait_ms", 1.5)
+            .emit();
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1);
+        let v = parse(&lines[0]).expect("log line parses as JSON");
+        assert_eq!(v.field("event").unwrap().as_str().unwrap(), "serve.submit");
+        assert_eq!(v.field("digest").unwrap().as_str().unwrap(), "deadbeef");
+        assert_eq!(v.field("req").unwrap().as_u64().unwrap(), 7);
+        assert_eq!(v.field("level").unwrap().as_str().unwrap(), "info");
+    }
+
+    #[test]
+    fn level_filtering_drops_lines() {
+        let sink = BufferSink::new();
+        let log = Logger::with_sink(Level::Warn, Box::new(sink.clone()));
+        log.debug("dropped").emit();
+        log.info("dropped-too").emit();
+        log.warn("kept").emit();
+        log.error("kept-too").u64("n", 1).emit();
+        assert_eq!(sink.lines().len(), 2);
+        assert!(log.enabled(Level::Error));
+        assert!(!log.enabled(Level::Info));
+    }
+
+    #[test]
+    fn disabled_logger_emits_nothing() {
+        let log = Logger::disabled();
+        assert!(!log.enabled(Level::Error));
+        log.error("nope").emit();
+    }
+
+    #[test]
+    fn seq_is_monotonic() {
+        let sink = BufferSink::new();
+        let log = Logger::with_sink(Level::Info, Box::new(sink.clone()));
+        for _ in 0..3 {
+            log.info("tick").emit();
+        }
+        let seqs: Vec<u64> = sink
+            .lines()
+            .iter()
+            .map(|l| parse(l).unwrap().field("seq").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn level_parse() {
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("bogus"), None);
+        assert!(Level::Error < Level::Trace, "ordering: more severe sorts first");
+    }
+}
